@@ -1,0 +1,143 @@
+// E10 — The GPU-cluster dilemma: spare links vs repair speed.
+//
+// §1: "a single network link failing or an HBM module failing changes the
+// resource availability per GPU, potentially causing significant fraction of
+// the GPU-cluster to go offline, which is costly. However, providing a spare
+// network link for every link in a GPU cluster ... is simply impractical."
+//
+// A rail-optimized training pod runs for 60 days under background rail-link
+// faults. A job step completes only when every server has all rails live;
+// we integrate job goodput (fraction of time the collective can run at full
+// rate) and GPU-hours lost, sweeping automation level x spare rails.
+#include <iostream>
+
+#include "bench/common.h"
+#include "net/routing.h"
+#include "workload/training_job.h"
+
+namespace {
+
+using namespace smn;
+
+struct Row {
+  std::string config;
+  double goodput = 0;        // useful GPU-hours / total GPU-hours
+  double gpu_hours_lost = 0;
+  std::size_t interruptions = 0;
+  std::size_t rail_faults = 0;
+};
+
+Row run(const char* name, core::AutomationLevel level, int rails, int days,
+        std::uint64_t seed, bool codesign = false) {
+  const topology::GpuClusterParams params{
+      .gpu_servers = 16, .rails = rails, .spines = 2};
+  const topology::Blueprint bp = topology::build_gpu_cluster(params);
+  scenario::WorldConfig cfg = bench::standard_world(level, seed);
+  cfg.controller.proactive.enabled = false;
+  cfg.faults.transceiver_afr = 0.15;  // hot, dense optics fail young
+  cfg.faults.cable_afr = 0.02;
+  // The paper's claim is about *link* failures; switch/NIC deaths are a
+  // different (rarer) failure domain and would drown the comparison in a
+  // handful of multi-day device-replacement events.
+  cfg.faults.switch_afr = 0.0;
+  cfg.faults.server_nic_afr = 0.0;
+  scenario::World world{bp, cfg};
+
+  // A gang-scheduled training job with real checkpoint/restart semantics: it
+  // needs 8 live rails per server (extra rails are spares), loses the work
+  // since the last checkpoint on every interruption, and pays a restart
+  // overhead when the fabric heals.
+  workload::TrainingJob::Config job_cfg;
+  job_cfg.servers = world.network().servers();
+  job_cfg.required_live_links = 8;
+  job_cfg.checkpoint_interval = sim::Duration::minutes(30);
+  job_cfg.restart_overhead = sim::Duration::minutes(10);
+  workload::TrainingJob job{world.network(), job_cfg};
+  world.start();
+  job.start();
+  if (codesign) {
+    // Cross-layer co-design (the paper's abstract): the job registers its
+    // rails as critical, so their repairs skip deferral and verify fast.
+    for (const net::DeviceId s : job_cfg.servers) {
+      for (const net::LinkId lid : world.network().links_at(s)) {
+        world.controller().set_critical(lid, true);
+      }
+    }
+  }
+  world.run_for(sim::Duration::days(days));
+
+  Row r;
+  r.config = name;
+  r.goodput = job.goodput();
+  r.gpu_hours_lost = job.lost_gpu_hours();
+  r.interruptions = job.interruptions();
+  r.rail_faults = world.injector().count(fault::FaultKind::kTransceiverFailure) +
+                  world.injector().count(fault::FaultKind::kCableBreak);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 10;
+
+  bench::print_header("E10: GPU-cluster link failures",
+                      "\"a single network link failing ... potentially causing significant "
+                      "fraction of the GPU-cluster to go offline\" (S1)");
+
+  Table table{{"configuration", "goodput", "GPU-hours lost", "interruptions",
+               "rail faults"}};
+  const struct {
+    const char* name;
+    core::AutomationLevel level;
+    int rails;
+    bool codesign;
+  } sweeps[] = {
+      {"L0 humans, 8 rails (no spare)", core::AutomationLevel::kL0_Manual, 8, false},
+      {"L0 humans, 9 rails (1 spare)", core::AutomationLevel::kL0_Manual, 9, false},
+      {"L0 humans, 10 rails (2 spare)", core::AutomationLevel::kL0_Manual, 10, false},
+      {"L3 robots, 8 rails (no spare)", core::AutomationLevel::kL3_HighAutomation, 8,
+       false},
+      {"L3 robots, 8 rails + co-design", core::AutomationLevel::kL3_HighAutomation, 8,
+       true},
+      {"L3 robots, 9 rails (1 spare)", core::AutomationLevel::kL3_HighAutomation, 9,
+       false},
+      {"L3 robots, 9 rails + co-design", core::AutomationLevel::kL3_HighAutomation, 9,
+       true},
+  };
+  // Individual runs see a handful of failures, so average over seeds.
+  const int kSeeds = 5;
+  for (const auto& s : sweeps) {
+    Row mean;
+    mean.config = s.name;
+    for (int i = 0; i < kSeeds; ++i) {
+      const Row r =
+          run(s.name, s.level, s.rails, days, seed + static_cast<unsigned>(i), s.codesign);
+      mean.goodput += r.goodput / kSeeds;
+      mean.gpu_hours_lost += r.gpu_hours_lost / kSeeds;
+      mean.interruptions += r.interruptions;
+      mean.rail_faults += r.rail_faults;
+    }
+    table.add_row({mean.config, Table::num(mean.goodput, 5),
+                   Table::num(mean.gpu_hours_lost, 0), Table::num(mean.interruptions),
+                   Table::num(mean.rail_faults)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape (gang-scheduled job with checkpoint/restart): without\n"
+               "spares, human-speed repair loses ~5-6x the GPU-hours of robot-speed\n"
+               "repair — each flap or failure stalls the whole collective, and at L0\n"
+               "it stays stalled for days. Spare rails prevent stalls outright while\n"
+               "fast repair shortens the residual ones, so the two compose: robots\n"
+               "with one spare beat humans with one spare ~2x, and reach near-perfect\n"
+               "goodput one spare earlier — the right-provisioning escape from the\n"
+               "spare-per-link dilemma, with interruption counts showing why (many\n"
+               "short robot-era stalls vs few day-long human-era ones). Cross-layer\n"
+               "co-design (the job registers its rails as critical) buys back ~30% of\n"
+               "the no-spare losses; with a spare in place it buys nothing — eager\n"
+               "repair of links the spare already covers just adds physical touches,\n"
+               "so criticality tags should track *residual* slack, not raw membership.\n";
+  return 0;
+}

@@ -1,0 +1,149 @@
+// E11 — Human supervision cost across automation levels.
+//
+// §2.1 defines the levels by how much human attention they need: L1
+// technicians operate the devices, L2 robots need supervision/teleoperation,
+// L3 "limited human supervision", L4 none. This bench measures supervision
+// hours consumed per 100 repairs, and L2's throughput collapse when
+// supervisors are scarce.
+#include <iostream>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace smn;
+
+/// Burst drain under a given level/supervisor count: a power event unseats
+/// three switches' optics; report the makespan. At L2, each robot action
+/// holds a supervisor slot for its whole duration, so one supervisor
+/// serializes the fleet no matter how many gantries are idle.
+double burst_makespan_minutes(core::AutomationLevel level, int supervisors,
+                              std::uint64_t seed) {
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg = bench::standard_world(level, seed);
+  cfg.controller.supervisors = supervisors;
+  cfg.controller.proactive.enabled = false;
+  cfg.controller.impact_aware = false;
+  cfg.faults.transceiver_afr = 0;
+  cfg.faults.cable_afr = 0;
+  cfg.faults.switch_afr = 0;
+  cfg.faults.server_nic_afr = 0;
+  cfg.faults.gray_rate_per_year = 0;
+  cfg.contamination.mean_accumulation_per_day = 0;
+  cfg.detection.false_positive_per_year = 0;
+  cfg.fleet.failure_per_job = 0.0;
+  scenario::World world{bp, cfg};
+  world.start();
+  world.run_for(sim::Duration::hours(1));
+
+  const auto tors = world.network().devices_with_role(topology::NodeRole::kTorSwitch);
+  const auto spines = world.network().devices_with_role(topology::NodeRole::kSpineSwitch);
+  for (const net::DeviceId dev : {tors[0], tors[6], spines[0]}) {
+    for (const net::LinkId lid : world.network().links_at(dev)) {
+      net::Link& l = world.network().link_mut(lid);
+      net::EndCondition& end =
+          l.end_a.device == dev ? l.end_a.condition : l.end_b.condition;
+      end.transceiver_seated = false;
+      world.network().refresh_link(lid);
+    }
+  }
+  const sim::TimePoint burst_at = world.now();
+  while (world.network().count_links(net::LinkState::kDown) > 0 &&
+         world.now() - burst_at < sim::Duration::days(14)) {
+    world.run_for(sim::Duration::minutes(5));
+  }
+  return (world.now() - burst_at).to_minutes();
+}
+
+struct Row {
+  std::string name;
+  std::size_t repairs = 0;
+  double technician_hours = 0;
+  double supervision_hours = 0;
+  double mean_ticket_hours = 0;
+};
+
+Row run(const char* name, core::AutomationLevel level, int supervisors, int days,
+        std::uint64_t seed) {
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg = bench::standard_world(level, seed);
+  cfg.controller.supervisors = supervisors;
+  cfg.controller.proactive.enabled = false;
+  cfg.controller.impact_aware = false;  // measure the human gate, not deferral
+  // End-of-life optics cohort: enough concurrent repairs that L2's blocking
+  // supervision becomes the bottleneck.
+  cfg.faults.transceiver_afr = 0.5;
+  cfg.faults.oxidation_rate_per_year = 2.0;
+  cfg.faults.gray_rate_per_year = 6.0;
+  cfg.faults.gray_duration_log_mean = std::log(4.0 * 3600.0);
+  scenario::World world{bp, cfg};
+  world.run_for(sim::Duration::days(days));
+
+  Row r;
+  r.name = name;
+  r.repairs = world.technicians().completed() +
+              (world.has_fleet() ? world.fleet().completed() : 0);
+  r.technician_hours = world.technicians().labor_hours();
+  r.supervision_hours = world.controller().supervision_hours();
+  r.mean_ticket_hours = bench::summarize_tickets(world.tickets()).resolve_hours.mean();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  bench::print_header("E11: supervision burden by automation level",
+                      "levels defined by human supervision required (S2.1)");
+
+  Table table{{"configuration", "repairs", "tech hours", "supervision h",
+               "human h / 100 repairs", "mean ticket (h)"}};
+  const struct {
+    const char* name;
+    core::AutomationLevel level;
+    int supervisors;
+  } sweeps[] = {
+      {"L0 manual", core::AutomationLevel::kL0_Manual, 4},
+      {"L1 assistive tooling", core::AutomationLevel::kL1_OperatorAssist, 4},
+      {"L2, 4 supervisors", core::AutomationLevel::kL2_PartialAutomation, 4},
+      {"L2, 1 supervisor", core::AutomationLevel::kL2_PartialAutomation, 1},
+      {"L3 high automation", core::AutomationLevel::kL3_HighAutomation, 4},
+      {"L4 full automation", core::AutomationLevel::kL4_FullAutomation, 4},
+  };
+  for (const auto& s : sweeps) {
+    const Row r = run(s.name, s.level, s.supervisors, days, seed);
+    const double human = r.technician_hours + r.supervision_hours;
+    table.add_row({r.name, Table::num(r.repairs), Table::num(r.technician_hours, 1),
+                   Table::num(r.supervision_hours, 1),
+                   Table::num(r.repairs == 0 ? 0 : 100.0 * human / r.repairs, 2),
+                   Table::num(r.mean_ticket_hours, 2)});
+  }
+  table.print(std::cout);
+
+  Table burst{{"configuration", "burst makespan (min)"}};
+  burst.add_row({"L0 manual (4 techs)",
+                 Table::num(burst_makespan_minutes(core::AutomationLevel::kL0_Manual, 4,
+                                                   seed), 0)});
+  for (const int sup : {1, 2, 4}) {
+    burst.add_row(
+        {"L2, " + std::to_string(sup) + " supervisor(s)",
+         Table::num(burst_makespan_minutes(core::AutomationLevel::kL2_PartialAutomation,
+                                           sup, seed), 0)});
+  }
+  burst.add_row({"L3 (no supervision gate)",
+                 Table::num(burst_makespan_minutes(
+                                core::AutomationLevel::kL3_HighAutomation, 4, seed), 0)});
+  std::cout << "\nburst drain (3 switches' optics unseated at once):\n";
+  burst.print(std::cout);
+
+  std::cout << "\nexpected shape: human hours per repair fall monotonically L0 -> L4.\n"
+               "In the burst, L2 throughput is capped by supervisor slots — one\n"
+               "supervisor serializes an otherwise-parallel fleet — while L3 drains\n"
+               "at full fleet parallelism. That is the L2->L3 transition the paper's\n"
+               "taxonomy is about.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// E12 — Microbenchmarks (google-benchmark): simulator event throughput,
+// topology construction, routing queries, cascade prediction, and a full
+// world-day step. These bound how large a plant the simulator can study.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "fault/cascade.h"
+#include "net/routing.h"
+#include "topology/metrics.h"
+
+namespace {
+
+using namespace smn;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      sim.schedule_after(sim::Duration::microseconds(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Arg(1000)->Arg(100000);
+
+void BM_PeriodicCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 64; ++i) {
+      const sim::EventId h =
+          sim.schedule_every(sim::Duration::seconds(1 + i), [] {});
+      if (i % 2 == 0) sim.cancel_periodic(h);
+    }
+    sim.run_until(sim::TimePoint::origin() + sim::Duration::minutes(10));
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+}
+BENCHMARK(BM_PeriodicCancellation);
+
+void BM_BuildFatTree(benchmark::State& state) {
+  for (auto _ : state) {
+    const topology::Blueprint bp =
+        topology::build_fat_tree({.k = static_cast<int>(state.range(0))});
+    benchmark::DoNotOptimize(bp.links().size());
+  }
+}
+BENCHMARK(BM_BuildFatTree)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_BuildJellyfish(benchmark::State& state) {
+  for (auto _ : state) {
+    const topology::Blueprint bp = topology::build_jellyfish(
+        {.switches = static_cast<int>(state.range(0)), .network_degree = 8, .seed = 1});
+    benchmark::DoNotOptimize(bp.links().size());
+  }
+}
+BENCHMARK(BM_BuildJellyfish)->Arg(64)->Arg(256);
+
+void BM_WiringStats(benchmark::State& state) {
+  const topology::Blueprint bp = topology::build_fat_tree({.k = 8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::compute_wiring_stats(bp).total_length_m);
+  }
+}
+BENCHMARK(BM_WiringStats);
+
+void BM_SelfMaintainability(benchmark::State& state) {
+  const topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 64, .spines = 16, .servers_per_leaf = 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology::compute_self_maintainability(bp).score);
+  }
+}
+BENCHMARK(BM_SelfMaintainability);
+
+void BM_ShortestPath(benchmark::State& state) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = topology::build_fat_tree({.k = 8});
+  net::Network net{bp, net::Network::Config{}, sim};
+  const auto servers = net.servers();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::DeviceId a = servers[i % servers.size()];
+    const net::DeviceId b = servers[(i * 7 + 13) % servers.size()];
+    benchmark::DoNotOptimize(net::shortest_path(net, a, b).size());
+    ++i;
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+void BM_PairConnectivitySample(benchmark::State& state) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = topology::build_fat_tree({.k = 8});
+  net::Network net{bp, net::Network::Config{}, sim};
+  sim::RngFactory rngs{1};
+  sim::RngStream rng = rngs.stream("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::sampled_pair_connectivity(net, rng, 64));
+  }
+}
+BENCHMARK(BM_PairConnectivitySample);
+
+void BM_CascadePrediction(benchmark::State& state) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = bench::standard_fabric();
+  net::Network::Config ncfg;
+  ncfg.aoc_max_m = 5.0;
+  net::Network net{bp, ncfg, sim};
+  fault::Environment env;
+  sim::RngFactory rngs{1};
+  fault::FaultInjector injector{net, env, rngs.stream("inj")};
+  fault::CascadeModel cascade{net, env, injector, rngs.stream("c")};
+  const net::DeviceId leaf = net.devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  const net::LinkId target = net.links_at(leaf)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cascade.predicted_contacts(fault::Disturbance{target, leaf, 1.0, true}).size());
+  }
+}
+BENCHMARK(BM_CascadePrediction);
+
+void BM_WorldDay(benchmark::State& state) {
+  // One simulated day of the standard experiment hall at L3.
+  for (auto _ : state) {
+    state.PauseTiming();
+    const topology::Blueprint bp = bench::standard_fabric();
+    scenario::World world{
+        bp, bench::standard_world(core::AutomationLevel::kL3_HighAutomation, 1)};
+    state.ResumeTiming();
+    world.run_for(sim::Duration::days(1));
+    benchmark::DoNotOptimize(world.tickets().total());
+  }
+}
+BENCHMARK(BM_WorldDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// E13 — Tail latency under flapping links.
+//
+// §1: "Layers in the network stack will ensure retransmission of lost
+// packets, the curse of a flapping link is the associated increase in tail
+// latency for the network."
+//
+// Runs the standard hall under a contamination/oxidation-heavy regime and
+// samples the demand-weighted p99 flow-completion-time inflation of a fixed
+// traffic matrix every 4 hours. Human-speed repair leaves flapping links in
+// the fabric for days; robot-speed repair removes them in minutes — the
+// difference shows up exactly where the paper says: the tail.
+#include <iostream>
+
+#include "bench/common.h"
+#include "net/traffic.h"
+
+namespace {
+
+using namespace smn;
+
+struct Row {
+  std::string level;
+  double mean_p99 = 0;
+  double worst_p99 = 0;
+  double pct_samples_2x = 0;   // % of samples with p99 factor >= 2
+  double pct_samples_10x = 0;
+  double mean_flapping_links = 0;
+};
+
+Row run(core::AutomationLevel level, int days, std::uint64_t seed) {
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg = bench::standard_world(level, seed);
+  cfg.faults.gray_rate_per_year = 3.0;
+  cfg.faults.gray_duration_log_mean = std::log(2.0 * 3600.0);  // median 2 h
+  cfg.contamination.mean_accumulation_per_day = 0.01;
+  scenario::World world{bp, cfg};
+
+  sim::RngFactory rngs{seed};
+  sim::RngStream tm_rng = rngs.stream("matrix");
+  const net::TrafficMatrix tm =
+      net::TrafficMatrix::uniform(world.network(), 400, 1.0, tm_rng);
+
+  analysis::SampleStats p99s;
+  double flapping_sum = 0;
+  std::size_t samples = 0;
+  world.simulator().schedule_every(sim::Duration::hours(4), [&] {
+    const net::LoadReport r = net::route_and_load(world.network(), tm);
+    p99s.push(r.p99_tail_factor);
+    flapping_sum +=
+        static_cast<double>(world.network().count_links(net::LinkState::kFlapping));
+    ++samples;
+  });
+  world.run_for(sim::Duration::days(days));
+
+  Row row;
+  row.level = core::to_string(level);
+  row.mean_p99 = p99s.mean();
+  row.worst_p99 = p99s.max();
+  int over2 = 0, over10 = 0;
+  for (const double v : p99s.samples()) {
+    if (v >= 2.0) ++over2;
+    if (v >= 10.0) ++over10;
+  }
+  row.pct_samples_2x = 100.0 * over2 / std::max<std::size_t>(1, p99s.count());
+  row.pct_samples_10x = 100.0 * over10 / std::max<std::size_t>(1, p99s.count());
+  row.mean_flapping_links = flapping_sum / std::max<std::size_t>(1, samples);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 13;
+
+  bench::print_header("E13: tail latency under flapping",
+                      "\"the curse of a flapping link is the associated increase in tail "
+                      "latency\" (S1)");
+
+  Table table{{"level", "mean p99 factor", "worst p99", "% samples >=2x",
+               "% samples >=10x", "mean flapping links"}};
+  for (const core::AutomationLevel level :
+       {core::AutomationLevel::kL0_Manual, core::AutomationLevel::kL1_OperatorAssist,
+        core::AutomationLevel::kL3_HighAutomation}) {
+    const Row r = run(level, days, seed);
+    table.add_row({r.level, Table::num(r.mean_p99, 2), Table::num(r.worst_p99, 1),
+                   Table::num(r.pct_samples_2x, 1), Table::num(r.pct_samples_10x, 1),
+                   Table::num(r.mean_flapping_links, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: at human repair speed, flapping links sit in the\n"
+               "fabric for days and a large fraction of samples see >=2x (often\n"
+               ">=10x) p99 inflation; at robot speed flaps are verified and fixed in\n"
+               "minutes, so the tail stays near 1x almost always.\n";
+  return 0;
+}

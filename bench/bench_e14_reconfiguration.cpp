@@ -1,0 +1,114 @@
+// E14 — Robotic topology reconfiguration under a skewed traffic matrix.
+//
+// §4: "it is interesting to explore reconfigurable network topologies to
+// dynamically adapt to changing traffic patterns and optimize resource
+// utilization. The robotics that enables a self-maintaining network will
+// also be able to deploy arbitrary topologies potentially. Is this useful,
+// and if so what additional robotic functionality may we need?"
+//
+// A thin-uplink leaf-spine serves an elephant-pair matrix it was not wired
+// for. The reconfigurer plans composite path reinforcements and executes
+// them through an L4 cable-laying fleet; we report delivered goodput before
+// and after, the number of cable moves, and the wall-clock the robots took.
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/reconfigure.h"
+#include "net/traffic.h"
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 14;
+
+  bench::print_header("E14: robotic topology reconfiguration",
+                      "\"reconfigurable network topologies to dynamically adapt to "
+                      "changing traffic patterns\" (S4)");
+
+  // 8 servers x 100G behind 4 x 100G uplinks: the fabric (not the NICs) is
+  // the bottleneck, which is the regime rewiring can fix.
+  const topology::Blueprint bp = topology::build_leaf_spine({.leaves = 8,
+                                                             .spines = 4,
+                                                             .servers_per_leaf = 8,
+                                                             .uplinks_per_spine = 1,
+                                                             .server_gbps = 100.0,
+                                                             .uplink_gbps = 100.0});
+  scenario::WorldConfig cfg =
+      bench::standard_world(core::AutomationLevel::kL4_FullAutomation, seed);
+  // Quiet faults: this experiment is about traffic adaptation, not repair.
+  cfg.faults.transceiver_afr = 0;
+  cfg.faults.cable_afr = 0;
+  cfg.faults.switch_afr = 0;
+  cfg.faults.server_nic_afr = 0;
+  cfg.faults.gray_rate_per_year = 0;
+  cfg.contamination.mean_accumulation_per_day = 0;
+  cfg.detection.false_positive_per_year = 0;
+  cfg.fleet.failure_per_job = 0;
+  scenario::World world{bp, cfg};
+  world.start();
+
+  sim::RngFactory rngs{seed};
+  sim::RngStream tm_rng = rngs.stream("matrix");
+  // A training-job-style pattern: heavy all-to-all among the servers of
+  // leaves 0-2, light uniform background elsewhere. The job's leaves
+  // saturate their thin uplinks while leaves 3-7 sit nearly idle — skew the
+  // static wiring cannot serve but a rewired one can.
+  net::TrafficMatrix tm;
+  {
+    const auto servers = world.network().servers();
+    std::vector<net::DeviceId> hot(servers.begin(), servers.begin() + 24);
+    for (int i = 0; i < 400; ++i) {
+      const net::DeviceId src = hot[tm_rng.index(hot.size())];
+      net::DeviceId dst = src;
+      while (dst == src) dst = hot[tm_rng.index(hot.size())];
+      tm.flows.push_back(net::Flow{src, dst, 4.0});
+    }
+    const net::TrafficMatrix background =
+        net::TrafficMatrix::uniform(world.network(), 200, 0.5, tm_rng);
+    tm.flows.insert(tm.flows.end(), background.flows.begin(), background.flows.end());
+  }
+
+  const net::LoadReport before = net::route_and_load(world.network(), tm);
+
+  core::TopologyReconfigurer::Config rcfg;
+  rcfg.max_moves = 6;
+  rcfg.min_relative_gain = 0.002;
+  core::TopologyReconfigurer rec{world.network(), &world.fleet(), rcfg};
+  const auto plan = rec.plan(tm);
+
+  const sim::TimePoint t0 = world.now();
+  bool finished = plan.moves.empty();
+  const int dispatched = rec.apply(plan, [&] { finished = true; });
+  while (!finished) world.run_for(sim::Duration::minutes(10));
+  const double rewire_hours = (world.now() - t0).to_hours();
+
+  const net::LoadReport after = net::route_and_load(world.network(), tm);
+
+  Table table{{"stage", "delivered (G)", "demand (G)", "max util", "p99 tail"}};
+  table.add_row({"static wiring", Table::num(before.delivered_gbps, 1),
+                 Table::num(before.demand_gbps, 1),
+                 Table::num(before.max_link_utilization, 2),
+                 Table::num(before.p99_tail_factor, 2)});
+  table.add_row({"after robotic rewire", Table::num(after.delivered_gbps, 1),
+                 Table::num(after.demand_gbps, 1),
+                 Table::num(after.max_link_utilization, 2),
+                 Table::num(after.p99_tail_factor, 2)});
+  table.print(std::cout);
+
+  std::size_t cable_moves = 0;
+  for (const auto& m : plan.moves) cable_moves += m.rewires.size();
+  std::cout << "\ncomposite moves: " << plan.moves.size() << " (" << cable_moves
+            << " cable re-terminations, " << dispatched << " dispatched), completed in "
+            << analysis::Table::num(rewire_hours, 1) << " robot-hours of wall clock\n";
+  std::cout << "goodput gain: "
+            << analysis::Table::num(
+                   100.0 * (after.delivered_gbps - before.delivered_gbps) /
+                       std::max(1.0, before.delivered_gbps),
+                   1)
+            << "%\n";
+  std::cout << "\nexpected shape: the planner finds several hot ToR pairs whose routes\n"
+               "can be reinforced with idle fabric cables, lifting delivered goodput\n"
+               "by a double-digit percentage within hours — the capability that makes\n"
+               "demand-adaptive topologies plausible once robots can re-lay cables.\n";
+  return 0;
+}

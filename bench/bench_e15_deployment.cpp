@@ -1,0 +1,78 @@
+// E15 — Deploying the network: human crews vs robot fleets.
+//
+// §4: "the reason why these more efficient topologies are not deployed is due
+// to the complexity to manually deploy the complex wiring looms. ... if we
+// can build self-maintaining systems, these systems may well be able to also
+// deploy the network originally not just maintain it."
+//
+// Prices the initial wiring of four fabrics (matched server count) under a
+// human cable crew and a robot fleet. The decisive column is expected
+// mis-wirings: human error scales with wiring irregularity (every cable in a
+// random fabric is unique), robot terminations are machine-verified and flat.
+#include <iostream>
+
+#include "analysis/report.h"
+#include "topology/builders.h"
+#include "topology/deployment.h"
+#include "topology/metrics.h"
+
+int main() {
+  using namespace smn;
+  using analysis::Table;
+
+  std::printf("==============================================================\n");
+  std::printf("E15: robotic network deployment\n");
+  std::printf("paper hook: \"these systems may well be able to also deploy the "
+              "network originally\" (S4)\n");
+  std::printf("==============================================================\n");
+
+  struct Fabric {
+    const char* name;
+    topology::Blueprint bp;
+  };
+  std::vector<Fabric> fabrics;
+  fabrics.push_back({"fat-tree k=8", topology::build_fat_tree({.k = 8})});
+  fabrics.push_back({"leaf-spine 32x8",
+                     topology::build_leaf_spine(
+                         {.leaves = 32, .spines = 8, .servers_per_leaf = 4})});
+  fabrics.push_back({"jellyfish d=10",
+                     topology::build_jellyfish({.switches = 32,
+                                                .network_degree = 10,
+                                                .servers_per_switch = 4,
+                                                .seed = 15})});
+  fabrics.push_back({"xpander d=7 L=4",
+                     topology::build_xpander({.network_degree = 7,
+                                              .lift = 4,
+                                              .servers_per_switch = 4,
+                                              .seed = 15})});
+  fabrics.push_back({"dragonfly a=4 h=2",
+                     topology::build_dragonfly({.routers_per_group = 4,
+                                                .servers_per_router = 4,
+                                                .global_per_router = 2})});
+  fabrics.push_back({"torus 8x8",
+                     topology::build_torus2d({.x = 8, .y = 8, .servers_per_node = 4})});
+
+  const topology::CrewParams human = topology::CrewParams::human_crew(6);
+  const topology::CrewParams robots = topology::CrewParams::robot_fleet(6);
+
+  Table table{{"topology", "bundling", "crew", "work h", "days", "miswires",
+               "rework h", "cost ($)"}};
+  for (const Fabric& f : fabrics) {
+    const double bundling = topology::compute_self_maintainability(f.bp).bundling;
+    for (const auto& [crew_name, crew] :
+         {std::pair{"human x6", human}, std::pair{"robot x6", robots}}) {
+      const topology::DeploymentEstimate est = topology::estimate_deployment(f.bp, crew);
+      table.add_row({f.name, Table::num(bundling, 2), crew_name,
+                     Table::num(est.total_work_hours, 1), Table::num(est.calendar_days, 1),
+                     Table::num(est.expected_miswires, 1), Table::num(est.rework_hours, 1),
+                     Table::num(est.labor_cost_usd, 0)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: for human crews the expander fabrics pay a steep\n"
+               "mis-wiring/rework premium on top of unbundled pulling (every cable a\n"
+               "unique run); robot deployment flattens the error term to near zero\n"
+               "and equalizes cost across topologies — removing the deployability\n"
+               "objection the paper says has kept expanders out of datacenters.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E16 — Probe-based fault localization with robot confirmation.
+//
+// §4: "Fault detection and isolation: Integrating robotics with network
+// monitoring tools and developing algorithms for precise fault localization
+// is another area of interest."
+//
+// Sweeps probe budgets: for each trial a random optical uplink end-face is
+// contaminated into Degraded, tomography ranks suspects from end-to-end
+// probe losses, and a robot confirms suspects by end-face inspection in rank
+// order. Reports top-1 accuracy, median inspections-to-pinpoint, and the
+// confirmation time: minutes of robot inspection vs a technician truck roll
+// per suspect.
+#include <iostream>
+
+#include "bench/common.h"
+#include "robotics/cleaner.h"
+#include "telemetry/localization.h"
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int trials = argc > 1 ? std::atoi(argv[1]) : 40;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
+
+  bench::print_header("E16: fault localization",
+                      "\"algorithms for precise fault localization\" (S4)");
+
+  const topology::Blueprint bp = bench::standard_fabric();
+  sim::RngFactory rngs{seed};
+  sim::RngStream pick = rngs.stream("pick");
+
+  Table table{{"probes", "top-1 acc", "top-3 acc", "found", "median inspections",
+               "robot confirm (min)", "tech confirm (h)"}};
+  robotics::CleaningModel cleaner;
+
+  for (const int probes : {25, 50, 100, 200, 400, 800}) {
+    int top1 = 0, top3 = 0, found = 0;
+    analysis::SampleStats inspections;
+    for (int t = 0; t < trials; ++t) {
+      sim::Simulator sim;
+      net::Network::Config ncfg;
+      ncfg.aoc_max_m = 5.0;
+      ncfg.seed = seed + static_cast<unsigned>(t);
+      net::Network net{bp, ncfg, sim};
+
+      // Contaminate one random cleanable uplink into Degraded.
+      std::vector<net::LinkId> optical;
+      for (const net::Link& l : net.links()) {
+        if (net::is_cleanable(l.medium)) optical.push_back(l.id);
+      }
+      const net::LinkId culprit = optical[pick.index(optical.size())];
+      net.link_mut(culprit).end_a.condition.contamination = 0.45;
+      net.refresh_link(culprit);
+
+      telemetry::FaultLocalizer::Config lcfg;
+      lcfg.false_positive = 0.002;
+      telemetry::FaultLocalizer loc{
+          net, rngs.stream("probe" + std::to_string(probes) + "_" + std::to_string(t)),
+          lcfg};
+      const auto suspects = loc.localize(loc.run_probes(probes));
+      if (!suspects.empty() && suspects[0].link == culprit) ++top1;
+      for (std::size_t i = 0; i < std::min<std::size_t>(3, suspects.size()); ++i) {
+        if (suspects[i].link == culprit) {
+          ++top3;
+          break;
+        }
+      }
+      const int visits = loc.inspections_to_pinpoint(suspects);
+      if (visits > 0) {
+        ++found;
+        inspections.push(visits);
+      }
+    }
+    const double med_inspections = inspections.median();
+    // Robot confirmation: each inspection is an in-place end-face imaging
+    // visit (~inspect_only for 4 cores + short travel). Technician: each
+    // suspect is a dispatch + manual scope inspection (~2 h median).
+    const double robot_minutes =
+        med_inspections * (cleaner.inspect_only(4).to_minutes() + 3.0);
+    const double tech_hours = med_inspections * 2.0;
+    table.add_row({Table::num(probes), Table::num(100.0 * top1 / trials, 1),
+                   Table::num(100.0 * top3 / trials, 1),
+                   Table::num(100.0 * found / trials, 1), Table::num(med_inspections, 1),
+                   Table::num(robot_minutes, 1), Table::num(tech_hours, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: top-1 accuracy climbs with probe budget toward\n"
+               "~90+%, and the median robot confirmation is a handful of minutes of\n"
+               "imaging — versus hours of technician truck rolls to walk the same\n"
+               "suspect list. Localization precision is what §3.2 says reactive\n"
+               "repair lacks (\"hard to pin point the cause of errors\").\n";
+  return 0;
+}

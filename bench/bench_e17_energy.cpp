@@ -1,0 +1,110 @@
+// E17 — Energy efficiency through link parking.
+//
+// §4: "Energy efficiency: The community could also rethink how to enhance
+// energy efficiency through optimized resource management facilitated by
+// robotic systems."
+//
+// A leaf-spine with 3x-redundant uplinks runs 60 days under background
+// faults. The EnergyManager parks surplus parallel members overnight (lasers
+// off) and wakes them at peak or when a live sibling dies. We report energy
+// saved, the emergency-unpark count, and whether capacity availability paid
+// for it — under human-speed and robot-speed repair (parking while repairs
+// take days leans much harder on the remaining member).
+#include <iostream>
+
+#include "bench/common.h"
+#include "core/energy.h"
+#include "net/routing.h"
+
+namespace {
+
+using namespace smn;
+
+struct Row {
+  std::string name;
+  double energy_kwh = 0;
+  double saved_pct = 0;  // of total fabric transceiver energy
+  std::size_t emergency_unparks = 0;
+  double capacity_availability = 0;
+};
+
+Row run(const char* name, core::AutomationLevel level, bool parking, int days,
+        std::uint64_t seed) {
+  const topology::LeafSpineParams params{
+      .leaves = 12, .spines = 4, .servers_per_leaf = 8, .uplinks_per_spine = 3};
+  const topology::Blueprint bp = topology::build_leaf_spine(params);
+  scenario::WorldConfig cfg = bench::standard_world(level, seed);
+  cfg.controller.proactive.enabled = false;
+  cfg.faults.transceiver_afr = 0.15;
+  scenario::World world{bp, cfg};
+
+  core::EnergyManager::Config ecfg;
+  ecfg.enabled = parking;
+  core::EnergyManager energy{world.network(), ecfg};
+  energy.start();
+
+  // Capacity SLO sampling: every leaf reaches every spine on >= 1 live link.
+  const auto leaves = world.network().devices_with_role(topology::NodeRole::kTorSwitch);
+  const auto spines = world.network().devices_with_role(topology::NodeRole::kSpineSwitch);
+  std::size_t samples = 0, good = 0;
+  world.simulator().schedule_every(sim::Duration::minutes(30), [&] {
+    for (const net::DeviceId leaf : leaves) {
+      bool full = true;
+      for (const net::DeviceId spine : spines) {
+        if (net::live_parallel_links(world.network(), leaf, spine) < 1) {
+          full = false;
+          break;
+        }
+      }
+      ++samples;
+      if (full) ++good;
+    }
+  });
+  world.run_for(sim::Duration::days(days));
+
+  Row r;
+  r.name = name;
+  r.energy_kwh = energy.energy_saved_kwh();
+  const double fabric_links = params.leaves * params.spines * params.uplinks_per_spine;
+  const double total_kwh = fabric_links * 24.0 /*W*/ * days * 24.0 / 1000.0;
+  r.saved_pct = 100.0 * r.energy_kwh / total_kwh;
+  r.emergency_unparks = energy.emergency_unparks();
+  r.capacity_availability =
+      samples == 0 ? 1.0 : static_cast<double>(good) / static_cast<double>(samples);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 17;
+
+  bench::print_header("E17: energy via link parking",
+                      "\"enhance energy efficiency through optimized resource management "
+                      "facilitated by robotic systems\" (S4)");
+
+  Table table{{"configuration", "fabric energy saved", "saved kWh", "emergency unparks",
+               "capacity availability"}};
+  const Row rows[] = {
+      run("L0, no parking", core::AutomationLevel::kL0_Manual, false, days, seed),
+      run("L0 + parking", core::AutomationLevel::kL0_Manual, true, days, seed),
+      run("L3, no parking", core::AutomationLevel::kL3_HighAutomation, false, days, seed),
+      run("L3 + parking", core::AutomationLevel::kL3_HighAutomation, true, days, seed),
+  };
+  for (const Row& r : rows) {
+    table.add_row({r.name, analysis::Table::num(r.saved_pct, 1) + "%",
+                   Table::num(r.energy_kwh, 0), Table::num(r.emergency_unparks),
+                   Table::num(r.capacity_availability, 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: parking de-energizes roughly the overnight share of\n"
+               "the redundant fabric (~20-30% of transceiver energy) at negligible\n"
+               "capacity cost when repair is robot-fast; under human-speed repair the\n"
+               "same policy leans on lone surviving members for days at a time, so\n"
+               "emergency unparks carry real risk — energy savings are another\n"
+               "dividend of a fast repair loop.\n";
+  return 0;
+}

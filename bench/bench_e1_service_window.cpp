@@ -1,0 +1,119 @@
+// E1 — Service window by automation level.
+//
+// §2: "the significant reduction of the service window for failures,
+// potentially shrinking the duration from hours and days to literally
+// minutes." Runs the standard hall for 60 days under each automation level
+// and reports the open->resolved distribution of genuine reactive tickets,
+// plus the CDF series (the "figure" form of the same data).
+#include <iostream>
+
+#include "bench/common.h"
+#include "fault/trace.h"
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  bench::print_header("E1: time-to-repair by automation level",
+                      "\"shrinking the duration from hours and days to literally minutes\" (S2)");
+
+  Table table{{"level", "tickets", "mean (h)", "median (h)", "p95 (h)", "p99 (h)",
+               "min (h)", "robot%", "cancelled"}};
+  std::vector<std::pair<std::string, analysis::SampleStats>> cdfs;
+
+  for (const core::AutomationLevel level : bench::kAllLevels) {
+    const topology::Blueprint bp = bench::standard_fabric();
+    scenario::World world{bp, bench::standard_world(level, seed)};
+    world.run_for(sim::Duration::days(days));
+
+    const bench::TicketSummary s = bench::summarize_tickets(world.tickets());
+    const std::size_t total_jobs =
+        world.controller().robot_jobs() + world.controller().technician_jobs();
+    const double robot_pct =
+        total_jobs == 0 ? 0.0
+                        : 100.0 * static_cast<double>(world.controller().robot_jobs()) /
+                              static_cast<double>(total_jobs);
+    table.add_row({core::to_string(level), Table::num(s.resolve_hours.count()),
+                   Table::num(s.resolve_hours.mean()), Table::num(s.resolve_hours.median()),
+                   Table::num(s.resolve_hours.percentile(95)),
+                   Table::num(s.resolve_hours.percentile(99)),
+                   Table::num(s.resolve_hours.min(), 3), Table::num(robot_pct, 1),
+                   Table::num(s.cancelled)});
+    cdfs.emplace_back(core::to_string(level), s.resolve_hours);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nCDF series (fraction of tickets resolved within T hours):\n";
+  Table cdf{{"level", "<5min", "<30min", "<1h", "<4h", "<12h", "<24h", "<72h"}};
+  const double cuts[] = {5.0 / 60, 0.5, 1, 4, 12, 24, 72};
+  for (const auto& [name, stats] : cdfs) {
+    std::vector<std::string> row{name};
+    for (const double cut : cuts) {
+      int within = 0;
+      for (const double h : stats.samples()) {
+        if (h <= cut) ++within;
+      }
+      row.push_back(Table::num(
+          stats.count() == 0 ? 0.0
+                             : static_cast<double>(within) / static_cast<double>(stats.count()),
+          3));
+    }
+    cdf.add_row(std::move(row));
+  }
+  cdf.print(std::cout);
+
+  // --- Trace-driven differential: every level sees the *identical* fault
+  // workload, recorded once from a passive (never-repaired) world. This
+  // removes the divergence that same-seed comparisons accumulate after the
+  // first repair changes downstream hazards.
+  fault::FaultTrace trace;
+  {
+    scenario::WorldConfig passive =
+        bench::standard_world(core::AutomationLevel::kL0_Manual, seed);
+    passive.technicians.technicians = 0;  // nobody repairs anything
+    const topology::Blueprint bp = bench::standard_fabric();
+    scenario::World world{bp, passive};
+    trace.attach(world.injector());
+    world.run_for(sim::Duration::days(days));
+  }
+  std::cout << "\ntrace-driven (identical workload of " << trace.size()
+            << " recorded faults):\n";
+  Table traced{{"level", "tickets", "mean (h)", "median (h)", "p95 (h)", "resolved%"}};
+  for (const core::AutomationLevel level : bench::kAllLevels) {
+    scenario::WorldConfig cfg = bench::standard_world(level, seed);
+    // Exogenous-workload mode: stochastic fault processes off.
+    cfg.faults.transceiver_afr = 0;
+    cfg.faults.cable_afr = 0;
+    cfg.faults.switch_afr = 0;
+    cfg.faults.server_nic_afr = 0;
+    cfg.faults.gray_rate_per_year = 0;
+    cfg.contamination.mean_accumulation_per_day = 0;
+    cfg.detection.false_positive_per_year = 0;
+    const topology::Blueprint bp = bench::standard_fabric();
+    scenario::World world{bp, cfg};
+    world.start();
+    fault::TraceReplayer replayer{world.network(), world.injector()};
+    replayer.schedule(trace);
+    world.run_for(sim::Duration::days(days));
+
+    const bench::TicketSummary s = bench::summarize_tickets(world.tickets());
+    const std::size_t total = s.resolved + s.cancelled;
+    traced.add_row({core::to_string(level), Table::num(s.resolve_hours.count()),
+                    Table::num(s.resolve_hours.mean()),
+                    Table::num(s.resolve_hours.median()),
+                    Table::num(s.resolve_hours.percentile(95)),
+                    Table::num(total == 0 ? 0.0
+                                          : 100.0 * static_cast<double>(s.resolved) /
+                                                static_cast<double>(total),
+                               1)});
+  }
+  traced.print(std::cout);
+
+  std::cout << "\nexpected shape: L0/L1 medians in the many-hours range (dispatch\n"
+               "latency dominates), L2 gated by supervision, L3/L4 medians in\n"
+               "minutes — a 10-100x service-window reduction. The trace-driven table\n"
+               "shows the same ordering on a fault-for-fault identical workload.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// E2 — Availability and reliability by automation level.
+//
+// §2: "This will enhance datacenter reliability, availability, and
+// efficiency." Same workload as E1; reports fleet availability (and nines),
+// impaired time, downtime link-hours, and open-ticket backlog.
+#include <iostream>
+
+#include "bench/common.h"
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2;
+
+  bench::print_header("E2: availability by automation level",
+                      "\"enhance datacenter reliability, availability, and efficiency\" (S2)");
+
+  Table table{{"level", "availability", "nines", "impaired%", "down lh", "planned lh",
+               "impaired lh", "backlog", "faults"}};
+  for (const core::AutomationLevel level : bench::kAllLevels) {
+    const topology::Blueprint bp = bench::standard_fabric();
+    scenario::World world{bp, bench::standard_world(level, seed)};
+    world.run_for(sim::Duration::days(days));
+
+    const auto& avail = world.availability();
+    const std::size_t backlog =
+        world.tickets().count(maintenance::TicketState::kOpen) +
+        world.tickets().count(maintenance::TicketState::kDispatched) +
+        world.tickets().count(maintenance::TicketState::kInProgress);
+    table.add_row({core::to_string(level), Table::num(avail.fleet_availability(), 6),
+                   Table::num(analysis::AvailabilityTracker::nines(avail.fleet_availability()), 2),
+                   Table::num(100.0 * avail.fleet_impairment(), 3),
+                   Table::num(avail.downtime_link_hours(), 1),
+                   Table::num(avail.planned_maintenance_link_hours(), 1),
+                   Table::num(avail.impaired_link_hours(), 1), Table::num(backlog),
+                   Table::num(world.injector().log().size())});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: impaired time collapses (~25x) as soon as robots\n"
+               "repair in minutes (L2+); unplanned downtime and nines peak at L3/L4,\n"
+               "where transient verification also stops the controller from rolling\n"
+               "(and occasionally botching) hardware for episodes that self-clear.\n"
+               "Planned link-hours (deliberate drains around maintenance, mostly in\n"
+               "low-utilization windows) are the price of cascade protection and are\n"
+               "accounted separately from failures.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// E3 — Cascading failures during repair: human hands vs robot grippers, and
+// the impact-aware scheduling ablation.
+//
+// §1: "Cascading failures occur when physical motion near or with hardware
+// creates vibrations and other physical effects on the co-located hardware."
+// §2: "Tight coupling and control will help minimize repair amplification
+// caused by cascading failures."
+//
+// A burst of faults lands on the densest switches; each world repairs them.
+// We count induced collateral faults (and the permanent ones) per 100
+// completed repairs, with and without the controller's drain-the-contacts
+// scheduling.
+#include <iostream>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace smn;
+
+struct Row {
+  std::string name;
+  std::size_t repairs = 0;
+  std::size_t induced = 0;
+  std::size_t induced_permanent = 0;
+  std::size_t drains = 0;
+  std::size_t refusals = 0;
+};
+
+Row run(const char* name, core::AutomationLevel level, bool impact_aware, int days,
+        std::uint64_t seed) {
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg = bench::standard_world(level, seed);
+  cfg.controller.impact_aware = impact_aware;
+  cfg.controller.proactive.enabled = false;  // isolate reactive repair cascades
+  // Dense burst: elevated oxidation makes many links gray-fail early, pulling
+  // maintenance hands onto crowded faceplates.
+  cfg.faults.oxidation_rate_per_year = 1.2;
+  cfg.faults.transceiver_afr = 0.10;
+  scenario::World world{bp, cfg};
+  world.run_for(sim::Duration::days(days));
+
+  Row r;
+  r.name = name;
+  r.repairs = world.technicians().completed() +
+              (world.has_fleet() ? world.fleet().completed() : 0);
+  r.induced = world.cascade().induced_count();
+  r.induced_permanent = world.cascade().induced_permanent_count();
+  r.drains = world.controller().migrator().drains();
+  r.refusals = world.controller().migrator().refusals();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+
+  bench::print_header("E3: repair-induced cascades",
+                      "\"minimize repair amplification caused by cascading failures\" (S2)");
+
+  const Row rows[] = {
+      run("L0 human hands", core::AutomationLevel::kL0_Manual, false, days, seed),
+      run("L3 robot, naive schedule", core::AutomationLevel::kL3_HighAutomation, false,
+          days, seed),
+      run("L3 robot, impact-aware", core::AutomationLevel::kL3_HighAutomation, true, days,
+          seed),
+  };
+
+  Table table{{"configuration", "repairs", "induced", "per 100 repairs", "permanent",
+               "drains", "refusals"}};
+  for (const Row& r : rows) {
+    const double per100 =
+        r.repairs == 0 ? 0.0
+                       : 100.0 * static_cast<double>(r.induced) / static_cast<double>(r.repairs);
+    table.add_row({r.name, Table::num(r.repairs), Table::num(r.induced),
+                   Table::num(per100, 1), Table::num(r.induced_permanent),
+                   Table::num(r.drains), Table::num(r.refusals)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: human hands (magnitude 1.0) induce several times the\n"
+               "collateral of the small gripper (0.25); impact-aware draining shifts\n"
+               "remaining hits onto links that carry no traffic.\n";
+  return 0;
+}

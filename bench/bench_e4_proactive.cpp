@@ -1,0 +1,109 @@
+// E4 — Proactive maintenance policies.
+//
+// §4: "if several links on a switch have been fixed by reseating
+// transceivers, the system could proactively reseat all transceivers on that
+// switch, even if no issues have been reported. We believe this proactive
+// maintenance could enhance reliability and availability while reducing
+// operational costs."
+//
+// Compares reactive-only, the switch-wide-reseat heuristic, and an aggressive
+// variant, on the same contamination/oxidation-heavy 90-day workload.
+#include <iostream>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace smn;
+
+struct Row {
+  std::string name;
+  std::size_t gray = 0;
+  std::size_t reactive_tickets = 0;
+  std::size_t proactive_actions = 0;
+  double impaired_lh = 0;
+  double availability = 0;
+  double robot_hours = 0;
+};
+
+Row run_one(const char* name, bool proactive, int trigger, int days, std::uint64_t seed) {
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg =
+      bench::standard_world(core::AutomationLevel::kL3_HighAutomation, seed);
+  cfg.controller.proactive.enabled = proactive;
+  cfg.controller.proactive.switch_reseat_trigger = trigger;
+  cfg.controller.proactive.scan_interval = sim::Duration::hours(2);
+  // Oxidation-heavy plant: gray episodes are frequent, long enough to
+  // survive transient verification, and reseat-fixable — the exact regime
+  // the paper's switch-wide heuristic targets.
+  cfg.faults.oxidation_rate_per_year = 1.5;
+  cfg.faults.gray_rate_per_year = 3.0;
+  cfg.faults.gray_duration_log_mean = std::log(90.0 * 60.0);  // median 90 min
+  cfg.contamination.mean_accumulation_per_day = 0.008;
+  scenario::World world{bp, cfg};
+  world.run_for(sim::Duration::days(days));
+
+  Row r;
+  r.name = name;
+  r.gray = world.injector().count(fault::FaultKind::kGrayEpisode);
+  const bench::TicketSummary s = bench::summarize_tickets(world.tickets());
+  r.reactive_tickets = s.resolved + s.cancelled;
+  r.proactive_actions = world.controller().proactive_actions();
+  r.impaired_lh = world.availability().impaired_link_hours();
+  r.availability = world.availability().fleet_availability();
+  r.robot_hours = world.fleet().busy_hours();
+  return r;
+}
+
+/// Mean over several seeds: individual 90-day runs carry sampling noise of
+/// the same order as the proactive effect.
+Row run(const char* name, bool proactive, int trigger, int days, std::uint64_t seed) {
+  constexpr int kSeeds = 5;
+  Row mean;
+  mean.name = name;
+  for (int i = 0; i < kSeeds; ++i) {
+    const Row r = run_one(name, proactive, trigger, days, seed + static_cast<unsigned>(i));
+    mean.gray += r.gray;
+    mean.reactive_tickets += r.reactive_tickets;
+    mean.proactive_actions += r.proactive_actions;
+    mean.impaired_lh += r.impaired_lh / kSeeds;
+    mean.availability += r.availability / kSeeds;
+    mean.robot_hours += r.robot_hours / kSeeds;
+  }
+  mean.gray /= kSeeds;
+  mean.reactive_tickets /= kSeeds;
+  mean.proactive_actions /= kSeeds;
+  return mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 90;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+
+  bench::print_header("E4: proactive maintenance",
+                      "\"proactively reseat all transceivers on that switch\" (S4)");
+
+  const Row rows[] = {
+      run("reactive only", false, 3, days, seed),
+      run("switch-wide, trigger=3", true, 3, days, seed),
+      run("switch-wide, trigger=2", true, 2, days, seed),
+  };
+  Table table{{"policy", "gray episodes", "reactive tickets", "proactive acts",
+               "impaired lh", "availability", "robot h"}};
+  for (const Row& r : rows) {
+    table.add_row({r.name, Table::num(r.gray), Table::num(r.reactive_tickets),
+                   Table::num(r.proactive_actions), Table::num(r.impaired_lh, 1),
+                   Table::num(r.availability, 6), Table::num(r.robot_hours, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: proactive reseating cuts gray episodes, reactive\n"
+               "tickets, and impaired link-hours, paid for with otherwise-idle robot\n"
+               "hours and a small hard-downtime tax from the extra physical handling\n"
+               "(botched actions and touch collateral) — the paper's cost-benefit\n"
+               "equation for proactive maintenance, now with numbers attached.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// E5 — Right-provisioning: redundancy needed vs repair speed.
+//
+// §2: "there is real potential for right-provisioning redundant hardware
+// components, thus reducing the need for excessive overprovisioned online
+// redundancy due to greater control over the window of vulnerability during
+// hardware failures."
+//
+// Sweeps the number of parallel leaf->spine uplinks (the overprovisioning
+// knob) against human-speed vs robot-speed repair, measuring how often a
+// leaf keeps its required fabric capacity (>= one live uplink per spine),
+// and prices each configuration with the cost model.
+#include <iostream>
+
+#include "analysis/cost.h"
+#include "bench/common.h"
+#include "net/routing.h"
+
+namespace {
+
+using namespace smn;
+
+struct Row {
+  int uplinks;
+  std::string level;
+  double capacity_availability = 0;  // fraction of leaf-samples at full service
+  double cost_usd = 0;
+};
+
+Row run(int uplinks, core::AutomationLevel level, int days, std::uint64_t seed) {
+  const topology::LeafSpineParams params{.leaves = 12,
+                                         .spines = 4,
+                                         .servers_per_leaf = 8,
+                                         .uplinks_per_spine = uplinks};
+  const topology::Blueprint bp = topology::build_leaf_spine(params);
+  scenario::WorldConfig cfg = bench::standard_world(level, seed);
+  cfg.controller.proactive.enabled = false;
+  // Fault pressure high enough that several uplinks die during the run —
+  // the regime in which redundancy-vs-MTTR trades exist at all.
+  cfg.faults.transceiver_afr = 0.20;
+  cfg.faults.cable_afr = 0.03;
+  scenario::World world{bp, cfg};
+
+  // Sample every 30 minutes: a leaf is at full service when every spine is
+  // reachable over at least one live parallel uplink.
+  std::size_t samples = 0, good = 0;
+  const auto leaves = world.network().devices_with_role(topology::NodeRole::kTorSwitch);
+  const auto spines = world.network().devices_with_role(topology::NodeRole::kSpineSwitch);
+  world.simulator().schedule_every(sim::Duration::minutes(30), [&] {
+    for (const net::DeviceId leaf : leaves) {
+      bool full = true;
+      for (const net::DeviceId spine : spines) {
+        if (net::live_parallel_links(world.network(), leaf, spine) < 1) {
+          full = false;
+          break;
+        }
+      }
+      ++samples;
+      if (full) ++good;
+    }
+  });
+  world.run_for(sim::Duration::days(days));
+
+  Row r;
+  r.uplinks = uplinks;
+  r.level = core::to_string(level);
+  r.capacity_availability =
+      samples == 0 ? 1.0 : static_cast<double>(good) / static_cast<double>(samples);
+
+  analysis::CostInputs in;
+  in.technician_hours = world.technicians().labor_hours();
+  in.robot_busy_hours = world.has_fleet() ? world.fleet().busy_hours() : 0.0;
+  in.robot_units = world.has_fleet() ? world.fleet().units_online() : 0;
+  in.elapsed_years = days / 365.0;
+  in.downtime_link_hours = world.availability().downtime_link_hours();
+  in.impaired_link_hours = world.availability().impaired_link_hours();
+  in.transceivers_replaced =
+      world.technicians().completed_of(maintenance::RepairActionKind::kReplaceTransceiver) +
+      (world.has_fleet()
+           ? world.fleet().completed_of(maintenance::RepairActionKind::kReplaceTransceiver)
+           : 0);
+  in.cables_replaced =
+      world.technicians().completed_of(maintenance::RepairActionKind::kReplaceCable);
+  in.overprovisioned_links = params.leaves * params.spines * (uplinks - 1);
+  r.cost_usd = analysis::compute_cost(analysis::CostConfig{}, in).total_usd;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 60;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 5;
+
+  bench::print_header("E5: right-provisioning",
+                      "\"reducing the need for excessive overprovisioned online redundancy\" (S2)");
+
+  Table table{{"uplinks/spine", "level", "capacity availability", "nines", "60d cost ($)"}};
+  for (const int uplinks : {1, 2, 3}) {
+    for (const core::AutomationLevel level :
+         {core::AutomationLevel::kL0_Manual, core::AutomationLevel::kL3_HighAutomation}) {
+      const Row r = run(uplinks, level, days, seed);
+      table.add_row({Table::num(r.uplinks), r.level,
+                     Table::num(r.capacity_availability, 6),
+                     Table::num(analysis::AvailabilityTracker::nines(r.capacity_availability), 2),
+                     Table::num(r.cost_usd, 0)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nexpected shape: at human repair speed you buy availability with\n"
+               "redundant uplinks; at robot repair speed 1 uplink/spine already meets\n"
+               "the target the human world needs 2-3 for — the right-provisioning\n"
+               "crossover the paper predicts.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// E6 — The repair escalation ladder: per-rung resolution shares, repeat
+// tickets, and the skip-the-ladder ablation.
+//
+// §3.2: "the usual first step is to reseat the transceiver. This repair
+// process is surprisingly effective"; then cleaning on a repeat ticket, then
+// replacement. The ladder exists because most soft failures are cheap to fix;
+// the ablation replaces modules immediately and pays for it in parts.
+#include <iostream>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace smn;
+using maintenance::RepairActionKind;
+
+struct Row {
+  std::string name;
+  std::size_t actions[maintenance::kRepairActionKinds] = {};
+  std::size_t resolved = 0;
+  std::size_t repeats = 0;
+  double parts_usd = 0;
+};
+
+Row run(const char* name, bool ladder, int days, std::uint64_t seed) {
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg =
+      bench::standard_world(core::AutomationLevel::kL3_HighAutomation, seed);
+  cfg.controller.escalation.ladder_enabled = ladder;
+  cfg.controller.proactive.enabled = false;
+  cfg.fleet.spares_per_form_factor = 64;  // ablation must not stall on spares
+  scenario::World world{bp, cfg};
+  world.run_for(sim::Duration::days(days));
+
+  Row r;
+  r.name = name;
+  for (int k = 0; k < maintenance::kRepairActionKinds; ++k) {
+    const auto kind = static_cast<RepairActionKind>(k);
+    r.actions[k] = world.technicians().completed_of(kind) + world.fleet().completed_of(kind);
+  }
+  const bench::TicketSummary s = bench::summarize_tickets(world.tickets());
+  r.resolved = s.resolved;
+  r.repeats = s.repeats;
+  r.parts_usd = 600.0 * static_cast<double>(r.actions[3]) +
+                300.0 * static_cast<double>(r.actions[4]) +
+                2500.0 * static_cast<double>(r.actions[5]) +   // line cards
+                18000.0 * static_cast<double>(r.actions[6]);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 90;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 6;
+
+  bench::print_header("E6: escalation ladder",
+                      "\"the usual first step is to reseat the transceiver\" (S3.2)");
+
+  const Row with = run("ladder (reseat->clean->replace)", true, days, seed);
+  const Row without = run("ablation: replace immediately", false, days, seed);
+
+  Table table{{"configuration", "reseat", "clean", "replace-xcvr", "replace-cable",
+               "replace-card", "replace-dev", "resolved", "repeats", "parts ($)"}};
+  for (const Row& r : {with, without}) {
+    table.add_row({r.name, Table::num(r.actions[0]), Table::num(r.actions[2]),
+                   Table::num(r.actions[3]), Table::num(r.actions[4]),
+                   Table::num(r.actions[5]), Table::num(r.actions[6]),
+                   Table::num(r.resolved), Table::num(r.repeats),
+                   Table::num(r.parts_usd, 0)});
+  }
+  table.print(std::cout);
+
+  // Per-rung share for the ladder run — "how effective is reseating?"
+  const double total =
+      static_cast<double>(with.actions[0] + with.actions[2] + with.actions[3] +
+                          with.actions[4] + with.actions[5] + with.actions[6]);
+  if (total > 0) {
+    std::cout << "\nladder action mix: reseat "
+              << analysis::Table::num(100.0 * with.actions[0] / total, 1) << "%, clean "
+              << analysis::Table::num(100.0 * with.actions[2] / total, 1)
+              << "%, replace-xcvr "
+              << analysis::Table::num(100.0 * with.actions[3] / total, 1)
+              << "%, cable/device "
+              << analysis::Table::num(
+                     100.0 * (with.actions[4] + with.actions[5] + with.actions[6]) / total,
+                     1)
+              << "%\n";
+  }
+  std::cout << "\nexpected shape: with the ladder, reseats dominate the action mix and\n"
+               "parts spend is small; the ablation burns transceivers (and dollars)\n"
+               "on failures a reseat would have fixed. Repeat tickets exist in both —\n"
+               "contamination that a reseat cannot fix comes back until cleaned.\n";
+  return 0;
+}

@@ -1,0 +1,139 @@
+// E8 — Predictive maintenance with machine learning on operational telemetry.
+//
+// §4: "This also creates new opportunities to use machine learning
+// techniques to predict failures and detect related network behavior
+// patterns, potentially leveraging data collected by robotic systems."
+//
+// Phase 1 generates a labelled dataset from a live simulation (feature
+// snapshots per link; label = genuine failure ticket within the next 7
+// days), trains the logistic predictor on the chronologically earlier 70%,
+// and reports the precision/recall curve on the rest. Phase 2 deploys the
+// trained model in a fresh world (predictor-driven proactive cleaning) and
+// compares against reactive-only.
+#include <iostream>
+#include <vector>
+
+#include "bench/common.h"
+#include "telemetry/predictor.h"
+
+namespace {
+
+using namespace smn;
+
+struct Snapshot {
+  sim::TimePoint at;
+  net::LinkId link;
+  telemetry::FeatureVector features;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 150;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 8;
+  const sim::Duration horizon = sim::Duration::days(7);
+
+  bench::print_header("E8: predictive maintenance",
+                      "\"machine learning techniques to predict failures\" (S4)");
+
+  // ---- Phase 1: generate the dataset ----
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg =
+      bench::standard_world(core::AutomationLevel::kL3_HighAutomation, seed);
+  cfg.controller.proactive.enabled = false;  // observe the natural failure process
+  cfg.faults.oxidation_rate_per_year = 0.6;
+  cfg.contamination.mean_accumulation_per_day = 0.01;
+  scenario::World world{bp, cfg};
+
+  std::vector<Snapshot> snapshots;
+  world.simulator().schedule_every(sim::Duration::days(1), [&] {
+    for (const net::Link& l : world.network().links()) {
+      snapshots.push_back(
+          {world.now(), l.id, world.controller().features_for(l.id)});
+    }
+  });
+  world.run_for(sim::Duration::days(days));
+
+  // Label: a genuine, reactive ticket opened on that link within the horizon.
+  auto failed_within = [&](net::LinkId link, sim::TimePoint at) {
+    for (const maintenance::Ticket& t : world.tickets().all()) {
+      if (t.link == link && t.genuine && !t.proactive && t.opened > at &&
+          t.opened - at <= horizon) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<telemetry::TrainingExample> train_set, test_set;
+  const sim::TimePoint split =
+      sim::TimePoint::origin() + sim::Duration::days(days * 7 / 10);
+  std::size_t positives = 0;
+  for (const Snapshot& s : snapshots) {
+    if (world.now() - s.at < horizon) continue;  // label window incomplete
+    telemetry::TrainingExample ex{s.features, failed_within(s.link, s.at)};
+    if (ex.failed_within_horizon) ++positives;
+    (s.at <= split ? train_set : test_set).push_back(ex);
+  }
+  std::printf("dataset: %zu train / %zu test examples, %zu positive (%.1f%%)\n\n",
+              train_set.size(), test_set.size(), positives,
+              100.0 * static_cast<double>(positives) /
+                  static_cast<double>(train_set.size() + test_set.size()));
+
+  sim::RngFactory rngs{seed};
+  sim::RngStream train_rng = rngs.stream("train");
+  telemetry::LogisticPredictor model;
+  model.train(train_set, train_rng);
+
+  Table curve{{"threshold", "precision", "recall", "F1", "flagged", "true-pos"}};
+  for (const double thr : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}) {
+    const telemetry::EvaluationResult r = model.evaluate(test_set, thr);
+    curve.add_row({Table::num(thr, 1), Table::num(r.precision), Table::num(r.recall),
+                   Table::num(r.f1), Table::num(r.predicted_positive),
+                   Table::num(r.true_positive)});
+  }
+  std::cout << "precision/recall vs threshold (held-out tail of the trace):\n";
+  curve.print(std::cout);
+
+  // ---- Phase 2: deploy predict-and-act ----
+  auto deploy = [&](bool use_predictor) {
+    scenario::WorldConfig dcfg =
+        bench::standard_world(core::AutomationLevel::kL3_HighAutomation, seed + 1);
+    dcfg.controller.proactive.enabled = use_predictor;
+    dcfg.controller.proactive.switch_wide_reseat = false;  // isolate the predictor
+    dcfg.controller.proactive.use_predictor = use_predictor;
+    dcfg.controller.proactive.predictor_threshold = 0.30;
+    dcfg.controller.proactive.scan_interval = sim::Duration::hours(3);
+    dcfg.controller.proactive.per_link_cooldown = sim::Duration::days(10);
+    dcfg.faults.oxidation_rate_per_year = 0.6;
+    dcfg.contamination.mean_accumulation_per_day = 0.01;
+    scenario::World w{bp, dcfg};
+    if (use_predictor) w.controller().set_predictor(&model);
+    // Long enough that links accumulate the history the features are built
+    // from — a fresh plant gives the predictor nothing to score.
+    w.run_for(sim::Duration::days(150));
+    return std::tuple{w.availability().fleet_availability(),
+                      w.availability().impaired_link_hours(),
+                      bench::summarize_tickets(w.tickets()).resolved,
+                      w.controller().proactive_actions()};
+  };
+  const auto [av_r, imp_r, tick_r, pro_r] = deploy(false);
+  const auto [av_p, imp_p, tick_p, pro_p] = deploy(true);
+
+  Table dep{{"policy", "availability", "impaired lh", "reactive tickets",
+             "proactive acts"}};
+  dep.add_row({"reactive only", Table::num(av_r, 6), Table::num(imp_r, 1),
+               Table::num(tick_r), Table::num(pro_r)});
+  dep.add_row({"predict-and-act @0.30", Table::num(av_p, 6), Table::num(imp_p, 1),
+               Table::num(tick_p), Table::num(pro_p)});
+  std::cout << "\n150-day deployment:\n";
+  dep.print(std::cout);
+  std::cout << "\nexpected shape: operational telemetry gives a precision lift of\n"
+               "2-4x over the base failure rate at useful recall (failure processes\n"
+               "are genuinely stochastic, so perfect prediction is impossible by\n"
+               "construction); acting on predictions buys back a modest slice of\n"
+               "impaired time for a small number of targeted robot actions.\n";
+  return 0;
+}

@@ -1,0 +1,171 @@
+// E9 — Robot task timing (the paper's §3.3.2 calibration points) and fleet
+// sizing: repair throughput vs roster size and mobility scope.
+//
+// §3.3.2: "the end-face inspection for 8 cores takes less than 30 seconds
+// which is less time than a well-trained human"; "This entire operation
+// currently takes a few minutes".
+// §3.4: robots deploy "at the granularity of a hall or row of racks".
+#include <iostream>
+
+#include "analysis/spares.h"
+#include "bench/common.h"
+#include "robotics/cleaner.h"
+#include "robotics/manipulator.h"
+
+namespace {
+
+using namespace smn;
+using maintenance::RepairActionKind;
+
+struct FleetRow {
+  std::string roster;
+  std::size_t completed = 0;
+  std::size_t burst_jobs = 0;
+  double makespan_minutes = 0;
+  double mean_minutes = 0;
+  double p95_minutes = 0;
+  std::size_t escalations = 0;
+};
+
+/// Burst scenario: a power event unseats every transceiver on three switches
+/// at once; the roster drains the backlog. Makespan exposes roster
+/// parallelism and travel costs.
+FleetRow run_roster(const char* name, robotics::RobotFleet::Config fleet_cfg,
+                    std::uint64_t seed) {
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg =
+      bench::standard_world(core::AutomationLevel::kL3_HighAutomation, seed);
+  cfg.controller.proactive.enabled = false;
+  cfg.controller.impact_aware = false;  // pure fleet-capacity measurement
+  // Quiet background: only the burst.
+  cfg.faults.transceiver_afr = 0;
+  cfg.faults.cable_afr = 0;
+  cfg.faults.switch_afr = 0;
+  cfg.faults.server_nic_afr = 0;
+  cfg.faults.gray_rate_per_year = 0;
+  cfg.contamination.mean_accumulation_per_day = 0;
+  cfg.detection.false_positive_per_year = 0;
+  cfg.fleet = std::move(fleet_cfg);
+  cfg.fleet.failure_per_job = 0.0;
+  scenario::World world{bp, cfg};
+  world.start();
+  world.run_for(sim::Duration::hours(1));
+
+  std::size_t burst = 0;
+  const auto tors = world.network().devices_with_role(topology::NodeRole::kTorSwitch);
+  const auto spines = world.network().devices_with_role(topology::NodeRole::kSpineSwitch);
+  for (const net::DeviceId dev : {tors[0], tors[6], spines[0]}) {
+    for (const net::LinkId lid : world.network().links_at(dev)) {
+      net::Link& l = world.network().link_mut(lid);
+      net::EndCondition& end =
+          l.end_a.device == dev ? l.end_a.condition : l.end_b.condition;
+      if (!end.transceiver_seated) continue;  // spine/leaf overlap link
+      end.transceiver_seated = false;
+      world.network().refresh_link(lid);
+      ++burst;
+    }
+  }
+  const sim::TimePoint burst_at = world.now();
+  const sim::Duration step = sim::Duration::minutes(5);
+  while (world.network().count_links(net::LinkState::kDown) > 0 &&
+         world.now() - burst_at < sim::Duration::days(3)) {
+    world.run_for(step);
+  }
+
+  FleetRow r;
+  r.roster = name;
+  r.completed = world.fleet().completed();
+  r.burst_jobs = burst;
+  r.makespan_minutes = (world.now() - burst_at).to_minutes();
+  const bench::TicketSummary s = bench::summarize_tickets(world.tickets());
+  r.mean_minutes = s.resolve_hours.mean() * 60.0;
+  r.p95_minutes = s.resolve_hours.percentile(95) * 60.0;
+  r.escalations = world.fleet().escalations();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 45;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 9;
+
+  bench::print_header("E9: robot task timing and fleet sizing",
+                      "\"inspection for 8 cores takes less than 30 seconds\" (S3.3.2)");
+
+  // Part 1: task-time microbenches against the paper's stated numbers.
+  sim::RngFactory rngs{seed};
+  sim::RngStream rng = rngs.stream("micro");
+  robotics::ManipulatorModel arm;
+  robotics::CleaningModel cleaner;
+
+  analysis::SampleStats reseat_s, clean8_s, inspect8_s;
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = arm.reseat(rng, net::TransceiverModel{}, 4);
+    if (a.success) reseat_s.push(a.duration.to_seconds());
+    const auto c = cleaner.clean_sequence(rng, 8);
+    if (c.verified) clean8_s.push(c.duration.to_seconds());
+    inspect8_s.push(cleaner.profile().per_core_inspect_s * 8);
+  }
+  Table micro{{"task", "paper says", "mean (s)", "p95 (s)"}};
+  micro.add_row({"8-core end-face inspection", "< 30 s", Table::num(inspect8_s.mean(), 1),
+                 Table::num(inspect8_s.percentile(95), 1)});
+  micro.add_row({"reseat (vision+grasp+swap)", "a few minutes (whole op)",
+                 Table::num(reseat_s.mean(), 1), Table::num(reseat_s.percentile(95), 1)});
+  micro.add_row({"full clean cycle, 8 cores", "a few minutes",
+                 Table::num(clean8_s.mean(), 1), Table::num(clean8_s.percentile(95), 1)});
+  std::cout << "robot task times:\n";
+  micro.print(std::cout);
+
+  // Part 2: fleet sizing. Rosters from minimal to generous.
+  const topology::Blueprint bp = bench::standard_fabric();
+  auto rover_only = [&](int rovers) {
+    robotics::RobotFleet::Config cfg;
+    for (int i = 0; i < rovers; ++i) {
+      cfg.units.push_back({"rover-" + std::to_string(i), robotics::MobilityScope::kHall,
+                           topology::RackLocation{0, 0, 0, 0}, 0.5});
+    }
+    return cfg;
+  };
+
+  Table sizing{{"roster", "burst jobs", "makespan (min)", "mean ticket (min)",
+                "p95 (min)", "escalations"}};
+  for (const auto& [name, cfg] :
+       std::vector<std::pair<const char*, robotics::RobotFleet::Config>>{
+           {"1 hall rover", rover_only(1)},
+           {"2 hall rovers", rover_only(2)},
+           {"4 hall rovers", rover_only(4)},
+           {"row gantries (default)", robotics::RobotFleet::row_coverage(bp, 0)},
+           {"row gantries + rover", robotics::RobotFleet::row_coverage(bp, 1)},
+       }) {
+    const FleetRow r = run_roster(name, cfg, seed);
+    sizing.add_row({r.roster, Table::num(r.burst_jobs), Table::num(r.makespan_minutes, 1),
+                    Table::num(r.mean_minutes, 1), Table::num(r.p95_minutes, 1),
+                    Table::num(r.escalations)});
+  }
+  std::cout << "\nburst drain (power event unseats 3 switches' optics at once):\n";
+  sizing.print(std::cout);
+  // Part 3: how many spares should the fleet carry (§3.3.2 "the robots can
+  // carry spares")? Stock for the replacement demand of one restock interval.
+  Table spares{{"replacements/week", "restock interval", "stock @10% stockout",
+                "@1%", "@0.1%"}};
+  for (const double weekly : {0.5, 2.0, 5.0, 15.0}) {
+    const double demand = weekly;  // 7-day restock => one week of demand
+    spares.add_row({Table::num(weekly, 1), "7 days",
+                    Table::num(analysis::recommended_spares(demand, 0.10)),
+                    Table::num(analysis::recommended_spares(demand, 0.01)),
+                    Table::num(analysis::recommended_spares(demand, 0.001))});
+  }
+  std::cout << "\nspares-cache sizing (Poisson demand over one restock interval):\n";
+  spares.print(std::cout);
+
+  std::cout << "\nexpected shape: task times match the paper's stated budget; under a\n"
+               "burst, a single hall rover serializes the backlog while per-row\n"
+               "gantries drain it in parallel — the paper's many-small-units argument\n"
+               "(S3.4). The spares table is the right-provisioning math for the\n"
+               "robot's own cache.\n";
+  (void)days;
+  return 0;
+}

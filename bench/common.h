@@ -1,0 +1,89 @@
+// Shared scaffolding for the experiment harnesses (E1-E11).
+//
+// Each bench binary regenerates one "table/figure": the paper is a vision
+// paper with prose claims rather than numbered result tables, so every
+// experiment id is anchored to the section and sentence it quantifies (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-measured).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "core/automation.h"
+#include "maintenance/ticket.h"
+#include "scenario/world.h"
+#include "topology/builders.h"
+
+namespace smn::bench {
+
+/// The standard hall used across experiments: 12 leaves x 4 spines with 8
+/// servers per leaf (144 links), long uplinks on separate MPO optics.
+[[nodiscard]] inline topology::Blueprint standard_fabric() {
+  return topology::build_leaf_spine(
+      {.leaves = 12, .spines = 4, .servers_per_leaf = 8, .uplinks_per_spine = 1});
+}
+
+/// World preset for a level with the standard fault environment: accelerated
+/// aging so a 60-day run yields statistically useful event counts.
+[[nodiscard]] inline scenario::WorldConfig standard_world(core::AutomationLevel level,
+                                                          std::uint64_t seed) {
+  scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
+  cfg.seed = seed;
+  cfg.network.aoc_max_m = 5.0;  // uplinks become separate cleanable optics
+  cfg.faults.oxidation_rate_per_year = 0.4;
+  cfg.contamination.mean_accumulation_per_day = 0.006;
+  return cfg;
+}
+
+struct TicketSummary {
+  analysis::SampleStats resolve_hours;   // open -> resolved, genuine reactive only
+  std::size_t resolved = 0;
+  std::size_t cancelled = 0;
+  std::size_t proactive = 0;
+  std::size_t false_positive = 0;
+  std::size_t repeats = 0;
+};
+
+[[nodiscard]] inline TicketSummary summarize_tickets(
+    const maintenance::TicketSystem& tickets,
+    sim::Duration repeat_window = sim::Duration::days(14)) {
+  TicketSummary s;
+  for (const maintenance::Ticket& t : tickets.all()) {
+    if (t.proactive) {
+      ++s.proactive;
+      continue;
+    }
+    if (!t.genuine) ++s.false_positive;
+    switch (t.state) {
+      case maintenance::TicketState::kResolved:
+        ++s.resolved;
+        if (t.genuine) s.resolve_hours.push((t.resolved - t.opened).to_hours());
+        break;
+      case maintenance::TicketState::kCancelled:
+        ++s.cancelled;
+        break;
+      default:
+        break;
+    }
+  }
+  s.repeats = tickets.repeat_ticket_count(repeat_window);
+  return s;
+}
+
+inline const core::AutomationLevel kAllLevels[] = {
+    core::AutomationLevel::kL0_Manual,        core::AutomationLevel::kL1_OperatorAssist,
+    core::AutomationLevel::kL2_PartialAutomation,
+    core::AutomationLevel::kL3_HighAutomation, core::AutomationLevel::kL4_FullAutomation,
+};
+
+inline void print_header(const char* id, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper hook: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace smn::bench

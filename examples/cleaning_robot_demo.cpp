@@ -1,0 +1,106 @@
+// Walks the Figure-2 cleaning robot's state machine on one contaminated MPO
+// link, printing every actuator step with its timing and the inspection
+// verdicts — the software stand-in for the paper's hardware photographs.
+//
+//   ./cleaning_robot_demo [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/network.h"
+#include "robotics/cleaner.h"
+#include "robotics/manipulator.h"
+#include "sim/event_queue.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  sim::Simulator sim;
+  net::Network::Config ncfg;
+  ncfg.aoc_max_m = 5.0;
+  ncfg.seed = seed;
+  const topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 2, .uplinks_per_spine = 1});
+  net::Network net{bp, ncfg, sim};
+
+  // Find an 800G-class MPO uplink and soil one end.
+  net::LinkId victim;
+  for (const net::Link& l : net.links()) {
+    if (l.medium == net::CableMedium::kMpoOptical) {
+      victim = l.id;
+      break;
+    }
+  }
+  net::Link& link = net.link_mut(victim);
+  link.end_a.condition.contamination = 0.75;
+  net.refresh_link(victim);
+
+  std::printf("target: link %d, %s, %s, %d cores/end, end-face %s\n",
+              victim.value(), net::to_string(link.medium),
+              link.end_a.model.describe().c_str(), link.cores_per_end(),
+              link.end_a.model.angled_end_face ? "APC 8-degree" : "flat");
+  std::printf("initial condition: contamination %.2f -> link %s\n\n",
+              link.end_a.condition.contamination, net::to_string(link.state));
+
+  sim::RngFactory rngs{seed};
+  sim::RngStream rng = rngs.stream("demo");
+
+  // Step 1: the manipulation robot (Figure 1) extracts the transceiver.
+  robotics::ManipulatorModel arm;
+  const auto grab = arm.unplug(rng, link.end_a.model, 4);
+  std::printf("[manipulator] vision scan + approach + grasp (%d attempt%s) ... %s in %s\n",
+              grab.grasp_attempts, grab.grasp_attempts == 1 ? "" : "s",
+              grab.success ? "extracted" : "FAILED", sim::format_duration(grab.duration).c_str());
+  if (!grab.success) {
+    std::printf("grasp failed after retries -> requesting human support (§3.3.2)\n");
+    return 0;
+  }
+
+  // Step 2: the cleaning unit (Figure 2) runs its detach/inspect/clean loop
+  // with IEC-graded verification of the actual residual.
+  robotics::CleaningModel cleaner;
+  const auto run = cleaner.clean_sequence_graded(rng, link.cores_per_end(),
+                                                 link.end_a.condition.contamination);
+  double t = 0.0;
+  std::printf("\n[cleaning unit] %d-core end-face:\n", link.cores_per_end());
+  for (const robotics::CleaningStep step : run.trace) {
+    const char* note = "";
+    switch (step) {
+      case robotics::CleaningStep::kInspect:
+      case robotics::CleaningStep::kReinspect:
+        note = " (free-space imaging, no end-face contact)";
+        break;
+      case robotics::CleaningStep::kWetClean: note = " (solvent pass)"; break;
+      case robotics::CleaningStep::kDryClean: note = " (dry wipe)"; break;
+      case robotics::CleaningStep::kRotate: note = " (actuator re-positions module)"; break;
+      case robotics::CleaningStep::kEscalate: note = " -> requests human support"; break;
+      default: break;
+    }
+    std::printf("  t+%6.1fs  %-11s%s\n", t, robotics::to_string(step), note);
+    t += 1.0;  // display order only; real timing is in run.duration
+  }
+  std::printf("  cycles: %d, verified: %s, total machine time %s\n", run.cycles,
+              run.verified ? "yes" : "NO", sim::format_duration(run.duration).c_str());
+  std::printf("  final inspection report (IEC-style per-core grading):\n");
+  for (std::size_t core = 0; core < run.last_scan.cores.size(); ++core) {
+    const auto& c = run.last_scan.cores[core];
+    std::printf("    core %zu: grade %s (%d core-zone, %d cladding defects)\n", core,
+                robotics::to_string(c.grade), c.core_zone_defects, c.cladding_defects);
+  }
+
+  // Step 3: apply the effect to the hardware model and re-insert.
+  link.end_a.condition.contamination *= (1.0 - run.total_effectiveness);
+  link.end_a.condition.clean_count += 1;
+  const auto put = arm.plug(rng, link.end_a.model, 4);
+  net.refresh_link(victim);
+  std::printf("\n[manipulator] re-insert + verify ... %s in %s\n",
+              put.success ? "done" : "FAILED", sim::format_duration(put.duration).c_str());
+
+  std::printf("\nfinal condition: contamination %.3f -> link %s\n",
+              link.end_a.condition.contamination, net::to_string(net.link(victim).state));
+  const double total_min =
+      (grab.duration + run.duration + put.duration).to_minutes();
+  std::printf("end-to-end: %.1f minutes (paper §3.3.2: \"a few minutes\")\n", total_min);
+  return 0;
+}

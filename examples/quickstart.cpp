@@ -1,0 +1,73 @@
+// Quickstart: build a small leaf-spine fabric, inject a flapping link, and
+// let a Level-3 self-maintaining controller repair it. Prints the ticket
+// timeline so you can watch detection -> escalation ladder -> robot repair.
+//
+//   ./quickstart [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "scenario/world.h"
+#include "topology/builders.h"
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  // 1. A topology: 8 leaves x 4 spines, 16 servers per leaf.
+  const topology::Blueprint bp = topology::build_leaf_spine({
+      .leaves = 8,
+      .spines = 4,
+      .servers_per_leaf = 16,
+      .uplinks_per_spine = 2,
+  });
+  std::printf("topology: %s — %zu devices, %zu links\n", bp.name().c_str(),
+              bp.nodes().size(), bp.links().size());
+
+  // 2. A Level-3 (high automation) world: robots repair, humans handle
+  //    escalations only.
+  scenario::WorldConfig cfg =
+      scenario::WorldConfig::for_level(core::AutomationLevel::kL3_HighAutomation);
+  cfg.seed = seed;
+  cfg.network.aoc_max_m = 5.0;  // long uplinks use separate MPO optics
+  scenario::World world{bp, cfg};
+  world.start();
+
+  // 3. Contaminate one optical uplink end-face until it flaps (the §1 "dirt
+  //    on an end-face" scenario).
+  net::LinkId victim;
+  for (const net::Link& l : world.network().links()) {
+    if (net::is_cleanable(l.medium)) {
+      victim = l.id;
+      break;
+    }
+  }
+  world.network().link_mut(victim).end_a.condition.contamination = 0.9;
+  world.network().refresh_link(victim);
+  std::printf("injected: contamination on link %d (%s, %d cores/end) -> %s\n",
+              victim.value(), net::to_string(world.network().link(victim).medium),
+              world.network().link(victim).cores_per_end(),
+              net::to_string(world.network().link(victim).state));
+
+  // 4. Run two simulated days.
+  world.run_for(sim::Duration::days(2));
+
+  // 5. Print what the control plane did.
+  std::printf("\nticket timeline:\n");
+  for (const maintenance::Ticket& t : world.tickets().all()) {
+    std::printf(
+        "  #%d link=%d issue=%s opened=%s dispatched=%s resolved=%s by=%s attempts=%d\n",
+        t.id, t.link.value(), telemetry::to_string(t.issue),
+        sim::format_time(t.opened).c_str(), sim::format_time(t.dispatched).c_str(),
+        t.state == maintenance::TicketState::kResolved ? sim::format_time(t.resolved).c_str()
+                                                       : "-",
+        t.resolved_by.empty() ? "-" : t.resolved_by.c_str(), t.actions_taken);
+  }
+  std::printf("\nlink %d final state: %s (contamination %.2f)\n", victim.value(),
+              net::to_string(world.network().link(victim).state),
+              world.network().link(victim).end_a.condition.contamination);
+  std::printf("robot jobs: %zu, technician jobs: %zu, fleet availability: %.6f\n",
+              world.controller().robot_jobs(), world.controller().technician_jobs(),
+              world.availability().fleet_availability());
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "analysis/availability.h"
+
+#include <cmath>
+
+namespace smn::analysis {
+namespace {
+
+int bucket_of(const net::Link& l, net::LinkState s) {
+  if (s == net::LinkState::kDown && l.admin_down) {
+    return 4;  // kPlannedBucket: deliberate drain, not a failure
+  }
+  return static_cast<int>(s);
+}
+
+}  // namespace
+
+AvailabilityTracker::AvailabilityTracker(net::Network& net) : net_{net}, start_{net.now()} {
+  spans_.resize(net_.links().size());
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const net::Link& l = net_.links()[i];
+    spans_[i].bucket = bucket_of(l, l.state);
+    spans_[i].since = start_;
+  }
+  net_.subscribe([this](const net::Link& l, net::LinkState /*from*/, net::LinkState to) {
+    Span& s = spans_.at(static_cast<size_t>(l.id.value()));
+    s.accumulated[static_cast<size_t>(s.bucket)] += net_.now() - s.since;
+    s.bucket = bucket_of(l, to);
+    s.since = net_.now();
+  });
+}
+
+std::array<sim::Duration, 5> AvailabilityTracker::closed(net::LinkId id) const {
+  const Span& s = spans_.at(static_cast<size_t>(id.value()));
+  std::array<sim::Duration, 5> totals = s.accumulated;
+  totals[static_cast<size_t>(s.bucket)] += net_.now() - s.since;
+  return totals;
+}
+
+sim::Duration AvailabilityTracker::time_in(net::LinkId id, net::LinkState s) const {
+  return closed(id)[static_cast<size_t>(s)];
+}
+
+sim::Duration AvailabilityTracker::planned_maintenance(net::LinkId id) const {
+  return closed(id)[kPlannedBucket];
+}
+
+double AvailabilityTracker::planned_maintenance_link_hours() const {
+  double hours = 0.0;
+  for (const net::Link& l : net_.links()) {
+    hours += planned_maintenance(l.id).to_hours();
+  }
+  return hours;
+}
+
+double AvailabilityTracker::link_availability(net::LinkId id) const {
+  const sim::Duration elapsed = net_.now() - start_;
+  if (elapsed <= sim::Duration::zero()) return 1.0;
+  const sim::Duration down = time_in(id, net::LinkState::kDown);
+  return 1.0 - down.ratio(elapsed);
+}
+
+double AvailabilityTracker::impairment_fraction(net::LinkId id) const {
+  const sim::Duration elapsed = net_.now() - start_;
+  if (elapsed <= sim::Duration::zero()) return 0.0;
+  const auto t = closed(id);
+  const sim::Duration impaired = t[static_cast<int>(net::LinkState::kDegraded)] +
+                                 t[static_cast<int>(net::LinkState::kFlapping)];
+  return impaired.ratio(elapsed);
+}
+
+double AvailabilityTracker::fleet_availability() const {
+  if (net_.links().empty()) return 1.0;
+  double sum = 0.0;
+  for (const net::Link& l : net_.links()) sum += link_availability(l.id);
+  return sum / static_cast<double>(net_.links().size());
+}
+
+double AvailabilityTracker::fleet_impairment() const {
+  if (net_.links().empty()) return 0.0;
+  double sum = 0.0;
+  for (const net::Link& l : net_.links()) sum += impairment_fraction(l.id);
+  return sum / static_cast<double>(net_.links().size());
+}
+
+double AvailabilityTracker::downtime_link_hours() const {
+  double hours = 0.0;
+  for (const net::Link& l : net_.links()) {
+    hours += time_in(l.id, net::LinkState::kDown).to_hours();
+  }
+  return hours;
+}
+
+double AvailabilityTracker::impaired_link_hours() const {
+  double hours = 0.0;
+  for (const net::Link& l : net_.links()) {
+    hours += time_in(l.id, net::LinkState::kDegraded).to_hours() +
+             time_in(l.id, net::LinkState::kFlapping).to_hours();
+  }
+  return hours;
+}
+
+double AvailabilityTracker::nines(double availability) {
+  if (availability >= 1.0) return 9.0;  // cap: better than we can measure
+  if (availability <= 0.0) return 0.0;
+  return -std::log10(1.0 - availability);
+}
+
+}  // namespace smn::analysis

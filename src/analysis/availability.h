@@ -1,0 +1,64 @@
+// Availability accounting: integrates per-link time in each operational
+// state by observing Network transitions — the denominator of every
+// reliability claim in the paper (§2: "This will enhance datacenter
+// reliability, availability, and efficiency").
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "net/network.h"
+
+namespace smn::analysis {
+
+class AvailabilityTracker {
+ public:
+  explicit AvailabilityTracker(net::Network& net);
+
+  /// Fraction of elapsed time the link was not *unexpectedly* Down. Planned
+  /// drains (admin-down: migration around maintenance, link parking) are
+  /// accounted separately as maintenance time — a deliberately drained idle
+  /// link is not a failure. Degraded and Flapping count as
+  /// available-but-impaired; see impairment_fraction.
+  [[nodiscard]] double link_availability(net::LinkId id) const;
+
+  /// Time this link spent deliberately drained (admin-down).
+  [[nodiscard]] sim::Duration planned_maintenance(net::LinkId id) const;
+  /// Sum over links of planned (admin-down) time, link-hours.
+  [[nodiscard]] double planned_maintenance_link_hours() const;
+
+  /// Fraction of elapsed time spent Degraded or Flapping.
+  [[nodiscard]] double impairment_fraction(net::LinkId id) const;
+
+  [[nodiscard]] sim::Duration time_in(net::LinkId id, net::LinkState s) const;
+
+  /// Mean availability over all links ("the nines" of the plant).
+  [[nodiscard]] double fleet_availability() const;
+  [[nodiscard]] double fleet_impairment() const;
+
+  /// Sum over links of Down time, in link-hours — the downtime quantity the
+  /// cost model prices.
+  [[nodiscard]] double downtime_link_hours() const;
+  [[nodiscard]] double impaired_link_hours() const;
+
+  /// Converts an availability fraction to "nines" (0.999 -> 3.0).
+  [[nodiscard]] static double nines(double availability);
+
+ private:
+  // Bucket 0-3 mirror LinkState; bucket 4 is planned (admin) downtime.
+  static constexpr int kPlannedBucket = 4;
+
+  struct Span {
+    int bucket = 0;
+    sim::TimePoint since;
+    std::array<sim::Duration, 5> accumulated{};
+  };
+
+  [[nodiscard]] std::array<sim::Duration, 5> closed(net::LinkId id) const;
+
+  net::Network& net_;
+  sim::TimePoint start_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace smn::analysis

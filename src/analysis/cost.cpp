@@ -1,0 +1,23 @@
+#include "analysis/cost.h"
+
+namespace smn::analysis {
+
+CostBreakdown compute_cost(const CostConfig& cfg, const CostInputs& in) {
+  CostBreakdown out;
+  out.labor_usd = in.technician_hours * cfg.technician_hourly_usd;
+  out.robot_usd = in.robot_units * cfg.robot_unit_capex_usd / cfg.robot_life_years *
+                      in.elapsed_years +
+                  in.robot_busy_hours * cfg.robot_opex_hourly_usd;
+  out.downtime_usd = in.downtime_link_hours * cfg.downtime_link_hour_usd +
+                     in.impaired_link_hours * cfg.impaired_link_hour_usd;
+  out.parts_usd = static_cast<double>(in.transceivers_replaced) * cfg.transceiver_usd +
+                  static_cast<double>(in.cables_replaced) * cfg.cable_usd +
+                  static_cast<double>(in.devices_replaced) * cfg.device_usd;
+  out.overprovision_usd =
+      in.overprovisioned_links * cfg.overprovision_link_year_usd * in.elapsed_years;
+  out.total_usd = out.labor_usd + out.robot_usd + out.downtime_usd + out.parts_usd +
+                  out.overprovision_usd;
+  return out;
+}
+
+}  // namespace smn::analysis

@@ -1,0 +1,58 @@
+// The maintenance cost model.
+//
+// §1 frames the economics: overprovisioning "is costly", manual repair is
+// "labor-intensive", and §2 promises "lower service costs" plus
+// "right-provisioning redundant hardware components". This model prices the
+// four cost channels so experiments E5/E7/E10 can compare configurations in
+// one currency: technician labor, robot fleet (amortized capex + opex),
+// downtime, and hardware consumed.
+#pragma once
+
+#include <cstddef>
+
+namespace smn::analysis {
+
+struct CostConfig {
+  double technician_hourly_usd = 85.0;
+  /// Robot unit capex, amortized over its service life.
+  double robot_unit_capex_usd = 120'000.0;
+  double robot_life_years = 5.0;
+  double robot_opex_hourly_usd = 2.0;
+  /// Lost-capacity cost of one link-hour of hard downtime.
+  double downtime_link_hour_usd = 40.0;
+  /// Impaired (degraded/flapping) link-hours cost a fraction of downtime.
+  double impaired_link_hour_usd = 10.0;
+  /// Parts.
+  double transceiver_usd = 600.0;
+  double cable_usd = 300.0;
+  double device_usd = 18'000.0;
+  /// Cost of keeping one redundant (overprovisioned) link per year:
+  /// two transceivers + cable amortized over 4 years, plus port power.
+  double overprovision_link_year_usd = (2 * 600.0 + 300.0) / 4.0 + 120.0;
+};
+
+struct CostInputs {
+  double technician_hours = 0.0;
+  double robot_busy_hours = 0.0;
+  int robot_units = 0;
+  double elapsed_years = 0.0;
+  double downtime_link_hours = 0.0;
+  double impaired_link_hours = 0.0;
+  std::size_t transceivers_replaced = 0;
+  std::size_t cables_replaced = 0;
+  std::size_t devices_replaced = 0;
+  int overprovisioned_links = 0;
+};
+
+struct CostBreakdown {
+  double labor_usd = 0.0;
+  double robot_usd = 0.0;
+  double downtime_usd = 0.0;
+  double parts_usd = 0.0;
+  double overprovision_usd = 0.0;
+  double total_usd = 0.0;
+};
+
+[[nodiscard]] CostBreakdown compute_cost(const CostConfig& cfg, const CostInputs& in);
+
+}  // namespace smn::analysis

@@ -1,0 +1,60 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace smn::analysis {
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument{"Table::add_row: cell count != header count"};
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string Table::num(std::size_t v) { return std::to_string(v); }
+std::string Table::num(int v) { return std::to_string(v); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      os << std::string(widths[c] - cells[c].size(), ' ') << " | ";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (const std::size_t w : widths) os << std::string(w + 2, '-') << "-|";
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ",";
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace smn::analysis

@@ -1,0 +1,33 @@
+// Plain-text table rendering for experiment harnesses, plus CSV export.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smn::analysis {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_{std::move(headers)} {}
+
+  /// Adds a row; each cell is pre-formatted text. Row width must match.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `decimals` places (helper for add_row).
+  [[nodiscard]] static std::string num(double v, int decimals = 2);
+  [[nodiscard]] static std::string num(std::size_t v);
+  [[nodiscard]] static std::string num(int v);
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smn::analysis

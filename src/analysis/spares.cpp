@@ -1,0 +1,34 @@
+#include "analysis/spares.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace smn::analysis {
+
+double poisson_stockout_probability(double mean_demand, int stock) {
+  if (mean_demand < 0.0) throw std::invalid_argument{"mean_demand must be >= 0"};
+  if (stock < 0) return 1.0;
+  if (mean_demand == 0.0) return 0.0;
+  // P(X > stock) = 1 - sum_{k=0..stock} e^-m m^k / k!, computed iteratively.
+  double term = std::exp(-mean_demand);
+  double cdf = term;
+  for (int k = 1; k <= stock; ++k) {
+    term *= mean_demand / k;
+    cdf += term;
+  }
+  return cdf >= 1.0 ? 0.0 : 1.0 - cdf;
+}
+
+int recommended_spares(double mean_demand, double stockout_target) {
+  if (stockout_target <= 0.0 || stockout_target >= 1.0) {
+    throw std::invalid_argument{"stockout_target must be in (0, 1)"};
+  }
+  int stock = 0;
+  while (poisson_stockout_probability(mean_demand, stock) > stockout_target) {
+    ++stock;
+    if (stock > 100000) throw std::runtime_error{"recommended_spares: demand too large"};
+  }
+  return stock;
+}
+
+}  // namespace smn::analysis

@@ -1,0 +1,19 @@
+// Spares-stocking advisor.
+//
+// §3.3.2: "the robots can carry spares". How many? Replacement demand over a
+// restock interval is (approximately) Poisson; the stock level that keeps
+// stockout probability below a target is its quantile. This is the
+// right-provisioning logic of §2 applied to the robot's spares cache instead
+// of the network's redundant links.
+#pragma once
+
+namespace smn::analysis {
+
+/// Probability that Poisson(mean) demand exceeds `stock` units.
+[[nodiscard]] double poisson_stockout_probability(double mean_demand, int stock);
+
+/// Smallest stock level whose stockout probability over one restock interval
+/// is <= `stockout_target` given `mean_demand` replacements per interval.
+[[nodiscard]] int recommended_spares(double mean_demand, double stockout_target);
+
+}  // namespace smn::analysis

@@ -1,0 +1,68 @@
+// Small statistics toolkit used by experiments: streaming moments plus exact
+// percentiles over retained samples.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace smn::analysis {
+
+class SampleStats {
+ public:
+  void push(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+    sum_ += x;
+    sum_sq_ += x * x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double stddev() const {
+    const std::size_t n = samples_.size();
+    if (n < 2) return 0.0;
+    const double m = mean();
+    const double var = (sum_sq_ - static_cast<double>(n) * m * m) / static_cast<double>(n - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  [[nodiscard]] double min() const { return order_statistic(0.0); }
+  [[nodiscard]] double max() const { return order_statistic(1.0); }
+  [[nodiscard]] double median() const { return percentile(50.0); }
+
+  /// Exact percentile (nearest-rank on the retained samples), p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    if (p < 0.0 || p > 100.0) throw std::invalid_argument{"percentile: p out of range"};
+    return order_statistic(p / 100.0);
+  }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  [[nodiscard]] double order_statistic(double q) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      sorted_samples_ = samples_;
+      std::sort(sorted_samples_.begin(), sorted_samples_.end());
+      sorted_ = true;
+    }
+    const auto idx = static_cast<std::size_t>(q * (static_cast<double>(sorted_samples_.size()) - 1) + 0.5);
+    return sorted_samples_[std::min(idx, sorted_samples_.size() - 1)];
+  }
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace smn::analysis

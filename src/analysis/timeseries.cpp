@@ -1,0 +1,46 @@
+#include "analysis/timeseries.h"
+
+#include <stdexcept>
+
+namespace smn::analysis {
+
+void TimeSeriesRecorder::add_column(std::string name, Probe probe) {
+  if (periodic_ != sim::kInvalidEvent) {
+    throw std::logic_error{"TimeSeriesRecorder: add_column after start"};
+  }
+  if (!probe) throw std::invalid_argument{"TimeSeriesRecorder: empty probe"};
+  names_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+  values_.emplace_back();
+}
+
+void TimeSeriesRecorder::start() {
+  if (periodic_ != sim::kInvalidEvent) return;
+  periodic_ = sim_.schedule_every(interval_, [this] { sample_now(); });
+}
+
+void TimeSeriesRecorder::stop() {
+  if (periodic_ == sim::kInvalidEvent) return;
+  sim_.cancel_periodic(periodic_);
+  periodic_ = sim::kInvalidEvent;
+}
+
+void TimeSeriesRecorder::sample_now() {
+  times_.push_back(sim_.now().to_hours());
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    values_[i].push_back(probes_[i]());
+  }
+}
+
+void TimeSeriesRecorder::write_csv(std::ostream& os) const {
+  os << "hours";
+  for (const std::string& n : names_) os << "," << n;
+  os << "\n";
+  for (std::size_t r = 0; r < times_.size(); ++r) {
+    os << times_[r];
+    for (std::size_t c = 0; c < values_.size(); ++c) os << "," << values_[c][r];
+    os << "\n";
+  }
+}
+
+}  // namespace smn::analysis

@@ -1,0 +1,55 @@
+// Time-series recording: periodic sampling of named metrics into columns,
+// exportable as CSV — the "figure data" companion to the Table reporter.
+// Benches and the CLI use it to dump availability/backlog/flap trajectories
+// that plot directly.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace smn::analysis {
+
+class TimeSeriesRecorder {
+ public:
+  using Probe = std::function<double()>;
+
+  TimeSeriesRecorder(sim::Simulator& sim, sim::Duration interval)
+      : sim_{sim}, interval_{interval} {}
+
+  /// Registers a named column sampled by `probe` at every tick. Add all
+  /// columns before calling start().
+  void add_column(std::string name, Probe probe);
+
+  /// Begins periodic sampling (first sample one interval from now).
+  void start();
+  void stop();
+
+  /// Takes one sample immediately (also called by the periodic tick).
+  void sample_now();
+
+  [[nodiscard]] std::size_t rows() const { return times_.size(); }
+  [[nodiscard]] const std::vector<double>& column(std::size_t i) const {
+    return values_.at(i);
+  }
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+  [[nodiscard]] const std::vector<double>& times_hours() const { return times_; }
+
+  /// CSV with a leading `hours` column.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  sim::Simulator& sim_;
+  sim::Duration interval_;
+  std::vector<std::string> names_;
+  std::vector<Probe> probes_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> values_;
+  sim::EventId periodic_ = sim::kInvalidEvent;
+};
+
+}  // namespace smn::analysis

@@ -1,0 +1,44 @@
+#include "core/automation.h"
+
+namespace smn::core {
+
+const char* to_string(AutomationLevel l) {
+  switch (l) {
+    case AutomationLevel::kL0_Manual: return "L0-manual";
+    case AutomationLevel::kL1_OperatorAssist: return "L1-assist";
+    case AutomationLevel::kL2_PartialAutomation: return "L2-partial";
+    case AutomationLevel::kL3_HighAutomation: return "L3-high";
+    case AutomationLevel::kL4_FullAutomation: return "L4-full";
+  }
+  return "?";
+}
+
+LevelTraits traits(AutomationLevel l) {
+  LevelTraits t;
+  switch (l) {
+    case AutomationLevel::kL0_Manual:
+      break;
+    case AutomationLevel::kL1_OperatorAssist:
+      t.tool_assist_factor = 0.7;
+      break;
+    case AutomationLevel::kL2_PartialAutomation:
+      t.robots_allowed = true;
+      t.supervision_blocking = true;
+      t.supervision_fraction = 1.0;
+      break;
+    case AutomationLevel::kL3_HighAutomation:
+      t.robots_allowed = true;
+      t.supervision_fraction = 0.15;
+      t.verify_before_dispatch = true;
+      break;
+    case AutomationLevel::kL4_FullAutomation:
+      t.robots_allowed = true;
+      t.supervision_fraction = 0.0;
+      t.verify_before_dispatch = true;
+      t.humans_available = false;
+      break;
+  }
+  return t;
+}
+
+}  // namespace smn::core

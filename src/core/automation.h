@@ -1,0 +1,43 @@
+// The five automation levels (§2.1), adapted from the SAE driving taxonomy.
+//
+// Each level maps to concrete controller behaviour: who performs repairs,
+// whether a human must supervise each robot action (and therefore whether
+// robot throughput is gated on technician availability), and how much human
+// attention each robot-hour consumes.
+#pragma once
+
+#include <cstdint>
+
+namespace smn::core {
+
+enum class AutomationLevel : std::uint8_t {
+  kL0_Manual = 0,           // all tasks performed by technicians
+  kL1_OperatorAssist = 1,   // technicians with powered/assistive tooling
+  kL2_PartialAutomation = 2,// robots act under blocking human supervision
+  kL3_HighAutomation = 3,   // robots act end-to-end; humans handle escalations
+  kL4_FullAutomation = 4,   // no human presence; robots handle everything
+};
+[[nodiscard]] const char* to_string(AutomationLevel l);
+
+struct LevelTraits {
+  bool robots_allowed = false;
+  /// L2: every robot action must hold a human supervisor slot for its whole
+  /// duration (teleoperation / human-in-the-loop), capping robot concurrency
+  /// at the technician head-count.
+  bool supervision_blocking = false;
+  /// Human attention consumed per robot work hour: L2 watches everything,
+  /// L3 samples/reviews, L4 none.
+  double supervision_fraction = 0.0;
+  /// Multiplier on technician hands-on time (L1 assistive tooling, < 1).
+  double tool_assist_factor = 1.0;
+  /// L3+: the controller verifies suspected transients before rolling any
+  /// hardware action (cheap for a robot, a wasted truck roll for a human).
+  bool verify_before_dispatch = false;
+  /// L4: escalations that would "request human support" are retried by a
+  /// second robot unit instead (§3.3.2's spare-carrying future).
+  bool humans_available = true;
+};
+
+[[nodiscard]] LevelTraits traits(AutomationLevel l);
+
+}  // namespace smn::core

@@ -1,0 +1,374 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace smn::core {
+
+using maintenance::Job;
+using maintenance::JobReport;
+using maintenance::RepairActionKind;
+using maintenance::Ticket;
+using maintenance::TicketPriority;
+using maintenance::TicketState;
+
+MaintenanceController::MaintenanceController(net::Network& net,
+                                             telemetry::DetectionEngine& detection,
+                                             maintenance::TicketSystem& tickets,
+                                             fault::CascadeModel& cascade,
+                                             maintenance::TechnicianPool& technicians,
+                                             robotics::RobotFleet* fleet,
+                                             sim::RngStream rng, Config cfg)
+    : net_{net},
+      detection_{detection},
+      tickets_{tickets},
+      cascade_{cascade},
+      technicians_{technicians},
+      fleet_{fleet},
+      rng_{std::move(rng)},
+      cfg_{cfg},
+      traits_{traits(cfg.level)},
+      escalation_{cfg.escalation},
+      migrator_{net},
+      supervisors_free_{cfg.supervisors} {}
+
+void MaintenanceController::start() {
+  if (started_) return;
+  started_ = true;
+  detection_.subscribe([this](const telemetry::Detection& d) { on_detection(d); });
+  if (cfg_.proactive.enabled) {
+    net_.simulator().schedule_every(cfg_.proactive.scan_interval,
+                                    [this] { proactive_scan(); });
+  }
+}
+
+void MaintenanceController::set_critical(net::LinkId id, bool critical) {
+  if (critical) {
+    critical_.insert(id.value());
+  } else {
+    critical_.erase(id.value());
+  }
+}
+
+void MaintenanceController::on_detection(const telemetry::Detection& d) {
+  const bool critical = is_critical(d.link);
+  const TicketPriority prio =
+      d.kind == telemetry::IssueKind::kDown || critical ? TicketPriority::kHigh
+                                                        : TicketPriority::kNormal;
+  const auto id = tickets_.open(net_.now(), d.link, d.kind, d.genuine, prio);
+  if (!id.has_value()) return;  // deduplicated onto an in-flight ticket
+
+  // L3+ transient verification: for soft symptoms, give the link a beat to
+  // prove the episode is over before rolling hardware. Critical links get a
+  // quarter of the normal delay — the workload is stalled while we wait.
+  if (traits_.verify_before_dispatch && d.kind != telemetry::IssueKind::kDown) {
+    const int ticket_id = *id;
+    const sim::Duration delay = critical ? cfg_.verify_delay / 4.0 : cfg_.verify_delay;
+    net_.simulator().schedule_after(delay, [this, ticket_id] {
+      const Ticket& t = tickets_.ticket(ticket_id);
+      if (t.state != TicketState::kOpen) return;
+      if (link_recovered(t.link)) {
+        tickets_.mark_cancelled(ticket_id, net_.now(), "verified transient");
+        detection_.clear(t.link);
+        ++verified_transients_;
+        return;
+      }
+      plan(ticket_id);
+    });
+    return;
+  }
+  plan(*id);
+}
+
+bool MaintenanceController::link_recovered(net::LinkId id) const {
+  const net::Link& l = net_.link(id);
+  return l.state == net::LinkState::kUp &&
+         detection_.recent_flaps(id, cfg_.verify_delay) == 0;
+}
+
+void MaintenanceController::plan(int ticket_id) {
+  const Ticket& t = tickets_.ticket(ticket_id);
+  if (t.state == TicketState::kResolved || t.state == TicketState::kCancelled) return;
+
+  if (t.actions_taken >= cfg_.max_attempts_per_ticket) {
+    tickets_.mark_cancelled(ticket_id, net_.now(), "attempt budget exhausted");
+    detection_.clear(t.link);
+    return;
+  }
+
+  const EscalationDecision decision = escalation_.decide(net_, tickets_, t);
+
+  // Impact-aware deferral: non-urgent disruptive work waits for the next
+  // low-utilization window (bounded), so induced transients hit idle hours.
+  if (cfg_.impact_aware && t.priority != TicketPriority::kHigh &&
+      !cfg_.traffic.is_low(net_.now(), cfg_.defer_utilization_threshold)) {
+    const sim::TimePoint window =
+        cfg_.traffic.next_low_window(net_.now(), cfg_.defer_utilization_threshold);
+    const sim::TimePoint bounded =
+        std::min(window, net_.now() + cfg_.max_deferral);
+    if (bounded > net_.now()) {
+      ++deferred_;
+      net_.simulator().schedule_at(bounded, [this, ticket_id, decision] {
+        dispatch(ticket_id, decision);
+      });
+      return;
+    }
+  }
+  dispatch(ticket_id, decision);
+}
+
+void MaintenanceController::dispatch(int ticket_id, const EscalationDecision& decision) {
+  const Ticket& t = tickets_.ticket(ticket_id);
+  if (t.state == TicketState::kResolved || t.state == TicketState::kCancelled) return;
+
+  Job job;
+  job.ticket_id = ticket_id;
+  job.link = t.link;
+  job.end = decision.end;
+  job.kind = decision.kind;
+  job.high_priority = t.priority == TicketPriority::kHigh;
+
+  const bool via_robot = traits_.robots_allowed && fleet_ != nullptr &&
+                         fleet_->capable(job.kind) && fleet_->reachable(job.link, job.end);
+
+  if (t.state == TicketState::kOpen) tickets_.mark_dispatched(ticket_id, net_.now());
+
+  if (via_robot && traits_.supervision_blocking) {
+    // L2: a human must watch; wait for a supervisor slot.
+    acquire_supervisor([this, ticket_id, job] { execute(ticket_id, job, true); });
+  } else {
+    execute(ticket_id, job, via_robot);
+  }
+}
+
+void MaintenanceController::execute(int ticket_id, const Job& job, bool via_robot) {
+  Job dispatched = job;
+  // Pre-announce the contact list (§2). The drain itself is deferred to the
+  // performer's work-start hook so links are only admin-down while hands are
+  // physically on the hardware, not for the whole dispatch latency.
+  auto drained = std::make_shared<std::vector<net::LinkId>>();
+  if (cfg_.impact_aware) {
+    fault::Disturbance d;
+    d.target = job.link;
+    const net::Link& l = net_.link(job.link);
+    d.at_device = job.end == 0 ? l.end_a.device : l.end_b.device;
+    d.full_route = job.kind == RepairActionKind::kReplaceCable;
+    std::vector<net::LinkId> contacts = cascade_.predicted_contacts(d);
+    dispatched.on_work_start = [this, contacts = std::move(contacts), drained] {
+      *drained = migrator_.drain_for_work(contacts);
+    };
+  }
+
+  auto cb = [this, ticket_id, drained, via_robot](const JobReport& report) {
+    on_report(ticket_id, report, *drained, via_robot);
+  };
+
+  if (via_robot) {
+    ++robot_jobs_;
+    fleet_->submit(dispatched, std::move(cb));
+  } else {
+    ++technician_jobs_;
+    technicians_.submit(dispatched, std::move(cb));
+  }
+}
+
+void MaintenanceController::on_report(int ticket_id, const JobReport& report,
+                                      const std::vector<net::LinkId>& drained,
+                                      bool via_robot) {
+  migrator_.restore(drained);
+
+  const Ticket& t = tickets_.ticket(ticket_id);
+  if (t.state == TicketState::kDispatched) tickets_.mark_started(ticket_id, report.started);
+  tickets_.count_action(ticket_id);
+
+  const double work_hours = (report.finished - report.started).to_hours();
+  if (via_robot) {
+    supervision_hours_ += traits_.supervision_fraction * work_hours;
+    if (traits_.supervision_blocking) release_supervisor();
+  }
+
+  if (report.measured_contamination > 0.0) {
+    last_inspection_[report.job.link] = report.measured_contamination;
+  }
+
+  // Robot could not finish (grasp/verify failure, no spare, out of scope):
+  // route the same rung to humans — unless this is L4, where a second robot
+  // attempt is made instead.
+  if (!report.performed && via_robot) {
+    if (traits_.humans_available) {
+      ++human_escalations_;
+      execute(ticket_id, report.job, false);
+    } else {
+      // L4: retry autonomously after a short reposition delay.
+      net_.simulator().schedule_after(sim::Duration::minutes(10),
+                                      [this, ticket_id] { plan(ticket_id); });
+    }
+    return;
+  }
+
+  resolve_or_replan(ticket_id, report);
+}
+
+void MaintenanceController::resolve_or_replan(int ticket_id, const JobReport& report) {
+  const Ticket& t = tickets_.ticket(ticket_id);
+  if (t.state == TicketState::kResolved || t.state == TicketState::kCancelled) return;
+
+  net_.refresh_link(t.link);
+  const net::Link& l = net_.link(t.link);
+  // A link drained by some other concurrent repair's migration counts as
+  // healthy if its hardware would come up clean.
+  bool healthy = l.state == net::LinkState::kUp;
+  if (!healthy && l.admin_down) {
+    net::Link probe = l;
+    probe.admin_down = false;
+    const bool devices_ok =
+        net_.device(l.end_a.device).healthy && net_.device(l.end_b.device).healthy;
+    healthy = probe.derive_state(net_.now(), devices_ok) == net::LinkState::kUp;
+  }
+  if (healthy) {
+    tickets_.mark_resolved(ticket_id, net_.now(), report.performer);
+    detection_.clear(t.link);
+    resolved_count_[t.link] += 1;
+    if (report.job.kind == RepairActionKind::kReseat) {
+      const net::DeviceId sw =
+          report.job.end == 0 ? l.end_a.device : l.end_b.device;
+      reseat_fixes_[sw].push_back(net_.now());
+    }
+    return;
+  }
+  // Still sick: climb to the next rung.
+  plan(ticket_id);
+}
+
+// --- supervision slots (L2) ---
+
+void MaintenanceController::acquire_supervisor(std::function<void()> then) {
+  if (supervisors_free_ > 0) {
+    --supervisors_free_;
+    then();
+  } else {
+    supervision_waitlist_.push_back(std::move(then));
+  }
+}
+
+void MaintenanceController::release_supervisor() {
+  if (!supervision_waitlist_.empty()) {
+    auto next = std::move(supervision_waitlist_.front());
+    supervision_waitlist_.pop_front();
+    next();  // slot transfers directly to the next waiting job
+  } else {
+    ++supervisors_free_;
+  }
+}
+
+// --- proactive maintenance (§4) ---
+
+telemetry::FeatureVector MaintenanceController::features_for(net::LinkId id) const {
+  telemetry::FeatureVector f;
+  f.flaps_recent =
+      std::min(1.0, detection_.recent_flaps(id, cfg_.prediction_window) / 10.0);
+  const double lifetime_h = std::max(1.0, net_.now().to_hours());
+  f.degraded_fraction = std::min(
+      1.0, detection_.time_in(id, net::LinkState::kDegraded).to_hours() / lifetime_h +
+               detection_.time_in(id, net::LinkState::kFlapping).to_hours() / lifetime_h);
+  int recent_tickets = 0;
+  for (const Ticket* prev : tickets_.history_for(id)) {
+    if (net_.now() - prev->resolved <= cfg_.prediction_window) ++recent_tickets;
+  }
+  f.detections_recent = std::min(1.0, recent_tickets / 5.0);
+  const auto it = resolved_count_.find(id);
+  f.repair_count = std::min(1.0, (it == resolved_count_.end() ? 0 : it->second) / 10.0);
+  f.age = std::min(1.0, net_.now().to_days() / (5.0 * 365.0));
+  f.inspection_grade = last_inspection_grade(id);
+  return f;
+}
+
+double MaintenanceController::last_inspection_grade(net::LinkId id) const {
+  const auto it = last_inspection_.find(id);
+  return it == last_inspection_.end() ? 0.0 : it->second;
+}
+
+void MaintenanceController::open_proactive(net::LinkId link, RepairActionKind kind,
+                                           int end) {
+  const auto id = tickets_.open(net_.now(), link, telemetry::IssueKind::kDegraded,
+                                /*genuine=*/true, TicketPriority::kNormal,
+                                /*proactive=*/true);
+  if (!id.has_value()) return;
+  last_proactive_[link] = net_.now();
+  ++proactive_actions_;
+  tickets_.mark_dispatched(*id, net_.now());
+
+  Job job;
+  job.ticket_id = *id;
+  job.link = link;
+  job.end = end;
+  job.kind = kind;
+  const int ticket_id = *id;
+  auto cb = [this, ticket_id](const JobReport& report) {
+    tickets_.count_action(ticket_id);
+    if (report.measured_contamination > 0.0) {
+      last_inspection_[report.job.link] = report.measured_contamination;
+    }
+    const Ticket& t = tickets_.ticket(ticket_id);
+    if (t.state == TicketState::kResolved || t.state == TicketState::kCancelled) return;
+    // Proactive work closes regardless of outcome; it was not fixing a
+    // detected failure. Escalation-to-human for proactive work is skipped —
+    // the whole point is that it rides free robot hours (§4).
+    tickets_.mark_resolved(ticket_id, net_.now(),
+                           report.performed ? "robot-proactive" : "robot-abandoned");
+    detection_.clear(report.job.link);
+  };
+  ++robot_jobs_;
+  fleet_->submit(job, std::move(cb));
+}
+
+void MaintenanceController::proactive_scan() {
+  if (!traits_.robots_allowed || fleet_ == nullptr) return;
+  if (!cfg_.traffic.is_low(net_.now(), cfg_.proactive.low_utilization_threshold)) return;
+  const sim::TimePoint now = net_.now();
+
+  auto cooled_down = [&](net::LinkId id) {
+    const auto it = last_proactive_.find(id);
+    return it == last_proactive_.end() ||
+           now - it->second >= cfg_.proactive.per_link_cooldown;
+  };
+  auto idle_and_clear = [&](const net::Link& l) {
+    return l.state == net::LinkState::kUp && !l.admin_down &&
+           !tickets_.open_ticket_for(l.id).has_value() && cooled_down(l.id);
+  };
+
+  // §4 switch-wide heuristic: several reseat-fixes on one switch recently =>
+  // reseat everything on it during the low window.
+  if (cfg_.proactive.switch_wide_reseat) {
+    for (auto& [device, times] : reseat_fixes_) {
+      std::erase_if(times, [&](sim::TimePoint t) {
+        return now - t > cfg_.proactive.trigger_window;
+      });
+      if (static_cast<int>(times.size()) < cfg_.proactive.switch_reseat_trigger) continue;
+      for (const net::LinkId lid : net_.links_at(device)) {
+        const net::Link& l = net_.link(lid);
+        if (!idle_and_clear(l)) continue;
+        const int end = l.end_a.device == device ? 0 : 1;
+        open_proactive(lid, RepairActionKind::kReseat, end);
+      }
+      times.clear();  // trigger consumed
+    }
+  }
+
+  // Predictor-driven: score every link; clean (or reseat) the likely-to-fail.
+  if (cfg_.proactive.use_predictor && predictor_ != nullptr) {
+    for (const net::Link& l : net_.links()) {
+      if (!idle_and_clear(l)) continue;
+      if (predictor_->predict(features_for(l.id)) < cfg_.proactive.predictor_threshold) {
+        continue;
+      }
+      const RepairActionKind kind = net::is_cleanable(l.medium)
+                                        ? RepairActionKind::kClean
+                                        : RepairActionKind::kReseat;
+      open_proactive(l.id, kind, 0);
+    }
+  }
+}
+
+}  // namespace smn::core

@@ -1,0 +1,164 @@
+// The maintenance control plane — the paper's primary contribution (§2).
+//
+// "A fully self-maintaining system will not require the service to create a
+// ticket describing a hardware failure; instead, it will schedule and monitor
+// repair operations autonomously without requiring any technician
+// intervention."
+//
+// The MaintenanceController closes the loop: detections -> tickets ->
+// escalation-ladder planning -> performer selection by automation level ->
+// impact-aware scheduling (pre-announced contact lists, load migration,
+// low-utilization deferral) -> outcome evaluation -> re-plan or resolve.
+// It also runs the proactive policies of §4 (switch-wide reseat heuristics
+// and predictor-driven maintenance) when robots make them cheap.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/automation.h"
+#include "core/escalation.h"
+#include "core/migration.h"
+#include "core/traffic.h"
+#include "fault/cascade.h"
+#include "maintenance/technician.h"
+#include "maintenance/ticket.h"
+#include "robotics/fleet.h"
+#include "telemetry/monitor.h"
+#include "telemetry/predictor.h"
+
+namespace smn::core {
+
+struct ProactiveConfig {
+  bool enabled = false;
+  sim::Duration scan_interval = sim::Duration::hours(6);
+  /// Proactive work only runs in low-utilization windows (§4).
+  double low_utilization_threshold = 0.40;
+  /// §4: "if several links on a switch have been fixed by reseating
+  /// transceivers, the system could proactively reseat all transceivers on
+  /// that switch".
+  bool switch_wide_reseat = true;
+  int switch_reseat_trigger = 3;
+  sim::Duration trigger_window = sim::Duration::days(7);
+  /// Minimum gap between proactive actions on the same link.
+  sim::Duration per_link_cooldown = sim::Duration::days(21);
+  /// Predictor-driven proactive cleaning/reseating (wired via set_predictor).
+  bool use_predictor = false;
+  double predictor_threshold = 0.70;
+};
+
+class MaintenanceController {
+ public:
+  struct Config {
+    AutomationLevel level = AutomationLevel::kL3_HighAutomation;
+    EscalationPolicy::Config escalation;
+    /// Drain pre-announced contacts and defer non-urgent work to
+    /// low-utilization windows (ablated in E3).
+    bool impact_aware = true;
+    double defer_utilization_threshold = 0.45;
+    sim::Duration max_deferral = sim::Duration::hours(12);
+    /// L3+ transient verification: wait before acting on a non-Down issue;
+    /// if the link is healthy again, close without rolling hardware.
+    sim::Duration verify_delay = sim::Duration::minutes(20);
+    int max_attempts_per_ticket = 8;
+    /// Human supervisor slots gating robot work at L2.
+    int supervisors = 4;
+    TrafficProfile traffic;
+    ProactiveConfig proactive;
+    sim::Duration prediction_window = sim::Duration::days(7);
+  };
+
+  MaintenanceController(net::Network& net, telemetry::DetectionEngine& detection,
+                        maintenance::TicketSystem& tickets, fault::CascadeModel& cascade,
+                        maintenance::TechnicianPool& technicians,
+                        robotics::RobotFleet* fleet, sim::RngStream rng, Config cfg);
+
+  /// Subscribes to detections and starts the proactive scan loop.
+  void start();
+
+  /// Attaches a trained failure predictor (enables predictor-driven
+  /// proactive maintenance when cfg.proactive.use_predictor).
+  void set_predictor(const telemetry::LogisticPredictor* predictor) {
+    predictor_ = predictor;
+  }
+
+  /// Cross-layer co-design (abstract: "the core cloud services are
+  /// co-designed with the robotic systems"; §2 "more information sharing
+  /// between stack layers"): a service marks the links its workload depends
+  /// on as critical. Detections on critical links are treated as high
+  /// priority — no low-utilization deferral — and transient verification is
+  /// shortened to a quarter of the normal delay.
+  void set_critical(net::LinkId id, bool critical);
+  [[nodiscard]] bool is_critical(net::LinkId id) const {
+    return critical_.contains(id.value());
+  }
+
+  /// Builds the observable feature vector for a link (used both for
+  /// training-set generation in E8 and for live proactive scoring).
+  [[nodiscard]] telemetry::FeatureVector features_for(net::LinkId id) const;
+
+  // --- statistics ---
+  [[nodiscard]] double supervision_hours() const { return supervision_hours_; }
+  [[nodiscard]] std::size_t proactive_actions() const { return proactive_actions_; }
+  [[nodiscard]] std::size_t deferred_repairs() const { return deferred_; }
+  [[nodiscard]] std::size_t verified_transients() const { return verified_transients_; }
+  [[nodiscard]] std::size_t human_escalations() const { return human_escalations_; }
+  [[nodiscard]] std::size_t robot_jobs() const { return robot_jobs_; }
+  [[nodiscard]] std::size_t technician_jobs() const { return technician_jobs_; }
+  [[nodiscard]] LoadMigrator& migrator() { return migrator_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  /// Last robot-measured end-face contamination, 0 if never inspected.
+  [[nodiscard]] double last_inspection_grade(net::LinkId id) const;
+
+ private:
+  void on_detection(const telemetry::Detection& d);
+  /// Chooses the next rung and performer for a ticket and dispatches it.
+  void plan(int ticket_id);
+  void dispatch(int ticket_id, const EscalationDecision& decision);
+  void execute(int ticket_id, const maintenance::Job& job, bool via_robot);
+  void on_report(int ticket_id, const maintenance::JobReport& report,
+                 const std::vector<net::LinkId>& drained, bool via_robot);
+  void resolve_or_replan(int ticket_id, const maintenance::JobReport& report);
+  [[nodiscard]] bool link_recovered(net::LinkId id) const;
+  void proactive_scan();
+  void open_proactive(net::LinkId link, maintenance::RepairActionKind kind, int end);
+  void acquire_supervisor(std::function<void()> then);
+  void release_supervisor();
+
+  net::Network& net_;
+  telemetry::DetectionEngine& detection_;
+  maintenance::TicketSystem& tickets_;
+  fault::CascadeModel& cascade_;
+  maintenance::TechnicianPool& technicians_;
+  robotics::RobotFleet* fleet_;
+  sim::RngStream rng_;
+  Config cfg_;
+  LevelTraits traits_;
+  EscalationPolicy escalation_;
+  LoadMigrator migrator_;
+  const telemetry::LogisticPredictor* predictor_ = nullptr;
+
+  /// Reseat-resolutions per switch, for the §4 switch-wide heuristic.
+  std::unordered_map<net::DeviceId, std::vector<sim::TimePoint>, net::IdHash> reseat_fixes_;
+  std::unordered_map<net::LinkId, sim::TimePoint, net::IdHash> last_proactive_;
+  std::unordered_map<net::LinkId, double, net::IdHash> last_inspection_;
+  std::unordered_map<net::LinkId, int, net::IdHash> resolved_count_;
+  std::unordered_set<std::int32_t> critical_;
+
+  int supervisors_free_;
+  std::deque<std::function<void()>> supervision_waitlist_;
+
+  double supervision_hours_ = 0.0;
+  std::size_t proactive_actions_ = 0;
+  std::size_t deferred_ = 0;
+  std::size_t verified_transients_ = 0;
+  std::size_t human_escalations_ = 0;
+  std::size_t robot_jobs_ = 0;
+  std::size_t technician_jobs_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace smn::core

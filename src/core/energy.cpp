@@ -1,0 +1,98 @@
+#include "core/energy.h"
+
+#include <algorithm>
+
+#include "topology/blueprint.h"
+
+namespace smn::core {
+
+EnergyManager::EnergyManager(net::Network& net, Config cfg)
+    : net_{net}, cfg_{cfg}, last_accounting_{net.now()} {
+  // Emergency unpark: when any link on a device goes Down and a parked
+  // sibling exists, wake the sibling immediately (lasers re-arm in seconds —
+  // far inside the repair window).
+  net_.subscribe([this](const net::Link& l, net::LinkState, net::LinkState now_state) {
+    if (now_state != net::LinkState::kDown || l.admin_down) return;
+    for (const net::LinkId sibling : net_.links_between(l.end_a.device, l.end_b.device)) {
+      if (parked(sibling)) {
+        unpark(sibling);
+        ++emergency_unparks_;
+      }
+    }
+  });
+}
+
+void EnergyManager::start() {
+  if (started_ || !cfg_.enabled) return;
+  started_ = true;
+  net_.simulator().schedule_every(cfg_.check_interval, [this] { step_once(); });
+}
+
+double EnergyManager::parked_link_hours() const {
+  // Closed accounting plus the currently parked set's open interval.
+  return parked_hours_ + static_cast<double>(parked_.size()) *
+                             (net_.now() - last_accounting_).to_hours();
+}
+
+void EnergyManager::park(net::LinkId id) {
+  net::Link& l = net_.link_mut(id);
+  l.admin_down = true;
+  net_.refresh_link(id);
+  parked_.insert(id.value());
+}
+
+void EnergyManager::unpark(net::LinkId id) {
+  if (parked_.erase(id.value()) == 0) return;
+  net::Link& l = net_.link_mut(id);
+  l.admin_down = false;
+  net_.refresh_link(id);
+}
+
+void EnergyManager::unpark_all() {
+  const std::vector<std::int32_t> ids(parked_.begin(), parked_.end());
+  for (const std::int32_t id : ids) unpark(net::LinkId{id});
+}
+
+void EnergyManager::step_once() {
+  // Close the accounting interval before the parked set changes.
+  parked_hours_ += static_cast<double>(parked_.size()) *
+                   (net_.now() - last_accounting_).to_hours();
+  last_accounting_ = net_.now();
+
+  if (!cfg_.traffic.is_low(net_.now(), cfg_.low_threshold)) {
+    unpark_all();
+    return;
+  }
+
+  // Low window: park surplus members of every switch-switch parallel group.
+  std::unordered_set<std::int64_t> seen_groups;
+  for (const net::Link& l : net_.links()) {
+    if (!topology::is_switch(net_.device(l.end_a.device).role) ||
+        !topology::is_switch(net_.device(l.end_b.device).role)) {
+      continue;
+    }
+    const std::int64_t group =
+        (static_cast<std::int64_t>(std::min(l.end_a.device.value(),
+                                            l.end_b.device.value()))
+         << 32) |
+        static_cast<std::uint32_t>(
+            std::max(l.end_a.device.value(), l.end_b.device.value()));
+    if (!seen_groups.insert(group).second) continue;
+
+    const auto members = net_.links_between(l.end_a.device, l.end_b.device);
+    if (static_cast<int>(members.size()) <= cfg_.min_live_members) continue;
+    int live = 0;
+    for (const net::LinkId m : members) {
+      if (net_.link(m).state != net::LinkState::kDown) ++live;
+    }
+    for (const net::LinkId m : members) {
+      if (live <= cfg_.min_live_members) break;
+      const net::Link& member = net_.link(m);
+      if (member.state == net::LinkState::kDown || parked(m)) continue;
+      park(m);
+      --live;
+    }
+  }
+}
+
+}  // namespace smn::core

@@ -1,0 +1,76 @@
+// Energy management through link parking (§4).
+//
+// "Energy efficiency: The community could also rethink how to enhance energy
+// efficiency through optimized resource management facilitated by robotic
+// systems."
+//
+// Redundant parallel fabric links burn transceiver power around the clock to
+// insure against failures that repair-by-robot makes minutes-long. The
+// EnergyManager parks (admin-down, lasers off) surplus members of parallel
+// link groups during low-utilization windows and unparks them when demand
+// returns or when a live sibling fails. The experiment (E17) measures the
+// transceiver watt-hours saved against the capacity risk incurred — a trade
+// that only closes favourably when the repair loop is fast.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/traffic.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace smn::core {
+
+class EnergyManager {
+ public:
+  struct Config {
+    bool enabled = true;
+    /// Park only while fabric utilization is below this.
+    double low_threshold = 0.40;
+    /// Keep at least this many live members per parallel group.
+    int min_live_members = 1;
+    /// Per-link transceiver power (both ends), watts.
+    double link_power_w = 24.0;
+    sim::Duration check_interval = sim::Duration::minutes(15);
+    TrafficProfile traffic;
+  };
+
+  EnergyManager(net::Network& net, Config cfg);
+
+  /// Starts the periodic park/unpark loop.
+  void start();
+
+  /// One evaluation pass (also called periodically): parks surplus members
+  /// in low windows, unparks everything otherwise. Also unparks immediately
+  /// when a parked link's sibling has failed (invoked from the subscription).
+  void step_once();
+
+  /// True if this link is currently parked by the manager.
+  [[nodiscard]] bool parked(net::LinkId id) const { return parked_.contains(id.value()); }
+  [[nodiscard]] std::size_t parked_count() const { return parked_.size(); }
+
+  /// Accumulated savings, in link-hours of de-energized optics and kWh.
+  [[nodiscard]] double parked_link_hours() const;
+  [[nodiscard]] double energy_saved_kwh() const {
+    return parked_link_hours() * cfg_.link_power_w / 1000.0;
+  }
+  /// Times a parked link had to be woken because a live sibling failed.
+  [[nodiscard]] std::size_t emergency_unparks() const { return emergency_unparks_; }
+
+ private:
+  void park(net::LinkId id);
+  void unpark(net::LinkId id);
+  void unpark_all();
+
+  net::Network& net_;
+  Config cfg_;
+  std::unordered_set<std::int32_t> parked_;
+  double parked_hours_ = 0.0;
+  sim::TimePoint last_accounting_;
+  std::size_t emergency_unparks_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace smn::core

@@ -1,0 +1,79 @@
+#include "core/escalation.h"
+
+namespace smn::core {
+
+using maintenance::RepairActionKind;
+
+int EscalationPolicy::stage_of(const maintenance::TicketSystem& tickets,
+                               const maintenance::Ticket& ticket) const {
+  int prior = 0;
+  for (const maintenance::Ticket* t : tickets.history_for(ticket.link)) {
+    if (ticket.opened - t->resolved <= cfg_.repeat_window && t->resolved <= ticket.opened) {
+      ++prior;
+    }
+  }
+  return prior + ticket.actions_taken;
+}
+
+EscalationDecision EscalationPolicy::decide(const net::Network& net,
+                                            const maintenance::TicketSystem& tickets,
+                                            const maintenance::Ticket& ticket) const {
+  const net::Link& l = net.link(ticket.link);
+
+  // Hard evidence first: no point reseating a dead switch.
+  if (!net.device(l.end_a.device).healthy || !net.device(l.end_b.device).healthy) {
+    return {RepairActionKind::kReplaceDevice, 0};
+  }
+  // A dead line card is cheaper to swap than the whole chassis (§3.2 lists
+  // "NIC, line card, or switch" as distinct final-stage replacements).
+  if (!net.device(l.end_a.device).card_healthy(l.end_a.port)) {
+    return {RepairActionKind::kReplaceLineCard, 0};
+  }
+  if (!net.device(l.end_b.device).card_healthy(l.end_b.port)) {
+    return {RepairActionKind::kReplaceLineCard, 1};
+  }
+  if (!l.cable.intact) {
+    return {RepairActionKind::kReplaceCable, 0};
+  }
+  if (!l.end_a.condition.transceiver_healthy || !l.end_a.condition.transceiver_present) {
+    return {RepairActionKind::kReplaceTransceiver, 0};
+  }
+  if (!l.end_b.condition.transceiver_healthy || !l.end_b.condition.transceiver_present) {
+    return {RepairActionKind::kReplaceTransceiver, 1};
+  }
+  if (!l.end_a.condition.transceiver_seated) return {RepairActionKind::kReseat, 0};
+  if (!l.end_b.condition.transceiver_seated) return {RepairActionKind::kReseat, 1};
+
+  // Soft symptoms (flapping / degraded / transient / false positive):
+  // walk the ladder. Ends alternate rung to rung, starting from the switch
+  // faceplate — that is where field hands (and grippers) work first; the
+  // server-NIC end is the fallback.
+  const int stage = stage_of(tickets, ticket);
+  const bool a_is_switch = topology::is_switch(net.device(l.end_a.device).role);
+  const bool b_is_switch = topology::is_switch(net.device(l.end_b.device).role);
+  const int primary = (!a_is_switch && b_is_switch) ? 1 : 0;
+  const int end = stage % 2 == 0 ? primary : 1 - primary;
+  if (!cfg_.ladder_enabled) {
+    // Ablation: skip straight to module replacement.
+    return {RepairActionKind::kReplaceTransceiver, end};
+  }
+  const bool cleanable = net::is_cleanable(l.medium);
+  switch (stage) {
+    case 0:
+    case 1:
+      return {RepairActionKind::kReseat, end};
+    case 2:
+    case 3:
+      if (cleanable) return {RepairActionKind::kClean, end};
+      return {RepairActionKind::kReplaceTransceiver, end};
+    case 4:
+    case 5:
+      return {RepairActionKind::kReplaceTransceiver, end};
+    case 6:
+      return {RepairActionKind::kReplaceCable, 0};
+    default:
+      return {RepairActionKind::kReplaceDevice, 0};
+  }
+}
+
+}  // namespace smn::core

@@ -1,0 +1,56 @@
+// The repair escalation ladder (§3.2).
+//
+// "when a network link fails or flaps the first time a ticket is created for
+// that link, the usual first step is to reseat the transceiver. ... If a link
+// has failed, and a reseating of the transceiver has not solved the problem
+// ... a technician [performs] a cleaning ... the next common action is then
+// to replace the transceivers and ultimately the cable. ... the final stage
+// is to replace the NIC, line card, or switch."
+//
+// The policy maps (link condition, ticket history within the repeat window,
+// attempts already burned on this ticket) to the next action. Hard evidence
+// (dead device, broken cable, dead module) short-circuits the ladder; soft
+// symptoms (flapping/degraded) walk it rung by rung.
+#pragma once
+
+#include "maintenance/actions.h"
+#include "maintenance/ticket.h"
+#include "net/network.h"
+
+namespace smn::core {
+
+struct EscalationDecision {
+  maintenance::RepairActionKind kind = maintenance::RepairActionKind::kReseat;
+  int end = 0;  // which link end to work on, for end-scoped actions
+};
+
+class EscalationPolicy {
+ public:
+  struct Config {
+    /// §3.2: "another ticket is generated for the same link within a time
+    /// window" — how far back resolved tickets count toward the ladder stage.
+    sim::Duration repeat_window = sim::Duration::days(14);
+    /// Ablation (E6): when false, soft symptoms jump straight to
+    /// transceiver replacement (no reseat-first, no cleaning).
+    bool ladder_enabled = true;
+  };
+
+  EscalationPolicy() : EscalationPolicy(Config{}) {}
+  explicit EscalationPolicy(Config cfg) : cfg_{cfg} {}
+
+  [[nodiscard]] EscalationDecision decide(const net::Network& net,
+                                          const maintenance::TicketSystem& tickets,
+                                          const maintenance::Ticket& ticket) const;
+
+  /// The ladder stage (0-based) this ticket is at: prior resolved tickets in
+  /// the window plus attempts consumed on this ticket.
+  [[nodiscard]] int stage_of(const maintenance::TicketSystem& tickets,
+                             const maintenance::Ticket& ticket) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace smn::core

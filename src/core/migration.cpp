@@ -1,0 +1,51 @@
+#include "core/migration.h"
+
+namespace smn::core {
+
+std::vector<net::LinkId> LoadMigrator::drain_for_work(
+    const std::vector<net::LinkId>& contacts) {
+  std::vector<net::LinkId> drained;
+  for (const net::LinkId lid : contacts) {
+    net::Link& l = net_.link_mut(lid);
+    if (l.admin_down || l.state == net::LinkState::kDown) continue;
+
+    // Never drain the last live member of a parallel link group (LAG): the
+    // point of migration is to move traffic, not to brown out the adjacency.
+    int live_siblings = 0;
+    for (const net::LinkId sibling : net_.links_between(l.end_a.device, l.end_b.device)) {
+      if (sibling != lid && net_.link(sibling).state != net::LinkState::kDown) {
+        ++live_siblings;
+      }
+    }
+    const bool has_parallel_group =
+        net_.links_between(l.end_a.device, l.end_b.device).size() > 1;
+    if (has_parallel_group && live_siblings == 0) {
+      ++refusals_;
+      continue;
+    }
+
+    // Trial-drain, then check the endpoints still reach each other.
+    l.admin_down = true;
+    net_.refresh_link(lid);
+    const bool still_connected =
+        net::path_available(net_, l.end_a.device, l.end_b.device);
+    if (still_connected) {
+      drained.push_back(lid);
+      ++drains_;
+    } else {
+      l.admin_down = false;
+      net_.refresh_link(lid);
+      ++refusals_;
+    }
+  }
+  return drained;
+}
+
+void LoadMigrator::restore(const std::vector<net::LinkId>& drained) {
+  for (const net::LinkId lid : drained) {
+    net_.link_mut(lid).admin_down = false;
+    net_.refresh_link(lid);
+  }
+}
+
+}  // namespace smn::core

@@ -1,0 +1,41 @@
+// Load migration around maintenance (§2).
+//
+// "Proactive measures can be taken, such as temporarily migrating loads from
+// physical hardware adjacent to the hardware being repaired." Given the
+// pre-announced cable-contact list from the cascade model, the migrator
+// drains (admin-downs) contacts whose traffic has somewhere else to go, so
+// that induced transients hit links that are not carrying traffic. Links
+// whose removal would disconnect their endpoints are left up — correctness
+// over caution — and counted as refusals.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/routing.h"
+
+namespace smn::core {
+
+class LoadMigrator {
+ public:
+  explicit LoadMigrator(net::Network& net) : net_{net} {}
+
+  /// Drains every link in `contacts` that is currently carrying traffic and
+  /// has a redundant path between its endpoints. Returns the drained set
+  /// (pass to `restore` when the work completes).
+  [[nodiscard]] std::vector<net::LinkId> drain_for_work(
+      const std::vector<net::LinkId>& contacts);
+
+  /// Lifts the admin-down on previously drained links.
+  void restore(const std::vector<net::LinkId>& drained);
+
+  [[nodiscard]] std::size_t drains() const { return drains_; }
+  [[nodiscard]] std::size_t refusals() const { return refusals_; }
+
+ private:
+  net::Network& net_;
+  std::size_t drains_ = 0;
+  std::size_t refusals_ = 0;
+};
+
+}  // namespace smn::core

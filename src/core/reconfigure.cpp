@@ -1,0 +1,234 @@
+#include "core/reconfigure.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "net/routing.h"
+#include "topology/blueprint.h"
+
+namespace smn::core {
+
+std::vector<net::LinkId> TopologyReconfigurer::donor_candidates(
+    const net::LoadReport& report, const std::vector<net::LinkId>& exclude) const {
+  std::vector<std::pair<double, net::LinkId>> scored;
+  for (const net::Link& l : net_.links()) {
+    if (l.state == net::LinkState::kDown || l.admin_down) continue;
+    if (std::find(exclude.begin(), exclude.end(), l.id) != exclude.end()) continue;
+    const bool a_switch = topology::is_switch(net_.device(l.end_a.device).role);
+    const bool b_switch = topology::is_switch(net_.device(l.end_b.device).role);
+    if (!a_switch || !b_switch) continue;  // never steal a server's access link
+    const double load = report.link_load_gbps[static_cast<size_t>(l.id.value())];
+    scored.emplace_back(load / l.capacity_gbps, l.id);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<net::LinkId> out;
+  for (const auto& [util, lid] : scored) {
+    // Removal must keep the old endpoints mutually reachable.
+    net::Link& l = net_.link_mut(lid);
+    l.admin_down = true;
+    net_.refresh_link(lid);
+    const bool ok = net::path_available(net_, l.end_a.device, l.end_b.device);
+    l.admin_down = false;
+    net_.refresh_link(lid);
+    if (ok) out.push_back(lid);
+    if (static_cast<int>(out.size()) >= cfg_.donor_pool) break;
+  }
+  return out;
+}
+
+net::DeviceId TopologyReconfigurer::attachment_switch(net::DeviceId server) const {
+  for (const net::LinkId lid : net_.links_at(server)) {
+    const net::Link& l = net_.link(lid);
+    const net::DeviceId peer = l.end_a.device == server ? l.end_b.device : l.end_a.device;
+    if (topology::is_switch(net_.device(peer).role)) return peer;
+  }
+  return server;
+}
+
+TopologyReconfigurer::Plan TopologyReconfigurer::plan(const net::TrafficMatrix& tm) {
+  Plan result;
+  net::LoadReport current = net::route_and_load(net_, tm);
+  result.delivered_before_gbps = current.delivered_gbps;
+  result.delivered_after_gbps = current.delivered_gbps;
+
+  std::vector<Rewire> all_committed;
+
+  for (int round = 0; round < cfg_.max_moves; ++round) {
+    // Demand attribution: gbps per (src ToR, dst ToR) pair, hottest first.
+    std::map<std::pair<std::int32_t, std::int32_t>, double> pair_demand;
+    for (const net::Flow& f : tm.flows) {
+      const net::DeviceId a = attachment_switch(f.src);
+      const net::DeviceId b = attachment_switch(f.dst);
+      if (a == b) continue;
+      pair_demand[{std::min(a.value(), b.value()), std::max(a.value(), b.value())}] +=
+          f.gbps;
+    }
+    std::vector<std::pair<double, std::pair<std::int32_t, std::int32_t>>> hot;
+    for (const auto& [pair, gbps] : pair_demand) hot.emplace_back(gbps, pair);
+    std::sort(hot.rbegin(), hot.rend());
+
+    Move best;
+    double best_delivered = current.delivered_gbps;
+    // Links already moved must not be treated as donors again.
+    std::vector<net::LinkId> exclude;
+    for (const Rewire& r : all_committed) exclude.push_back(r.link);
+
+    // Shared trial-evaluate-revert helper.
+    auto consider = [&](Move candidate) {
+      if (candidate.rewires.empty()) return;
+      for (const Rewire& r : candidate.rewires) net_.rewire(r.link, r.to_a, r.to_b);
+      const net::LoadReport trial = net::route_and_load(net_, tm);
+      for (auto it = candidate.rewires.rbegin(); it != candidate.rewires.rend(); ++it) {
+        net_.rewire(it->link, it->from_a, it->from_b);
+      }
+      if (trial.delivered_gbps > best_delivered) {
+        best_delivered = trial.delivered_gbps;
+        candidate.delivered_before = current.delivered_gbps;
+        candidate.delivered_after = trial.delivered_gbps;
+        best = std::move(candidate);
+      }
+    };
+
+    // Move type B: column reinforcement for an all-to-all hot group. Under
+    // ECMP, adding capacity from one ToR skews hashing onto unreinforced
+    // downstream segments; reinforcing one intermediate switch's links to
+    // *every* hot ToR keeps the split balanced end-to-end.
+    {
+      // Hot ToRs: those appearing in the top pair demands.
+      std::vector<net::DeviceId> hot_tors;
+      double covered = 0;
+      const double total_pair_demand = [&] {
+        double t = 0;
+        for (const auto& [g, p] : hot) t += g;
+        return t;
+      }();
+      for (const auto& [gbps, pair] : hot) {
+        for (const std::int32_t v : {pair.first, pair.second}) {
+          const net::DeviceId d{v};
+          if (std::find(hot_tors.begin(), hot_tors.end(), d) == hot_tors.end()) {
+            hot_tors.push_back(d);
+          }
+        }
+        covered += gbps;
+        if (covered > 0.7 * total_pair_demand || hot_tors.size() >= 4) break;
+      }
+      if (hot_tors.size() >= 2) {
+        // Candidate intermediates: switches adjacent to every hot ToR.
+        std::vector<net::DeviceId> columns;
+        for (const auto& [peer, lid] : net_.live_neighbors(hot_tors[0])) {
+          if (!topology::is_switch(net_.device(peer).role)) continue;
+          const bool common = std::all_of(
+              hot_tors.begin() + 1, hot_tors.end(), [&](net::DeviceId tor) {
+                return !net_.links_between(tor, peer).empty();
+              });
+          if (common) columns.push_back(peer);
+        }
+        for (std::size_t c = 0; c < std::min<std::size_t>(2, columns.size()); ++c) {
+          std::vector<net::LinkId> col_exclude = exclude;
+          for (const net::DeviceId tor : hot_tors) {
+            for (const net::LinkId lid : net_.links_between(tor, columns[c])) {
+              col_exclude.push_back(lid);
+            }
+          }
+          const std::vector<net::LinkId> donors = donor_candidates(current, col_exclude);
+          if (donors.size() < hot_tors.size()) continue;
+          Move candidate;
+          for (std::size_t i = 0; i < hot_tors.size(); ++i) {
+            const net::Link& l = net_.link(donors[i]);
+            candidate.rewires.push_back(Rewire{donors[i], l.end_a.device, l.end_b.device,
+                                               hot_tors[i], columns[c]});
+          }
+          consider(std::move(candidate));
+        }
+      }
+    }
+
+    const int pairs_to_try = std::min<std::size_t>(3, hot.size());
+    for (int h = 0; h < pairs_to_try; ++h) {
+      const net::DeviceId tor_a{hot[static_cast<size_t>(h)].second.first};
+      const net::DeviceId tor_b{hot[static_cast<size_t>(h)].second.second};
+      const std::vector<net::DeviceId> path = net::shortest_path(net_, tor_a, tor_b);
+      if (path.size() < 2) continue;
+
+      // Reinforce each fabric segment of the hot pair's route with one donor.
+      std::vector<net::LinkId> seg_exclude = exclude;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        for (const net::LinkId lid : net_.links_between(path[i], path[i + 1])) {
+          seg_exclude.push_back(lid);  // don't steal from the path itself
+        }
+      }
+      const std::vector<net::LinkId> donors = donor_candidates(current, seg_exclude);
+      if (donors.size() < path.size() - 1) continue;
+
+      Move candidate;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        const net::LinkId donor = donors[i];
+        const net::Link& l = net_.link(donor);
+        candidate.rewires.push_back(
+            Rewire{donor, l.end_a.device, l.end_b.device, path[i], path[i + 1]});
+      }
+      consider(std::move(candidate));
+    }
+
+    const double gain = best_delivered - current.delivered_gbps;
+    if (best.rewires.empty() ||
+        gain < cfg_.min_relative_gain * std::max(1.0, current.delivered_gbps)) {
+      break;
+    }
+    // Commit in the working state so subsequent moves compose.
+    for (const Rewire& r : best.rewires) net_.rewire(r.link, r.to_a, r.to_b);
+    for (const Rewire& r : best.rewires) all_committed.push_back(r);
+    current = net::route_and_load(net_, tm);
+    result.delivered_after_gbps = current.delivered_gbps;
+    result.moves.push_back(std::move(best));
+  }
+
+  // Restore the original wiring: plan() is a pure what-if.
+  for (auto mit = result.moves.rbegin(); mit != result.moves.rend(); ++mit) {
+    for (auto rit = mit->rewires.rbegin(); rit != mit->rewires.rend(); ++rit) {
+      net_.rewire(rit->link, rit->from_a, rit->from_b);
+    }
+  }
+  return result;
+}
+
+void TopologyReconfigurer::apply_instantly(const Plan& plan) {
+  for (const Move& m : plan.moves) {
+    for (const Rewire& r : m.rewires) net_.rewire(r.link, r.to_a, r.to_b);
+  }
+}
+
+int TopologyReconfigurer::apply(const Plan& plan, std::function<void()> on_done) {
+  if (fleet_ == nullptr || !fleet_->capable(maintenance::RepairActionKind::kReplaceCable)) {
+    return 0;  // needs the L4 cable-laying unit
+  }
+  std::vector<Rewire> rewires;
+  for (const Move& m : plan.moves) {
+    for (const Rewire& r : m.rewires) rewires.push_back(r);
+  }
+  auto remaining = std::make_shared<int>(static_cast<int>(rewires.size()));
+  auto done = std::make_shared<std::function<void()>>(std::move(on_done));
+  if (*remaining == 0) {
+    if (*done) (*done)();
+    return 0;
+  }
+  for (const Rewire& r : rewires) {
+    // Drain the donor while the robot re-lays it; the logical rewire lands
+    // when the job completes.
+    net_.link_mut(r.link).admin_down = true;
+    net_.refresh_link(r.link);
+    maintenance::Job job;
+    job.link = r.link;
+    job.kind = maintenance::RepairActionKind::kReplaceCable;
+    fleet_->submit(job, [this, r, remaining, done](const maintenance::JobReport&) {
+      net_.rewire(r.link, r.to_a, r.to_b);
+      net_.link_mut(r.link).admin_down = false;
+      net_.refresh_link(r.link);
+      if (--*remaining == 0 && *done) (*done)();
+    });
+  }
+  return static_cast<int>(rewires.size());
+}
+
+}  // namespace smn::core

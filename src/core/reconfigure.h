@@ -1,0 +1,91 @@
+// Robotic topology reconfiguration (§4).
+//
+// "As an extension of this, it is interesting to explore reconfigurable
+// network topologies to dynamically adapt to changing traffic patterns and
+// optimize resource utilization. The robotics that enables a self-maintaining
+// network will also be able to deploy arbitrary topologies potentially."
+//
+// The planner works in composite *path-reinforcement* moves: it attributes
+// demand to (source ToR, destination ToR) pairs, takes the hottest pair
+// whose flows are clipped, and reinforces every fabric segment of that
+// pair's current route with one donor cable each (donors = least-loaded
+// switch-switch links whose removal keeps their endpoints connected).
+// Single-cable moves are not generally improving under ECMP shortest-path
+// routing — adding one link shifts hashing without widening the whole
+// channel — which is why moves are composite. Each candidate is evaluated by
+// trial-rewiring the live network and measuring delivered goodput with the
+// traffic engine, then reverting; accepted plans execute through the
+// (cable-capable, i.e. L4) robot fleet.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "net/traffic.h"
+#include "robotics/fleet.h"
+
+namespace smn::core {
+
+class TopologyReconfigurer {
+ public:
+  struct Config {
+    /// Maximum composite moves per optimization round.
+    int max_moves = 4;
+    /// Required relative improvement in delivered goodput per accepted move.
+    double min_relative_gain = 0.01;
+    /// Donor links examined per segment.
+    int donor_pool = 12;
+  };
+
+  struct Rewire {
+    net::LinkId link;
+    net::DeviceId from_a, from_b;
+    net::DeviceId to_a, to_b;
+  };
+
+  struct Move {
+    std::vector<Rewire> rewires;  // applied together (one reinforced path)
+    double delivered_before = 0;
+    double delivered_after = 0;
+  };
+
+  struct Plan {
+    std::vector<Move> moves;
+    double delivered_before_gbps = 0;
+    double delivered_after_gbps = 0;
+  };
+
+  TopologyReconfigurer(net::Network& net, robotics::RobotFleet* fleet)
+      : TopologyReconfigurer(net, fleet, Config{}) {}
+  TopologyReconfigurer(net::Network& net, robotics::RobotFleet* fleet, Config cfg)
+      : net_{net}, fleet_{fleet}, cfg_{cfg} {}
+
+  /// Greedy plan against a demand matrix. Pure what-if: the network is
+  /// returned to its original wiring before this returns.
+  [[nodiscard]] Plan plan(const net::TrafficMatrix& tm);
+
+  /// Executes a plan through the robot fleet (requires a cable-capable
+  /// fleet). Each donor is drained for the duration of its re-lay; the
+  /// logical rewire lands when the robot job finishes. Returns the number of
+  /// cable moves dispatched; `on_done` fires after the last one.
+  int apply(const Plan& plan, std::function<void()> on_done);
+
+  /// Executes a plan instantaneously (planning studies / tests).
+  void apply_instantly(const Plan& plan);
+
+ private:
+  /// Least-utilized switch-switch links whose removal keeps their endpoints
+  /// mutually reachable, excluding `exclude`.
+  [[nodiscard]] std::vector<net::LinkId> donor_candidates(
+      const net::LoadReport& report, const std::vector<net::LinkId>& exclude) const;
+
+  /// The ToR a server hangs off (its first live switch neighbour).
+  [[nodiscard]] net::DeviceId attachment_switch(net::DeviceId server) const;
+
+  net::Network& net_;
+  robotics::RobotFleet* fleet_;
+  Config cfg_;
+};
+
+}  // namespace smn::core

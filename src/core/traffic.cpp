@@ -1,0 +1,26 @@
+#include "core/traffic.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace smn::core {
+
+double TrafficProfile::utilization(sim::TimePoint t) const {
+  const double hour = std::fmod(t.to_hours(), 24.0);
+  const double phase = 2.0 * std::numbers::pi * (hour - peak_hour) / 24.0;
+  const double u = base + amplitude * std::cos(phase);
+  return u < 0.0 ? 0.0 : (u > 1.0 ? 1.0 : u);
+}
+
+sim::TimePoint TrafficProfile::next_low_window(sim::TimePoint from, double threshold) const {
+  const sim::Duration grid = sim::Duration::minutes(15);
+  sim::TimePoint t = from;
+  const sim::TimePoint horizon = from + sim::Duration::hours(48);
+  while (t <= horizon) {
+    if (is_low(t, threshold)) return t;
+    t = t + grid;
+  }
+  return from;
+}
+
+}  // namespace smn::core

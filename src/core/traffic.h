@@ -1,0 +1,33 @@
+// Diurnal utilization profile.
+//
+// §4 (predictive maintenance): "During periods of low utilization, automation
+// hardware can be used for proactive maintenance at little to no additional
+// cost." The controller uses this profile to find those periods and to defer
+// non-urgent disruptive work, and the cost model uses it to weight the
+// traffic impact of downtime.
+#pragma once
+
+#include "sim/time.h"
+
+namespace smn::core {
+
+struct TrafficProfile {
+  double base = 0.55;        // mean utilization
+  double amplitude = 0.25;   // diurnal swing
+  double peak_hour = 15.0;   // local hour of peak load
+
+  /// Fabric utilization in [0,1] at time t.
+  [[nodiscard]] double utilization(sim::TimePoint t) const;
+
+  /// True when utilization is below `threshold` (a maintenance window).
+  [[nodiscard]] bool is_low(sim::TimePoint t, double threshold) const {
+    return utilization(t) < threshold;
+  }
+
+  /// Earliest time >= `from` at which utilization drops below `threshold`,
+  /// searched on a 15-minute grid up to 48 h out (falls back to `from` if
+  /// the threshold is never reached — better to act than wait forever).
+  [[nodiscard]] sim::TimePoint next_low_window(sim::TimePoint from, double threshold) const;
+};
+
+}  // namespace smn::core

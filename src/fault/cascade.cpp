@@ -1,0 +1,138 @@
+#include "fault/cascade.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "topology/physical.h"
+
+namespace smn::fault {
+
+CascadeModel::CascadeModel(net::Network& net, Environment& env, FaultInjector& injector,
+                           sim::RngStream rng, Config cfg)
+    : net_{net}, env_{env}, injector_{injector}, rng_{std::move(rng)}, cfg_{cfg} {
+  rebuild_adjacency();
+}
+
+void CascadeModel::rebuild_adjacency() {
+  // Build link->tray-mates adjacency from the blueprint routes.
+  const topology::Blueprint& bp = net_.blueprint();
+  std::unordered_map<topology::TraySegment, std::vector<int>, topology::TraySegmentHash>
+      segment_links;
+  for (int li = 0; li < static_cast<int>(bp.links().size()); ++li) {
+    for (const topology::TraySegment& seg : bp.link(li).route.segments) {
+      segment_links[seg].push_back(li);
+    }
+  }
+  tray_adjacent_.assign(bp.links().size(), {});
+  std::vector<std::unordered_set<int>> sets(bp.links().size());
+  for (const auto& [seg, lids] : segment_links) {
+    for (const int a : lids) {
+      for (const int b : lids) {
+        if (a != b) sets[static_cast<size_t>(a)].insert(b);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < sets.size(); ++i) {
+    tray_adjacent_[i].reserve(sets[i].size());
+    for (const int b : sets[i]) tray_adjacent_[i].push_back(net::LinkId{b});
+    std::sort(tray_adjacent_[i].begin(), tray_adjacent_[i].end());
+  }
+}
+
+std::vector<net::LinkId> CascadeModel::faceplate_neighbors(net::LinkId target,
+                                                           net::DeviceId device) const {
+  const net::Link& t = net_.link(target);
+  const int my_port = t.end_a.device == device ? t.end_a.port : t.end_b.port;
+  std::vector<net::LinkId> out;
+  for (const net::LinkId lid : net_.links_at(device)) {
+    if (lid == target) continue;
+    const net::Link& l = net_.link(lid);
+    const int port = l.end_a.device == device ? l.end_a.port : l.end_b.port;
+    if (std::abs(port - my_port) <= cfg_.faceplate_radius) out.push_back(lid);
+  }
+  return out;
+}
+
+std::vector<net::LinkId> CascadeModel::tray_neighbors(net::LinkId target) const {
+  return tray_adjacent_.at(static_cast<size_t>(target.value()));
+}
+
+std::vector<net::LinkId> CascadeModel::predicted_contacts(const Disturbance& d) const {
+  std::vector<net::LinkId> contacts = faceplate_neighbors(d.target, d.at_device);
+  if (d.full_route) {
+    for (const net::LinkId lid : tray_neighbors(d.target)) contacts.push_back(lid);
+    std::sort(contacts.begin(), contacts.end());
+    contacts.erase(std::unique(contacts.begin(), contacts.end()), contacts.end());
+  }
+  return contacts;
+}
+
+std::vector<CascadeEffect> CascadeModel::apply(const Disturbance& d) {
+  const sim::TimePoint now = net_.now();
+  env_.add_vibration(now, cfg_.vibration_duration, cfg_.vibration_gain * d.magnitude);
+
+  std::vector<CascadeEffect> effects;
+  auto hit = [&](net::LinkId victim, double probability) {
+    if (!rng_.bernoulli(std::min(0.95, probability))) return;
+    const net::Link& v = net_.link(victim);
+    if (v.state == net::LinkState::kDown) return;  // nothing left to disturb
+
+    const double weights[] = {cfg_.w_gray, cfg_.w_contamination, cfg_.w_permanent};
+    const std::size_t kind = rng_.weighted_index(weights);
+    CascadeEffect effect{now, victim, FaultKind::kGrayEpisode, d.target};
+    if (kind == 0) {
+      const double secs =
+          rng_.lognormal(cfg_.induced_gray_log_mean, cfg_.induced_gray_log_sigma);
+      injector_.inject_gray_episode(victim, sim::Duration::seconds(secs));
+      effect.induced = FaultKind::kGrayEpisode;
+    } else if (kind == 1 && net::is_cleanable(v.medium)) {
+      // The motion knocked dust onto/into a nearby end-face.
+      net::Link& vm = net_.link_mut(victim);
+      net::EndCondition& end =
+          rng_.bernoulli(0.5) ? vm.end_a.condition : vm.end_b.condition;
+      end.contamination =
+          std::min(1.0, end.contamination + rng_.exponential(cfg_.contamination_bump_mean));
+      net_.refresh_link(victim);
+      effect.induced = FaultKind::kGrayEpisode;  // presents as transient degradation
+    } else {
+      // Permanent: yanked a neighbouring plug half-out or stressed its cable.
+      net::Link& vm = net_.link_mut(victim);
+      if (rng_.bernoulli(0.7)) {
+        // Unseat the end on the faceplate being worked on when there is one;
+        // otherwise (a tray-mate) either end is plausible.
+        net::EndCondition& end = vm.end_b.device == d.at_device
+                                     ? vm.end_b.condition
+                                     : vm.end_a.condition;
+        end.transceiver_seated = false;
+        effect.induced = FaultKind::kTransceiverFailure;
+      } else {
+        vm.cable.intact = false;
+        effect.induced = FaultKind::kCableBreak;
+      }
+      net_.refresh_link(victim);
+    }
+    effects.push_back(effect);
+    log_.push_back(effect);
+  };
+
+  for (const net::LinkId lid : faceplate_neighbors(d.target, d.at_device)) {
+    hit(lid, cfg_.faceplate_coupling * d.magnitude);
+  }
+  if (d.full_route) {
+    for (const net::LinkId lid : tray_neighbors(d.target)) {
+      hit(lid, cfg_.tray_coupling * d.magnitude);
+    }
+  }
+  return effects;
+}
+
+std::size_t CascadeModel::induced_permanent_count() const {
+  std::size_t n = 0;
+  for (const CascadeEffect& e : log_) {
+    if (e.induced != FaultKind::kGrayEpisode) ++n;
+  }
+  return n;
+}
+
+}  // namespace smn::fault

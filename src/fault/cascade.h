@@ -1,0 +1,107 @@
+// The cascading-failure model.
+//
+// §1: "Cascading failures occur when physical motion near or with hardware
+// creates vibrations and other physical effects on the co-located hardware,
+// which leads to additional transient (or permanent!) failures."
+//
+// Every physical maintenance action produces a Disturbance with a magnitude
+// (humans are heavy-handed; the paper's small grippers are designed to
+// "minimize accidental interaction with physically close cables"). The model
+// maps a disturbance to the set of physically coupled cables — same-faceplate
+// neighbours and, for actions touching the whole cable run, tray-mates — and
+// samples induced faults on them. It can also *predict* the contact set
+// before acting, which is what the controller's impact-aware scheduling
+// consumes (§2: "automation can report which network cables will be contacted
+// before the maintenance occurs").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/environment.h"
+#include "fault/injector.h"
+#include "net/network.h"
+#include "sim/rng.h"
+
+namespace smn::fault {
+
+struct Disturbance {
+  net::LinkId target;
+  /// The device whose faceplate is being worked on.
+  net::DeviceId at_device;
+  /// Physical intensity: ~1.0 human technician, ~0.25 manipulation robot,
+  /// ~0.1 cleaning unit (docked, minimal cable contact).
+  double magnitude = 1.0;
+  /// True when the whole cable run is handled (cable replacement / re-laying
+  /// through trays), coupling to every tray-mate; false for faceplate-local
+  /// work (reseat, clean).
+  bool full_route = false;
+};
+
+struct CascadeEffect {
+  sim::TimePoint time;
+  net::LinkId victim;
+  FaultKind induced = FaultKind::kGrayEpisode;
+  net::LinkId cause;  // the target whose maintenance caused this
+};
+
+class CascadeModel {
+ public:
+  struct Config {
+    /// Per-neighbour induced-fault probability per unit disturbance.
+    double faceplate_coupling = 0.05;
+    double tray_coupling = 0.006;
+    /// Faceplate neighbourhood: ports within this distance on the same device.
+    int faceplate_radius = 2;
+    /// Induced fault mix (normalized internally).
+    double w_gray = 0.85;
+    double w_contamination = 0.12;
+    double w_permanent = 0.03;
+    /// Induced gray episodes: lognormal seconds.
+    double induced_gray_log_mean = std::log(10.0 * 60.0);
+    double induced_gray_log_sigma = 0.8;
+    double contamination_bump_mean = 0.08;
+    /// Vibration contributed to the hall per unit magnitude.
+    double vibration_gain = 0.15;
+    sim::Duration vibration_duration = sim::Duration::minutes(2);
+  };
+
+  CascadeModel(net::Network& net, Environment& env, FaultInjector& injector,
+               sim::RngStream rng)
+      : CascadeModel(net, env, injector, std::move(rng), Config{}) {}
+  CascadeModel(net::Network& net, Environment& env, FaultInjector& injector,
+               sim::RngStream rng, Config cfg);
+
+  /// Cables that WILL be physically contacted/coupled by the action — the
+  /// pre-announced contact list the control plane can act on.
+  [[nodiscard]] std::vector<net::LinkId> predicted_contacts(const Disturbance& d) const;
+
+  /// Applies the disturbance: registers hall vibration and samples induced
+  /// faults on the contact set. Returns what happened (also logged).
+  std::vector<CascadeEffect> apply(const Disturbance& d);
+
+  /// Re-derives the tray adjacency from the network's (possibly rewired)
+  /// blueprint; call after Network::rewire.
+  void rebuild_adjacency();
+
+  [[nodiscard]] const std::vector<CascadeEffect>& log() const { return log_; }
+  [[nodiscard]] std::size_t induced_count() const { return log_.size(); }
+  [[nodiscard]] std::size_t induced_permanent_count() const;
+
+ private:
+  [[nodiscard]] std::vector<net::LinkId> faceplate_neighbors(net::LinkId target,
+                                                             net::DeviceId device) const;
+  [[nodiscard]] std::vector<net::LinkId> tray_neighbors(net::LinkId target) const;
+
+  net::Network& net_;
+  Environment& env_;
+  FaultInjector& injector_;
+  sim::RngStream rng_;
+  Config cfg_;
+  std::vector<CascadeEffect> log_;
+  /// Precomputed tray adjacency: link -> links sharing >= 1 tray segment.
+  std::vector<std::vector<net::LinkId>> tray_adjacent_;
+};
+
+}  // namespace smn::fault

@@ -1,0 +1,54 @@
+#include "fault/contamination.h"
+
+#include <algorithm>
+
+namespace smn::fault {
+
+ContaminationProcess::ContaminationProcess(net::Network& net, Environment& env,
+                                           sim::RngStream rng, Config cfg)
+    : net_{net}, env_{env}, rng_{std::move(rng)}, cfg_{cfg} {}
+
+void ContaminationProcess::start() {
+  if (periodic_ != sim::kInvalidEvent) return;
+  periodic_ = net_.simulator().schedule_every(cfg_.step, [this] { step_once(); });
+}
+
+void ContaminationProcess::stop() {
+  if (periodic_ == sim::kInvalidEvent) return;
+  net_.simulator().cancel_periodic(periodic_);
+  periodic_ = sim::kInvalidEvent;
+}
+
+void ContaminationProcess::step_once() {
+  const sim::TimePoint now = net_.now();
+  const double stress = env_.stress_factor(now);
+  const double dt_days = cfg_.step.to_days();
+  const double mean_inc = cfg_.mean_accumulation_per_day * dt_days * stress;
+  for (const net::Link& l : net_.links()) {
+    if (!net::is_cleanable(l.medium)) continue;
+    net::Link& lm = net_.link_mut(l.id);
+    for (net::EndCondition* end : {&lm.end_a.condition, &lm.end_b.condition}) {
+      end->contamination = std::min(1.0, end->contamination + rng_.exponential(mean_inc));
+    }
+    net_.refresh_link(l.id);
+  }
+}
+
+void ContaminationProcess::expose(net::LinkId id, int which_end, double risk_scale) {
+  net::Link& l = net_.link_mut(id);
+  if (!net::is_cleanable(l.medium)) return;
+  if (!rng_.bernoulli(cfg_.exposure_probability * risk_scale)) return;
+  net::EndCondition& end = which_end == 0 ? l.end_a.condition : l.end_b.condition;
+  end.contamination = std::min(1.0, end.contamination + rng_.exponential(cfg_.exposure_burst_mean));
+  net_.refresh_link(id);
+}
+
+double ContaminationProcess::total_contamination() const {
+  double total = 0.0;
+  for (const net::Link& l : net_.links()) {
+    total += l.end_a.condition.contamination + l.end_b.condition.contamination;
+  }
+  return total;
+}
+
+}  // namespace smn::fault

@@ -1,0 +1,66 @@
+// End-face contamination dynamics.
+//
+// §1: "A great example would be dirt on an end-face of an optical fiber cable
+// in a network transceiver. This dirt can cause the link to fail or to flap."
+// Contamination accumulates slowly while links are mated, jumps when an
+// end-face is exposed to hall air (every unplug), and is removed by cleaning.
+// The link state machine turns contamination into Degraded/Flapping.
+#pragma once
+
+#include "fault/environment.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace smn::fault {
+
+class ContaminationProcess {
+ public:
+  struct Config {
+    /// Mean contamination added per day to a mated optical end-face at
+    /// nominal environmental stress. Real plants are slower; this is
+    /// accelerated so multi-month runs produce statistically useful counts
+    /// (documented in DESIGN.md).
+    double mean_accumulation_per_day = 0.004;
+    /// Mean contamination burst when an end-face is exposed (unplugged
+    /// without a dust cap, §3.2's reason reassembly must be immediate).
+    double exposure_burst_mean = 0.12;
+    /// Probability an exposure event picks up any dirt at all.
+    double exposure_probability = 0.5;
+    sim::Duration step = sim::Duration::hours(6);
+  };
+
+  ContaminationProcess(net::Network& net, Environment& env, sim::RngStream rng)
+      : ContaminationProcess(net, env, std::move(rng), Config{}) {}
+  ContaminationProcess(net::Network& net, Environment& env, sim::RngStream rng,
+                       Config cfg);
+
+  /// Starts the periodic accumulation process on the network's simulator.
+  void start();
+  void stop();
+
+  /// One accumulation step over all cleanable link ends (also called by the
+  /// periodic process). Refreshes link states.
+  void step_once();
+
+  /// Called when an end-face is exposed to hall air (unplug / detach).
+  /// `which_end` is 0 for end_a, 1 for end_b. `risk_scale` multiplies the
+  /// exposure probability: careful robotic handling that re-mates in place
+  /// (§3.3.2 "reassembles ... to minimize the risk of recontamination")
+  /// passes < 1.
+  void expose(net::LinkId id, int which_end, double risk_scale = 1.0);
+
+  /// Total contamination across the plant (diagnostic).
+  [[nodiscard]] double total_contamination() const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  net::Network& net_;
+  Environment& env_;
+  sim::RngStream rng_;
+  Config cfg_;
+  sim::EventId periodic_ = sim::kInvalidEvent;
+};
+
+}  // namespace smn::fault

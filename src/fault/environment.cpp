@@ -1,0 +1,51 @@
+#include "fault/environment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace smn::fault {
+namespace {
+constexpr double kDayHours = 24.0;
+}
+
+double Environment::temperature_c(sim::TimePoint t) const {
+  const double phase = 2.0 * std::numbers::pi * std::fmod(t.to_hours(), kDayHours) / kDayHours;
+  // Peak mid-afternoon (phase shifted), trough pre-dawn.
+  return cfg_.base_temperature_c + cfg_.temperature_amplitude_c * std::sin(phase - 1.0);
+}
+
+double Environment::humidity(sim::TimePoint t) const {
+  const double phase = 2.0 * std::numbers::pi * std::fmod(t.to_hours(), kDayHours) / kDayHours;
+  const double h = cfg_.base_humidity + cfg_.humidity_amplitude * std::sin(phase + 0.8);
+  return std::clamp(h, 0.0, 1.0);
+}
+
+void Environment::add_vibration(sim::TimePoint start, sim::Duration duration,
+                                double magnitude) {
+  if (magnitude <= 0.0 || duration <= sim::Duration::zero()) return;
+  events_.push_back(VibrationEvent{start, start + duration, magnitude});
+}
+
+double Environment::vibration(sim::TimePoint t) const {
+  double total = cfg_.ambient_vibration;
+  for (const VibrationEvent& e : events_) {
+    if (t >= e.start && t < e.end) total += e.magnitude;
+  }
+  return total;
+}
+
+double Environment::stress_factor(sim::TimePoint t) const {
+  // Normalized deviations: 1.0 at nominal conditions; each contribution is
+  // small so the factor stays in roughly [0.6, 3] under realistic inputs.
+  const double temp_dev = (temperature_c(t) - cfg_.base_temperature_c) / 10.0;
+  const double humid_dev = (humidity(t) - cfg_.base_humidity) / 0.25;
+  const double vib = vibration(t);
+  return std::max(0.25, 1.0 + 0.4 * temp_dev + 0.3 * humid_dev + 2.0 * vib);
+}
+
+void Environment::prune(sim::TimePoint now) {
+  std::erase_if(events_, [now](const VibrationEvent& e) { return e.end <= now; });
+}
+
+}  // namespace smn::fault

@@ -1,0 +1,145 @@
+#include "fault/injector.h"
+
+#include <cmath>
+
+#include "topology/blueprint.h"
+
+namespace smn::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kTransceiverFailure: return "transceiver-failure";
+    case FaultKind::kCableBreak: return "cable-break";
+    case FaultKind::kDeviceFailure: return "device-failure";
+    case FaultKind::kGrayEpisode: return "gray-episode";
+    case FaultKind::kLineCardFailure: return "linecard-failure";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(net::Network& net, Environment& env, sim::RngStream rng,
+                             Config cfg)
+    : net_{net}, env_{env}, rng_{std::move(rng)}, cfg_{cfg} {}
+
+void FaultInjector::start() {
+  if (periodic_ != sim::kInvalidEvent) return;
+  periodic_ = net_.simulator().schedule_every(cfg_.step, [this] { step_once(); });
+}
+
+void FaultInjector::stop() {
+  if (periodic_ == sim::kInvalidEvent) return;
+  net_.simulator().cancel_periodic(periodic_);
+  periodic_ = sim::kInvalidEvent;
+}
+
+void FaultInjector::step_once() {
+  const sim::TimePoint now = net_.now();
+  const double dt_years = cfg_.step.to_days() / 365.0;
+  const double stress = env_.stress_factor(now);
+
+  for (const net::Link& l : net_.links()) {
+    // Transceiver hard failures and contact aging, per end, with reseat wear.
+    for (int end = 0; end < 2; ++end) {
+      net::EndCondition& cond =
+          end == 0 ? net_.link_mut(l.id).end_a.condition : net_.link_mut(l.id).end_b.condition;
+      if (!cond.usable()) continue;  // already dead / unseated
+      cond.oxidation = std::min(
+          1.0, cond.oxidation + rng_.exponential(cfg_.oxidation_rate_per_year * dt_years));
+      const double wear = 1.0 + cfg_.reseat_wear_gain * cond.reseat_count;
+      if (rng_.bernoulli(cfg_.transceiver_afr * wear * dt_years)) {
+        inject_transceiver_failure(l.id, end);
+      }
+    }
+    if (l.cable.intact &&
+        rng_.bernoulli(cfg_.cable_afr * (1.0 + l.cable.wear) * dt_years)) {
+      inject_cable_break(l.id);
+    }
+    // Gray episodes: only meaningful on links that are currently carrying
+    // traffic; hazard rises with contamination and environmental stress.
+    if (l.state == net::LinkState::kUp || l.state == net::LinkState::kDegraded) {
+      // Dirt blocks the shared light path, so the worse end-face dominates;
+      // electrical contacts glitch independently, so the two ends' oxidation
+      // hazards add (and reseating either end removes its half).
+      const double contamination =
+          std::max(l.end_a.condition.contamination, l.end_b.condition.contamination);
+      const double oxidation =
+          0.5 * (l.end_a.condition.oxidation + l.end_b.condition.oxidation);
+      const double rate = cfg_.gray_rate_per_year *
+                          (1.0 + cfg_.gray_contamination_gain * contamination +
+                           cfg_.gray_oxidation_gain * oxidation) *
+                          stress;
+      if (rng_.bernoulli(std::min(0.9, rate * dt_years))) {
+        const double secs =
+            rng_.lognormal(cfg_.gray_duration_log_mean, cfg_.gray_duration_log_sigma);
+        inject_gray_episode(l.id, sim::Duration::seconds(secs));
+      }
+    }
+  }
+
+  for (const net::Device& d : net_.devices()) {
+    if (!d.healthy) continue;
+    const double afr =
+        topology::is_switch(d.role) ? cfg_.switch_afr : cfg_.server_nic_afr;
+    if (rng_.bernoulli(afr * dt_years)) inject_device_failure(d.id);
+    if (d.has_linecards()) {
+      for (int card = 0; card < static_cast<int>(d.linecards_healthy.size()); ++card) {
+        if (d.linecards_healthy[static_cast<size_t>(card)] &&
+            rng_.bernoulli(cfg_.linecard_afr * dt_years)) {
+          inject_linecard_failure(d.id, card);
+        }
+      }
+    }
+  }
+}
+
+void FaultInjector::inject_transceiver_failure(net::LinkId id, int end) {
+  net::Link& l = net_.link_mut(id);
+  (end == 0 ? l.end_a.condition : l.end_b.condition).transceiver_healthy = false;
+  net_.refresh_link(id);
+  emit(FaultEvent{net_.now(), FaultKind::kTransceiverFailure, id, net::DeviceId{}, end,
+                  sim::Duration::zero()});
+}
+
+void FaultInjector::inject_cable_break(net::LinkId id) {
+  net_.link_mut(id).cable.intact = false;
+  net_.refresh_link(id);
+  emit(FaultEvent{net_.now(), FaultKind::kCableBreak, id, net::DeviceId{}, -1,
+                  sim::Duration::zero()});
+}
+
+void FaultInjector::inject_device_failure(net::DeviceId id) {
+  net_.set_device_health(id, false);
+  emit(FaultEvent{net_.now(), FaultKind::kDeviceFailure, net::LinkId{}, id, -1,
+                  sim::Duration::zero()});
+}
+
+void FaultInjector::inject_linecard_failure(net::DeviceId id, int card) {
+  net_.set_linecard_health(id, card, false);
+  emit(FaultEvent{net_.now(), FaultKind::kLineCardFailure, net::LinkId{}, id, card,
+                  sim::Duration::zero()});
+}
+
+void FaultInjector::inject_gray_episode(net::LinkId id, sim::Duration duration) {
+  net::Link& l = net_.link_mut(id);
+  const sim::TimePoint until = net_.now() + duration;
+  if (until > l.gray_until) l.gray_until = until;
+  net_.refresh_link(id);
+  // Schedule the recovery refresh so the state machine observes the expiry.
+  net_.simulator().schedule_at(until, [this, id] { net_.refresh_link(id); });
+  emit(FaultEvent{net_.now(), FaultKind::kGrayEpisode, id, net::DeviceId{}, -1, duration});
+}
+
+std::size_t FaultInjector::count(FaultKind k) const {
+  std::size_t n = 0;
+  for (const FaultEvent& e : log_) {
+    if (e.kind == k) ++n;
+  }
+  return n;
+}
+
+void FaultInjector::emit(FaultEvent ev) {
+  log_.push_back(ev);
+  for (const Listener& l : listeners_) l(ev);
+}
+
+}  // namespace smn::fault

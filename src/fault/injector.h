@@ -1,0 +1,107 @@
+// Stochastic hardware fault injection.
+//
+// Covers the paper's failure taxonomy (§1): fail-stop component deaths
+// (transceiver, cable, whole device), and gray/transient episodes where a
+// link flaps for a while and recovers on its own. Hazard rates are annualized
+// failure rates (AFR) sampled per step; gray-episode hazard grows with
+// end-face contamination and environmental stress, which is exactly the
+// coupling the paper describes for dirt-driven flapping.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "fault/environment.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace smn::fault {
+
+enum class FaultKind : std::uint8_t {
+  kTransceiverFailure,  // module electrically/optically dead; needs replace
+  kCableBreak,          // fiber/copper damaged; needs cable replacement
+  kDeviceFailure,       // switch/NIC dead; needs device replacement
+  kGrayEpisode,         // transient flapping; self-clears
+  kLineCardFailure,     // one chassis card dead; its port group goes dark
+};
+[[nodiscard]] const char* to_string(FaultKind k);
+
+struct FaultEvent {
+  sim::TimePoint time;
+  FaultKind kind = FaultKind::kGrayEpisode;
+  net::LinkId link;      // valid for link-scoped faults
+  net::DeviceId device;  // valid for kDeviceFailure
+  int end = -1;          // which link end for kTransceiverFailure (0/1)
+  sim::Duration gray_duration;  // valid for kGrayEpisode
+};
+
+class FaultInjector {
+ public:
+  struct Config {
+    /// Annualized failure rates. Deliberately on the aggressive end of field
+    /// data so that month-scale simulations of a few-thousand-link plant see
+    /// hundreds of events (documented substitution: accelerated aging).
+    double transceiver_afr = 0.04;   // per transceiver end per year
+    double cable_afr = 0.006;        // per cable per year
+    double switch_afr = 0.015;       // per switch per year
+    /// Base gray-episode rate per link per year, before contamination and
+    /// environment multipliers.
+    double gray_rate_per_year = 1.5;
+    /// Contamination multiplies gray hazard by (1 + k * contamination).
+    double gray_contamination_gain = 8.0;
+    /// Contact oxidation multiplies gray hazard by (1 + k * oxidation);
+    /// oxidation is what reseating fixes (§3.2).
+    double gray_oxidation_gain = 6.0;
+    /// Mean oxidation accumulated per year on a mated contact.
+    double oxidation_rate_per_year = 0.15;
+    /// Gray episode duration: lognormal, median ~20 minutes.
+    double gray_duration_log_mean = std::log(20.0 * 60.0);  // seconds
+    double gray_duration_log_sigma = 1.0;
+    /// Wear-out: hazard multiplier grows linearly with reseat count (gold
+    /// contacts tolerate a finite number of insertions).
+    double reseat_wear_gain = 0.02;
+    sim::Duration step = sim::Duration::hours(1);
+    /// Servers' NICs fail too, but at a lower rate than switches.
+    double server_nic_afr = 0.005;
+    /// Per line card per year, on chassis switches.
+    double linecard_afr = 0.01;
+  };
+
+  using Listener = std::function<void(const FaultEvent&)>;
+
+  FaultInjector(net::Network& net, Environment& env, sim::RngStream rng)
+      : FaultInjector(net, env, std::move(rng), Config{}) {}
+  FaultInjector(net::Network& net, Environment& env, sim::RngStream rng, Config cfg);
+
+  void start();
+  void stop();
+  /// One hazard-sampling step over all hardware (also called periodically).
+  void step_once();
+
+  void subscribe(Listener l) { listeners_.push_back(std::move(l)); }
+
+  [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
+  [[nodiscard]] std::size_t count(FaultKind k) const;
+
+  /// Injects a specific fault immediately (for tests and directed scenarios).
+  void inject_transceiver_failure(net::LinkId id, int end);
+  void inject_cable_break(net::LinkId id);
+  void inject_device_failure(net::DeviceId id);
+  void inject_gray_episode(net::LinkId id, sim::Duration duration);
+  void inject_linecard_failure(net::DeviceId id, int card);
+
+ private:
+  void emit(FaultEvent ev);
+
+  net::Network& net_;
+  Environment& env_;
+  sim::RngStream rng_;
+  Config cfg_;
+  std::vector<FaultEvent> log_;
+  std::vector<Listener> listeners_;
+  sim::EventId periodic_ = sim::kInvalidEvent;
+};
+
+}  // namespace smn::fault

@@ -1,0 +1,76 @@
+#include "fault/trace.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace smn::fault {
+
+void FaultTrace::attach(FaultInjector& injector) {
+  injector.subscribe([this](const FaultEvent& ev) { events.push_back(ev); });
+}
+
+void FaultTrace::save(std::ostream& os) const {
+  os << "time_us,kind,link,device,end,gray_us\n";
+  for (const FaultEvent& e : events) {
+    os << e.time.count_us() << "," << static_cast<int>(e.kind) << "," << e.link.value()
+       << "," << e.device.value() << "," << e.end << "," << e.gray_duration.count_us()
+       << "\n";
+  }
+}
+
+FaultTrace FaultTrace::load(std::istream& is) {
+  FaultTrace trace;
+  std::string line;
+  if (!std::getline(is, line)) return trace;  // header (or empty)
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss{line};
+    std::string cell;
+    auto next = [&]() -> long long {
+      if (!std::getline(ss, cell, ',')) {
+        throw std::runtime_error{"FaultTrace::load: malformed row: " + line};
+      }
+      return std::stoll(cell);
+    };
+    FaultEvent e;
+    e.time = sim::TimePoint::from_us(next());
+    e.kind = static_cast<FaultKind>(next());
+    e.link = net::LinkId{static_cast<std::int32_t>(next())};
+    e.device = net::DeviceId{static_cast<std::int32_t>(next())};
+    e.end = static_cast<int>(next());
+    e.gray_duration = sim::Duration::microseconds(next());
+    trace.events.push_back(e);
+  }
+  return trace;
+}
+
+std::size_t TraceReplayer::schedule(const FaultTrace& trace) {
+  std::size_t scheduled = 0;
+  for (const FaultEvent& e : trace.events) {
+    if (e.time < net_.now()) continue;  // already in the past; skip
+    net_.simulator().schedule_at(e.time, [this, e] {
+      switch (e.kind) {
+        case FaultKind::kTransceiverFailure:
+          injector_.inject_transceiver_failure(e.link, e.end);
+          break;
+        case FaultKind::kCableBreak:
+          injector_.inject_cable_break(e.link);
+          break;
+        case FaultKind::kDeviceFailure:
+          injector_.inject_device_failure(e.device);
+          break;
+        case FaultKind::kGrayEpisode:
+          injector_.inject_gray_episode(e.link, e.gray_duration);
+          break;
+        case FaultKind::kLineCardFailure:
+          injector_.inject_linecard_failure(e.device, e.end);
+          break;
+      }
+    });
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+}  // namespace smn::fault

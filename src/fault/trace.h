@@ -1,0 +1,52 @@
+// Fault-trace recording and replay.
+//
+// Same-seed comparisons stay aligned only until the worlds diverge (a repair
+// changes hazards, which changes subsequent draws). For differential
+// evaluation — "L0 vs L3 on the *identical* fault workload" — record the
+// fault sequence once from a passive world and replay it as an exogenous
+// schedule into each world under test (with the stochastic injector's
+// periodic process left off). This is the simulation analogue of trace-driven
+// evaluation against production failure logs.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace smn::fault {
+
+/// An exogenous fault schedule.
+class FaultTrace {
+ public:
+  std::vector<FaultEvent> events;
+
+  /// Records every event the injector emits (subscribe-then-run). The trace
+  /// holds whatever was emitted between attach() and the end of the run.
+  void attach(FaultInjector& injector);
+
+  /// CSV round-trip: time_us,kind,link,device,end,gray_us.
+  void save(std::ostream& os) const;
+  [[nodiscard]] static FaultTrace load(std::istream& is);
+
+  [[nodiscard]] std::size_t size() const { return events.size(); }
+};
+
+/// Replays a trace into a world by scheduling direct injections. The
+/// injector's own stochastic process should not be started.
+class TraceReplayer {
+ public:
+  TraceReplayer(net::Network& net, FaultInjector& injector)
+      : net_{net}, injector_{injector} {}
+
+  /// Schedules every event at its recorded time (must be >= now).
+  /// Returns the number of events scheduled.
+  std::size_t schedule(const FaultTrace& trace);
+
+ private:
+  net::Network& net_;
+  FaultInjector& injector_;
+};
+
+}  // namespace smn::fault

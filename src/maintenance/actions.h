@@ -1,0 +1,97 @@
+// The repair-action catalogue (§3.2 "Repair operations").
+//
+// Each action has (a) effect semantics on the hardware model, implemented in
+// `apply_action`, and (b) per-performer timing/quality, owned by the
+// performers (TechnicianPool, robots). The ladder the paper describes —
+// reseat, then clean, then replace transceiver, then cable, then device — is
+// policy, and lives in smn::core; this module only knows what each rung does.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "fault/contamination.h"
+#include "net/network.h"
+#include "sim/rng.h"
+
+namespace smn::maintenance {
+
+enum class RepairActionKind : std::uint8_t {
+  kReseat,             // remove, wait, re-insert the transceiver (one end)
+  kInspect,            // image the end-face cores; no state change
+  kClean,              // detach fiber, clean end-face + bore, reassemble
+  kReplaceTransceiver, // swap the module for a spare (one end)
+  kReplaceCable,       // lay a new cable through the trays (both ends touched)
+  kReplaceLineCard,    // swap one chassis card (the port group of this end)
+  kReplaceDevice,      // swap the switch/NIC
+};
+inline constexpr int kRepairActionKinds = 7;
+[[nodiscard]] const char* to_string(RepairActionKind k);
+
+/// True for actions that operate on one link end (vs the whole link/device).
+[[nodiscard]] constexpr bool is_end_scoped(RepairActionKind k) {
+  return k == RepairActionKind::kReseat || k == RepairActionKind::kInspect ||
+         k == RepairActionKind::kClean || k == RepairActionKind::kReplaceTransceiver ||
+         k == RepairActionKind::kReplaceLineCard;
+}
+
+/// Quality of the hands doing the work; sets success probabilities inside
+/// apply_action.
+struct WorkQuality {
+  /// Fraction of contamination removed by a cleaning pass. The robot's
+  /// wet+dry process with inspection verification beats a rushed manual job.
+  double clean_effectiveness = 0.85;
+  /// Probability a cleaning pass passes inspection the first time.
+  double clean_verify_pass = 0.8;
+  /// Probability the action is botched outright (no effect, extra wear).
+  double botch_probability = 0.02;
+  /// Multiplier on end-face exposure risk during unplug/replug. Careful
+  /// robotic handling (§3.3.2) is well below the human 1.0.
+  double exposure_risk = 1.0;
+};
+
+struct ActionResult {
+  bool performed = false;   // false when preconditions fail (e.g. no spare)
+  bool botched = false;
+  /// kInspect: measured worst-end contamination (with sensor noise), else 0.
+  double measured_contamination = 0.0;
+};
+
+/// Applies the hardware effect of `kind` to link `id` (end 0/1 for
+/// end-scoped actions). `contamination` is used to model end-face exposure
+/// during unplug/replug; pass nullptr to skip exposure effects.
+ActionResult apply_action(net::Network& net, fault::ContaminationProcess* contamination,
+                          sim::RngStream& rng, net::LinkId id, int end,
+                          RepairActionKind kind, const WorkQuality& quality);
+
+/// A unit of repair work handed to a performer (technician pool or robot
+/// fleet): one action on one link end.
+struct Job {
+  int ticket_id = -1;
+  net::LinkId link;
+  int end = 0;
+  RepairActionKind kind = RepairActionKind::kReseat;
+  bool high_priority = false;
+  /// Invoked by the performer at the moment hands touch hardware (just
+  /// before the disturbance), NOT at dispatch: the controller hangs its
+  /// contact-list drain here so links are only admin-down while work is
+  /// physically in progress.
+  std::function<void()> on_work_start;
+};
+
+struct JobReport {
+  Job job;
+  bool performed = false;
+  bool botched = false;
+  double measured_contamination = 0.0;
+  sim::TimePoint enqueued;
+  sim::TimePoint started;   // hands on hardware
+  sim::TimePoint finished;
+  std::string performer;
+  std::size_t induced_faults = 0;  // cascade collateral from this job
+};
+
+using JobCallback = std::function<void(const JobReport&)>;
+
+}  // namespace smn::maintenance

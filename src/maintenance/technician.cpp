@@ -1,0 +1,121 @@
+#include "maintenance/technician.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+namespace smn::maintenance {
+
+TechnicianPool::TechnicianPool(net::Network& net, fault::CascadeModel& cascade,
+                               fault::ContaminationProcess* contamination,
+                               sim::RngStream rng, Config cfg)
+    : net_{net},
+      cascade_{cascade},
+      contamination_{contamination},
+      rng_{std::move(rng)},
+      cfg_{cfg},
+      idle_{cfg.technicians} {}
+
+void TechnicianPool::submit(const Job& job, JobCallback cb) {
+  Pending p{job, std::move(cb), net_.now()};
+  if (job.high_priority) {
+    // High-priority jobs jump the queue but do not preempt working techs.
+    auto it = std::find_if(queue_.begin(), queue_.end(),
+                           [](const Pending& q) { return !q.job.high_priority; });
+    queue_.insert(it, std::move(p));
+  } else {
+    queue_.push_back(std::move(p));
+  }
+  try_dispatch();
+}
+
+void TechnicianPool::try_dispatch() {
+  while (idle_ > 0 && !queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    --idle_;
+    run(std::move(p));
+  }
+}
+
+double TechnicianPool::hands_on_minutes(RepairActionKind kind) {
+  double median = 0;
+  switch (kind) {
+    case RepairActionKind::kReseat: median = cfg_.reseat_minutes; break;
+    case RepairActionKind::kInspect: median = cfg_.inspect_minutes; break;
+    case RepairActionKind::kClean: median = cfg_.clean_minutes; break;
+    case RepairActionKind::kReplaceTransceiver:
+      median = cfg_.replace_transceiver_minutes;
+      break;
+    case RepairActionKind::kReplaceCable: median = cfg_.replace_cable_minutes; break;
+    case RepairActionKind::kReplaceLineCard:
+      median = cfg_.replace_linecard_minutes;
+      break;
+    case RepairActionKind::kReplaceDevice: median = cfg_.replace_device_minutes; break;
+  }
+  return rng_.lognormal(std::log(median * cfg_.assist_factor), cfg_.duration_log_sigma);
+}
+
+net::DeviceId TechnicianPool::work_site(const Job& job) const {
+  const net::Link& l = net_.link(job.link);
+  return job.end == 0 ? l.end_a.device : l.end_b.device;
+}
+
+void TechnicianPool::run(Pending p) {
+  const double dispatch_hours =
+      p.job.high_priority
+          ? rng_.lognormal(cfg_.priority_dispatch_log_mean, cfg_.priority_dispatch_log_sigma)
+          : rng_.lognormal(cfg_.dispatch_log_mean, cfg_.dispatch_log_sigma);
+
+  const net::DeviceId site = work_site(p.job);
+  // Walk from the hall entrance (row 0, rack 0).
+  const topology::RackLocation entrance{net_.device(site).location.hall, 0, 0, 0};
+  const double walk_m = net_.blueprint().layout().walking_distance_m(
+      entrance, net_.device(site).location);
+  const sim::Duration travel = sim::Duration::seconds(walk_m / cfg_.walk_speed_mps);
+  const sim::Duration dispatch = sim::Duration::hours(dispatch_hours);
+  const sim::Duration hands_on = sim::Duration::minutes(hands_on_minutes(p.job.kind));
+
+  const sim::TimePoint start = net_.now() + dispatch + travel;
+  const sim::TimePoint finish = start + hands_on;
+
+  // Physical contact happens at start-of-work: that is when neighbours get
+  // disturbed, not when the ticket closes.
+  auto induced = std::make_shared<std::size_t>(0);
+  net_.simulator().schedule_at(start, [this, job = p.job, site, induced, hands_on] {
+    if (presence_) presence_(net_.device(site).location, hands_on);
+    if (job.on_work_start) job.on_work_start();
+    fault::Disturbance d;
+    d.target = job.link;
+    d.at_device = site;
+    d.magnitude = cfg_.disturbance;
+    d.full_route = job.kind == RepairActionKind::kReplaceCable;
+    *induced = cascade_.apply(d).size();
+  });
+
+  net_.simulator().schedule_at(
+      finish, [this, p = std::move(p), start, finish, travel, hands_on, induced] {
+        WorkQuality q = cfg_.quality;
+        if (cfg_.assist_factor < 1.0) q.botch_probability *= 0.5;  // Level-1 tooling
+        const ActionResult r = apply_action(net_, contamination_, rng_, p.job.link,
+                                            p.job.end, p.job.kind, q);
+        JobReport report;
+        report.job = p.job;
+        report.performed = r.performed;
+        report.botched = r.botched;
+        report.measured_contamination = r.measured_contamination;
+        report.enqueued = p.enqueued;
+        report.started = start;
+        report.finished = finish;
+        report.performer = "technician";
+        report.induced_faults = *induced;
+        labor_hours_ += (travel + hands_on).to_hours();
+        ++completed_;
+        ++by_kind_[static_cast<int>(p.job.kind)];
+        ++idle_;
+        if (p.cb) p.cb(report);
+        try_dispatch();
+      });
+}
+
+}  // namespace smn::maintenance

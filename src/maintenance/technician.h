@@ -1,0 +1,102 @@
+// The human-technician baseline (automation Level 0/1).
+//
+// §1: "a physical repair is on a timescale of days, with a fraction of
+// repairs being high priority and done in hours." The pool models triage +
+// scheduling delay (the dominant term), walking travel, hands-on action
+// time, human error, and the full-magnitude physical disturbance that makes
+// technician activity the classic cascade trigger (§1).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "fault/cascade.h"
+#include "fault/contamination.h"
+#include "maintenance/actions.h"
+#include "net/network.h"
+#include "sim/rng.h"
+
+namespace smn::maintenance {
+
+class TechnicianPool {
+ public:
+  struct Config {
+    int technicians = 4;
+    /// Lognormal ticket->boots-on-ground delay, hours. Median ~18 h for
+    /// normal priority (days-scale including queueing), ~2 h for high.
+    double dispatch_log_mean = std::log(18.0);
+    double dispatch_log_sigma = 0.8;
+    double priority_dispatch_log_mean = std::log(2.0);
+    double priority_dispatch_log_sigma = 0.5;
+    double walk_speed_mps = 1.2;
+    /// Hands-on duration medians, minutes (lognormal, sigma 0.35). Manual
+    /// MPO cleaning is the complex multi-core procedure of §3.2.
+    double reseat_minutes = 5.0;
+    double inspect_minutes = 8.0;
+    double clean_minutes = 25.0;
+    double replace_transceiver_minutes = 15.0;
+    double replace_cable_minutes = 240.0;
+    double replace_linecard_minutes = 90.0;
+    double replace_device_minutes = 180.0;
+    double duration_log_sigma = 0.35;
+    WorkQuality quality{
+        .clean_effectiveness = 0.80, .clean_verify_pass = 0.70, .botch_probability = 0.03};
+    /// Physical disturbance magnitude of human hands in dense cabling.
+    double disturbance = 1.0;
+    /// Tool-assist factor (automation Level 1): scales hands-on durations
+    /// and halves botch probability when < 1.
+    double assist_factor = 1.0;
+  };
+
+  TechnicianPool(net::Network& net, fault::CascadeModel& cascade,
+                 fault::ContaminationProcess* contamination, sim::RngStream rng)
+      : TechnicianPool(net, cascade, contamination, std::move(rng), Config{}) {}
+  TechnicianPool(net::Network& net, fault::CascadeModel& cascade,
+                 fault::ContaminationProcess* contamination, sim::RngStream rng,
+                 Config cfg);
+
+  /// Queues a job; `cb` fires when it completes.
+  void submit(const Job& job, JobCallback cb);
+
+  /// Presence announcements: invoked when a technician starts hands-on work
+  /// at a location, with the expected dwell. The robot fleet subscribes to
+  /// this to enforce the §3.4 human-robot safety interlock.
+  using PresenceListener =
+      std::function<void(const topology::RackLocation&, sim::Duration)>;
+  void set_presence_listener(PresenceListener l) { presence_ = std::move(l); }
+
+  [[nodiscard]] int idle() const { return idle_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] double labor_hours() const { return labor_hours_; }
+  [[nodiscard]] std::size_t completed_of(RepairActionKind kind) const {
+    return by_kind_[static_cast<int>(kind)];
+  }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  struct Pending {
+    Job job;
+    JobCallback cb;
+    sim::TimePoint enqueued;
+  };
+
+  void try_dispatch();
+  void run(Pending p);
+  [[nodiscard]] double hands_on_minutes(RepairActionKind kind);
+  [[nodiscard]] net::DeviceId work_site(const Job& job) const;
+
+  net::Network& net_;
+  fault::CascadeModel& cascade_;
+  fault::ContaminationProcess* contamination_;
+  sim::RngStream rng_;
+  Config cfg_;
+  std::deque<Pending> queue_;
+  int idle_;
+  std::size_t completed_ = 0;
+  std::size_t by_kind_[kRepairActionKinds] = {};
+  double labor_hours_ = 0.0;
+  PresenceListener presence_;
+};
+
+}  // namespace smn::maintenance

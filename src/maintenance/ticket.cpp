@@ -1,0 +1,130 @@
+#include "maintenance/ticket.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smn::maintenance {
+
+const char* to_string(TicketState s) {
+  switch (s) {
+    case TicketState::kOpen: return "open";
+    case TicketState::kDispatched: return "dispatched";
+    case TicketState::kInProgress: return "in-progress";
+    case TicketState::kResolved: return "resolved";
+    case TicketState::kCancelled: return "cancelled";
+  }
+  return "?";
+}
+
+std::optional<int> TicketSystem::open(sim::TimePoint now, net::LinkId link,
+                                      telemetry::IssueKind issue, bool genuine,
+                                      TicketPriority priority, bool proactive) {
+  if (open_ticket_for(link).has_value()) return std::nullopt;
+  Ticket t;
+  t.id = static_cast<int>(tickets_.size());
+  t.link = link;
+  t.issue = issue;
+  t.priority = priority;
+  t.genuine = genuine;
+  t.proactive = proactive;
+  t.opened = now;
+  tickets_.push_back(t);
+  return t.id;
+}
+
+Ticket& TicketSystem::ticket_mut(int id) { return tickets_.at(static_cast<size_t>(id)); }
+
+const Ticket& TicketSystem::ticket(int id) const {
+  return tickets_.at(static_cast<size_t>(id));
+}
+
+void TicketSystem::mark_dispatched(int id, sim::TimePoint now) {
+  Ticket& t = ticket_mut(id);
+  if (t.state != TicketState::kOpen) {
+    throw std::logic_error{"ticket: dispatch from non-open state"};
+  }
+  t.state = TicketState::kDispatched;
+  t.dispatched = now;
+}
+
+void TicketSystem::mark_started(int id, sim::TimePoint now) {
+  Ticket& t = ticket_mut(id);
+  if (t.state != TicketState::kDispatched && t.state != TicketState::kInProgress) {
+    throw std::logic_error{"ticket: start from non-dispatched state"};
+  }
+  if (t.state == TicketState::kDispatched) {
+    t.state = TicketState::kInProgress;
+    t.started = now;
+  }
+}
+
+void TicketSystem::mark_resolved(int id, sim::TimePoint now, std::string resolved_by) {
+  Ticket& t = ticket_mut(id);
+  if (t.state == TicketState::kResolved || t.state == TicketState::kCancelled) {
+    throw std::logic_error{"ticket: resolve of a closed ticket"};
+  }
+  t.state = TicketState::kResolved;
+  t.resolved = now;
+  t.resolved_by = std::move(resolved_by);
+  for (const Listener& l : resolved_listeners_) l(t);
+}
+
+void TicketSystem::mark_cancelled(int id, sim::TimePoint now, std::string reason) {
+  Ticket& t = ticket_mut(id);
+  if (t.state == TicketState::kResolved || t.state == TicketState::kCancelled) return;
+  t.state = TicketState::kCancelled;
+  t.resolved = now;
+  t.resolved_by = "cancelled: " + reason;
+}
+
+std::optional<int> TicketSystem::open_ticket_for(net::LinkId link) const {
+  // Newest first: open tickets are usually recent.
+  for (auto it = tickets_.rbegin(); it != tickets_.rend(); ++it) {
+    if (it->link == link && it->state != TicketState::kResolved &&
+        it->state != TicketState::kCancelled) {
+      return it->id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<const Ticket*> TicketSystem::history_for(net::LinkId link) const {
+  std::vector<const Ticket*> out;
+  for (auto it = tickets_.rbegin(); it != tickets_.rend(); ++it) {
+    if (it->link == link && it->state == TicketState::kResolved) out.push_back(&*it);
+  }
+  return out;
+}
+
+bool TicketSystem::repeat_within(net::LinkId link, sim::TimePoint now,
+                                 sim::Duration window) const {
+  for (auto it = tickets_.rbegin(); it != tickets_.rend(); ++it) {
+    if (it->link == link && it->state == TicketState::kResolved &&
+        now - it->resolved <= window) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t TicketSystem::count(TicketState s) const {
+  return static_cast<size_t>(
+      std::count_if(tickets_.begin(), tickets_.end(),
+                    [s](const Ticket& t) { return t.state == s; }));
+}
+
+std::size_t TicketSystem::repeat_ticket_count(sim::Duration window) const {
+  std::size_t repeats = 0;
+  for (const Ticket& t : tickets_) {
+    for (const Ticket& prev : tickets_) {
+      if (prev.link == t.link && prev.state == TicketState::kResolved &&
+          prev.resolved <= t.opened && t.opened - prev.resolved <= window) {
+        ++repeats;
+        break;
+      }
+    }
+  }
+  return repeats;
+}
+
+}  // namespace smn::maintenance

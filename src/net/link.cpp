@@ -1,0 +1,50 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smn::net {
+
+const char* to_string(LinkState s) {
+  switch (s) {
+    case LinkState::kUp: return "up";
+    case LinkState::kDegraded: return "degraded";
+    case LinkState::kFlapping: return "flapping";
+    case LinkState::kDown: return "down";
+  }
+  return "?";
+}
+
+LinkState Link::derive_state(sim::TimePoint now, bool devices_healthy,
+                             const LinkThresholds& thr) const {
+  if (admin_down) return LinkState::kDown;
+  if (!devices_healthy) return LinkState::kDown;
+  if (!cable.intact) return LinkState::kDown;
+  if (!end_a.condition.usable() || !end_b.condition.usable()) return LinkState::kDown;
+
+  if (now < gray_until) return LinkState::kFlapping;
+
+  const double c = std::max(end_a.condition.contamination, end_b.condition.contamination);
+  if (c >= thr.flap_contamination) return LinkState::kFlapping;
+  if (c >= thr.degrade_contamination) return LinkState::kDegraded;
+  return LinkState::kUp;
+}
+
+double Link::loss_rate(LinkState s) {
+  switch (s) {
+    case LinkState::kUp: return 1e-9;
+    case LinkState::kDegraded: return 3e-6;
+    case LinkState::kFlapping: return 8e-3;  // time-averaged over flap bursts
+    case LinkState::kDown: return 1.0;
+  }
+  return 1.0;
+}
+
+double tail_latency_factor(double loss) {
+  // A flow's p99 completion time inflates roughly with the probability that
+  // one of its ~1000 packets needs an RTO-scale (~100x RTT) retransmission.
+  const double p_hit = 1.0 - std::pow(1.0 - std::min(loss, 0.5), 1000.0);
+  return 1.0 + 99.0 * p_hit;
+}
+
+}  // namespace smn::net

@@ -1,0 +1,77 @@
+// The link state machine.
+//
+// A link's operational state is *derived* from physical conditions — the two
+// end conditions (transceiver seated/healthy, end-face contamination), the
+// cable, device health at both ends, transient gray-failure episodes, and
+// administrative drain. Fault processes and repair actions mutate conditions;
+// `derive_state` folds them into Up / Degraded / Flapping / Down exactly the
+// way the paper describes failures presenting (§1: fail-stop vs gray vs
+// flapping).
+#pragma once
+
+#include <cstdint>
+
+#include "net/transceiver.h"
+#include "net/types.h"
+#include "sim/time.h"
+
+namespace smn::net {
+
+enum class LinkState : std::uint8_t { kUp, kDegraded, kFlapping, kDown };
+[[nodiscard]] const char* to_string(LinkState s);
+
+/// Contamination thresholds at which an optical end-face starts to degrade or
+/// flap the link. Calibrated so that dirt accumulates into Degraded well
+/// before hard failure, matching §1's description of dirt-driven flapping.
+struct LinkThresholds {
+  double degrade_contamination = 0.35;
+  double flap_contamination = 0.60;
+};
+
+struct LinkEnd {
+  DeviceId device;
+  int port = -1;
+  TransceiverModel model;
+  EndCondition condition;
+};
+
+/// A bidirectional physical link.
+class Link {
+ public:
+  LinkId id;
+  LinkEnd end_a;
+  LinkEnd end_b;
+  CableMedium medium = CableMedium::kDac;
+  CableCondition cable;
+  double capacity_gbps = 100.0;
+  double length_m = 1.0;
+  int topology_link_index = -1;  // back-reference into the Blueprint
+
+  /// Transient gray-failure episode: while now < gray_until the link flaps
+  /// regardless of contamination (e.g. marginal electrical contact).
+  sim::TimePoint gray_until = sim::TimePoint::origin();
+
+  /// Administrative drain (maintenance / migration). Admin-down links carry
+  /// no traffic but are not hardware failures.
+  bool admin_down = false;
+
+  /// Current derived operational state; maintained by Network::refresh_link.
+  LinkState state = LinkState::kUp;
+
+  [[nodiscard]] int cores_per_end() const { return core_count(medium, capacity_gbps); }
+
+  /// Folds physical conditions into an operational state at time `now`.
+  /// `devices_healthy` is the AND of both endpoint devices' health.
+  [[nodiscard]] LinkState derive_state(sim::TimePoint now, bool devices_healthy,
+                                       const LinkThresholds& thr = {}) const;
+
+  /// Mean packet-loss rate implied by a state; used by telemetry monitors.
+  [[nodiscard]] static double loss_rate(LinkState s);
+};
+
+/// Multiplier on p99 flow-completion latency caused by a link's loss rate —
+/// the "curse of a flapping link" (§1). A simple retransmission model:
+/// each lost packet adds an RTO-scale delay to the tail.
+[[nodiscard]] double tail_latency_factor(double loss);
+
+}  // namespace smn::net

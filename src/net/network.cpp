@@ -1,0 +1,224 @@
+#include "net/network.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace smn::net {
+
+Network::Network(const topology::Blueprint& bp, const Config& cfg, sim::Simulator& sim)
+    : cfg_{cfg}, blueprint_{bp}, sim_{&sim} {
+  blueprint_.validate();
+  sim::RngFactory rngs{cfg_.seed};
+  sim::RngStream hw_rng = rngs.stream("network.hardware");
+
+  devices_.reserve(blueprint_.nodes().size());
+  for (int i = 0; i < static_cast<int>(blueprint_.nodes().size()); ++i) {
+    const topology::NodeSpec& n = blueprint_.node(i);
+    Device dev{DeviceId{i}, n.name, n.role, n.location, true, i, 0, {}};
+    const bool chassis = n.role == topology::NodeRole::kCoreSwitch ||
+                         n.role == topology::NodeRole::kAggSwitch ||
+                         n.role == topology::NodeRole::kSpineSwitch;
+    if (chassis && cfg_.chassis_ports_per_linecard > 0) {
+      dev.ports_per_linecard = cfg_.chassis_ports_per_linecard;
+      const int cards =
+          (n.ports_used + dev.ports_per_linecard - 1) / dev.ports_per_linecard;
+      dev.linecards_healthy.assign(static_cast<size_t>(std::max(1, cards)), true);
+    }
+    devices_.push_back(std::move(dev));
+  }
+  device_links_.resize(devices_.size());
+
+  links_.reserve(blueprint_.links().size());
+  for (int i = 0; i < static_cast<int>(blueprint_.links().size()); ++i) {
+    const topology::LinkSpec& ls = blueprint_.link(i);
+    Link link;
+    link.id = LinkId{i};
+    link.topology_link_index = i;
+    link.end_a.device = DeviceId{ls.node_a};
+    link.end_a.port = ls.port_a;
+    link.end_b.device = DeviceId{ls.node_b};
+    link.end_b.port = ls.port_b;
+    link.capacity_gbps = ls.capacity_gbps;
+    link.length_m = ls.route.length_m;
+    assign_hardware(hw_rng, link);
+    device_links_[static_cast<size_t>(ls.node_a)].push_back(link.id);
+    device_links_[static_cast<size_t>(ls.node_b)].push_back(link.id);
+    links_.push_back(std::move(link));
+  }
+  refresh_all();
+}
+
+void Network::assign_hardware(sim::RngStream& rng, Link& link) {
+  if (link.length_m <= cfg_.dac_max_m) {
+    link.medium = CableMedium::kDac;
+  } else if (link.length_m <= cfg_.aec_max_m) {
+    link.medium = CableMedium::kAec;
+  } else if (link.length_m <= cfg_.aoc_max_m) {
+    link.medium = CableMedium::kAoc;
+  } else {
+    link.medium =
+        link.capacity_gbps > 100.0 ? CableMedium::kMpoOptical : CableMedium::kLcOptical;
+  }
+
+  TransceiverModel model;
+  if (link.capacity_gbps <= 25.0) {
+    model.form_factor = FormFactor::kSfp28;
+  } else if (link.capacity_gbps <= 100.0) {
+    model.form_factor = FormFactor::kQsfp28;
+  } else if (link.capacity_gbps <= 400.0) {
+    model.form_factor = rng.bernoulli(0.5) ? FormFactor::kQsfpDd : FormFactor::kOsfp;
+  } else {
+    model.form_factor = FormFactor::kOsfp;
+  }
+  model.vendor = static_cast<std::uint8_t>(rng.uniform_int(0, cfg_.vendor_count - 1));
+  // Tab style correlates with vendor but not perfectly — the diversity that
+  // bites robot grippers.
+  const int tab = (model.vendor + static_cast<int>(rng.uniform_int(0, 1))) % 4;
+  model.tab = static_cast<TabStyle>(tab);
+  model.angled_end_face = link.medium == CableMedium::kMpoOptical && rng.bernoulli(0.5);
+
+  link.end_a.model = model;
+  link.end_b.model = model;
+}
+
+std::vector<std::pair<DeviceId, LinkId>> Network::live_neighbors(DeviceId id) const {
+  std::vector<std::pair<DeviceId, LinkId>> out;
+  for (const LinkId lid : links_at(id)) {
+    const Link& l = link(lid);
+    if (l.state == LinkState::kDown) continue;
+    const DeviceId peer = l.end_a.device == id ? l.end_b.device : l.end_a.device;
+    out.emplace_back(peer, lid);
+  }
+  return out;
+}
+
+std::vector<DeviceId> Network::devices_with_role(topology::NodeRole role) const {
+  std::vector<DeviceId> out;
+  for (const Device& d : devices_) {
+    if (d.role == role) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<DeviceId> Network::servers() const {
+  std::vector<DeviceId> out;
+  for (const Device& d : devices_) {
+    if (!topology::is_switch(d.role)) out.push_back(d.id);
+  }
+  return out;
+}
+
+std::vector<LinkId> Network::links_between(DeviceId a, DeviceId b) const {
+  std::vector<LinkId> out;
+  for (const LinkId lid : links_at(a)) {
+    const Link& l = link(lid);
+    const DeviceId peer = l.end_a.device == a ? l.end_b.device : l.end_a.device;
+    if (peer == b) out.push_back(lid);
+  }
+  return out;
+}
+
+LinkState Network::refresh_link(LinkId id) {
+  Link& l = links_.at(static_cast<size_t>(id.value()));
+  const Device& da = device(l.end_a.device);
+  const Device& db = device(l.end_b.device);
+  const bool devices_healthy = da.healthy && db.healthy &&
+                               da.card_healthy(l.end_a.port) &&
+                               db.card_healthy(l.end_b.port);
+  const LinkState next = l.derive_state(sim_->now(), devices_healthy, cfg_.thresholds);
+  if (next != l.state) {
+    const LinkState prev = l.state;
+    l.state = next;
+    for (const Observer& obs : observers_) obs(l, prev, next);
+  }
+  return l.state;
+}
+
+void Network::refresh_links_of(DeviceId id) {
+  for (const LinkId lid : links_at(id)) refresh_link(lid);
+}
+
+void Network::refresh_all() {
+  for (const Link& l : links_) refresh_link(l.id);
+}
+
+void Network::set_device_health(DeviceId id, bool healthy) {
+  devices_.at(static_cast<size_t>(id.value())).healthy = healthy;
+  refresh_links_of(id);
+}
+
+void Network::set_linecard_health(DeviceId id, int card, bool healthy) {
+  Device& dev = devices_.at(static_cast<size_t>(id.value()));
+  if (!dev.has_linecards() || card < 0 ||
+      card >= static_cast<int>(dev.linecards_healthy.size())) {
+    throw std::out_of_range{"set_linecard_health: no such card"};
+  }
+  dev.linecards_healthy[static_cast<size_t>(card)] = healthy;
+  refresh_links_of(id);
+}
+
+void Network::rewire(LinkId id, DeviceId new_a, DeviceId new_b) {
+  if (new_a == new_b) throw std::invalid_argument{"rewire: self-loop"};
+  Link& l = links_.at(static_cast<size_t>(id.value()));
+
+  auto detach = [&](DeviceId dev) {
+    auto& lids = device_links_.at(static_cast<size_t>(dev.value()));
+    std::erase(lids, id);
+  };
+  detach(l.end_a.device);
+  detach(l.end_b.device);
+
+  auto next_port = [&](DeviceId dev) {
+    int max_port = -1;
+    for (const LinkId other : links_at(dev)) {
+      const Link& o = link(other);
+      max_port = std::max(max_port, o.end_a.device == dev ? o.end_a.port : o.end_b.port);
+    }
+    return max_port + 1;
+  };
+
+  l.end_a.device = new_a;
+  l.end_a.port = next_port(new_a);
+  l.end_a.condition = EndCondition{};
+  l.end_b.device = new_b;
+  l.end_b.port = next_port(new_b);
+  l.end_b.condition = EndCondition{};
+  l.cable = CableCondition{};
+  l.gray_until = sim_->now();
+  device_links_.at(static_cast<size_t>(new_a.value())).push_back(id);
+  device_links_.at(static_cast<size_t>(new_b.value())).push_back(id);
+
+  // Re-route the physical cable and re-assign medium/SKU for the new length.
+  topology::LinkSpec& spec = blueprint_.link_mut(l.topology_link_index);
+  spec.node_a = new_a.value();
+  spec.port_a = l.end_a.port;
+  spec.node_b = new_b.value();
+  spec.port_b = l.end_b.port;
+  spec.route = blueprint_.layout().route_cable(device(new_a).location,
+                                               device(new_b).location);
+  l.length_m = spec.route.length_m;
+  sim::RngFactory rngs{cfg_.seed ^ static_cast<std::uint64_t>(id.value())};
+  sim::RngStream rng = rngs.stream("network.rewire");
+  assign_hardware(rng, l);
+
+  refresh_link(id);
+}
+
+std::size_t Network::count_links(LinkState s) const {
+  std::size_t n = 0;
+  for (const Link& l : links_) {
+    if (l.state == s) ++n;
+  }
+  return n;
+}
+
+std::size_t Network::transceiver_sku_count() const {
+  std::set<std::tuple<FormFactor, TabStyle, std::uint8_t, bool>> skus;
+  for (const Link& l : links_) {
+    const TransceiverModel& m = l.end_a.model;
+    skus.insert({m.form_factor, m.tab, m.vendor, m.angled_end_face});
+  }
+  return skus.size();
+}
+
+}  // namespace smn::net

@@ -1,0 +1,140 @@
+// The live network: devices and links instantiated from a topology
+// Blueprint, with hardware diversity assigned and state-change notification.
+//
+// Network is the single source of truth for hardware condition. Fault
+// processes and repair actions mutate link conditions and then call
+// `refresh_link`, which re-derives the operational state and notifies
+// observers (telemetry, availability trackers). Nothing else caches state.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.h"
+#include "net/transceiver.h"
+#include "net/types.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "topology/blueprint.h"
+
+namespace smn::net {
+
+struct Device {
+  DeviceId id;
+  std::string name;
+  topology::NodeRole role = topology::NodeRole::kServer;
+  topology::RackLocation location;
+  bool healthy = true;
+  int topology_node_index = -1;
+  /// Modular chassis switches group ports into line cards (§3.2 mentions
+  /// line-card replacement as a repair stage). 0 = monolithic (no cards).
+  int ports_per_linecard = 0;
+  std::vector<bool> linecards_healthy;
+
+  [[nodiscard]] bool has_linecards() const { return ports_per_linecard > 0; }
+  [[nodiscard]] int card_of(int port) const {
+    return has_linecards() ? port / ports_per_linecard : 0;
+  }
+  [[nodiscard]] bool card_healthy(int port) const {
+    if (!has_linecards()) return true;
+    const int card = card_of(port);
+    return card >= static_cast<int>(linecards_healthy.size()) ||
+           linecards_healthy[static_cast<size_t>(card)];
+  }
+};
+
+class Network {
+ public:
+  struct Config {
+    LinkThresholds thresholds;
+    /// Medium assignment cutoffs by routed cable length (§3.1).
+    double dac_max_m = 3.0;
+    double aec_max_m = 7.0;
+    double aoc_max_m = 30.0;
+    /// Number of transceiver vendors in the fleet; more vendors = more SKU
+    /// diversity for the robots (§4 "tens of different designs").
+    int vendor_count = 5;
+    /// Ports per line card on chassis-class switches (core/agg/spine); ToRs,
+    /// rail switches and servers are monolithic. 0 disables line cards.
+    int chassis_ports_per_linecard = 16;
+    std::uint64_t seed = 42;
+  };
+
+  /// Observer invoked after a link's derived state changes.
+  using Observer =
+      std::function<void(const Link&, LinkState old_state, LinkState new_state)>;
+
+  Network(const topology::Blueprint& bp, const Config& cfg, sim::Simulator& sim);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] const std::vector<Link>& links() const { return links_; }
+  [[nodiscard]] const Device& device(DeviceId id) const {
+    return devices_.at(static_cast<size_t>(id.value()));
+  }
+  [[nodiscard]] const Link& link(LinkId id) const {
+    return links_.at(static_cast<size_t>(id.value()));
+  }
+  /// Mutable access for fault/repair code; call refresh_link afterwards.
+  [[nodiscard]] Link& link_mut(LinkId id) { return links_.at(static_cast<size_t>(id.value())); }
+
+  [[nodiscard]] const topology::Blueprint& blueprint() const { return blueprint_; }
+  [[nodiscard]] sim::TimePoint now() const { return sim_->now(); }
+  [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+
+  /// Links incident to a device.
+  [[nodiscard]] const std::vector<LinkId>& links_at(DeviceId id) const {
+    return device_links_.at(static_cast<size_t>(id.value()));
+  }
+  /// (peer device, link) adjacency of a device, live links only.
+  [[nodiscard]] std::vector<std::pair<DeviceId, LinkId>> live_neighbors(DeviceId id) const;
+
+  [[nodiscard]] std::vector<DeviceId> devices_with_role(topology::NodeRole role) const;
+  [[nodiscard]] std::vector<DeviceId> servers() const;
+  [[nodiscard]] std::vector<LinkId> links_between(DeviceId a, DeviceId b) const;
+
+  /// Re-derives a link's state from its conditions; notifies observers on
+  /// change. Returns the (possibly unchanged) state.
+  LinkState refresh_link(LinkId id);
+  void refresh_links_of(DeviceId id);
+  void refresh_all();
+
+  /// Physically re-terminates a link at new endpoints (§4 "The robotics that
+  /// enables a self-maintaining network will also be able to deploy arbitrary
+  /// topologies"): assigns fresh ports, re-routes the cable through the
+  /// trays, re-assigns the medium for the new length, and updates the
+  /// embedded blueprint so downstream consumers (cascade adjacency, metrics)
+  /// can re-derive. Hardware condition is reset (it is a new cable run).
+  void rewire(LinkId id, DeviceId new_a, DeviceId new_b);
+
+  void set_device_health(DeviceId id, bool healthy);
+  /// Fails/repairs one line card; refreshes the links whose ports sit on it.
+  void set_linecard_health(DeviceId id, int card, bool healthy);
+
+  void subscribe(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  [[nodiscard]] std::size_t count_links(LinkState s) const;
+  /// True if a link's traffic can pass (not Down).
+  [[nodiscard]] bool usable(LinkId id) const { return link(id).state != LinkState::kDown; }
+
+  /// Distinct transceiver SKUs present, a fleet-diversity statistic the
+  /// robot vision/grasp models consume.
+  [[nodiscard]] std::size_t transceiver_sku_count() const;
+
+ private:
+  void assign_hardware(sim::RngStream& rng, Link& link);
+
+  Config cfg_;
+  topology::Blueprint blueprint_;
+  sim::Simulator* sim_;
+  std::vector<Device> devices_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> device_links_;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace smn::net

@@ -1,0 +1,111 @@
+#include "net/routing.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace smn::net {
+
+bool link_usable(const Link& l, const PathPolicy& policy) {
+  switch (l.state) {
+    case LinkState::kUp: return true;
+    case LinkState::kDegraded: return policy.use_degraded;
+    case LinkState::kFlapping: return policy.use_flapping;
+    case LinkState::kDown: return false;
+  }
+  return false;
+}
+
+std::vector<DeviceId> shortest_path(const Network& net, DeviceId from, DeviceId to,
+                                    const PathPolicy& policy) {
+  if (from == to) return {from};
+  const int n = static_cast<int>(net.devices().size());
+  std::vector<int> parent(static_cast<size_t>(n), -2);  // -2 unvisited, -1 root
+  std::queue<DeviceId> q;
+  parent[static_cast<size_t>(from.value())] = -1;
+  q.push(from);
+  while (!q.empty()) {
+    const DeviceId cur = q.front();
+    q.pop();
+    for (const LinkId lid : net.links_at(cur)) {
+      const Link& l = net.link(lid);
+      if (!link_usable(l, policy)) continue;
+      const DeviceId peer = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
+      if (!net.device(peer).healthy) continue;
+      auto& p = parent[static_cast<size_t>(peer.value())];
+      if (p != -2) continue;
+      p = cur.value();
+      if (peer == to) {
+        // Walk parents from `to` back to the root and reverse.
+        std::vector<DeviceId> path;
+        DeviceId v = to;
+        while (true) {
+          path.push_back(v);
+          const int pv = parent[static_cast<size_t>(v.value())];
+          if (pv == -1) break;
+          v = DeviceId{pv};
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      q.push(peer);
+    }
+  }
+  return {};
+}
+
+bool path_available(const Network& net, DeviceId from, DeviceId to,
+                    const PathPolicy& policy) {
+  return !shortest_path(net, from, to, policy).empty();
+}
+
+double sampled_pair_connectivity(const Network& net, sim::RngStream& rng, int samples,
+                                 const PathPolicy& policy) {
+  const std::vector<DeviceId> servers = net.servers();
+  if (servers.size() < 2 || samples <= 0) return 1.0;
+  int ok = 0;
+  for (int i = 0; i < samples; ++i) {
+    const DeviceId a = servers[rng.index(servers.size())];
+    DeviceId b = a;
+    while (b == a) b = servers[rng.index(servers.size())];
+    if (path_available(net, a, b, policy)) ++ok;
+  }
+  return static_cast<double>(ok) / samples;
+}
+
+int live_parallel_links(const Network& net, DeviceId a, DeviceId b,
+                        const PathPolicy& policy) {
+  int live = 0;
+  for (const LinkId lid : net.links_between(a, b)) {
+    if (link_usable(net.link(lid), policy)) ++live;
+  }
+  return live;
+}
+
+double live_link_fraction(const Network& net, DeviceId d, const PathPolicy& policy) {
+  const auto& lids = net.links_at(d);
+  if (lids.empty()) return 1.0;
+  int live = 0;
+  for (const LinkId lid : lids) {
+    if (link_usable(net.link(lid), policy)) ++live;
+  }
+  return static_cast<double>(live) / static_cast<double>(lids.size());
+}
+
+std::optional<double> path_loss(const Network& net, const std::vector<DeviceId>& path) {
+  if (path.empty()) return std::nullopt;
+  double worst = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    // Use the best (lowest-loss) parallel link between consecutive hops, as
+    // ECMP would steer around the sick member of a LAG.
+    double best = 1.0;
+    for (const LinkId lid : net.links_between(path[i], path[i + 1])) {
+      const Link& l = net.link(lid);
+      if (l.state == LinkState::kDown) continue;
+      best = std::min(best, Link::loss_rate(l.state));
+    }
+    worst = std::max(worst, best);
+  }
+  return worst;
+}
+
+}  // namespace smn::net

@@ -1,0 +1,50 @@
+// Path queries over the live network.
+//
+// The availability experiments ask "can these servers still reach each
+// other", "how many of this leaf's uplinks survive", and "what fraction of
+// server pairs are connected" — the quantities the paper's overprovisioning
+// argument (§1) trades against repair speed.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/rng.h"
+
+namespace smn::net {
+
+struct PathPolicy {
+  /// Whether Flapping links may carry traffic (connected but lossy).
+  bool use_flapping = true;
+  /// Whether Degraded links may carry traffic.
+  bool use_degraded = true;
+};
+
+[[nodiscard]] bool link_usable(const Link& l, const PathPolicy& policy);
+
+/// BFS shortest path by hop count; empty if unreachable.
+[[nodiscard]] std::vector<DeviceId> shortest_path(const Network& net, DeviceId from,
+                                                  DeviceId to, const PathPolicy& policy = {});
+
+[[nodiscard]] bool path_available(const Network& net, DeviceId from, DeviceId to,
+                                  const PathPolicy& policy = {});
+
+/// Fraction of `samples` random server pairs that are mutually reachable.
+[[nodiscard]] double sampled_pair_connectivity(const Network& net, sim::RngStream& rng,
+                                               int samples, const PathPolicy& policy = {});
+
+/// Count of usable parallel links between two adjacent devices (the E5
+/// redundancy measure for leaf->spine uplinks).
+[[nodiscard]] int live_parallel_links(const Network& net, DeviceId a, DeviceId b,
+                                      const PathPolicy& policy = {});
+
+/// Fraction of a device's links that are usable (e.g. a GPU server's rails).
+[[nodiscard]] double live_link_fraction(const Network& net, DeviceId d,
+                                        const PathPolicy& policy = {});
+
+/// Worst-case loss rate along a path (max over links).
+[[nodiscard]] std::optional<double> path_loss(const Network& net,
+                                              const std::vector<DeviceId>& path);
+
+}  // namespace smn::net

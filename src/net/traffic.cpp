@@ -1,0 +1,200 @@
+#include "net/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace smn::net {
+
+double TrafficMatrix::total_demand_gbps() const {
+  double total = 0;
+  for (const Flow& f : flows) total += f.gbps;
+  return total;
+}
+
+TrafficMatrix TrafficMatrix::uniform(const Network& net, int pairs, double gbps,
+                                     sim::RngStream& rng) {
+  TrafficMatrix tm;
+  const std::vector<DeviceId> servers = net.servers();
+  if (servers.size() < 2) return tm;
+  tm.flows.reserve(static_cast<size_t>(pairs));
+  for (int i = 0; i < pairs; ++i) {
+    const DeviceId src = servers[rng.index(servers.size())];
+    DeviceId dst = src;
+    while (dst == src) dst = servers[rng.index(servers.size())];
+    tm.flows.push_back(Flow{src, dst, gbps});
+  }
+  return tm;
+}
+
+TrafficMatrix TrafficMatrix::skewed(const Network& net, int pairs, double gbps,
+                                    double hot_fraction, double hot_share,
+                                    sim::RngStream& rng) {
+  TrafficMatrix tm;
+  std::vector<DeviceId> servers = net.servers();
+  if (servers.size() < 2) return tm;
+  rng.shuffle(servers);
+  const std::size_t hot_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(hot_fraction * static_cast<double>(servers.size())));
+  tm.flows.reserve(static_cast<size_t>(pairs));
+  for (int i = 0; i < pairs; ++i) {
+    const bool hot = rng.bernoulli(hot_share);
+    const std::size_t dst_idx =
+        hot ? rng.index(hot_count) : hot_count + rng.index(servers.size() - hot_count);
+    const DeviceId dst = servers[dst_idx];
+    DeviceId src = dst;
+    while (src == dst) src = servers[rng.index(servers.size())];
+    tm.flows.push_back(Flow{src, dst, gbps});
+  }
+  return tm;
+}
+
+namespace {
+
+/// BFS hop distances from `root` over usable links.
+std::vector<int> distances(const Network& net, DeviceId root, const PathPolicy& policy) {
+  std::vector<int> dist(net.devices().size(), -1);
+  std::queue<DeviceId> q;
+  dist[static_cast<size_t>(root.value())] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const DeviceId cur = q.front();
+    q.pop();
+    for (const LinkId lid : net.links_at(cur)) {
+      const Link& l = net.link(lid);
+      if (!link_usable(l, policy)) continue;
+      const DeviceId peer = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
+      if (!net.device(peer).healthy) continue;
+      int& d = dist[static_cast<size_t>(peer.value())];
+      if (d >= 0) continue;
+      d = dist[static_cast<size_t>(cur.value())] + 1;
+      q.push(peer);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
+                          const PathPolicy& policy) {
+  LoadReport report;
+  report.demand_gbps = tm.total_demand_gbps();
+  report.link_load_gbps.assign(net.links().size(), 0.0);
+
+  struct FlowPath {
+    double gbps = 0;
+    double worst_loss = 0;
+    double bottleneck_overload = 1.0;  // max(load/capacity) along the path
+    std::vector<std::pair<LinkId, double>> shares;  // link, fraction of flow
+  };
+  std::vector<FlowPath> placed;
+  placed.reserve(tm.flows.size());
+
+  // Distance tables are cached per destination — matrices typically hit few
+  // distinct destinations relative to flow count.
+  std::unordered_map<std::int32_t, std::vector<int>> dist_to_dst;
+
+  for (const Flow& f : tm.flows) {
+    auto it = dist_to_dst.find(f.dst.value());
+    if (it == dist_to_dst.end()) {
+      it = dist_to_dst.emplace(f.dst.value(), distances(net, f.dst, policy)).first;
+    }
+    const std::vector<int>& ddst = it->second;
+    const int total = ddst[static_cast<size_t>(f.src.value())];
+    if (total < 0) {
+      ++report.unroutable_flows;
+      continue;
+    }
+
+    // Propagate flow fractions along the shortest-path DAG: from a node at
+    // distance d, next hops are usable neighbours at distance d-1; the
+    // fraction splits equally over next-hop *links* (ECMP incl. LAG members).
+    FlowPath fp;
+    fp.gbps = f.gbps;
+    std::unordered_map<std::int32_t, double> frac;
+    frac[f.src.value()] = 1.0;
+    // Process nodes in decreasing distance (src has the max distance).
+    std::vector<std::pair<int, DeviceId>> order{{total, f.src}};
+    std::unordered_map<std::int32_t, bool> queued{{f.src.value(), true}};
+    for (std::size_t head = 0; head < order.size(); ++head) {
+      const auto [d, node] = order[head];
+      if (d == 0) continue;
+      const double node_frac = frac[node.value()];
+      // Collect next-hop links.
+      std::vector<std::pair<LinkId, DeviceId>> next;
+      for (const LinkId lid : net.links_at(node)) {
+        const Link& l = net.link(lid);
+        if (!link_usable(l, policy)) continue;
+        const DeviceId peer = l.end_a.device == node ? l.end_b.device : l.end_a.device;
+        if (ddst[static_cast<size_t>(peer.value())] == d - 1) next.emplace_back(lid, peer);
+      }
+      if (next.empty()) continue;  // should not happen on a shortest DAG
+      const double share = node_frac / static_cast<double>(next.size());
+      for (const auto& [lid, peer] : next) {
+        fp.shares.emplace_back(lid, share);
+        fp.worst_loss = std::max(
+            fp.worst_loss, Link::loss_rate(net.link(lid).state) * 1.0);
+        frac[peer.value()] += share;
+        if (!queued[peer.value()]) {
+          queued[peer.value()] = true;
+          order.emplace_back(d - 1, peer);
+        }
+      }
+    }
+    for (const auto& [lid, share] : fp.shares) {
+      report.link_load_gbps[static_cast<size_t>(lid.value())] += f.gbps * share;
+    }
+    placed.push_back(std::move(fp));
+  }
+
+  // Utilization and overload per link.
+  double util_sum = 0;
+  std::size_t loaded_links = 0;
+  std::vector<double> overload(net.links().size(), 1.0);
+  for (const Link& l : net.links()) {
+    const double load = report.link_load_gbps[static_cast<size_t>(l.id.value())];
+    if (load <= 0.0) continue;
+    const double u = load / l.capacity_gbps;
+    overload[static_cast<size_t>(l.id.value())] = std::max(1.0, u);
+    report.max_link_utilization = std::max(report.max_link_utilization, u);
+    util_sum += std::min(1.0, u);
+    ++loaded_links;
+  }
+  if (loaded_links > 0) {
+    report.mean_link_utilization = util_sum / static_cast<double>(loaded_links);
+  }
+
+  // Delivered goodput: each flow is clipped by its worst bottleneck; tail
+  // factor from the lossiest link it uses.
+  std::vector<std::pair<double, double>> weighted_tails;  // (tail factor, gbps)
+  double tail_sum = 0;
+  for (FlowPath& fp : placed) {
+    for (const auto& [lid, share] : fp.shares) {
+      fp.bottleneck_overload =
+          std::max(fp.bottleneck_overload, overload[static_cast<size_t>(lid.value())]);
+    }
+    report.delivered_gbps += fp.gbps / fp.bottleneck_overload;
+    const double tail = tail_latency_factor(fp.worst_loss);
+    weighted_tails.emplace_back(tail, fp.gbps);
+    tail_sum += tail * fp.gbps;
+  }
+  if (!weighted_tails.empty()) {
+    std::sort(weighted_tails.begin(), weighted_tails.end());
+    double total_w = 0;
+    for (const auto& [t, w] : weighted_tails) total_w += w;
+    double acc = 0;
+    report.p99_tail_factor = weighted_tails.back().first;
+    for (const auto& [t, w] : weighted_tails) {
+      acc += w;
+      if (acc >= 0.99 * total_w) {
+        report.p99_tail_factor = t;
+        break;
+      }
+    }
+    report.mean_tail_factor = tail_sum / total_w;
+  }
+  return report;
+}
+
+}  // namespace smn::net

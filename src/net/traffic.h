@@ -1,0 +1,67 @@
+// Flow-level traffic engine: demand matrices, ECMP routing over the live
+// network, link loads, and tail-latency estimation.
+//
+// §1: "Layers in the network stack will ensure retransmission of lost
+// packets, the curse of a flapping link is the associated increase in tail
+// latency for the network." This module turns link states into the
+// application-visible quantity that sentence is about: the p99
+// flow-completion-time inflation across a demand matrix (experiment E13).
+// It also gives the reconfiguration engine (E14) its objective function.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/routing.h"
+#include "sim/rng.h"
+
+namespace smn::net {
+
+struct Flow {
+  DeviceId src;
+  DeviceId dst;
+  double gbps = 1.0;
+};
+
+/// A set of server-to-server demands.
+class TrafficMatrix {
+ public:
+  std::vector<Flow> flows;
+
+  [[nodiscard]] double total_demand_gbps() const;
+
+  /// All-to-all-ish uniform random pairs: `pairs` flows of `gbps` each.
+  [[nodiscard]] static TrafficMatrix uniform(const Network& net, int pairs, double gbps,
+                                             sim::RngStream& rng);
+
+  /// Skewed: `hot_fraction` of servers receive `hot_share` of the demand —
+  /// the elephant pattern that makes static fabrics a poor fit (§4
+  /// reconfigurable topologies).
+  [[nodiscard]] static TrafficMatrix skewed(const Network& net, int pairs, double gbps,
+                                            double hot_fraction, double hot_share,
+                                            sim::RngStream& rng);
+};
+
+/// The result of routing a matrix over the current link states.
+struct LoadReport {
+  double demand_gbps = 0;
+  /// Demand actually delivered after bottleneck clipping.
+  double delivered_gbps = 0;
+  std::size_t unroutable_flows = 0;
+  double max_link_utilization = 0;
+  double mean_link_utilization = 0;  // over links carrying load
+  /// Demand-weighted p99 of the per-flow tail-latency factor (1.0 = no loss
+  /// anywhere on the path; grows with flapping links en route).
+  double p99_tail_factor = 1.0;
+  double mean_tail_factor = 1.0;
+  std::vector<double> link_load_gbps;  // indexed by LinkId
+};
+
+/// Routes every flow over ECMP shortest paths (equal split across the
+/// shortest-path DAG, including across parallel links), accumulates link
+/// loads, clips to capacity, and estimates tail-latency inflation from the
+/// loss rates of the links each flow traverses.
+[[nodiscard]] LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
+                                        const PathPolicy& policy = {});
+
+}  // namespace smn::net

@@ -1,0 +1,54 @@
+#include "net/transceiver.h"
+
+namespace smn::net {
+
+const char* to_string(CableMedium m) {
+  switch (m) {
+    case CableMedium::kDac: return "DAC";
+    case CableMedium::kAec: return "AEC";
+    case CableMedium::kAoc: return "AOC";
+    case CableMedium::kLcOptical: return "LC-optical";
+    case CableMedium::kMpoOptical: return "MPO-optical";
+  }
+  return "?";
+}
+
+const char* to_string(FormFactor f) {
+  switch (f) {
+    case FormFactor::kSfp28: return "SFP28";
+    case FormFactor::kQsfp28: return "QSFP28";
+    case FormFactor::kQsfpDd: return "QSFP-DD";
+    case FormFactor::kOsfp: return "OSFP";
+  }
+  return "?";
+}
+
+const char* to_string(TabStyle t) {
+  switch (t) {
+    case TabStyle::kPullTab: return "pull-tab";
+    case TabStyle::kBail: return "bail";
+    case TabStyle::kRigidTab: return "rigid-tab";
+    case TabStyle::kRecessed: return "recessed";
+  }
+  return "?";
+}
+
+std::string TransceiverModel::describe() const {
+  std::string s = to_string(form_factor);
+  s += "/";
+  s += to_string(tab);
+  s += "/v";
+  s += std::to_string(static_cast<int>(vendor));
+  if (angled_end_face) s += "/APC";
+  return s;
+}
+
+int core_count(CableMedium m, double capacity_gbps) {
+  if (m != CableMedium::kMpoOptical) return 1;
+  // One fiber pair currently carries ~100 Gbps (§3.2), so an MPO cable for an
+  // N x 100G link bundles N cores (8 for 800G).
+  const int cores = static_cast<int>(capacity_gbps / 100.0);
+  return cores < 2 ? 2 : cores;
+}
+
+}  // namespace smn::net

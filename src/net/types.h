@@ -1,0 +1,36 @@
+// Strongly-typed ids for network entities.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace smn::net {
+
+/// CRTP-free strong id: distinct types for devices and links so they cannot
+/// be swapped at a call site.
+template <typename Tag>
+class Id {
+ public:
+  constexpr Id() = default;
+  constexpr explicit Id(std::int32_t v) : v_{v} {}
+  [[nodiscard]] constexpr std::int32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool valid() const { return v_ >= 0; }
+  constexpr auto operator<=>(const Id&) const = default;
+
+ private:
+  std::int32_t v_ = -1;
+};
+
+struct DeviceTag {};
+struct LinkTag {};
+using DeviceId = Id<DeviceTag>;
+using LinkId = Id<LinkTag>;
+
+struct IdHash {
+  template <typename Tag>
+  std::size_t operator()(Id<Tag> id) const {
+    return std::hash<std::int32_t>{}(id.value());
+  }
+};
+
+}  // namespace smn::net

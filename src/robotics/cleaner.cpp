@@ -1,0 +1,104 @@
+#include "robotics/cleaner.h"
+
+namespace smn::robotics {
+
+const char* to_string(CleaningStep s) {
+  switch (s) {
+    case CleaningStep::kDetach: return "detach";
+    case CleaningStep::kInspect: return "inspect";
+    case CleaningStep::kWetClean: return "wet-clean";
+    case CleaningStep::kDryClean: return "dry-clean";
+    case CleaningStep::kRotate: return "rotate";
+    case CleaningStep::kReinspect: return "re-inspect";
+    case CleaningStep::kReassemble: return "reassemble";
+    case CleaningStep::kEscalate: return "escalate";
+  }
+  return "?";
+}
+
+CleaningModel::Run CleaningModel::clean_sequence(sim::RngStream& rng, int cores) const {
+  Run run;
+  double seconds = 0.0;
+  const double inspect_s = profile_.per_core_inspect_s * cores;
+
+  auto step = [&](CleaningStep s, double secs) {
+    run.trace.push_back(s);
+    seconds += secs;
+  };
+
+  step(CleaningStep::kDetach, profile_.detach_s);
+  step(CleaningStep::kInspect, inspect_s);
+
+  double remaining = 1.0;  // fraction of initial contamination still present
+  for (int cycle = 1; cycle <= profile_.max_cycles; ++cycle) {
+    run.cycles = cycle;
+    step(CleaningStep::kWetClean, profile_.wet_clean_s);
+    step(CleaningStep::kDryClean, profile_.dry_clean_s);
+    step(CleaningStep::kRotate, profile_.rotate_s);
+    step(CleaningStep::kReinspect, inspect_s);
+    remaining *= (1.0 - profile_.cycle_effectiveness);
+    if (rng.bernoulli(profile_.verify_pass)) {
+      run.verified = true;
+      break;
+    }
+  }
+
+  if (run.verified) {
+    step(CleaningStep::kReassemble, profile_.reassemble_s);
+  } else {
+    step(CleaningStep::kEscalate, 0.0);
+  }
+
+  run.total_effectiveness = 1.0 - remaining;
+  run.duration = sim::Duration::seconds(seconds);
+  return run;
+}
+
+CleaningModel::GradedRun CleaningModel::clean_sequence_graded(
+    sim::RngStream& rng, int cores, double initial_contamination,
+    bool single_mode) const {
+  GradedRun run;
+  const EndFaceImager imager{profile_.imager};
+  double seconds = 0.0;
+  const double inspect_s = profile_.per_core_inspect_s * cores;
+
+  auto step = [&](CleaningStep s, double secs) {
+    run.trace.push_back(s);
+    seconds += secs;
+  };
+
+  step(CleaningStep::kDetach, profile_.detach_s);
+  step(CleaningStep::kInspect, inspect_s);
+
+  double residual = initial_contamination;
+  for (int cycle = 1; cycle <= profile_.max_cycles; ++cycle) {
+    run.cycles = cycle;
+    step(CleaningStep::kWetClean, profile_.wet_clean_s);
+    step(CleaningStep::kDryClean, profile_.dry_clean_s);
+    step(CleaningStep::kRotate, profile_.rotate_s);
+    step(CleaningStep::kReinspect, inspect_s);
+    residual *= (1.0 - profile_.cycle_effectiveness);
+    run.last_scan = imager.scan(rng, residual, cores);
+    if (run.last_scan.passes(single_mode)) {
+      run.verified = true;
+      break;
+    }
+  }
+
+  if (run.verified) {
+    step(CleaningStep::kReassemble, profile_.reassemble_s);
+  } else {
+    step(CleaningStep::kEscalate, 0.0);
+  }
+  run.total_effectiveness =
+      initial_contamination <= 0.0 ? 1.0 : 1.0 - residual / initial_contamination;
+  run.duration = sim::Duration::seconds(seconds);
+  return run;
+}
+
+sim::Duration CleaningModel::inspect_only(int cores) const {
+  return sim::Duration::seconds(profile_.detach_s + profile_.per_core_inspect_s * cores +
+                                profile_.reassemble_s);
+}
+
+}  // namespace smn::robotics

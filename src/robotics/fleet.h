@@ -1,0 +1,154 @@
+// The modular robot fleet and its dispatcher (§3.4).
+//
+// "rather than a small number of large robots (e.g., humanoids), there will
+// be many small robotic units that will need to collaborate ... deployed at
+// the granularity of a hall or row of racks."
+//
+// A RobotFleet is a roster of units, each with a mobility scope (rack-fixed,
+// row gantry, or hall rover), executing repair Jobs through the manipulator
+// and cleaning-unit models. It mirrors TechnicianPool's submit/callback
+// interface so the controller can swap performers per automation level.
+// Robots escalate to humans when grasps fail, cleaning cannot be verified,
+// spares run out, or the job kind is out of scope (fiber re-laying, §3.3).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/cascade.h"
+#include "fault/contamination.h"
+#include "maintenance/actions.h"
+#include "net/network.h"
+#include "robotics/cleaner.h"
+#include "robotics/manipulator.h"
+#include "sim/rng.h"
+
+namespace smn::robotics {
+
+/// Deployment scope of a unit (§3.4 "several potential deployment scopes").
+enum class MobilityScope : std::uint8_t { kRack, kRow, kHall };
+[[nodiscard]] const char* to_string(MobilityScope s);
+
+struct RobotUnitSpec {
+  std::string name;
+  MobilityScope scope = MobilityScope::kRow;
+  topology::RackLocation home;
+  /// Gantry / rover translation speed. Deliberately slower than a walking
+  /// human; robots win on dispatch latency, not ground speed.
+  double travel_speed_mps = 0.5;
+};
+
+/// Extended job outcome carried in JobReport::performer strings:
+///   "robot"             — completed autonomously
+///   "robot-escalate"    — §3.3.2 "requests human support" (verify/grasp fail)
+///   "robot-nospare"     — spares inventory empty for the needed form factor
+///   "robot-unreachable" — no unit's scope covers the work site
+///   "robot-incapable"   — action kind outside robot capability
+class RobotFleet {
+ public:
+  struct Config {
+    std::vector<RobotUnitSpec> units;
+    ManipulatorProfile manipulator;
+    CleaningProfile cleaner;
+    /// Spare transceivers stocked per form factor ("the robots can carry
+    /// spares", §3.3.2).
+    int spares_per_form_factor = 8;
+    sim::Duration restock_interval = sim::Duration::days(7);
+    /// Disturbance magnitude of the minimal-contact gripper (vs 1.0 human).
+    double disturbance = 0.25;
+    /// Robot breakdown probability per completed job; broken units go
+    /// offline for `robot_repair_time` (robots need maintenance too).
+    double failure_per_job = 0.01;
+    sim::Duration robot_repair_time = sim::Duration::hours(8);
+    /// §3.3: "Currently, we are not focusing on the replacement of fibers."
+    /// Flipping this models the paper's future-work robots that can re-lay
+    /// cables (ablated in the E7-extension bench).
+    bool can_replace_cable = false;
+    bool can_replace_device = false;
+    /// Fixed seconds to hand a module between manipulator and cleaning unit.
+    double transfer_s = 20.0;
+  };
+
+  RobotFleet(net::Network& net, fault::CascadeModel& cascade,
+             fault::ContaminationProcess* contamination, sim::RngStream rng, Config cfg);
+
+  /// Whether the fleet can ever perform this action kind.
+  [[nodiscard]] bool capable(maintenance::RepairActionKind kind) const;
+  /// Whether some unit's scope covers this link end's rack.
+  [[nodiscard]] bool reachable(net::LinkId link, int end) const;
+
+  void submit(const maintenance::Job& job, maintenance::JobCallback cb);
+
+  /// Safety interlock (§3.4: "safety is a major concern when humans and
+  /// robots need to co-exist"). While a human is working in a row, robots
+  /// neither start nor travel through work there; jobs for that row queue
+  /// until the lockout lifts.
+  void lock_row(const topology::RackLocation& row, sim::Duration duration);
+  [[nodiscard]] bool row_locked(const topology::RackLocation& loc) const;
+
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::size_t completed() const { return completed_; }
+  [[nodiscard]] std::size_t completed_of(maintenance::RepairActionKind kind) const {
+    return by_kind_[static_cast<int>(kind)];
+  }
+  [[nodiscard]] std::size_t escalations() const { return escalations_; }
+  [[nodiscard]] std::size_t stockouts() const { return stockouts_; }
+  [[nodiscard]] std::size_t breakdowns() const { return breakdowns_; }
+  [[nodiscard]] double busy_hours() const { return busy_hours_; }
+  [[nodiscard]] int units_online() const;
+  [[nodiscard]] int spares_available(net::FormFactor ff) const;
+
+  /// Builds a roster with one row-gantry per row that contains switches,
+  /// plus `hall_rovers` hall-scope rovers — the deployment §3.4 sketches.
+  [[nodiscard]] static Config row_coverage(const topology::Blueprint& bp, int hall_rovers = 1);
+
+ private:
+  struct Unit {
+    RobotUnitSpec spec;
+    topology::RackLocation position;
+    bool busy = false;
+    bool operational = true;
+  };
+  struct Pending {
+    maintenance::Job job;
+    maintenance::JobCallback cb;
+    sim::TimePoint enqueued;
+  };
+
+  [[nodiscard]] bool unit_covers(const Unit& u, const topology::RackLocation& loc) const;
+  [[nodiscard]] sim::Duration travel_time(const Unit& u,
+                                          const topology::RackLocation& to) const;
+  [[nodiscard]] std::optional<std::size_t> pick_unit(const topology::RackLocation& site) const;
+  [[nodiscard]] topology::RackLocation site_of(const maintenance::Job& job) const;
+  [[nodiscard]] int faceplate_neighbors(net::LinkId link, int end) const;
+
+  void try_dispatch();
+  void run(std::size_t unit_index, Pending p);
+  void release_unit(std::size_t unit_index);
+  void report_immediate(const Pending& p, const char* performer);
+  void restock();
+
+  net::Network& net_;
+  fault::CascadeModel& cascade_;
+  fault::ContaminationProcess* contamination_;
+  sim::RngStream rng_;
+  Config cfg_;
+  ManipulatorModel manipulator_;
+  CleaningModel cleaner_;
+  std::vector<Unit> units_;
+  std::deque<Pending> queue_;
+  /// (hall<<20 | row) -> lockout expiry.
+  std::unordered_map<std::int64_t, sim::TimePoint> row_locks_;
+  std::unordered_map<net::FormFactor, int> spares_;
+  std::size_t completed_ = 0;
+  std::size_t by_kind_[maintenance::kRepairActionKinds] = {};
+  std::size_t escalations_ = 0;
+  std::size_t stockouts_ = 0;
+  std::size_t breakdowns_ = 0;
+  double busy_hours_ = 0.0;
+};
+
+}  // namespace smn::robotics

@@ -1,0 +1,73 @@
+#include "robotics/grading.h"
+
+#include <algorithm>
+
+namespace smn::robotics {
+
+const char* to_string(CleanlinessGrade g) {
+  switch (g) {
+    case CleanlinessGrade::kA: return "A";
+    case CleanlinessGrade::kB: return "B";
+    case CleanlinessGrade::kC: return "C";
+    case CleanlinessGrade::kD: return "D";
+  }
+  return "?";
+}
+
+bool EndFaceScan::passes(bool single_mode) const {
+  return EndFaceImager::grade_passes(worst_grade, single_mode);
+}
+
+CleanlinessGrade EndFaceImager::grade_core(const CoreScan& core) {
+  // Simplified IEC-61300-3-35: the core zone is sacred, cladding tolerates
+  // small counts, scratches through the core are an automatic reject.
+  if (core.worst_scratch_um > 3.0 && core.core_zone_defects > 0) {
+    return CleanlinessGrade::kD;
+  }
+  if (core.core_zone_defects == 0 && core.cladding_defects <= 2) {
+    return CleanlinessGrade::kA;
+  }
+  if (core.core_zone_defects <= 1 && core.cladding_defects <= 5) {
+    return CleanlinessGrade::kB;
+  }
+  if (core.core_zone_defects <= 3 && core.cladding_defects <= 12) {
+    return CleanlinessGrade::kC;
+  }
+  return CleanlinessGrade::kD;
+}
+
+bool EndFaceImager::grade_passes(CleanlinessGrade g, bool single_mode) {
+  return single_mode ? g <= CleanlinessGrade::kB : g <= CleanlinessGrade::kC;
+}
+
+EndFaceScan EndFaceImager::scan(sim::RngStream& rng, double contamination,
+                                int core_count) const {
+  EndFaceScan result;
+  const double c = std::clamp(contamination, 0.0, 1.0);
+  result.cores.reserve(static_cast<size_t>(std::max(1, core_count)));
+  int total_core_defects = 0;
+  for (int i = 0; i < std::max(1, core_count); ++i) {
+    CoreScan core;
+    core.core_zone_defects = rng.poisson(cfg_.core_defect_rate * c);
+    core.cladding_defects = rng.poisson(cfg_.cladding_defect_rate * c);
+    core.adhesive_defects = rng.poisson(cfg_.adhesive_defect_rate * c);
+    core.contact_defects = rng.poisson(cfg_.contact_defect_rate * c);
+    if (rng.bernoulli(cfg_.scratch_probability * c)) {
+      core.worst_scratch_um = rng.lognormal(std::log(2.0), 0.7);
+    }
+    core.grade = grade_core(core);
+    result.worst_grade = std::max(result.worst_grade, core.grade);
+    total_core_defects += core.core_zone_defects + core.cladding_defects;
+    result.cores.push_back(core);
+  }
+  // Back-estimate: invert the expected defect count per core.
+  const double expected_at_one =
+      (cfg_.core_defect_rate + cfg_.cladding_defect_rate) *
+      static_cast<double>(result.cores.size());
+  result.contamination_estimate =
+      std::clamp(static_cast<double>(total_core_defects) / std::max(1.0, expected_at_one),
+                 0.0, 1.0);
+  return result;
+}
+
+}  // namespace smn::robotics

@@ -1,0 +1,76 @@
+// End-face imaging and cleanliness grading.
+//
+// §3.2: "The technician needs to inspect the transceiver and the end-face of
+// the optical cable to ensure that they are cleaned according to industry
+// specifications." §3.3.3: the robot's "imaging inspection is free
+// space-based ... it allows us to do detailed 3D scans of the end-face".
+//
+// This module models the industry inspection standard (IEC-61300-3-35
+// style): per-core defect counts by zone (core / cladding / adhesive /
+// contact), a letter grade per core, and pass/fail for single- vs
+// multi-mode. The imager maps hidden contamination to observed defects with
+// sensor noise — what a cleaning robot's verification step actually sees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace smn::robotics {
+
+/// IEC-style cleanliness grade; A pristine, D reject.
+enum class CleanlinessGrade : std::uint8_t { kA, kB, kC, kD };
+[[nodiscard]] const char* to_string(CleanlinessGrade g);
+
+struct CoreScan {
+  int core_zone_defects = 0;      // defects in the critical core zone
+  int cladding_defects = 0;
+  int adhesive_defects = 0;       // epoxy ring region (mostly cosmetic)
+  int contact_defects = 0;        // outer contact zone
+  double worst_scratch_um = 0.0;  // longest scratch seen, micrometers
+  CleanlinessGrade grade = CleanlinessGrade::kA;
+};
+
+struct EndFaceScan {
+  std::vector<CoreScan> cores;
+  CleanlinessGrade worst_grade = CleanlinessGrade::kA;
+  /// Back-estimate of contamination in [0,1] from observed defects (what
+  /// feeds the failure predictor's inspection feature).
+  double contamination_estimate = 0.0;
+  [[nodiscard]] bool passes(bool single_mode) const;
+};
+
+class EndFaceImager {
+ public:
+  struct Config {
+    /// Expected core-zone defects at contamination 1.0.
+    double core_defect_rate = 4.0;
+    double cladding_defect_rate = 10.0;
+    double adhesive_defect_rate = 6.0;
+    double contact_defect_rate = 12.0;
+    /// Probability a scratch is present at contamination 1.0.
+    double scratch_probability = 0.35;
+  };
+
+  EndFaceImager() : EndFaceImager(Config{}) {}
+  explicit EndFaceImager(Config cfg) : cfg_{cfg} {}
+
+  /// Images an end-face with hidden contamination level `contamination` and
+  /// `core_count` fiber cores (1 LC, N MPO).
+  [[nodiscard]] EndFaceScan scan(sim::RngStream& rng, double contamination,
+                                 int core_count) const;
+
+  /// The IEC-style grading rule for one core's defect counts.
+  [[nodiscard]] static CleanlinessGrade grade_core(const CoreScan& core);
+
+  /// Pass thresholds: single-mode links require grade B or better in the
+  /// core zone; multimode tolerates C.
+  [[nodiscard]] static bool grade_passes(CleanlinessGrade g, bool single_mode);
+
+ private:
+  Config cfg_;
+};
+
+}  // namespace smn::robotics

@@ -1,0 +1,60 @@
+#include "robotics/manipulator.h"
+
+#include <algorithm>
+
+namespace smn::robotics {
+
+double ManipulatorModel::grasp_success_probability(const net::TransceiverModel& sku,
+                                                   int faceplate_neighbors) const {
+  double p = profile_.base_grasp_success;
+  if (sku.tab == net::TabStyle::kRecessed || sku.tab == net::TabStyle::kRigidTab) {
+    p -= profile_.hard_tab_penalty;
+  }
+  p -= profile_.clutter_penalty_per_neighbor * faceplate_neighbors;
+  return std::clamp(p, 0.05, 1.0);
+}
+
+ManipulatorModel::Attempt ManipulatorModel::grasp_loop(sim::RngStream& rng,
+                                                       const net::TransceiverModel& sku,
+                                                       int faceplate_neighbors,
+                                                       double post_grasp_s) const {
+  Attempt a;
+  double seconds = profile_.vision_scan_s + profile_.approach_s;
+  const double p = grasp_success_probability(sku, faceplate_neighbors);
+  for (int attempt = 1; attempt <= profile_.max_grasp_retries; ++attempt) {
+    a.grasp_attempts = attempt;
+    seconds += profile_.grasp_s;
+    if (rng.bernoulli(p)) {
+      a.success = true;
+      break;
+    }
+    // Re-scan before retrying; the gripper may have shifted cables.
+    seconds += profile_.vision_scan_s * 0.5;
+  }
+  if (a.success) seconds += post_grasp_s;
+  a.duration = sim::Duration::seconds(seconds);
+  return a;
+}
+
+ManipulatorModel::Attempt ManipulatorModel::reseat(sim::RngStream& rng,
+                                                   const net::TransceiverModel& sku,
+                                                   int faceplate_neighbors) const {
+  return grasp_loop(rng, sku, faceplate_neighbors,
+                    profile_.extract_s + profile_.reseat_pause_s + profile_.insert_s +
+                        profile_.verify_s);
+}
+
+ManipulatorModel::Attempt ManipulatorModel::unplug(sim::RngStream& rng,
+                                                   const net::TransceiverModel& sku,
+                                                   int faceplate_neighbors) const {
+  return grasp_loop(rng, sku, faceplate_neighbors, profile_.extract_s);
+}
+
+ManipulatorModel::Attempt ManipulatorModel::plug(sim::RngStream& rng,
+                                                 const net::TransceiverModel& sku,
+                                                 int faceplate_neighbors) const {
+  return grasp_loop(rng, sku, faceplate_neighbors,
+                    profile_.insert_s + profile_.verify_s);
+}
+
+}  // namespace smn::robotics

@@ -1,0 +1,77 @@
+// The transceiver-manipulation robot (paper Figure 1, §3.3.1).
+//
+// "designed to grip and manipulate a single transceiver while minimizing
+// accidental interaction with physically close cables ... uses a vision
+// system to understand the complex environment and ... navigate through
+// cluttered cabling to the target port to reseat, plug or unplug the
+// transceiver."
+//
+// The model is a timed action sequence (vision scan -> approach -> grasp ->
+// extract -> pause -> insert -> verify) whose grasp-success probability
+// degrades with transceiver-SKU unfamiliarity and faceplate clutter — the
+// §3.3.3 learnings. Failed grasps retry; exhausted retries escalate.
+#pragma once
+
+#include "net/link.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace smn::robotics {
+
+struct ManipulatorProfile {
+  // Per-step durations, seconds.
+  double vision_scan_s = 12.0;
+  double approach_s = 15.0;
+  double grasp_s = 8.0;
+  double extract_s = 6.0;
+  double reseat_pause_s = 5.0;  // §3.2: "waiting a few seconds"
+  double insert_s = 12.0;
+  double verify_s = 8.0;
+
+  /// Grasp success for a well-known SKU on an uncluttered faceplate.
+  double base_grasp_success = 0.97;
+  /// Penalty for SKUs with hard tab styles (recessed/rigid, §3.3.3).
+  double hard_tab_penalty = 0.10;
+  /// Penalty per neighbouring cable within the gripper's approach cone.
+  double clutter_penalty_per_neighbor = 0.015;
+  int max_grasp_retries = 3;
+};
+
+class ManipulatorModel {
+ public:
+  explicit ManipulatorModel(ManipulatorProfile profile = {}) : profile_{profile} {}
+
+  struct Attempt {
+    sim::Duration duration;  // total wall time including retries
+    bool success = false;    // false => escalate to a human (§3.3.2)
+    int grasp_attempts = 0;
+  };
+
+  /// Probability one grasp attempt succeeds given the SKU and clutter.
+  [[nodiscard]] double grasp_success_probability(const net::TransceiverModel& sku,
+                                                 int faceplate_neighbors) const;
+
+  /// Full unplug-pause-replug at the port: the reseat primitive.
+  [[nodiscard]] Attempt reseat(sim::RngStream& rng, const net::TransceiverModel& sku,
+                               int faceplate_neighbors) const;
+
+  /// Extraction only (e.g. to hand the module to the cleaning unit).
+  [[nodiscard]] Attempt unplug(sim::RngStream& rng, const net::TransceiverModel& sku,
+                               int faceplate_neighbors) const;
+
+  /// Insertion only (return from the cleaning unit, or install a spare).
+  [[nodiscard]] Attempt plug(sim::RngStream& rng, const net::TransceiverModel& sku,
+                             int faceplate_neighbors) const;
+
+  [[nodiscard]] const ManipulatorProfile& profile() const { return profile_; }
+
+ private:
+  /// Runs the grasp-retry loop shared by all primitives; returns attempts
+  /// used (0 retries left => failure) and accumulates retry time.
+  [[nodiscard]] Attempt grasp_loop(sim::RngStream& rng, const net::TransceiverModel& sku,
+                                   int faceplate_neighbors, double post_grasp_s) const;
+
+  ManipulatorProfile profile_;
+};
+
+}  // namespace smn::robotics

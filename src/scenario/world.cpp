@@ -1,0 +1,95 @@
+#include "scenario/world.h"
+
+namespace smn::scenario {
+
+WorldConfig WorldConfig::for_level(core::AutomationLevel level) {
+  WorldConfig cfg;
+  cfg.controller.level = level;
+  const core::LevelTraits t = core::traits(level);
+  cfg.use_robots = t.robots_allowed;
+  cfg.technicians.assist_factor = t.tool_assist_factor;
+  switch (level) {
+    case core::AutomationLevel::kL0_Manual:
+    case core::AutomationLevel::kL1_OperatorAssist:
+      // No robots; impact-aware scheduling needs the robot control plane's
+      // contact prediction, so the human baseline runs without it.
+      cfg.controller.impact_aware = false;
+      cfg.controller.proactive.enabled = false;
+      break;
+    case core::AutomationLevel::kL2_PartialAutomation:
+      cfg.controller.impact_aware = true;
+      cfg.controller.proactive.enabled = false;  // supervision is too scarce
+      break;
+    case core::AutomationLevel::kL3_HighAutomation:
+      cfg.controller.impact_aware = true;
+      cfg.controller.proactive.enabled = true;
+      break;
+    case core::AutomationLevel::kL4_FullAutomation:
+      cfg.controller.impact_aware = true;
+      cfg.controller.proactive.enabled = true;
+      // §2.1: "Every datacenter repair operation is fully autonomous" — the
+      // L4 fleet includes the fiber-laying and device-swap units.
+      cfg.fleet.can_replace_cable = true;
+      cfg.fleet.can_replace_device = true;
+      break;
+  }
+  return cfg;
+}
+
+World::World(const topology::Blueprint& blueprint, WorldConfig cfg)
+    : cfg_{std::move(cfg)}, environment_{cfg_.environment} {
+  sim::RngFactory rngs{cfg_.seed};
+
+  cfg_.network.seed = cfg_.seed;
+  network_ = std::make_unique<net::Network>(blueprint, cfg_.network, sim_);
+
+  injector_ = std::make_unique<fault::FaultInjector>(*network_, environment_,
+                                                     rngs.stream("faults"), cfg_.faults);
+  cascade_ = std::make_unique<fault::CascadeModel>(
+      *network_, environment_, *injector_, rngs.stream("cascade"), cfg_.cascade);
+  contamination_ = std::make_unique<fault::ContaminationProcess>(
+      *network_, environment_, rngs.stream("contamination"), cfg_.contamination);
+  detection_ = std::make_unique<telemetry::DetectionEngine>(
+      *network_, rngs.stream("detection"), cfg_.detection);
+  technicians_ = std::make_unique<maintenance::TechnicianPool>(
+      *network_, *cascade_, contamination_.get(), rngs.stream("technicians"),
+      cfg_.technicians);
+  if (cfg_.use_robots) {
+    robotics::RobotFleet::Config fleet_cfg = cfg_.fleet;
+    if (fleet_cfg.units.empty()) {
+      fleet_cfg.units = robotics::RobotFleet::row_coverage(blueprint).units;
+    }
+    fleet_ = std::make_unique<robotics::RobotFleet>(
+        *network_, *cascade_, contamination_.get(), rngs.stream("fleet"), fleet_cfg);
+  }
+  if (fleet_ != nullptr) {
+    // §3.4 safety interlock: robots stand down in any row where a technician
+    // is physically working.
+    technicians_->set_presence_listener(
+        [this](const topology::RackLocation& loc, sim::Duration dwell) {
+          fleet_->lock_row(loc, dwell);
+        });
+  }
+  controller_ = std::make_unique<core::MaintenanceController>(
+      *network_, *detection_, tickets_, *cascade_, *technicians_, fleet_.get(),
+      rngs.stream("controller"), cfg_.controller);
+  availability_ = std::make_unique<analysis::AvailabilityTracker>(*network_);
+}
+
+void World::start() {
+  if (started_) return;
+  started_ = true;
+  injector_->start();
+  contamination_->start();
+  detection_->start();
+  controller_->start();
+  // Keep the vibration-event list bounded on long runs.
+  sim_.schedule_every(sim::Duration::days(1), [this] { environment_.prune(sim_.now()); });
+}
+
+void World::run_for(sim::Duration d) {
+  start();
+  sim_.run_until(sim_.now() + d);
+}
+
+}  // namespace smn::scenario

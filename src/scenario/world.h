@@ -1,0 +1,98 @@
+// One-call assembly of a complete self-maintaining-network world:
+// network + environment + fault processes + telemetry + ticketing +
+// technicians + robot fleet + controller + availability tracking.
+//
+// This is the library's quickstart facade: examples, integration tests, and
+// every experiment harness build on it. `for_level` returns a WorldConfig
+// preset implementing the §2.1 automation levels faithfully (L1 = assistive
+// tooling, L2 = supervised robots, L3 = autonomous with human escalation,
+// L4 = no humans, robots handle cables and devices too).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "analysis/availability.h"
+#include "core/controller.h"
+#include "fault/cascade.h"
+#include "fault/contamination.h"
+#include "fault/environment.h"
+#include "fault/injector.h"
+#include "maintenance/technician.h"
+#include "maintenance/ticket.h"
+#include "net/network.h"
+#include "robotics/fleet.h"
+#include "sim/event_queue.h"
+#include "telemetry/monitor.h"
+#include "topology/blueprint.h"
+
+namespace smn::scenario {
+
+struct WorldConfig {
+  std::uint64_t seed = 1;
+  net::Network::Config network;
+  fault::Environment::Config environment;
+  fault::ContaminationProcess::Config contamination;
+  fault::FaultInjector::Config faults;
+  fault::CascadeModel::Config cascade;
+  telemetry::DetectionEngine::Config detection;
+  maintenance::TechnicianPool::Config technicians;
+  robotics::RobotFleet::Config fleet;  // units empty => row_coverage roster
+  core::MaintenanceController::Config controller;
+  bool use_robots = true;
+
+  /// Preset for an automation level (§2.1). Adjust fields afterwards freely.
+  [[nodiscard]] static WorldConfig for_level(core::AutomationLevel level);
+};
+
+class World {
+ public:
+  World(const topology::Blueprint& blueprint, WorldConfig cfg);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Starts all periodic processes (fault injection, contamination,
+  /// detection, proactive scans). Idempotent.
+  void start();
+
+  /// Runs the simulation for `d` from the current simulated time.
+  void run_for(sim::Duration d);
+
+  [[nodiscard]] sim::TimePoint now() const { return sim_.now(); }
+
+  // Component access (stable for the World's lifetime).
+  sim::Simulator& simulator() { return sim_; }
+  net::Network& network() { return *network_; }
+  fault::Environment& environment() { return environment_; }
+  fault::FaultInjector& injector() { return *injector_; }
+  fault::CascadeModel& cascade() { return *cascade_; }
+  fault::ContaminationProcess& contamination() { return *contamination_; }
+  telemetry::DetectionEngine& detection() { return *detection_; }
+  maintenance::TicketSystem& tickets() { return tickets_; }
+  maintenance::TechnicianPool& technicians() { return *technicians_; }
+  [[nodiscard]] bool has_fleet() const { return fleet_ != nullptr; }
+  robotics::RobotFleet& fleet() { return *fleet_; }
+  core::MaintenanceController& controller() { return *controller_; }
+  analysis::AvailabilityTracker& availability() { return *availability_; }
+
+  [[nodiscard]] const WorldConfig& config() const { return cfg_; }
+
+ private:
+  WorldConfig cfg_;
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> network_;
+  fault::Environment environment_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::CascadeModel> cascade_;
+  std::unique_ptr<fault::ContaminationProcess> contamination_;
+  std::unique_ptr<telemetry::DetectionEngine> detection_;
+  maintenance::TicketSystem tickets_;
+  std::unique_ptr<maintenance::TechnicianPool> technicians_;
+  std::unique_ptr<robotics::RobotFleet> fleet_;
+  std::unique_ptr<core::MaintenanceController> controller_;
+  std::unique_ptr<analysis::AvailabilityTracker> availability_;
+  bool started_ = false;
+};
+
+}  // namespace smn::scenario

@@ -1,0 +1,93 @@
+#include "sim/event_queue.h"
+
+#include <memory>
+#include <utility>
+
+namespace smn::sim {
+
+EventId Simulator::schedule_at(TimePoint t, Callback fn) {
+  if (t < now_) throw std::invalid_argument{"schedule_at: time is in the past"};
+  if (!fn) throw std::invalid_argument{"schedule_at: empty callback"};
+  const EventId id = ++next_id_;
+  queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulator::schedule_every(Duration period, Callback fn) {
+  if (period <= Duration::zero()) {
+    throw std::invalid_argument{"schedule_every: period must be positive"};
+  }
+  if (!fn) throw std::invalid_argument{"schedule_every: empty callback"};
+  const EventId handle = ++next_id_;
+  // The periodic task reschedules itself until its handle is cancelled. The
+  // recursion is through the queue, not the stack.
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [this, handle, period, fn = std::move(fn), tick]() {
+    if (periodic_cancelled_.contains(handle)) {
+      periodic_cancelled_.erase(handle);
+      return;
+    }
+    fn();
+    if (periodic_cancelled_.contains(handle)) {
+      periodic_cancelled_.erase(handle);
+      return;
+    }
+    schedule_after(period, *tick);
+  };
+  schedule_after(period, *tick);
+  return handle;
+}
+
+void Simulator::cancel_periodic(EventId handle) {
+  if (handle != kInvalidEvent) periodic_cancelled_.insert(handle);
+}
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the callback is moved out via const_cast,
+    // which is safe because the element is popped immediately after.
+    Event& top = const_cast<Event&>(queue_.top());
+    if (cancelled_.erase(top.id) > 0) {
+      queue_.pop();
+      continue;
+    }
+    out = std::move(top);
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Event ev;
+  if (!pop_next(ev)) return false;
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(TimePoint deadline) {
+  Event ev;
+  while (!queue_.empty()) {
+    if (queue_.top().time > deadline) break;
+    if (!pop_next(ev)) break;
+    if (ev.time > deadline) {
+      // pop_next skipped cancelled entries and surfaced one past the deadline;
+      // push it back untouched.
+      queue_.push(std::move(ev));
+      break;
+    }
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (deadline > now_) now_ = deadline;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace smn::sim

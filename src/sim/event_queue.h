@@ -1,0 +1,86 @@
+// The discrete-event simulation engine.
+//
+// A single-threaded event loop: callbacks are scheduled at TimePoints and run
+// in (time, insertion-order) order, so simultaneous events execute in the
+// order they were scheduled — deterministic by construction. Cancellation is
+// lazy: cancelled ids are skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace smn::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t`; `t` must not be in the past.
+  EventId schedule_at(TimePoint t, Callback fn);
+
+  /// Schedules `fn` after a non-negative delay from now.
+  EventId schedule_after(Duration d, Callback fn) { return schedule_at(now_ + d, std::move(fn)); }
+
+  /// Cancels a pending event. Cancelling an already-run or unknown id is a no-op.
+  void cancel(EventId id) { if (id != kInvalidEvent) cancelled_.insert(id); }
+
+  /// Schedules `fn` to run every `period`, starting one period from now.
+  /// Returns a handle cancellable with `cancel_periodic`.
+  EventId schedule_every(Duration period, Callback fn);
+  void cancel_periodic(EventId handle);
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Runs a single pending event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs events with time <= deadline; the clock ends at the deadline even
+  /// if the queue drains early.
+  void run_until(TimePoint deadline);
+
+  /// Runs until the queue drains.
+  void run();
+
+  /// Approximate count of live pending events (cancelled entries are removed
+  /// lazily, so this can over-count until they are popped).
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
+  }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimePoint time;
+    std::uint64_t seq;  // tie-break: earlier scheduling runs first
+    EventId id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next live event into `out`; false when drained.
+  bool pop_next(Event& out);
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> periodic_cancelled_;
+  TimePoint now_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace smn::sim

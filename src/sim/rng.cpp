@@ -1,0 +1,40 @@
+#include "sim/rng.h"
+
+#include <numeric>
+
+namespace smn::sim {
+namespace {
+
+// FNV-1a, then a splitmix64 finalizer for avalanche. Stable across platforms,
+// unlike std::hash, so a (seed, name) pair reproduces everywhere.
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  h += 0x9E3779B97F4A7C15ULL;
+  h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  h = (h ^ (h >> 27)) * 0x94D049BB133111EBULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+std::size_t RngStream::weighted_index(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument{"weighted_index on empty weights"};
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument{"weighted_index needs positive total weight"};
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+RngStream RngFactory::stream(std::string_view name) const {
+  return RngStream{master_seed_ ^ hash_name(name)};
+}
+
+}  // namespace smn::sim

@@ -1,0 +1,43 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace smn::sim {
+
+std::string format_duration(Duration d) {
+  std::int64_t us = d.count_us();
+  const bool negative = us < 0;
+  if (negative) us = -us;
+
+  char buf[64];
+  if (us < 1000) {
+    std::snprintf(buf, sizeof buf, "%s%ldus", negative ? "-" : "", static_cast<long>(us));
+  } else if (us < 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%s%.1fms", negative ? "-" : "",
+                  static_cast<double>(us) / 1e3);
+  } else if (us < 60LL * 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%s%.1fs", negative ? "-" : "",
+                  static_cast<double>(us) / 1e6);
+  } else {
+    const std::int64_t total_s = us / 1'000'000;
+    const std::int64_t days = total_s / 86400;
+    const std::int64_t h = (total_s % 86400) / 3600;
+    const std::int64_t m = (total_s % 3600) / 60;
+    const std::int64_t s = total_s % 60;
+    if (days > 0) {
+      std::snprintf(buf, sizeof buf, "%s%ldd %02ld:%02ld:%02ld", negative ? "-" : "",
+                    static_cast<long>(days), static_cast<long>(h), static_cast<long>(m),
+                    static_cast<long>(s));
+    } else {
+      std::snprintf(buf, sizeof buf, "%s%02ld:%02ld:%02ld", negative ? "-" : "",
+                    static_cast<long>(h), static_cast<long>(m), static_cast<long>(s));
+    }
+  }
+  return buf;
+}
+
+std::string format_time(TimePoint t) {
+  return format_duration(t - TimePoint::origin());
+}
+
+}  // namespace smn::sim

@@ -1,0 +1,93 @@
+// Simulation time primitives.
+//
+// The simulator measures time in integer microseconds wrapped in two strong
+// types: Duration (a span) and TimePoint (an instant since simulation start).
+// Integer ticks keep event ordering exact and runs bit-reproducible; the
+// microsecond resolution comfortably covers both robot actuation (~100 ms
+// steps) and multi-month maintenance campaigns (~10^13 us) within int64_t.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace smn::sim {
+
+/// A span of simulated time. Microsecond resolution, signed.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  [[nodiscard]] static constexpr Duration microseconds(std::int64_t us) { return Duration{us}; }
+  [[nodiscard]] static constexpr Duration milliseconds(double ms) {
+    return Duration{static_cast<std::int64_t>(ms * 1e3)};
+  }
+  [[nodiscard]] static constexpr Duration seconds(double s) {
+    return Duration{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr Duration minutes(double m) { return seconds(m * 60.0); }
+  [[nodiscard]] static constexpr Duration hours(double h) { return seconds(h * 3600.0); }
+  [[nodiscard]] static constexpr Duration days(double d) { return seconds(d * 86400.0); }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0}; }
+  [[nodiscard]] static constexpr Duration max() { return Duration{INT64_MAX}; }
+
+  [[nodiscard]] constexpr std::int64_t count_us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double to_minutes() const { return to_seconds() / 60.0; }
+  [[nodiscard]] constexpr double to_hours() const { return to_seconds() / 3600.0; }
+  [[nodiscard]] constexpr double to_days() const { return to_seconds() / 86400.0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{us_ + o.us_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{us_ - o.us_}; }
+  constexpr Duration operator*(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) * k)};
+  }
+  constexpr Duration operator/(double k) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(us_) / k)};
+  }
+  /// Ratio of two durations. Divisor must be non-zero.
+  [[nodiscard]] constexpr double ratio(Duration o) const {
+    return static_cast<double>(us_) / static_cast<double>(o.us_);
+  }
+  constexpr Duration& operator+=(Duration o) { us_ += o.us_; return *this; }
+  constexpr Duration& operator-=(Duration o) { us_ -= o.us_; return *this; }
+  constexpr Duration operator-() const { return Duration{-us_}; }
+
+ private:
+  constexpr explicit Duration(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// An instant in simulated time, measured from simulation start (t = 0).
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{}; }
+  [[nodiscard]] static constexpr TimePoint from_us(std::int64_t us) { return TimePoint{us}; }
+  [[nodiscard]] static constexpr TimePoint max() { return TimePoint{INT64_MAX}; }
+
+  [[nodiscard]] constexpr std::int64_t count_us() const { return us_; }
+  [[nodiscard]] constexpr double to_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double to_hours() const { return to_seconds() / 3600.0; }
+  [[nodiscard]] constexpr double to_days() const { return to_seconds() / 86400.0; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const { return TimePoint{us_ + d.count_us()}; }
+  constexpr TimePoint operator-(Duration d) const { return TimePoint{us_ - d.count_us()}; }
+  constexpr Duration operator-(TimePoint o) const { return Duration::microseconds(us_ - o.us_); }
+
+ private:
+  constexpr explicit TimePoint(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+/// Human-readable rendering, e.g. "2d 03:14:07" or "850ms".
+[[nodiscard]] std::string format_duration(Duration d);
+/// Renders a time point as elapsed time since simulation start.
+[[nodiscard]] std::string format_time(TimePoint t);
+
+}  // namespace smn::sim

@@ -1,0 +1,131 @@
+#include "telemetry/localization.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+
+namespace smn::telemetry {
+namespace {
+
+/// BFS hop distances to `root` over usable links.
+std::vector<int> distances_to(const net::Network& net, net::DeviceId root) {
+  std::vector<int> dist(net.devices().size(), -1);
+  std::queue<net::DeviceId> q;
+  dist[static_cast<size_t>(root.value())] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const net::DeviceId cur = q.front();
+    q.pop();
+    for (const net::LinkId lid : net.links_at(cur)) {
+      const net::Link& l = net.link(lid);
+      if (l.state == net::LinkState::kDown) continue;
+      const net::DeviceId peer = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
+      if (!net.device(peer).healthy) continue;
+      int& d = dist[static_cast<size_t>(peer.value())];
+      if (d >= 0) continue;
+      d = dist[static_cast<size_t>(cur.value())] + 1;
+      q.push(peer);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+ProbeResult FaultLocalizer::probe(net::DeviceId src, net::DeviceId dst) {
+  ProbeResult result;
+  result.src = src;
+  result.dst = dst;
+  // A probe's 5-tuple hashes onto one equal-cost next hop at every switch —
+  // a uniform random walk down the shortest-path DAG, choosing both the next
+  // device and the parallel-group member.
+  const std::vector<int> dist = distances_to(net_, dst);
+  if (dist[static_cast<size_t>(src.value())] < 0) {
+    result.lossy = true;  // unreachable: maximally lossy
+    return result;
+  }
+  double worst_loss = 0;
+  net::DeviceId cur = src;
+  while (cur != dst) {
+    const int d = dist[static_cast<size_t>(cur.value())];
+    std::vector<net::LinkId> next_links;
+    for (const net::LinkId lid : net_.links_at(cur)) {
+      const net::Link& l = net_.link(lid);
+      if (l.state == net::LinkState::kDown) continue;
+      const net::DeviceId peer = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
+      if (dist[static_cast<size_t>(peer.value())] == d - 1) next_links.push_back(lid);
+    }
+    if (next_links.empty()) {
+      result.lossy = true;
+      return result;
+    }
+    const net::LinkId chosen = next_links[rng_.index(next_links.size())];
+    result.path_links.push_back(chosen);
+    const net::Link& l = net_.link(chosen);
+    worst_loss = std::max(worst_loss, net::Link::loss_rate(l.state));
+    cur = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
+  }
+  result.lossy = worst_loss >= cfg_.loss_threshold || rng_.bernoulli(cfg_.false_positive);
+  return result;
+}
+
+std::vector<ProbeResult> FaultLocalizer::run_probes(int count) {
+  std::vector<ProbeResult> out;
+  const std::vector<net::DeviceId> servers = net_.servers();
+  if (servers.size() < 2) return out;
+  out.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const net::DeviceId src = servers[rng_.index(servers.size())];
+    net::DeviceId dst = src;
+    while (dst == src) dst = servers[rng_.index(servers.size())];
+    out.push_back(probe(src, dst));
+  }
+  return out;
+}
+
+std::vector<Suspicion> FaultLocalizer::localize(
+    const std::vector<ProbeResult>& probes) const {
+  std::unordered_map<std::int32_t, Suspicion> table;
+  for (const ProbeResult& p : probes) {
+    for (const net::LinkId lid : p.path_links) {
+      Suspicion& s = table[lid.value()];
+      s.link = lid;
+      if (p.lossy) {
+        ++s.lossy_hits;
+      } else {
+        ++s.clean_hits;
+      }
+    }
+  }
+  std::vector<Suspicion> out;
+  for (auto& [id, s] : table) {
+    if (s.lossy_hits == 0) continue;
+    s.score = static_cast<double>(s.lossy_hits) -
+              cfg_.exoneration_weight * static_cast<double>(s.clean_hits);
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(), [](const Suspicion& a, const Suspicion& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.link < b.link;  // deterministic tie-break
+  });
+  return out;
+}
+
+int FaultLocalizer::inspections_to_pinpoint(
+    const std::vector<Suspicion>& suspects) const {
+  int inspections = 0;
+  for (const Suspicion& s : suspects) {
+    ++inspections;
+    const net::Link& l = net_.link(s.link);
+    // The inspection sees the truth (free-space imaging, §3.3.3): impaired
+    // state or visible end-face contamination confirms the culprit.
+    const bool impaired = l.state == net::LinkState::kDegraded ||
+                          l.state == net::LinkState::kFlapping ||
+                          std::max(l.end_a.condition.contamination,
+                                   l.end_b.condition.contamination) > 0.3;
+    if (impaired) return inspections;
+  }
+  return -1;
+}
+
+}  // namespace smn::telemetry

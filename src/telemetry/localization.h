@@ -1,0 +1,79 @@
+// Probe-based fault localization (§4): "Fault detection and isolation:
+// Integrating robotics with network monitoring tools and developing
+// algorithms for precise fault localization is another area of interest."
+//
+// Services see end-to-end symptoms, not per-end-face dirt. The localizer
+// sends synthetic probes between random server pairs (each probe hashes onto
+// one member of every parallel group, like a real 5-tuple), marks probes
+// lossy from the real loss of the links they traversed, and runs a
+// tomography-style scoring pass: links on lossy paths gain suspicion, links
+// on clean paths are exonerated. The ranked suspect list is what a robot
+// then confirms with end-face inspections — turning "somewhere on this path"
+// into "this connector" (experiment E16).
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+#include "net/routing.h"
+#include "sim/rng.h"
+
+namespace smn::telemetry {
+
+struct ProbeResult {
+  net::DeviceId src;
+  net::DeviceId dst;
+  bool lossy = false;
+  std::vector<net::LinkId> path_links;  // the exact members the probe rode
+};
+
+struct Suspicion {
+  net::LinkId link;
+  double score = 0;  // higher = more suspect
+  int lossy_hits = 0;
+  int clean_hits = 0;
+};
+
+class FaultLocalizer {
+ public:
+  struct Config {
+    /// A probe counts as lossy when any traversed link's loss rate reaches
+    /// this (catches Degraded and worse; Up links are ~1e-9).
+    double loss_threshold = 1e-6;
+    /// Measurement noise: probability a clean probe still reports lossy.
+    double false_positive = 0.002;
+    /// How much a clean traversal exonerates a link in the score.
+    double exoneration_weight = 2.0;
+  };
+
+  FaultLocalizer(net::Network& net, sim::RngStream rng)
+      : FaultLocalizer(net, std::move(rng), Config{}) {}
+  FaultLocalizer(net::Network& net, sim::RngStream rng, Config cfg)
+      : net_{net}, rng_{std::move(rng)}, cfg_{cfg} {}
+
+  /// Sends `count` probes between random server pairs over the live network.
+  [[nodiscard]] std::vector<ProbeResult> run_probes(int count);
+
+  /// One probe between a specific pair (ECMP member chosen per hop).
+  [[nodiscard]] ProbeResult probe(net::DeviceId src, net::DeviceId dst);
+
+  /// Tomography: ranks links by lossy-coverage minus clean-exoneration.
+  /// Only links that appeared on at least one lossy probe are returned,
+  /// sorted most-suspect first.
+  [[nodiscard]] std::vector<Suspicion> localize(
+      const std::vector<ProbeResult>& probes) const;
+
+  /// Walks the suspect list confirming each by (simulated) end-face
+  /// inspection until a genuinely impaired link is found; returns the number
+  /// of inspections spent, or -1 if the list is exhausted. This is the
+  /// robot-in-the-loop step: each inspection is minutes of robot time rather
+  /// than a human dispatch.
+  [[nodiscard]] int inspections_to_pinpoint(const std::vector<Suspicion>& suspects) const;
+
+ private:
+  net::Network& net_;
+  sim::RngStream rng_;
+  Config cfg_;
+};
+
+}  // namespace smn::telemetry

@@ -1,0 +1,130 @@
+#include "telemetry/monitor.h"
+
+namespace smn::telemetry {
+
+const char* to_string(IssueKind k) {
+  switch (k) {
+    case IssueKind::kDown: return "down";
+    case IssueKind::kFlapping: return "flapping";
+    case IssueKind::kDegraded: return "degraded";
+    case IssueKind::kFalsePositive: return "false-positive";
+  }
+  return "?";
+}
+
+DetectionEngine::DetectionEngine(net::Network& net, sim::RngStream rng, Config cfg)
+    : net_{net}, rng_{std::move(rng)}, cfg_{cfg} {
+  state_.resize(net_.links().size());
+  const sim::TimePoint now = net_.now();
+  for (std::size_t i = 0; i < state_.size(); ++i) {
+    state_[i].last_state = net_.links()[i].state;
+    state_[i].state_since = now;
+    state_[i].up_since = now;
+  }
+  net_.subscribe([this](const net::Link& l, net::LinkState from, net::LinkState to) {
+    on_transition(l, from, to);
+  });
+}
+
+void DetectionEngine::start() {
+  if (periodic_ != sim::kInvalidEvent) return;
+  periodic_ = net_.simulator().schedule_every(cfg_.poll, [this] { step_once(); });
+}
+
+void DetectionEngine::stop() {
+  if (periodic_ == sim::kInvalidEvent) return;
+  net_.simulator().cancel_periodic(periodic_);
+  periodic_ = sim::kInvalidEvent;
+}
+
+void DetectionEngine::on_transition(const net::Link& l, net::LinkState from,
+                                    net::LinkState to) {
+  LinkWatch& w = state_.at(static_cast<size_t>(l.id.value()));
+  const sim::TimePoint now = net_.now();
+  w.time_in_state[static_cast<int>(from)] += now - w.state_since;
+  w.last_state = to;
+  w.state_since = now;
+  if (to == net::LinkState::kUp) w.up_since = now;
+  if (to == net::LinkState::kFlapping) {
+    w.flap_times.push_back(now);
+    ++w.lifetime_flaps;
+    while (!w.flap_times.empty() && now - w.flap_times.front() > cfg_.flap_window) {
+      w.flap_times.pop_front();
+    }
+  }
+}
+
+void DetectionEngine::step_once() {
+  const sim::TimePoint now = net_.now();
+  const double fp_per_poll = cfg_.false_positive_per_year * cfg_.poll.to_days() / 365.0;
+
+  for (const net::Link& l : net_.links()) {
+    LinkWatch& w = state_.at(static_cast<size_t>(l.id.value()));
+
+    // Self-clear: link has been healthy long enough; re-arm detection.
+    if (w.open && l.state == net::LinkState::kUp && now - w.up_since >= cfg_.self_clear) {
+      w.open = false;
+    }
+    if (w.open) continue;
+
+    // Admin-drained links are intentionally down; not a failure to detect.
+    if (l.admin_down) continue;
+
+    const sim::Duration in_state = now - w.state_since;
+    switch (l.state) {
+      case net::LinkState::kDown:
+        if (in_state >= cfg_.down_debounce) raise(l.id, IssueKind::kDown, true);
+        break;
+      case net::LinkState::kFlapping:
+        if (static_cast<int>(w.flap_times.size()) >= cfg_.flap_threshold ||
+            in_state >= cfg_.down_debounce) {
+          raise(l.id, IssueKind::kFlapping, true);
+        }
+        break;
+      case net::LinkState::kDegraded:
+        if (in_state >= cfg_.degraded_debounce) raise(l.id, IssueKind::kDegraded, true);
+        break;
+      case net::LinkState::kUp:
+        if (rng_.bernoulli(fp_per_poll)) {
+          raise(l.id, IssueKind::kFalsePositive, false);
+          ++false_positives_;
+        }
+        break;
+    }
+  }
+}
+
+void DetectionEngine::raise(net::LinkId id, IssueKind kind, bool genuine) {
+  LinkWatch& w = state_.at(static_cast<size_t>(id.value()));
+  w.open = true;
+  ++detections_;
+  const Detection d{net_.now(), id, kind, genuine};
+  for (const Listener& l : listeners_) l(d);
+}
+
+void DetectionEngine::clear(net::LinkId id) {
+  state_.at(static_cast<size_t>(id.value())).open = false;
+}
+
+int DetectionEngine::recent_flaps(net::LinkId id, sim::Duration window) const {
+  const LinkWatch& w = state_.at(static_cast<size_t>(id.value()));
+  const sim::TimePoint now = net_.now();
+  int n = 0;
+  for (const sim::TimePoint t : w.flap_times) {
+    if (now - t <= window) ++n;
+  }
+  return n;
+}
+
+int DetectionEngine::total_flap_transitions(net::LinkId id) const {
+  return state_.at(static_cast<size_t>(id.value())).lifetime_flaps;
+}
+
+sim::Duration DetectionEngine::time_in(net::LinkId id, net::LinkState s) const {
+  const LinkWatch& w = state_.at(static_cast<size_t>(id.value()));
+  sim::Duration total = w.time_in_state[static_cast<int>(s)];
+  if (w.last_state == s) total += net_.now() - w.state_since;
+  return total;
+}
+
+}  // namespace smn::telemetry

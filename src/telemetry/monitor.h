@@ -1,0 +1,109 @@
+// Failure detection: what today's services are already good at (§2: "Today's
+// services are already good at detecting hardware failures").
+//
+// The DetectionEngine watches link state transitions, applies debounce so
+// momentary blips don't page, counts flap transitions in a sliding window,
+// and raises Detections — the events that open tickets. It also injects
+// false positives at a configurable rate, because §2 argues tight robot
+// control "helps manage the impact of ... false positives on repairs".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace smn::telemetry {
+
+enum class IssueKind : std::uint8_t { kDown, kFlapping, kDegraded, kFalsePositive };
+[[nodiscard]] const char* to_string(IssueKind k);
+
+struct Detection {
+  sim::TimePoint time;
+  net::LinkId link;
+  IssueKind kind = IssueKind::kDown;
+  /// True when the underlying link was genuinely impaired at detection time.
+  bool genuine = true;
+};
+
+class DetectionEngine {
+ public:
+  struct Config {
+    sim::Duration poll = sim::Duration::minutes(1);
+    /// A Down link is detected after this much continuous downtime.
+    sim::Duration down_debounce = sim::Duration::seconds(30);
+    /// A Degraded link is detected after this much continuous degradation.
+    sim::Duration degraded_debounce = sim::Duration::minutes(15);
+    /// Flapping is detected when transitions into kFlapping within
+    /// `flap_window` reach `flap_threshold`, or immediately if the link sits
+    /// in kFlapping continuously past `down_debounce`.
+    int flap_threshold = 3;
+    sim::Duration flap_window = sim::Duration::minutes(30);
+    /// Spurious detections per healthy link per year.
+    double false_positive_per_year = 0.25;
+    /// An open issue self-clears if the link stays Up this long (transient
+    /// resolved on its own; the ticket may already be in flight, though).
+    sim::Duration self_clear = sim::Duration::minutes(60);
+  };
+
+  using Listener = std::function<void(const Detection&)>;
+
+  DetectionEngine(net::Network& net, sim::RngStream rng)
+      : DetectionEngine(net, std::move(rng), Config{}) {}
+  DetectionEngine(net::Network& net, sim::RngStream rng, Config cfg);
+
+  void start();
+  void stop();
+  void step_once();
+
+  void subscribe(Listener l) { listeners_.push_back(std::move(l)); }
+
+  /// The repair workflow closes the issue when work on the link completes,
+  /// re-arming detection for it.
+  void clear(net::LinkId id);
+
+  /// Whether a detection is currently open (raised, not yet cleared).
+  [[nodiscard]] bool open(net::LinkId id) const {
+    return state_.at(static_cast<size_t>(id.value())).open;
+  }
+
+  /// Flap transitions observed on this link within the window ending now —
+  /// a predictor feature.
+  [[nodiscard]] int recent_flaps(net::LinkId id, sim::Duration window) const;
+  /// Lifetime counters, predictor features and experiment statistics.
+  [[nodiscard]] int total_flap_transitions(net::LinkId id) const;
+  /// Total observed time the link has spent in `s` (including the current
+  /// dwell) — predictor feature and availability statistic.
+  [[nodiscard]] sim::Duration time_in(net::LinkId id, net::LinkState s) const;
+  [[nodiscard]] std::size_t detection_count() const { return detections_; }
+  [[nodiscard]] std::size_t false_positive_count() const { return false_positives_; }
+
+ private:
+  struct LinkWatch {
+    net::LinkState last_state = net::LinkState::kUp;
+    sim::TimePoint state_since;
+    sim::TimePoint up_since;
+    std::deque<sim::TimePoint> flap_times;  // transitions into kFlapping
+    int lifetime_flaps = 0;
+    bool open = false;
+    sim::Duration time_in_state[4] = {};  // indexed by LinkState, past dwells
+  };
+
+  void on_transition(const net::Link& l, net::LinkState from, net::LinkState to);
+  void raise(net::LinkId id, IssueKind kind, bool genuine);
+
+  net::Network& net_;
+  sim::RngStream rng_;
+  Config cfg_;
+  std::vector<LinkWatch> state_;
+  std::vector<Listener> listeners_;
+  std::size_t detections_ = 0;
+  std::size_t false_positives_ = 0;
+  sim::EventId periodic_ = sim::kInvalidEvent;
+};
+
+}  // namespace smn::telemetry

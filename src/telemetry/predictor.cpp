@@ -1,0 +1,68 @@
+#include "telemetry/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace smn::telemetry {
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void LogisticPredictor::train(std::span<const TrainingExample> examples,
+                              sim::RngStream& rng, Config cfg) {
+  weights_.fill(0.0);
+  if (examples.empty()) return;
+
+  std::vector<std::size_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    rng.shuffle(order);
+    // Decaying step size keeps late epochs from oscillating.
+    const double lr = cfg.learning_rate / (1.0 + 0.01 * epoch);
+    for (const std::size_t idx : order) {
+      const TrainingExample& ex = examples[idx];
+      const auto x = ex.features.as_array();
+      double z = weights_[kFeatureCount];
+      for (std::size_t i = 0; i < kFeatureCount; ++i) z += weights_[i] * x[i];
+      const double err = sigmoid(z) - (ex.failed_within_horizon ? 1.0 : 0.0);
+      for (std::size_t i = 0; i < kFeatureCount; ++i) {
+        weights_[i] -= lr * (err * x[i] + cfg.l2 * weights_[i]);
+      }
+      weights_[kFeatureCount] -= lr * err;
+    }
+  }
+}
+
+double LogisticPredictor::predict(const FeatureVector& f) const {
+  const auto x = f.as_array();
+  double z = weights_[kFeatureCount];
+  for (std::size_t i = 0; i < kFeatureCount; ++i) z += weights_[i] * x[i];
+  return sigmoid(z);
+}
+
+EvaluationResult LogisticPredictor::evaluate(std::span<const TrainingExample> examples,
+                                             double threshold) const {
+  EvaluationResult r;
+  for (const TrainingExample& ex : examples) {
+    const bool predicted = predict(ex.features) >= threshold;
+    if (ex.failed_within_horizon) ++r.positives;
+    if (predicted) ++r.predicted_positive;
+    if (predicted && ex.failed_within_horizon) ++r.true_positive;
+  }
+  r.precision = r.predicted_positive == 0
+                    ? 0.0
+                    : static_cast<double>(r.true_positive) / static_cast<double>(r.predicted_positive);
+  r.recall = r.positives == 0
+                 ? 0.0
+                 : static_cast<double>(r.true_positive) / static_cast<double>(r.positives);
+  r.f1 = (r.precision + r.recall) == 0.0
+             ? 0.0
+             : 2.0 * r.precision * r.recall / (r.precision + r.recall);
+  return r;
+}
+
+}  // namespace smn::telemetry

@@ -1,0 +1,80 @@
+// Predictive maintenance (§4): "new opportunities to use machine learning
+// techniques to predict failures and detect related network behavior
+// patterns, potentially leveraging data collected by robotic systems."
+//
+// A self-contained logistic-regression failure predictor trained by SGD on
+// per-link feature snapshots. Features use only operator-observable signals
+// (flap history, degraded time, repair history, age) plus — when robots are
+// deployed — the end-face inspection grade collected during cleaning visits,
+// the "data collected by robotic systems" the paper highlights.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace smn::telemetry {
+
+inline constexpr std::size_t kFeatureCount = 6;
+
+/// One per-link snapshot. All features are normalized to roughly [0, 1].
+struct FeatureVector {
+  double flaps_recent = 0;        // flap transitions in the last window / 10
+  double degraded_fraction = 0;   // fraction of the window spent degraded
+  double detections_recent = 0;   // detections in the window / 5
+  double repair_count = 0;        // lifetime repairs on this link / 10
+  double age = 0;                 // link age / 5 years
+  double inspection_grade = 0;    // last robot-measured contamination, 0 if never
+
+  [[nodiscard]] std::array<double, kFeatureCount> as_array() const {
+    return {flaps_recent, degraded_fraction, detections_recent,
+            repair_count, age, inspection_grade};
+  }
+};
+
+struct TrainingExample {
+  FeatureVector features;
+  bool failed_within_horizon = false;
+};
+
+struct EvaluationResult {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+  std::size_t positives = 0;
+  std::size_t predicted_positive = 0;
+  std::size_t true_positive = 0;
+};
+
+class LogisticPredictor {
+ public:
+  struct Config {
+    int epochs = 200;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+  };
+
+  /// Trains with SGD; examples are shuffled each epoch with `rng`.
+  void train(std::span<const TrainingExample> examples, sim::RngStream& rng) {
+    train(examples, rng, Config{});
+  }
+  void train(std::span<const TrainingExample> examples, sim::RngStream& rng, Config cfg);
+
+  /// Failure probability within the horizon.
+  [[nodiscard]] double predict(const FeatureVector& f) const;
+
+  [[nodiscard]] EvaluationResult evaluate(std::span<const TrainingExample> examples,
+                                          double threshold) const;
+
+  [[nodiscard]] const std::array<double, kFeatureCount + 1>& weights() const {
+    return weights_;  // weights_[kFeatureCount] is the bias
+  }
+
+ private:
+  std::array<double, kFeatureCount + 1> weights_{};
+};
+
+}  // namespace smn::telemetry

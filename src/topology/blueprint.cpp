@@ -1,0 +1,94 @@
+#include "topology/blueprint.h"
+
+#include <stdexcept>
+
+namespace smn::topology {
+
+const char* to_string(NodeRole r) {
+  switch (r) {
+    case NodeRole::kCoreSwitch: return "core";
+    case NodeRole::kAggSwitch: return "agg";
+    case NodeRole::kTorSwitch: return "tor";
+    case NodeRole::kSpineSwitch: return "spine";
+    case NodeRole::kRailSwitch: return "rail";
+    case NodeRole::kServer: return "server";
+    case NodeRole::kGpuServer: return "gpu-server";
+  }
+  return "?";
+}
+
+int Blueprint::add_node(std::string name, NodeRole role, RackLocation loc) {
+  if (!layout_.contains(loc)) {
+    throw std::out_of_range{"Blueprint::add_node: location outside building: " + loc.to_string()};
+  }
+  nodes_.push_back(NodeSpec{std::move(name), role, loc, 0});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Blueprint::connect(int node_a, int node_b, double capacity_gbps) {
+  if (node_a < 0 || node_b < 0 || node_a >= static_cast<int>(nodes_.size()) ||
+      node_b >= static_cast<int>(nodes_.size())) {
+    throw std::out_of_range{"Blueprint::connect: node index out of range"};
+  }
+  if (node_a == node_b) throw std::invalid_argument{"Blueprint::connect: self-loop"};
+  if (capacity_gbps <= 0) throw std::invalid_argument{"Blueprint::connect: capacity must be > 0"};
+
+  LinkSpec link;
+  link.node_a = node_a;
+  link.port_a = nodes_[static_cast<size_t>(node_a)].ports_used++;
+  link.node_b = node_b;
+  link.port_b = nodes_[static_cast<size_t>(node_b)].ports_used++;
+  link.capacity_gbps = capacity_gbps;
+  link.route = layout_.route_cable(nodes_[static_cast<size_t>(node_a)].location,
+                                   nodes_[static_cast<size_t>(node_b)].location);
+  links_.push_back(std::move(link));
+  return static_cast<int>(links_.size()) - 1;
+}
+
+std::vector<std::vector<std::pair<int, int>>> Blueprint::adjacency() const {
+  std::vector<std::vector<std::pair<int, int>>> adj(nodes_.size());
+  for (int li = 0; li < static_cast<int>(links_.size()); ++li) {
+    const LinkSpec& l = links_[static_cast<size_t>(li)];
+    adj[static_cast<size_t>(l.node_a)].emplace_back(l.node_b, li);
+    adj[static_cast<size_t>(l.node_b)].emplace_back(l.node_a, li);
+  }
+  return adj;
+}
+
+std::size_t Blueprint::count_nodes(NodeRole role) const {
+  std::size_t n = 0;
+  for (const NodeSpec& s : nodes_) {
+    if (s.role == role) ++n;
+  }
+  return n;
+}
+
+std::size_t Blueprint::server_count() const {
+  return count_nodes(NodeRole::kServer) + count_nodes(NodeRole::kGpuServer);
+}
+
+std::size_t Blueprint::switch_count() const {
+  std::size_t n = 0;
+  for (const NodeSpec& s : nodes_) {
+    if (is_switch(s.role)) ++n;
+  }
+  return n;
+}
+
+void Blueprint::validate() const {
+  for (const NodeSpec& n : nodes_) {
+    if (!layout_.contains(n.location)) {
+      throw std::logic_error{"Blueprint: node outside building: " + n.name};
+    }
+  }
+  for (const LinkSpec& l : links_) {
+    if (l.node_a < 0 || l.node_a >= static_cast<int>(nodes_.size()) || l.node_b < 0 ||
+        l.node_b >= static_cast<int>(nodes_.size())) {
+      throw std::logic_error{"Blueprint: dangling link endpoint"};
+    }
+    if (l.node_a == l.node_b) throw std::logic_error{"Blueprint: self-loop"};
+    if (l.capacity_gbps <= 0) throw std::logic_error{"Blueprint: non-positive capacity"};
+  }
+}
+
+}  // namespace smn::topology

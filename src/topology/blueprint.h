@@ -1,0 +1,88 @@
+// A Blueprint is the full physical+logical description of a datacenter
+// network: nodes (switches, servers) with rack locations, and links with
+// cable routes through the tray system. It is what topology builders produce
+// and what `smn::net::Network` instantiates into live simulated hardware.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "topology/physical.h"
+
+namespace smn::topology {
+
+enum class NodeRole : std::uint8_t {
+  kCoreSwitch,
+  kAggSwitch,
+  kTorSwitch,   // also used for leaf switches
+  kSpineSwitch,
+  kRailSwitch,  // GPU-cluster rail-optimized switch
+  kServer,
+  kGpuServer,
+};
+
+[[nodiscard]] constexpr bool is_switch(NodeRole r) {
+  return r != NodeRole::kServer && r != NodeRole::kGpuServer;
+}
+[[nodiscard]] const char* to_string(NodeRole r);
+
+struct NodeSpec {
+  std::string name;
+  NodeRole role = NodeRole::kServer;
+  RackLocation location;
+  int ports_used = 0;  // maintained by Blueprint::connect
+};
+
+struct LinkSpec {
+  int node_a = -1;
+  int port_a = -1;
+  int node_b = -1;
+  int port_b = -1;
+  double capacity_gbps = 100.0;
+  CableRoute route;  // empty segments => in-rack cable
+};
+
+/// Builder-facing graph; immutable once handed to the network layer.
+class Blueprint {
+ public:
+  explicit Blueprint(PhysicalLayout layout, std::string name = "topology")
+      : layout_{std::move(layout)}, name_{std::move(name)} {}
+
+  /// Adds a node; returns its index.
+  int add_node(std::string name, NodeRole role, RackLocation loc);
+
+  /// Connects two nodes, auto-assigning the next free port on each side and
+  /// routing the cable through the tray system. Returns the link index.
+  int connect(int node_a, int node_b, double capacity_gbps);
+
+  [[nodiscard]] const PhysicalLayout& layout() const { return layout_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<NodeSpec>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<LinkSpec>& links() const { return links_; }
+  [[nodiscard]] const NodeSpec& node(int i) const { return nodes_.at(static_cast<size_t>(i)); }
+  [[nodiscard]] const LinkSpec& link(int i) const { return links_.at(static_cast<size_t>(i)); }
+  /// Mutable link access for the owner to keep the blueprint in sync when a
+  /// cable is physically re-terminated at runtime (Network::rewire).
+  [[nodiscard]] LinkSpec& link_mut(int i) { return links_.at(static_cast<size_t>(i)); }
+
+  /// neighbors()[n] lists (peer node, link index) pairs.
+  [[nodiscard]] std::vector<std::vector<std::pair<int, int>>> adjacency() const;
+
+  [[nodiscard]] std::size_t count_nodes(NodeRole role) const;
+  [[nodiscard]] std::size_t server_count() const;
+  [[nodiscard]] std::size_t switch_count() const;
+
+  /// Throws std::logic_error if any invariant is broken (dangling endpoints,
+  /// self-loops, locations outside the building).
+  void validate() const;
+
+ private:
+  PhysicalLayout layout_;
+  std::string name_;
+  std::vector<NodeSpec> nodes_;
+  std::vector<LinkSpec> links_;
+};
+
+}  // namespace smn::topology

@@ -1,0 +1,353 @@
+#include "topology/builders.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace smn::topology {
+namespace {
+
+std::string make_name(const char* prefix, int i) { return std::string{prefix} + std::to_string(i); }
+
+PhysicalLayout::Config sized_layout(int rows, int racks_per_row, int rack_units = 48) {
+  PhysicalLayout::Config cfg;
+  cfg.halls = 1;
+  cfg.rows_per_hall = std::max(1, rows);
+  cfg.racks_per_row = std::max(1, racks_per_row);
+  cfg.rack_units = rack_units;
+  return cfg;
+}
+
+/// Places `count` switches into racks of `row`, `per_rack` per rack starting
+/// at the top unit and packing downward.
+RackLocation switch_slot(int row, int index, int per_rack, int rack_units) {
+  return RackLocation{0, row, index / per_rack, rack_units - 1 - (index % per_rack)};
+}
+
+/// Generates a random simple r-regular graph on n nodes: seed with a
+/// circulant r-regular graph, then randomize with degree-preserving 2-opt
+/// edge swaps. Unlike stub pairing, this never fails, even at high density.
+std::vector<std::pair<int, int>> random_regular_graph(int n, int r, sim::RngStream& rng) {
+  if (n * r % 2 != 0) throw std::invalid_argument{"random_regular_graph: n*r must be even"};
+  if (r >= n) throw std::invalid_argument{"random_regular_graph: degree must be < n"};
+  if (r < 1) throw std::invalid_argument{"random_regular_graph: degree must be >= 1"};
+
+  std::set<std::pair<int, int>> edge_set;
+  auto key = [](int a, int b) { return a < b ? std::pair{a, b} : std::pair{b, a}; };
+
+  // Circulant seed: connect i to i +/- 1..r/2 (mod n); odd r adds the
+  // antipodal matching i <-> i + n/2 (n is even when r is odd).
+  for (int i = 0; i < n; ++i) {
+    for (int k = 1; k <= r / 2; ++k) edge_set.insert(key(i, (i + k) % n));
+    if (r % 2 == 1 && i < n / 2) edge_set.insert(key(i, i + n / 2));
+  }
+
+  std::vector<std::pair<int, int>> edges(edge_set.begin(), edge_set.end());
+  // Randomize: each swap removes edges (a,b),(c,d) and adds (a,c),(b,d),
+  // preserving all degrees; rejected if it would create a loop or multi-edge.
+  const int swaps = 20 * n * r;
+  for (int s = 0; s < swaps; ++s) {
+    const std::size_t i = rng.index(edges.size());
+    const std::size_t j = rng.index(edges.size());
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    if (rng.bernoulli(0.5)) std::swap(c, d);
+    if (a == c || a == d || b == c || b == d) continue;
+    if (edge_set.contains(key(a, c)) || edge_set.contains(key(b, d))) continue;
+    edge_set.erase(key(a, b));
+    edge_set.erase(key(c, d));
+    edge_set.insert(key(a, c));
+    edge_set.insert(key(b, d));
+    edges[i] = key(a, c);
+    edges[j] = key(b, d);
+  }
+  return edges;
+}
+
+}  // namespace
+
+Blueprint build_fat_tree(const FatTreeParams& p) {
+  if (p.k < 4 || p.k % 2 != 0) throw std::invalid_argument{"fat-tree k must be even and >= 4"};
+  const int k = p.k;
+  const int half = k / 2;
+  const int cores = half * half;
+  const int cores_per_rack = 8;
+  const int core_racks = (cores + cores_per_rack - 1) / cores_per_rack;
+  const int racks_per_row = std::max(half + 1, core_racks);
+  const int rack_units = std::max(48, half + 2);
+
+  // Row 0 holds core switches; row 1+p holds pod p: one rack per ToR (ToR on
+  // top, its servers below) plus one network rack with the pod's agg switches.
+  PhysicalLayout layout{sized_layout(1 + k, racks_per_row, rack_units)};
+  Blueprint bp{std::move(layout), "fat-tree-k" + std::to_string(k)};
+
+  std::vector<int> core_ids;
+  for (int c = 0; c < cores; ++c) {
+    core_ids.push_back(bp.add_node(make_name("core", c), NodeRole::kCoreSwitch,
+                                   switch_slot(0, c, cores_per_rack, rack_units)));
+  }
+
+  for (int pod = 0; pod < k; ++pod) {
+    const int row = 1 + pod;
+    std::vector<int> aggs, tors;
+    for (int a = 0; a < half; ++a) {
+      aggs.push_back(bp.add_node(make_name(("agg" + std::to_string(pod) + "_").c_str(), a),
+                                 NodeRole::kAggSwitch,
+                                 switch_slot(row, a, half, rack_units)));
+    }
+    for (int t = 0; t < half; ++t) {
+      const int rack = 1 + t;  // rack 0 is the pod's network rack
+      tors.push_back(bp.add_node(make_name(("tor" + std::to_string(pod) + "_").c_str(), t),
+                                 NodeRole::kTorSwitch,
+                                 RackLocation{0, row, rack, rack_units - 1}));
+      for (int s = 0; s < half; ++s) {
+        const int srv = bp.add_node(
+            make_name(("srv" + std::to_string(pod) + "_" + std::to_string(t) + "_").c_str(), s),
+            NodeRole::kServer, RackLocation{0, row, rack, rack_units - 2 - s});
+        bp.connect(srv, tors.back(), p.edge_gbps);
+      }
+    }
+    for (int t = 0; t < half; ++t) {
+      for (int a = 0; a < half; ++a) bp.connect(tors[static_cast<size_t>(t)], aggs[static_cast<size_t>(a)], p.fabric_gbps);
+    }
+    // Agg a of every pod connects to cores [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a) {
+      for (int i = 0; i < half; ++i) {
+        bp.connect(aggs[static_cast<size_t>(a)], core_ids[static_cast<size_t>(a * half + i)], p.fabric_gbps);
+      }
+    }
+  }
+  bp.validate();
+  return bp;
+}
+
+Blueprint build_leaf_spine(const LeafSpineParams& p) {
+  if (p.leaves <= 0 || p.spines <= 0 || p.servers_per_leaf < 0 || p.uplinks_per_spine <= 0) {
+    throw std::invalid_argument{"leaf-spine: counts must be positive"};
+  }
+  const int rack_units = std::max(48, p.servers_per_leaf + 2);
+  const int racks_per_row = 16;
+  const int leaf_rows = (p.leaves + racks_per_row - 1) / racks_per_row;
+  PhysicalLayout layout{sized_layout(1 + leaf_rows, racks_per_row, rack_units)};
+  Blueprint bp{std::move(layout), "leaf-spine"};
+
+  std::vector<int> spines;
+  for (int s = 0; s < p.spines; ++s) {
+    spines.push_back(bp.add_node(make_name("spine", s), NodeRole::kSpineSwitch,
+                                 switch_slot(0, s, 4, rack_units)));
+  }
+  for (int l = 0; l < p.leaves; ++l) {
+    const int row = 1 + l / racks_per_row;
+    const int rack = l % racks_per_row;
+    const int leaf = bp.add_node(make_name("leaf", l), NodeRole::kTorSwitch,
+                                 RackLocation{0, row, rack, rack_units - 1});
+    for (int s = 0; s < p.servers_per_leaf; ++s) {
+      const int srv = bp.add_node(
+          make_name(("srv" + std::to_string(l) + "_").c_str(), s), NodeRole::kServer,
+          RackLocation{0, row, rack, rack_units - 2 - s});
+      bp.connect(srv, leaf, p.server_gbps);
+    }
+    for (int s = 0; s < p.spines; ++s) {
+      for (int u = 0; u < p.uplinks_per_spine; ++u) {
+        bp.connect(leaf, spines[static_cast<size_t>(s)], p.uplink_gbps);
+      }
+    }
+  }
+  bp.validate();
+  return bp;
+}
+
+namespace {
+
+/// Shared tail for the two expander-family builders: places switches one per
+/// rack, attaches servers, and wires the given switch-switch edge list.
+Blueprint assemble_flat_fabric(std::string name, int switches, int servers_per_switch,
+                               double server_gbps, double fabric_gbps,
+                               const std::vector<std::pair<int, int>>& edges) {
+  const int rack_units = std::max(48, servers_per_switch + 2);
+  const int racks_per_row = 16;
+  const int rows = (switches + racks_per_row - 1) / racks_per_row;
+  PhysicalLayout layout{sized_layout(rows, racks_per_row, rack_units)};
+  Blueprint bp{std::move(layout), std::move(name)};
+
+  std::vector<int> sw;
+  for (int i = 0; i < switches; ++i) {
+    const int row = i / racks_per_row;
+    const int rack = i % racks_per_row;
+    sw.push_back(bp.add_node(make_name("sw", i), NodeRole::kTorSwitch,
+                             RackLocation{0, row, rack, rack_units - 1}));
+    for (int s = 0; s < servers_per_switch; ++s) {
+      const int srv = bp.add_node(make_name(("srv" + std::to_string(i) + "_").c_str(), s),
+                                  NodeRole::kServer,
+                                  RackLocation{0, row, rack, rack_units - 2 - s});
+      bp.connect(srv, sw.back(), server_gbps);
+    }
+  }
+  for (const auto& [a, b] : edges) bp.connect(sw.at(static_cast<size_t>(a)), sw.at(static_cast<size_t>(b)), fabric_gbps);
+  bp.validate();
+  return bp;
+}
+
+}  // namespace
+
+Blueprint build_jellyfish(const JellyfishParams& p) {
+  sim::RngFactory rngs{p.seed};
+  sim::RngStream rng = rngs.stream("jellyfish");
+  const auto edges = random_regular_graph(p.switches, p.network_degree, rng);
+  return assemble_flat_fabric("jellyfish", p.switches, p.servers_per_switch, p.server_gbps,
+                              p.fabric_gbps, edges);
+}
+
+Blueprint build_xpander(const XpanderParams& p) {
+  if (p.lift < 1 || p.network_degree < 2) {
+    throw std::invalid_argument{"xpander: need lift >= 1 and degree >= 2"};
+  }
+  sim::RngFactory rngs{p.seed};
+  sim::RngStream rng = rngs.stream("xpander");
+  const int d = p.network_degree;
+  const int L = p.lift;
+  // Random L-lift of K_{d+1}: base edge (u, v) becomes a random perfect
+  // matching between the L copies of u and the L copies of v.
+  std::vector<std::pair<int, int>> edges;
+  for (int u = 0; u < d + 1; ++u) {
+    for (int v = u + 1; v < d + 1; ++v) {
+      std::vector<int> perm(static_cast<size_t>(L));
+      for (int i = 0; i < L; ++i) perm[static_cast<size_t>(i)] = i;
+      rng.shuffle(perm);
+      for (int i = 0; i < L; ++i) {
+        edges.emplace_back(u * L + i, v * L + perm[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  return assemble_flat_fabric("xpander", (d + 1) * L, p.servers_per_switch, p.server_gbps,
+                              p.fabric_gbps, edges);
+}
+
+Blueprint build_dragonfly(const DragonflyParams& p) {
+  if (p.routers_per_group < 2 || p.global_per_router < 1 || p.servers_per_router < 0) {
+    throw std::invalid_argument{"dragonfly: need a >= 2, h >= 1, p >= 0"};
+  }
+  const int a = p.routers_per_group;
+  const int h = p.global_per_router;
+  const int groups = a * h + 1;
+  const int rack_units = std::max(48, p.servers_per_router + 2);
+  // One group per row; each router in its own rack with its servers.
+  PhysicalLayout layout{sized_layout(groups, std::max(a, 1), rack_units)};
+  Blueprint bp{std::move(layout), "dragonfly"};
+
+  std::vector<std::vector<int>> routers(static_cast<size_t>(groups));
+  for (int g = 0; g < groups; ++g) {
+    for (int r = 0; r < a; ++r) {
+      const int router = bp.add_node(
+          make_name(("df" + std::to_string(g) + "_").c_str(), r),
+          NodeRole::kSpineSwitch, RackLocation{0, g, r, rack_units - 1});
+      routers[static_cast<size_t>(g)].push_back(router);
+      for (int s = 0; s < p.servers_per_router; ++s) {
+        const int srv = bp.add_node(
+            make_name(("dsrv" + std::to_string(g) + "_" + std::to_string(r) + "_").c_str(), s),
+            NodeRole::kServer, RackLocation{0, g, r, rack_units - 2 - s});
+        bp.connect(srv, router, p.server_gbps);
+      }
+    }
+    // Local full mesh within the group.
+    for (int i = 0; i < a; ++i) {
+      for (int j = i + 1; j < a; ++j) {
+        bp.connect(routers[static_cast<size_t>(g)][static_cast<size_t>(i)],
+                   routers[static_cast<size_t>(g)][static_cast<size_t>(j)], p.local_gbps);
+      }
+    }
+  }
+  // Global links: one per group pair, assigned round-robin to routers so
+  // each router terminates at most h globals (a*h globals per group, g-1 =
+  // a*h pairs per group: exactly full).
+  std::vector<int> next_port(static_cast<size_t>(groups), 0);
+  for (int g1 = 0; g1 < groups; ++g1) {
+    for (int g2 = g1 + 1; g2 < groups; ++g2) {
+      const int r1 = next_port[static_cast<size_t>(g1)]++ % a;
+      const int r2 = next_port[static_cast<size_t>(g2)]++ % a;
+      bp.connect(routers[static_cast<size_t>(g1)][static_cast<size_t>(r1)],
+                 routers[static_cast<size_t>(g2)][static_cast<size_t>(r2)],
+                 p.global_gbps);
+    }
+  }
+  bp.validate();
+  return bp;
+}
+
+Blueprint build_torus2d(const Torus2dParams& p) {
+  if (p.x < 3 || p.y < 3) throw std::invalid_argument{"torus2d: need x, y >= 3"};
+  const int rack_units = std::max(48, p.servers_per_node + 2);
+  PhysicalLayout layout{sized_layout(p.y, p.x, rack_units)};
+  Blueprint bp{std::move(layout), "torus2d"};
+
+  std::vector<int> nodes(static_cast<size_t>(p.x * p.y));
+  for (int y = 0; y < p.y; ++y) {
+    for (int x = 0; x < p.x; ++x) {
+      const int sw = bp.add_node(
+          make_name(("t" + std::to_string(x) + "_").c_str(), y), NodeRole::kTorSwitch,
+          RackLocation{0, y, x, rack_units - 1});
+      nodes[static_cast<size_t>(y * p.x + x)] = sw;
+      for (int s = 0; s < p.servers_per_node; ++s) {
+        const int srv = bp.add_node(
+            make_name(("tsrv" + std::to_string(x) + "_" + std::to_string(y) + "_").c_str(), s),
+            NodeRole::kServer, RackLocation{0, y, x, rack_units - 2 - s});
+        bp.connect(srv, sw, p.server_gbps);
+      }
+    }
+  }
+  // +x and +y neighbours with wraparound (each undirected edge added once).
+  for (int y = 0; y < p.y; ++y) {
+    for (int x = 0; x < p.x; ++x) {
+      const int here = nodes[static_cast<size_t>(y * p.x + x)];
+      bp.connect(here, nodes[static_cast<size_t>(y * p.x + (x + 1) % p.x)], p.fabric_gbps);
+      bp.connect(here, nodes[static_cast<size_t>(((y + 1) % p.y) * p.x + x)],
+                 p.fabric_gbps);
+    }
+  }
+  bp.validate();
+  return bp;
+}
+
+Blueprint build_gpu_cluster(const GpuClusterParams& p) {
+  if (p.gpu_servers <= 0 || p.rails <= 0 || p.spines < 0) {
+    throw std::invalid_argument{"gpu-cluster: counts must be positive"};
+  }
+  const int rack_units = 48;
+  const int servers_per_rack = 4;  // GPU servers are tall (8-10U with airflow)
+  const int racks_per_row = 16;
+  const int server_racks = (p.gpu_servers + servers_per_rack - 1) / servers_per_rack;
+  const int rows = 1 + (server_racks + racks_per_row - 1) / racks_per_row;
+  PhysicalLayout layout{sized_layout(rows, racks_per_row, rack_units)};
+  Blueprint bp{std::move(layout), "gpu-cluster"};
+
+  std::vector<int> rails, spines;
+  for (int r = 0; r < p.rails; ++r) {
+    rails.push_back(bp.add_node(make_name("rail", r), NodeRole::kRailSwitch,
+                                switch_slot(0, r, 8, rack_units)));
+  }
+  for (int s = 0; s < p.spines; ++s) {
+    spines.push_back(bp.add_node(make_name("gspine", s), NodeRole::kSpineSwitch,
+                                 switch_slot(0, p.rails + s, 8, rack_units)));
+  }
+  for (int g = 0; g < p.gpu_servers; ++g) {
+    const int rack = g / servers_per_rack;
+    const int row = 1 + rack / racks_per_row;
+    const int unit = rack_units - 1 - 10 * (g % servers_per_rack);
+    const int srv = bp.add_node(make_name("gpu", g), NodeRole::kGpuServer,
+                                RackLocation{0, row, rack % racks_per_row, unit});
+    for (int r = 0; r < p.rails; ++r) bp.connect(srv, rails[static_cast<size_t>(r)], p.rail_gbps);
+  }
+  for (int r = 0; r < p.rails; ++r) {
+    for (int s = 0; s < p.spines; ++s) bp.connect(rails[static_cast<size_t>(r)], spines[static_cast<size_t>(s)], p.spine_gbps);
+  }
+  bp.validate();
+  return bp;
+}
+
+}  // namespace smn::topology

@@ -1,0 +1,98 @@
+// Topology builders. Each returns a validated Blueprint with every node
+// placed at a real rack location and every cable routed through the trays.
+//
+// The set covers the paper's discussion in §4 "Scalable network topologies":
+// the deployed-in-practice trees (fat-tree, leaf-spine), the expander-graph
+// proposals it cites (Jellyfish [14], Xpander [17]) whose wiring complexity
+// has kept them out of production, and the §1 GPU-cluster scenario with
+// rail-optimized links.
+#pragma once
+
+#include <cstdint>
+
+#include "topology/blueprint.h"
+
+namespace smn::topology {
+
+struct FatTreeParams {
+  int k = 8;                     // pod/port parameter; must be even and >= 4
+  double edge_gbps = 100.0;      // server <-> ToR
+  double fabric_gbps = 400.0;    // ToR <-> agg <-> core
+};
+/// Standard 3-tier k-ary fat-tree: k pods, (k/2)^2 cores, k^3/4 servers.
+[[nodiscard]] Blueprint build_fat_tree(const FatTreeParams& p);
+
+struct LeafSpineParams {
+  int leaves = 16;
+  int spines = 4;
+  int servers_per_leaf = 24;
+  int uplinks_per_spine = 1;     // parallel leaf->spine links (redundancy knob, E5)
+  double server_gbps = 100.0;
+  double uplink_gbps = 400.0;
+};
+/// Two-tier leaf-spine (folded Clos). `uplinks_per_spine` is the
+/// right-provisioning knob swept in experiment E5.
+[[nodiscard]] Blueprint build_leaf_spine(const LeafSpineParams& p);
+
+struct JellyfishParams {
+  int switches = 64;
+  int network_degree = 8;        // ports per switch used for switch-switch links
+  int servers_per_switch = 4;
+  double server_gbps = 100.0;
+  double fabric_gbps = 400.0;
+  std::uint64_t seed = 1;
+};
+/// Jellyfish: switches wired as a random regular graph (Singla et al., NSDI'12).
+[[nodiscard]] Blueprint build_jellyfish(const JellyfishParams& p);
+
+struct XpanderParams {
+  int network_degree = 8;        // d; base graph is K_{d+1}
+  int lift = 8;                  // L copies of each base node => (d+1)*L switches
+  int servers_per_switch = 4;
+  double server_gbps = 100.0;
+  double fabric_gbps = 400.0;
+  std::uint64_t seed = 1;
+};
+/// Xpander: deterministic-degree expander built by random L-lift of K_{d+1}
+/// (Valadarsky et al., CoNEXT'16).
+[[nodiscard]] Blueprint build_xpander(const XpanderParams& p);
+
+struct DragonflyParams {
+  int routers_per_group = 4;   // a: full mesh within a group
+  int servers_per_router = 2;  // p
+  int global_per_router = 2;   // h: global links per router
+  double server_gbps = 100.0;
+  double local_gbps = 400.0;
+  double global_gbps = 400.0;
+};
+/// Canonical dragonfly: g = a*h + 1 groups, full-mesh local wiring, one
+/// global link between every pair of groups. Groups map to rows, so global
+/// links are the long cross-row runs — the wiring profile that makes
+/// dragonfly deployments cable-heavy.
+[[nodiscard]] Blueprint build_dragonfly(const DragonflyParams& p);
+
+struct Torus2dParams {
+  int x = 6;
+  int y = 6;
+  int servers_per_node = 2;
+  double server_gbps = 100.0;
+  double fabric_gbps = 400.0;
+};
+/// 2-D torus: each switch links to its four grid neighbours with wraparound.
+/// Wrap links span the full row/column — physically the longest cables in
+/// the study, which the deployment/maintainability metrics notice.
+[[nodiscard]] Blueprint build_torus2d(const Torus2dParams& p);
+
+struct GpuClusterParams {
+  int gpu_servers = 32;
+  int rails = 8;                 // NICs per server, one per rail switch
+  int spines = 4;                // rail switches uplink to spines
+  double rail_gbps = 400.0;
+  double spine_gbps = 800.0;
+};
+/// Rail-optimized GPU training pod (§1 motivation): server NIC r connects to
+/// rail switch r; losing one link degrades the whole server's collective
+/// bandwidth.
+[[nodiscard]] Blueprint build_gpu_cluster(const GpuClusterParams& p);
+
+}  // namespace smn::topology

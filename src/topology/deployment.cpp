@@ -1,0 +1,62 @@
+#include "topology/deployment.h"
+
+#include <algorithm>
+#include <map>
+
+namespace smn::topology {
+
+CrewParams CrewParams::human_crew(int workers) {
+  CrewParams c;
+  c.workers = std::max(1, workers);
+  return c;
+}
+
+CrewParams CrewParams::robot_fleet(int units) {
+  CrewParams c;
+  c.workers = std::max(1, units);
+  c.lay_speed_mpm = 5.0;         // gantries pull slower than a two-man team
+  c.terminate_minutes = 3.0;     // machine termination + auto inspection
+  c.base_miswire = 0.0005;       // every connection is verified end-to-end
+  c.irregularity_miswire = 0.0;  // a robot does not care that cables "look alike"
+  c.rework_hours = 0.5;
+  c.hourly_usd = 15.0;           // amortized unit cost per working hour
+  return c;
+}
+
+DeploymentEstimate estimate_deployment(const Blueprint& bp, const CrewParams& crew) {
+  DeploymentEstimate est;
+  const SelfMaintainability sm = compute_self_maintainability(bp);
+
+  // Group out-of-rack cables into looms by rack pair: the first cable of a
+  // loom pays full pulling time, the rest ride the same pull at 35%.
+  auto rack_key = [](const RackLocation& loc) {
+    return (static_cast<long>(loc.hall) << 40) ^ (static_cast<long>(loc.row) << 20) ^
+           loc.rack;
+  };
+  std::map<std::pair<long, long>, int> loom_position;
+
+  const double miswire_p =
+      crew.base_miswire + crew.irregularity_miswire * (1.0 - sm.bundling);
+
+  for (const LinkSpec& l : bp.links()) {
+    const RackLocation& la = bp.node(l.node_a).location;
+    const RackLocation& lb = bp.node(l.node_b).location;
+    double pull_minutes = l.route.length_m / crew.lay_speed_mpm;
+    if (!la.same_rack(lb)) {
+      const long ka = rack_key(la);
+      const long kb = rack_key(lb);
+      const int position = loom_position[{std::min(ka, kb), std::max(ka, kb)}]++;
+      if (position > 0) pull_minutes *= 0.35;  // rides an already-pulled loom
+    }
+    est.pull_hours += pull_minutes / 60.0;
+    est.terminate_hours += 2.0 * crew.terminate_minutes / 60.0;
+    est.expected_miswires += miswire_p;
+  }
+  est.rework_hours = est.expected_miswires * crew.rework_hours;
+  est.total_work_hours = est.pull_hours + est.terminate_hours + est.rework_hours;
+  est.calendar_days = est.total_work_hours / (crew.workers * 8.0);
+  est.labor_cost_usd = est.total_work_hours * crew.hourly_usd;
+  return est;
+}
+
+}  // namespace smn::topology

@@ -1,0 +1,55 @@
+// Deployment-effort estimation: what it costs to build (not just maintain)
+// a fabric's physical wiring.
+//
+// §4: "the reason why these more efficient topologies are not deployed is due
+// to the complexity to manually deploy the complex wiring looms. ... if we
+// can build self-maintaining systems, these systems may well be able to also
+// deploy the network originally not just maintain it."
+//
+// The model prices each cable install (pull through its tray route +
+// terminate both ends) with two structural effects the paper's argument
+// hinges on: (a) cables sharing a rack-pair route bundle into looms, which
+// amortizes pulling; (b) mis-wiring probability grows with wiring
+// irregularity for human crews, while machine-verified robot terminations
+// hold a flat, tiny error rate. Experiment E15 sweeps crews over topologies.
+#pragma once
+
+#include "topology/blueprint.h"
+#include "topology/metrics.h"
+
+namespace smn::topology {
+
+struct CrewParams {
+  int workers = 1;                   // parallel installers (humans or robot units)
+  double lay_speed_mpm = 8.0;        // cable-pulling speed, meters/minute
+  double terminate_minutes = 6.0;    // per end: dress, terminate, clean, test
+  /// Base mis-wiring probability per cable for perfectly regular wiring.
+  double base_miswire = 0.003;
+  /// Additional mis-wiring probability at bundling = 0 (fully irregular).
+  double irregularity_miswire = 0.025;
+  /// Hours to diagnose and fix one mis-wired cable.
+  double rework_hours = 2.0;
+  double hourly_usd = 85.0;
+
+  /// A human cable crew of `workers` technicians.
+  [[nodiscard]] static CrewParams human_crew(int workers);
+  /// A fleet of cable-laying robot units: slower pulling, faster machine
+  /// terminations, near-zero (connection-verified) mis-wiring.
+  [[nodiscard]] static CrewParams robot_fleet(int units);
+};
+
+struct DeploymentEstimate {
+  double pull_hours = 0;        // cable pulling, after loom amortization
+  double terminate_hours = 0;
+  double expected_miswires = 0;
+  double rework_hours = 0;
+  double total_work_hours = 0;  // sum of the above
+  double calendar_days = 0;     // total / (workers * 8h shifts)
+  double labor_cost_usd = 0;
+};
+
+/// Expected-value deployment estimate for wiring the blueprint with `crew`.
+[[nodiscard]] DeploymentEstimate estimate_deployment(const Blueprint& bp,
+                                                     const CrewParams& crew);
+
+}  // namespace smn::topology

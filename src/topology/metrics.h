@@ -1,0 +1,58 @@
+// Wiring-complexity statistics and the self-maintainability metric.
+//
+// §4 of the paper argues that expander-style topologies are undeployed
+// because of wiring complexity, and asks: "perhaps we can create a metric for
+// self-maintainability of a network design?". This module supplies both the
+// raw wiring statistics and a concrete instantiation of that metric, used by
+// experiment E7 to compare fat-tree / leaf-spine / Jellyfish / Xpander.
+#pragma once
+
+#include <cstddef>
+
+#include "topology/blueprint.h"
+
+namespace smn::topology {
+
+/// Physical wiring statistics of a blueprint.
+struct WiringStats {
+  std::size_t links = 0;
+  std::size_t in_rack = 0;     // cable never leaves the rack (DAC-able)
+  std::size_t same_row = 0;    // leaves the rack, stays in the row tray
+  std::size_t cross_row = 0;   // rides the hall spine tray
+  double total_length_m = 0;
+  double mean_length_m = 0;
+  double max_length_m = 0;
+  /// Number of distinct cable-length SKUs (lengths rounded up to 1 m) — a
+  /// proxy for the manufacturing/spares diversity the paper flags in §4.
+  std::size_t length_classes = 0;
+  double mean_tray_occupancy = 0;  // cables per occupied tray segment
+  double max_tray_occupancy = 0;
+  /// Average number of *other* cables sharing at least one tray segment with
+  /// a given cable — the physical blast radius of touching it.
+  double mean_adjacent_cables = 0;
+  double max_adjacent_cables = 0;
+  /// Out-of-rack cables grouped by (rack, rack) endpoint pair: cables in the
+  /// same group follow an identical route and can be deployed/maintained as a
+  /// single pre-bundled loom. This is the paper's §4 deployability argument —
+  /// "the complexity to manually deploy the complex wiring looms".
+  std::size_t out_of_rack_cables = 0;
+  std::size_t distinct_rack_pairs = 0;
+};
+
+[[nodiscard]] WiringStats compute_wiring_stats(const Blueprint& bp);
+
+/// The self-maintainability metric. Each sub-score is in [0, 1], 1 = easiest
+/// for robotic maintenance; `score` is a 0-100 weighted composite.
+struct SelfMaintainability {
+  double reachability = 0;   // fraction of cables serviceable by rack/row-scope robots
+  double occlusion = 0;      // 1 - normalized tray congestion (perception difficulty)
+  double uniformity = 0;     // 1 - normalized cable-SKU diversity
+  double blast_radius = 0;   // 1 - normalized mean adjacent cables (cascade exposure)
+  double port_density = 0;   // 1 - normalized ports per rack face (manipulation clearance)
+  double bundling = 0;       // fraction of out-of-rack cables sharing a loom route
+  double score = 0;
+};
+
+[[nodiscard]] SelfMaintainability compute_self_maintainability(const Blueprint& bp);
+
+}  // namespace smn::topology

@@ -1,0 +1,99 @@
+#include "topology/physical.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace smn::topology {
+
+std::string RackLocation::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "h%d/r%d/k%d/u%d", hall, row, rack, unit);
+  return buf;
+}
+
+PhysicalLayout::PhysicalLayout(Config cfg) : cfg_{cfg} {
+  if (cfg_.halls <= 0 || cfg_.rows_per_hall <= 0 || cfg_.racks_per_row <= 0 ||
+      cfg_.rack_units <= 0) {
+    throw std::invalid_argument{"PhysicalLayout: all counts must be positive"};
+  }
+  if (cfg_.rack_pitch_m <= 0 || cfg_.row_pitch_m <= 0 || cfg_.unit_height_m <= 0 ||
+      cfg_.tray_height_m <= 0 || cfg_.slack_factor < 1.0) {
+    throw std::invalid_argument{"PhysicalLayout: invalid geometry"};
+  }
+}
+
+bool PhysicalLayout::contains(const RackLocation& loc) const {
+  return loc.hall >= 0 && loc.hall < cfg_.halls && loc.row >= 0 &&
+         loc.row < cfg_.rows_per_hall && loc.rack >= 0 && loc.rack < cfg_.racks_per_row &&
+         loc.unit >= 0 && loc.unit < cfg_.rack_units;
+}
+
+Point PhysicalLayout::position(const RackLocation& loc) const {
+  if (!contains(loc)) throw std::out_of_range{"PhysicalLayout: location outside building"};
+  return Point{
+      .x = loc.rack * cfg_.rack_pitch_m,
+      .y = loc.hall * cfg_.hall_pitch_m + loc.row * cfg_.row_pitch_m,
+      .z = loc.unit * cfg_.unit_height_m,
+  };
+}
+
+double PhysicalLayout::walking_distance_m(const RackLocation& a, const RackLocation& b) const {
+  const Point pa = position(a);
+  const Point pb = position(b);
+  // Walk along the aisle (x), cross rows at the row head (y), ignore height.
+  if (a.same_row(b)) return std::abs(pa.x - pb.x);
+  return pa.x + pb.x + std::abs(pa.y - pb.y);
+}
+
+CableRoute PhysicalLayout::route_cable(const RackLocation& a, const RackLocation& b) const {
+  if (!contains(a) || !contains(b)) {
+    throw std::out_of_range{"route_cable: location outside building"};
+  }
+  CableRoute route;
+  const Point pa = position(a);
+  const Point pb = position(b);
+
+  if (a.same_rack(b)) {
+    route.length_m = (std::abs(pa.z - pb.z) + 0.5) * cfg_.slack_factor;
+    return route;
+  }
+
+  // Up the riser at each end.
+  double length = (cfg_.tray_height_m - pa.z) + (cfg_.tray_height_m - pb.z);
+  route.segments.push_back(
+      TraySegment{TraySegment::Kind::kRiser, a.hall, a.row, a.rack});
+  route.segments.push_back(
+      TraySegment{TraySegment::Kind::kRiser, b.hall, b.row, b.rack});
+
+  auto add_row_span = [&](int hall, int row, int rack_from, int rack_to) {
+    const int lo = std::min(rack_from, rack_to);
+    const int hi = std::max(rack_from, rack_to);
+    for (int s = lo; s < hi; ++s) {
+      route.segments.push_back(TraySegment{TraySegment::Kind::kRowTray, hall, row, s});
+    }
+    length += (hi - lo) * cfg_.rack_pitch_m;
+  };
+
+  if (a.same_row(b)) {
+    add_row_span(a.hall, a.row, a.rack, b.rack);
+  } else {
+    // Along each row tray to the row head (slot 0), then along the spine tray.
+    add_row_span(a.hall, a.row, a.rack, 0);
+    add_row_span(b.hall, b.row, b.rack, 0);
+    const double ya = a.hall * cfg_.hall_pitch_m + a.row * cfg_.row_pitch_m;
+    const double yb = b.hall * cfg_.hall_pitch_m + b.row * cfg_.row_pitch_m;
+    const int hall = a.hall;  // spine segments keyed by rows crossed in hall coordinates
+    const int row_lo = std::min(a.hall * 1000 + a.row, b.hall * 1000 + b.row);
+    const int row_hi = std::max(a.hall * 1000 + a.row, b.hall * 1000 + b.row);
+    for (int r = row_lo; r < row_hi; ++r) {
+      route.segments.push_back(TraySegment{TraySegment::Kind::kSpineTray, hall, r, 0});
+    }
+    length += std::abs(ya - yb);
+  }
+
+  route.length_m = length * cfg_.slack_factor;
+  return route;
+}
+
+}  // namespace smn::topology

@@ -1,0 +1,62 @@
+#include "workload/storage_service.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smn::workload {
+
+StorageService::StorageService(net::Network& net, sim::RngStream rng, Config cfg)
+    : net_{net}, rng_{std::move(rng)}, cfg_{cfg} {
+  const std::vector<net::DeviceId> servers = net_.servers();
+  if (static_cast<int>(servers.size()) < cfg_.replication) {
+    throw std::invalid_argument{"StorageService: fewer servers than replication factor"};
+  }
+  placements_.reserve(static_cast<size_t>(cfg_.shards));
+  for (int s = 0; s < cfg_.shards; ++s) {
+    // Distinct random replica set per shard.
+    std::vector<net::DeviceId> replicas;
+    while (static_cast<int>(replicas.size()) < cfg_.replication) {
+      const net::DeviceId candidate = servers[rng_.index(servers.size())];
+      if (std::find(replicas.begin(), replicas.end(), candidate) == replicas.end()) {
+        replicas.push_back(candidate);
+      }
+    }
+    placements_.push_back(std::move(replicas));
+  }
+}
+
+void StorageService::start() {
+  if (started_) return;
+  started_ = true;
+  net_.simulator().schedule_every(cfg_.poll, [this] { poll(); });
+}
+
+bool StorageService::server_serving(net::DeviceId id) const {
+  if (!net_.device(id).healthy) return false;
+  for (const net::LinkId lid : net_.links_at(id)) {
+    if (net_.usable(lid)) return true;
+  }
+  return false;
+}
+
+void StorageService::poll() {
+  const double dt_hours = cfg_.poll.to_hours();
+  std::size_t under_now = 0;
+  bool any_last_replica = false;
+  for (const std::vector<net::DeviceId>& replicas : placements_) {
+    int reachable = 0;
+    for (const net::DeviceId r : replicas) {
+      if (server_serving(r)) ++reachable;
+    }
+    if (reachable < cfg_.replication) {
+      ++under_now;
+      under_hours_ += dt_hours;
+    }
+    if (reachable == 1) any_last_replica = true;
+    if (reachable == 0) unavailable_hours_ += dt_hours;
+  }
+  worst_under_ = std::max(worst_under_, under_now);
+  if (any_last_replica) ++last_replica_;
+}
+
+}  // namespace smn::workload

@@ -1,0 +1,65 @@
+// Replicated storage service over the simulated plant.
+//
+// §1: "Cloud services must remain operational despite hardware failures ...
+// This overprovisioning might include redundant network links or spare
+// computing and storage resources." A storage service survives failures by
+// replication; what repair speed buys it is a shorter *window of
+// vulnerability* (§2's phrase) during which further failures can stack up on
+// the same shard. This model assigns shards to replica sets, watches server
+// reachability, and integrates under-replicated and unavailable shard-time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "net/routing.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace smn::workload {
+
+class StorageService {
+ public:
+  struct Config {
+    int replication = 3;
+    int shards = 200;
+    sim::Duration poll = sim::Duration::minutes(5);
+  };
+
+  StorageService(net::Network& net, sim::RngStream rng, Config cfg);
+
+  void start();
+
+  /// A server is serving when it is healthy and has a usable access link.
+  [[nodiscard]] bool server_serving(net::DeviceId id) const;
+
+  /// Shard-hours spent with fewer than `replication` reachable replicas.
+  [[nodiscard]] double under_replicated_shard_hours() const { return under_hours_; }
+  /// Shard-hours spent with zero reachable replicas (client-visible outage).
+  [[nodiscard]] double unavailable_shard_hours() const { return unavailable_hours_; }
+  /// Peak number of simultaneously under-replicated shards.
+  [[nodiscard]] std::size_t worst_under_replicated() const { return worst_under_; }
+  /// Samples where at least one shard was down to its last replica — the
+  /// §2 "window of vulnerability" in its most acute form.
+  [[nodiscard]] std::size_t last_replica_episodes() const { return last_replica_; }
+
+  [[nodiscard]] const std::vector<std::vector<net::DeviceId>>& placements() const {
+    return placements_;
+  }
+
+ private:
+  void poll();
+
+  net::Network& net_;
+  sim::RngStream rng_;
+  Config cfg_;
+  std::vector<std::vector<net::DeviceId>> placements_;  // shard -> replica servers
+  double under_hours_ = 0.0;
+  double unavailable_hours_ = 0.0;
+  std::size_t worst_under_ = 0;
+  std::size_t last_replica_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace smn::workload

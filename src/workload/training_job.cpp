@@ -1,0 +1,104 @@
+#include "workload/training_job.h"
+
+#include <stdexcept>
+
+namespace smn::workload {
+
+TrainingJob::TrainingJob(net::Network& net, Config cfg) : net_{net}, cfg_{std::move(cfg)} {
+  if (cfg_.servers.empty()) throw std::invalid_argument{"TrainingJob: no servers"};
+  if (cfg_.required_live_links <= 0) {
+    throw std::invalid_argument{"TrainingJob: required_live_links must be positive"};
+  }
+}
+
+void TrainingJob::start() {
+  if (started_flag_) return;
+  started_flag_ = true;
+  started_ = net_.now();
+  last_checkpoint_ = started_;
+  segment_began_ = started_;
+  net_.simulator().schedule_every(cfg_.poll, [this] { poll(); });
+}
+
+bool TrainingJob::fabric_healthy() const {
+  for (const net::DeviceId s : cfg_.servers) {
+    if (!net_.device(s).healthy) return false;
+    int live = 0;
+    for (const net::LinkId lid : net_.links_at(s)) {
+      // Gang-synchronous collectives stall on a flapping member (§1's tail
+      // latency at its worst): only Up/Degraded rails count as live.
+      const net::LinkState st = net_.link(lid).state;
+      if (st == net::LinkState::kUp || st == net::LinkState::kDegraded) ++live;
+    }
+    if (live < cfg_.required_live_links) return false;
+  }
+  return true;
+}
+
+void TrainingJob::poll() {
+  const sim::TimePoint now = net_.now();
+  const bool healthy = fabric_healthy();
+
+  switch (state_) {
+    case State::kRunning: {
+      if (healthy) {
+        // Commit a checkpoint when due.
+        if (now - last_checkpoint_ >= cfg_.checkpoint_interval) {
+          useful_hours_ += (now - last_checkpoint_).to_hours();
+          last_checkpoint_ = now;
+        }
+        break;
+      }
+      // Interruption: everything since the last checkpoint is discarded.
+      recomputed_hours_ += (now - last_checkpoint_).to_hours();
+      ++interruptions_;
+      state_ = State::kInterrupted;
+      break;
+    }
+    case State::kInterrupted: {
+      if (healthy) {
+        state_ = State::kRestarting;
+        restart_ready_at_ = now + cfg_.restart_overhead;
+      }
+      break;
+    }
+    case State::kRestarting: {
+      if (!healthy) {
+        state_ = State::kInterrupted;  // broke again mid-restart
+        break;
+      }
+      if (now >= restart_ready_at_) {
+        state_ = State::kRunning;
+        last_checkpoint_ = now;  // resumes from the checkpointed watermark
+      }
+      break;
+    }
+  }
+}
+
+double TrainingJob::useful_gpu_hours() const {
+  double committed = useful_hours_;
+  if (state_ == State::kRunning) {
+    // In-flight (uncommitted) progress counts as useful if nothing kills it;
+    // report optimistically, matching how goodput dashboards read.
+    committed += (net_.now() - last_checkpoint_).to_hours();
+  }
+  return committed * static_cast<double>(cfg_.servers.size()) * cfg_.gpus_per_server;
+}
+
+double TrainingJob::lost_gpu_hours() const {
+  const double elapsed = (net_.now() - started_).to_hours();
+  const double total =
+      elapsed * static_cast<double>(cfg_.servers.size()) * cfg_.gpus_per_server;
+  return total - useful_gpu_hours();
+}
+
+double TrainingJob::goodput() const {
+  const double elapsed = (net_.now() - started_).to_hours();
+  if (elapsed <= 0.0) return 1.0;
+  const double total =
+      elapsed * static_cast<double>(cfg_.servers.size()) * cfg_.gpus_per_server;
+  return useful_gpu_hours() / total;
+}
+
+}  // namespace smn::workload

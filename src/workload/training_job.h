@@ -1,0 +1,70 @@
+// Gang-scheduled training job over a set of GPU servers (§1's motivating
+// workload).
+//
+// "a single network link failing or an HBM module failing changes the
+// resource availability per GPU, potentially causing significant fraction of
+// the GPU-cluster to go offline, which is costly."
+//
+// Semantics match production training: the job makes progress only while
+// every member server has its required rail count live (rail-optimized
+// collectives are gang-synchronous); on a violation the job stops, work since
+// the last checkpoint is lost, and resuming costs a restart overhead on top
+// of the outage itself. GPU-hours lost therefore exceed raw repair time —
+// the amplification that makes repair latency so expensive in AI clusters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace smn::workload {
+
+class TrainingJob {
+ public:
+  struct Config {
+    std::vector<net::DeviceId> servers;  // gang members
+    int gpus_per_server = 8;
+    /// Live links each member needs for the collective to run at full rate.
+    int required_live_links = 8;
+    sim::Duration checkpoint_interval = sim::Duration::minutes(30);
+    /// Cost of resuming after an interruption (load checkpoint, rebuild
+    /// communicators), paid once the fabric is healthy again.
+    sim::Duration restart_overhead = sim::Duration::minutes(10);
+    sim::Duration poll = sim::Duration::minutes(1);
+  };
+
+  TrainingJob(net::Network& net, Config cfg);
+
+  void start();
+
+  /// Wall-clock GPU accounting at the current sim time.
+  [[nodiscard]] double useful_gpu_hours() const;
+  [[nodiscard]] double lost_gpu_hours() const;
+  /// Fraction of elapsed time spent making useful progress.
+  [[nodiscard]] double goodput() const;
+  [[nodiscard]] std::size_t interruptions() const { return interruptions_; }
+  /// Progress discarded because it post-dated the last checkpoint, hours.
+  [[nodiscard]] double recomputed_hours() const { return recomputed_hours_; }
+
+ private:
+  enum class State { kRunning, kInterrupted, kRestarting };
+
+  [[nodiscard]] bool fabric_healthy() const;
+  void poll();
+
+  net::Network& net_;
+  Config cfg_;
+  State state_ = State::kRunning;
+  sim::TimePoint started_;
+  sim::TimePoint last_checkpoint_;
+  sim::TimePoint segment_began_;     // current running segment start
+  sim::TimePoint restart_ready_at_;  // when the restart overhead completes
+  double useful_hours_ = 0.0;        // committed (checkpointed) progress
+  double recomputed_hours_ = 0.0;
+  std::size_t interruptions_ = 0;
+  bool started_flag_ = false;
+};
+
+}  // namespace smn::workload

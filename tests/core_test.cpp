@@ -1,0 +1,415 @@
+// Tests for automation-level traits, the escalation ladder, load migration,
+// the traffic profile, and the controller's end-to-end repair loop.
+#include <gtest/gtest.h>
+
+#include "core/automation.h"
+#include "core/controller.h"
+#include "core/escalation.h"
+#include "core/migration.h"
+#include "core/traffic.h"
+#include "scenario/world.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::core {
+namespace {
+
+using maintenance::RepairActionKind;
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(Automation, TraitsMatchTheTaxonomy) {
+  EXPECT_FALSE(traits(AutomationLevel::kL0_Manual).robots_allowed);
+  EXPECT_LT(traits(AutomationLevel::kL1_OperatorAssist).tool_assist_factor, 1.0);
+  EXPECT_TRUE(traits(AutomationLevel::kL2_PartialAutomation).supervision_blocking);
+  EXPECT_DOUBLE_EQ(traits(AutomationLevel::kL2_PartialAutomation).supervision_fraction, 1.0);
+  EXPECT_FALSE(traits(AutomationLevel::kL3_HighAutomation).supervision_blocking);
+  EXPECT_GT(traits(AutomationLevel::kL3_HighAutomation).supervision_fraction, 0.0);
+  EXPECT_FALSE(traits(AutomationLevel::kL4_FullAutomation).humans_available);
+  EXPECT_DOUBLE_EQ(traits(AutomationLevel::kL4_FullAutomation).supervision_fraction, 0.0);
+}
+
+TEST(Traffic, DiurnalShapeAndLowWindows) {
+  TrafficProfile p;
+  EXPECT_NEAR(p.utilization(TimePoint::origin() + Duration::hours(15)), 0.80, 0.01);
+  EXPECT_NEAR(p.utilization(TimePoint::origin() + Duration::hours(3)), 0.30, 0.01);
+  const TimePoint peak = TimePoint::origin() + Duration::hours(15);
+  EXPECT_FALSE(p.is_low(peak, 0.45));
+  const TimePoint window = p.next_low_window(peak, 0.45);
+  EXPECT_GT(window, peak);
+  EXPECT_TRUE(p.is_low(window, 0.45));
+  // Threshold never reached => returns `from`.
+  EXPECT_EQ(p.next_low_window(peak, 0.0), peak);
+}
+
+struct EscalationFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 2, .uplinks_per_spine = 2});
+  net::Network net{bp, testutil::short_aoc(), sim};
+  maintenance::TicketSystem tickets;
+  EscalationPolicy policy;
+
+  net::LinkId optical_link() const {
+    for (const net::Link& l : net.links()) {
+      if (net::is_cleanable(l.medium)) return l.id;
+    }
+    throw std::logic_error{"no optical link"};
+  }
+
+  maintenance::Ticket make_ticket(net::LinkId link, int actions = 0) {
+    maintenance::Ticket t;
+    t.id = 0;
+    t.link = link;
+    t.opened = sim.now();
+    t.actions_taken = actions;
+    return t;
+  }
+
+  void add_resolved_history(net::LinkId link, int count) {
+    for (int i = 0; i < count; ++i) {
+      const auto id = tickets.open(sim.now(), link, telemetry::IssueKind::kFlapping, true);
+      tickets.mark_dispatched(*id, sim.now());
+      tickets.mark_resolved(*id, sim.now(), "technician");
+    }
+  }
+};
+
+TEST_F(EscalationFixture, HardEvidenceShortCircuits) {
+  const net::LinkId lid{0};
+  net.link_mut(lid).cable.intact = false;
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid)).kind,
+            RepairActionKind::kReplaceCable);
+  net.link_mut(lid).cable.intact = true;
+
+  net.link_mut(lid).end_b.condition.transceiver_healthy = false;
+  const auto d = policy.decide(net, tickets, make_ticket(lid));
+  EXPECT_EQ(d.kind, RepairActionKind::kReplaceTransceiver);
+  EXPECT_EQ(d.end, 1);
+  net.link_mut(lid).end_b.condition.transceiver_healthy = true;
+
+  net.link_mut(lid).end_a.condition.transceiver_seated = false;
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid)).kind, RepairActionKind::kReseat);
+  net.link_mut(lid).end_a.condition.transceiver_seated = true;
+
+  net.set_device_health(net.link(lid).end_b.device, false);
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid)).kind,
+            RepairActionKind::kReplaceDevice);
+}
+
+TEST_F(EscalationFixture, SoftSymptomsWalkTheLadder) {
+  const net::LinkId lid = optical_link();
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid, 0)).kind,
+            RepairActionKind::kReseat);
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid, 2)).kind,
+            RepairActionKind::kClean);
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid, 4)).kind,
+            RepairActionKind::kReplaceTransceiver);
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid, 6)).kind,
+            RepairActionKind::kReplaceCable);
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid, 7)).kind,
+            RepairActionKind::kReplaceDevice);
+}
+
+TEST_F(EscalationFixture, EndsAlternateAcrossRungs) {
+  const net::LinkId lid = optical_link();
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid, 0)).end, 0);
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid, 1)).end, 1);
+}
+
+TEST_F(EscalationFixture, RepeatTicketsAdvanceTheStage) {
+  const net::LinkId lid = optical_link();
+  add_resolved_history(lid, 2);
+  // Two recent resolutions + fresh ticket => stage 2 => clean.
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(lid)).kind,
+            RepairActionKind::kClean);
+}
+
+TEST_F(EscalationFixture, NonCleanableSkipsCleaningRung) {
+  net::LinkId dac;
+  for (const net::Link& l : net.links()) {
+    if (l.medium == net::CableMedium::kDac) {
+      dac = l.id;
+      break;
+    }
+  }
+  EXPECT_EQ(policy.decide(net, tickets, make_ticket(dac, 2)).kind,
+            RepairActionKind::kReplaceTransceiver);
+}
+
+TEST_F(EscalationFixture, DisabledLadderJumpsToReplace) {
+  EscalationPolicy no_ladder{EscalationPolicy::Config{.ladder_enabled = false}};
+  const net::LinkId lid = optical_link();
+  EXPECT_EQ(no_ladder.decide(net, tickets, make_ticket(lid, 0)).kind,
+            RepairActionKind::kReplaceTransceiver);
+}
+
+TEST_F(EscalationFixture, StaleHistoryDoesNotCount) {
+  // History resolved 30 days ago with a 14-day window => stage stays 0.
+  const net::LinkId lid = optical_link();
+  add_resolved_history(lid, 3);
+  maintenance::Ticket t = make_ticket(lid);
+  t.opened = sim.now() + Duration::days(30);
+  EXPECT_EQ(policy.decide(net, tickets, t).kind, RepairActionKind::kReseat);
+}
+
+TEST_F(EscalationFixture, MigratorDrainsOnlyWithRedundancy) {
+  LoadMigrator migrator{net};
+  const net::DeviceId leaf = net.devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  const net::DeviceId spine = net.devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  const auto uplinks = net.links_between(leaf, spine);
+  ASSERT_EQ(uplinks.size(), 2u);
+
+  // Uplinks are redundant: drainable.
+  const auto drained = migrator.drain_for_work({uplinks[0]});
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(net.link(uplinks[0]).state, net::LinkState::kDown);
+  migrator.restore(drained);
+  EXPECT_EQ(net.link(uplinks[0]).state, net::LinkState::kUp);
+
+  // A server's single access link is not drainable.
+  const net::DeviceId srv = net.servers()[0];
+  const net::LinkId access = net.links_at(srv)[0];
+  const auto refused = migrator.drain_for_work({access});
+  EXPECT_TRUE(refused.empty());
+  EXPECT_EQ(net.link(access).state, net::LinkState::kUp);
+  EXPECT_EQ(migrator.refusals(), 1u);
+  EXPECT_EQ(migrator.drains(), 1u);
+}
+
+// --- controller end-to-end, via the scenario facade ---
+
+struct ControllerFixture : ::testing::Test {
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 2, .uplinks_per_spine = 2});
+
+  scenario::WorldConfig quiet_config(AutomationLevel level) {
+    scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
+    cfg.network = testutil::short_aoc();
+    // Silence background noise so tests observe only directed faults.
+    cfg.faults.transceiver_afr = 0.0;
+    cfg.faults.cable_afr = 0.0;
+    cfg.faults.switch_afr = 0.0;
+    cfg.faults.server_nic_afr = 0.0;
+    cfg.faults.gray_rate_per_year = 0.0;
+    cfg.faults.oxidation_rate_per_year = 0.0;
+    cfg.contamination.mean_accumulation_per_day = 0.0;
+    cfg.detection.false_positive_per_year = 0.0;
+    cfg.fleet.failure_per_job = 0.0;
+    cfg.technicians.quality.botch_probability = 0.0;
+    return cfg;
+  }
+};
+
+TEST_F(ControllerFixture, L3RepairsDownLinkWithRobotInMinutes) {
+  scenario::World world{bp, quiet_config(AutomationLevel::kL3_HighAutomation)};
+  world.start();
+  world.injector().inject_transceiver_failure(net::LinkId{0}, 0);
+  // Unseat presents as Down; ladder sees dead module and replaces it.
+  world.run_for(Duration::hours(8));
+  EXPECT_EQ(world.network().link(net::LinkId{0}).state, net::LinkState::kUp);
+  ASSERT_EQ(world.tickets().count(maintenance::TicketState::kResolved), 1u);
+  const maintenance::Ticket& t = world.tickets().all()[0];
+  EXPECT_EQ(t.resolved_by, "robot");
+  EXPECT_LT((t.resolved - t.opened).to_hours(), 2.0);
+}
+
+TEST_F(ControllerFixture, L0RepairsViaTechnicianOnHoursToDaysScale) {
+  scenario::World world{bp, quiet_config(AutomationLevel::kL0_Manual)};
+  world.start();
+  world.injector().inject_transceiver_failure(net::LinkId{0}, 0);
+  world.run_for(Duration::days(14));
+  EXPECT_EQ(world.network().link(net::LinkId{0}).state, net::LinkState::kUp);
+  ASSERT_GE(world.tickets().count(maintenance::TicketState::kResolved), 1u);
+  const maintenance::Ticket& t = world.tickets().all()[0];
+  EXPECT_EQ(t.resolved_by, "technician");
+  EXPECT_GT((t.resolved - t.opened).to_hours(), 0.5);
+}
+
+TEST_F(ControllerFixture, VerifyBeforeDispatchCancelsTransients) {
+  scenario::WorldConfig cfg = quiet_config(AutomationLevel::kL3_HighAutomation);
+  scenario::World world{bp, cfg};
+  world.start();
+  // Short gray episode: by the time verification fires, the link is healthy.
+  world.injector().inject_gray_episode(net::LinkId{0}, Duration::minutes(3));
+  world.run_for(Duration::hours(3));
+  EXPECT_EQ(world.controller().verified_transients(), 1u);
+  EXPECT_EQ(world.tickets().count(maintenance::TicketState::kCancelled), 1u);
+  EXPECT_EQ(world.fleet().completed(), 0u);  // no hardware was touched
+}
+
+TEST_F(ControllerFixture, L0DoesNotVerifyAndRollsAnyway) {
+  scenario::World world{bp, quiet_config(AutomationLevel::kL0_Manual)};
+  world.start();
+  world.injector().inject_gray_episode(net::LinkId{0}, Duration::hours(1));
+  world.run_for(Duration::days(10));
+  // The transient self-cleared long before the tech arrived, but a truck
+  // rolled: ticket resolved by the technician doing a no-op reseat.
+  EXPECT_GE(world.technicians().completed(), 1u);
+}
+
+TEST_F(ControllerFixture, EscalatesThroughLadderToCleanContamination) {
+  scenario::WorldConfig cfg = quiet_config(AutomationLevel::kL3_HighAutomation);
+  cfg.controller.verify_delay = Duration::minutes(5);
+  scenario::World world{bp, cfg};
+  world.start();
+  // Find an optical link and soak one end-face.
+  net::LinkId optical;
+  for (const net::Link& l : world.network().links()) {
+    if (net::is_cleanable(l.medium)) {
+      optical = l.id;
+      break;
+    }
+  }
+  world.network().link_mut(optical).end_a.condition.contamination = 0.9;
+  world.network().refresh_link(optical);
+  world.run_for(Duration::days(2));
+  // Contamination cannot be reseated away; the ladder must reach cleaning.
+  EXPECT_EQ(world.network().link(optical).state, net::LinkState::kUp);
+  EXPECT_LT(world.network().link(optical).end_a.condition.contamination, 0.35);
+  EXPECT_GE(world.fleet().completed_of(RepairActionKind::kClean), 1u);
+}
+
+TEST_F(ControllerFixture, L2SupervisionGatesRobotConcurrency) {
+  scenario::WorldConfig cfg = quiet_config(AutomationLevel::kL2_PartialAutomation);
+  cfg.controller.supervisors = 1;
+  scenario::World world{bp, cfg};
+  world.start();
+  for (int i = 0; i < 6; ++i) {
+    world.injector().inject_transceiver_failure(net::LinkId{i}, 0);
+  }
+  world.run_for(Duration::days(2));
+  EXPECT_EQ(world.tickets().count(maintenance::TicketState::kResolved), 6u);
+  EXPECT_GT(world.controller().supervision_hours(), 0.0);
+}
+
+TEST_F(ControllerFixture, L4HandlesCableBreakWithoutHumans) {
+  scenario::World world{bp, quiet_config(AutomationLevel::kL4_FullAutomation)};
+  world.start();
+  const net::DeviceId leaf =
+      world.network().devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  const net::DeviceId spine =
+      world.network().devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  const net::LinkId uplink = world.network().links_between(leaf, spine)[0];
+  world.injector().inject_cable_break(uplink);
+  world.run_for(Duration::days(1));
+  EXPECT_EQ(world.network().link(uplink).state, net::LinkState::kUp);
+  EXPECT_EQ(world.technicians().completed(), 0u);  // no humans involved
+  EXPECT_GE(world.fleet().completed_of(RepairActionKind::kReplaceCable), 1u);
+  EXPECT_DOUBLE_EQ(world.controller().supervision_hours(), 0.0);
+}
+
+TEST_F(ControllerFixture, ImpactAwareControllerDrainsContacts) {
+  scenario::WorldConfig cfg = quiet_config(AutomationLevel::kL3_HighAutomation);
+  scenario::World world{bp, cfg};
+  world.start();
+  world.injector().inject_transceiver_failure(net::LinkId{8}, 0);
+  world.run_for(Duration::days(1));
+  EXPECT_GT(world.controller().migrator().drains() +
+                world.controller().migrator().refusals(),
+            0u);
+}
+
+TEST_F(ControllerFixture, ProactiveSwitchWideReseatTriggers) {
+  scenario::WorldConfig cfg = quiet_config(AutomationLevel::kL3_HighAutomation);
+  cfg.controller.proactive.enabled = true;
+  cfg.controller.proactive.scan_interval = Duration::hours(1);
+  cfg.controller.proactive.switch_reseat_trigger = 2;
+  cfg.controller.verify_delay = Duration::minutes(1);
+  scenario::World world{bp, cfg};
+  world.start();
+
+  // Two reseat-fixes on the same spine switch within the window.
+  const net::DeviceId spine =
+      world.network().devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  const auto lids = world.network().links_at(spine);
+  ASSERT_GE(lids.size(), 3u);
+  for (int i = 0; i < 2; ++i) {
+    net::Link& l = world.network().link_mut(lids[static_cast<size_t>(i)]);
+    const int end = l.end_a.device == spine ? 0 : 1;
+    (end == 0 ? l.end_a : l.end_b).condition.transceiver_seated = false;
+    world.network().refresh_link(l.id);
+  }
+  world.run_for(Duration::days(3));
+  EXPECT_GT(world.controller().proactive_actions(), 0u);
+  // Proactive reseats covered other links on that switch too.
+  std::size_t proactive_tickets = 0;
+  for (const maintenance::Ticket& t : world.tickets().all()) {
+    if (t.proactive) ++proactive_tickets;
+  }
+  EXPECT_GE(proactive_tickets, lids.size() - 2);
+}
+
+TEST_F(ControllerFixture, FeatureVectorReflectsHistory) {
+  scenario::World world{bp, quiet_config(AutomationLevel::kL3_HighAutomation)};
+  world.start();
+  world.run_for(Duration::days(1));
+  const telemetry::FeatureVector before =
+      world.controller().features_for(net::LinkId{0});
+  EXPECT_DOUBLE_EQ(before.flaps_recent, 0.0);
+  EXPECT_DOUBLE_EQ(before.repair_count, 0.0);
+
+  world.injector().inject_transceiver_failure(net::LinkId{0}, 0);
+  world.run_for(Duration::days(2));
+  const telemetry::FeatureVector after =
+      world.controller().features_for(net::LinkId{0});
+  EXPECT_GT(after.repair_count, 0.0);
+  EXPECT_GT(after.age, 0.0);
+}
+
+TEST_F(ControllerFixture, CriticalLinksGetHighPriorityAndFastVerify) {
+  scenario::WorldConfig cfg = quiet_config(AutomationLevel::kL3_HighAutomation);
+  cfg.controller.verify_delay = Duration::minutes(40);
+  scenario::World world{bp, cfg};
+  world.start();
+
+  const net::LinkId critical{0};
+  const net::LinkId normal{3};
+  world.controller().set_critical(critical, true);
+  EXPECT_TRUE(world.controller().is_critical(critical));
+
+  // Persistent flapping on both links.
+  for (const net::LinkId lid : {critical, normal}) {
+    world.network().link_mut(lid).gray_until = world.now() + Duration::hours(12);
+    world.network().refresh_link(lid);
+  }
+  world.run_for(Duration::hours(12));
+
+  std::optional<maintenance::Ticket> crit_ticket, norm_ticket;
+  for (const maintenance::Ticket& t : world.tickets().all()) {
+    if (t.link == critical && !crit_ticket) crit_ticket = t;
+    if (t.link == normal && !norm_ticket) norm_ticket = t;
+  }
+  ASSERT_TRUE(crit_ticket.has_value());
+  ASSERT_TRUE(norm_ticket.has_value());
+  EXPECT_EQ(crit_ticket->priority, maintenance::TicketPriority::kHigh);
+  EXPECT_EQ(norm_ticket->priority, maintenance::TicketPriority::kNormal);
+  // The critical repair completed well before the normal one (which waits
+  // for full verification and may defer to a low-utilization window).
+  ASSERT_EQ(crit_ticket->state, maintenance::TicketState::kResolved);
+  const Duration crit_window = crit_ticket->resolved - crit_ticket->opened;
+  EXPECT_LT(crit_window.to_minutes(), 60.0);
+  if (norm_ticket->state == maintenance::TicketState::kResolved) {
+    EXPECT_LT(crit_window, norm_ticket->resolved - norm_ticket->opened);
+  }
+  world.controller().set_critical(critical, false);
+  EXPECT_FALSE(world.controller().is_critical(critical));
+}
+
+TEST_F(ControllerFixture, DeterministicAcrossRuns) {
+  auto run_once = [&]() {
+    scenario::WorldConfig cfg = scenario::WorldConfig::for_level(
+        AutomationLevel::kL3_HighAutomation);
+    cfg.seed = 99;
+    scenario::World world{bp, cfg};
+    world.run_for(Duration::days(20));
+    return std::tuple{world.tickets().total(), world.injector().log().size(),
+                      world.availability().fleet_availability()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace smn::core

@@ -1,0 +1,85 @@
+// Tests for the deployment-effort model (§4: robots deploying the network).
+#include <gtest/gtest.h>
+
+#include "topology/builders.h"
+#include "topology/deployment.h"
+
+namespace smn::topology {
+namespace {
+
+TEST(Deployment, EstimateIsPositiveAndSums) {
+  const Blueprint bp = build_leaf_spine({.leaves = 8, .spines = 4, .servers_per_leaf = 4});
+  const DeploymentEstimate est = estimate_deployment(bp, CrewParams::human_crew(4));
+  EXPECT_GT(est.pull_hours, 0.0);
+  EXPECT_GT(est.terminate_hours, 0.0);
+  EXPECT_GE(est.expected_miswires, 0.0);
+  EXPECT_NEAR(est.total_work_hours, est.pull_hours + est.terminate_hours + est.rework_hours,
+              1e-9);
+  EXPECT_GT(est.calendar_days, 0.0);
+  EXPECT_GT(est.labor_cost_usd, 0.0);
+}
+
+TEST(Deployment, MoreWorkersShrinkCalendarNotWork) {
+  const Blueprint bp = build_fat_tree({.k = 8});
+  const DeploymentEstimate small = estimate_deployment(bp, CrewParams::human_crew(2));
+  const DeploymentEstimate large = estimate_deployment(bp, CrewParams::human_crew(8));
+  EXPECT_NEAR(small.total_work_hours, large.total_work_hours, 1e-9);
+  EXPECT_GT(small.calendar_days, large.calendar_days);
+}
+
+TEST(Deployment, LoomsAmortizePulling) {
+  // Two leaf-spine fabrics with identical cable count, one forced to unique
+  // rack pairs (jellyfish): the bundled fabric pulls cheaper per cable.
+  const Blueprint ls = build_leaf_spine({.leaves = 32, .spines = 8, .servers_per_leaf = 0});
+  const Blueprint jf = build_jellyfish(
+      {.switches = 32, .network_degree = 8, .servers_per_switch = 0, .seed = 9});
+  const DeploymentEstimate e_ls = estimate_deployment(ls, CrewParams::human_crew(4));
+  const DeploymentEstimate e_jf = estimate_deployment(jf, CrewParams::human_crew(4));
+  const double per_cable_ls = e_ls.pull_hours / static_cast<double>(ls.links().size());
+  const double per_cable_jf = e_jf.pull_hours / static_cast<double>(jf.links().size());
+  EXPECT_LT(per_cable_ls, per_cable_jf * 1.05);  // bundling >= parity
+}
+
+TEST(Deployment, HumanMiswiresGrowWithIrregularity) {
+  const Blueprint ls = build_leaf_spine({.leaves = 32, .spines = 8, .servers_per_leaf = 2});
+  const Blueprint jf = build_jellyfish(
+      {.switches = 32, .network_degree = 8, .servers_per_switch = 2, .seed = 9});
+  const CrewParams crew = CrewParams::human_crew(4);
+  const double ls_rate = estimate_deployment(ls, crew).expected_miswires /
+                         static_cast<double>(ls.links().size());
+  const double jf_rate = estimate_deployment(jf, crew).expected_miswires /
+                         static_cast<double>(jf.links().size());
+  EXPECT_GT(jf_rate, ls_rate);
+}
+
+TEST(Deployment, RobotsFlattenTheIrregularityPenalty) {
+  // The §4 claim: robot deployment makes expander wiring viable. Robot
+  // per-cable mis-wiring must not depend on topology regularity.
+  const Blueprint ls = build_leaf_spine({.leaves = 32, .spines = 8, .servers_per_leaf = 2});
+  const Blueprint jf = build_jellyfish(
+      {.switches = 32, .network_degree = 8, .servers_per_switch = 2, .seed = 9});
+  const CrewParams fleet = CrewParams::robot_fleet(4);
+  const double ls_rate = estimate_deployment(ls, fleet).expected_miswires /
+                         static_cast<double>(ls.links().size());
+  const double jf_rate = estimate_deployment(jf, fleet).expected_miswires /
+                         static_cast<double>(jf.links().size());
+  EXPECT_NEAR(ls_rate, jf_rate, 1e-12);
+
+  // And the human-vs-robot rework gap is largest on the irregular fabric.
+  const CrewParams crew = CrewParams::human_crew(4);
+  const double human_gap = estimate_deployment(jf, crew).rework_hours -
+                           estimate_deployment(ls, crew).rework_hours;
+  const double robot_gap = estimate_deployment(jf, fleet).rework_hours -
+                           estimate_deployment(ls, fleet).rework_hours;
+  EXPECT_GT(human_gap, robot_gap);
+}
+
+TEST(Deployment, RobotLaborIsCheaperDespiteSlowerPulling) {
+  const Blueprint bp = build_fat_tree({.k = 8});
+  const DeploymentEstimate human = estimate_deployment(bp, CrewParams::human_crew(4));
+  const DeploymentEstimate robot = estimate_deployment(bp, CrewParams::robot_fleet(4));
+  EXPECT_LT(robot.labor_cost_usd, human.labor_cost_usd);
+}
+
+}  // namespace
+}  // namespace smn::topology

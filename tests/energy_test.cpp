@@ -1,0 +1,132 @@
+// Tests for the link-parking EnergyManager.
+#include <gtest/gtest.h>
+
+#include "core/energy.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::core {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct EnergyFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 2, .uplinks_per_spine = 3});
+  net::Network net{bp, testutil::short_aoc(), sim};
+
+  EnergyManager::Config config() {
+    EnergyManager::Config cfg;
+    cfg.check_interval = Duration::minutes(15);
+    return cfg;
+  }
+
+  /// Advances the clock into the overnight low-utilization window.
+  void go_to_low_window() { sim.run_until(TimePoint::origin() + Duration::hours(3)); }
+  void go_to_peak() { sim.run_until(sim.now() + Duration::hours(12)); }
+};
+
+TEST_F(EnergyFixture, ParksSurplusMembersOnlyInLowWindows) {
+  EnergyManager mgr{net, config()};
+  go_to_low_window();
+  mgr.step_once();
+  // 4 leaves x 2 spines x 3 uplinks: 2 of each 3-group parked.
+  EXPECT_EQ(mgr.parked_count(), 16u);
+  for (const net::Link& l : net.links()) {
+    if (mgr.parked(l.id)) {
+      EXPECT_EQ(l.state, net::LinkState::kDown);
+    }
+  }
+  // Every group keeps a live member.
+  const auto leaves = net.devices_with_role(topology::NodeRole::kTorSwitch);
+  const auto spines = net.devices_with_role(topology::NodeRole::kSpineSwitch);
+  for (const net::DeviceId leaf : leaves) {
+    for (const net::DeviceId spine : spines) {
+      int live = 0;
+      for (const net::LinkId m : net.links_between(leaf, spine)) {
+        if (net.link(m).state != net::LinkState::kDown) ++live;
+      }
+      EXPECT_GE(live, 1);
+    }
+  }
+}
+
+TEST_F(EnergyFixture, UnparksAtPeak) {
+  EnergyManager mgr{net, config()};
+  go_to_low_window();
+  mgr.step_once();
+  ASSERT_GT(mgr.parked_count(), 0u);
+  go_to_peak();
+  mgr.step_once();
+  EXPECT_EQ(mgr.parked_count(), 0u);
+  EXPECT_EQ(net.count_links(net::LinkState::kDown), 0u);
+}
+
+TEST_F(EnergyFixture, EmergencyUnparkOnSiblingFailure) {
+  EnergyManager mgr{net, config()};
+  go_to_low_window();
+  mgr.step_once();
+  const auto leaves = net.devices_with_role(topology::NodeRole::kTorSwitch);
+  const auto spines = net.devices_with_role(topology::NodeRole::kSpineSwitch);
+  const auto members = net.links_between(leaves[0], spines[0]);
+  // Find the live member and kill it.
+  for (const net::LinkId m : members) {
+    if (net.link(m).state != net::LinkState::kDown) {
+      net.link_mut(m).cable.intact = false;
+      net.refresh_link(m);
+      break;
+    }
+  }
+  EXPECT_GE(mgr.emergency_unparks(), 1u);
+  int live = 0;
+  for (const net::LinkId m : members) {
+    if (net.link(m).state != net::LinkState::kDown) ++live;
+  }
+  EXPECT_GE(live, 1);  // a parked sibling woke up to cover
+}
+
+TEST_F(EnergyFixture, AccountsParkedLinkHours) {
+  EnergyManager mgr{net, config()};
+  go_to_low_window();
+  mgr.step_once();
+  const std::size_t parked = mgr.parked_count();
+  sim.run_until(sim.now() + Duration::hours(2));
+  EXPECT_NEAR(mgr.parked_link_hours(), static_cast<double>(parked) * 2.0, 0.01);
+  EXPECT_GT(mgr.energy_saved_kwh(), 0.0);
+}
+
+TEST_F(EnergyFixture, PeriodicLoopFollowsTheDiurnalCycle) {
+  EnergyManager mgr{net, config()};
+  mgr.start();
+  sim.run_until(TimePoint::origin() + Duration::hours(4));  // overnight
+  EXPECT_GT(mgr.parked_count(), 0u);
+  sim.run_until(TimePoint::origin() + Duration::hours(15));  // peak
+  EXPECT_EQ(mgr.parked_count(), 0u);
+  sim.run_until(TimePoint::origin() + Duration::hours(27));  // next night
+  EXPECT_GT(mgr.parked_count(), 0u);
+}
+
+TEST_F(EnergyFixture, DisabledManagerDoesNothing) {
+  EnergyManager::Config cfg = config();
+  cfg.enabled = false;
+  EnergyManager mgr{net, cfg};
+  mgr.start();
+  sim.run_until(TimePoint::origin() + Duration::hours(4));
+  EXPECT_EQ(mgr.parked_count(), 0u);
+}
+
+TEST_F(EnergyFixture, NeverParksSingleMemberGroupsOrAccessLinks) {
+  sim::Simulator sim2;
+  const topology::Blueprint thin = topology::build_leaf_spine(
+      {.leaves = 2, .spines = 2, .servers_per_leaf = 2, .uplinks_per_spine = 1});
+  net::Network net2{thin, testutil::short_aoc(), sim2};
+  EnergyManager mgr{net2, config()};
+  sim2.run_until(TimePoint::origin() + Duration::hours(3));
+  mgr.step_once();
+  EXPECT_EQ(mgr.parked_count(), 0u);
+}
+
+}  // namespace
+}  // namespace smn::core

@@ -1,0 +1,244 @@
+// Tests for environment dynamics, contamination accumulation, fault
+// injection, and the cascade model.
+#include <gtest/gtest.h>
+
+#include "fault/cascade.h"
+#include "fault/contamination.h"
+#include "fault/environment.h"
+#include "fault/injector.h"
+#include "net/network.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::fault {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct FaultFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 2, .uplinks_per_spine = 2});
+  net::Network net{bp, testutil::short_aoc(), sim};
+  Environment env;
+  sim::RngFactory rngs{77};
+  FaultInjector injector{net, env, rngs.stream("inj")};
+  CascadeModel cascade{net, env, injector, rngs.stream("casc")};
+  ContaminationProcess contamination{net, env, rngs.stream("cont")};
+
+  net::LinkId optical_link() const {
+    for (const net::Link& l : net.links()) {
+      if (net::is_cleanable(l.medium)) return l.id;
+    }
+    throw std::logic_error{"no optical link in fixture"};
+  }
+};
+
+TEST(Environment, DiurnalTemperatureCycles) {
+  Environment env;
+  double lo = 1e9, hi = -1e9;
+  for (int h = 0; h < 24; ++h) {
+    const double t = env.temperature_c(TimePoint::origin() + Duration::hours(h));
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_NEAR(lo, 24.0 - 3.0, 0.2);
+  EXPECT_NEAR(hi, 24.0 + 3.0, 0.2);
+  // 24h periodicity.
+  EXPECT_NEAR(env.temperature_c(TimePoint::origin() + Duration::hours(5)),
+              env.temperature_c(TimePoint::origin() + Duration::hours(29)), 1e-9);
+}
+
+TEST(Environment, HumidityStaysInRange) {
+  Environment env;
+  for (int h = 0; h < 48; ++h) {
+    const double v = env.humidity(TimePoint::origin() + Duration::hours(h));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Environment, VibrationEventsAddAndExpire) {
+  Environment env;
+  const TimePoint t0 = TimePoint::origin() + Duration::hours(1);
+  const double ambient = env.vibration(t0);
+  env.add_vibration(t0, Duration::minutes(5), 0.5);
+  EXPECT_DOUBLE_EQ(env.vibration(t0), ambient + 0.5);
+  EXPECT_DOUBLE_EQ(env.vibration(t0 + Duration::minutes(4)), ambient + 0.5);
+  EXPECT_DOUBLE_EQ(env.vibration(t0 + Duration::minutes(5)), ambient);
+  env.prune(t0 + Duration::minutes(6));
+  EXPECT_DOUBLE_EQ(env.vibration(t0 + Duration::minutes(1)), ambient);  // pruned
+}
+
+TEST(Environment, VibrationRaisesStress) {
+  Environment env;
+  const TimePoint t = TimePoint::origin();
+  const double base = env.stress_factor(t);
+  env.add_vibration(t, Duration::minutes(5), 1.0);
+  EXPECT_GT(env.stress_factor(t), base + 1.0);
+}
+
+TEST(Environment, IgnoresNonPositiveVibration) {
+  Environment env;
+  const TimePoint t = TimePoint::origin();
+  const double base = env.vibration(t);
+  env.add_vibration(t, Duration::minutes(5), 0.0);
+  env.add_vibration(t, Duration::zero(), 1.0);
+  EXPECT_DOUBLE_EQ(env.vibration(t), base);
+}
+
+TEST_F(FaultFixture, ContaminationAccumulatesOnOpticalEndsOnly) {
+  contamination.start();
+  sim.run_until(TimePoint::origin() + Duration::days(30));
+  bool optical_dirty = false;
+  for (const net::Link& l : net.links()) {
+    const double c =
+        l.end_a.condition.contamination + l.end_b.condition.contamination;
+    if (net::is_cleanable(l.medium)) {
+      optical_dirty |= c > 0.0;
+    } else {
+      EXPECT_DOUBLE_EQ(c, 0.0) << "non-optical link contaminated";
+    }
+  }
+  EXPECT_TRUE(optical_dirty);
+  EXPECT_GT(contamination.total_contamination(), 0.0);
+}
+
+TEST_F(FaultFixture, ContaminationEventuallyDegradesLinks) {
+  ContaminationProcess::Config fast;
+  fast.mean_accumulation_per_day = 0.05;  // accelerated
+  ContaminationProcess proc{net, env, rngs.stream("fastcont"), fast};
+  proc.start();
+  sim.run_until(TimePoint::origin() + Duration::days(60));
+  EXPECT_GT(net.count_links(net::LinkState::kDegraded) +
+                net.count_links(net::LinkState::kFlapping),
+            0u);
+}
+
+TEST_F(FaultFixture, ExposureBumpsContamination) {
+  const net::LinkId lid = optical_link();
+  double before = net.link(lid).end_a.condition.contamination;
+  // Exposure is probabilistic; repeat until it takes (deterministic stream).
+  for (int i = 0; i < 64; ++i) contamination.expose(lid, 0);
+  EXPECT_GT(net.link(lid).end_a.condition.contamination, before);
+}
+
+TEST_F(FaultFixture, ExposureIgnoresIntegratedMedia) {
+  for (const net::Link& l : net.links()) {
+    if (l.medium == net::CableMedium::kDac) {
+      for (int i = 0; i < 16; ++i) contamination.expose(l.id, 0);
+      EXPECT_DOUBLE_EQ(net.link(l.id).end_a.condition.contamination, 0.0);
+      break;
+    }
+  }
+}
+
+TEST_F(FaultFixture, DirectedInjectionsSetConditions) {
+  const net::LinkId lid{0};
+  injector.inject_transceiver_failure(lid, 1);
+  EXPECT_FALSE(net.link(lid).end_b.condition.transceiver_healthy);
+  EXPECT_EQ(net.link(lid).state, net::LinkState::kDown);
+  EXPECT_EQ(injector.count(FaultKind::kTransceiverFailure), 1u);
+
+  const net::LinkId lid2{1};
+  injector.inject_cable_break(lid2);
+  EXPECT_FALSE(net.link(lid2).cable.intact);
+  EXPECT_EQ(net.link(lid2).state, net::LinkState::kDown);
+
+  const net::DeviceId dev = net.devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  injector.inject_device_failure(dev);
+  EXPECT_FALSE(net.device(dev).healthy);
+}
+
+TEST_F(FaultFixture, GrayEpisodeSelfClears) {
+  const net::LinkId lid{2};
+  injector.inject_gray_episode(lid, Duration::minutes(30));
+  EXPECT_EQ(net.link(lid).state, net::LinkState::kFlapping);
+  sim.run_until(TimePoint::origin() + Duration::minutes(31));
+  EXPECT_EQ(net.link(lid).state, net::LinkState::kUp);
+}
+
+TEST_F(FaultFixture, ListenerReceivesEvents) {
+  int events = 0;
+  injector.subscribe([&](const FaultEvent&) { ++events; });
+  injector.inject_cable_break(net::LinkId{3});
+  injector.inject_gray_episode(net::LinkId{4}, Duration::minutes(5));
+  EXPECT_EQ(events, 2);
+  EXPECT_EQ(injector.log().size(), 2u);
+}
+
+TEST_F(FaultFixture, BackgroundInjectionProducesFaultsOverAYear) {
+  injector.start();
+  sim.run_until(TimePoint::origin() + Duration::days(365));
+  // 28 links, aggressive AFRs: expect a meaningful number of events.
+  EXPECT_GT(injector.log().size(), 10u);
+  EXPECT_GT(injector.count(FaultKind::kGrayEpisode), 0u);
+}
+
+TEST_F(FaultFixture, OxidationGrowsAndRaisesGrayHazard) {
+  injector.start();
+  sim.run_until(TimePoint::origin() + Duration::days(365));
+  double total_ox = 0;
+  for (const net::Link& l : net.links()) {
+    total_ox += l.end_a.condition.oxidation + l.end_b.condition.oxidation;
+  }
+  EXPECT_GT(total_ox, 0.0);
+}
+
+TEST_F(FaultFixture, PredictedContactsCoverFaceplateNeighbors) {
+  // Pick a leaf switch uplink; the leaf has many ports so it must have
+  // faceplate neighbours within +-2 ports.
+  const net::DeviceId leaf = net.devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  const net::LinkId target = net.links_at(leaf).at(1);
+  Disturbance d;
+  d.target = target;
+  d.at_device = leaf;
+  const auto contacts = cascade.predicted_contacts(d);
+  EXPECT_FALSE(contacts.empty());
+  for (const net::LinkId c : contacts) EXPECT_NE(c, target);
+}
+
+TEST_F(FaultFixture, FullRouteContactsIncludeTrayMates) {
+  // Uplinks share tray segments; a cable replacement must predict them.
+  const net::DeviceId leaf = net.devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  const net::DeviceId spine = net.devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  const net::LinkId target = net.links_between(leaf, spine)[0];
+  Disturbance faceplate_only{target, leaf, 1.0, false};
+  Disturbance full{target, leaf, 1.0, true};
+  EXPECT_GE(cascade.predicted_contacts(full).size(),
+            cascade.predicted_contacts(faceplate_only).size());
+}
+
+TEST_F(FaultFixture, HigherMagnitudeInducesMoreCollateral) {
+  const net::DeviceId leaf = net.devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  std::size_t human_total = 0, robot_total = 0;
+  for (int rep = 0; rep < 60; ++rep) {
+    for (const net::LinkId lid : net.links_at(leaf)) {
+      human_total += cascade.apply(Disturbance{lid, leaf, 1.0, false}).size();
+      robot_total += cascade.apply(Disturbance{lid, leaf, 0.2, false}).size();
+    }
+  }
+  EXPECT_GT(human_total, robot_total);
+}
+
+TEST_F(FaultFixture, CascadeEffectsAreLogged) {
+  const net::DeviceId leaf = net.devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  std::size_t applied = 0;
+  for (int rep = 0; rep < 100 && applied == 0; ++rep) {
+    applied = cascade.apply(Disturbance{net.links_at(leaf)[0], leaf, 1.0, false}).size();
+  }
+  EXPECT_GT(applied, 0u);
+  EXPECT_EQ(cascade.log().size(), cascade.induced_count());
+  EXPECT_LE(cascade.induced_permanent_count(), cascade.induced_count());
+}
+
+TEST_F(FaultFixture, CascadeRegistersVibration) {
+  const net::DeviceId leaf = net.devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  const double before = env.vibration(sim.now());
+  (void)cascade.apply(Disturbance{net.links_at(leaf)[0], leaf, 1.0, false});
+  EXPECT_GT(env.vibration(sim.now()), before);
+}
+
+}  // namespace
+}  // namespace smn::fault

@@ -1,0 +1,88 @@
+// Tests for end-face imaging and IEC-style cleanliness grading.
+#include <gtest/gtest.h>
+
+#include "robotics/grading.h"
+
+namespace smn::robotics {
+namespace {
+
+TEST(Grading, GradeRulesOrderBySeverity) {
+  CoreScan pristine;
+  EXPECT_EQ(EndFaceImager::grade_core(pristine), CleanlinessGrade::kA);
+
+  CoreScan light;
+  light.core_zone_defects = 1;
+  light.cladding_defects = 4;
+  EXPECT_EQ(EndFaceImager::grade_core(light), CleanlinessGrade::kB);
+
+  CoreScan moderate;
+  moderate.core_zone_defects = 3;
+  moderate.cladding_defects = 10;
+  EXPECT_EQ(EndFaceImager::grade_core(moderate), CleanlinessGrade::kC);
+
+  CoreScan filthy;
+  filthy.core_zone_defects = 8;
+  filthy.cladding_defects = 30;
+  EXPECT_EQ(EndFaceImager::grade_core(filthy), CleanlinessGrade::kD);
+
+  CoreScan scratched;
+  scratched.core_zone_defects = 1;
+  scratched.worst_scratch_um = 5.0;
+  EXPECT_EQ(EndFaceImager::grade_core(scratched), CleanlinessGrade::kD);
+}
+
+TEST(Grading, PassThresholdsDependOnFiberType) {
+  EXPECT_TRUE(EndFaceImager::grade_passes(CleanlinessGrade::kB, /*single_mode=*/true));
+  EXPECT_FALSE(EndFaceImager::grade_passes(CleanlinessGrade::kC, true));
+  EXPECT_TRUE(EndFaceImager::grade_passes(CleanlinessGrade::kC, /*single_mode=*/false));
+  EXPECT_FALSE(EndFaceImager::grade_passes(CleanlinessGrade::kD, false));
+}
+
+TEST(Grading, CleanFaceScansClean) {
+  EndFaceImager imager;
+  sim::RngFactory rngs{91};
+  sim::RngStream rng = rngs.stream("scan");
+  const EndFaceScan scan = imager.scan(rng, 0.0, 8);
+  EXPECT_EQ(scan.cores.size(), 8u);
+  EXPECT_EQ(scan.worst_grade, CleanlinessGrade::kA);
+  EXPECT_DOUBLE_EQ(scan.contamination_estimate, 0.0);
+  EXPECT_TRUE(scan.passes(true));
+}
+
+TEST(Grading, DirtyFaceFailsInspection) {
+  EndFaceImager imager;
+  sim::RngFactory rngs{91};
+  sim::RngStream rng = rngs.stream("scan");
+  int fails = 0;
+  for (int i = 0; i < 50; ++i) {
+    const EndFaceScan scan = imager.scan(rng, 0.9, 8);
+    if (!scan.passes(true)) ++fails;
+  }
+  EXPECT_GT(fails, 45);  // heavy dirt almost always rejects
+}
+
+TEST(Grading, EstimateTracksTruthMonotonically) {
+  EndFaceImager imager;
+  sim::RngFactory rngs{92};
+  sim::RngStream rng = rngs.stream("scan");
+  double prev = -1.0;
+  for (const double truth : {0.0, 0.2, 0.5, 0.9}) {
+    double mean = 0;
+    for (int i = 0; i < 200; ++i) {
+      mean += imager.scan(rng, truth, 8).contamination_estimate / 200.0;
+    }
+    EXPECT_GT(mean, prev);
+    prev = mean;
+  }
+}
+
+TEST(Grading, SingleCoreLcScans) {
+  EndFaceImager imager;
+  sim::RngFactory rngs{93};
+  sim::RngStream rng = rngs.stream("scan");
+  const EndFaceScan scan = imager.scan(rng, 0.3, 1);
+  EXPECT_EQ(scan.cores.size(), 1u);
+}
+
+}  // namespace
+}  // namespace smn::robotics

@@ -1,0 +1,171 @@
+// Tests for the chassis line-card model: port-group health, fault injection,
+// escalation routing, and end-to-end repair.
+#include <gtest/gtest.h>
+
+#include "core/escalation.h"
+#include "scenario/world.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::net {
+namespace {
+
+using sim::Duration;
+
+struct LineCardFixture : ::testing::Test {
+  sim::Simulator sim;
+  // Spines have 12 leaf-facing ports; with 4 ports/card each spine has 3 cards.
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 12, .spines = 2, .servers_per_leaf = 1, .uplinks_per_spine = 1});
+
+  Network::Config config() {
+    Network::Config cfg = testutil::short_aoc();
+    cfg.chassis_ports_per_linecard = 4;
+    return cfg;
+  }
+};
+
+TEST_F(LineCardFixture, ChassisSwitchesGetCardsServersDoNot) {
+  Network net{bp, config(), sim};
+  for (const Device& d : net.devices()) {
+    if (d.role == topology::NodeRole::kSpineSwitch) {
+      EXPECT_TRUE(d.has_linecards());
+      EXPECT_EQ(d.linecards_healthy.size(), 3u);  // 12 ports / 4 per card
+    } else {
+      EXPECT_FALSE(d.has_linecards());
+      EXPECT_TRUE(d.card_healthy(0));
+    }
+  }
+}
+
+TEST_F(LineCardFixture, CardFailureDownsExactlyItsPortGroup) {
+  Network net{bp, config(), sim};
+  const DeviceId spine = net.devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  net.set_linecard_health(spine, 1, false);
+  std::size_t down = 0;
+  for (const LinkId lid : net.links_at(spine)) {
+    const Link& l = net.link(lid);
+    const int port = l.end_a.device == spine ? l.end_a.port : l.end_b.port;
+    if (port / 4 == 1) {
+      EXPECT_EQ(l.state, LinkState::kDown);
+      ++down;
+    } else {
+      EXPECT_EQ(l.state, LinkState::kUp);
+    }
+  }
+  EXPECT_EQ(down, 4u);
+  net.set_linecard_health(spine, 1, true);
+  EXPECT_EQ(net.count_links(LinkState::kDown), 0u);
+}
+
+TEST_F(LineCardFixture, SetCardHealthValidatesArguments) {
+  Network net{bp, config(), sim};
+  const DeviceId spine = net.devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  EXPECT_THROW(net.set_linecard_health(spine, 99, false), std::out_of_range);
+  const DeviceId srv = net.servers()[0];
+  EXPECT_THROW(net.set_linecard_health(srv, 0, false), std::out_of_range);
+}
+
+TEST_F(LineCardFixture, EscalationRoutesToCardReplacement) {
+  Network net{bp, config(), sim};
+  maintenance::TicketSystem tickets;
+  core::EscalationPolicy policy;
+  const DeviceId spine = net.devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  net.set_linecard_health(spine, 0, false);
+  // Find a downed link on that card.
+  LinkId victim;
+  for (const LinkId lid : net.links_at(spine)) {
+    if (net.link(lid).state == LinkState::kDown) {
+      victim = lid;
+      break;
+    }
+  }
+  maintenance::Ticket t;
+  t.id = 0;
+  t.link = victim;
+  t.opened = sim.now();
+  const core::EscalationDecision d = policy.decide(net, tickets, t);
+  EXPECT_EQ(d.kind, maintenance::RepairActionKind::kReplaceLineCard);
+  const Link& l = net.link(victim);
+  const DeviceId at = d.end == 0 ? l.end_a.device : l.end_b.device;
+  EXPECT_EQ(at, spine);
+}
+
+TEST_F(LineCardFixture, ApplyActionSwapsTheCard) {
+  Network net{bp, config(), sim};
+  fault::Environment env;
+  sim::RngFactory rngs{3};
+  sim::RngStream rng = rngs.stream("a");
+  const DeviceId spine = net.devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  net.set_linecard_health(spine, 2, false);
+  LinkId victim;
+  int end = 0;
+  for (const LinkId lid : net.links_at(spine)) {
+    if (net.link(lid).state == LinkState::kDown) {
+      victim = lid;
+      end = net.link(lid).end_a.device == spine ? 0 : 1;
+      break;
+    }
+  }
+  maintenance::WorkQuality perfect{.clean_effectiveness = 1, .clean_verify_pass = 1,
+                                   .botch_probability = 0};
+  const maintenance::ActionResult r = maintenance::apply_action(
+      net, nullptr, rng, victim, end, maintenance::RepairActionKind::kReplaceLineCard,
+      perfect);
+  EXPECT_TRUE(r.performed);
+  EXPECT_EQ(net.count_links(LinkState::kDown), 0u);
+}
+
+TEST_F(LineCardFixture, ApplyOnMonolithicBoxIsNotPerformed) {
+  Network net{bp, config(), sim};
+  sim::RngFactory rngs{3};
+  sim::RngStream rng = rngs.stream("a");
+  // End 0 of a server access link is the server (monolithic).
+  const DeviceId srv = net.servers()[0];
+  const LinkId access = net.links_at(srv)[0];
+  maintenance::WorkQuality q;
+  const maintenance::ActionResult r = maintenance::apply_action(
+      net, nullptr, rng, access, 0, maintenance::RepairActionKind::kReplaceLineCard, q);
+  EXPECT_FALSE(r.performed);
+}
+
+TEST_F(LineCardFixture, EndToEndCardRepairAtL0AndL4) {
+  for (const core::AutomationLevel level :
+       {core::AutomationLevel::kL0_Manual, core::AutomationLevel::kL4_FullAutomation}) {
+    scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
+    cfg.network = config();
+    cfg.faults.transceiver_afr = 0;
+    cfg.faults.cable_afr = 0;
+    cfg.faults.switch_afr = 0;
+    cfg.faults.server_nic_afr = 0;
+    cfg.faults.linecard_afr = 0;
+    cfg.faults.gray_rate_per_year = 0;
+    cfg.contamination.mean_accumulation_per_day = 0;
+    cfg.detection.false_positive_per_year = 0;
+    cfg.technicians.quality.botch_probability = 0;
+    cfg.fleet.failure_per_job = 0;
+    scenario::World world{bp, cfg};
+    world.start();
+    const DeviceId spine =
+        world.network().devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+    world.injector().inject_linecard_failure(spine, 0);
+    EXPECT_EQ(world.injector().count(fault::FaultKind::kLineCardFailure), 1u);
+    world.run_for(Duration::days(14));
+    EXPECT_EQ(world.network().count_links(LinkState::kDown), 0u)
+        << core::to_string(level);
+  }
+}
+
+TEST_F(LineCardFixture, BackgroundInjectionProducesCardFailures) {
+  scenario::WorldConfig cfg =
+      scenario::WorldConfig::for_level(core::AutomationLevel::kL0_Manual);
+  cfg.network = config();
+  cfg.faults.linecard_afr = 3.0;  // accelerated
+  cfg.technicians.technicians = 0;
+  scenario::World world{bp, cfg};
+  world.run_for(Duration::days(120));
+  EXPECT_GT(world.injector().count(fault::FaultKind::kLineCardFailure), 0u);
+}
+
+}  // namespace
+}  // namespace smn::net

@@ -1,0 +1,142 @@
+// Tests for probe-based fault localization and robot-confirmed pinpointing.
+#include <gtest/gtest.h>
+
+#include "telemetry/localization.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::telemetry {
+namespace {
+
+struct LocalizationFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 6, .spines = 3, .servers_per_leaf = 4, .uplinks_per_spine = 1});
+  net::Network net{bp, testutil::short_aoc(), sim};
+  sim::RngFactory rngs{61};
+
+  net::LinkId degrade_uplink(int leaf_idx, int spine_idx, double contamination) {
+    const auto leaves = net.devices_with_role(topology::NodeRole::kTorSwitch);
+    const auto spines = net.devices_with_role(topology::NodeRole::kSpineSwitch);
+    const net::LinkId lid = net.links_between(leaves[static_cast<size_t>(leaf_idx)],
+                                              spines[static_cast<size_t>(spine_idx)])[0];
+    net.link_mut(lid).end_a.condition.contamination = contamination;
+    net.refresh_link(lid);
+    return lid;
+  }
+};
+
+TEST_F(LocalizationFixture, CleanFabricYieldsNoSuspects) {
+  FaultLocalizer::Config cfg;
+  cfg.false_positive = 0.0;
+  FaultLocalizer loc{net, rngs.stream("probe"), cfg};
+  const auto probes = loc.run_probes(400);
+  for (const ProbeResult& p : probes) EXPECT_FALSE(p.lossy);
+  EXPECT_TRUE(loc.localize(probes).empty());
+}
+
+TEST_F(LocalizationFixture, SingleDegradedUplinkIsTopSuspect) {
+  const net::LinkId culprit = degrade_uplink(2, 1, 0.45);  // Degraded
+  FaultLocalizer::Config cfg;
+  cfg.false_positive = 0.0;
+  FaultLocalizer loc{net, rngs.stream("probe"), cfg};
+  const auto suspects = loc.localize(loc.run_probes(600));
+  ASSERT_FALSE(suspects.empty());
+  EXPECT_EQ(suspects[0].link, culprit);
+  EXPECT_GT(suspects[0].lossy_hits, 0);
+}
+
+TEST_F(LocalizationFixture, TwoCulpritsBothRankHighly) {
+  const net::LinkId a = degrade_uplink(0, 0, 0.45);
+  const net::LinkId b = degrade_uplink(4, 2, 0.70);  // flapping
+  FaultLocalizer::Config cfg;
+  cfg.false_positive = 0.0;
+  FaultLocalizer loc{net, rngs.stream("probe"), cfg};
+  const auto suspects = loc.localize(loc.run_probes(800));
+  ASSERT_GE(suspects.size(), 2u);
+  std::set<net::LinkId> top3;
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, suspects.size()); ++i) {
+    top3.insert(suspects[i].link);
+  }
+  EXPECT_TRUE(top3.contains(a));
+  EXPECT_TRUE(top3.contains(b));
+}
+
+TEST_F(LocalizationFixture, ProbesHashAcrossParallelMembers) {
+  // With 2 parallel uplinks and only one sick member, some probes are clean
+  // and some lossy — the realistic ECMP ambiguity localization must handle.
+  sim::Simulator sim2;
+  const topology::Blueprint bp2 = topology::build_leaf_spine(
+      {.leaves = 2, .spines = 1, .servers_per_leaf = 4, .uplinks_per_spine = 2});
+  net::Network net2{bp2, testutil::short_aoc(), sim2};
+  const auto leaves = net2.devices_with_role(topology::NodeRole::kTorSwitch);
+  const auto spines = net2.devices_with_role(topology::NodeRole::kSpineSwitch);
+  const net::LinkId sick = net2.links_between(leaves[0], spines[0])[0];
+  net2.link_mut(sick).end_a.condition.contamination = 0.7;
+  net2.refresh_link(sick);
+
+  FaultLocalizer::Config cfg;
+  cfg.false_positive = 0.0;
+  FaultLocalizer loc{net2, rngs.stream("probe2"), cfg};
+  int lossy = 0, clean = 0;
+  std::vector<ProbeResult> probes;
+  const auto servers = net2.servers();
+  for (int i = 0; i < 200; ++i) {
+    probes.push_back(loc.probe(servers[0], servers[7]));
+    (probes.back().lossy ? lossy : clean)++;
+  }
+  EXPECT_GT(lossy, 20);
+  EXPECT_GT(clean, 20);
+  const auto suspects = loc.localize(probes);
+  ASSERT_FALSE(suspects.empty());
+  EXPECT_EQ(suspects[0].link, sick);
+}
+
+TEST_F(LocalizationFixture, InspectionsPinpointInFewVisits) {
+  const net::LinkId culprit = degrade_uplink(3, 0, 0.5);
+  FaultLocalizer::Config cfg;
+  cfg.false_positive = 0.0;
+  FaultLocalizer loc{net, rngs.stream("probe"), cfg};
+  const auto suspects = loc.localize(loc.run_probes(600));
+  const int visits = loc.inspections_to_pinpoint(suspects);
+  ASSERT_GT(visits, 0);
+  EXPECT_LE(visits, 3);
+  EXPECT_EQ(suspects[static_cast<size_t>(visits - 1)].link, culprit);
+}
+
+TEST_F(LocalizationFixture, PinpointReturnsMinusOneWhenNothingIsWrong) {
+  FaultLocalizer loc{net, rngs.stream("probe")};
+  // Fabricate suspects on healthy links.
+  std::vector<Suspicion> fake{{net::LinkId{0}, 5.0, 5, 0}, {net::LinkId{1}, 3.0, 3, 0}};
+  EXPECT_EQ(loc.inspections_to_pinpoint(fake), -1);
+}
+
+TEST_F(LocalizationFixture, MoreProbesImproveTopOneAccuracy) {
+  // Property: top-1 hit rate over several trials is weakly better with 600
+  // probes than with 40.
+  int hits_few = 0, hits_many = 0;
+  const int trials = 8;
+  for (int t = 0; t < trials; ++t) {
+    sim::Simulator s2;
+    net::Network n2{bp, testutil::short_aoc(), s2};
+    const auto leaves = n2.devices_with_role(topology::NodeRole::kTorSwitch);
+    const auto spines = n2.devices_with_role(topology::NodeRole::kSpineSwitch);
+    const net::LinkId culprit =
+        n2.links_between(leaves[static_cast<size_t>(t % 6)], spines[static_cast<size_t>(t % 3)])[0];
+    n2.link_mut(culprit).end_a.condition.contamination = 0.45;
+    n2.refresh_link(culprit);
+    FaultLocalizer::Config cfg;
+    cfg.false_positive = 0.0;
+    FaultLocalizer few{n2, rngs.stream("few" + std::to_string(t)), cfg};
+    FaultLocalizer many{n2, rngs.stream("many" + std::to_string(t)), cfg};
+    const auto s_few = few.localize(few.run_probes(40));
+    const auto s_many = many.localize(many.run_probes(600));
+    if (!s_few.empty() && s_few[0].link == culprit) ++hits_few;
+    if (!s_many.empty() && s_many[0].link == culprit) ++hits_many;
+  }
+  EXPECT_GE(hits_many, hits_few);
+  EXPECT_GE(hits_many, trials - 1);  // near-perfect with 600 probes
+}
+
+}  // namespace
+}  // namespace smn::telemetry

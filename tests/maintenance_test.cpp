@@ -1,0 +1,333 @@
+// Tests for tickets, repair-action semantics, and the technician pool.
+#include <gtest/gtest.h>
+
+#include "fault/cascade.h"
+#include "fault/contamination.h"
+#include "fault/environment.h"
+#include "fault/injector.h"
+#include "maintenance/actions.h"
+#include "maintenance/technician.h"
+#include "maintenance/ticket.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::maintenance {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(TicketSystem, LifecycleAndDedup) {
+  TicketSystem ts;
+  const TimePoint t0 = TimePoint::origin();
+  const auto id = ts.open(t0, net::LinkId{3}, telemetry::IssueKind::kDown, true);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(ts.open(t0, net::LinkId{3}, telemetry::IssueKind::kDown, true).has_value());
+  EXPECT_EQ(ts.open_ticket_for(net::LinkId{3}), id);
+
+  ts.mark_dispatched(*id, t0 + Duration::hours(1));
+  ts.mark_started(*id, t0 + Duration::hours(2));
+  ts.mark_resolved(*id, t0 + Duration::hours(3), "technician");
+  EXPECT_EQ(ts.ticket(*id).state, TicketState::kResolved);
+  EXPECT_EQ(ts.ticket(*id).resolved_by, "technician");
+  EXPECT_FALSE(ts.open_ticket_for(net::LinkId{3}).has_value());
+
+  // A new ticket can now be opened for the same link.
+  EXPECT_TRUE(ts.open(t0 + Duration::hours(4), net::LinkId{3},
+                      telemetry::IssueKind::kFlapping, true)
+                  .has_value());
+}
+
+TEST(TicketSystem, InvalidTransitionsThrow) {
+  TicketSystem ts;
+  const auto id = ts.open(TimePoint::origin(), net::LinkId{0},
+                          telemetry::IssueKind::kDown, true);
+  EXPECT_THROW(ts.mark_started(*id, TimePoint::origin()), std::logic_error);
+  ts.mark_dispatched(*id, TimePoint::origin());
+  EXPECT_THROW(ts.mark_dispatched(*id, TimePoint::origin()), std::logic_error);
+  ts.mark_resolved(*id, TimePoint::origin(), "x");
+  EXPECT_THROW(ts.mark_resolved(*id, TimePoint::origin(), "x"), std::logic_error);
+}
+
+TEST(TicketSystem, CancelledTicketsStayCancelled) {
+  TicketSystem ts;
+  const auto id = ts.open(TimePoint::origin(), net::LinkId{0},
+                          telemetry::IssueKind::kFlapping, true);
+  ts.mark_cancelled(*id, TimePoint::origin(), "false positive");
+  EXPECT_EQ(ts.ticket(*id).state, TicketState::kCancelled);
+  ts.mark_cancelled(*id, TimePoint::origin(), "again");  // idempotent
+  EXPECT_EQ(ts.count(TicketState::kCancelled), 1u);
+}
+
+TEST(TicketSystem, RepeatWindowDetection) {
+  TicketSystem ts;
+  const TimePoint t0 = TimePoint::origin();
+  const auto a = ts.open(t0, net::LinkId{7}, telemetry::IssueKind::kFlapping, true);
+  ts.mark_dispatched(*a, t0);
+  ts.mark_started(*a, t0);
+  ts.mark_resolved(*a, t0 + Duration::hours(2), "technician");
+
+  EXPECT_TRUE(ts.repeat_within(net::LinkId{7}, t0 + Duration::days(3), Duration::days(14)));
+  EXPECT_FALSE(ts.repeat_within(net::LinkId{7}, t0 + Duration::days(30), Duration::days(14)));
+  EXPECT_FALSE(ts.repeat_within(net::LinkId{8}, t0 + Duration::days(3), Duration::days(14)));
+
+  const auto b =
+      ts.open(t0 + Duration::days(3), net::LinkId{7}, telemetry::IssueKind::kFlapping, true);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(ts.repeat_ticket_count(Duration::days(14)), 1u);
+  EXPECT_EQ(ts.history_for(net::LinkId{7}).size(), 1u);
+}
+
+TEST(TicketSystem, ResolvedListenerFires) {
+  TicketSystem ts;
+  int resolved = 0;
+  ts.subscribe_resolved([&](const Ticket&) { ++resolved; });
+  const auto id =
+      ts.open(TimePoint::origin(), net::LinkId{0}, telemetry::IssueKind::kDown, true);
+  ts.mark_dispatched(*id, TimePoint::origin());
+  ts.mark_resolved(*id, TimePoint::origin() + Duration::hours(1), "robot");
+  EXPECT_EQ(resolved, 1);
+}
+
+// --- action semantics ---
+
+struct ActionFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 2, .uplinks_per_spine = 2});
+  net::Network net{bp, testutil::short_aoc(), sim};
+  fault::Environment env;
+  sim::RngFactory rngs{21};
+  sim::RngStream rng = rngs.stream("actions");
+  fault::ContaminationProcess contamination{net, env, rngs.stream("cont")};
+  WorkQuality perfect{.clean_effectiveness = 1.0,
+                      .clean_verify_pass = 1.0,
+                      .botch_probability = 0.0};
+
+  net::LinkId optical_link() const {
+    for (const net::Link& l : net.links()) {
+      if (net::is_cleanable(l.medium)) return l.id;
+    }
+    throw std::logic_error{"no optical link"};
+  }
+};
+
+TEST_F(ActionFixture, ReseatFixesUnseatedAndClearsOxidation) {
+  const net::LinkId lid{0};
+  net::Link& l = net.link_mut(lid);
+  l.end_a.condition.transceiver_seated = false;
+  l.end_a.condition.oxidation = 0.8;
+  net.refresh_link(lid);
+  ASSERT_EQ(l.state, net::LinkState::kDown);
+
+  const ActionResult r =
+      apply_action(net, &contamination, rng, lid, 0, RepairActionKind::kReseat, perfect);
+  EXPECT_TRUE(r.performed);
+  EXPECT_FALSE(r.botched);
+  EXPECT_TRUE(l.end_a.condition.transceiver_seated);
+  EXPECT_DOUBLE_EQ(l.end_a.condition.oxidation, 0.0);
+  EXPECT_EQ(l.end_a.condition.reseat_count, 1);
+  EXPECT_EQ(l.state, net::LinkState::kUp);
+}
+
+TEST_F(ActionFixture, ReseatEndsGrayEpisode) {
+  const net::LinkId lid{0};
+  net::Link& l = net.link_mut(lid);
+  l.gray_until = sim.now() + Duration::hours(5);
+  net.refresh_link(lid);
+  ASSERT_EQ(l.state, net::LinkState::kFlapping);
+  (void)apply_action(net, &contamination, rng, lid, 0, RepairActionKind::kReseat, perfect);
+  EXPECT_EQ(l.state, net::LinkState::kUp);
+}
+
+TEST_F(ActionFixture, ReseatDoesNotClean) {
+  const net::LinkId lid = optical_link();
+  net::Link& l = net.link_mut(lid);
+  l.end_a.condition.contamination = 0.7;
+  net.refresh_link(lid);
+  ASSERT_EQ(l.state, net::LinkState::kFlapping);
+  WorkQuality no_exposure = perfect;
+  const ActionResult r =
+      apply_action(net, nullptr, rng, lid, 0, RepairActionKind::kReseat, no_exposure);
+  EXPECT_TRUE(r.performed);
+  EXPECT_DOUBLE_EQ(l.end_a.condition.contamination, 0.7);
+  EXPECT_EQ(l.state, net::LinkState::kFlapping);  // §3.2: reseat won't fix dirt
+}
+
+TEST_F(ActionFixture, CleanRemovesContamination) {
+  const net::LinkId lid = optical_link();
+  net::Link& l = net.link_mut(lid);
+  l.end_b.condition.contamination = 0.7;
+  net.refresh_link(lid);
+  const ActionResult r =
+      apply_action(net, &contamination, rng, lid, 1, RepairActionKind::kClean, perfect);
+  EXPECT_TRUE(r.performed);
+  EXPECT_DOUBLE_EQ(l.end_b.condition.contamination, 0.0);
+  EXPECT_EQ(l.end_b.condition.clean_count, 1);
+  EXPECT_EQ(l.state, net::LinkState::kUp);
+}
+
+TEST_F(ActionFixture, CleanOnIntegratedCableIsNotPerformed) {
+  net::LinkId dac;
+  for (const net::Link& l : net.links()) {
+    if (l.medium == net::CableMedium::kDac) {
+      dac = l.id;
+      break;
+    }
+  }
+  const ActionResult r =
+      apply_action(net, &contamination, rng, dac, 0, RepairActionKind::kClean, perfect);
+  EXPECT_FALSE(r.performed);
+}
+
+TEST_F(ActionFixture, InspectMeasuresWorstEnd) {
+  const net::LinkId lid = optical_link();
+  net.link_mut(lid).end_a.condition.contamination = 0.5;
+  const ActionResult r =
+      apply_action(net, &contamination, rng, lid, 0, RepairActionKind::kInspect, perfect);
+  EXPECT_TRUE(r.performed);
+  EXPECT_NEAR(r.measured_contamination, 0.5, 0.15);
+}
+
+TEST_F(ActionFixture, ReplaceTransceiverResetsEverything) {
+  const net::LinkId lid{1};
+  net::Link& l = net.link_mut(lid);
+  l.end_a.condition.transceiver_healthy = false;
+  l.end_a.condition.contamination = 0.9;
+  l.end_a.condition.reseat_count = 5;
+  net.refresh_link(lid);
+  ASSERT_EQ(l.state, net::LinkState::kDown);
+  const ActionResult r = apply_action(net, &contamination, rng, lid, 0,
+                                      RepairActionKind::kReplaceTransceiver, perfect);
+  EXPECT_TRUE(r.performed);
+  EXPECT_TRUE(l.end_a.condition.transceiver_healthy);
+  EXPECT_DOUBLE_EQ(l.end_a.condition.contamination, 0.0);
+  EXPECT_EQ(l.end_a.condition.reseat_count, 0);
+  EXPECT_EQ(l.state, net::LinkState::kUp);
+}
+
+TEST_F(ActionFixture, ReplaceCableRestoresAndCleans) {
+  const net::LinkId lid{2};
+  net::Link& l = net.link_mut(lid);
+  l.cable.intact = false;
+  l.cable.wear = 0.5;
+  l.end_a.condition.contamination = 0.4;
+  net.refresh_link(lid);
+  const ActionResult r = apply_action(net, &contamination, rng, lid, 0,
+                                      RepairActionKind::kReplaceCable, perfect);
+  EXPECT_TRUE(r.performed);
+  EXPECT_TRUE(l.cable.intact);
+  EXPECT_DOUBLE_EQ(l.cable.wear, 0.0);
+  EXPECT_DOUBLE_EQ(l.end_a.condition.contamination, 0.0);
+  EXPECT_EQ(l.state, net::LinkState::kUp);
+}
+
+TEST_F(ActionFixture, ReplaceDeviceHealsDeadEndpoint) {
+  const net::LinkId lid{0};
+  const net::DeviceId dev = net.link(lid).end_b.device;
+  net.set_device_health(dev, false);
+  ASSERT_EQ(net.link(lid).state, net::LinkState::kDown);
+  const ActionResult r = apply_action(net, &contamination, rng, lid, 0,
+                                      RepairActionKind::kReplaceDevice, perfect);
+  EXPECT_TRUE(r.performed);
+  EXPECT_TRUE(net.device(dev).healthy);
+  EXPECT_EQ(net.link(lid).state, net::LinkState::kUp);
+}
+
+TEST_F(ActionFixture, BotchedReseatLeavesLinkDark) {
+  WorkQuality clumsy = perfect;
+  clumsy.botch_probability = 1.0;
+  const net::LinkId lid{0};
+  const ActionResult r =
+      apply_action(net, &contamination, rng, lid, 0, RepairActionKind::kReseat, clumsy);
+  EXPECT_TRUE(r.performed);
+  EXPECT_TRUE(r.botched);
+  EXPECT_EQ(net.link(lid).state, net::LinkState::kDown);
+}
+
+// --- technician pool ---
+
+struct TechFixture : ActionFixture {
+  fault::FaultInjector injector{net, env, rngs.stream("inj")};
+  fault::CascadeModel cascade{net, env, injector, rngs.stream("casc")};
+
+  TechnicianPool::Config pool_config(int technicians) {
+    TechnicianPool::Config cfg;
+    cfg.technicians = technicians;
+    cfg.quality.botch_probability = 0.0;
+    return cfg;
+  }
+};
+
+TEST_F(TechFixture, JobCompletesOnHoursTimescale) {
+  TechnicianPool pool{net, cascade, &contamination, rngs.stream("tech"), pool_config(2)};
+  net.link_mut(net::LinkId{0}).end_a.condition.transceiver_seated = false;
+  net.refresh_link(net::LinkId{0});
+
+  std::optional<JobReport> report;
+  pool.submit(Job{0, net::LinkId{0}, 0, RepairActionKind::kReseat, false},
+              [&](const JobReport& r) { report = r; });
+  sim.run_until(TimePoint::origin() + Duration::days(21));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->performed);
+  EXPECT_EQ(report->performer, "technician");
+  const double hours = (report->finished - report->enqueued).to_hours();
+  EXPECT_GT(hours, 1.0);    // dispatch latency dominates
+  EXPECT_LT(hours, 21.0 * 24.0);
+  EXPECT_EQ(net.link(net::LinkId{0}).state, net::LinkState::kUp);
+  EXPECT_EQ(pool.completed(), 1u);
+  EXPECT_EQ(pool.completed_of(RepairActionKind::kReseat), 1u);
+  EXPECT_GT(pool.labor_hours(), 0.0);
+}
+
+TEST_F(TechFixture, HighPriorityJumpsTheQueue) {
+  TechnicianPool pool{net, cascade, &contamination, rngs.stream("tech"), pool_config(1)};
+  std::vector<int> completion_order;
+  // Saturate the single tech, then submit one high-priority job last.
+  for (int i = 0; i < 4; ++i) {
+    pool.submit(Job{i, net::LinkId{i}, 0, RepairActionKind::kInspect, false},
+                [&, i](const JobReport&) { completion_order.push_back(i); });
+  }
+  pool.submit(Job{9, net::LinkId{5}, 0, RepairActionKind::kInspect, true},
+              [&](const JobReport&) { completion_order.push_back(9); });
+  sim.run_until(TimePoint::origin() + Duration::days(60));
+  ASSERT_EQ(completion_order.size(), 5u);
+  // The priority job beats at least the queued normal ones (first job may
+  // already be in flight).
+  const auto it = std::find(completion_order.begin(), completion_order.end(), 9);
+  EXPECT_LE(it - completion_order.begin(), 1);
+}
+
+TEST_F(TechFixture, PoolParallelismBoundsThroughput) {
+  TechnicianPool one{net, cascade, &contamination, rngs.stream("one"), pool_config(1)};
+  TechnicianPool four{net, cascade, &contamination, rngs.stream("four"), pool_config(4)};
+  int done_one = 0, done_four = 0;
+  for (int i = 0; i < 8; ++i) {
+    one.submit(Job{i, net::LinkId{i}, 0, RepairActionKind::kInspect, false},
+               [&](const JobReport&) { ++done_one; });
+    four.submit(Job{i, net::LinkId{i}, 0, RepairActionKind::kInspect, false},
+                [&](const JobReport&) { ++done_four; });
+  }
+  sim.run_until(TimePoint::origin() + Duration::days(3));
+  EXPECT_GE(done_four, done_one);
+}
+
+TEST_F(TechFixture, CableReplacementDisturbsTrayMates) {
+  TechnicianPool pool{net, cascade, &contamination, rngs.stream("tech"), pool_config(1)};
+  // Break an uplink cable; replacing it touches the tray route.
+  const net::DeviceId leaf = net.devices_with_role(topology::NodeRole::kTorSwitch)[0];
+  const net::DeviceId spine = net.devices_with_role(topology::NodeRole::kSpineSwitch)[0];
+  const net::LinkId lid = net.links_between(leaf, spine)[0];
+  net.link_mut(lid).cable.intact = false;
+  net.refresh_link(lid);
+  std::optional<JobReport> report;
+  pool.submit(Job{0, lid, 0, RepairActionKind::kReplaceCable, true},
+              [&](const JobReport& r) { report = r; });
+  sim.run_until(TimePoint::origin() + Duration::days(10));
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->performed);
+  EXPECT_EQ(net.link(lid).state, net::LinkState::kUp);
+}
+
+}  // namespace
+}  // namespace smn::maintenance

@@ -1,0 +1,252 @@
+// Tests for the network layer: hardware assignment, the link state machine,
+// observers, and routing queries.
+#include <gtest/gtest.h>
+
+#include "net/link.h"
+#include "net/network.h"
+#include "net/routing.h"
+#include "net/transceiver.h"
+#include "sim/event_queue.h"
+#include "topology/builders.h"
+
+namespace smn::net {
+namespace {
+
+using topology::NodeRole;
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 3, .uplinks_per_spine = 2});
+  Network net{bp, Network::Config{}, sim};
+};
+
+TEST_F(NetFixture, AllLinksStartUp) {
+  EXPECT_EQ(net.count_links(LinkState::kUp), net.links().size());
+  EXPECT_EQ(net.count_links(LinkState::kDown), 0u);
+}
+
+TEST_F(NetFixture, MediumAssignmentFollowsLength) {
+  for (const Link& l : net.links()) {
+    if (l.length_m <= 3.0) {
+      EXPECT_EQ(l.medium, CableMedium::kDac) << "len " << l.length_m;
+    } else if (l.length_m > 30.0) {
+      EXPECT_TRUE(l.medium == CableMedium::kLcOptical || l.medium == CableMedium::kMpoOptical);
+      // 400G uplinks get multi-core MPO.
+      if (l.capacity_gbps > 100.0) {
+        EXPECT_EQ(l.medium, CableMedium::kMpoOptical);
+      }
+    }
+  }
+}
+
+TEST_F(NetFixture, ServerLinksAreInRackDac) {
+  for (const DeviceId s : net.servers()) {
+    for (const LinkId lid : net.links_at(s)) {
+      EXPECT_EQ(net.link(lid).medium, CableMedium::kDac);
+    }
+  }
+}
+
+TEST_F(NetFixture, MpoCoreCountMatchesCapacity) {
+  for (const Link& l : net.links()) {
+    if (l.medium == CableMedium::kMpoOptical) {
+      EXPECT_EQ(l.cores_per_end(), 4) << "400G -> 4 cores";
+    } else {
+      EXPECT_EQ(l.cores_per_end(), 1);
+    }
+  }
+}
+
+TEST_F(NetFixture, UnseatingTransceiverDownsLink) {
+  Link& l = net.link_mut(LinkId{0});
+  l.end_a.condition.transceiver_seated = false;
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kDown);
+  l.end_a.condition.transceiver_seated = true;
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kUp);
+}
+
+TEST_F(NetFixture, ContaminationDegradesThenFlaps) {
+  Link& l = net.link_mut(LinkId{0});
+  l.end_b.condition.contamination = 0.40;
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kDegraded);
+  l.end_b.condition.contamination = 0.70;
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kFlapping);
+  l.end_b.condition.contamination = 0.0;
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kUp);
+}
+
+TEST_F(NetFixture, GrayEpisodeFlapsUntilExpiry) {
+  Link& l = net.link_mut(LinkId{0});
+  l.gray_until = sim.now() + sim::Duration::minutes(10);
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kFlapping);
+  sim.run_until(sim.now() + sim::Duration::minutes(11));
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kUp);
+}
+
+TEST_F(NetFixture, AdminDownMasksEverything) {
+  Link& l = net.link_mut(LinkId{0});
+  l.admin_down = true;
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kDown);
+  l.admin_down = false;
+  EXPECT_EQ(net.refresh_link(l.id), LinkState::kUp);
+}
+
+TEST_F(NetFixture, DeviceFailureDownsAllItsLinks) {
+  const DeviceId spine = net.devices_with_role(NodeRole::kSpineSwitch).front();
+  const std::size_t expected = net.links_at(spine).size();
+  net.set_device_health(spine, false);
+  EXPECT_EQ(net.count_links(LinkState::kDown), expected);
+  net.set_device_health(spine, true);
+  EXPECT_EQ(net.count_links(LinkState::kDown), 0u);
+}
+
+TEST_F(NetFixture, ObserverSeesTransitions) {
+  int calls = 0;
+  LinkState seen_old = LinkState::kDown, seen_new = LinkState::kUp;
+  net.subscribe([&](const Link&, LinkState o, LinkState n) {
+    ++calls;
+    seen_old = o;
+    seen_new = n;
+  });
+  Link& l = net.link_mut(LinkId{3});
+  l.cable.intact = false;
+  net.refresh_link(l.id);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(seen_old, LinkState::kUp);
+  EXPECT_EQ(seen_new, LinkState::kDown);
+  net.refresh_link(l.id);  // no change, no callback
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(NetFixture, ShortestPathServerToServerViaLeafSpine) {
+  const auto servers = net.servers();
+  const DeviceId a = servers[0];
+  const DeviceId b = servers.back();
+  const auto path = shortest_path(net, a, b);
+  ASSERT_FALSE(path.empty());
+  // Different leaves: server-leaf-spine-leaf-server = 5 hops.
+  EXPECT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), a);
+  EXPECT_EQ(path.back(), b);
+}
+
+TEST_F(NetFixture, PathSurvivesSingleSpineFailure) {
+  const auto servers = net.servers();
+  net.set_device_health(net.devices_with_role(NodeRole::kSpineSwitch).front(), false);
+  EXPECT_TRUE(path_available(net, servers[0], servers.back()));
+}
+
+TEST_F(NetFixture, ServerIsolatedWhenItsAccessLinkDies) {
+  const DeviceId srv = net.servers().front();
+  const LinkId access = net.links_at(srv).front();
+  net.link_mut(access).cable.intact = false;
+  net.refresh_link(access);
+  EXPECT_FALSE(path_available(net, srv, net.servers().back()));
+  sim::RngFactory f{1};
+  sim::RngStream rng = f.stream("conn");
+  EXPECT_LT(sampled_pair_connectivity(net, rng, 200), 1.0);
+}
+
+TEST_F(NetFixture, PathPolicyExcludesFlappingWhenAsked) {
+  const DeviceId srv = net.servers().front();
+  const LinkId access = net.links_at(srv).front();
+  net.link_mut(access).end_a.condition.contamination = 0.9;
+  net.refresh_link(access);
+  EXPECT_TRUE(path_available(net, srv, net.servers().back()));
+  const PathPolicy strict{.use_flapping = false, .use_degraded = true};
+  EXPECT_FALSE(path_available(net, srv, net.servers().back(), strict));
+}
+
+TEST_F(NetFixture, LiveParallelLinksCountsUplinks) {
+  const DeviceId leaf = net.devices_with_role(NodeRole::kTorSwitch).front();
+  const DeviceId spine = net.devices_with_role(NodeRole::kSpineSwitch).front();
+  EXPECT_EQ(live_parallel_links(net, leaf, spine), 2);
+  const auto lids = net.links_between(leaf, spine);
+  net.link_mut(lids[0]).cable.intact = false;
+  net.refresh_link(lids[0]);
+  EXPECT_EQ(live_parallel_links(net, leaf, spine), 1);
+}
+
+TEST_F(NetFixture, LiveLinkFraction) {
+  const DeviceId leaf = net.devices_with_role(NodeRole::kTorSwitch).front();
+  const double before = live_link_fraction(net, leaf);
+  EXPECT_DOUBLE_EQ(before, 1.0);
+  const LinkId lid = net.links_at(leaf).front();
+  net.link_mut(lid).cable.intact = false;
+  net.refresh_link(lid);
+  EXPECT_LT(live_link_fraction(net, leaf), 1.0);
+}
+
+TEST_F(NetFixture, PathLossReflectsSickestHop) {
+  const auto servers = net.servers();
+  const auto path = shortest_path(net, servers[0], servers.back());
+  ASSERT_FALSE(path.empty());
+  EXPECT_DOUBLE_EQ(*path_loss(net, path), Link::loss_rate(LinkState::kUp));
+  const LinkId access = net.links_at(servers[0]).front();
+  net.link_mut(access).end_a.condition.contamination = 0.9;
+  net.refresh_link(access);
+  EXPECT_DOUBLE_EQ(*path_loss(net, path), Link::loss_rate(LinkState::kFlapping));
+}
+
+TEST(TailLatency, MonotoneInLoss) {
+  EXPECT_NEAR(tail_latency_factor(0.0), 1.0, 1e-9);
+  EXPECT_LT(tail_latency_factor(1e-6), tail_latency_factor(1e-3));
+  EXPECT_LT(tail_latency_factor(1e-3), tail_latency_factor(1e-1));
+  EXPECT_LE(tail_latency_factor(0.5), 100.0);
+}
+
+TEST(Transceiver, IntegratedAndCleanableArePartition) {
+  for (const CableMedium m :
+       {CableMedium::kDac, CableMedium::kAec, CableMedium::kAoc, CableMedium::kLcOptical,
+        CableMedium::kMpoOptical}) {
+    EXPECT_NE(is_integrated(m), is_cleanable(m));
+  }
+}
+
+TEST(Transceiver, EndConditionUsable) {
+  EndCondition c;
+  EXPECT_TRUE(c.usable());
+  c.transceiver_seated = false;
+  EXPECT_FALSE(c.usable());
+  c.transceiver_seated = true;
+  c.transceiver_healthy = false;
+  EXPECT_FALSE(c.usable());
+  c.transceiver_healthy = true;
+  c.transceiver_present = false;
+  EXPECT_FALSE(c.usable());
+}
+
+TEST(Transceiver, DescribeMentionsFormFactor) {
+  TransceiverModel m;
+  m.form_factor = FormFactor::kQsfpDd;
+  m.angled_end_face = true;
+  const std::string s = m.describe();
+  EXPECT_NE(s.find("QSFP-DD"), std::string::npos);
+  EXPECT_NE(s.find("APC"), std::string::npos);
+}
+
+TEST(NetworkDiversity, SkuCountGrowsWithVendors) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = topology::build_fat_tree({.k = 4});
+  Network::Config one;
+  one.vendor_count = 1;
+  Network::Config many;
+  many.vendor_count = 8;
+  Network n1{bp, one, sim};
+  Network n8{bp, many, sim};
+  EXPECT_LE(n1.transceiver_sku_count(), n8.transceiver_sku_count());
+}
+
+TEST(NetworkOnFatTree, FullBisectionPathsExist) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = topology::build_fat_tree({.k = 4});
+  Network net{bp, Network::Config{}, sim};
+  const auto servers = net.servers();
+  sim::RngFactory f{2};
+  sim::RngStream rng = f.stream("conn");
+  EXPECT_DOUBLE_EQ(sampled_pair_connectivity(net, rng, 100), 1.0);
+}
+
+}  // namespace
+}  // namespace smn::net

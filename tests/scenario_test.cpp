@@ -1,0 +1,155 @@
+// End-to-end integration tests over the scenario facade: full worlds running
+// weeks of simulated time, parameterized across automation levels.
+#include <gtest/gtest.h>
+
+#include "scenario/world.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::scenario {
+namespace {
+
+using core::AutomationLevel;
+using sim::Duration;
+
+class LevelSweep : public ::testing::TestWithParam<AutomationLevel> {
+ protected:
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 6, .spines = 2, .servers_per_leaf = 4, .uplinks_per_spine = 2});
+
+  WorldConfig config() {
+    WorldConfig cfg = WorldConfig::for_level(GetParam());
+    cfg.network = testutil::short_aoc();
+    cfg.seed = 1234;
+    return cfg;
+  }
+};
+
+TEST_P(LevelSweep, ThirtyDaysRunsCleanAndInvariantsHold) {
+  World world{bp, config()};
+  world.run_for(Duration::days(30));
+
+  // Availability is a probability; impairment likewise.
+  const double avail = world.availability().fleet_availability();
+  EXPECT_GE(avail, 0.0);
+  EXPECT_LE(avail, 1.0);
+  EXPECT_GE(world.availability().fleet_impairment(), 0.0);
+
+  // Every ticket is in a terminal or live state with sane timestamps.
+  for (const maintenance::Ticket& t : world.tickets().all()) {
+    if (t.state == maintenance::TicketState::kResolved) {
+      EXPECT_GE(t.resolved.count_us(), t.opened.count_us());
+      EXPECT_FALSE(t.resolved_by.empty());
+    }
+    EXPECT_LE(t.actions_taken, world.controller().config().max_attempts_per_ticket);
+  }
+
+  // No link may end the run admin-down: every drain must have been restored.
+  for (const net::Link& l : world.network().links()) {
+    EXPECT_FALSE(l.admin_down) << "leaked drain on link " << l.id.value();
+  }
+}
+
+TEST_P(LevelSweep, HardFaultsEventuallyGetRepaired) {
+  WorldConfig cfg = config();
+  // Quiet background; directed faults only.
+  cfg.faults.transceiver_afr = 0;
+  cfg.faults.cable_afr = 0;
+  cfg.faults.switch_afr = 0;
+  cfg.faults.server_nic_afr = 0;
+  cfg.faults.gray_rate_per_year = 0;
+  cfg.faults.oxidation_rate_per_year = 0;
+  cfg.contamination.mean_accumulation_per_day = 0;
+  cfg.detection.false_positive_per_year = 0;
+  cfg.technicians.quality.botch_probability = 0;
+  cfg.fleet.failure_per_job = 0;
+  World world{bp, cfg};
+  world.start();
+  for (int i = 0; i < 5; ++i) {
+    world.injector().inject_transceiver_failure(net::LinkId{3 * i}, i % 2);
+  }
+  world.run_for(Duration::days(21));
+  EXPECT_EQ(world.network().count_links(net::LinkState::kDown), 0u);
+  EXPECT_GE(world.tickets().count(maintenance::TicketState::kResolved), 5u);
+}
+
+TEST_P(LevelSweep, DeterministicForFixedSeed) {
+  auto fingerprint = [&] {
+    World world{bp, config()};
+    world.run_for(Duration::days(15));
+    return std::tuple{world.tickets().total(), world.injector().log().size(),
+                      world.cascade().induced_count(),
+                      world.availability().downtime_link_hours()};
+  };
+  EXPECT_EQ(fingerprint(), fingerprint());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, LevelSweep,
+    ::testing::Values(AutomationLevel::kL0_Manual, AutomationLevel::kL1_OperatorAssist,
+                      AutomationLevel::kL2_PartialAutomation,
+                      AutomationLevel::kL3_HighAutomation,
+                      AutomationLevel::kL4_FullAutomation),
+    [](const auto& info) { return std::string{core::to_string(info.param)}.substr(0, 2); });
+
+TEST(ScenarioPresets, LevelPresetsMatchTraits) {
+  EXPECT_FALSE(WorldConfig::for_level(AutomationLevel::kL0_Manual).use_robots);
+  EXPECT_FALSE(WorldConfig::for_level(AutomationLevel::kL1_OperatorAssist).use_robots);
+  EXPECT_LT(WorldConfig::for_level(AutomationLevel::kL1_OperatorAssist)
+                .technicians.assist_factor,
+            1.0);
+  EXPECT_TRUE(WorldConfig::for_level(AutomationLevel::kL2_PartialAutomation).use_robots);
+  const WorldConfig l4 = WorldConfig::for_level(AutomationLevel::kL4_FullAutomation);
+  EXPECT_TRUE(l4.fleet.can_replace_cable);
+  EXPECT_TRUE(l4.fleet.can_replace_device);
+}
+
+TEST(ScenarioWorld, DefaultFleetRosterCoversAllSwitchRows) {
+  const topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 6, .spines = 2, .servers_per_leaf = 4});
+  WorldConfig cfg = WorldConfig::for_level(AutomationLevel::kL3_HighAutomation);
+  World world{bp, cfg};
+  ASSERT_TRUE(world.has_fleet());
+  for (const net::Link& l : world.network().links()) {
+    EXPECT_TRUE(world.fleet().reachable(l.id, 0));
+    EXPECT_TRUE(world.fleet().reachable(l.id, 1));
+  }
+}
+
+TEST(ScenarioWorld, ContaminationStormIsEventuallyCleanedAtL3) {
+  const topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 6, .spines = 2, .servers_per_leaf = 4});
+  WorldConfig cfg = WorldConfig::for_level(AutomationLevel::kL3_HighAutomation);
+  cfg.network = testutil::short_aoc();
+  cfg.contamination.mean_accumulation_per_day = 0.0;  // only the storm
+  World world{bp, cfg};
+  world.start();
+  int soiled = 0;
+  for (const net::Link& l : world.network().links()) {
+    if (net::is_cleanable(l.medium)) {
+      world.network().link_mut(l.id).end_a.condition.contamination = 0.8;
+      world.network().refresh_link(l.id);
+      ++soiled;
+    }
+  }
+  ASSERT_GT(soiled, 4);
+  world.run_for(Duration::days(14));
+  // All flapping links were driven back up by the ladder (reseat -> clean).
+  EXPECT_EQ(world.network().count_links(net::LinkState::kFlapping), 0u);
+  EXPECT_GE(static_cast<int>(world.fleet().completed_of(
+                maintenance::RepairActionKind::kClean)),
+            soiled / 2);
+}
+
+TEST(ScenarioWorld, RunForAdvancesClockExactly) {
+  const topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 2, .spines = 1, .servers_per_leaf = 1});
+  World world{bp, WorldConfig::for_level(AutomationLevel::kL3_HighAutomation)};
+  world.run_for(Duration::days(3));
+  EXPECT_DOUBLE_EQ(world.now().to_days(), 3.0);
+  world.run_for(Duration::hours(12));
+  EXPECT_DOUBLE_EQ(world.now().to_hours(), 84.0);
+}
+
+}  // namespace
+}  // namespace smn::scenario

@@ -1,0 +1,223 @@
+// Unit tests for the discrete-event engine, time primitives, and RNG streams.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace smn::sim {
+namespace {
+
+TEST(Duration, ConversionsRoundTrip) {
+  EXPECT_EQ(Duration::seconds(1.0).count_us(), 1'000'000);
+  EXPECT_DOUBLE_EQ(Duration::minutes(2.0).to_seconds(), 120.0);
+  EXPECT_DOUBLE_EQ(Duration::hours(1.0).to_minutes(), 60.0);
+  EXPECT_DOUBLE_EQ(Duration::days(2.0).to_hours(), 48.0);
+  EXPECT_DOUBLE_EQ(Duration::milliseconds(1.5).count_us(), 1500);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration d = Duration::seconds(10) + Duration::seconds(5);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 15.0);
+  EXPECT_DOUBLE_EQ((d - Duration::seconds(5)).to_seconds(), 10.0);
+  EXPECT_DOUBLE_EQ((d * 2.0).to_seconds(), 30.0);
+  EXPECT_DOUBLE_EQ((d / 3.0).to_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(d.ratio(Duration::seconds(5)), 3.0);
+  EXPECT_LT(Duration::seconds(1), Duration::seconds(2));
+  EXPECT_EQ(-Duration::seconds(1), Duration::zero() - Duration::seconds(1));
+}
+
+TEST(TimePoint, OffsetsAndDifferences) {
+  const TimePoint t0 = TimePoint::origin();
+  const TimePoint t1 = t0 + Duration::hours(3);
+  EXPECT_DOUBLE_EQ((t1 - t0).to_hours(), 3.0);
+  EXPECT_EQ(t1 - Duration::hours(3), t0);
+  EXPECT_GT(t1, t0);
+}
+
+TEST(FormatDuration, HumanReadable) {
+  EXPECT_EQ(format_duration(Duration::microseconds(500)), "500us");
+  EXPECT_EQ(format_duration(Duration::milliseconds(2.5)), "2.5ms");
+  EXPECT_EQ(format_duration(Duration::seconds(42)), "42.0s");
+  EXPECT_EQ(format_duration(Duration::minutes(90)), "01:30:00");
+  EXPECT_EQ(format_duration(Duration::days(2) + Duration::hours(3)), "2d 03:00:00");
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::origin() + Duration::seconds(3), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint::origin() + Duration::seconds(1), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint::origin() + Duration::seconds(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.events_processed(), 3u);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 3.0);
+}
+
+TEST(Simulator, SimultaneousEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  const TimePoint t = TimePoint::origin() + Duration::seconds(1);
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(t, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_after(Duration::seconds(1), [&] { ran = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.cancel(kInvalidEvent);
+  sim.cancel(EventId{9999});
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_every(Duration::seconds(10), [&] { ++count; });
+  sim.run_until(TimePoint::origin() + Duration::seconds(35));
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 35.0);
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueStillAdvancesClock) {
+  Simulator sim;
+  sim.run_until(TimePoint::origin() + Duration::hours(1));
+  EXPECT_DOUBLE_EQ(sim.now().to_hours(), 1.0);
+}
+
+TEST(Simulator, PeriodicTaskCancellation) {
+  Simulator sim;
+  int count = 0;
+  const EventId handle = sim.schedule_every(Duration::seconds(1), [&] { ++count; });
+  sim.run_until(TimePoint::origin() + Duration::seconds(5));
+  sim.cancel_periodic(handle);
+  sim.run_until(TimePoint::origin() + Duration::seconds(20));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Simulator, PeriodicSelfCancellationFromCallback) {
+  Simulator sim;
+  int count = 0;
+  EventId handle = kInvalidEvent;
+  handle = sim.schedule_every(Duration::seconds(1), [&] {
+    ++count;
+    if (count == 3) sim.cancel_periodic(handle);
+  });
+  sim.run_until(TimePoint::origin() + Duration::seconds(30));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_after(Duration::seconds(5), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::origin() + Duration::seconds(1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Simulator, NestedSchedulingFromCallback) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule_after(Duration::seconds(1), [&] {
+    times.push_back(sim.now().to_seconds());
+    sim.schedule_after(Duration::seconds(1), [&] { times.push_back(sim.now().to_seconds()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+TEST(Rng, SameSeedSameStreamIsReproducible) {
+  RngFactory f1{12345};
+  RngFactory f2{12345};
+  RngStream a = f1.stream("faults");
+  RngStream b = f2.stream("faults");
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentStreamsDiffer) {
+  RngFactory f{12345};
+  RngStream a = f.stream("faults");
+  RngStream b = f.stream("robots");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  RngFactory f{1};
+  RngStream s = f.stream("x");
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(s.bernoulli(0.0));
+    EXPECT_TRUE(s.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanIsApproximatelyRight) {
+  RngFactory f{7};
+  RngStream s = f.stream("exp");
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += s.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  RngFactory f{7};
+  RngStream s = f.stream("w");
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[s.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  RngFactory f{7};
+  RngStream s = f.stream("w");
+  EXPECT_THROW((void)s.weighted_index({}), std::invalid_argument);
+  const std::vector<double> zeros{0.0, 0.0};
+  EXPECT_THROW((void)s.weighted_index(zeros), std::invalid_argument);
+}
+
+TEST(Rng, NormalMinTruncates) {
+  RngFactory f{9};
+  RngStream s = f.stream("nm");
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(s.normal_min(1.0, 5.0, 0.0), 0.0);
+}
+
+TEST(Rng, IndexOnEmptyThrows) {
+  RngFactory f{9};
+  RngStream s = f.stream("i");
+  EXPECT_THROW((void)s.index(0), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  RngFactory f{11};
+  RngStream s = f.stream("sh");
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  s.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace smn::sim

@@ -1,0 +1,243 @@
+// Tests for the detection engine (debounce, flap windows, false positives,
+// self-clear) and the logistic failure predictor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "telemetry/monitor.h"
+#include "telemetry/predictor.h"
+#include "topology/builders.h"
+
+namespace smn::telemetry {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct MonitorFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp =
+      topology::build_leaf_spine({.leaves = 2, .spines = 2, .servers_per_leaf = 2});
+  net::Network net{bp, net::Network::Config{}, sim};
+  sim::RngFactory rngs{5};
+  DetectionEngine::Config cfg;
+  std::vector<Detection> seen;
+
+  DetectionEngine make_engine() {
+    cfg.false_positive_per_year = 0.0;  // deterministic unless a test opts in
+    DetectionEngine engine{net, rngs.stream("det"), cfg};
+    engine.subscribe([this](const Detection& d) { seen.push_back(d); });
+    return engine;
+  }
+
+  void hard_down(net::LinkId id) {
+    net.link_mut(id).cable.intact = false;
+    net.refresh_link(id);
+  }
+};
+
+TEST_F(MonitorFixture, DownLinkDetectedAfterDebounce) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  hard_down(net::LinkId{0});
+  sim.run_until(TimePoint::origin() + Duration::minutes(3));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, IssueKind::kDown);
+  EXPECT_TRUE(seen[0].genuine);
+  EXPECT_TRUE(engine.open(net::LinkId{0}));
+}
+
+TEST_F(MonitorFixture, NoDuplicateDetectionWhileOpen) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  hard_down(net::LinkId{0});
+  sim.run_until(TimePoint::origin() + Duration::hours(5));
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST_F(MonitorFixture, ClearReArmsDetection) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  hard_down(net::LinkId{0});
+  sim.run_until(TimePoint::origin() + Duration::minutes(5));
+  ASSERT_EQ(seen.size(), 1u);
+  engine.clear(net::LinkId{0});
+  sim.run_until(TimePoint::origin() + Duration::minutes(10));
+  EXPECT_EQ(seen.size(), 2u);  // still down, detected again
+}
+
+TEST_F(MonitorFixture, DegradedUsesLongerDebounce) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  net.link_mut(net::LinkId{0}).end_a.condition.contamination = 0.45;
+  net.refresh_link(net::LinkId{0});
+  sim.run_until(TimePoint::origin() + Duration::minutes(10));
+  EXPECT_TRUE(seen.empty());  // below 15-minute degraded debounce
+  sim.run_until(TimePoint::origin() + Duration::minutes(20));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, IssueKind::kDegraded);
+}
+
+TEST_F(MonitorFixture, FlapCountTriggersDetection) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  net::Link& l = net.link_mut(net::LinkId{0});
+  // Three short gray episodes inside the 30-minute window.
+  for (int i = 0; i < 3; ++i) {
+    sim.run_until(TimePoint::origin() + Duration::minutes(1 + 4 * i));
+    l.gray_until = sim.now() + Duration::minutes(2);
+    net.refresh_link(l.id);
+    sim.run_until(sim.now() + Duration::minutes(2));
+    net.refresh_link(l.id);
+  }
+  sim.run_until(sim.now() + Duration::minutes(2));
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen[0].kind, IssueKind::kFlapping);
+  EXPECT_EQ(engine.total_flap_transitions(net::LinkId{0}), 3);
+}
+
+TEST_F(MonitorFixture, PersistentFlappingDetectedByDwell) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  net::Link& l = net.link_mut(net::LinkId{0});
+  l.gray_until = sim.now() + Duration::hours(2);  // one long episode
+  net.refresh_link(l.id);
+  sim.run_until(TimePoint::origin() + Duration::minutes(3));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].kind, IssueKind::kFlapping);
+}
+
+TEST_F(MonitorFixture, SelfClearReArmsAfterRecovery) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  net::Link& l = net.link_mut(net::LinkId{0});
+  l.gray_until = sim.now() + Duration::minutes(5);
+  net.refresh_link(l.id);
+  sim.run_until(TimePoint::origin() + Duration::minutes(4));
+  ASSERT_EQ(seen.size(), 1u);           // detected while flapping
+  sim.run_until(TimePoint::origin() + Duration::minutes(6));
+  net.refresh_link(l.id);               // recovers
+  sim.run_until(TimePoint::origin() + Duration::hours(2));
+  EXPECT_FALSE(engine.open(net::LinkId{0}));  // self-cleared after 60 min up
+}
+
+TEST_F(MonitorFixture, FalsePositivesArriveAtConfiguredRate) {
+  cfg.false_positive_per_year = 50.0;  // absurdly high to get counts fast
+  DetectionEngine engine{net, rngs.stream("fp"), cfg};
+  int false_count = 0;
+  engine.subscribe([&](const Detection& d) {
+    if (!d.genuine) ++false_count;
+  });
+  engine.start();
+  sim.run_until(TimePoint::origin() + Duration::days(10));
+  EXPECT_GT(false_count, 0);
+  EXPECT_EQ(engine.false_positive_count(), static_cast<std::size_t>(false_count));
+}
+
+TEST_F(MonitorFixture, AdminDownIsNotAFailure) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  net.link_mut(net::LinkId{0}).admin_down = true;
+  net.refresh_link(net::LinkId{0});
+  sim.run_until(TimePoint::origin() + Duration::hours(1));
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST_F(MonitorFixture, TimeInStateAccounting) {
+  DetectionEngine engine = make_engine();
+  engine.start();
+  hard_down(net::LinkId{0});
+  sim.run_until(TimePoint::origin() + Duration::hours(2));
+  net.link_mut(net::LinkId{0}).cable.intact = true;
+  net.refresh_link(net::LinkId{0});
+  sim.run_until(TimePoint::origin() + Duration::hours(3));
+  EXPECT_NEAR(engine.time_in(net::LinkId{0}, net::LinkState::kDown).to_hours(), 2.0, 0.01);
+  EXPECT_NEAR(engine.time_in(net::LinkId{0}, net::LinkState::kUp).to_hours(), 1.0, 0.01);
+}
+
+// --- predictor ---
+
+FeatureVector failing_features(sim::RngStream& rng) {
+  FeatureVector f;
+  f.flaps_recent = rng.uniform(0.5, 1.0);
+  f.degraded_fraction = rng.uniform(0.3, 0.9);
+  f.detections_recent = rng.uniform(0.4, 1.0);
+  f.repair_count = rng.uniform(0.2, 0.8);
+  f.age = rng.uniform(0.0, 1.0);
+  f.inspection_grade = rng.uniform(0.4, 0.9);
+  return f;
+}
+
+FeatureVector healthy_features(sim::RngStream& rng) {
+  FeatureVector f;
+  f.flaps_recent = rng.uniform(0.0, 0.1);
+  f.degraded_fraction = rng.uniform(0.0, 0.05);
+  f.detections_recent = rng.uniform(0.0, 0.1);
+  f.repair_count = rng.uniform(0.0, 0.2);
+  f.age = rng.uniform(0.0, 1.0);
+  f.inspection_grade = rng.uniform(0.0, 0.15);
+  return f;
+}
+
+TEST(Predictor, LearnsSeparableData) {
+  sim::RngFactory rngs{13};
+  sim::RngStream rng = rngs.stream("data");
+  std::vector<TrainingExample> train_set;
+  for (int i = 0; i < 400; ++i) {
+    train_set.push_back({failing_features(rng), true});
+    train_set.push_back({healthy_features(rng), false});
+  }
+  LogisticPredictor model;
+  sim::RngStream train_rng = rngs.stream("train");
+  model.train(train_set, train_rng);
+
+  std::vector<TrainingExample> test_set;
+  for (int i = 0; i < 100; ++i) {
+    test_set.push_back({failing_features(rng), true});
+    test_set.push_back({healthy_features(rng), false});
+  }
+  const EvaluationResult r = model.evaluate(test_set, 0.5);
+  EXPECT_GT(r.precision, 0.9);
+  EXPECT_GT(r.recall, 0.9);
+  EXPECT_GT(r.f1, 0.9);
+}
+
+TEST(Predictor, ThresholdTradesPrecisionForRecall) {
+  sim::RngFactory rngs{14};
+  sim::RngStream rng = rngs.stream("data");
+  std::vector<TrainingExample> examples;
+  for (int i = 0; i < 300; ++i) {
+    examples.push_back({failing_features(rng), rng.bernoulli(0.8)});
+    examples.push_back({healthy_features(rng), rng.bernoulli(0.1)});
+  }
+  LogisticPredictor model;
+  sim::RngStream train_rng = rngs.stream("train");
+  model.train(examples, train_rng);
+  const EvaluationResult strict = model.evaluate(examples, 0.8);
+  const EvaluationResult loose = model.evaluate(examples, 0.2);
+  EXPECT_GE(loose.recall, strict.recall);
+  EXPECT_GE(loose.predicted_positive, strict.predicted_positive);
+}
+
+TEST(Predictor, UntrainedPredictsHalf) {
+  LogisticPredictor model;
+  EXPECT_DOUBLE_EQ(model.predict(FeatureVector{}), 0.5);
+}
+
+TEST(Predictor, EmptyTrainingIsANoOp) {
+  LogisticPredictor model;
+  sim::RngFactory rngs{1};
+  sim::RngStream rng = rngs.stream("t");
+  model.train({}, rng);
+  EXPECT_DOUBLE_EQ(model.predict(FeatureVector{}), 0.5);
+}
+
+TEST(Predictor, EvaluateOnEmptySetIsZero) {
+  LogisticPredictor model;
+  const EvaluationResult r = model.evaluate({}, 0.5);
+  EXPECT_EQ(r.positives, 0u);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace smn::telemetry

@@ -1,0 +1,17 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include "net/network.h"
+
+namespace smn::testutil {
+
+/// Network config with a short AOC cutoff so that the small test topologies
+/// (whose uplinks are ~10 m) get *separate* optical transceivers + MPO fiber
+/// — the cleanable medium most of the repair ladder operates on.
+inline net::Network::Config short_aoc() {
+  net::Network::Config cfg;
+  cfg.aoc_max_m = 5.0;
+  return cfg;
+}
+
+}  // namespace smn::testutil

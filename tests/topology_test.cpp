@@ -1,0 +1,363 @@
+// Tests for physical layout, blueprint invariants, topology builders, and the
+// wiring / self-maintainability metrics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topology/blueprint.h"
+#include "topology/builders.h"
+#include "topology/metrics.h"
+#include "topology/physical.h"
+
+namespace smn::topology {
+namespace {
+
+PhysicalLayout small_layout() {
+  PhysicalLayout::Config cfg;
+  cfg.halls = 1;
+  cfg.rows_per_hall = 3;
+  cfg.racks_per_row = 8;
+  cfg.rack_units = 48;
+  return PhysicalLayout{cfg};
+}
+
+TEST(PhysicalLayout, RejectsBadConfig) {
+  PhysicalLayout::Config cfg;
+  cfg.racks_per_row = 0;
+  EXPECT_THROW(PhysicalLayout{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.slack_factor = 0.9;
+  EXPECT_THROW(PhysicalLayout{cfg}, std::invalid_argument);
+}
+
+TEST(PhysicalLayout, ContainsAndPosition) {
+  const PhysicalLayout layout = small_layout();
+  EXPECT_TRUE(layout.contains(RackLocation{0, 0, 0, 0}));
+  EXPECT_TRUE(layout.contains(RackLocation{0, 2, 7, 47}));
+  EXPECT_FALSE(layout.contains(RackLocation{0, 3, 0, 0}));
+  EXPECT_FALSE(layout.contains(RackLocation{0, 0, 8, 0}));
+  EXPECT_FALSE(layout.contains(RackLocation{0, 0, 0, 48}));
+  EXPECT_FALSE(layout.contains(RackLocation{-1, 0, 0, 0}));
+
+  const Point p = layout.position(RackLocation{0, 1, 2, 10});
+  EXPECT_DOUBLE_EQ(p.x, 2 * 0.7);
+  EXPECT_DOUBLE_EQ(p.y, 1 * 3.0);
+  EXPECT_DOUBLE_EQ(p.z, 10 * 0.0445);
+  EXPECT_THROW((void)layout.position(RackLocation{0, 9, 0, 0}), std::out_of_range);
+}
+
+TEST(PhysicalLayout, WalkingDistanceSameRowIsAisleDistance) {
+  const PhysicalLayout layout = small_layout();
+  const double d =
+      layout.walking_distance_m(RackLocation{0, 1, 0, 0}, RackLocation{0, 1, 4, 0});
+  EXPECT_DOUBLE_EQ(d, 4 * 0.7);
+}
+
+TEST(PhysicalLayout, WalkingDistanceCrossRowGoesViaRowHead) {
+  const PhysicalLayout layout = small_layout();
+  const double d =
+      layout.walking_distance_m(RackLocation{0, 0, 2, 0}, RackLocation{0, 2, 3, 0});
+  EXPECT_DOUBLE_EQ(d, 2 * 0.7 + 3 * 0.7 + 2 * 3.0);
+}
+
+TEST(PhysicalLayout, SameRackCableHasNoTraySegments) {
+  const PhysicalLayout layout = small_layout();
+  const CableRoute r =
+      layout.route_cable(RackLocation{0, 0, 0, 5}, RackLocation{0, 0, 0, 40});
+  EXPECT_TRUE(r.segments.empty());
+  EXPECT_GT(r.length_m, 1.0);
+  EXPECT_LT(r.length_m, 4.0);
+}
+
+TEST(PhysicalLayout, SameRowCableUsesRowTray) {
+  const PhysicalLayout layout = small_layout();
+  const CableRoute r =
+      layout.route_cable(RackLocation{0, 1, 1, 40}, RackLocation{0, 1, 5, 40});
+  bool has_riser = false, has_row = false, has_spine = false;
+  for (const TraySegment& s : r.segments) {
+    has_riser |= s.kind == TraySegment::Kind::kRiser;
+    has_row |= s.kind == TraySegment::Kind::kRowTray;
+    has_spine |= s.kind == TraySegment::Kind::kSpineTray;
+  }
+  EXPECT_TRUE(has_riser);
+  EXPECT_TRUE(has_row);
+  EXPECT_FALSE(has_spine);
+  // 4 rack pitches horizontal + 2 vertical runs, with slack.
+  EXPECT_GT(r.length_m, 4 * 0.7);
+}
+
+TEST(PhysicalLayout, CrossRowCableUsesSpineTray) {
+  const PhysicalLayout layout = small_layout();
+  const CableRoute r =
+      layout.route_cable(RackLocation{0, 0, 3, 40}, RackLocation{0, 2, 4, 40});
+  bool has_spine = false;
+  for (const TraySegment& s : r.segments) {
+    has_spine |= s.kind == TraySegment::Kind::kSpineTray;
+  }
+  EXPECT_TRUE(has_spine);
+}
+
+TEST(PhysicalLayout, OverlappingRoutesShareSegments) {
+  const PhysicalLayout layout = small_layout();
+  const CableRoute r1 =
+      layout.route_cable(RackLocation{0, 1, 0, 40}, RackLocation{0, 1, 6, 40});
+  const CableRoute r2 =
+      layout.route_cable(RackLocation{0, 1, 2, 40}, RackLocation{0, 1, 4, 40});
+  std::set<TraySegment> s1(r1.segments.begin(), r1.segments.end());
+  int shared = 0;
+  for (const TraySegment& s : r2.segments) shared += s1.count(s);
+  EXPECT_GE(shared, 2);  // r2's row-tray slots 2..3 lie inside r1's 0..5
+}
+
+TEST(Blueprint, ConnectAssignsSequentialPorts) {
+  Blueprint bp{small_layout()};
+  const int a = bp.add_node("a", NodeRole::kTorSwitch, RackLocation{0, 0, 0, 47});
+  const int b = bp.add_node("b", NodeRole::kServer, RackLocation{0, 0, 0, 40});
+  const int c = bp.add_node("c", NodeRole::kServer, RackLocation{0, 0, 0, 41});
+  bp.connect(a, b, 100.0);
+  bp.connect(a, c, 100.0);
+  EXPECT_EQ(bp.node(a).ports_used, 2);
+  EXPECT_EQ(bp.link(0).port_a, 0);
+  EXPECT_EQ(bp.link(1).port_a, 1);
+  bp.validate();
+}
+
+TEST(Blueprint, RejectsInvalidConnects) {
+  Blueprint bp{small_layout()};
+  const int a = bp.add_node("a", NodeRole::kTorSwitch, RackLocation{0, 0, 0, 47});
+  EXPECT_THROW(bp.connect(a, a, 100.0), std::invalid_argument);
+  EXPECT_THROW(bp.connect(a, 99, 100.0), std::out_of_range);
+  const int b = bp.add_node("b", NodeRole::kServer, RackLocation{0, 0, 0, 40});
+  EXPECT_THROW(bp.connect(a, b, 0.0), std::invalid_argument);
+  EXPECT_THROW(bp.add_node("x", NodeRole::kServer, RackLocation{0, 99, 0, 0}),
+               std::out_of_range);
+}
+
+TEST(FatTree, HasCanonicalCounts) {
+  const Blueprint bp = build_fat_tree({.k = 4});
+  EXPECT_EQ(bp.count_nodes(NodeRole::kCoreSwitch), 4u);   // (k/2)^2
+  EXPECT_EQ(bp.count_nodes(NodeRole::kAggSwitch), 8u);    // k * k/2
+  EXPECT_EQ(bp.count_nodes(NodeRole::kTorSwitch), 8u);    // k * k/2
+  EXPECT_EQ(bp.server_count(), 16u);                      // k^3/4
+  // Links: servers 16 + tor-agg k*(k/2)^2=16 + agg-core 16.
+  EXPECT_EQ(bp.links().size(), 48u);
+}
+
+TEST(FatTree, EveryAggConnectsToHalfKCores) {
+  const Blueprint bp = build_fat_tree({.k = 4});
+  const auto adj = bp.adjacency();
+  for (int i = 0; i < static_cast<int>(bp.nodes().size()); ++i) {
+    if (bp.node(i).role != NodeRole::kAggSwitch) continue;
+    int cores = 0;
+    for (const auto& [peer, link] : adj[static_cast<size_t>(i)]) {
+      if (bp.node(peer).role == NodeRole::kCoreSwitch) ++cores;
+    }
+    EXPECT_EQ(cores, 2);
+  }
+}
+
+TEST(FatTree, RejectsOddOrTinyK) {
+  EXPECT_THROW(build_fat_tree({.k = 5}), std::invalid_argument);
+  EXPECT_THROW(build_fat_tree({.k = 2}), std::invalid_argument);
+}
+
+TEST(LeafSpine, CountsAndUplinkMultiplicity) {
+  const Blueprint bp =
+      build_leaf_spine({.leaves = 4, .spines = 2, .servers_per_leaf = 3, .uplinks_per_spine = 2});
+  EXPECT_EQ(bp.count_nodes(NodeRole::kSpineSwitch), 2u);
+  EXPECT_EQ(bp.count_nodes(NodeRole::kTorSwitch), 4u);
+  EXPECT_EQ(bp.server_count(), 12u);
+  // Links: 12 server + 4 leaves * 2 spines * 2 uplinks = 28.
+  EXPECT_EQ(bp.links().size(), 28u);
+}
+
+TEST(Jellyfish, IsRegularAndSimple) {
+  const Blueprint bp = build_jellyfish(
+      {.switches = 20, .network_degree = 4, .servers_per_switch = 2, .seed = 3});
+  EXPECT_EQ(bp.switch_count(), 20u);
+  EXPECT_EQ(bp.server_count(), 40u);
+  const auto adj = bp.adjacency();
+  std::set<std::pair<int, int>> seen;
+  for (int i = 0; i < static_cast<int>(bp.nodes().size()); ++i) {
+    if (!is_switch(bp.node(i).role)) continue;
+    int fabric = 0;
+    for (const auto& [peer, link] : adj[static_cast<size_t>(i)]) {
+      if (is_switch(bp.node(peer).role)) {
+        ++fabric;
+        auto e = std::minmax(i, peer);
+        seen.insert({e.first, e.second});
+      }
+    }
+    EXPECT_EQ(fabric, 4) << "switch " << i;
+  }
+  EXPECT_EQ(seen.size(), 40u);  // 20*4/2 distinct edges, no multi-edges
+}
+
+TEST(Jellyfish, DeterministicForSeed) {
+  const Blueprint a = build_jellyfish({.switches = 16, .network_degree = 4, .seed = 9});
+  const Blueprint b = build_jellyfish({.switches = 16, .network_degree = 4, .seed = 9});
+  ASSERT_EQ(a.links().size(), b.links().size());
+  for (std::size_t i = 0; i < a.links().size(); ++i) {
+    EXPECT_EQ(a.links()[i].node_a, b.links()[i].node_a);
+    EXPECT_EQ(a.links()[i].node_b, b.links()[i].node_b);
+  }
+}
+
+TEST(Xpander, LiftProducesRegularGraph) {
+  const Blueprint bp =
+      build_xpander({.network_degree = 4, .lift = 6, .servers_per_switch = 0, .seed = 5});
+  EXPECT_EQ(bp.switch_count(), 30u);  // (d+1)*L
+  const auto adj = bp.adjacency();
+  for (int i = 0; i < static_cast<int>(bp.nodes().size()); ++i) {
+    EXPECT_EQ(adj[static_cast<size_t>(i)].size(), 4u);
+  }
+}
+
+TEST(Dragonfly, CanonicalStructure) {
+  // a=4, h=2 => g = 9 groups, 36 routers; local mesh 6 links/group,
+  // globals = C(9,2) = 36.
+  const Blueprint bp = build_dragonfly(
+      {.routers_per_group = 4, .servers_per_router = 2, .global_per_router = 2});
+  EXPECT_EQ(bp.switch_count(), 36u);
+  EXPECT_EQ(bp.server_count(), 72u);
+  // Links: 72 server + 9*C(4,2)=54 local + C(9,2)=36 global = 162.
+  EXPECT_EQ(bp.links().size(), 162u);
+  // Every router terminates at most h=2 global (cross-row) links.
+  const auto adj = bp.adjacency();
+  for (int i = 0; i < static_cast<int>(bp.nodes().size()); ++i) {
+    if (!is_switch(bp.node(i).role)) continue;
+    int globals = 0;
+    for (const auto& [peer, link] : adj[static_cast<size_t>(i)]) {
+      if (is_switch(bp.node(peer).role) &&
+          !bp.node(i).location.same_row(bp.node(peer).location)) {
+        ++globals;
+      }
+    }
+    EXPECT_LE(globals, 2);
+  }
+}
+
+TEST(Dragonfly, EveryGroupPairHasAGlobalLink) {
+  const Blueprint bp = build_dragonfly(
+      {.routers_per_group = 3, .servers_per_router = 1, .global_per_router = 1});
+  // g = 4 groups -> 6 global links, each group pair exactly once.
+  std::set<std::pair<int, int>> pairs;
+  for (const LinkSpec& l : bp.links()) {
+    const auto& la = bp.node(l.node_a).location;
+    const auto& lb = bp.node(l.node_b).location;
+    if (is_switch(bp.node(l.node_a).role) && is_switch(bp.node(l.node_b).role) &&
+        !la.same_row(lb)) {
+      pairs.insert({std::min(la.row, lb.row), std::max(la.row, lb.row)});
+    }
+  }
+  EXPECT_EQ(pairs.size(), 6u);
+}
+
+TEST(Torus2d, EveryNodeHasDegreeFourPlusServers) {
+  const Blueprint bp = build_torus2d({.x = 5, .y = 4, .servers_per_node = 2});
+  EXPECT_EQ(bp.switch_count(), 20u);
+  EXPECT_EQ(bp.links().size(), 20u * 2 + 40u);  // 2 fabric links per node + servers
+  const auto adj = bp.adjacency();
+  for (int i = 0; i < static_cast<int>(bp.nodes().size()); ++i) {
+    if (!is_switch(bp.node(i).role)) continue;
+    int fabric = 0;
+    for (const auto& [peer, link] : adj[static_cast<size_t>(i)]) {
+      if (is_switch(bp.node(peer).role)) ++fabric;
+    }
+    EXPECT_EQ(fabric, 4) << "node " << i;
+  }
+}
+
+TEST(Torus2d, WrapLinksAreTheLongRuns) {
+  const Blueprint bp = build_torus2d({.x = 6, .y = 4, .servers_per_node = 0});
+  double longest = 0, shortest = 1e18;
+  for (const LinkSpec& l : bp.links()) {
+    longest = std::max(longest, l.route.length_m);
+    shortest = std::min(shortest, l.route.length_m);
+  }
+  EXPECT_GT(longest, shortest * 3.0);  // wrap spans the grid
+}
+
+TEST(Torus2d, RejectsDegenerateGrids) {
+  EXPECT_THROW(build_torus2d({.x = 2, .y = 5}), std::invalid_argument);
+}
+
+TEST(GpuCluster, RailWiring) {
+  const Blueprint bp = build_gpu_cluster({.gpu_servers = 8, .rails = 4, .spines = 2});
+  EXPECT_EQ(bp.count_nodes(NodeRole::kRailSwitch), 4u);
+  EXPECT_EQ(bp.count_nodes(NodeRole::kGpuServer), 8u);
+  const auto adj = bp.adjacency();
+  for (int i = 0; i < static_cast<int>(bp.nodes().size()); ++i) {
+    if (bp.node(i).role == NodeRole::kGpuServer) {
+      EXPECT_EQ(adj[static_cast<size_t>(i)].size(), 4u);  // one NIC per rail
+    }
+  }
+}
+
+TEST(WiringStats, ClassifiesCableScopes) {
+  const Blueprint bp = build_leaf_spine({.leaves = 4, .spines = 2, .servers_per_leaf = 3});
+  const WiringStats st = compute_wiring_stats(bp);
+  EXPECT_EQ(st.links, bp.links().size());
+  EXPECT_EQ(st.in_rack, 12u);            // server->leaf cables stay in the rack
+  EXPECT_EQ(st.same_row + st.cross_row, 8u);  // uplinks leave the rack
+  EXPECT_GT(st.total_length_m, 0.0);
+  EXPECT_GE(st.max_length_m, st.mean_length_m);
+  EXPECT_GT(st.length_classes, 0u);
+}
+
+TEST(WiringStats, EmptyBlueprintIsZero) {
+  Blueprint bp{small_layout()};
+  const WiringStats st = compute_wiring_stats(bp);
+  EXPECT_EQ(st.links, 0u);
+  EXPECT_DOUBLE_EQ(st.total_length_m, 0.0);
+}
+
+TEST(SelfMaintainability, SubScoresAreInRange) {
+  for (const Blueprint& bp :
+       {build_fat_tree({.k = 4}), build_leaf_spine({.leaves = 8, .spines = 4}),
+        build_jellyfish({.switches = 20, .network_degree = 4, .seed = 2})}) {
+    const SelfMaintainability m = compute_self_maintainability(bp);
+    for (const double v :
+         {m.reachability, m.occlusion, m.uniformity, m.blast_radius, m.port_density}) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0);
+    }
+    EXPECT_GT(m.score, 0.0);
+    EXPECT_LE(m.score, 100.0);
+  }
+}
+
+TEST(SelfMaintainability, RandomGraphScoresBelowLeafSpineAtScale) {
+  // The paper's §4 deployability argument: expander wiring is messier. At
+  // matched server count (256) the random graph should score lower, chiefly
+  // because its cables cannot be bundled into looms.
+  const Blueprint ls = build_leaf_spine({.leaves = 64, .spines = 16, .servers_per_leaf = 4});
+  const Blueprint jf = build_jellyfish(
+      {.switches = 64, .network_degree = 16, .servers_per_switch = 4, .seed = 4});
+  const SelfMaintainability mls = compute_self_maintainability(ls);
+  const SelfMaintainability mjf = compute_self_maintainability(jf);
+  EXPECT_GT(mls.bundling, mjf.bundling);
+  EXPECT_GT(mls.score, mjf.score);
+}
+
+TEST(SelfMaintainability, LeafSpineUplinksBundlePerfectlyPerSpineRack) {
+  // 16 spines live in 4 racks of 4; every leaf sends 16 uplinks to 4 rack
+  // destinations, so 4x-bundling: distinct rack pairs = out_of_rack / 4.
+  const Blueprint ls = build_leaf_spine({.leaves = 64, .spines = 16, .servers_per_leaf = 4});
+  const WiringStats st = compute_wiring_stats(ls);
+  EXPECT_EQ(st.out_of_rack_cables, 1024u);
+  EXPECT_EQ(st.distinct_rack_pairs, 256u);
+}
+
+TEST(SelfMaintainability, AllInRackIsPerfectlyBundled) {
+  Blueprint bp{small_layout()};
+  const int a = bp.add_node("a", NodeRole::kTorSwitch, RackLocation{0, 0, 0, 47});
+  const int b = bp.add_node("b", NodeRole::kServer, RackLocation{0, 0, 0, 40});
+  bp.connect(a, b, 100.0);
+  const SelfMaintainability m = compute_self_maintainability(bp);
+  EXPECT_DOUBLE_EQ(m.bundling, 1.0);
+  EXPECT_DOUBLE_EQ(m.reachability, 1.0);
+}
+
+}  // namespace
+}  // namespace smn::topology

@@ -1,0 +1,149 @@
+// Tests for the flow-level traffic engine: matrix generators, ECMP routing,
+// load accounting, capacity clipping, and tail-latency estimation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/traffic.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::net {
+namespace {
+
+struct TrafficFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 4, .uplinks_per_spine = 1});
+  Network net{bp, testutil::short_aoc(), sim};
+  sim::RngFactory rngs{41};
+  sim::RngStream rng = rngs.stream("traffic");
+};
+
+TEST_F(TrafficFixture, UniformMatrixHasRequestedShape) {
+  const TrafficMatrix tm = TrafficMatrix::uniform(net, 100, 2.5, rng);
+  EXPECT_EQ(tm.flows.size(), 100u);
+  EXPECT_DOUBLE_EQ(tm.total_demand_gbps(), 250.0);
+  for (const Flow& f : tm.flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_FALSE(topology::is_switch(net.device(f.src).role));
+    EXPECT_FALSE(topology::is_switch(net.device(f.dst).role));
+  }
+}
+
+TEST_F(TrafficFixture, SkewedMatrixConcentratesOnHotServers) {
+  const TrafficMatrix tm = TrafficMatrix::skewed(net, 2000, 1.0, 0.1, 0.8, rng);
+  std::unordered_map<std::int32_t, int> dst_count;
+  for (const Flow& f : tm.flows) ++dst_count[f.dst.value()];
+  // Top-10% of servers (1-2 of 16) should receive the large majority.
+  std::vector<int> counts;
+  for (const auto& [dst, n] : dst_count) counts.push_back(n);
+  std::sort(counts.rbegin(), counts.rend());
+  const int top2 = counts[0] + (counts.size() > 1 ? counts[1] : 0);
+  EXPECT_GT(top2, 1000);  // > 50% of flows on the hot pair
+}
+
+TEST_F(TrafficFixture, HealthyFabricDeliversEverythingAtLowLoad) {
+  const TrafficMatrix tm = TrafficMatrix::uniform(net, 50, 0.5, rng);
+  const LoadReport r = route_and_load(net, tm);
+  EXPECT_EQ(r.unroutable_flows, 0u);
+  EXPECT_NEAR(r.delivered_gbps, r.demand_gbps, 1e-9);
+  EXPECT_NEAR(r.p99_tail_factor, 1.0, 0.01);
+  EXPECT_LT(r.max_link_utilization, 1.0);
+}
+
+TEST_F(TrafficFixture, LoadIsConservedOnAccessLinks) {
+  // One flow between two specific servers: its full rate must appear on both
+  // access links.
+  const auto servers = net.servers();
+  TrafficMatrix tm;
+  tm.flows.push_back(Flow{servers[0], servers.back(), 10.0});
+  const LoadReport r = route_and_load(net, tm);
+  const LinkId src_access = net.links_at(servers[0])[0];
+  const LinkId dst_access = net.links_at(servers.back())[0];
+  EXPECT_NEAR(r.link_load_gbps[static_cast<size_t>(src_access.value())], 10.0, 1e-9);
+  EXPECT_NEAR(r.link_load_gbps[static_cast<size_t>(dst_access.value())], 10.0, 1e-9);
+}
+
+TEST_F(TrafficFixture, EcmpSplitsAcrossSpines) {
+  // Cross-leaf flow: with 2 spines the two up-links each carry half.
+  const auto servers = net.servers();
+  const auto leaves = net.devices_with_role(topology::NodeRole::kTorSwitch);
+  TrafficMatrix tm;
+  tm.flows.push_back(Flow{servers[0], servers.back(), 8.0});
+  const LoadReport r = route_and_load(net, tm);
+  double uplink_loads = 0;
+  int loaded_uplinks = 0;
+  for (const Link& l : net.links()) {
+    const bool uplink = topology::is_switch(net.device(l.end_a.device).role) &&
+                        topology::is_switch(net.device(l.end_b.device).role);
+    const double load = r.link_load_gbps[static_cast<size_t>(l.id.value())];
+    if (uplink && load > 0) {
+      ++loaded_uplinks;
+      uplink_loads += load;
+      EXPECT_NEAR(load, 4.0, 1e-9);  // half of 8 per spine
+    }
+  }
+  EXPECT_EQ(loaded_uplinks, 4);  // 2 up + 2 down
+  EXPECT_NEAR(uplink_loads, 16.0, 1e-9);
+}
+
+TEST_F(TrafficFixture, DownLinkMakesFlowsUnroutableOnlyWhenCut) {
+  // Kill one server's access link: flows to/from it become unroutable.
+  const auto servers = net.servers();
+  net.link_mut(net.links_at(servers[0])[0]).cable.intact = false;
+  net.refresh_link(net.links_at(servers[0])[0]);
+  TrafficMatrix tm;
+  tm.flows.push_back(Flow{servers[0], servers.back(), 1.0});
+  tm.flows.push_back(Flow{servers[1], servers.back(), 1.0});
+  const LoadReport r = route_and_load(net, tm);
+  EXPECT_EQ(r.unroutable_flows, 1u);
+  EXPECT_NEAR(r.delivered_gbps, 1.0, 1e-9);
+}
+
+TEST_F(TrafficFixture, OverloadClipsDeliveredGoodput) {
+  // Push far more than an access link's capacity through one server.
+  const auto servers = net.servers();
+  TrafficMatrix tm;
+  for (int i = 1; i <= 4; ++i) {
+    tm.flows.push_back(Flow{servers[0], servers[static_cast<size_t>(i)], 60.0});
+  }
+  const LoadReport r = route_and_load(net, tm);  // 240G into a 100G access link
+  EXPECT_GT(r.max_link_utilization, 1.0);
+  EXPECT_LT(r.delivered_gbps, r.demand_gbps);
+  EXPECT_NEAR(r.delivered_gbps, 100.0, 5.0);  // clipped to the bottleneck
+}
+
+TEST_F(TrafficFixture, FlappingLinkInflatesTailLatency) {
+  const auto servers = net.servers();
+  TrafficMatrix tm;
+  tm.flows.push_back(Flow{servers[0], servers.back(), 1.0});
+  const double before = route_and_load(net, tm).p99_tail_factor;
+
+  // Flap the source's access link (every path must use it).
+  Link& access = net.link_mut(net.links_at(servers[0])[0]);
+  access.gray_until = sim.now() + sim::Duration::hours(1);
+  net.refresh_link(access.id);
+  const double after = route_and_load(net, tm).p99_tail_factor;
+  EXPECT_NEAR(before, 1.0, 0.01);
+  EXPECT_GT(after, 50.0);  // §1's "curse of a flapping link"
+}
+
+TEST_F(TrafficFixture, TailFactorIsDemandWeightedP99) {
+  const auto servers = net.servers();
+  TrafficMatrix tm = TrafficMatrix::uniform(net, 300, 1.0, rng);
+  // One clean run: p99 == 1.
+  EXPECT_NEAR(route_and_load(net, tm).p99_tail_factor, 1.0, 0.01);
+  // Degrade one leaf uplink; some flows cross it, p99 should rise above mean.
+  const auto leaves = net.devices_with_role(topology::NodeRole::kTorSwitch);
+  const LinkId uplink = net.links_between(
+      leaves[0], net.devices_with_role(topology::NodeRole::kSpineSwitch)[0])[0];
+  net.link_mut(uplink).end_a.condition.contamination = 0.7;
+  net.refresh_link(uplink);
+  const LoadReport r = route_and_load(net, tm);
+  EXPECT_GE(r.p99_tail_factor, r.mean_tail_factor);
+  EXPECT_GT(r.mean_tail_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace smn::net

@@ -1,0 +1,179 @@
+// Tests for the application workload layer: gang-scheduled training jobs
+// (checkpoint/restart semantics) and the replicated storage service.
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "topology/builders.h"
+#include "workload/storage_service.h"
+#include "workload/training_job.h"
+
+namespace smn::workload {
+namespace {
+
+using sim::Duration;
+using sim::TimePoint;
+
+struct JobFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp =
+      topology::build_gpu_cluster({.gpu_servers = 8, .rails = 8, .spines = 2});
+  net::Network net{bp, net::Network::Config{}, sim};
+
+  TrainingJob::Config job_config() {
+    TrainingJob::Config cfg;
+    cfg.servers = net.servers();
+    cfg.required_live_links = 8;
+    cfg.checkpoint_interval = Duration::minutes(30);
+    cfg.restart_overhead = Duration::minutes(10);
+    return cfg;
+  }
+
+  net::LinkId rail_of(int server_idx, int rail_idx) {
+    return net.links_at(net.servers()[static_cast<size_t>(server_idx)])
+        [static_cast<size_t>(rail_idx)];
+  }
+};
+
+TEST_F(JobFixture, HealthyFabricGivesFullGoodput) {
+  TrainingJob job{net, job_config()};
+  job.start();
+  sim.run_until(TimePoint::origin() + Duration::hours(10));
+  EXPECT_NEAR(job.goodput(), 1.0, 0.01);
+  EXPECT_EQ(job.interruptions(), 0u);
+  EXPECT_NEAR(job.useful_gpu_hours(), 10.0 * 8 * 8, 8.0);
+}
+
+TEST_F(JobFixture, RailFailureInterruptsAndLosesCheckpointWindow) {
+  TrainingJob job{net, job_config()};
+  job.start();
+  sim.run_until(TimePoint::origin() + Duration::hours(2));
+  // Break one rail; the gang halts.
+  net::Link& l = net.link_mut(rail_of(3, 5));
+  l.cable.intact = false;
+  net.refresh_link(l.id);
+  sim.run_until(TimePoint::origin() + Duration::hours(4));
+  EXPECT_EQ(job.interruptions(), 1u);
+  EXPECT_LT(job.goodput(), 0.8);  // 2h outage in 4h elapsed
+
+  // Repair; job pays the restart overhead and resumes.
+  l.cable.intact = true;
+  net.refresh_link(l.id);
+  sim.run_until(TimePoint::origin() + Duration::hours(8));
+  EXPECT_GT(job.goodput(), 0.6);
+  // Losses include the 2h outage + recompute + restart: more than the raw
+  // outage alone.
+  EXPECT_GT(job.lost_gpu_hours(), 2.0 * 64);
+  EXPECT_GT(job.recomputed_hours(), 0.0);
+}
+
+TEST_F(JobFixture, SpareRailAbsorbsAFailure) {
+  TrainingJob::Config cfg = job_config();
+  cfg.required_live_links = 7;  // job tolerates one dead rail
+  TrainingJob job{net, cfg};
+  job.start();
+  sim.run_until(TimePoint::origin() + Duration::hours(1));
+  net::Link& l = net.link_mut(rail_of(0, 0));
+  l.cable.intact = false;
+  net.refresh_link(l.id);
+  sim.run_until(TimePoint::origin() + Duration::hours(6));
+  EXPECT_EQ(job.interruptions(), 0u);
+  EXPECT_NEAR(job.goodput(), 1.0, 0.01);
+}
+
+TEST_F(JobFixture, RepeatedFlappingAmplifiesLossBeyondOutageTime) {
+  TrainingJob::Config cfg = job_config();
+  cfg.checkpoint_interval = Duration::hours(1);  // long window: big recompute
+  TrainingJob job{net, cfg};
+  job.start();
+  // Three short outages, each just after a checkpoint window fills up.
+  for (int i = 0; i < 3; ++i) {
+    sim.run_until(TimePoint::origin() + Duration::hours(1.0 + 2.0 * i) +
+                  Duration::minutes(50));
+    net::Link& l = net.link_mut(rail_of(1, 2));
+    l.gray_until = sim.now() + Duration::minutes(5);
+    net.refresh_link(l.id);
+    sim.run_until(sim.now() + Duration::minutes(6));
+    net.refresh_link(l.id);
+  }
+  sim.run_until(TimePoint::origin() + Duration::hours(8));
+  EXPECT_EQ(job.interruptions(), 3u);
+  // 15 min of raw outage cost close to 3 x ~50 min of recompute.
+  EXPECT_GT(job.recomputed_hours(), 1.5);
+}
+
+TEST_F(JobFixture, RejectsBadConfig) {
+  TrainingJob::Config cfg;
+  EXPECT_THROW(TrainingJob(net, cfg), std::invalid_argument);
+  cfg.servers = net.servers();
+  cfg.required_live_links = 0;
+  EXPECT_THROW(TrainingJob(net, cfg), std::invalid_argument);
+}
+
+struct StorageFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 4, .uplinks_per_spine = 2});
+  net::Network net{bp, testutil::short_aoc(), sim};
+  sim::RngFactory rngs{101};
+};
+
+TEST_F(StorageFixture, PlacementsAreDistinctReplicaSets) {
+  StorageService svc{net, rngs.stream("st"), {.replication = 3, .shards = 100}};
+  for (const auto& replicas : svc.placements()) {
+    ASSERT_EQ(replicas.size(), 3u);
+    EXPECT_NE(replicas[0], replicas[1]);
+    EXPECT_NE(replicas[1], replicas[2]);
+    EXPECT_NE(replicas[0], replicas[2]);
+  }
+}
+
+TEST_F(StorageFixture, HealthyPlantHasNoUnderReplication) {
+  StorageService svc{net, rngs.stream("st"), {}};
+  svc.start();
+  sim.run_until(TimePoint::origin() + Duration::days(2));
+  EXPECT_DOUBLE_EQ(svc.under_replicated_shard_hours(), 0.0);
+  EXPECT_DOUBLE_EQ(svc.unavailable_shard_hours(), 0.0);
+}
+
+TEST_F(StorageFixture, ServerOutageOpensVulnerabilityWindow) {
+  StorageService svc{net, rngs.stream("st"), {.replication = 3, .shards = 300}};
+  svc.start();
+  sim.run_until(TimePoint::origin() + Duration::hours(1));
+  // Cut one server's access link for 10 hours.
+  const net::DeviceId victim = net.servers()[0];
+  net::Link& access = net.link_mut(net.links_at(victim)[0]);
+  access.cable.intact = false;
+  net.refresh_link(access.id);
+  sim.run_until(TimePoint::origin() + Duration::hours(11));
+  access.cable.intact = true;
+  net.refresh_link(access.id);
+  sim.run_until(TimePoint::origin() + Duration::hours(12));
+
+  // ~300 * 3/16 ≈ 56 shards hold a replica on the victim; each spent ~10 h
+  // under-replicated.
+  EXPECT_GT(svc.under_replicated_shard_hours(), 300.0);
+  EXPECT_GT(svc.worst_under_replicated(), 30u);
+  EXPECT_DOUBLE_EQ(svc.unavailable_shard_hours(), 0.0);  // two replicas remained
+}
+
+TEST_F(StorageFixture, TwoFailuresReachLastReplica) {
+  StorageService svc{net, rngs.stream("st"), {.replication = 3, .shards = 500}};
+  svc.start();
+  for (int i = 0; i < 2; ++i) {
+    net::Link& access = net.link_mut(net.links_at(net.servers()[static_cast<size_t>(i)])[0]);
+    access.cable.intact = false;
+    net.refresh_link(access.id);
+  }
+  sim.run_until(TimePoint::origin() + Duration::hours(6));
+  // With 500 shards over 16 servers, some shard almost surely has replicas on
+  // both dead servers -> down to its last replica.
+  EXPECT_GT(svc.last_replica_episodes(), 0u);
+}
+
+TEST_F(StorageFixture, RejectsImpossibleReplication) {
+  EXPECT_THROW(StorageService(net, rngs.stream("x"), {.replication = 99, .shards = 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smn::workload

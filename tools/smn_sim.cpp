@@ -1,0 +1,232 @@
+// smn_sim — command-line scenario runner.
+//
+// Builds a topology, runs a self-maintaining world at a chosen automation
+// level for N simulated days, prints a summary, and optionally dumps a
+// time-series CSV for plotting.
+//
+//   smn_sim --topology leaf-spine --level L3 --days 60 --seed 7
+//   smn_sim --topology gpu --level L0 --days 30 --csv run.csv
+//   smn_sim --topology fat-tree --k 8 --level L4 --proactive off
+//
+// Flags (defaults in brackets):
+//   --topology leaf-spine|fat-tree|jellyfish|xpander|gpu   [leaf-spine]
+//   --level L0|L1|L2|L3|L4                                 [L3]
+//   --days N                                               [60]
+//   --seed N                                               [1]
+//   --leaves N --spines N --servers N --uplinks N          [12 4 8 1]
+//   --k N                 (fat-tree)                       [8]
+//   --switches N --degree N (jellyfish/xpander)            [32 8]
+//   --gpus N --rails N    (gpu)                            [16 8]
+//   --proactive on|off                                     [per level]
+//   --impact-aware on|off                                  [per level]
+//   --csv FILE            write hourly time series
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/cost.h"
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "analysis/timeseries.h"
+#include "scenario/world.h"
+#include "topology/builders.h"
+
+namespace {
+
+using namespace smn;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  [[nodiscard]] int geti(const std::string& key, int dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] bool onoff(const std::string& key, bool dflt) const {
+    const auto it = kv.find(key);
+    if (it == kv.end()) return dflt;
+    return it->second == "on" || it->second == "true" || it->second == "1";
+  }
+  [[nodiscard]] bool has(const std::string& key) const { return kv.contains(key); }
+};
+
+topology::Blueprint build_topology(const Args& args) {
+  const std::string kind = args.get("topology", "leaf-spine");
+  if (kind == "leaf-spine") {
+    return topology::build_leaf_spine({.leaves = args.geti("leaves", 12),
+                                       .spines = args.geti("spines", 4),
+                                       .servers_per_leaf = args.geti("servers", 8),
+                                       .uplinks_per_spine = args.geti("uplinks", 1)});
+  }
+  if (kind == "fat-tree") {
+    return topology::build_fat_tree({.k = args.geti("k", 8)});
+  }
+  if (kind == "jellyfish") {
+    return topology::build_jellyfish(
+        {.switches = args.geti("switches", 32),
+         .network_degree = args.geti("degree", 8),
+         .servers_per_switch = args.geti("servers", 4),
+         .seed = static_cast<std::uint64_t>(args.geti("seed", 1))});
+  }
+  if (kind == "xpander") {
+    return topology::build_xpander(
+        {.network_degree = args.geti("degree", 7),
+         .lift = args.geti("lift", 4),
+         .servers_per_switch = args.geti("servers", 4),
+         .seed = static_cast<std::uint64_t>(args.geti("seed", 1))});
+  }
+  if (kind == "gpu") {
+    return topology::build_gpu_cluster({.gpu_servers = args.geti("gpus", 16),
+                                        .rails = args.geti("rails", 8),
+                                        .spines = args.geti("spines", 2)});
+  }
+  throw std::invalid_argument{"unknown --topology " + kind};
+}
+
+core::AutomationLevel parse_level(const std::string& s) {
+  if (s == "L0") return core::AutomationLevel::kL0_Manual;
+  if (s == "L1") return core::AutomationLevel::kL1_OperatorAssist;
+  if (s == "L2") return core::AutomationLevel::kL2_PartialAutomation;
+  if (s == "L3") return core::AutomationLevel::kL3_HighAutomation;
+  if (s == "L4") return core::AutomationLevel::kL4_FullAutomation;
+  throw std::invalid_argument{"unknown --level " + s + " (use L0..L4)"};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+    const std::string key = argv[i] + 2;
+    if (key == "help") {
+      std::printf("see the header of tools/smn_sim.cpp for flags\n");
+      return 0;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+      return 2;
+    }
+    args.kv[key] = argv[++i];
+  }
+
+  try {
+    const topology::Blueprint bp = build_topology(args);
+    const core::AutomationLevel level = parse_level(args.get("level", "L3"));
+    const int days = args.geti("days", 60);
+
+    scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
+    cfg.seed = static_cast<std::uint64_t>(args.geti("seed", 1));
+    cfg.network.aoc_max_m = 5.0;
+    if (args.has("proactive")) {
+      cfg.controller.proactive.enabled = args.onoff("proactive", false);
+    }
+    if (args.has("impact-aware")) {
+      cfg.controller.impact_aware = args.onoff("impact-aware", true);
+    }
+    scenario::World world{bp, cfg};
+
+    analysis::TimeSeriesRecorder recorder{world.simulator(), sim::Duration::hours(1)};
+    const bool want_csv = args.has("csv");
+    if (want_csv) {
+      recorder.add_column("availability",
+                          [&] { return world.availability().fleet_availability(); });
+      recorder.add_column("links_down", [&] {
+        return static_cast<double>(world.network().count_links(net::LinkState::kDown));
+      });
+      recorder.add_column("links_flapping", [&] {
+        return static_cast<double>(
+            world.network().count_links(net::LinkState::kFlapping));
+      });
+      recorder.add_column("open_tickets", [&] {
+        return static_cast<double>(
+            world.tickets().count(maintenance::TicketState::kOpen) +
+            world.tickets().count(maintenance::TicketState::kDispatched) +
+            world.tickets().count(maintenance::TicketState::kInProgress));
+      });
+      recorder.add_column("robot_busy_hours", [&] {
+        return world.has_fleet() ? world.fleet().busy_hours() : 0.0;
+      });
+      recorder.add_column("technician_hours",
+                          [&] { return world.technicians().labor_hours(); });
+      recorder.start();
+    }
+
+    std::printf("smn_sim: %s, %zu devices, %zu links, %s, %d days, seed %d\n",
+                bp.name().c_str(), bp.nodes().size(), bp.links().size(),
+                core::to_string(level), days, args.geti("seed", 1));
+    world.run_for(sim::Duration::days(days));
+
+    // Summary.
+    using analysis::Table;
+    std::size_t resolved = 0, cancelled = 0, proactive = 0;
+    analysis::SampleStats resolve_hours;
+    for (const maintenance::Ticket& t : world.tickets().all()) {
+      if (t.proactive) ++proactive;
+      if (t.state == maintenance::TicketState::kResolved) {
+        ++resolved;
+        if (t.genuine && !t.proactive) {
+          resolve_hours.push((t.resolved - t.opened).to_hours());
+        }
+      }
+      if (t.state == maintenance::TicketState::kCancelled) ++cancelled;
+    }
+
+    Table summary{{"metric", "value"}};
+    summary.add_row({"fleet availability",
+                     Table::num(world.availability().fleet_availability(), 6)});
+    summary.add_row(
+        {"downtime link-hours", Table::num(world.availability().downtime_link_hours(), 1)});
+    summary.add_row(
+        {"impaired link-hours", Table::num(world.availability().impaired_link_hours(), 1)});
+    summary.add_row({"faults injected", Table::num(world.injector().log().size())});
+    summary.add_row({"tickets resolved", Table::num(resolved)});
+    summary.add_row({"tickets cancelled (verified transients)", Table::num(cancelled)});
+    summary.add_row({"proactive tickets", Table::num(proactive)});
+    summary.add_row({"median ticket (h)", Table::num(resolve_hours.median())});
+    summary.add_row({"p95 ticket (h)", Table::num(resolve_hours.percentile(95))});
+    summary.add_row({"technician labor (h)", Table::num(world.technicians().labor_hours(), 1)});
+    if (world.has_fleet()) {
+      summary.add_row({"robot jobs", Table::num(world.fleet().completed())});
+      summary.add_row({"robot busy (h)", Table::num(world.fleet().busy_hours(), 1)});
+      summary.add_row({"robot escalations", Table::num(world.fleet().escalations())});
+      summary.add_row({"robot breakdowns", Table::num(world.fleet().breakdowns())});
+    }
+    summary.add_row({"cascade collateral", Table::num(world.cascade().induced_count())});
+    summary.add_row(
+        {"supervision hours", Table::num(world.controller().supervision_hours(), 1)});
+
+    analysis::CostInputs costs;
+    costs.technician_hours = world.technicians().labor_hours();
+    costs.robot_busy_hours = world.has_fleet() ? world.fleet().busy_hours() : 0;
+    costs.robot_units = world.has_fleet() ? world.fleet().units_online() : 0;
+    costs.elapsed_years = days / 365.0;
+    costs.downtime_link_hours = world.availability().downtime_link_hours();
+    costs.impaired_link_hours = world.availability().impaired_link_hours();
+    const analysis::CostBreakdown cost = analysis::compute_cost({}, costs);
+    summary.add_row({"run cost ($)", Table::num(cost.total_usd, 0)});
+    summary.print(std::cout);
+
+    if (want_csv) {
+      recorder.sample_now();
+      std::ofstream csv{args.get("csv", "run.csv")};
+      recorder.write_csv(csv);
+      std::printf("time series written to %s (%zu rows)\n",
+                  args.get("csv", "run.csv").c_str(), recorder.rows());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
