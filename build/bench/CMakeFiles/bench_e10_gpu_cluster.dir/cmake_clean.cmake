@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_gpu_cluster.dir/bench_e10_gpu_cluster.cpp.o"
+  "CMakeFiles/bench_e10_gpu_cluster.dir/bench_e10_gpu_cluster.cpp.o.d"
+  "bench_e10_gpu_cluster"
+  "bench_e10_gpu_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_gpu_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

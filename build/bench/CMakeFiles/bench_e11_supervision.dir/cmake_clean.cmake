@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_supervision.dir/bench_e11_supervision.cpp.o"
+  "CMakeFiles/bench_e11_supervision.dir/bench_e11_supervision.cpp.o.d"
+  "bench_e11_supervision"
+  "bench_e11_supervision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_supervision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e14_reconfiguration.dir/bench_e14_reconfiguration.cpp.o"
+  "CMakeFiles/bench_e14_reconfiguration.dir/bench_e14_reconfiguration.cpp.o.d"
+  "bench_e14_reconfiguration"
+  "bench_e14_reconfiguration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e14_reconfiguration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

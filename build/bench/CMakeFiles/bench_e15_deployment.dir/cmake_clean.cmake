@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_deployment.dir/bench_e15_deployment.cpp.o"
+  "CMakeFiles/bench_e15_deployment.dir/bench_e15_deployment.cpp.o.d"
+  "bench_e15_deployment"
+  "bench_e15_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_localization.dir/bench_e16_localization.cpp.o"
+  "CMakeFiles/bench_e16_localization.dir/bench_e16_localization.cpp.o.d"
+  "bench_e16_localization"
+  "bench_e16_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e17_energy.dir/bench_e17_energy.cpp.o"
+  "CMakeFiles/bench_e17_energy.dir/bench_e17_energy.cpp.o.d"
+  "bench_e17_energy"
+  "bench_e17_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e17_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_standardization.dir/bench_e18_standardization.cpp.o"
+  "CMakeFiles/bench_e18_standardization.dir/bench_e18_standardization.cpp.o.d"
+  "bench_e18_standardization"
+  "bench_e18_standardization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_standardization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_availability.dir/bench_e2_availability.cpp.o"
+  "CMakeFiles/bench_e2_availability.dir/bench_e2_availability.cpp.o.d"
+  "bench_e2_availability"
+  "bench_e2_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_cascades.dir/bench_e3_cascades.cpp.o"
+  "CMakeFiles/bench_e3_cascades.dir/bench_e3_cascades.cpp.o.d"
+  "bench_e3_cascades"
+  "bench_e3_cascades.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_cascades.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_proactive.dir/bench_e4_proactive.cpp.o"
+  "CMakeFiles/bench_e4_proactive.dir/bench_e4_proactive.cpp.o.d"
+  "bench_e4_proactive"
+  "bench_e4_proactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_proactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_provisioning.dir/bench_e5_provisioning.cpp.o"
+  "CMakeFiles/bench_e5_provisioning.dir/bench_e5_provisioning.cpp.o.d"
+  "bench_e5_provisioning"
+  "bench_e5_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_escalation.dir/bench_e6_escalation.cpp.o"
+  "CMakeFiles/bench_e6_escalation.dir/bench_e6_escalation.cpp.o.d"
+  "bench_e6_escalation"
+  "bench_e6_escalation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_escalation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

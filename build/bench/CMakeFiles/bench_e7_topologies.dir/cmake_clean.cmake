@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_topologies.dir/bench_e7_topologies.cpp.o"
+  "CMakeFiles/bench_e7_topologies.dir/bench_e7_topologies.cpp.o.d"
+  "bench_e7_topologies"
+  "bench_e7_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

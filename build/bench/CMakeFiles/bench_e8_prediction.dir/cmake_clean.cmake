@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_prediction.dir/bench_e8_prediction.cpp.o"
+  "CMakeFiles/bench_e8_prediction.dir/bench_e8_prediction.cpp.o.d"
+  "bench_e8_prediction"
+  "bench_e8_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

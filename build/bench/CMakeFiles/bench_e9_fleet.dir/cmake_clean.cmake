@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_fleet.dir/bench_e9_fleet.cpp.o"
+  "CMakeFiles/bench_e9_fleet.dir/bench_e9_fleet.cpp.o.d"
+  "bench_e9_fleet"
+  "bench_e9_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

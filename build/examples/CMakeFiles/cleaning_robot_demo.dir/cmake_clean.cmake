@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cleaning_robot_demo.dir/cleaning_robot_demo.cpp.o"
+  "CMakeFiles/cleaning_robot_demo.dir/cleaning_robot_demo.cpp.o.d"
+  "cleaning_robot_demo"
+  "cleaning_robot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cleaning_robot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

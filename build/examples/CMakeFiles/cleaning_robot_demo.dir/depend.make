@@ -1,0 +1,2 @@
+# Empty dependencies file for cleaning_robot_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proactive_fleet.dir/proactive_fleet.cpp.o"
+  "CMakeFiles/proactive_fleet.dir/proactive_fleet.cpp.o.d"
+  "proactive_fleet"
+  "proactive_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proactive_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/smn_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/smn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/robotics/CMakeFiles/smn_robotics.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/smn_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/smn_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/smn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfigure_demo.dir/reconfigure_demo.cpp.o"
+  "CMakeFiles/reconfigure_demo.dir/reconfigure_demo.cpp.o.d"
+  "reconfigure_demo"
+  "reconfigure_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfigure_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("topology")
+subdirs("net")
+subdirs("fault")
+subdirs("telemetry")
+subdirs("maintenance")
+subdirs("robotics")
+subdirs("core")
+subdirs("analysis")
+subdirs("scenario")
+subdirs("workload")

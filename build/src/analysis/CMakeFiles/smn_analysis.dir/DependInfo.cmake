@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/availability.cpp" "src/analysis/CMakeFiles/smn_analysis.dir/availability.cpp.o" "gcc" "src/analysis/CMakeFiles/smn_analysis.dir/availability.cpp.o.d"
+  "/root/repo/src/analysis/cost.cpp" "src/analysis/CMakeFiles/smn_analysis.dir/cost.cpp.o" "gcc" "src/analysis/CMakeFiles/smn_analysis.dir/cost.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/smn_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/smn_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/spares.cpp" "src/analysis/CMakeFiles/smn_analysis.dir/spares.cpp.o" "gcc" "src/analysis/CMakeFiles/smn_analysis.dir/spares.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/analysis/CMakeFiles/smn_analysis.dir/timeseries.cpp.o" "gcc" "src/analysis/CMakeFiles/smn_analysis.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/smn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

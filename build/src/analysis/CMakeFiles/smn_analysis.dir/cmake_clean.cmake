@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_analysis.dir/availability.cpp.o"
+  "CMakeFiles/smn_analysis.dir/availability.cpp.o.d"
+  "CMakeFiles/smn_analysis.dir/cost.cpp.o"
+  "CMakeFiles/smn_analysis.dir/cost.cpp.o.d"
+  "CMakeFiles/smn_analysis.dir/report.cpp.o"
+  "CMakeFiles/smn_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/smn_analysis.dir/spares.cpp.o"
+  "CMakeFiles/smn_analysis.dir/spares.cpp.o.d"
+  "CMakeFiles/smn_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/smn_analysis.dir/timeseries.cpp.o.d"
+  "libsmn_analysis.a"
+  "libsmn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/automation.cpp" "src/core/CMakeFiles/smn_core.dir/automation.cpp.o" "gcc" "src/core/CMakeFiles/smn_core.dir/automation.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/smn_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/smn_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/energy.cpp" "src/core/CMakeFiles/smn_core.dir/energy.cpp.o" "gcc" "src/core/CMakeFiles/smn_core.dir/energy.cpp.o.d"
+  "/root/repo/src/core/escalation.cpp" "src/core/CMakeFiles/smn_core.dir/escalation.cpp.o" "gcc" "src/core/CMakeFiles/smn_core.dir/escalation.cpp.o.d"
+  "/root/repo/src/core/migration.cpp" "src/core/CMakeFiles/smn_core.dir/migration.cpp.o" "gcc" "src/core/CMakeFiles/smn_core.dir/migration.cpp.o.d"
+  "/root/repo/src/core/reconfigure.cpp" "src/core/CMakeFiles/smn_core.dir/reconfigure.cpp.o" "gcc" "src/core/CMakeFiles/smn_core.dir/reconfigure.cpp.o.d"
+  "/root/repo/src/core/traffic.cpp" "src/core/CMakeFiles/smn_core.dir/traffic.cpp.o" "gcc" "src/core/CMakeFiles/smn_core.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/smn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/smn_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/smn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/smn_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/robotics/CMakeFiles/smn_robotics.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_core.dir/automation.cpp.o"
+  "CMakeFiles/smn_core.dir/automation.cpp.o.d"
+  "CMakeFiles/smn_core.dir/controller.cpp.o"
+  "CMakeFiles/smn_core.dir/controller.cpp.o.d"
+  "CMakeFiles/smn_core.dir/energy.cpp.o"
+  "CMakeFiles/smn_core.dir/energy.cpp.o.d"
+  "CMakeFiles/smn_core.dir/escalation.cpp.o"
+  "CMakeFiles/smn_core.dir/escalation.cpp.o.d"
+  "CMakeFiles/smn_core.dir/migration.cpp.o"
+  "CMakeFiles/smn_core.dir/migration.cpp.o.d"
+  "CMakeFiles/smn_core.dir/reconfigure.cpp.o"
+  "CMakeFiles/smn_core.dir/reconfigure.cpp.o.d"
+  "CMakeFiles/smn_core.dir/traffic.cpp.o"
+  "CMakeFiles/smn_core.dir/traffic.cpp.o.d"
+  "libsmn_core.a"
+  "libsmn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/cascade.cpp" "src/fault/CMakeFiles/smn_fault.dir/cascade.cpp.o" "gcc" "src/fault/CMakeFiles/smn_fault.dir/cascade.cpp.o.d"
+  "/root/repo/src/fault/contamination.cpp" "src/fault/CMakeFiles/smn_fault.dir/contamination.cpp.o" "gcc" "src/fault/CMakeFiles/smn_fault.dir/contamination.cpp.o.d"
+  "/root/repo/src/fault/environment.cpp" "src/fault/CMakeFiles/smn_fault.dir/environment.cpp.o" "gcc" "src/fault/CMakeFiles/smn_fault.dir/environment.cpp.o.d"
+  "/root/repo/src/fault/injector.cpp" "src/fault/CMakeFiles/smn_fault.dir/injector.cpp.o" "gcc" "src/fault/CMakeFiles/smn_fault.dir/injector.cpp.o.d"
+  "/root/repo/src/fault/trace.cpp" "src/fault/CMakeFiles/smn_fault.dir/trace.cpp.o" "gcc" "src/fault/CMakeFiles/smn_fault.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/smn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_fault.dir/cascade.cpp.o"
+  "CMakeFiles/smn_fault.dir/cascade.cpp.o.d"
+  "CMakeFiles/smn_fault.dir/contamination.cpp.o"
+  "CMakeFiles/smn_fault.dir/contamination.cpp.o.d"
+  "CMakeFiles/smn_fault.dir/environment.cpp.o"
+  "CMakeFiles/smn_fault.dir/environment.cpp.o.d"
+  "CMakeFiles/smn_fault.dir/injector.cpp.o"
+  "CMakeFiles/smn_fault.dir/injector.cpp.o.d"
+  "CMakeFiles/smn_fault.dir/trace.cpp.o"
+  "CMakeFiles/smn_fault.dir/trace.cpp.o.d"
+  "libsmn_fault.a"
+  "libsmn_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_maintenance.dir/actions.cpp.o"
+  "CMakeFiles/smn_maintenance.dir/actions.cpp.o.d"
+  "CMakeFiles/smn_maintenance.dir/technician.cpp.o"
+  "CMakeFiles/smn_maintenance.dir/technician.cpp.o.d"
+  "CMakeFiles/smn_maintenance.dir/ticket.cpp.o"
+  "CMakeFiles/smn_maintenance.dir/ticket.cpp.o.d"
+  "libsmn_maintenance.a"
+  "libsmn_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

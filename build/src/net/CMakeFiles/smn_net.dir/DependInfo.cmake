@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/smn_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/smn_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/smn_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/smn_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/routing.cpp" "src/net/CMakeFiles/smn_net.dir/routing.cpp.o" "gcc" "src/net/CMakeFiles/smn_net.dir/routing.cpp.o.d"
+  "/root/repo/src/net/traffic.cpp" "src/net/CMakeFiles/smn_net.dir/traffic.cpp.o" "gcc" "src/net/CMakeFiles/smn_net.dir/traffic.cpp.o.d"
+  "/root/repo/src/net/transceiver.cpp" "src/net/CMakeFiles/smn_net.dir/transceiver.cpp.o" "gcc" "src/net/CMakeFiles/smn_net.dir/transceiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

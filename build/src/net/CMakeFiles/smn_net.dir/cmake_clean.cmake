@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_net.dir/link.cpp.o"
+  "CMakeFiles/smn_net.dir/link.cpp.o.d"
+  "CMakeFiles/smn_net.dir/network.cpp.o"
+  "CMakeFiles/smn_net.dir/network.cpp.o.d"
+  "CMakeFiles/smn_net.dir/routing.cpp.o"
+  "CMakeFiles/smn_net.dir/routing.cpp.o.d"
+  "CMakeFiles/smn_net.dir/traffic.cpp.o"
+  "CMakeFiles/smn_net.dir/traffic.cpp.o.d"
+  "CMakeFiles/smn_net.dir/transceiver.cpp.o"
+  "CMakeFiles/smn_net.dir/transceiver.cpp.o.d"
+  "libsmn_net.a"
+  "libsmn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

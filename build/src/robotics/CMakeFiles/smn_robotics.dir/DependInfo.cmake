@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/robotics/cleaner.cpp" "src/robotics/CMakeFiles/smn_robotics.dir/cleaner.cpp.o" "gcc" "src/robotics/CMakeFiles/smn_robotics.dir/cleaner.cpp.o.d"
+  "/root/repo/src/robotics/fleet.cpp" "src/robotics/CMakeFiles/smn_robotics.dir/fleet.cpp.o" "gcc" "src/robotics/CMakeFiles/smn_robotics.dir/fleet.cpp.o.d"
+  "/root/repo/src/robotics/grading.cpp" "src/robotics/CMakeFiles/smn_robotics.dir/grading.cpp.o" "gcc" "src/robotics/CMakeFiles/smn_robotics.dir/grading.cpp.o.d"
+  "/root/repo/src/robotics/manipulator.cpp" "src/robotics/CMakeFiles/smn_robotics.dir/manipulator.cpp.o" "gcc" "src/robotics/CMakeFiles/smn_robotics.dir/manipulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/smn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/smn_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/smn_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/smn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_robotics.dir/cleaner.cpp.o"
+  "CMakeFiles/smn_robotics.dir/cleaner.cpp.o.d"
+  "CMakeFiles/smn_robotics.dir/fleet.cpp.o"
+  "CMakeFiles/smn_robotics.dir/fleet.cpp.o.d"
+  "CMakeFiles/smn_robotics.dir/grading.cpp.o"
+  "CMakeFiles/smn_robotics.dir/grading.cpp.o.d"
+  "CMakeFiles/smn_robotics.dir/manipulator.cpp.o"
+  "CMakeFiles/smn_robotics.dir/manipulator.cpp.o.d"
+  "libsmn_robotics.a"
+  "libsmn_robotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_robotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

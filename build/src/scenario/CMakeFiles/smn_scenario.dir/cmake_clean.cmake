@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_scenario.dir/world.cpp.o"
+  "CMakeFiles/smn_scenario.dir/world.cpp.o.d"
+  "libsmn_scenario.a"
+  "libsmn_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/smn_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/smn_sim.dir/rng.cpp.o"
+  "CMakeFiles/smn_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/smn_sim.dir/time.cpp.o"
+  "CMakeFiles/smn_sim.dir/time.cpp.o.d"
+  "libsmn_sim.a"
+  "libsmn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/localization.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/localization.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/localization.cpp.o.d"
+  "/root/repo/src/telemetry/monitor.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/monitor.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/monitor.cpp.o.d"
+  "/root/repo/src/telemetry/predictor.cpp" "src/telemetry/CMakeFiles/smn_telemetry.dir/predictor.cpp.o" "gcc" "src/telemetry/CMakeFiles/smn_telemetry.dir/predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/smn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

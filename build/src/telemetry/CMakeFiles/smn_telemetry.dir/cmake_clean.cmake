@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_telemetry.dir/localization.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/localization.cpp.o.d"
+  "CMakeFiles/smn_telemetry.dir/monitor.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/monitor.cpp.o.d"
+  "CMakeFiles/smn_telemetry.dir/predictor.cpp.o"
+  "CMakeFiles/smn_telemetry.dir/predictor.cpp.o.d"
+  "libsmn_telemetry.a"
+  "libsmn_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/blueprint.cpp" "src/topology/CMakeFiles/smn_topology.dir/blueprint.cpp.o" "gcc" "src/topology/CMakeFiles/smn_topology.dir/blueprint.cpp.o.d"
+  "/root/repo/src/topology/builders.cpp" "src/topology/CMakeFiles/smn_topology.dir/builders.cpp.o" "gcc" "src/topology/CMakeFiles/smn_topology.dir/builders.cpp.o.d"
+  "/root/repo/src/topology/deployment.cpp" "src/topology/CMakeFiles/smn_topology.dir/deployment.cpp.o" "gcc" "src/topology/CMakeFiles/smn_topology.dir/deployment.cpp.o.d"
+  "/root/repo/src/topology/metrics.cpp" "src/topology/CMakeFiles/smn_topology.dir/metrics.cpp.o" "gcc" "src/topology/CMakeFiles/smn_topology.dir/metrics.cpp.o.d"
+  "/root/repo/src/topology/physical.cpp" "src/topology/CMakeFiles/smn_topology.dir/physical.cpp.o" "gcc" "src/topology/CMakeFiles/smn_topology.dir/physical.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_topology.dir/blueprint.cpp.o"
+  "CMakeFiles/smn_topology.dir/blueprint.cpp.o.d"
+  "CMakeFiles/smn_topology.dir/builders.cpp.o"
+  "CMakeFiles/smn_topology.dir/builders.cpp.o.d"
+  "CMakeFiles/smn_topology.dir/deployment.cpp.o"
+  "CMakeFiles/smn_topology.dir/deployment.cpp.o.d"
+  "CMakeFiles/smn_topology.dir/metrics.cpp.o"
+  "CMakeFiles/smn_topology.dir/metrics.cpp.o.d"
+  "CMakeFiles/smn_topology.dir/physical.cpp.o"
+  "CMakeFiles/smn_topology.dir/physical.cpp.o.d"
+  "libsmn_topology.a"
+  "libsmn_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smn_workload.dir/storage_service.cpp.o"
+  "CMakeFiles/smn_workload.dir/storage_service.cpp.o.d"
+  "CMakeFiles/smn_workload.dir/training_job.cpp.o"
+  "CMakeFiles/smn_workload.dir/training_job.cpp.o.d"
+  "libsmn_workload.a"
+  "libsmn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

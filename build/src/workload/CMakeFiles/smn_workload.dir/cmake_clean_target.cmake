@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmn_workload.a"
+)

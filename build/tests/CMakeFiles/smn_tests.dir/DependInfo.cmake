@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/smn_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/chaos_test.cpp" "tests/CMakeFiles/smn_tests.dir/chaos_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/chaos_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/smn_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/deployment_test.cpp" "tests/CMakeFiles/smn_tests.dir/deployment_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/deployment_test.cpp.o.d"
+  "/root/repo/tests/energy_test.cpp" "tests/CMakeFiles/smn_tests.dir/energy_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/energy_test.cpp.o.d"
+  "/root/repo/tests/fault_test.cpp" "tests/CMakeFiles/smn_tests.dir/fault_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/fault_test.cpp.o.d"
+  "/root/repo/tests/grading_test.cpp" "tests/CMakeFiles/smn_tests.dir/grading_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/grading_test.cpp.o.d"
+  "/root/repo/tests/linecard_test.cpp" "tests/CMakeFiles/smn_tests.dir/linecard_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/linecard_test.cpp.o.d"
+  "/root/repo/tests/localization_test.cpp" "tests/CMakeFiles/smn_tests.dir/localization_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/localization_test.cpp.o.d"
+  "/root/repo/tests/maintenance_test.cpp" "tests/CMakeFiles/smn_tests.dir/maintenance_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/maintenance_test.cpp.o.d"
+  "/root/repo/tests/net_test.cpp" "tests/CMakeFiles/smn_tests.dir/net_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/net_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/smn_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/reconfigure_test.cpp" "tests/CMakeFiles/smn_tests.dir/reconfigure_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/reconfigure_test.cpp.o.d"
+  "/root/repo/tests/robotics_test.cpp" "tests/CMakeFiles/smn_tests.dir/robotics_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/robotics_test.cpp.o.d"
+  "/root/repo/tests/safety_test.cpp" "tests/CMakeFiles/smn_tests.dir/safety_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/safety_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/smn_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/smn_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/telemetry_test.cpp" "tests/CMakeFiles/smn_tests.dir/telemetry_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/telemetry_test.cpp.o.d"
+  "/root/repo/tests/timeseries_test.cpp" "tests/CMakeFiles/smn_tests.dir/timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/timeseries_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/smn_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/smn_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/traffic_test.cpp" "tests/CMakeFiles/smn_tests.dir/traffic_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/traffic_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/smn_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/smn_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenario/CMakeFiles/smn_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/smn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/robotics/CMakeFiles/smn_robotics.dir/DependInfo.cmake"
+  "/root/repo/build/src/maintenance/CMakeFiles/smn_maintenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/smn_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/smn_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/smn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/smn_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smn_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

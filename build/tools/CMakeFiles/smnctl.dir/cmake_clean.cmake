@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smnctl.dir/smn_sim.cpp.o"
+  "CMakeFiles/smnctl.dir/smn_sim.cpp.o.d"
+  "smnctl"
+  "smnctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smnctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
