@@ -1,0 +1,62 @@
+// Runtime invariant checking.
+//
+// SMN_ASSERT is always on (release included): the simulator's value rests on
+// the determinism claim in DESIGN.md, and a silently-corrupted run is worse
+// than an aborted one. SMN_DCHECK compiles away in optimized builds unless
+// SMN_ENABLE_DCHECKS is defined (the sanitizer presets define it), so hot-path
+// checks cost nothing in the configurations benchmarks run under.
+//
+// Both print the failed expression, the source location, and an optional
+// printf-style context message, then abort() — which sanitizers and death
+// tests both recognize. Header-only on purpose: sim/ and topology/ sit below
+// the smn_core library and must be able to include this without a link edge.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace smn::core::detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* fmt = nullptr, ...) {
+  std::fprintf(stderr, "SMN_CHECK failed: %s\n  at %s:%d\n", expr, file, line);
+  if (fmt != nullptr) {
+    std::fprintf(stderr, "  context: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace smn::core::detail
+
+/// Always-on invariant check. Optional printf-style context:
+///   SMN_ASSERT(idx < size, "idx=%zu size=%zu", idx, size);
+#define SMN_ASSERT(cond, ...)                                                            \
+  do {                                                                                   \
+    if (!(cond)) [[unlikely]] {                                                          \
+      ::smn::core::detail::check_failed(#cond, __FILE__, __LINE__ __VA_OPT__(, ) __VA_ARGS__); \
+    }                                                                                    \
+  } while (0)
+
+/// Debug/sanitizer-build check: active when NDEBUG is unset (Debug builds) or
+/// when SMN_ENABLE_DCHECKS is defined (the asan-ubsan / tsan presets).
+#if defined(SMN_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define SMN_DCHECK_IS_ON 1
+#define SMN_DCHECK(...) SMN_ASSERT(__VA_ARGS__)
+#else
+#define SMN_DCHECK_IS_ON 0
+// Still compiled (so the expression can't rot and its operands stay "used"),
+// but dead-code-eliminated.
+#define SMN_DCHECK(...)          \
+  do {                           \
+    if (false) {                 \
+      SMN_ASSERT(__VA_ARGS__);   \
+    }                            \
+  } while (0)
+#endif

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_set>
+
+#include "core/check.h"
 
 namespace smn::maintenance {
 
@@ -111,6 +114,39 @@ std::size_t TicketSystem::count(TicketState s) const {
   return static_cast<size_t>(
       std::count_if(tickets_.begin(), tickets_.end(),
                     [s](const Ticket& t) { return t.state == s; }));
+}
+
+void TicketSystem::check_invariants() const {
+  std::unordered_set<std::int32_t> links_in_flight;
+  for (std::size_t i = 0; i < tickets_.size(); ++i) {
+    const Ticket& t = tickets_[i];
+    SMN_ASSERT(t.id == static_cast<int>(i), "ticket %zu holds id %d", i, t.id);
+    SMN_ASSERT(t.link.valid(), "ticket %d has no link", t.id);
+    SMN_ASSERT(t.actions_taken >= 0, "ticket %d negative action count %d", t.id,
+               t.actions_taken);
+    switch (t.state) {
+      case TicketState::kOpen:
+        break;
+      case TicketState::kInProgress:
+        SMN_ASSERT(t.started >= t.dispatched, "ticket %d started before dispatch", t.id);
+        [[fallthrough]];
+      case TicketState::kDispatched:
+        SMN_ASSERT(t.dispatched >= t.opened, "ticket %d dispatched before open", t.id);
+        break;
+      case TicketState::kResolved:
+      case TicketState::kCancelled:
+        SMN_ASSERT(t.resolved >= t.opened, "ticket %d closed before open", t.id);
+        if (t.started != sim::TimePoint::origin()) {
+          SMN_ASSERT(t.resolved >= t.started, "ticket %d closed before work started", t.id);
+        }
+        SMN_ASSERT(!t.resolved_by.empty(), "ticket %d closed without a resolver", t.id);
+        break;
+    }
+    if (t.state != TicketState::kResolved && t.state != TicketState::kCancelled) {
+      SMN_ASSERT(links_in_flight.insert(t.link.value()).second,
+                 "two in-flight tickets for link %d (dedup broken)", t.link.value());
+    }
+  }
 }
 
 std::size_t TicketSystem::repeat_ticket_count(sim::Duration window) const {

@@ -86,6 +86,13 @@ class TicketSystem {
   /// link — the repeat-ticket statistic for E6.
   [[nodiscard]] std::size_t repeat_ticket_count(sim::Duration window) const;
 
+  /// Aborts (via SMN_ASSERT) on state-machine violations: ids must equal
+  /// indices, per-state timestamps must be monotone (opened ≤ dispatched ≤
+  /// started ≤ resolved where set), closed tickets must name a resolver, and
+  /// at most one non-closed ticket may exist per link (the dedup invariant
+  /// `open` relies on).
+  void check_invariants() const;
+
  private:
   Ticket& ticket_mut(int id);
 

@@ -3,6 +3,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "core/check.h"
+
 namespace smn::net {
 
 Network::Network(const topology::Blueprint& bp, const Config& cfg, sim::Simulator& sim)
@@ -210,6 +212,61 @@ std::size_t Network::count_links(LinkState s) const {
     if (l.state == s) ++n;
   }
   return n;
+}
+
+void Network::check_invariants() const {
+  SMN_ASSERT(device_links_.size() == devices_.size(), "adjacency rows %zu != devices %zu",
+             device_links_.size(), devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const Device& d = devices_[i];
+    SMN_ASSERT(d.id.value() == static_cast<std::int32_t>(i), "device %zu holds id %d", i,
+               d.id.value());
+  }
+
+  const auto in_range = [&](DeviceId id) {
+    return id.valid() && id.value() < static_cast<std::int32_t>(devices_.size());
+  };
+  const auto unit_interval = [](double v) { return v >= 0.0 && v <= 1.0; };
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    const Link& l = links_[i];
+    SMN_ASSERT(l.id.value() == static_cast<std::int32_t>(i), "link %zu holds id %d", i,
+               l.id.value());
+    SMN_ASSERT(in_range(l.end_a.device) && in_range(l.end_b.device),
+               "link %d endpoints (%d, %d) out of range", l.id.value(), l.end_a.device.value(),
+               l.end_b.device.value());
+    SMN_ASSERT(l.end_a.device != l.end_b.device, "link %d is a self-loop", l.id.value());
+    SMN_ASSERT(l.end_a.port >= 0 && l.end_b.port >= 0, "link %d has unassigned ports",
+               l.id.value());
+    for (const LinkEnd* end : {&l.end_a, &l.end_b}) {
+      SMN_ASSERT(unit_interval(end->condition.contamination) &&
+                     unit_interval(end->condition.oxidation),
+                 "link %d end-face condition out of [0,1]: contamination=%f oxidation=%f",
+                 l.id.value(), end->condition.contamination, end->condition.oxidation);
+    }
+    SMN_ASSERT(l.cable.wear >= 0.0, "link %d negative cable wear %f", l.id.value(),
+               l.cable.wear);
+    SMN_ASSERT(l.length_m > 0.0 && l.capacity_gbps > 0.0,
+               "link %d non-physical length %f / capacity %f", l.id.value(), l.length_m,
+               l.capacity_gbps);
+  }
+
+  // The adjacency index must mirror link endpoints exactly: each link appears
+  // once in each endpoint's row and nowhere else.
+  std::vector<int> seen(links_.size(), 0);
+  for (std::size_t dev = 0; dev < device_links_.size(); ++dev) {
+    for (const LinkId lid : device_links_[dev]) {
+      SMN_ASSERT(lid.valid() && lid.value() < static_cast<std::int32_t>(links_.size()),
+                 "device %zu lists unknown link %d", dev, lid.value());
+      const Link& l = links_[static_cast<std::size_t>(lid.value())];
+      const auto did = static_cast<std::int32_t>(dev);
+      SMN_ASSERT(l.end_a.device.value() == did || l.end_b.device.value() == did,
+                 "device %zu lists link %d it does not terminate", dev, lid.value());
+      ++seen[static_cast<std::size_t>(lid.value())];
+    }
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    SMN_ASSERT(seen[i] == 2, "link %zu appears %d times in the adjacency (want 2)", i, seen[i]);
+  }
 }
 
 std::size_t Network::transceiver_sku_count() const {

@@ -125,6 +125,12 @@ class Network {
   /// robot vision/grasp models consume.
   [[nodiscard]] std::size_t transceiver_sku_count() const;
 
+  /// Aborts (via SMN_ASSERT) on referential-integrity violations: id/index
+  /// agreement, endpoint device ids in range, the device→links adjacency
+  /// mirroring link endpoints exactly, and physical conditions within their
+  /// documented ranges (contamination/oxidation/wear ∈ [0, 1]).
+  void check_invariants() const;
+
  private:
   void assign_hardware(sim::RngStream& rng, Link& link);
 

@@ -5,6 +5,8 @@
 #include <memory>
 #include <set>
 
+#include "core/check.h"
+
 namespace smn::robotics {
 
 using maintenance::Job;
@@ -359,6 +361,35 @@ void RobotFleet::restock() {
   for (auto& [ff, count] : spares_) {
     count = std::max(count, cfg_.spares_per_form_factor);
   }
+}
+
+void RobotFleet::check_invariants() const {
+  for (std::size_t i = 0; i < units_.size(); ++i) {
+    const Unit& u = units_[i];
+    // Dispatch only picks operational units and breakdowns are decided after
+    // the job releases the unit, so a busy broken unit means lost bookkeeping.
+    SMN_ASSERT(!u.busy || u.operational, "unit %zu (%s) busy while broken", i,
+               u.spec.name.c_str());
+    SMN_ASSERT(u.spec.travel_speed_mps > 0.0, "unit %zu (%s) cannot move", i,
+               u.spec.name.c_str());
+  }
+  for (const auto& [ff, count] : spares_) {
+    SMN_ASSERT(count >= 0, "negative spares (%d) for form factor %d", count,
+               static_cast<int>(ff));
+  }
+  const sim::TimePoint now = net_.now();
+  for (const Pending& p : queue_) {
+    SMN_ASSERT(static_cast<bool>(p.cb), "queued job for ticket %d has no callback",
+               p.job.ticket_id);
+    SMN_ASSERT(p.job.link.valid(), "queued job for ticket %d has no link", p.job.ticket_id);
+    SMN_ASSERT(p.enqueued <= now, "job for ticket %d enqueued in the future", p.job.ticket_id);
+  }
+  std::size_t by_kind_total = 0;
+  for (const std::size_t n : by_kind_) by_kind_total += n;
+  SMN_ASSERT(by_kind_total <= completed_, "per-kind tally %zu exceeds completions %zu",
+             by_kind_total, completed_);
+  SMN_ASSERT(busy_hours_ >= 0.0 && std::isfinite(busy_hours_), "busy hours corrupt: %f",
+             busy_hours_);
 }
 
 RobotFleet::Config RobotFleet::row_coverage(const topology::Blueprint& bp, int hall_rovers) {

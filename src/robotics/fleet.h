@@ -105,6 +105,12 @@ class RobotFleet {
   /// plus `hall_rovers` hall-scope rovers — the deployment §3.4 sketches.
   [[nodiscard]] static Config row_coverage(const topology::Blueprint& bp, int hall_rovers = 1);
 
+  /// Aborts (via SMN_ASSERT) on dispatcher-state violations: busy units must
+  /// be operational, spares counts non-negative, queued jobs well-formed and
+  /// not enqueued in the future, and per-kind completion tallies must not
+  /// exceed the overall completion count.
+  void check_invariants() const;
+
  private:
   struct Unit {
     RobotUnitSpec spec;

@@ -85,6 +85,16 @@ void World::start() {
   controller_->start();
   // Keep the vibration-event list bounded on long runs.
   sim_.schedule_every(sim::Duration::days(1), [this] { environment_.prune(sim_.now()); });
+  if (cfg_.invariant_interval > sim::Duration::zero()) {
+    sim_.schedule_every(cfg_.invariant_interval, [this] { check_invariants(); });
+  }
+}
+
+void World::check_invariants() const {
+  sim_.check_invariants();
+  network_->check_invariants();
+  tickets_.check_invariants();
+  if (fleet_ != nullptr) fleet_->check_invariants();
 }
 
 void World::run_for(sim::Duration d) {

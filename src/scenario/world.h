@@ -40,6 +40,10 @@ struct WorldConfig {
   robotics::RobotFleet::Config fleet;  // units empty => row_coverage roster
   core::MaintenanceController::Config controller;
   bool use_robots = true;
+  /// Cadence of the runtime invariant sweep (`World::check_invariants`,
+  /// which aborts on corruption). Duration::zero() disables it; the default
+  /// is cheap enough to leave on in every experiment.
+  sim::Duration invariant_interval = sim::Duration::hours(6);
 
   /// Preset for an automation level (§2.1). Adjust fields afterwards freely.
   [[nodiscard]] static WorldConfig for_level(core::AutomationLevel level);
@@ -58,6 +62,12 @@ class World {
 
   /// Runs the simulation for `d` from the current simulated time.
   void run_for(sim::Duration d);
+
+  /// Cross-component invariant sweep: simulator bookkeeping, network
+  /// referential integrity, ticket state machine, fleet dispatcher state.
+  /// Aborts (via SMN_ASSERT) on the first violation. Runs automatically
+  /// every `WorldConfig::invariant_interval` of simulated time.
+  void check_invariants() const;
 
   [[nodiscard]] sim::TimePoint now() const { return sim_.now(); }
 

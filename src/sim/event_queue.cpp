@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "core/check.h"
+
 namespace smn::sim {
 
 EventId Simulator::schedule_at(TimePoint t, Callback fn) {
@@ -10,6 +12,7 @@ EventId Simulator::schedule_at(TimePoint t, Callback fn) {
   if (!fn) throw std::invalid_argument{"schedule_at: empty callback"};
   const EventId id = ++next_id_;
   queue_.push(Event{t, next_seq_++, id, std::move(fn)});
+  queued_ids_.insert(id);
   return id;
 }
 
@@ -19,23 +22,30 @@ EventId Simulator::schedule_every(Duration period, Callback fn) {
   }
   if (!fn) throw std::invalid_argument{"schedule_every: empty callback"};
   const EventId handle = ++next_id_;
-  // The periodic task reschedules itself until its handle is cancelled. The
-  // recursion is through the queue, not the stack.
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [this, handle, period, fn = std::move(fn), tick]() {
-    if (periodic_cancelled_.contains(handle)) {
-      periodic_cancelled_.erase(handle);
-      return;
-    }
-    fn();
-    if (periodic_cancelled_.contains(handle)) {
-      periodic_cancelled_.erase(handle);
-      return;
-    }
-    schedule_after(period, *tick);
-  };
-  schedule_after(period, *tick);
+  schedule_periodic_tick(handle, period, std::make_shared<Callback>(std::move(fn)));
   return handle;
+}
+
+void Simulator::schedule_periodic_tick(EventId handle, Duration period,
+                                       std::shared_ptr<Callback> task) {
+  // The periodic task reschedules itself until its handle is cancelled. The
+  // recursion is through the queue, not the stack — and deliberately through
+  // this member function rather than a self-capturing std::function: a
+  // function that owns a shared_ptr to itself is a reference cycle, and every
+  // periodic task pending at Simulator destruction would leak (found by the
+  // asan-ubsan preset).
+  schedule_after(period, [this, handle, period, task = std::move(task)]() mutable {
+    if (periodic_cancelled_.contains(handle)) {
+      periodic_cancelled_.erase(handle);
+      return;
+    }
+    (*task)();
+    if (periodic_cancelled_.contains(handle)) {
+      periodic_cancelled_.erase(handle);
+      return;
+    }
+    schedule_periodic_tick(handle, period, std::move(task));
+  });
 }
 
 void Simulator::cancel_periodic(EventId handle) {
@@ -47,6 +57,7 @@ bool Simulator::pop_next(Event& out) {
     // priority_queue::top is const; the callback is moved out via const_cast,
     // which is safe because the element is popped immediately after.
     Event& top = const_cast<Event&>(queue_.top());
+    queued_ids_.erase(top.id);
     if (cancelled_.erase(top.id) > 0) {
       queue_.pop();
       continue;
@@ -58,11 +69,25 @@ bool Simulator::pop_next(Event& out) {
   return false;
 }
 
+void Simulator::fold_trace(const Event& ev) {
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+  const std::uint64_t words[3] = {static_cast<std::uint64_t>(ev.time.count_us()), ev.seq, ev.id};
+  for (const std::uint64_t w : words) {
+    for (int byte = 0; byte < 8; ++byte) {
+      trace_hash_ ^= (w >> (8 * byte)) & 0xffu;
+      trace_hash_ *= kFnvPrime;
+    }
+  }
+}
+
 bool Simulator::step() {
   Event ev;
   if (!pop_next(ev)) return false;
+  SMN_DCHECK(ev.time >= now_, "clock would move backwards: %lld < %lld",
+             static_cast<long long>(ev.time.count_us()), static_cast<long long>(now_.count_us()));
   now_ = ev.time;
   ++processed_;
+  fold_trace(ev);
   ev.fn();
   return true;
 }
@@ -75,11 +100,16 @@ void Simulator::run_until(TimePoint deadline) {
     if (ev.time > deadline) {
       // pop_next skipped cancelled entries and surfaced one past the deadline;
       // push it back untouched.
+      queued_ids_.insert(ev.id);
       queue_.push(std::move(ev));
       break;
     }
+    SMN_DCHECK(ev.time >= now_, "clock would move backwards: %lld < %lld",
+               static_cast<long long>(ev.time.count_us()),
+               static_cast<long long>(now_.count_us()));
     now_ = ev.time;
     ++processed_;
+    fold_trace(ev);
     ev.fn();
   }
   if (deadline > now_) now_ = deadline;
@@ -87,6 +117,23 @@ void Simulator::run_until(TimePoint deadline) {
 
 void Simulator::run() {
   while (step()) {
+  }
+}
+
+void Simulator::check_invariants() const {
+  SMN_ASSERT(queued_ids_.size() == queue_.size(), "id index %zu out of sync with heap %zu",
+             queued_ids_.size(), queue_.size());
+  SMN_ASSERT(cancelled_.size() <= queued_ids_.size(),
+             "cancelled set (%zu) larger than queue (%zu)", cancelled_.size(),
+             queued_ids_.size());
+  for (const EventId id : cancelled_) {
+    SMN_ASSERT(queued_ids_.contains(id), "cancelled id %llu not in queue",
+               static_cast<unsigned long long>(id));
+  }
+  if (!queue_.empty()) {
+    SMN_ASSERT(queue_.top().time >= now_, "head event at %lld is before now %lld",
+               static_cast<long long>(queue_.top().time.count_us()),
+               static_cast<long long>(now_.count_us()));
   }
 }
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <stdexcept>
 #include <unordered_set>
@@ -30,8 +31,12 @@ class Simulator {
   /// Schedules `fn` after a non-negative delay from now.
   EventId schedule_after(Duration d, Callback fn) { return schedule_at(now_ + d, std::move(fn)); }
 
-  /// Cancels a pending event. Cancelling an already-run or unknown id is a no-op.
-  void cancel(EventId id) { if (id != kInvalidEvent) cancelled_.insert(id); }
+  /// Cancels a pending event. Cancelling an already-run or unknown id is a
+  /// true no-op: only ids still in the queue are recorded, so `pending()`
+  /// converges instead of drifting when stale ids are cancelled.
+  void cancel(EventId id) {
+    if (id != kInvalidEvent && queued_ids_.contains(id)) cancelled_.insert(id);
+  }
 
   /// Schedules `fn` to run every `period`, starting one period from now.
   /// Returns a handle cancellable with `cancel_periodic`.
@@ -50,12 +55,24 @@ class Simulator {
   /// Runs until the queue drains.
   void run();
 
-  /// Approximate count of live pending events (cancelled entries are removed
-  /// lazily, so this can over-count until they are popped).
-  [[nodiscard]] std::size_t pending() const {
-    return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
-  }
+  /// Exact count of live pending events. `cancelled_` only ever holds ids
+  /// still present in the queue (see `cancel`), so the subtraction cannot
+  /// drift. Remaining transient slack: a cancelled event's queue slot (and
+  /// its captured callback state) is reclaimed lazily when popped, so
+  /// *memory*, unlike the count, can lag until the event's time arrives.
+  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// FNV-1a hash over (time, seq, id) of every event executed so far — the
+  /// determinism audit signal. Two runs with identical seeds and configs must
+  /// produce identical hashes; divergence means a nondeterminism bug
+  /// (hash-order iteration, uninitialized read, wall-clock leak).
+  [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
+
+  /// Aborts (via SMN_ASSERT) if internal bookkeeping is inconsistent:
+  /// cancelled ids must be a subset of queued ids, the queued-id index must
+  /// mirror the heap, and the clock must not have moved backwards.
+  void check_invariants() const;
 
  private:
   struct Event {
@@ -74,13 +91,24 @@ class Simulator {
   // Pops the next live event into `out`; false when drained.
   bool pop_next(Event& out);
 
+  // Schedules the next tick of a periodic task. The scheduled lambda shares
+  // the callback via shared_ptr but never owns a reference to itself (a
+  // self-capturing std::function is a shared_ptr cycle and leaks every
+  // periodic task still pending at destruction).
+  void schedule_periodic_tick(EventId handle, Duration period, std::shared_ptr<Callback> task);
+
+  // Folds one executed event into the running trace hash.
+  void fold_trace(const Event& ev);
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> queued_ids_;  // ids currently in queue_ (incl. cancelled)
+  std::unordered_set<EventId> cancelled_;   // always a subset of queued_ids_
   std::unordered_set<EventId> periodic_cancelled_;
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
+  std::uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
 };
 
 }  // namespace smn::sim

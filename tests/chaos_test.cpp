@@ -96,9 +96,9 @@ std::vector<ChaosCase> chaos_cases() {
 }
 
 INSTANTIATE_TEST_SUITE_P(Storms, ChaosStorm, ::testing::ValuesIn(chaos_cases()),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param.seed) + "_L" +
-                                  std::to_string(static_cast<int>(info.param.level));
+                         [](const auto& pi) {
+                           return "seed" + std::to_string(pi.param.seed) + "_L" +
+                                  std::to_string(static_cast<int>(pi.param.level));
                          });
 
 }  // namespace

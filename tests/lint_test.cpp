@@ -1,0 +1,159 @@
+// Negative-fixture tests for the smn-lint engine: violating source is fed in
+// as strings and detection (and suppression) is asserted per rule. The
+// positive check — the real tree is clean — runs as the `smn_lint` ctest test.
+#include "lint_core.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace smn::lint {
+namespace {
+
+[[nodiscard]] bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+[[nodiscard]] int line_of_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule) return f.line;
+  }
+  return -1;
+}
+
+TEST(LintTest, DetectsBannedRandomInSrc) {
+  const std::string source =
+      "#include <cstdlib>\n"
+      "int draw() {\n"
+      "  return std::rand();\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, /*in_src=*/true);
+  ASSERT_TRUE(has_rule(fs, "banned-random"));
+  EXPECT_EQ(line_of_rule(fs, "banned-random"), 3);
+}
+
+TEST(LintTest, DetectsRandomDeviceAndSrand) {
+  const std::string source =
+      "#include <random>\n"
+      "void seed_me() {\n"
+      "  std::random_device rd;\n"
+      "  srand(rd());\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_GE(fs.size(), 2u);
+  EXPECT_TRUE(has_rule(fs, "banned-random"));
+}
+
+TEST(LintTest, DetectsWallClock) {
+  const std::string source =
+      "#include <chrono>\n"
+      "long stamp() { return std::chrono::system_clock::now().time_since_epoch().count(); }\n"
+      "long stamp2() { return time(nullptr); }\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_TRUE(has_rule(fs, "wall-clock"));
+  EXPECT_GE(fs.size(), 2u);
+}
+
+TEST(LintTest, SrcOnlyRulesIgnoredOutsideSrc) {
+  const std::string source = "int draw() { return std::rand(); }\n";
+  const std::vector<Finding> fs = lint_source("tests/foo.cpp", source, /*in_src=*/false);
+  EXPECT_FALSE(has_rule(fs, "banned-random"));
+}
+
+TEST(LintTest, IgnoresBannedTokensInCommentsAndStrings) {
+  const std::string source =
+      "// std::rand() is banned, this comment is fine\n"
+      "/* so is srand in a block comment */\n"
+      "const char* doc = \"std::random_device\";\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintTest, DetectsUnorderedIterationWithRngDraw) {
+  const std::string source =
+      "#include <unordered_map>\n"
+      "void jitter(smn::sim::RngStream& rng) {\n"
+      "  std::unordered_map<int, double> weights;\n"
+      "  for (auto& [id, w] : weights) {\n"
+      "    w += rng.uniform();\n"
+      "  }\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  ASSERT_TRUE(has_rule(fs, "unordered-iteration"));
+  EXPECT_EQ(line_of_rule(fs, "unordered-iteration"), 4);
+}
+
+TEST(LintTest, DetectsUnorderedIterationThatSchedulesEvents) {
+  const std::string source =
+      "void kick(smn::sim::Simulator& sim) {\n"
+      "  std::unordered_set<int> pending;\n"
+      "  for (int id : pending) {\n"
+      "    sim.schedule_after(delay(id), [] {});\n"
+      "  }\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_TRUE(has_rule(fs, "unordered-iteration"));
+}
+
+TEST(LintTest, AllowsBenignUnorderedIteration) {
+  const std::string source =
+      "void restock(std::unordered_map<int, int>& spares) {\n"
+      "  for (auto& [ff, count] : spares) {\n"
+      "    count = std::max(count, 8);\n"
+      "  }\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_FALSE(has_rule(fs, "unordered-iteration"));
+}
+
+TEST(LintTest, AllowsRngDrawOverOrderedContainer) {
+  const std::string source =
+      "void jitter(std::vector<double>& v, smn::sim::RngStream& rng) {\n"
+      "  for (double& x : v) x += rng.uniform();\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_FALSE(has_rule(fs, "unordered-iteration"));
+}
+
+TEST(LintTest, RequiresPragmaOnceInHeaders) {
+  const std::vector<Finding> fs =
+      lint_source("src/foo.h", "namespace smn { int x(); }\n", true);
+  EXPECT_TRUE(has_rule(fs, "pragma-once"));
+  const std::vector<Finding> ok =
+      lint_source("src/foo.h", "#pragma once\nnamespace smn { int x(); }\n", true);
+  EXPECT_FALSE(has_rule(ok, "pragma-once"));
+}
+
+TEST(LintTest, RequiresSmnNamespaceInSrcHeaders) {
+  const std::vector<Finding> fs =
+      lint_source("src/foo.h", "#pragma once\nint loose();\n", true);
+  EXPECT_TRUE(has_rule(fs, "namespace"));
+  // Non-src headers (tests/bench helpers) are exempt.
+  const std::vector<Finding> bench =
+      lint_source("bench/common.h", "#pragma once\nint loose();\n", false);
+  EXPECT_FALSE(has_rule(bench, "namespace"));
+}
+
+TEST(LintTest, SuppressionCommentDisablesRuleFileWide) {
+  const std::string source =
+      "// smn-lint: allow(banned-random)\n"
+      "int draw() { return std::rand(); }\n"
+      "long stamp() { return time(nullptr); }\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_FALSE(has_rule(fs, "banned-random"));
+  // Only the named rule is suppressed.
+  EXPECT_TRUE(has_rule(fs, "wall-clock"));
+}
+
+TEST(LintTest, FormatIsMachineReadable) {
+  const Finding f{"src/foo.cpp", 12, "banned-random", "no"};
+  EXPECT_EQ(format(f), "src/foo.cpp:12: banned-random: no");
+  const Finding whole{"src/foo.h", 0, "pragma-once", "missing"};
+  EXPECT_EQ(format(whole), "src/foo.h: pragma-once: missing");
+}
+
+}  // namespace
+}  // namespace smn::lint

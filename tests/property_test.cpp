@@ -131,7 +131,7 @@ INSTANTIATE_TEST_SUITE_P(
                       BlueprintCase{"jelly", bp_jelly},
                       BlueprintCase{"jelly_dense", bp_jelly_dense},
                       BlueprintCase{"xpander", bp_xpander}, BlueprintCase{"gpu", bp_gpu}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& pi) { return pi.param.name; });
 
 // ---------- Link state machine properties over the condition space ----------
 

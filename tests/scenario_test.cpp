@@ -90,7 +90,7 @@ INSTANTIATE_TEST_SUITE_P(
                       AutomationLevel::kL2_PartialAutomation,
                       AutomationLevel::kL3_HighAutomation,
                       AutomationLevel::kL4_FullAutomation),
-    [](const auto& info) { return std::string{core::to_string(info.param)}.substr(0, 2); });
+    [](const auto& pi) { return std::string{core::to_string(pi.param)}.substr(0, 2); });
 
 TEST(ScenarioPresets, LevelPresetsMatchTraits) {
   EXPECT_FALSE(WorldConfig::for_level(AutomationLevel::kL0_Manual).use_robots);

@@ -1,0 +1,341 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace smn::lint {
+namespace {
+
+[[nodiscard]] bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// Blanks comments and string/char literal contents (newlines preserved), so
+// token scans never fire on documentation or test fixtures embedded in
+// strings. Handles //, /* */, "..." with escapes, '...', and R"delim(...)delim".
+std::string strip_comments_and_strings(const std::string& in) {
+  std::string out = in;
+  enum class Mode { kCode, kLine, kBlock, kString, kChar, kRaw };
+  Mode mode = Mode::kCode;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' && (i == 0 || !is_ident(in[i - 1]))) {
+          raw_delim = ")";
+          for (std::size_t j = i + 2; j < in.size() && in[j] != '('; ++j) raw_delim += in[j];
+          raw_delim += '"';
+          mode = Mode::kRaw;
+        } else if (c == '"') {
+          mode = Mode::kString;
+        } else if (c == '\'' && (i == 0 || !is_ident(in[i - 1]))) {
+          // Ident check keeps digit separators (1'000'000) out of char mode.
+          mode = Mode::kChar;
+        }
+        break;
+      case Mode::kLine:
+        if (c == '\n') mode = Mode::kCode;
+        else out[i] = ' ';
+        break;
+      case Mode::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          mode = Mode::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          mode = Mode::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kRaw:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          mode = Mode::kCode;
+          i += raw_delim.size() - 1;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] int line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+// Finds `token` at identifier boundaries, starting at `from`; npos if absent.
+std::size_t find_token(const std::string& code, const std::string& token, std::size_t from) {
+  for (std::size_t pos = code.find(token, from); pos != std::string::npos;
+       pos = code.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const char last = token.back();
+    const bool right_ok = !is_ident(last) || end >= code.size() || !is_ident(code[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+// Suppressions: `// smn-lint: allow(rule)` anywhere in the raw file.
+std::set<std::string> suppressed_rules(const std::string& raw) {
+  std::set<std::string> out;
+  const std::string marker = "smn-lint: allow(";
+  for (std::size_t pos = raw.find(marker); pos != std::string::npos;
+       pos = raw.find(marker, pos + 1)) {
+    const std::size_t start = pos + marker.size();
+    const std::size_t close = raw.find(')', start);
+    if (close != std::string::npos) out.insert(raw.substr(start, close - start));
+  }
+  return out;
+}
+
+// Names of variables declared as unordered_{map,set} in this file. A token
+// heuristic: after the balanced template argument list, the next identifier
+// (past &, *, whitespace) is taken as the variable name. Misses aliases on
+// purpose — an alias is already a deliberate act the reviewer sees.
+std::set<std::string> unordered_names(const std::string& code) {
+  std::set<std::string> names;
+  for (const std::string& kind : {std::string{"unordered_map"}, std::string{"unordered_set"}}) {
+    for (std::size_t pos = find_token(code, kind, 0); pos != std::string::npos;
+         pos = find_token(code, kind, pos + 1)) {
+      std::size_t i = pos + kind.size();
+      while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
+      if (i >= code.size() || code[i] != '<') continue;
+      int depth = 0;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+      while (i < code.size() && (std::isspace(static_cast<unsigned char>(code[i])) != 0 ||
+                                 code[i] == '&' || code[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < code.size() && is_ident(code[i])) name += code[i++];
+      if (!name.empty()) names.insert(name);
+    }
+  }
+  return names;
+}
+
+// Hazards inside an unordered-container loop body: anything that draws from
+// an RngStream or schedules simulator events makes hash order observable.
+[[nodiscard]] bool body_has_ordering_hazard(const std::string& body) {
+  static const char* const kHazards[] = {
+      "rng",          "Rng",          ".uniform",  ".bernoulli", ".exponential",
+      ".normal",      ".lognormal",   ".weibull",  ".poisson",   ".weighted_index",
+      ".shuffle",     "schedule_at",  "schedule_after", "schedule_every",
+  };
+  for (const char* h : kHazards) {
+    if (body.find(h) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void check_unordered_iteration(const std::string& path, const std::string& code,
+                               std::vector<Finding>& out) {
+  const std::set<std::string> names = unordered_names(code);
+  for (std::size_t pos = find_token(code, "for", 0); pos != std::string::npos;
+       pos = find_token(code, "for", pos + 1)) {
+    std::size_t i = pos + 3;
+    while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
+    if (i >= code.size() || code[i] != '(') continue;
+    // Find the matching ')' and a range-for ':' at paren depth 1.
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    std::size_t close = std::string::npos;
+    for (std::size_t j = i; j < code.size(); ++j) {
+      const char c = code[j];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == ']' || c == '}') {
+        --depth;
+        if (depth == 0 && c == ')') {
+          close = j;
+          break;
+        }
+      }
+      if (c == ':' && depth == 1 && colon == std::string::npos) {
+        if (j > 0 && (code[j - 1] == ':' || (j + 1 < code.size() && code[j + 1] == ':'))) {
+          continue;  // `::` qualifier, not the range-for separator
+        }
+        colon = j;
+      }
+    }
+    if (close == std::string::npos || colon == std::string::npos || colon > close) continue;
+    const std::string range = code.substr(colon + 1, close - colon - 1);
+
+    bool over_unordered = range.find("unordered") != std::string::npos;
+    for (const std::string& name : names) {
+      if (over_unordered) break;
+      if (find_token(range, name, 0) != std::string::npos) over_unordered = true;
+    }
+    if (!over_unordered) continue;
+
+    // Body: balanced braces, or a single statement up to ';'.
+    std::size_t b = close + 1;
+    while (b < code.size() && std::isspace(static_cast<unsigned char>(code[b])) != 0) ++b;
+    std::string body;
+    if (b < code.size() && code[b] == '{') {
+      int bd = 0;
+      std::size_t j = b;
+      for (; j < code.size(); ++j) {
+        if (code[j] == '{') ++bd;
+        if (code[j] == '}') {
+          --bd;
+          if (bd == 0) break;
+        }
+      }
+      body = code.substr(b, j - b + 1);
+    } else {
+      const std::size_t semi = code.find(';', b);
+      body = code.substr(b, semi == std::string::npos ? std::string::npos : semi - b + 1);
+    }
+    if (body_has_ordering_hazard(body)) {
+      out.push_back({path, line_of(code, pos), "unordered-iteration",
+                     "range-for over an unordered container draws randomness or schedules "
+                     "events; iteration order is hash-dependent — iterate a sorted copy or "
+                     "an index vector instead"});
+    }
+  }
+}
+
+void check_banned_tokens(const std::string& path, const std::string& code, const char* rule,
+                         const std::vector<std::string>& tokens, const std::string& why,
+                         std::vector<Finding>& out) {
+  for (const std::string& tok : tokens) {
+    for (std::size_t pos = find_token(code, tok, 0); pos != std::string::npos;
+         pos = find_token(code, tok, pos + 1)) {
+      out.push_back({path, line_of(code, pos), rule, tok + " is banned in src/: " + why});
+    }
+  }
+}
+
+[[nodiscard]] bool is_header(const std::string& path) {
+  return path.ends_with(".h") || path.ends_with(".hpp");
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& path, const std::string& content,
+                                 bool in_src) {
+  std::vector<Finding> all;
+  const std::string code = strip_comments_and_strings(content);
+
+  if (in_src) {
+    check_banned_tokens(path, code, "banned-random",
+                        {"std::rand", "srand", "std::random_device", "random_device"},
+                        "draw from a seeded sim::RngStream so runs reproduce", all);
+    check_banned_tokens(path, code, "wall-clock",
+                        {"time(nullptr)", "time(NULL)", "std::chrono::system_clock",
+                         "system_clock"},
+                        "use sim::TimePoint / Simulator::now(); wall clocks break trace "
+                        "reproducibility",
+                        all);
+  }
+  check_unordered_iteration(path, code, all);
+  if (is_header(path)) {
+    if (content.find("#pragma once") == std::string::npos) {
+      all.push_back({path, 0, "pragma-once", "header lacks #pragma once"});
+    }
+    if (in_src && code.find("namespace smn") == std::string::npos) {
+      all.push_back({path, 0, "namespace",
+                     "public header does not declare anything in namespace smn"});
+    }
+  }
+
+  const std::set<std::string> allowed = suppressed_rules(content);
+  std::vector<Finding> out;
+  std::set<std::pair<int, std::string>> reported;  // dedupe overlapping tokens
+  for (Finding& f : all) {
+    if (allowed.contains(f.rule)) continue;
+    if (!reported.insert({f.line, f.rule}).second) continue;
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<Finding> lint_tree(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> out;
+  for (const std::string& root : roots) {
+    const fs::path root_path{root};
+    const bool root_is_src = root_path.filename() == "src";
+    // Directory iteration order is filesystem-dependent; sort so lint output
+    // (and any downstream diffing of it) is itself deterministic.
+    std::vector<fs::path> files;
+    if (fs::is_regular_file(root_path)) {
+      files.push_back(root_path);
+    } else {
+      for (const fs::directory_entry& e : fs::recursive_directory_iterator(root_path)) {
+        if (!e.is_regular_file()) continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc") {
+          files.push_back(e.path());
+        }
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& p : files) {
+      std::ifstream f{p};
+      std::stringstream buf;
+      buf << f.rdbuf();
+      const std::string generic = p.generic_string();
+      const bool in_src = root_is_src || generic.find("/src/") != std::string::npos;
+      std::vector<Finding> found = lint_source(generic, buf.str(), in_src);
+      out.insert(out.end(), std::make_move_iterator(found.begin()),
+                 std::make_move_iterator(found.end()));
+    }
+  }
+  return out;
+}
+
+std::string format(const Finding& f) {
+  std::stringstream s;
+  s << f.file << ':';
+  if (f.line > 0) s << f.line << ':';
+  s << ' ' << f.rule << ": " << f.message;
+  return s.str();
+}
+
+}  // namespace smn::lint

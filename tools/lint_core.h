@@ -1,0 +1,52 @@
+// smn-lint: the repo-specific determinism and hygiene linter.
+//
+// Plain token/structure scanning over C++ sources — deliberately not a
+// libclang tool, so it builds anywhere the simulator builds and runs in
+// milliseconds as a ctest test. Rules (see DESIGN.md "Determinism lint"):
+//
+//   banned-random        (src/ only)  std::rand / srand / std::random_device —
+//                                     all randomness must flow through
+//                                     sim::RngStream so seeds reproduce runs.
+//   wall-clock           (src/ only)  time(nullptr) / std::chrono::system_clock —
+//                                     simulated time only; wall clocks make
+//                                     traces diverge between runs.
+//   unordered-iteration  (everywhere) range-for over an unordered_{map,set}
+//                                     whose body draws from an RngStream or
+//                                     schedules simulator events: iteration
+//                                     order is hash-dependent, so draws/events
+//                                     land in different orders across
+//                                     platforms and libstdc++ versions.
+//   pragma-once          (headers)    every header starts with #pragma once.
+//   namespace            (src/ headers) public headers declare namespace smn.
+//
+// A file opts out of a rule with a suppression comment anywhere in the file:
+//   // smn-lint: allow(unordered-iteration)
+// Output is machine-readable `file:line: rule: message`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace smn::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based; 0 for whole-file rules
+  std::string rule;
+  std::string message;
+};
+
+/// Lints a single translation unit given its contents. `in_src` enables the
+/// src/-only rules (banned-random, wall-clock, namespace).
+[[nodiscard]] std::vector<Finding> lint_source(const std::string& path,
+                                               const std::string& content, bool in_src);
+
+/// Recursively lints *.h / *.hpp / *.cpp / *.cc under each root, in sorted
+/// path order. Files under a `src` root (or any path containing "/src/") get
+/// the src/-only rules.
+[[nodiscard]] std::vector<Finding> lint_tree(const std::vector<std::string>& roots);
+
+/// `file:line: rule: message` (line omitted for whole-file rules).
+[[nodiscard]] std::string format(const Finding& f);
+
+}  // namespace smn::lint

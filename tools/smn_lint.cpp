@@ -1,0 +1,44 @@
+// smn_lint — repo-specific determinism/hygiene linter CLI.
+//
+//   smn_lint <root-dir-or-file>...
+//   smn_lint src tests bench examples
+//
+// Prints `file:line: rule: message` per violation and exits 1 if any were
+// found. Rules and the suppression syntax are documented in lint_core.h and
+// DESIGN.md; registered as the `smn_lint` ctest test so tier-1 fails on
+// violations.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: smn_lint <root-dir-or-file>...\n");
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "smn_lint: no roots given (try: smn_lint src tests bench examples)\n");
+    return 2;
+  }
+  try {
+    const std::vector<smn::lint::Finding> findings = smn::lint::lint_tree(roots);
+    for (const smn::lint::Finding& f : findings) {
+      std::printf("%s\n", smn::lint::format(f).c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stderr, "smn_lint: %zu violation(s)\n", findings.size());
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smn_lint: error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

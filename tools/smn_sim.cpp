@@ -20,6 +20,10 @@
 //   --proactive on|off                                     [per level]
 //   --impact-aware on|off                                  [per level]
 //   --csv FILE            write hourly time series
+//   --audit-determinism   run every topology preset twice with the same seed
+//                         and fail (exit 1) if the executed-event trace
+//                         hashes diverge; honors --level/--seed/--days
+//                         (days defaults to 10 in audit mode)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -99,6 +103,64 @@ core::AutomationLevel parse_level(const std::string& s) {
   throw std::invalid_argument{"unknown --level " + s + " (use L0..L4)"};
 }
 
+scenario::WorldConfig world_config(const Args& args, core::AutomationLevel level) {
+  scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
+  cfg.seed = static_cast<std::uint64_t>(args.geti("seed", 1));
+  cfg.network.aoc_max_m = 5.0;
+  if (args.has("proactive")) {
+    cfg.controller.proactive.enabled = args.onoff("proactive", false);
+  }
+  if (args.has("impact-aware")) {
+    cfg.controller.impact_aware = args.onoff("impact-aware", true);
+  }
+  return cfg;
+}
+
+// The determinism audit (DESIGN.md "deterministic by construction"): every
+// topology preset is simulated twice from identical configs and the
+// per-event trace hashes must match bit-for-bit. Any divergence — hash-order
+// iteration, an uninitialized read, a wall-clock leak — fails the audit.
+int run_determinism_audit(const Args& args) {
+  const core::AutomationLevel level = parse_level(args.get("level", "L3"));
+  const int days = args.geti("days", 10);
+  static const char* const kPresets[] = {"leaf-spine", "fat-tree", "jellyfish", "xpander",
+                                         "gpu"};
+  std::printf("determinism audit: level %s, %d days, seed %d\n", core::to_string(level), days,
+              args.geti("seed", 1));
+  bool ok = true;
+  for (const char* preset : kPresets) {
+    Args preset_args = args;
+    preset_args.kv["topology"] = preset;
+    const topology::Blueprint bp = build_topology(preset_args);
+    std::uint64_t hash[2] = {};
+    std::uint64_t events[2] = {};
+    for (int run = 0; run < 2; ++run) {
+      scenario::World world{bp, world_config(preset_args, level)};
+      world.run_for(sim::Duration::days(days));
+      world.check_invariants();
+      hash[run] = world.simulator().trace_hash();
+      events[run] = world.simulator().events_processed();
+    }
+    const bool match = hash[0] == hash[1] && events[0] == events[1];
+    ok = ok && match;
+    std::printf("  %-11s %10llu events  trace %016llx / %016llx  %s\n", preset,
+                static_cast<unsigned long long>(events[0]),
+                static_cast<unsigned long long>(hash[0]),
+                static_cast<unsigned long long>(hash[1]), match ? "OK" : "DIVERGED");
+  }
+  if (!ok) {
+    std::fprintf(stderr, "determinism audit FAILED: trace hashes diverged\n");
+    return 1;
+  }
+  std::printf("determinism audit passed: all presets reproduce bit-identically\n");
+  return 0;
+}
+
+/// Flags that take no value.
+[[nodiscard]] bool is_boolean_flag(const std::string& key) {
+  return key == "audit-determinism";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +175,10 @@ int main(int argc, char** argv) {
       std::printf("see the header of tools/smn_sim.cpp for flags\n");
       return 0;
     }
+    if (is_boolean_flag(key)) {
+      args.kv[key] = "on";
+      continue;
+    }
     if (i + 1 >= argc) {
       std::fprintf(stderr, "missing value for --%s\n", key.c_str());
       return 2;
@@ -121,20 +187,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (args.onoff("audit-determinism", false)) {
+      return run_determinism_audit(args);
+    }
     const topology::Blueprint bp = build_topology(args);
     const core::AutomationLevel level = parse_level(args.get("level", "L3"));
     const int days = args.geti("days", 60);
 
-    scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
-    cfg.seed = static_cast<std::uint64_t>(args.geti("seed", 1));
-    cfg.network.aoc_max_m = 5.0;
-    if (args.has("proactive")) {
-      cfg.controller.proactive.enabled = args.onoff("proactive", false);
-    }
-    if (args.has("impact-aware")) {
-      cfg.controller.impact_aware = args.onoff("impact-aware", true);
-    }
-    scenario::World world{bp, cfg};
+    scenario::World world{bp, world_config(args, level)};
 
     analysis::TimeSeriesRecorder recorder{world.simulator(), sim::Duration::hours(1)};
     const bool want_csv = args.has("csv");
