@@ -5,106 +5,78 @@
 // to the complexity to manually deploy the complex wiring looms. ... perhaps
 // we can create a metric for self-maintainability of a network design?"
 //
-// Part 1: the static metric over four fabrics at matched server count.
-// Part 2: dynamic — run each fabric under L0 humans and under an L4 fleet
-// with the future-work cable-laying unit, and compare annual maintenance
-// cost and availability. The paper's optimism is the claim that the L4
-// gap between tree and expander shrinks.
+// Part 1: the static metric over the fabrics at matched server count.
+// Part 2: dynamic — a Monte-Carlo sweep (runner::topology_sweep) runs each
+// fabric under L0 humans and under an L4 fleet with the future-work
+// cable-laying unit across `seeds` replicates on all cores, and compares
+// mean annual maintenance cost and availability. The paper's optimism is the
+// claim that the L4 gap between tree and expander shrinks.
+// `bench_e7_topologies [days] [seeds] [jobs] [json_out]`.
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
-#include "analysis/cost.h"
 #include "bench/common.h"
+#include "runner/sweep.h"
 #include "topology/metrics.h"
-
-namespace {
-
-using namespace smn;
-
-struct Fabric {
-  const char* name;
-  topology::Blueprint bp;
-};
-
-struct DynRow {
-  double availability = 0;
-  double cost_usd = 0;
-};
-
-DynRow run(const topology::Blueprint& bp, core::AutomationLevel level, int days,
-           std::uint64_t seed) {
-  scenario::WorldConfig cfg = bench::standard_world(level, seed);
-  cfg.controller.proactive.enabled = false;
-  scenario::World world{bp, cfg};
-  world.run_for(sim::Duration::days(days));
-
-  DynRow r;
-  r.availability = world.availability().fleet_availability();
-  analysis::CostInputs in;
-  in.technician_hours = world.technicians().labor_hours();
-  in.robot_busy_hours = world.has_fleet() ? world.fleet().busy_hours() : 0.0;
-  in.robot_units = world.has_fleet() ? world.fleet().units_online() : 0;
-  in.elapsed_years = days / 365.0;
-  in.downtime_link_hours = world.availability().downtime_link_hours();
-  in.impaired_link_hours = world.availability().impaired_link_hours();
-  r.cost_usd = analysis::compute_cost(analysis::CostConfig{}, in).total_usd * 365.0 / days;
-  return r;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace smn;
   using analysis::Table;
   const int days = argc > 1 ? std::atoi(argv[1]) : 45;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+  const auto seeds = static_cast<std::uint64_t>(argc > 2 ? std::atoi(argv[2]) : 8);
+  const int jobs = argc > 3 ? std::atoi(argv[3]) : 0;
 
   bench::print_header("E7: topology self-maintainability",
                       "\"a metric for self-maintainability of a network design\" (S4)");
 
-  std::vector<Fabric> fabrics;
-  fabrics.push_back({"fat-tree k=8", topology::build_fat_tree({.k = 8})});
-  fabrics.push_back({"leaf-spine 32x8",
-                     topology::build_leaf_spine(
-                         {.leaves = 32, .spines = 8, .servers_per_leaf = 4})});
-  fabrics.push_back({"jellyfish d=10",
-                     topology::build_jellyfish({.switches = 32,
-                                                .network_degree = 10,
-                                                .servers_per_switch = 4,
-                                                .seed = 7})});
-  fabrics.push_back({"xpander d=7 L=4",
-                     topology::build_xpander({.network_degree = 7,
-                                              .lift = 4,
-                                              .servers_per_switch = 4,
-                                              .seed = 7})});
-  fabrics.push_back({"dragonfly a=4 h=2",
-                     topology::build_dragonfly({.routers_per_group = 4,
-                                                .servers_per_router = 4,
-                                                .global_per_router = 2})});
-  fabrics.push_back({"torus 8x8",
-                     topology::build_torus2d({.x = 8, .y = 8, .servers_per_node = 4})});
+  const runner::SweepSpec spec =
+      runner::topology_sweep(sim::Duration::days(days), /*first_seed=*/7, seeds);
 
   Table metric{{"topology", "links", "cable km", "bundling", "reach", "blast",
                 "SM score"}};
-  for (const Fabric& f : fabrics) {
-    const topology::WiringStats w = topology::compute_wiring_stats(f.bp);
-    const topology::SelfMaintainability m = topology::compute_self_maintainability(f.bp);
-    metric.add_row({f.name, Table::num(w.links), Table::num(w.total_length_m / 1000.0, 2),
+  // Cells come fabric-major, level-minor (L0 then L4); the even cells carry
+  // one blueprint per fabric for the static metric.
+  for (std::size_t i = 0; i + 1 < spec.cells.size(); i += 2) {
+    const topology::Blueprint& bp = spec.cells[i].blueprint;
+    const std::string name = spec.cells[i].name.substr(0, spec.cells[i].name.rfind('/'));
+    const topology::WiringStats w = topology::compute_wiring_stats(bp);
+    const topology::SelfMaintainability m = topology::compute_self_maintainability(bp);
+    metric.add_row({name, Table::num(w.links), Table::num(w.total_length_m / 1000.0, 2),
                     Table::num(m.bundling), Table::num(m.reachability),
                     Table::num(m.blast_radius), Table::num(m.score, 1)});
   }
   std::cout << "static metric:\n";
   metric.print(std::cout);
 
+  runner::SweepRunner sweeper;
+  runner::SweepRunner::Options opts;
+  opts.jobs = jobs;
+  const runner::SweepReport report = sweeper.run(spec, opts);
+
   Table dyn{{"topology", "L0 avail", "L0 $/yr", "L4 avail", "L4 $/yr", "L4/L0 cost"}};
-  for (const Fabric& f : fabrics) {
-    const DynRow l0 = run(f.bp, core::AutomationLevel::kL0_Manual, days, seed);
-    const DynRow l4 = run(f.bp, core::AutomationLevel::kL4_FullAutomation, days, seed);
-    dyn.add_row({f.name, Table::num(l0.availability, 6), Table::num(l0.cost_usd, 0),
-                 Table::num(l4.availability, 6), Table::num(l4.cost_usd, 0),
-                 Table::num(l0.cost_usd == 0 ? 0 : l4.cost_usd / l0.cost_usd, 2)});
+  for (std::size_t i = 0; i + 1 < report.cells.size(); i += 2) {
+    const runner::CellReport& l0 = report.cells[i];
+    const runner::CellReport& l4 = report.cells[i + 1];
+    const std::string name = l0.name.substr(0, l0.name.rfind('/'));
+    const double l0_cost = l0.stats[runner::kAnnualCostUsd].mean;
+    const double l4_cost = l4.stats[runner::kAnnualCostUsd].mean;
+    dyn.add_row({name, Table::num(l0.stats[runner::kAvailability].mean, 6),
+                 Table::num(l0_cost, 0), Table::num(l4.stats[runner::kAvailability].mean, 6),
+                 Table::num(l4_cost, 0),
+                 Table::num(l0_cost == 0 ? 0 : l4_cost / l0_cost, 2)});
   }
-  std::cout << "\ndynamic (45-day runs, annualized):\n";
+  std::cout << "\ndynamic (" << days << "-day runs, annualized, mean over " << seeds
+            << " seeds):\n";
   dyn.print(std::cout);
+  std::printf("\n%zu replicates in %.2fs, %.2f replicates/sec, jobs=%d\n",
+              report.replicates_done, report.wall_seconds, report.replicates_per_sec,
+              report.jobs);
+  if (argc > 4) {
+    std::ofstream out{argv[4]};
+    out << runner::to_json(report) << '\n';
+    std::printf("report written to %s\n", argv[4]);
+  }
   std::cout << "\nexpected shape: expanders score lowest on the static metric (no\n"
                "bundling), but full automation lifts every fabric's availability and\n"
                "narrows the tree-vs-expander maintenance gap — the paper's argument\n"

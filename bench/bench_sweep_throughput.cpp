@@ -1,0 +1,115 @@
+// Sweep-engine throughput: the tracked perf number for the parallel runner.
+//
+// Runs the identical Monte-Carlo grid (standard fabric, L3, `seeds`
+// replicates) twice — serial (jobs=1) and on every core (jobs=nproc) — and
+// reports replicates/sec for both plus the speedup. The seed dimension is
+// embarrassingly parallel, so on an N-core machine the speedup should
+// approach min(N, seeds); CI records the trajectory via BENCH_sweep.json.
+//
+// Correctness gate: the per-(cell, seed) trace hashes of the two runs must
+// be bit-identical — thread count must never be simulation-visible. A
+// mismatch exits 1 and fails CI.
+//
+// Usage: bench_sweep_throughput [days] [seeds] [json_out=BENCH_sweep.json]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+#include "runner/json_writer.h"
+#include "runner/presets.h"
+#include "runner/sweep.h"
+
+int main(int argc, char** argv) {
+  using namespace smn;
+  using analysis::Table;
+  const int days = argc > 1 ? std::atoi(argv[1]) : 8;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int nproc = hw == 0 ? 1 : static_cast<int>(hw);
+  // Enough tasks to keep every core busy through the tail of the sweep.
+  const auto seeds = static_cast<std::uint64_t>(
+      argc > 2 ? std::atoi(argv[2]) : std::max(12, 3 * nproc));
+  const char* json_path = argc > 3 ? argv[3] : "BENCH_sweep.json";
+
+  bench::print_header("SWEEP: parallel runner throughput",
+                      "seed dimension is embarrassingly parallel; CI tracks replicates/sec");
+
+  runner::SweepSpec spec;
+  spec.duration = sim::Duration::days(days);
+  spec.first_seed = 1;
+  spec.seeds = seeds;
+  spec.cells.push_back({"standard/L3", runner::standard_fabric(),
+                        runner::standard_world(core::AutomationLevel::kL3_HighAutomation, 1)});
+
+  runner::SweepRunner sweeper;
+  runner::SweepRunner::Options serial_opts;
+  serial_opts.jobs = 1;
+  const runner::SweepReport serial = sweeper.run(spec, serial_opts);
+  runner::SweepRunner::Options parallel_opts;
+  parallel_opts.jobs = nproc;
+  const runner::SweepReport parallel = sweeper.run(spec, parallel_opts);
+
+  // Thread-count invariance: identical (cell, seed) grid => identical traces.
+  bool hashes_match = serial.cells.size() == parallel.cells.size();
+  for (std::size_t c = 0; hashes_match && c < serial.cells.size(); ++c) {
+    const auto& a = serial.cells[c].replicates;
+    const auto& b = parallel.cells[c].replicates;
+    hashes_match = a.size() == b.size();
+    for (std::size_t i = 0; hashes_match && i < a.size(); ++i) {
+      hashes_match = a[i].seed == b[i].seed && a[i].trace_hash == b[i].trace_hash &&
+                     a[i].events == b[i].events;
+    }
+  }
+
+  const double speedup = serial.replicates_per_sec > 0.0
+                             ? parallel.replicates_per_sec / serial.replicates_per_sec
+                             : 0.0;
+  Table table{{"jobs", "replicates", "wall s", "replicates/sec"}};
+  table.add_row({"1", Table::num(serial.replicates_done),
+                 Table::num(serial.wall_seconds, 2),
+                 Table::num(serial.replicates_per_sec, 2)});
+  table.add_row({std::to_string(nproc), Table::num(parallel.replicates_done),
+                 Table::num(parallel.wall_seconds, 2),
+                 Table::num(parallel.replicates_per_sec, 2)});
+  table.print(std::cout);
+  std::printf("\nspeedup at jobs=%d: %.2fx over jobs=1 (%llu seeds x %d days, standard "
+              "fabric)\ntrace hashes: %s\n",
+              nproc, speedup, static_cast<unsigned long long>(seeds), days,
+              hashes_match ? "identical across thread counts" : "DIVERGED");
+
+  {
+    runner::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "smn-sweep-throughput-v1");
+    w.kv("days", days);
+    w.kv("seeds", seeds);
+    w.kv("jobs_parallel", nproc);
+    w.kv("rps_serial", serial.replicates_per_sec);
+    w.kv("rps_parallel", parallel.replicates_per_sec);
+    w.kv("wall_seconds_serial", serial.wall_seconds);
+    w.kv("wall_seconds_parallel", parallel.wall_seconds);
+    w.kv("speedup", speedup);
+    w.kv("hashes_match", hashes_match);
+    w.end_object();
+    std::ofstream out{json_path};
+    // The sweep report and the throughput record, one JSON document each on
+    // its own line would break `json.tool`; emit a single wrapper object.
+    std::string sweep_json = runner::to_json(parallel);
+    std::string wrapper = w.str();
+    wrapper.pop_back();  // strip '}' to splice in the full report
+    out << wrapper << ",\"sweep\":" << sweep_json << "}\n";
+    std::printf("report written to %s\n", json_path);
+  }
+
+  if (!hashes_match) {
+    std::fprintf(stderr,
+                 "FAIL: trace hashes diverged between jobs=1 and jobs=%d — thread count "
+                 "leaked into the simulation\n",
+                 nproc);
+    return 1;
+  }
+  return 0;
+}

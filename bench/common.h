@@ -14,6 +14,7 @@
 #include "analysis/stats.h"
 #include "core/automation.h"
 #include "maintenance/ticket.h"
+#include "runner/presets.h"
 #include "scenario/world.h"
 #include "topology/builders.h"
 
@@ -21,21 +22,17 @@ namespace smn::bench {
 
 /// The standard hall used across experiments: 12 leaves x 4 spines with 8
 /// servers per leaf (144 links), long uplinks on separate MPO optics.
+/// (Canonical definition lives in runner::presets so `smnctl sweep`, the
+/// benches, and CI all mean the same world.)
 [[nodiscard]] inline topology::Blueprint standard_fabric() {
-  return topology::build_leaf_spine(
-      {.leaves = 12, .spines = 4, .servers_per_leaf = 8, .uplinks_per_spine = 1});
+  return runner::standard_fabric();
 }
 
 /// World preset for a level with the standard fault environment: accelerated
 /// aging so a 60-day run yields statistically useful event counts.
 [[nodiscard]] inline scenario::WorldConfig standard_world(core::AutomationLevel level,
                                                           std::uint64_t seed) {
-  scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
-  cfg.seed = seed;
-  cfg.network.aoc_max_m = 5.0;  // uplinks become separate cleanable optics
-  cfg.faults.oxidation_rate_per_year = 0.4;
-  cfg.contamination.mean_accumulation_per_day = 0.006;
-  return cfg;
+  return runner::standard_world(level, seed);
 }
 
 struct TicketSummary {

@@ -1,0 +1,82 @@
+// Bounded MPMC channel — the runner's only cross-thread primitive.
+//
+// Deliberately simple (one mutex, two condition variables, a deque): the
+// sweep's unit of work is an entire Monte-Carlo replicate (milliseconds to
+// seconds of simulation), so channel overhead is noise and a work-stealing
+// deque would buy nothing. Close semantics follow Go channels: producers
+// `close()` when done, consumers drain remaining items and then observe
+// `std::nullopt`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace smn::runner {
+
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(std::size_t capacity) : capacity_{capacity == 0 ? 1 : capacity} {}
+
+  BoundedChannel(const BoundedChannel&) = delete;
+  BoundedChannel& operator=(const BoundedChannel&) = delete;
+
+  /// Blocks while the channel is full. Returns false (dropping `v`) if the
+  /// channel was closed — a late producer must not hang forever.
+  bool push(T v) {
+    std::unique_lock lock{mu_};
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the channel is empty and open. Returns nullopt only once
+  /// the channel is closed *and* drained, so no pushed item is ever lost.
+  std::optional<T> pop() {
+    std::unique_lock lock{mu_};
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Idempotent. Wakes every blocked producer and consumer.
+  void close() {
+    {
+      std::lock_guard lock{mu_};
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock{mu_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock{mu_};
+    return items_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace smn::runner

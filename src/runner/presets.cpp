@@ -1,0 +1,115 @@
+#include "runner/presets.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "topology/builders.h"
+
+namespace smn::runner {
+namespace {
+
+[[nodiscard]] SweepSpec base_spec(sim::Duration duration, std::uint64_t first_seed,
+                                  std::uint64_t seeds) {
+  SweepSpec spec;
+  spec.duration = duration;
+  spec.first_seed = first_seed;
+  spec.seeds = seeds;
+  return spec;
+}
+
+}  // namespace
+
+topology::Blueprint standard_fabric() {
+  return topology::build_leaf_spine(
+      {.leaves = 12, .spines = 4, .servers_per_leaf = 8, .uplinks_per_spine = 1});
+}
+
+scenario::WorldConfig standard_world(core::AutomationLevel level, std::uint64_t seed) {
+  scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
+  cfg.seed = seed;
+  cfg.network.aoc_max_m = 5.0;  // uplinks become separate cleanable optics
+  cfg.faults.oxidation_rate_per_year = 0.4;
+  cfg.contamination.mean_accumulation_per_day = 0.006;
+  return cfg;
+}
+
+SweepSpec availability_sweep(sim::Duration duration, std::uint64_t first_seed,
+                             std::uint64_t seeds) {
+  static constexpr core::AutomationLevel kLevels[] = {
+      core::AutomationLevel::kL0_Manual,          core::AutomationLevel::kL1_OperatorAssist,
+      core::AutomationLevel::kL2_PartialAutomation,
+      core::AutomationLevel::kL3_HighAutomation,  core::AutomationLevel::kL4_FullAutomation,
+  };
+  SweepSpec spec = base_spec(duration, first_seed, seeds);
+  const topology::Blueprint bp = standard_fabric();
+  for (const core::AutomationLevel level : kLevels) {
+    spec.cells.push_back({core::to_string(level), bp, standard_world(level, first_seed)});
+  }
+  return spec;
+}
+
+SweepSpec topology_sweep(sim::Duration duration, std::uint64_t first_seed,
+                         std::uint64_t seeds) {
+  struct Fabric {
+    const char* name;
+    topology::Blueprint bp;
+  };
+  std::vector<Fabric> fabrics;
+  fabrics.push_back({"fat-tree k=8", topology::build_fat_tree({.k = 8})});
+  fabrics.push_back({"leaf-spine 32x8",
+                     topology::build_leaf_spine(
+                         {.leaves = 32, .spines = 8, .servers_per_leaf = 4})});
+  fabrics.push_back({"jellyfish d=10",
+                     topology::build_jellyfish({.switches = 32,
+                                                .network_degree = 10,
+                                                .servers_per_switch = 4,
+                                                .seed = 7})});
+  fabrics.push_back({"xpander d=7 L=4",
+                     topology::build_xpander({.network_degree = 7,
+                                              .lift = 4,
+                                              .servers_per_switch = 4,
+                                              .seed = 7})});
+  fabrics.push_back({"dragonfly a=4 h=2",
+                     topology::build_dragonfly({.routers_per_group = 4,
+                                                .servers_per_router = 4,
+                                                .global_per_router = 2})});
+  fabrics.push_back({"torus 8x8",
+                     topology::build_torus2d({.x = 8, .y = 8, .servers_per_node = 4})});
+
+  SweepSpec spec = base_spec(duration, first_seed, seeds);
+  for (Fabric& f : fabrics) {
+    for (const core::AutomationLevel level :
+         {core::AutomationLevel::kL0_Manual, core::AutomationLevel::kL4_FullAutomation}) {
+      scenario::WorldConfig cfg = standard_world(level, first_seed);
+      cfg.controller.proactive.enabled = false;
+      spec.cells.push_back(
+          {std::string{f.name} + "/" + core::to_string(level), f.bp, std::move(cfg)});
+    }
+  }
+  return spec;
+}
+
+SweepSpec quick_sweep(sim::Duration duration, std::uint64_t first_seed, std::uint64_t seeds) {
+  SweepSpec spec = base_spec(duration, first_seed, seeds);
+  const topology::Blueprint bp =
+      topology::build_leaf_spine({.leaves = 4, .spines = 2, .servers_per_leaf = 2});
+  spec.cells.push_back(
+      {"quick/L3", bp, standard_world(core::AutomationLevel::kL3_HighAutomation, first_seed)});
+  return spec;
+}
+
+SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
+                     std::uint64_t first_seed, std::uint64_t seeds) {
+  if (preset == "availability") return availability_sweep(duration, first_seed, seeds);
+  if (preset == "topologies") return topology_sweep(duration, first_seed, seeds);
+  if (preset == "quick") return quick_sweep(duration, first_seed, seeds);
+  throw std::invalid_argument{"unknown sweep preset '" + preset +
+                              "' (use availability|topologies|quick)"};
+}
+
+const std::vector<std::string>& sweep_preset_names() {
+  static const std::vector<std::string> kNames = {"availability", "topologies", "quick"};
+  return kNames;
+}
+
+}  // namespace smn::runner

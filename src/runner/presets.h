@@ -1,0 +1,49 @@
+// Canonical sweep grids shared by smnctl, the bench harnesses, and CI.
+//
+// `standard_fabric`/`standard_world` are the single source of truth for the
+// "standard hall" every experiment uses (bench/common.h forwards here), so a
+// sweep launched from the CLI, a bench binary, and the CI smoke job all mean
+// the same world by the same name.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/automation.h"
+#include "runner/sweep.h"
+#include "scenario/world.h"
+#include "topology/blueprint.h"
+
+namespace smn::runner {
+
+/// The standard hall used across experiments: 12 leaves x 4 spines with 8
+/// servers per leaf (144 links), long uplinks on separate MPO optics.
+[[nodiscard]] topology::Blueprint standard_fabric();
+
+/// World preset for an automation level with the standard accelerated-aging
+/// fault environment (a 60-day run yields statistically useful event counts).
+[[nodiscard]] scenario::WorldConfig standard_world(core::AutomationLevel level,
+                                                   std::uint64_t seed);
+
+/// E2 grid: the five automation levels on the standard fabric.
+[[nodiscard]] SweepSpec availability_sweep(sim::Duration duration, std::uint64_t first_seed,
+                                           std::uint64_t seeds);
+
+/// E7 dynamic grid: six fabrics x {L0, L4}, proactive maintenance off (cells
+/// named "<fabric>/<level>").
+[[nodiscard]] SweepSpec topology_sweep(sim::Duration duration, std::uint64_t first_seed,
+                                       std::uint64_t seeds);
+
+/// Small single-cell grid (tiny leaf-spine at L3) for CI smoke runs.
+[[nodiscard]] SweepSpec quick_sweep(sim::Duration duration, std::uint64_t first_seed,
+                                    std::uint64_t seeds);
+
+/// Dispatch by preset name; throws std::invalid_argument for unknown names.
+[[nodiscard]] SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
+                                   std::uint64_t first_seed, std::uint64_t seeds);
+
+/// Names accepted by make_sweep, for --help text and error messages.
+[[nodiscard]] const std::vector<std::string>& sweep_preset_names();
+
+}  // namespace smn::runner

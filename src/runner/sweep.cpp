@@ -1,0 +1,240 @@
+#include "runner/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "analysis/cost.h"
+#include "analysis/stats.h"
+#include "core/check.h"
+#include "maintenance/ticket.h"
+#include "runner/channel.h"
+#include "runner/json_writer.h"
+
+namespace smn::runner {
+namespace {
+
+// Wall-clock throughput timing only (never simulation-visible): the sim side
+// of every replicate runs purely on sim::TimePoint.
+using WallClock = std::chrono::steady_clock;
+
+[[nodiscard]] int resolve_jobs(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+[[nodiscard]] MetricSummary summarize(const analysis::SampleStats& s) {
+  MetricSummary m;
+  if (s.empty()) return m;
+  m.mean = s.mean();
+  m.stddev = s.stddev();
+  m.ci95 = s.count() > 1 ? 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count())) : 0.0;
+  m.p50 = s.percentile(50.0);
+  m.p95 = s.percentile(95.0);
+  m.min = s.min();
+  m.max = s.max();
+  return m;
+}
+
+}  // namespace
+
+ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cell_index,
+                                           std::uint64_t seed, sim::Duration duration) {
+  scenario::WorldConfig cfg = cell.config;
+  cfg.seed = seed;
+  scenario::World world{cell.blueprint, std::move(cfg)};
+  world.run_for(duration);
+  world.check_invariants();
+
+  ReplicateResult r;
+  r.cell = cell_index;
+  r.seed = seed;
+  r.trace_hash = world.simulator().trace_hash();
+  r.events = world.simulator().events_processed();
+
+  const analysis::AvailabilityTracker& avail = world.availability();
+  auto& m = r.metrics;
+  m[kAvailability] = avail.fleet_availability();
+  m[kNines] = analysis::AvailabilityTracker::nines(m[kAvailability]);
+  m[kImpairedFraction] = avail.fleet_impairment();
+  m[kDowntimeLinkHours] = avail.downtime_link_hours();
+  m[kPlannedLinkHours] = avail.planned_maintenance_link_hours();
+  m[kImpairedLinkHours] = avail.impaired_link_hours();
+  m[kOpenBacklog] =
+      static_cast<double>(world.tickets().count(maintenance::TicketState::kOpen) +
+                          world.tickets().count(maintenance::TicketState::kDispatched) +
+                          world.tickets().count(maintenance::TicketState::kInProgress));
+  m[kFaultsInjected] = static_cast<double>(world.injector().log().size());
+  m[kTicketsResolved] =
+      static_cast<double>(world.tickets().count(maintenance::TicketState::kResolved));
+  m[kTechnicianHours] = world.technicians().labor_hours();
+  m[kRobotBusyHours] = world.has_fleet() ? world.fleet().busy_hours() : 0.0;
+
+  analysis::CostInputs costs;
+  costs.technician_hours = m[kTechnicianHours];
+  costs.robot_busy_hours = m[kRobotBusyHours];
+  costs.robot_units = world.has_fleet() ? world.fleet().units_online() : 0;
+  costs.elapsed_years = duration.to_days() / 365.0;
+  costs.downtime_link_hours = m[kDowntimeLinkHours];
+  costs.impaired_link_hours = m[kImpairedLinkHours];
+  const double elapsed_days = duration.to_days();
+  m[kAnnualCostUsd] = elapsed_days > 0.0
+                          ? analysis::compute_cost({}, costs).total_usd * 365.0 / elapsed_days
+                          : 0.0;
+  return r;
+}
+
+SweepReport SweepRunner::run(const SweepSpec& spec, const Options& opts) {
+  stop_.store(false, std::memory_order_relaxed);
+
+  struct Task {
+    std::size_t cell;
+    std::uint64_t seed;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(spec.cells.size() * static_cast<std::size_t>(spec.seeds));
+  for (std::size_t c = 0; c < spec.cells.size(); ++c) {
+    for (std::uint64_t s = 0; s < spec.seeds; ++s) {
+      tasks.push_back({c, spec.first_seed + s});
+    }
+  }
+
+  SweepReport report;
+  report.replicates_total = tasks.size();
+  report.first_seed = spec.first_seed;
+  report.seeds = spec.seeds;
+  report.duration_days = spec.duration.to_days();
+  report.cells.reserve(spec.cells.size());
+  for (const CellSpec& cell : spec.cells) {
+    CellReport cr;
+    cr.name = cell.name;
+    report.cells.push_back(std::move(cr));
+  }
+
+  const int jobs = resolve_jobs(opts.jobs);
+  report.jobs = jobs;
+  const auto wall_start = WallClock::now();
+
+  std::vector<ReplicateResult> collected;
+  collected.reserve(tasks.size());
+
+  if (!tasks.empty()) {
+    // Task channel holds the whole grid so producers never block; the results
+    // channel is small and continuously drained by this thread, so workers
+    // stay bounded-ahead and cancellation latency stays at one replicate.
+    BoundedChannel<Task> task_channel{tasks.size()};
+    BoundedChannel<ReplicateResult> results{static_cast<std::size_t>(jobs) * 2 + 1};
+    for (const Task& t : tasks) task_channel.push(t);
+    task_channel.close();
+
+    std::atomic<int> live_workers{jobs};
+    {
+      std::vector<std::jthread> workers;
+      workers.reserve(static_cast<std::size_t>(jobs));
+      for (int j = 0; j < jobs; ++j) {
+        workers.emplace_back([&] {
+          while (std::optional<Task> task = task_channel.pop()) {
+            if (stop_requested()) break;
+            ReplicateResult r =
+                run_replicate(spec.cells[task->cell], task->cell, task->seed, spec.duration);
+            if (!results.push(std::move(r))) break;
+          }
+          if (live_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) results.close();
+        });
+      }
+
+      // Sole aggregator: stream results in completion order; deterministic
+      // ordering is restored after the drain.
+      while (std::optional<ReplicateResult> r = results.pop()) {
+        collected.push_back(std::move(*r));
+        if (opts.on_result) opts.on_result(collected.back(), collected.size(), tasks.size());
+      }
+    }  // jthread join barrier
+  }
+
+  const std::chrono::duration<double> wall = WallClock::now() - wall_start;
+  report.wall_seconds = wall.count();
+  report.replicates_done = collected.size();
+  report.stopped_early = collected.size() < tasks.size();
+  report.replicates_per_sec =
+      report.wall_seconds > 0.0 ? static_cast<double>(collected.size()) / report.wall_seconds
+                                : 0.0;
+
+  // Deterministic aggregation: identical (cell, seed) sets produce identical
+  // accumulation order — and therefore bit-identical stats — at any jobs.
+  std::sort(collected.begin(), collected.end(),
+            [](const ReplicateResult& a, const ReplicateResult& b) {
+              return a.cell != b.cell ? a.cell < b.cell : a.seed < b.seed;
+            });
+  for (ReplicateResult& r : collected) {
+    SMN_ASSERT(r.cell < report.cells.size(), "replicate cell index %zu out of range", r.cell);
+    report.cells[r.cell].replicates.push_back(std::move(r));
+  }
+  for (CellReport& cell : report.cells) {
+    std::array<analysis::SampleStats, kMetricCount> acc;
+    for (const ReplicateResult& r : cell.replicates) {
+      for (std::size_t i = 0; i < kMetricCount; ++i) acc[i].push(r.metrics[i]);
+    }
+    for (std::size_t i = 0; i < kMetricCount; ++i) cell.stats[i] = summarize(acc[i]);
+  }
+  return report;
+}
+
+std::string to_json(const SweepReport& report, const JsonOptions& opts) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "smn-sweep-v1");
+  w.kv("first_seed", report.first_seed);
+  w.kv("seeds", report.seeds);
+  w.kv("duration_days", report.duration_days);
+  w.kv("replicates_total", report.replicates_total);
+  w.kv("replicates_done", report.replicates_done);
+  w.kv("stopped_early", report.stopped_early);
+  if (opts.include_timing) {
+    w.kv("jobs", report.jobs);
+    w.kv("wall_seconds", report.wall_seconds);
+    w.kv("replicates_per_sec", report.replicates_per_sec);
+  }
+  w.key("cells");
+  w.begin_array();
+  for (const CellReport& cell : report.cells) {
+    w.begin_object();
+    w.kv("name", cell.name);
+    w.kv("replicates", cell.replicates.size());
+    w.key("metrics");
+    w.begin_object();
+    for (std::size_t i = 0; i < kMetricCount; ++i) {
+      const MetricSummary& s = cell.stats[i];
+      w.key(kMetricNames[i]);
+      w.begin_object();
+      w.kv("mean", s.mean);
+      w.kv("stddev", s.stddev);
+      w.kv("ci95", s.ci95);
+      w.kv("p50", s.p50);
+      w.kv("p95", s.p95);
+      w.kv("min", s.min);
+      w.kv("max", s.max);
+      w.end_object();
+    }
+    w.end_object();
+    w.key("samples");
+    w.begin_array();
+    for (const ReplicateResult& r : cell.replicates) {
+      w.begin_object();
+      w.kv("seed", r.seed);
+      w.kv("trace_hash", JsonWriter::hex64(r.trace_hash));
+      w.kv("events", r.events);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace smn::runner

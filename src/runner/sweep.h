@@ -1,0 +1,153 @@
+// The parallel Monte-Carlo sweep engine.
+//
+// Every quantitative claim in EXPERIMENTS.md is a Monte-Carlo estimate over
+// seeds; the seed dimension is embarrassingly parallel. A SweepRunner takes a
+// SweepSpec — a grid of named WorldConfig cells × a seed range — and executes
+// each (cell, seed) replicate on a fixed pool of std::jthread workers fed by
+// a bounded MPMC task channel. Each replicate constructs its own private
+// World (simulator, network, RNG streams — nothing mutable is shared across
+// threads; the cell Blueprint is shared read-only and Network copies it), so
+// the per-world determinism guarantee is untouched: a replicate's trace hash
+// is a pure function of (cell config, seed), independent of thread count or
+// completion order.
+//
+// Results stream through a bounded channel to the calling thread, which is
+// the only aggregator. Aggregation is deferred until the sweep drains and
+// performed in sorted (cell, seed) order, so floating-point accumulation —
+// and therefore the JSON report — is byte-identical at jobs=1 and jobs=N
+// (modulo the explicitly-excludable timing fields).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "scenario/world.h"
+#include "sim/time.h"
+#include "topology/blueprint.h"
+
+namespace smn::runner {
+
+/// One grid cell: a named world configuration evaluated across all seeds.
+struct CellSpec {
+  std::string name;
+  topology::Blueprint blueprint;  // shared const across workers; Network copies it
+  scenario::WorldConfig config;   // `seed` is overwritten per replicate
+};
+
+/// The fixed per-replicate metric vector. Indexed by Metric; kMetricNames
+/// keeps the JSON field names in the same order.
+enum Metric : std::size_t {
+  kAvailability = 0,
+  kNines,
+  kImpairedFraction,
+  kDowntimeLinkHours,
+  kPlannedLinkHours,
+  kImpairedLinkHours,
+  kOpenBacklog,
+  kFaultsInjected,
+  kTicketsResolved,
+  kTechnicianHours,
+  kRobotBusyHours,
+  kAnnualCostUsd,
+  kMetricCount,
+};
+
+inline constexpr std::array<const char*, kMetricCount> kMetricNames = {
+    "availability",         "nines",
+    "impaired_fraction",    "downtime_link_hours",
+    "planned_link_hours",   "impaired_link_hours",
+    "open_backlog",         "faults_injected",
+    "tickets_resolved",     "technician_hours",
+    "robot_busy_hours",     "annual_cost_usd",
+};
+
+struct ReplicateResult {
+  std::size_t cell = 0;
+  std::uint64_t seed = 0;
+  std::array<double, kMetricCount> metrics{};
+  std::uint64_t trace_hash = 0;  // determinism signal, recorded per replicate
+  std::uint64_t events = 0;
+};
+
+struct SweepSpec {
+  std::vector<CellSpec> cells;
+  std::uint64_t first_seed = 1;
+  std::uint64_t seeds = 8;  // replicates per cell: seeds [first_seed, first_seed+seeds)
+  sim::Duration duration = sim::Duration::days(30);
+};
+
+/// Summary statistics for one metric over a cell's replicates.
+struct MetricSummary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  // half-width of the 95% normal CI on the mean
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct CellReport {
+  std::string name;
+  std::vector<ReplicateResult> replicates;  // sorted by seed
+  std::array<MetricSummary, kMetricCount> stats{};
+};
+
+struct SweepReport {
+  std::vector<CellReport> cells;
+  std::size_t replicates_done = 0;
+  std::size_t replicates_total = 0;
+  bool stopped_early = false;
+  std::uint64_t first_seed = 1;
+  std::uint64_t seeds = 0;
+  double duration_days = 0.0;
+  // Timing fields — excluded by JsonOptions::include_timing=false so reports
+  // from different thread counts can be diffed byte-for-byte.
+  int jobs = 1;
+  double wall_seconds = 0.0;
+  double replicates_per_sec = 0.0;
+};
+
+struct JsonOptions {
+  bool include_timing = true;
+};
+
+/// Serializes a report to the machine-readable `smn-sweep-v1` JSON schema.
+[[nodiscard]] std::string to_json(const SweepReport& report, const JsonOptions& opts = {});
+
+class SweepRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 means std::thread::hardware_concurrency().
+    int jobs = 0;
+    /// Progress callback, invoked on the calling thread after each replicate
+    /// lands (`done` of `total`). May call request_stop() to end the sweep
+    /// early; in-flight replicates still complete and are reported.
+    std::function<void(const ReplicateResult&, std::size_t done, std::size_t total)> on_result;
+  };
+
+  /// Runs the full grid. Blocks until every replicate finished or the sweep
+  /// was stopped; safe to call repeatedly (the stop flag resets per run).
+  SweepReport run(const SweepSpec& spec, const Options& opts);
+  SweepReport run(const SweepSpec& spec) { return run(spec, Options{}); }
+
+  /// Requests cancellation: workers finish their current replicate and take
+  /// no new work. Callable from on_result or from another thread.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+  [[nodiscard]] bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+  /// Executes a single replicate synchronously — the unit the pool runs.
+  /// Exposed for tests and for callers that want one world's metrics.
+  [[nodiscard]] static ReplicateResult run_replicate(const CellSpec& cell, std::size_t cell_index,
+                                                     std::uint64_t seed, sim::Duration duration);
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace smn::runner

@@ -1,0 +1,159 @@
+// The parallel sweep engine's contract: thread count is never
+// simulation-visible (byte-identical reports at jobs=1 vs jobs=4 modulo
+// timing fields), cancellation stops a sweep mid-grid without losing landed
+// replicates, and degenerate grids (no cells, zero seeds) terminate cleanly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/channel.h"
+#include "runner/presets.h"
+#include "runner/sweep.h"
+#include "topology/builders.h"
+
+namespace smn {
+namespace {
+
+using runner::BoundedChannel;
+using runner::SweepReport;
+using runner::SweepRunner;
+using runner::SweepSpec;
+
+// A grid small enough for unit-test budgets but with enough fault traffic
+// that traces are genuinely seed-dependent (cf. determinism_test.cpp).
+SweepSpec tiny_spec(std::uint64_t seeds, double days) {
+  SweepSpec spec;
+  spec.first_seed = 3;
+  spec.seeds = seeds;
+  spec.duration = sim::Duration::days(days);
+  const topology::Blueprint bp =
+      topology::build_leaf_spine({.leaves = 4, .spines = 2, .servers_per_leaf = 2});
+  for (const core::AutomationLevel level :
+       {core::AutomationLevel::kL0_Manual, core::AutomationLevel::kL3_HighAutomation}) {
+    scenario::WorldConfig cfg = scenario::WorldConfig::for_level(level);
+    cfg.faults.transceiver_afr = 4.0;
+    cfg.faults.gray_rate_per_year = 100.0;
+    spec.cells.push_back({core::to_string(level), bp, cfg});
+  }
+  return spec;
+}
+
+TEST(BoundedChannel, DeliversInOrderAndDrainsAfterClose) {
+  BoundedChannel<int> ch{2};
+  EXPECT_TRUE(ch.push(1));
+  EXPECT_TRUE(ch.push(2));
+  ch.close();
+  EXPECT_FALSE(ch.push(3));  // late producer must not block or enqueue
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_EQ(ch.pop(), std::nullopt);
+}
+
+TEST(BoundedChannel, BlockedProducerWakesOnConsume) {
+  BoundedChannel<int> ch{1};
+  ASSERT_TRUE(ch.push(1));
+  std::thread producer{[&] { EXPECT_TRUE(ch.push(2)); }};
+  EXPECT_EQ(ch.pop(), 1);  // frees the slot the producer is waiting for
+  EXPECT_EQ(ch.pop(), 2);
+  producer.join();
+}
+
+TEST(SweepRunner, ThreadCountInvariance) {
+  const SweepSpec spec = tiny_spec(/*seeds=*/3, /*days=*/2.0);
+  SweepRunner serial;
+  SweepRunner threaded;
+  SweepRunner::Options serial_opts;
+  serial_opts.jobs = 1;
+  SweepRunner::Options threaded_opts;
+  threaded_opts.jobs = 4;
+  const SweepReport a = serial.run(spec, serial_opts);
+  const SweepReport b = threaded.run(spec, threaded_opts);
+
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  ASSERT_EQ(a.replicates_done, 6u);
+  ASSERT_EQ(b.replicates_done, 6u);
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    ASSERT_EQ(a.cells[c].replicates.size(), b.cells[c].replicates.size());
+    for (std::size_t i = 0; i < a.cells[c].replicates.size(); ++i) {
+      EXPECT_EQ(a.cells[c].replicates[i].seed, b.cells[c].replicates[i].seed);
+      EXPECT_EQ(a.cells[c].replicates[i].trace_hash, b.cells[c].replicates[i].trace_hash)
+          << "cell " << a.cells[c].name << " seed " << a.cells[c].replicates[i].seed;
+      EXPECT_EQ(a.cells[c].replicates[i].events, b.cells[c].replicates[i].events);
+    }
+  }
+  // The whole report — stats accumulated in sorted order — must serialize
+  // byte-identically once the timing fields (jobs, wall clock) are excluded.
+  const runner::JsonOptions no_timing{.include_timing = false};
+  EXPECT_EQ(runner::to_json(a, no_timing), runner::to_json(b, no_timing));
+}
+
+TEST(SweepRunner, SeedsProduceDistinctTraces) {
+  const SweepSpec spec = tiny_spec(/*seeds=*/2, /*days=*/4.0);
+  SweepRunner sweeper;
+  SweepRunner::Options opts;
+  opts.jobs = 2;
+  const SweepReport report = sweeper.run(spec, opts);
+  for (const runner::CellReport& cell : report.cells) {
+    ASSERT_EQ(cell.replicates.size(), 2u);
+    EXPECT_NE(cell.replicates[0].trace_hash, cell.replicates[1].trace_hash)
+        << "seed had no effect in cell " << cell.name;
+  }
+}
+
+TEST(SweepRunner, CancellationStopsMidSweep) {
+  const SweepSpec spec = tiny_spec(/*seeds=*/32, /*days=*/0.5);
+  SweepRunner sweeper;
+  std::atomic<std::size_t> seen{0};
+  SweepRunner::Options opts;
+  opts.jobs = 2;
+  opts.on_result = [&](const runner::ReplicateResult&, std::size_t done, std::size_t) {
+    seen.store(done);
+    if (done >= 3) sweeper.request_stop();
+  };
+  const SweepReport report = sweeper.run(spec, opts);
+  EXPECT_GE(report.replicates_done, 3u);
+  EXPECT_LT(report.replicates_done, report.replicates_total);
+  EXPECT_TRUE(report.stopped_early);
+  EXPECT_EQ(report.replicates_total, 64u);
+  // Landed replicates are still aggregated and serializable.
+  const std::string json = runner::to_json(report);
+  EXPECT_NE(json.find("\"stopped_early\":true"), std::string::npos);
+}
+
+TEST(SweepRunner, EmptyGridTerminates) {
+  SweepSpec spec;  // no cells at all
+  spec.seeds = 5;
+  SweepRunner sweeper;
+  const SweepReport report = sweeper.run(spec);
+  EXPECT_EQ(report.replicates_total, 0u);
+  EXPECT_EQ(report.replicates_done, 0u);
+  EXPECT_FALSE(report.stopped_early);
+  EXPECT_NE(runner::to_json(report).find("\"cells\":[]"), std::string::npos);
+}
+
+TEST(SweepRunner, ZeroSeedsTerminates) {
+  SweepSpec spec = tiny_spec(/*seeds=*/1, /*days=*/0.5);
+  spec.seeds = 0;
+  SweepRunner sweeper;
+  const SweepReport report = sweeper.run(spec);
+  EXPECT_EQ(report.replicates_total, 0u);
+  EXPECT_EQ(report.replicates_done, 0u);
+  ASSERT_EQ(report.cells.size(), 2u);  // cells are still named in the report
+  EXPECT_TRUE(report.cells[0].replicates.empty());
+}
+
+TEST(SweepPresets, KnownNamesBuildAndUnknownThrows) {
+  for (const std::string& name : runner::sweep_preset_names()) {
+    const SweepSpec spec = runner::make_sweep(name, sim::Duration::days(1), 1, 2);
+    EXPECT_FALSE(spec.cells.empty()) << name;
+  }
+  EXPECT_THROW(runner::make_sweep("nope", sim::Duration::days(1), 1, 2),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smn

@@ -24,6 +24,22 @@
 //                         and fail (exit 1) if the executed-event trace
 //                         hashes diverge; honors --level/--seed/--days
 //                         (days defaults to 10 in audit mode)
+//
+// Subcommand: `smnctl sweep` — the parallel Monte-Carlo sweep engine
+// (src/runner). Runs a named grid of worlds across a seed range on all
+// cores and emits the machine-readable smn-sweep-v1 JSON report:
+//
+//   smnctl sweep --preset availability --seeds 32 --days 45 --jobs 8
+//                --json BENCH_sweep.json
+//
+// Sweep flags (defaults in brackets):
+//   --preset availability|topologies|quick   [availability]
+//   --seeds N             replicates per cell                [8]
+//   --first-seed N                                           [1]
+//   --days N              simulated days per replicate       [30]
+//   --jobs J              worker threads, 0 = all cores      [0]
+//   --json FILE           write the JSON report
+//   --quiet               suppress per-replicate progress
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -35,6 +51,9 @@
 #include "analysis/report.h"
 #include "analysis/stats.h"
 #include "analysis/timeseries.h"
+#include "runner/json_writer.h"
+#include "runner/presets.h"
+#include "runner/sweep.h"
 #include "scenario/world.h"
 #include "topology/builders.h"
 
@@ -158,21 +177,21 @@ int run_determinism_audit(const Args& args) {
 
 /// Flags that take no value.
 [[nodiscard]] bool is_boolean_flag(const std::string& key) {
-  return key == "audit-determinism";
+  return key == "audit-determinism" || key == "quiet";
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
+// Parses `--key value` pairs (and bare boolean flags) from argv[start..).
+// Returns 0 on success, 2 on a usage error, and sets `args.kv["help"]` when
+// --help was requested.
+int parse_flags(int argc, char** argv, int start, Args& args) {
+  for (int i = start; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
       return 2;
     }
     const std::string key = argv[i] + 2;
     if (key == "help") {
-      std::printf("see the header of tools/smn_sim.cpp for flags\n");
+      args.kv["help"] = "on";
       return 0;
     }
     if (is_boolean_flag(key)) {
@@ -184,6 +203,84 @@ int main(int argc, char** argv) {
       return 2;
     }
     args.kv[key] = argv[++i];
+  }
+  return 0;
+}
+
+// `smnctl sweep`: run a preset Monte-Carlo grid on the worker pool and emit
+// the smn-sweep-v1 JSON report.
+int run_sweep(const Args& args) {
+  const std::string preset = args.get("preset", "availability");
+  const int days = args.geti("days", 30);
+  const auto seeds = static_cast<std::uint64_t>(args.geti("seeds", 8));
+  const auto first_seed = static_cast<std::uint64_t>(args.geti("first-seed", 1));
+  const int jobs = args.geti("jobs", 0);
+  const bool quiet = args.onoff("quiet", false);
+
+  const runner::SweepSpec spec =
+      runner::make_sweep(preset, sim::Duration::days(days), first_seed, seeds);
+  std::printf("sweep: preset %s, %zu cells x %llu seeds, %d days, jobs %s\n", preset.c_str(),
+              spec.cells.size(), static_cast<unsigned long long>(seeds), days,
+              jobs == 0 ? "auto" : std::to_string(jobs).c_str());
+
+  runner::SweepRunner sweeper;
+  runner::SweepRunner::Options opts;
+  opts.jobs = jobs;
+  if (!quiet) {
+    opts.on_result = [&](const runner::ReplicateResult& r, std::size_t done,
+                         std::size_t total) {
+      std::printf("  [%zu/%zu] %s seed %llu  trace %s\n", done, total,
+                  spec.cells[r.cell].name.c_str(), static_cast<unsigned long long>(r.seed),
+                  runner::JsonWriter::hex64(r.trace_hash).c_str());
+    };
+  }
+  const runner::SweepReport report = sweeper.run(spec, opts);
+
+  using analysis::Table;
+  Table table{{"cell", "n", "avail mean", "ci95", "down lh", "backlog", "cost $/yr"}};
+  for (const runner::CellReport& cell : report.cells) {
+    table.add_row({cell.name, Table::num(cell.replicates.size()),
+                   Table::num(cell.stats[runner::kAvailability].mean, 6),
+                   Table::num(cell.stats[runner::kAvailability].ci95, 6),
+                   Table::num(cell.stats[runner::kDowntimeLinkHours].mean, 1),
+                   Table::num(cell.stats[runner::kOpenBacklog].mean, 1),
+                   Table::num(cell.stats[runner::kAnnualCostUsd].mean, 0)});
+  }
+  table.print(std::cout);
+  std::printf("%zu/%zu replicates in %.2fs (%.2f replicates/sec, jobs=%d)\n",
+              report.replicates_done, report.replicates_total, report.wall_seconds,
+              report.replicates_per_sec, report.jobs);
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "sweep.json");
+    std::ofstream out{path};
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    out << runner::to_json(report) << '\n';
+    std::printf("report written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  const bool is_sweep = argc > 1 && std::strcmp(argv[1], "sweep") == 0;
+  if (parse_flags(argc, argv, is_sweep ? 2 : 1, args) != 0) return 2;
+  if (args.has("help")) {
+    std::printf("see the header of tools/smn_sim.cpp for flags\n");
+    return 0;
+  }
+  if (is_sweep) {
+    try {
+      return run_sweep(args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   }
 
   try {
