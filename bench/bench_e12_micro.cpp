@@ -102,6 +102,77 @@ void BM_PairConnectivitySample(benchmark::State& state) {
 }
 BENCHMARK(BM_PairConnectivitySample);
 
+// Downs every 7th link of the standard fabric, so reachability queries see a
+// realistic degraded plant (and the no-path early-out actually fires).
+void down_some_links(net::Network& net) {
+  for (std::size_t i = 0; i < net.links().size(); i += 7) {
+    net.link_mut(net::LinkId{static_cast<std::int32_t>(i)}).cable.intact = false;
+  }
+  net.refresh_all();
+}
+
+void BM_PathAvailable(benchmark::State& state) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = bench::standard_fabric();
+  net::Network net{bp, net::Network::Config{}, sim};
+  down_some_links(net);
+  const auto& servers = net.servers();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::DeviceId a = servers[i % servers.size()];
+    const net::DeviceId b = servers[(i * 7 + 13) % servers.size()];
+    benchmark::DoNotOptimize(net::path_available(net, a, b));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathAvailable);
+
+void BM_PathAvailableBfs(benchmark::State& state) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = bench::standard_fabric();
+  net::Network net{bp, net::Network::Config{}, sim};
+  down_some_links(net);
+  const auto& servers = net.servers();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const net::DeviceId a = servers[i % servers.size()];
+    const net::DeviceId b = servers[(i * 7 + 13) % servers.size()];
+    benchmark::DoNotOptimize(net::path_available_bfs(net, a, b));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PathAvailableBfs);
+
+void BM_SampledPairConnectivity(benchmark::State& state) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = bench::standard_fabric();
+  net::Network net{bp, net::Network::Config{}, sim};
+  down_some_links(net);
+  sim::RngFactory rngs{1};
+  sim::RngStream rng = rngs.stream("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::sampled_pair_connectivity(net, rng, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SampledPairConnectivity);
+
+void BM_SampledPairConnectivityBfs(benchmark::State& state) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = bench::standard_fabric();
+  net::Network net{bp, net::Network::Config{}, sim};
+  down_some_links(net);
+  sim::RngFactory rngs{1};
+  sim::RngStream rng = rngs.stream("bench");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::sampled_pair_connectivity_bfs(net, rng, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SampledPairConnectivityBfs);
+
 void BM_CascadePrediction(benchmark::State& state) {
   sim::Simulator sim;
   const topology::Blueprint bp = bench::standard_fabric();
@@ -134,6 +205,21 @@ void BM_WorldDay(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WorldDay)->Unit(benchmark::kMillisecond);
+
+void BM_WorldDayStep(benchmark::State& state) {
+  // Marginal cost of one more simulated day on a long-lived world — the
+  // quantity the sweep engine's replicates/sec is made of (BM_WorldDay
+  // measures day 1 of a fresh world; this measures day N).
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::World world{
+      bp, bench::standard_world(core::AutomationLevel::kL3_HighAutomation, 1)};
+  for (auto _ : state) {
+    world.run_for(sim::Duration::days(1));
+    benchmark::DoNotOptimize(world.tickets().total());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorldDayStep)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,188 @@
+// Routing-query throughput: the tracked perf number for the connectivity
+// engine (net/connectivity.h).
+//
+// Measures queries/sec of the engine-backed `path_available` /
+// `sampled_pair_connectivity` against the reference BFS
+// (`path_available_bfs`) on the standard fabric, in two plant conditions:
+// pristine, and ~15% of links failed (the regime availability sweeps live
+// in). Then runs a mini Monte-Carlo sweep and reports replicates/sec — the
+// end-to-end number the engine exists to move.
+//
+// Correctness gate: every individual engine answer must equal the BFS answer
+// on the same query, and the sampled-connectivity pair must agree
+// bit-for-bit when driven by identically-seeded streams. A mismatch exits 1
+// and fails CI's bench-smoke job.
+//
+// Usage: bench_routing_throughput [queries] [json_out=BENCH_routing.json]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "bench/common.h"
+#include "net/routing.h"
+#include "runner/json_writer.h"
+#include "runner/presets.h"
+#include "runner/sweep.h"
+
+namespace {
+
+using namespace smn;
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct ScenarioResult {
+  std::string name;
+  double engine_qps = 0;
+  double bfs_qps = 0;
+  double engine_sample_qps = 0;  // sampled_pair_connectivity, pairs/sec
+  double bfs_sample_qps = 0;
+  bool agree = true;
+};
+
+ScenarioResult run_scenario(const std::string& name, double fail_fraction, int queries) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = bench::standard_fabric();
+  net::Network net{bp, net::Network::Config{}, sim};
+  if (fail_fraction > 0.0) {
+    const auto stride = static_cast<std::size_t>(1.0 / fail_fraction);
+    for (std::size_t i = 0; i < net.links().size(); i += stride) {
+      net.link_mut(net::LinkId{static_cast<std::int32_t>(i)}).cable.intact = false;
+    }
+    net.refresh_all();
+  }
+
+  ScenarioResult r;
+  r.name = name;
+  const auto& servers = net.servers();
+
+  // Fixed deterministic query schedule, shared by both implementations.
+  std::vector<std::pair<net::DeviceId, net::DeviceId>> schedule;
+  schedule.reserve(static_cast<std::size_t>(queries));
+  for (int i = 0; i < queries; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    schedule.emplace_back(servers[ii % servers.size()],
+                          servers[(ii * 7 + 13) % servers.size()]);
+  }
+
+  std::vector<char> engine_answers(schedule.size());
+  auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    engine_answers[i] = net::path_available(net, schedule[i].first, schedule[i].second);
+  }
+  r.engine_qps = static_cast<double>(schedule.size()) / seconds_since(t0);
+
+  // The BFS is ~two orders slower; a slice of the schedule is plenty.
+  const std::size_t bfs_queries = schedule.size() / 10 + 1;
+  t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < bfs_queries; ++i) {
+    const bool want = net::path_available_bfs(net, schedule[i].first, schedule[i].second);
+    if (want != static_cast<bool>(engine_answers[i])) r.agree = false;
+  }
+  r.bfs_qps = static_cast<double>(bfs_queries) / seconds_since(t0);
+
+  // Sampled pair connectivity: identically-seeded streams must agree exactly.
+  const int rounds = 64, samples = 64;
+  sim::RngFactory rngs{7};
+  {
+    sim::RngStream rng = rngs.stream("routing-bench");
+    t0 = std::chrono::steady_clock::now();
+    double acc = 0;
+    for (int i = 0; i < rounds; ++i) {
+      acc += net::sampled_pair_connectivity(net, rng, samples);
+    }
+    r.engine_sample_qps = static_cast<double>(rounds) * samples / seconds_since(t0);
+    sim::RngStream rng2 = rngs.stream("routing-bench");
+    t0 = std::chrono::steady_clock::now();
+    double acc_bfs = 0;
+    for (int i = 0; i < rounds; ++i) {
+      acc_bfs += net::sampled_pair_connectivity_bfs(net, rng2, samples);
+    }
+    r.bfs_sample_qps = static_cast<double>(rounds) * samples / seconds_since(t0);
+    if (acc != acc_bfs) r.agree = false;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using analysis::Table;
+  const int queries = argc > 1 ? std::atoi(argv[1]) : 200000;
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_routing.json";
+
+  bench::print_header("ROUTING: connectivity-engine query throughput",
+                      "reachability answers back every availability number; CI tracks "
+                      "queries/sec and sweep replicates/sec");
+
+  const ScenarioResult pristine = run_scenario("pristine", 0.0, queries);
+  const ScenarioResult degraded = run_scenario("degraded-15pct", 0.15, queries);
+
+  Table table{{"scenario", "engine q/s", "bfs q/s", "speedup", "engine smp/s",
+               "bfs smp/s", "agree"}};
+  for (const ScenarioResult& r : {pristine, degraded}) {
+    table.add_row({r.name, Table::num(r.engine_qps, 0), Table::num(r.bfs_qps, 0),
+                   Table::num(r.bfs_qps > 0 ? r.engine_qps / r.bfs_qps : 0.0, 1),
+                   Table::num(r.engine_sample_qps, 0), Table::num(r.bfs_sample_qps, 0),
+                   r.agree ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  // End-to-end: replicates/sec of a mini sweep (the number the engine moves).
+  runner::SweepSpec spec;
+  spec.duration = sim::Duration::days(4);
+  spec.first_seed = 1;
+  spec.seeds = 6;
+  spec.cells.push_back({"standard/L3", runner::standard_fabric(),
+                        runner::standard_world(core::AutomationLevel::kL3_HighAutomation, 1)});
+  runner::SweepRunner sweeper;
+  runner::SweepRunner::Options opts;
+  opts.jobs = 1;
+  const runner::SweepReport sweep = sweeper.run(spec, opts);
+  std::printf("\nmini sweep: %zu replicates in %.2fs (%.2f replicates/sec, jobs=1)\n",
+              sweep.replicates_done, sweep.wall_seconds, sweep.replicates_per_sec);
+
+  const bool agree = pristine.agree && degraded.agree;
+  {
+    runner::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "smn-bench-routing-v1");
+    w.kv("queries", queries);
+    for (const ScenarioResult* r : {&pristine, &degraded}) {
+      w.key(r->name);
+      w.begin_object();
+      w.kv("engine_queries_per_sec", r->engine_qps);
+      w.kv("bfs_queries_per_sec", r->bfs_qps);
+      w.kv("speedup", r->bfs_qps > 0 ? r->engine_qps / r->bfs_qps : 0.0);
+      w.kv("engine_sampled_pairs_per_sec", r->engine_sample_qps);
+      w.kv("bfs_sampled_pairs_per_sec", r->bfs_sample_qps);
+      w.kv("agree", r->agree);
+      w.end_object();
+    }
+    w.key("mini_sweep");
+    w.begin_object();
+    w.kv("replicates", sweep.replicates_done);
+    w.kv("wall_seconds", sweep.wall_seconds);
+    w.kv("replicates_per_sec", sweep.replicates_per_sec);
+    w.end_object();
+    w.kv("agree", agree);
+    w.end_object();
+    std::ofstream out{json_path};
+    out << w.str() << "\n";
+    std::printf("report written to %s\n", json_path);
+  }
+
+  if (!agree) {
+    std::fprintf(stderr,
+                 "FAIL: connectivity engine disagreed with the reference BFS — the cache "
+                 "is not a pure cache\n");
+    return 1;
+  }
+  return 0;
+}

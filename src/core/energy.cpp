@@ -13,6 +13,7 @@ EnergyManager::EnergyManager(net::Network& net, Config cfg)
   // far inside the repair window).
   net_.subscribe([this](const net::Link& l, net::LinkState, net::LinkState now_state) {
     if (now_state != net::LinkState::kDown || l.admin_down) return;
+    // smn-lint: allow(hot-copy) — links_between returns a cached reference.
     for (const net::LinkId sibling : net_.links_between(l.end_a.device, l.end_b.device)) {
       if (parked(sibling)) {
         unpark(sibling);
@@ -79,7 +80,7 @@ void EnergyManager::step_once() {
             std::max(l.end_a.device.value(), l.end_b.device.value()));
     if (!seen_groups.insert(group).second) continue;
 
-    const auto members = net_.links_between(l.end_a.device, l.end_b.device);
+    const auto& members = net_.links_between(l.end_a.device, l.end_b.device);
     if (static_cast<int>(members.size()) <= cfg_.min_live_members) continue;
     int live = 0;
     for (const net::LinkId m : members) {

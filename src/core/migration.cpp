@@ -11,15 +11,15 @@ std::vector<net::LinkId> LoadMigrator::drain_for_work(
 
     // Never drain the last live member of a parallel link group (LAG): the
     // point of migration is to move traffic, not to brown out the adjacency.
+    const std::vector<net::LinkId>& group =  // smn-lint: allow(hot-copy)
+        net_.links_between(l.end_a.device, l.end_b.device);
     int live_siblings = 0;
-    for (const net::LinkId sibling : net_.links_between(l.end_a.device, l.end_b.device)) {
+    for (const net::LinkId sibling : group) {
       if (sibling != lid && net_.link(sibling).state != net::LinkState::kDown) {
         ++live_siblings;
       }
     }
-    const bool has_parallel_group =
-        net_.links_between(l.end_a.device, l.end_b.device).size() > 1;
-    if (has_parallel_group && live_siblings == 0) {
+    if (group.size() > 1 && live_siblings == 0) {
       ++refusals_;
       continue;
     }

@@ -115,6 +115,7 @@ TopologyReconfigurer::Plan TopologyReconfigurer::plan(const net::TrafficMatrix& 
       }
       if (hot_tors.size() >= 2) {
         // Candidate intermediates: switches adjacent to every hot ToR.
+        // smn-lint: allow(hot-copy) — links_between returns a cached reference.
         std::vector<net::DeviceId> columns;
         for (const auto& [peer, lid] : net_.live_neighbors(hot_tors[0])) {
           if (!topology::is_switch(net_.device(peer).role)) continue;

@@ -40,6 +40,16 @@ double Link::loss_rate(LinkState s) {
   return 1.0;
 }
 
+bool link_usable(const Link& l, const PathPolicy& policy) {
+  switch (l.state) {
+    case LinkState::kUp: return true;
+    case LinkState::kDegraded: return policy.use_degraded;
+    case LinkState::kFlapping: return policy.use_flapping;
+    case LinkState::kDown: return false;
+  }
+  return false;
+}
+
 double tail_latency_factor(double loss) {
   // A flow's p99 completion time inflates roughly with the probability that
   // one of its ~1000 packets needs an RTO-scale (~100x RTT) retransmission.

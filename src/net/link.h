@@ -74,4 +74,16 @@ class Link {
 /// each lost packet adds an RTO-scale delay to the tail.
 [[nodiscard]] double tail_latency_factor(double loss);
 
+/// Which impaired states may still carry traffic for a path query. Lives here
+/// (rather than routing.h) so the connectivity cache can key its per-policy
+/// forests without pulling in the full routing interface.
+struct PathPolicy {
+  /// Whether Flapping links may carry traffic (connected but lossy).
+  bool use_flapping = true;
+  /// Whether Degraded links may carry traffic.
+  bool use_degraded = true;
+};
+
+[[nodiscard]] bool link_usable(const Link& l, const PathPolicy& policy);
+
 }  // namespace smn::net

@@ -45,9 +45,20 @@ Network::Network(const topology::Blueprint& bp, const Config& cfg, sim::Simulato
     assign_hardware(hw_rng, link);
     device_links_[static_cast<size_t>(ls.node_a)].push_back(link.id);
     device_links_[static_cast<size_t>(ls.node_b)].push_back(link.id);
+    link_groups_[pair_key(link.end_a.device, link.end_b.device)].push_back(link.id);
     links_.push_back(std::move(link));
   }
+  build_role_rosters();
+  connectivity_ = std::make_unique<ConnectivityEngine>(*this);
   refresh_all();
+}
+
+void Network::build_role_rosters() {
+  role_rosters_.assign(static_cast<std::size_t>(topology::NodeRole::kGpuServer) + 1, {});
+  for (const Device& d : devices_) {
+    role_rosters_[static_cast<std::size_t>(d.role)].push_back(d.id);
+    if (!topology::is_switch(d.role)) servers_.push_back(d.id);
+  }
 }
 
 void Network::assign_hardware(sim::RngStream& rng, Link& link) {
@@ -94,30 +105,34 @@ std::vector<std::pair<DeviceId, LinkId>> Network::live_neighbors(DeviceId id) co
   return out;
 }
 
-std::vector<DeviceId> Network::devices_with_role(topology::NodeRole role) const {
-  std::vector<DeviceId> out;
-  for (const Device& d : devices_) {
-    if (d.role == role) out.push_back(d.id);
-  }
-  return out;
+const std::vector<DeviceId>& Network::devices_with_role(topology::NodeRole role) const {
+  return role_rosters_.at(static_cast<std::size_t>(role));
 }
 
-std::vector<DeviceId> Network::servers() const {
-  std::vector<DeviceId> out;
-  for (const Device& d : devices_) {
-    if (!topology::is_switch(d.role)) out.push_back(d.id);
-  }
-  return out;
+const std::vector<LinkId>& Network::links_between(DeviceId a, DeviceId b) const {
+  static const std::vector<LinkId> kEmpty;
+  const auto it = link_groups_.find(pair_key(a, b));
+  return it == link_groups_.end() ? kEmpty : it->second;
 }
 
-std::vector<LinkId> Network::links_between(DeviceId a, DeviceId b) const {
-  std::vector<LinkId> out;
-  for (const LinkId lid : links_at(a)) {
-    const Link& l = link(lid);
-    const DeviceId peer = l.end_a.device == a ? l.end_b.device : l.end_a.device;
-    if (peer == b) out.push_back(lid);
+const CsrAdjacency& Network::adjacency() const {
+  if (csr_structure_generation_ == structure_generation_) return csr_;
+  csr_.offsets.assign(devices_.size() + 1, 0);
+  csr_.peer.clear();
+  csr_.link.clear();
+  csr_.peer.reserve(links_.size() * 2);
+  csr_.link.reserve(links_.size() * 2);
+  for (std::size_t d = 0; d < device_links_.size(); ++d) {
+    const DeviceId dev{static_cast<std::int32_t>(d)};
+    for (const LinkId lid : device_links_[d]) {
+      const Link& l = links_[static_cast<std::size_t>(lid.value())];
+      csr_.peer.push_back(l.end_a.device == dev ? l.end_b.device : l.end_a.device);
+      csr_.link.push_back(lid);
+    }
+    csr_.offsets[d + 1] = static_cast<std::int32_t>(csr_.peer.size());
   }
-  return out;
+  csr_structure_generation_ = structure_generation_;
+  return csr_;
 }
 
 LinkState Network::refresh_link(LinkId id) {
@@ -131,6 +146,9 @@ LinkState Network::refresh_link(LinkId id) {
   if (next != l.state) {
     const LinkState prev = l.state;
     l.state = next;
+    // Stamp before notifying: an observer that issues a reachability query
+    // must see the post-change forest, not a stale cache.
+    ++state_generation_;
     for (const Observer& obs : observers_) obs(l, prev, next);
   }
   return l.state;
@@ -170,6 +188,14 @@ void Network::rewire(LinkId id, DeviceId new_a, DeviceId new_b) {
   detach(l.end_a.device);
   detach(l.end_b.device);
 
+  // Keep the parallel-link group index in step with the adjacency rows.
+  const auto old_key = pair_key(l.end_a.device, l.end_b.device);
+  auto group_it = link_groups_.find(old_key);
+  SMN_ASSERT(group_it != link_groups_.end(), "rewire: link %d missing from group index",
+             id.value());
+  std::erase(group_it->second, id);
+  if (group_it->second.empty()) link_groups_.erase(group_it);
+
   auto next_port = [&](DeviceId dev) {
     int max_port = -1;
     for (const LinkId other : links_at(dev)) {
@@ -189,6 +215,8 @@ void Network::rewire(LinkId id, DeviceId new_a, DeviceId new_b) {
   l.gray_until = sim_->now();
   device_links_.at(static_cast<size_t>(new_a.value())).push_back(id);
   device_links_.at(static_cast<size_t>(new_b.value())).push_back(id);
+  link_groups_[pair_key(new_a, new_b)].push_back(id);
+  ++structure_generation_;
 
   // Re-route the physical cable and re-assign medium/SKU for the new length.
   topology::LinkSpec& spec = blueprint_.link_mut(l.topology_link_index);
@@ -266,6 +294,53 @@ void Network::check_invariants() const {
   }
   for (std::size_t i = 0; i < links_.size(); ++i) {
     SMN_ASSERT(seen[i] == 2, "link %zu appears %d times in the adjacency (want 2)", i, seen[i]);
+  }
+
+  // The parallel-link group index must list every link exactly once, under
+  // the key of its current endpoints.
+  std::size_t grouped = 0;
+  for (const auto& [key, group] : link_groups_) {
+    SMN_ASSERT(!group.empty(), "group index holds empty group for key %llu",
+               static_cast<unsigned long long>(key));
+    for (const LinkId lid : group) {
+      SMN_ASSERT(lid.valid() && lid.value() < static_cast<std::int32_t>(links_.size()),
+                 "group index lists unknown link %d", lid.value());
+      const Link& l = links_[static_cast<std::size_t>(lid.value())];
+      SMN_ASSERT(pair_key(l.end_a.device, l.end_b.device) == key,
+                 "link %d filed under stale endpoint key", lid.value());
+      ++grouped;
+    }
+  }
+  SMN_ASSERT(grouped == links_.size(), "group index holds %zu links (want %zu)", grouped,
+             links_.size());
+
+  // Role rosters partition the device set; `servers_` is exactly the
+  // non-switch slice in id order.
+  std::size_t rostered = 0;
+  for (const auto& roster : role_rosters_) rostered += roster.size();
+  SMN_ASSERT(rostered == devices_.size(), "role rosters hold %zu devices (want %zu)",
+             rostered, devices_.size());
+  for (const DeviceId sid : servers_) {
+    SMN_ASSERT(!topology::is_switch(device(sid).role), "servers_ lists switch %d",
+               sid.value());
+  }
+
+  // A fresh CSR must mirror the jagged adjacency row-for-row.
+  if (csr_structure_generation_ == structure_generation_) {
+    SMN_ASSERT(csr_.offsets.size() == devices_.size() + 1 &&
+                   csr_.peer.size() == links_.size() * 2,
+               "CSR shape (%zu offsets, %zu entries) disagrees with network",
+               csr_.offsets.size(), csr_.peer.size());
+    for (std::size_t dev = 0; dev < device_links_.size(); ++dev) {
+      const auto begin = static_cast<std::size_t>(csr_.offsets[dev]);
+      SMN_ASSERT(static_cast<std::size_t>(csr_.offsets[dev + 1]) - begin ==
+                     device_links_[dev].size(),
+                 "CSR row %zu length disagrees with adjacency", dev);
+      for (std::size_t k = 0; k < device_links_[dev].size(); ++k) {
+        SMN_ASSERT(csr_.link[begin + k] == device_links_[dev][k],
+                   "CSR row %zu entry %zu out of order", dev, k);
+      }
+    }
   }
 }
 

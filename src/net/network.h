@@ -4,14 +4,33 @@
 // Network is the single source of truth for hardware condition. Fault
 // processes and repair actions mutate link conditions and then call
 // `refresh_link`, which re-derives the operational state and notifies
-// observers (telemetry, availability trackers). Nothing else caches state.
+// observers (telemetry, availability trackers).
+//
+// Derived hot-path caches (and their invalidation rules):
+//   * role rosters (`servers`, `devices_with_role`) — roles are immutable for
+//     a Network's lifetime, so these are built once at construction and
+//     returned by const reference.
+//   * parallel-link groups (`links_between`) — maintained incrementally:
+//     populated at construction and updated by `rewire`, the only operation
+//     that changes link endpoints.
+//   * CSR adjacency (`adjacency`) — flat (peer, link) arrays mirroring
+//     `links_at` row order, rebuilt lazily after `rewire`.
+//   * the ConnectivityEngine (`connectivity`) — generation-stamped union-find
+//     reachability cache; see net/connectivity.h for its invalidation rules.
+// All four are pure caches over the authoritative device/link state: they
+// never draw randomness or schedule events, so simulation traces are
+// byte-identical with or without them.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "net/connectivity.h"
 #include "net/link.h"
 #include "net/transceiver.h"
 #include "net/types.h"
@@ -42,6 +61,22 @@ struct Device {
     const int card = card_of(port);
     return card >= static_cast<int>(linecards_healthy.size()) ||
            linecards_healthy[static_cast<size_t>(card)];
+  }
+};
+
+/// Flat compressed-sparse-row view of the device→(peer, link) adjacency.
+/// Row order matches `Network::links_at` exactly, so a BFS over the CSR
+/// visits neighbours in the same order as one over the jagged index — a
+/// requirement for byte-identical paths.
+struct CsrAdjacency {
+  std::vector<std::int32_t> offsets;  // devices()+1 row offsets into peer/link
+  std::vector<DeviceId> peer;
+  std::vector<LinkId> link;
+
+  /// [begin, end) index range of a device's row.
+  [[nodiscard]] std::pair<std::int32_t, std::int32_t> row(DeviceId d) const {
+    const auto i = static_cast<std::size_t>(d.value());
+    return {offsets[i], offsets[i + 1]};
   }
 };
 
@@ -93,9 +128,30 @@ class Network {
   /// (peer device, link) adjacency of a device, live links only.
   [[nodiscard]] std::vector<std::pair<DeviceId, LinkId>> live_neighbors(DeviceId id) const;
 
-  [[nodiscard]] std::vector<DeviceId> devices_with_role(topology::NodeRole role) const;
-  [[nodiscard]] std::vector<DeviceId> servers() const;
-  [[nodiscard]] std::vector<LinkId> links_between(DeviceId a, DeviceId b) const;
+  /// Devices of a role, in id order. Cached: roles never change after
+  /// construction, so the returned reference is stable for the Network's
+  /// lifetime.
+  [[nodiscard]] const std::vector<DeviceId>& devices_with_role(topology::NodeRole role) const;
+  /// All non-switch devices (servers and GPU servers), in id order. Cached.
+  [[nodiscard]] const std::vector<DeviceId>& servers() const { return servers_; }
+  /// The parallel-link (LAG) group between two adjacent devices, in the same
+  /// order the links appear in `links_at(a)`. Backed by the precomputed group
+  /// index; the reference is invalidated by `rewire`.
+  [[nodiscard]] const std::vector<LinkId>& links_between(DeviceId a, DeviceId b) const;
+
+  /// Flat adjacency for BFS hot loops; rebuilt lazily after `rewire`.
+  [[nodiscard]] const CsrAdjacency& adjacency() const;
+
+  /// The reachability cache bound to this network (one per Network, so one
+  /// per World — sweep workers share nothing). Callable on a const Network:
+  /// the engine only ever caches derived state.
+  [[nodiscard]] ConnectivityEngine& connectivity() const { return *connectivity_; }
+
+  /// Generation counters backing cache invalidation: `state_generation`
+  /// advances whenever any link's derived state changes; `structure_generation`
+  /// advances when `rewire` changes link endpoints.
+  [[nodiscard]] std::uint64_t state_generation() const { return state_generation_; }
+  [[nodiscard]] std::uint64_t structure_generation() const { return structure_generation_; }
 
   /// Re-derives a link's state from its conditions; notifies observers on
   /// change. Returns the (possibly unchanged) state.
@@ -133,6 +189,13 @@ class Network {
 
  private:
   void assign_hardware(sim::RngStream& rng, Link& link);
+  void build_role_rosters();
+  /// Unordered endpoint pair key for the parallel-link group index.
+  [[nodiscard]] static std::uint64_t pair_key(DeviceId a, DeviceId b) {
+    const auto lo = static_cast<std::uint32_t>(std::min(a.value(), b.value()));
+    const auto hi = static_cast<std::uint32_t>(std::max(a.value(), b.value()));
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
 
   Config cfg_;
   topology::Blueprint blueprint_;
@@ -141,6 +204,16 @@ class Network {
   std::vector<Link> links_;
   std::vector<std::vector<LinkId>> device_links_;
   std::vector<Observer> observers_;
+
+  // Derived caches — see the class comment for invalidation rules.
+  std::vector<DeviceId> servers_;
+  std::vector<std::vector<DeviceId>> role_rosters_;  // indexed by NodeRole
+  std::unordered_map<std::uint64_t, std::vector<LinkId>> link_groups_;
+  std::uint64_t state_generation_ = 0;
+  std::uint64_t structure_generation_ = 0;
+  mutable CsrAdjacency csr_;
+  mutable std::uint64_t csr_structure_generation_ = ~std::uint64_t{0};
+  mutable std::unique_ptr<ConnectivityEngine> connectivity_;
 };
 
 }  // namespace smn::net

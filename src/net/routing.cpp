@@ -5,19 +5,19 @@
 
 namespace smn::net {
 
-bool link_usable(const Link& l, const PathPolicy& policy) {
-  switch (l.state) {
-    case LinkState::kUp: return true;
-    case LinkState::kDegraded: return policy.use_degraded;
-    case LinkState::kFlapping: return policy.use_flapping;
-    case LinkState::kDown: return false;
-  }
-  return false;
-}
-
 std::vector<DeviceId> shortest_path(const Network& net, DeviceId from, DeviceId to,
                                     const PathPolicy& policy) {
-  if (from == to) return {from};
+  return net.connectivity().shortest_path(from, to, policy);
+}
+
+bool path_available(const Network& net, DeviceId from, DeviceId to,
+                    const PathPolicy& policy) {
+  return net.connectivity().connected(from, to, policy);
+}
+
+bool path_available_bfs(const Network& net, DeviceId from, DeviceId to,
+                        const PathPolicy& policy) {
+  if (from == to) return true;
   const int n = static_cast<int>(net.devices().size());
   std::vector<int> parent(static_cast<size_t>(n), -2);  // -2 unvisited, -1 root
   std::queue<DeviceId> q;
@@ -34,33 +34,16 @@ std::vector<DeviceId> shortest_path(const Network& net, DeviceId from, DeviceId 
       auto& p = parent[static_cast<size_t>(peer.value())];
       if (p != -2) continue;
       p = cur.value();
-      if (peer == to) {
-        // Walk parents from `to` back to the root and reverse.
-        std::vector<DeviceId> path;
-        DeviceId v = to;
-        while (true) {
-          path.push_back(v);
-          const int pv = parent[static_cast<size_t>(v.value())];
-          if (pv == -1) break;
-          v = DeviceId{pv};
-        }
-        std::reverse(path.begin(), path.end());
-        return path;
-      }
+      if (peer == to) return true;
       q.push(peer);
     }
   }
-  return {};
-}
-
-bool path_available(const Network& net, DeviceId from, DeviceId to,
-                    const PathPolicy& policy) {
-  return !shortest_path(net, from, to, policy).empty();
+  return false;
 }
 
 double sampled_pair_connectivity(const Network& net, sim::RngStream& rng, int samples,
                                  const PathPolicy& policy) {
-  const std::vector<DeviceId> servers = net.servers();
+  const std::vector<DeviceId>& servers = net.servers();
   if (servers.size() < 2 || samples <= 0) return 1.0;
   int ok = 0;
   for (int i = 0; i < samples; ++i) {
@@ -68,6 +51,20 @@ double sampled_pair_connectivity(const Network& net, sim::RngStream& rng, int sa
     DeviceId b = a;
     while (b == a) b = servers[rng.index(servers.size())];
     if (path_available(net, a, b, policy)) ++ok;
+  }
+  return static_cast<double>(ok) / samples;
+}
+
+double sampled_pair_connectivity_bfs(const Network& net, sim::RngStream& rng, int samples,
+                                     const PathPolicy& policy) {
+  const std::vector<DeviceId>& servers = net.servers();
+  if (servers.size() < 2 || samples <= 0) return 1.0;
+  int ok = 0;
+  for (int i = 0; i < samples; ++i) {
+    const DeviceId a = servers[rng.index(servers.size())];
+    DeviceId b = a;
+    while (b == a) b = servers[rng.index(servers.size())];
+    if (path_available_bfs(net, a, b, policy)) ++ok;
   }
   return static_cast<double>(ok) / samples;
 }
@@ -96,7 +93,8 @@ std::optional<double> path_loss(const Network& net, const std::vector<DeviceId>&
   double worst = 0.0;
   for (std::size_t i = 0; i + 1 < path.size(); ++i) {
     // Use the best (lowest-loss) parallel link between consecutive hops, as
-    // ECMP would steer around the sick member of a LAG.
+    // ECMP would steer around the sick member of a LAG. The group differs per
+    // hop, so the lookup belongs in the loop. smn-lint: allow(hot-copy)
     double best = 1.0;
     for (const LinkId lid : net.links_between(path[i], path[i + 1])) {
       const Link& l = net.link(lid);

@@ -4,6 +4,13 @@
 // other", "how many of this leaf's uplinks survive", and "what fraction of
 // server pairs are connected" — the quantities the paper's overprovisioning
 // argument (§1) trades against repair speed.
+//
+// `shortest_path` and `path_available` are now thin wrappers over the
+// network's ConnectivityEngine (net/connectivity.h): reachability comes from
+// a generation-stamped union-find instead of a fresh BFS per query.
+// `path_available_bfs` keeps the original allocating BFS verbatim as the
+// reference implementation the differential tests and benchmarks compare
+// against. PathPolicy and link_usable live in net/link.h.
 #pragma once
 
 #include <optional>
@@ -14,15 +21,6 @@
 
 namespace smn::net {
 
-struct PathPolicy {
-  /// Whether Flapping links may carry traffic (connected but lossy).
-  bool use_flapping = true;
-  /// Whether Degraded links may carry traffic.
-  bool use_degraded = true;
-};
-
-[[nodiscard]] bool link_usable(const Link& l, const PathPolicy& policy);
-
 /// BFS shortest path by hop count; empty if unreachable.
 [[nodiscard]] std::vector<DeviceId> shortest_path(const Network& net, DeviceId from,
                                                   DeviceId to, const PathPolicy& policy = {});
@@ -30,9 +28,19 @@ struct PathPolicy {
 [[nodiscard]] bool path_available(const Network& net, DeviceId from, DeviceId to,
                                   const PathPolicy& policy = {});
 
+/// Reference reachability: the pre-engine from-scratch BFS, kept verbatim.
+/// O(V+E) per call — use only for differential testing and benchmarking.
+[[nodiscard]] bool path_available_bfs(const Network& net, DeviceId from, DeviceId to,
+                                      const PathPolicy& policy = {});
+
 /// Fraction of `samples` random server pairs that are mutually reachable.
 [[nodiscard]] double sampled_pair_connectivity(const Network& net, sim::RngStream& rng,
                                                int samples, const PathPolicy& policy = {});
+
+/// Reference counterpart of `sampled_pair_connectivity` running on the BFS;
+/// draws the identical RNG sequence, so results must match bit-for-bit.
+[[nodiscard]] double sampled_pair_connectivity_bfs(const Network& net, sim::RngStream& rng,
+                                                   int samples, const PathPolicy& policy = {});
 
 /// Count of usable parallel links between two adjacent devices (the E5
 /// redundancy measure for leaf->spine uplinks).

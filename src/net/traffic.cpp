@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 namespace smn::net {
 
@@ -15,7 +14,7 @@ double TrafficMatrix::total_demand_gbps() const {
 TrafficMatrix TrafficMatrix::uniform(const Network& net, int pairs, double gbps,
                                      sim::RngStream& rng) {
   TrafficMatrix tm;
-  const std::vector<DeviceId> servers = net.servers();
+  const std::vector<DeviceId>& servers = net.servers();
   if (servers.size() < 2) return tm;
   tm.flows.reserve(static_cast<size_t>(pairs));
   for (int i = 0; i < pairs; ++i) {
@@ -49,33 +48,6 @@ TrafficMatrix TrafficMatrix::skewed(const Network& net, int pairs, double gbps,
   return tm;
 }
 
-namespace {
-
-/// BFS hop distances from `root` over usable links.
-std::vector<int> distances(const Network& net, DeviceId root, const PathPolicy& policy) {
-  std::vector<int> dist(net.devices().size(), -1);
-  std::queue<DeviceId> q;
-  dist[static_cast<size_t>(root.value())] = 0;
-  q.push(root);
-  while (!q.empty()) {
-    const DeviceId cur = q.front();
-    q.pop();
-    for (const LinkId lid : net.links_at(cur)) {
-      const Link& l = net.link(lid);
-      if (!link_usable(l, policy)) continue;
-      const DeviceId peer = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
-      if (!net.device(peer).healthy) continue;
-      int& d = dist[static_cast<size_t>(peer.value())];
-      if (d >= 0) continue;
-      d = dist[static_cast<size_t>(cur.value())] + 1;
-      q.push(peer);
-    }
-  }
-  return dist;
-}
-
-}  // namespace
-
 LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
                           const PathPolicy& policy) {
   LoadReport report;
@@ -98,7 +70,8 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
   for (const Flow& f : tm.flows) {
     auto it = dist_to_dst.find(f.dst.value());
     if (it == dist_to_dst.end()) {
-      it = dist_to_dst.emplace(f.dst.value(), distances(net, f.dst, policy)).first;
+      it = dist_to_dst.emplace(f.dst.value(), std::vector<int>{}).first;
+      net.connectivity().bfs_distances(f.dst, policy, it->second);
     }
     const std::vector<int>& ddst = it->second;
     const int total = ddst[static_cast<size_t>(f.src.value())];

@@ -1,36 +1,9 @@
 #include "telemetry/localization.h"
 
 #include <algorithm>
-#include <queue>
 #include <unordered_map>
 
 namespace smn::telemetry {
-namespace {
-
-/// BFS hop distances to `root` over usable links.
-std::vector<int> distances_to(const net::Network& net, net::DeviceId root) {
-  std::vector<int> dist(net.devices().size(), -1);
-  std::queue<net::DeviceId> q;
-  dist[static_cast<size_t>(root.value())] = 0;
-  q.push(root);
-  while (!q.empty()) {
-    const net::DeviceId cur = q.front();
-    q.pop();
-    for (const net::LinkId lid : net.links_at(cur)) {
-      const net::Link& l = net.link(lid);
-      if (l.state == net::LinkState::kDown) continue;
-      const net::DeviceId peer = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
-      if (!net.device(peer).healthy) continue;
-      int& d = dist[static_cast<size_t>(peer.value())];
-      if (d >= 0) continue;
-      d = dist[static_cast<size_t>(cur.value())] + 1;
-      q.push(peer);
-    }
-  }
-  return dist;
-}
-
-}  // namespace
 
 ProbeResult FaultLocalizer::probe(net::DeviceId src, net::DeviceId dst) {
   ProbeResult result;
@@ -38,8 +11,10 @@ ProbeResult FaultLocalizer::probe(net::DeviceId src, net::DeviceId dst) {
   result.dst = dst;
   // A probe's 5-tuple hashes onto one equal-cost next hop at every switch —
   // a uniform random walk down the shortest-path DAG, choosing both the next
-  // device and the parallel-group member.
-  const std::vector<int> dist = distances_to(net_, dst);
+  // device and the parallel-group member. The default PathPolicy (anything
+  // not Down carries probes) matches the localizer's pre-engine BFS.
+  net_.connectivity().bfs_distances(dst, {}, dist_scratch_);
+  const std::vector<int>& dist = dist_scratch_;
   if (dist[static_cast<size_t>(src.value())] < 0) {
     result.lossy = true;  // unreachable: maximally lossy
     return result;
@@ -71,7 +46,7 @@ ProbeResult FaultLocalizer::probe(net::DeviceId src, net::DeviceId dst) {
 
 std::vector<ProbeResult> FaultLocalizer::run_probes(int count) {
   std::vector<ProbeResult> out;
-  const std::vector<net::DeviceId> servers = net_.servers();
+  const std::vector<net::DeviceId>& servers = net_.servers();
   if (servers.size() < 2) return out;
   out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {

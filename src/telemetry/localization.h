@@ -74,6 +74,9 @@ class FaultLocalizer {
   net::Network& net_;
   sim::RngStream rng_;
   Config cfg_;
+  /// Scratch distance table reused across probes (one BFS per probe was the
+  /// localizer's dominant allocation).
+  std::vector<int> dist_scratch_;
 };
 
 }  // namespace smn::telemetry

@@ -7,7 +7,7 @@ namespace smn::workload {
 
 StorageService::StorageService(net::Network& net, sim::RngStream rng, Config cfg)
     : net_{net}, rng_{std::move(rng)}, cfg_{cfg} {
-  const std::vector<net::DeviceId> servers = net_.servers();
+  const std::vector<net::DeviceId>& servers = net_.servers();
   if (static_cast<int>(servers.size()) < cfg_.replication) {
     throw std::invalid_argument{"StorageService: fewer servers than replication factor"};
   }

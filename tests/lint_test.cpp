@@ -137,6 +137,64 @@ TEST(LintTest, RequiresSmnNamespaceInSrcHeaders) {
   EXPECT_FALSE(has_rule(bench, "namespace"));
 }
 
+TEST(LintTest, DetectsHotCopyInLoopBody) {
+  const std::string source =
+      "void tally(const smn::net::Network& net) {\n"
+      "  int n = 0;\n"
+      "  for (int i = 0; i < 10; ++i) {\n"
+      "    n += static_cast<int>(net.servers().size());\n"
+      "  }\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  ASSERT_TRUE(has_rule(fs, "hot-copy"));
+  EXPECT_EQ(line_of_rule(fs, "hot-copy"), 4);
+}
+
+TEST(LintTest, DetectsHotCopyLinksBetweenInWhileBody) {
+  const std::string source =
+      "int probe(smn::net::Network* net) {\n"
+      "  int n = 0;\n"
+      "  while (n < 4)\n"
+      "    n += static_cast<int>(net->links_between(a, b).size());\n"
+      "  return n;\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_TRUE(has_rule(fs, "hot-copy"));
+}
+
+TEST(LintTest, AllowsHoistedAccessorOutsideLoop) {
+  const std::string source =
+      "void tally(const smn::net::Network& net) {\n"
+      "  const auto& servers = net.servers();\n"
+      "  int n = 0;\n"
+      "  for (const auto d : servers) ++n;\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_FALSE(has_rule(fs, "hot-copy"));
+}
+
+TEST(LintTest, AllowsAccessorInRangeForHead) {
+  // The range expression of a range-for is evaluated once, not per iteration.
+  const std::string source =
+      "int live(const smn::net::Network& net) {\n"
+      "  int n = 0;\n"
+      "  for (const auto lid : net.links_between(a, b)) ++n;\n"
+      "  return n;\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_FALSE(has_rule(fs, "hot-copy"));
+}
+
+TEST(LintTest, HotCopyIgnoredOutsideSrcAndSuppressible) {
+  const std::string source =
+      "void tally(const smn::net::Network& net) {\n"
+      "  for (int i = 0; i < 10; ++i) use(net.servers());\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("tests/foo.cpp", source, false), "hot-copy"));
+  const std::string suppressed = "// smn-lint: allow(hot-copy)\n" + source;
+  EXPECT_FALSE(has_rule(lint_source("src/foo.cpp", suppressed, true), "hot-copy"));
+}
+
 TEST(LintTest, SuppressionCommentDisablesRuleFileWide) {
   const std::string source =
       "// smn-lint: allow(banned-random)\n"

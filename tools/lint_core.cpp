@@ -240,6 +240,78 @@ void check_unordered_iteration(const std::string& path, const std::string& code,
   }
 }
 
+// [start, end) of a loop's body given the position just past its head's
+// closing ')': balanced braces, or a single statement up to ';'.
+[[nodiscard]] std::pair<std::size_t, std::size_t> loop_body_span(const std::string& code,
+                                                                 std::size_t after_close) {
+  std::size_t b = after_close;
+  while (b < code.size() && std::isspace(static_cast<unsigned char>(code[b])) != 0) ++b;
+  if (b < code.size() && code[b] == '{') {
+    int bd = 0;
+    std::size_t j = b;
+    for (; j < code.size(); ++j) {
+      if (code[j] == '{') ++bd;
+      if (code[j] == '}') {
+        --bd;
+        if (bd == 0) return {b, j + 1};
+      }
+    }
+    return {b, code.size()};
+  }
+  const std::size_t semi = code.find(';', b);
+  return {b, semi == std::string::npos ? code.size() : semi + 1};
+}
+
+// Accessors that return cached const references off Network; calling them per
+// loop iteration re-hashes (links_between) or at best wastes a call — and the
+// common mistake is binding the result by value, copying a vector per pass.
+void check_hot_copy(const std::string& path, const std::string& code,
+                    std::vector<Finding>& out) {
+  for (const std::string& kw : {std::string{"for"}, std::string{"while"}}) {
+    for (std::size_t pos = find_token(code, kw, 0); pos != std::string::npos;
+         pos = find_token(code, kw, pos + 1)) {
+      std::size_t i = pos + kw.size();
+      while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
+      if (i >= code.size() || code[i] != '(') continue;
+      int depth = 0;
+      std::size_t close = std::string::npos;
+      for (std::size_t j = i; j < code.size(); ++j) {
+        const char c = code[j];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') {
+          --depth;
+          if (depth == 0 && c == ')') {
+            close = j;
+            break;
+          }
+        }
+      }
+      if (close == std::string::npos) continue;
+      const auto [body_begin, body_end] = loop_body_span(code, close + 1);
+
+      for (const std::string& accessor : {std::string{"servers"}, std::string{"links_between"}}) {
+        for (std::size_t hit = find_token(code, accessor, body_begin);
+             hit != std::string::npos && hit < body_end;
+             hit = find_token(code, accessor, hit + 1)) {
+          // Must be a member call: `.accessor(` or `->accessor(`.
+          const bool member = (hit >= 1 && code[hit - 1] == '.') ||
+                              (hit >= 2 && code[hit - 2] == '-' && code[hit - 1] == '>');
+          std::size_t after = hit + accessor.size();
+          while (after < code.size() &&
+                 std::isspace(static_cast<unsigned char>(code[after])) != 0) {
+            ++after;
+          }
+          if (!member || after >= code.size() || code[after] != '(') continue;
+          out.push_back({path, line_of(code, hit), "hot-copy",
+                         accessor + "() called inside a loop body: it returns a cached "
+                         "const reference — hoist the call before the loop and bind it "
+                         "by reference"});
+        }
+      }
+    }
+  }
+}
+
 void check_banned_tokens(const std::string& path, const std::string& code, const char* rule,
                          const std::vector<std::string>& tokens, const std::string& why,
                          std::vector<Finding>& out) {
@@ -272,6 +344,7 @@ std::vector<Finding> lint_source(const std::string& path, const std::string& con
                         "use sim::TimePoint / Simulator::now(); wall clocks break trace "
                         "reproducibility",
                         all);
+    check_hot_copy(path, code, all);
   }
   check_unordered_iteration(path, code, all);
   if (is_header(path)) {

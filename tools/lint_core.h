@@ -16,6 +16,12 @@
 //                                     order is hash-dependent, so draws/events
 //                                     land in different orders across
 //                                     platforms and libstdc++ versions.
+//   hot-copy             (src/ only)  net.servers() / net.links_between()
+//                                     called inside a for/while loop body:
+//                                     both return cached const references —
+//                                     hoist the call (and bind by reference)
+//                                     so the hot path does not re-hash or
+//                                     re-copy per iteration.
 //   pragma-once          (headers)    every header starts with #pragma once.
 //   namespace            (src/ headers) public headers declare namespace smn.
 //

@@ -39,6 +39,8 @@
 //   --days N              simulated days per replicate       [30]
 //   --jobs J              worker threads, 0 = all cores      [0]
 //   --json FILE           write the JSON report
+//   --no-timing           omit timing fields from the JSON so byte-level
+//                         diffs across jobs counts are meaningful
 //   --quiet               suppress per-replicate progress
 #include <cstdio>
 #include <cstring>
@@ -177,7 +179,7 @@ int run_determinism_audit(const Args& args) {
 
 /// Flags that take no value.
 [[nodiscard]] bool is_boolean_flag(const std::string& key) {
-  return key == "audit-determinism" || key == "quiet";
+  return key == "audit-determinism" || key == "quiet" || key == "no-timing";
 }
 
 // Parses `--key value` pairs (and bare boolean flags) from argv[start..).
@@ -258,7 +260,9 @@ int run_sweep(const Args& args) {
       std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
       return 1;
     }
-    out << runner::to_json(report) << '\n';
+    runner::JsonOptions jopts;
+    jopts.include_timing = !args.onoff("no-timing", false);
+    out << runner::to_json(report, jopts) << '\n';
     std::printf("report written to %s\n", path.c_str());
   }
   return 0;
