@@ -221,6 +221,60 @@ void BM_WorldDayStep(benchmark::State& state) {
 }
 BENCHMARK(BM_WorldDayStep)->Unit(benchmark::kMillisecond);
 
+void BM_WorldDayStepNoObs(benchmark::State& state) {
+  // Same marginal-day cost with the entire observability bundle disabled —
+  // the delta against BM_WorldDayStep is the all-in metrics+recorder overhead
+  // (ISSUE 4 bounds it at <2%).
+  const topology::Blueprint bp = bench::standard_fabric();
+  scenario::WorldConfig cfg =
+      bench::standard_world(core::AutomationLevel::kL3_HighAutomation, 1);
+  cfg.obs = obs::Options::disabled();
+  scenario::World world{bp, cfg};
+  for (auto _ : state) {
+    world.run_for(sim::Duration::days(1));
+    benchmark::DoNotOptimize(world.tickets().total());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorldDayStepNoObs)->Unit(benchmark::kMillisecond);
+
+void BM_ObsCounterInc(benchmark::State& state) {
+  // The instrumented hot path: one null check plus one counter add.
+  obs::Registry reg;
+  obs::Counter* c = reg.counter("bench_total");
+  for (auto _ : state) {
+    if (c != nullptr) c->inc();
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsCounterInc);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::Registry reg;
+  obs::Histogram* h = reg.histogram("bench_hours", {1, 4, 12, 24, 48, 96, 168});
+  double v = 0.0;
+  for (auto _ : state) {
+    h->observe(v);
+    v = v > 200.0 ? 0.0 : v + 3.7;
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_FlightRecorderRecord(benchmark::State& state) {
+  obs::FlightRecorder rec{256};
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    ++t;
+    rec.record(t, "bench-event", t, t & 7);
+    benchmark::DoNotOptimize(rec.total_recorded());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightRecorderRecord);
+
 }  // namespace
 
 BENCHMARK_MAIN();

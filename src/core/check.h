@@ -18,6 +18,23 @@
 
 namespace smn::core::detail {
 
+/// Last-gasp diagnostics hook: the obs flight recorder installs itself here so
+/// a failed SMN_ASSERT dumps the recent event history before abort(). One hook
+/// per thread (sweep workers each own their World, and with it their
+/// recorder), and the hook is cleared before it runs so a failure inside the
+/// dump itself can't recurse.
+using CheckDumpFn = void (*)(const void* ctx);
+
+struct CheckDumpHook {
+  CheckDumpFn fn = nullptr;
+  const void* ctx = nullptr;
+};
+
+inline CheckDumpHook& check_dump_hook() {
+  thread_local CheckDumpHook hook;
+  return hook;
+}
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
                                       const char* fmt = nullptr, ...) {
   std::fprintf(stderr, "SMN_CHECK failed: %s\n  at %s:%d\n", expr, file, line);
@@ -28,6 +45,12 @@ namespace smn::core::detail {
     std::vfprintf(stderr, fmt, args);
     va_end(args);
     std::fprintf(stderr, "\n");
+  }
+  CheckDumpHook& hook = check_dump_hook();
+  if (hook.fn != nullptr) {
+    const CheckDumpHook snapshot = hook;
+    hook = CheckDumpHook{};  // disarm first: no recursion if the dump asserts
+    snapshot.fn(snapshot.ctx);
   }
   std::fflush(stderr);
   std::abort();

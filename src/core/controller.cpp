@@ -43,6 +43,21 @@ void MaintenanceController::start() {
   }
 }
 
+void MaintenanceController::set_obs(obs::Obs* o) {
+  if (o == nullptr) return;
+  if (obs::Registry* reg = o->metrics()) {
+    obs_detections_ = reg->counter("controller_detections_total");
+    obs_deferred_ = reg->counter("controller_deferred_total");
+    obs_verified_transients_ = reg->counter("controller_verified_transients_total");
+    obs_proactive_ = reg->counter("controller_proactive_total");
+    obs_human_escalations_ = reg->counter("controller_human_escalations_total");
+    obs_robot_dispatch_ = reg->counter("controller_robot_dispatch_total");
+    obs_technician_dispatch_ = reg->counter("controller_technician_dispatch_total");
+  }
+  obs_trace_ = o->trace();
+  obs_recorder_ = o->recorder();
+}
+
 void MaintenanceController::set_critical(net::LinkId id, bool critical) {
   if (critical) {
     critical_.insert(id.value());
@@ -59,6 +74,13 @@ void MaintenanceController::on_detection(const telemetry::Detection& d) {
   const auto id = tickets_.open(net_.now(), d.link, d.kind, d.genuine, prio);
   if (!id.has_value()) return;  // deduplicated onto an in-flight ticket
 
+  if (obs_detections_ != nullptr) obs_detections_->inc();
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+      "detection", "controller", net_.now(), "link", d.link.value(), "ticket", *id));
+  if (obs_recorder_ != nullptr) {
+    obs_recorder_->record(net_.now().count_us(), "detection", d.link.value(), *id);
+  }
+
   // L3+ transient verification: for soft symptoms, give the link a beat to
   // prove the episode is over before rolling hardware. Critical links get a
   // quarter of the normal delay — the workload is stalled while we wait.
@@ -72,6 +94,9 @@ void MaintenanceController::on_detection(const telemetry::Detection& d) {
         tickets_.mark_cancelled(ticket_id, net_.now(), "verified transient");
         detection_.clear(t.link);
         ++verified_transients_;
+        if (obs_verified_transients_ != nullptr) obs_verified_transients_->inc();
+        SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+            "verified-transient", "controller", net_.now(), "ticket", ticket_id));
         return;
       }
       plan(ticket_id);
@@ -109,6 +134,13 @@ void MaintenanceController::plan(int ticket_id) {
         std::min(window, net_.now() + cfg_.max_deferral);
     if (bounded > net_.now()) {
       ++deferred_;
+      if (obs_deferred_ != nullptr) obs_deferred_->inc();
+      SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+          "defer", "controller", net_.now(), "ticket", ticket_id, "until_us",
+          bounded.count_us()));
+      if (obs_recorder_ != nullptr) {
+        obs_recorder_->record(net_.now().count_us(), "defer", ticket_id, bounded.count_us());
+      }
       net_.simulator().schedule_at(bounded, [this, ticket_id, decision] {
         dispatch(ticket_id, decision);
       });
@@ -166,9 +198,21 @@ void MaintenanceController::execute(int ticket_id, const Job& job, bool via_robo
 
   if (via_robot) {
     ++robot_jobs_;
-    fleet_->submit(dispatched, std::move(cb));
+    if (obs_robot_dispatch_ != nullptr) obs_robot_dispatch_->inc();
   } else {
     ++technician_jobs_;
+    if (obs_technician_dispatch_ != nullptr) obs_technician_dispatch_->inc();
+  }
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+      via_robot ? "dispatch-robot" : "dispatch-technician", "controller", net_.now(), "ticket",
+      ticket_id, "kind", static_cast<int>(job.kind)));
+  if (obs_recorder_ != nullptr) {
+    obs_recorder_->record(net_.now().count_us(), via_robot ? "dispatch-robot" : "dispatch-tech",
+                          ticket_id, static_cast<std::int64_t>(job.kind));
+  }
+  if (via_robot) {
+    fleet_->submit(dispatched, std::move(cb));
+  } else {
     technicians_.submit(dispatched, std::move(cb));
   }
 }
@@ -198,6 +242,9 @@ void MaintenanceController::on_report(int ticket_id, const JobReport& report,
   if (!report.performed && via_robot) {
     if (traits_.humans_available) {
       ++human_escalations_;
+      if (obs_human_escalations_ != nullptr) obs_human_escalations_->inc();
+      SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+          "human-escalation", "controller", net_.now(), "ticket", ticket_id));
       execute(ticket_id, report.job, false);
     } else {
       // L4: retry autonomously after a short reposition delay.
@@ -297,6 +344,14 @@ void MaintenanceController::open_proactive(net::LinkId link, RepairActionKind ki
   if (!id.has_value()) return;
   last_proactive_[link] = net_.now();
   ++proactive_actions_;
+  if (obs_proactive_ != nullptr) obs_proactive_->inc();
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+      "proactive", "controller", net_.now(), "link", link.value(), "kind",
+      static_cast<int>(kind)));
+  if (obs_recorder_ != nullptr) {
+    obs_recorder_->record(net_.now().count_us(), "proactive", link.value(),
+                          static_cast<std::int64_t>(kind));
+  }
   tickets_.mark_dispatched(*id, net_.now());
 
   Job job;

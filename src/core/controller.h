@@ -26,6 +26,7 @@
 #include "fault/cascade.h"
 #include "maintenance/technician.h"
 #include "maintenance/ticket.h"
+#include "obs/obs.h"
 #include "robotics/fleet.h"
 #include "telemetry/monitor.h"
 #include "telemetry/predictor.h"
@@ -113,6 +114,11 @@ class MaintenanceController {
   /// Last robot-measured end-face contamination, 0 if never inspected.
   [[nodiscard]] double last_inspection_grade(net::LinkId id) const;
 
+  /// Wires observability: controller_* decision counters, trace instants for
+  /// each control-plane decision, and flight-recorder entries that give an
+  /// SMN_ASSERT dump the controller's recent choices.
+  void set_obs(obs::Obs* o);
+
  private:
   void on_detection(const telemetry::Detection& d);
   /// Chooses the next rung and performer for a ticket and dispatches it.
@@ -159,6 +165,17 @@ class MaintenanceController {
   std::size_t robot_jobs_ = 0;
   std::size_t technician_jobs_ = 0;
   bool started_ = false;
+
+  // Observability handles (null until set_obs).
+  obs::Counter* obs_detections_ = nullptr;
+  obs::Counter* obs_deferred_ = nullptr;
+  obs::Counter* obs_verified_transients_ = nullptr;
+  obs::Counter* obs_proactive_ = nullptr;
+  obs::Counter* obs_human_escalations_ = nullptr;
+  obs::Counter* obs_robot_dispatch_ = nullptr;
+  obs::Counter* obs_technician_dispatch_ = nullptr;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::core

@@ -16,6 +16,20 @@ TechnicianPool::TechnicianPool(net::Network& net, fault::CascadeModel& cascade,
       cfg_{cfg},
       idle_{cfg.technicians} {}
 
+void TechnicianPool::set_obs(obs::Obs* o) {
+  if (o == nullptr) return;
+  if (obs::Registry* reg = o->metrics()) {
+    obs_jobs_ = reg->counter("technician_jobs_total");
+    obs_botched_ = reg->counter("technician_botched_total");
+    // Job wall-time (dispatch + travel + hands-on) in hours; the long tail is
+    // the normal-priority lognormal dispatch delay.
+    obs_job_hours_ =
+        reg->histogram("technician_job_hours", {1.0, 4.0, 12.0, 24.0, 48.0, 96.0});
+  }
+  obs_trace_ = o->trace();
+  obs_recorder_ = o->recorder();
+}
+
 void TechnicianPool::submit(const Job& job, JobCallback cb) {
   Pending p{job, std::move(cb), net_.now()};
   if (job.high_priority) {
@@ -113,6 +127,18 @@ void TechnicianPool::run(Pending p) {
         ++completed_;
         ++by_kind_[static_cast<int>(p.job.kind)];
         ++idle_;
+        if (obs_jobs_ != nullptr) {
+          obs_jobs_->inc();
+          if (r.botched) obs_botched_->inc();
+          obs_job_hours_->observe((finish - p.enqueued).to_hours());
+        }
+        SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->complete(
+            to_string(p.job.kind), "technician", start, finish, "ticket", p.job.ticket_id,
+            "botched", r.botched ? 1 : 0));
+        if (obs_recorder_ != nullptr) {
+          obs_recorder_->record(finish.count_us(), "technician-job", p.job.ticket_id,
+                                static_cast<std::int64_t>(p.job.kind));
+        }
         if (p.cb) p.cb(report);
         try_dispatch();
       });

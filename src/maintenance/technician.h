@@ -14,6 +14,7 @@
 #include "fault/contamination.h"
 #include "maintenance/actions.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "sim/rng.h"
 
 namespace smn::maintenance {
@@ -74,6 +75,10 @@ class TechnicianPool {
   }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  /// Wires observability: technician job counters/hours and per-job trace
+  /// spans. RNG draws are untouched, so schedules are identical with obs off.
+  void set_obs(obs::Obs* o);
+
  private:
   struct Pending {
     Job job;
@@ -97,6 +102,13 @@ class TechnicianPool {
   std::size_t by_kind_[kRepairActionKinds] = {};
   double labor_hours_ = 0.0;
   PresenceListener presence_;
+
+  // Observability handles (null until set_obs).
+  obs::Counter* obs_jobs_ = nullptr;
+  obs::Counter* obs_botched_ = nullptr;
+  obs::Histogram* obs_job_hours_ = nullptr;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::maintenance

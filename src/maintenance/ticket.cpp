@@ -19,6 +19,22 @@ const char* to_string(TicketState s) {
   return "?";
 }
 
+void TicketSystem::set_obs(obs::Obs* o) {
+  if (o == nullptr) return;
+  if (obs::Registry* reg = o->metrics()) {
+    obs_opened_ = reg->counter("tickets_opened_total");
+    obs_resolved_ = reg->counter("tickets_resolved_total");
+    obs_cancelled_ = reg->counter("tickets_cancelled_total");
+    obs_backlog_ = reg->gauge("tickets_open_backlog");
+    // Resolve latency buckets in hours: sub-shift through the §3.2 SLA ladder
+    // out to a full week.
+    obs_resolve_hours_ =
+        reg->histogram("ticket_resolve_hours", {1.0, 4.0, 12.0, 24.0, 48.0, 96.0, 168.0});
+  }
+  obs_trace_ = o->trace();
+  obs_recorder_ = o->recorder();
+}
+
 std::optional<int> TicketSystem::open(sim::TimePoint now, net::LinkId link,
                                       telemetry::IssueKind issue, bool genuine,
                                       TicketPriority priority, bool proactive) {
@@ -32,6 +48,13 @@ std::optional<int> TicketSystem::open(sim::TimePoint now, net::LinkId link,
   t.proactive = proactive;
   t.opened = now;
   tickets_.push_back(t);
+  if (obs_opened_ != nullptr) {
+    obs_opened_->inc();
+    obs_backlog_->add(1.0);
+  }
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->async_begin(
+      "ticket", "ticket", now, static_cast<std::uint64_t>(t.id), "link", link.value()));
+  if (obs_recorder_ != nullptr) obs_recorder_->record(now.count_us(), "ticket-open", t.id, link.value());
   return t.id;
 }
 
@@ -69,6 +92,14 @@ void TicketSystem::mark_resolved(int id, sim::TimePoint now, std::string resolve
   t.state = TicketState::kResolved;
   t.resolved = now;
   t.resolved_by = std::move(resolved_by);
+  if (obs_resolved_ != nullptr) {
+    obs_resolved_->inc();
+    obs_backlog_->add(-1.0);
+    obs_resolve_hours_->observe((t.resolved - t.opened).to_hours());
+  }
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->async_end(
+      "ticket", "ticket", now, static_cast<std::uint64_t>(t.id), "actions", t.actions_taken));
+  if (obs_recorder_ != nullptr) obs_recorder_->record(now.count_us(), "ticket-resolve", t.id, t.link.value());
   for (const Listener& l : resolved_listeners_) l(t);
 }
 
@@ -78,6 +109,13 @@ void TicketSystem::mark_cancelled(int id, sim::TimePoint now, std::string reason
   t.state = TicketState::kCancelled;
   t.resolved = now;
   t.resolved_by = "cancelled: " + reason;
+  if (obs_cancelled_ != nullptr) {
+    obs_cancelled_->inc();
+    obs_backlog_->add(-1.0);
+  }
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->async_end(
+      "ticket", "ticket", now, static_cast<std::uint64_t>(t.id), "cancelled", 1));
+  if (obs_recorder_ != nullptr) obs_recorder_->record(now.count_us(), "ticket-cancel", t.id, t.link.value());
 }
 
 std::optional<int> TicketSystem::open_ticket_for(net::LinkId link) const {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/types.h"
+#include "obs/obs.h"
 #include "sim/time.h"
 #include "telemetry/monitor.h"
 
@@ -80,6 +81,10 @@ class TicketSystem {
   /// Notifies on every resolve (experiment bookkeeping).
   void subscribe_resolved(Listener l) { resolved_listeners_.push_back(std::move(l)); }
 
+  /// Wires observability: tickets_* counters, the open-backlog gauge, the
+  /// resolve-latency histogram, and async trace spans keyed by ticket id.
+  void set_obs(obs::Obs* o);
+
   [[nodiscard]] std::size_t count(TicketState s) const;
   [[nodiscard]] std::size_t total() const { return tickets_.size(); }
   /// Tickets opened on a link within `window` after a resolve on the same
@@ -98,6 +103,16 @@ class TicketSystem {
 
   std::vector<Ticket> tickets_;
   std::vector<Listener> resolved_listeners_;
+
+  // Observability handles (all null until set_obs). The backlog gauge tracks
+  // tickets that are neither resolved nor cancelled.
+  obs::Counter* obs_opened_ = nullptr;
+  obs::Counter* obs_resolved_ = nullptr;
+  obs::Counter* obs_cancelled_ = nullptr;
+  obs::Gauge* obs_backlog_ = nullptr;
+  obs::Histogram* obs_resolve_hours_ = nullptr;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::maintenance

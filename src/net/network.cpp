@@ -149,9 +149,45 @@ LinkState Network::refresh_link(LinkId id) {
     // Stamp before notifying: an observer that issues a reachability query
     // must see the post-change forest, not a stale cache.
     ++state_generation_;
+    observe_transition(l, prev, next);
     for (const Observer& obs : observers_) obs(l, prev, next);
   }
   return l.state;
+}
+
+void Network::set_obs(obs::Obs* o) {
+  if (o == nullptr) return;
+  if (obs::Registry* reg = o->metrics()) {
+    obs_transitions_ = reg->counter("net_link_transitions_total");
+    obs_links_down_ = reg->gauge("net_links_down");
+    obs_links_impaired_ = reg->gauge("net_links_impaired");
+    // Seed the gauges from the current fleet so incremental ±1 maintenance in
+    // observe_transition starts from truth, not zero.
+    obs_links_down_->set(static_cast<double>(count_links(LinkState::kDown)));
+    obs_links_impaired_->set(static_cast<double>(count_links(LinkState::kDegraded) +
+                                                 count_links(LinkState::kFlapping)));
+  }
+  obs_trace_ = o->trace();
+  obs_recorder_ = o->recorder();
+}
+
+void Network::observe_transition(const Link& l, LinkState prev, LinkState next) {
+  const auto is_down = [](LinkState s) { return s == LinkState::kDown; };
+  const auto is_impaired = [](LinkState s) {
+    return s == LinkState::kDegraded || s == LinkState::kFlapping;
+  };
+  if (obs_transitions_ != nullptr) {
+    obs_transitions_->inc();
+    obs_links_down_->add(static_cast<double>(is_down(next)) - static_cast<double>(is_down(prev)));
+    obs_links_impaired_->add(static_cast<double>(is_impaired(next)) -
+                             static_cast<double>(is_impaired(prev)));
+  }
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+      to_string(next), "net", sim_->now(), "link", l.id.value(), "prev", static_cast<int>(prev)));
+  if (obs_recorder_ != nullptr) {
+    obs_recorder_->record(sim_->now().count_us(), "link-transition", l.id.value(),
+                          static_cast<std::int64_t>(next));
+  }
 }
 
 void Network::refresh_links_of(DeviceId id) {

@@ -32,6 +32,7 @@
 
 #include "net/connectivity.h"
 #include "net/link.h"
+#include "obs/obs.h"
 #include "net/transceiver.h"
 #include "net/types.h"
 #include "sim/event_queue.h"
@@ -173,6 +174,11 @@ class Network {
 
   void subscribe(Observer obs) { observers_.push_back(std::move(obs)); }
 
+  /// Wires observability: registers the net_* instruments and seeds the
+  /// link-state gauges from the current fleet. Pure observer — records state
+  /// changes, never causes them — so traces stay byte-identical with it off.
+  void set_obs(obs::Obs* o);
+
   [[nodiscard]] std::size_t count_links(LinkState s) const;
   /// True if a link's traffic can pass (not Down).
   [[nodiscard]] bool usable(LinkId id) const { return link(id).state != LinkState::kDown; }
@@ -190,6 +196,8 @@ class Network {
  private:
   void assign_hardware(sim::RngStream& rng, Link& link);
   void build_role_rosters();
+  // Metric/trace/recorder sinks for one state change (no-op until set_obs).
+  void observe_transition(const Link& l, LinkState prev, LinkState next);
   /// Unordered endpoint pair key for the parallel-link group index.
   [[nodiscard]] static std::uint64_t pair_key(DeviceId a, DeviceId b) {
     const auto lo = static_cast<std::uint32_t>(std::min(a.value(), b.value()));
@@ -214,6 +222,13 @@ class Network {
   mutable CsrAdjacency csr_;
   mutable std::uint64_t csr_structure_generation_ = ~std::uint64_t{0};
   mutable std::unique_ptr<ConnectivityEngine> connectivity_;
+
+  // Observability handles (all null until set_obs; see that method).
+  obs::Counter* obs_transitions_ = nullptr;
+  obs::Gauge* obs_links_down_ = nullptr;
+  obs::Gauge* obs_links_impaired_ = nullptr;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::net

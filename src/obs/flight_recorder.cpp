@@ -1,0 +1,32 @@
+#include "obs/flight_recorder.h"
+
+namespace smn::obs {
+
+std::vector<FlightRecorder::Record> FlightRecorder::recent() const {
+  std::vector<Record> out;
+  const std::size_t cap = ring_.size();
+  const std::size_t n = total_ < cap ? static_cast<std::size_t>(total_) : cap;
+  out.reserve(n);
+  // head_ points at the next write slot; with a full ring that is also the
+  // oldest record. With a partially-filled ring the valid range is [0, head_).
+  const std::size_t start = total_ < cap ? 0 : head_;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(ring_[(start + i) % cap]);
+  }
+  return out;
+}
+
+void FlightRecorder::dump(std::FILE* out) const {
+  const std::vector<Record> records = recent();
+  std::fprintf(out, "--- flight recorder: last %zu of %llu events ---\n", records.size(),
+               static_cast<unsigned long long>(total_));
+  for (const Record& r : records) {
+    std::fprintf(out, "  t=%lldus %s a=%lld b=%lld\n", static_cast<long long>(r.t_us),
+                 r.what != nullptr ? r.what : "?", static_cast<long long>(r.a),
+                 static_cast<long long>(r.b));
+  }
+  std::fprintf(out, "--- end flight recorder ---\n");
+  std::fflush(out);
+}
+
+}  // namespace smn::obs

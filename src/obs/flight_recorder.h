@@ -1,0 +1,82 @@
+// Crash flight recorder: a bounded ring of the most recent simulator events
+// and controller decisions, dumped to stderr when an SMN_ASSERT fires.
+//
+// The recorder answers "what were the last N things that happened?" at the
+// moment an invariant breaks — the question PR 1's invariant checks could
+// detect but not explain. record() is the hot-path call (inline: index math
+// plus four stores, no allocation after construction); the dump path only
+// runs when the process is already dying.
+//
+// Installation goes through the thread-local hook in core/check.h: one
+// recorder per World, one World per sweep-worker thread, so thread-local is
+// exactly the right scope and concurrent replicates never share a hook.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "core/check.h"
+
+namespace smn::obs {
+
+class FlightRecorder {
+ public:
+  struct Record {
+    std::int64_t t_us = 0;      // simulated time of the event
+    const char* what = nullptr; // string literal tag ("sim-event", "dispatch", ...)
+    std::int64_t a = 0;         // event id / ticket id / link id ...
+    std::int64_t b = 0;         // secondary detail (state, decision code, ...)
+  };
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity)
+      : ring_(capacity > 0 ? capacity : 1) {}
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  ~FlightRecorder() { uninstall(); }
+
+  void record(std::int64_t t_us, const char* what, std::int64_t a = 0, std::int64_t b = 0) {
+    Record& r = ring_[head_];
+    r.t_us = t_us;
+    r.what = what;
+    r.a = a;
+    r.b = b;
+    head_ = (head_ + 1) % ring_.size();
+    ++total_;
+  }
+
+  /// Records in arrival order, oldest first. Size is min(total, capacity).
+  [[nodiscard]] std::vector<Record> recent() const;
+
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  /// Writes the recent history to `out` (stderr in the crash path).
+  void dump(std::FILE* out) const;
+
+  /// Registers this recorder with the calling thread's SMN_ASSERT crash hook.
+  /// The destructor uninstalls, but only if this recorder still owns the hook
+  /// (a newer World on the same thread may have replaced it).
+  void install() {
+    core::detail::check_dump_hook() = {&FlightRecorder::dump_trampoline, this};
+  }
+  void uninstall() {
+    core::detail::CheckDumpHook& hook = core::detail::check_dump_hook();
+    if (hook.ctx == this) hook = core::detail::CheckDumpHook{};
+  }
+
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+ private:
+  static void dump_trampoline(const void* ctx) {
+    static_cast<const FlightRecorder*>(ctx)->dump(stderr);
+  }
+
+  std::vector<Record> ring_;
+  std::size_t head_ = 0;       // next write position
+  std::uint64_t total_ = 0;    // lifetime record() calls
+};
+
+}  // namespace smn::obs

@@ -1,0 +1,190 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include "obs/json_writer.h"
+
+namespace smn::obs {
+namespace {
+
+// Deterministic double rendering shared by the Prometheus exporter and the
+// flattened snapshot names ("%.10g" matches JsonWriter::value(double)).
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("histogram bounds must be strictly ascending");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::uint64_t Histogram::count() const {
+  return std::accumulate(counts_.begin(), counts_.end(), std::uint64_t{0});
+}
+
+Registry::Instrument* Registry::find(const std::string& name) {
+  for (Instrument& ins : instruments_) {
+    if (ins.name == name) return &ins;
+  }
+  return nullptr;
+}
+
+Counter* Registry::counter(std::string name) {
+  if (Instrument* ins = find(name)) {
+    if (ins->kind != Kind::kCounter) {
+      throw std::invalid_argument("metric '" + name + "' already registered with a different kind");
+    }
+    return ins->counter.get();
+  }
+  Instrument ins;
+  ins.name = std::move(name);
+  ins.kind = Kind::kCounter;
+  ins.counter = std::make_unique<Counter>();
+  Counter* handle = ins.counter.get();
+  instruments_.push_back(std::move(ins));
+  return handle;
+}
+
+Gauge* Registry::gauge(std::string name) {
+  if (Instrument* ins = find(name)) {
+    if (ins->kind != Kind::kGauge) {
+      throw std::invalid_argument("metric '" + name + "' already registered with a different kind");
+    }
+    return ins->gauge.get();
+  }
+  Instrument ins;
+  ins.name = std::move(name);
+  ins.kind = Kind::kGauge;
+  ins.gauge = std::make_unique<Gauge>();
+  Gauge* handle = ins.gauge.get();
+  instruments_.push_back(std::move(ins));
+  return handle;
+}
+
+Histogram* Registry::histogram(std::string name, std::vector<double> bounds) {
+  if (Instrument* ins = find(name)) {
+    if (ins->kind != Kind::kHistogram || ins->histogram->bounds() != bounds) {
+      throw std::invalid_argument("metric '" + name + "' already registered with a different kind");
+    }
+    return ins->histogram.get();
+  }
+  Instrument ins;
+  ins.name = std::move(name);
+  ins.kind = Kind::kHistogram;
+  ins.histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* handle = ins.histogram.get();
+  instruments_.push_back(std::move(ins));
+  return handle;
+}
+
+std::vector<SnapshotEntry> Registry::snapshot() const {
+  std::vector<SnapshotEntry> out;
+  out.reserve(instruments_.size() * 2);
+  for (const Instrument& ins : instruments_) {
+    switch (ins.kind) {
+      case Kind::kCounter:
+        out.push_back({ins.name, static_cast<double>(ins.counter->value())});
+        break;
+      case Kind::kGauge:
+        out.push_back({ins.name, ins.gauge->value()});
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *ins.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.counts()[i];
+          out.push_back({ins.name + "_le_" + format_double(h.bounds()[i]),
+                         static_cast<double>(cumulative)});
+        }
+        out.push_back({ins.name + "_sum", h.sum()});
+        out.push_back({ins.name + "_count", static_cast<double>(h.count())});
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) { return a.name < b.name; });
+  return out;
+}
+
+std::uint64_t Registry::snapshot_hash() const {
+  std::uint64_t h = kFnvOffset;
+  for (const SnapshotEntry& e : snapshot()) {
+    h = fnv1a_bytes(h, e.name.data(), e.name.size());
+    std::uint64_t bits = 0;
+    static_assert(sizeof bits == sizeof e.value);
+    std::memcpy(&bits, &e.value, sizeof bits);
+    h = fnv1a_bytes(h, &bits, sizeof bits);
+  }
+  return h;
+}
+
+std::string Registry::to_prometheus() const {
+  // Sort by name so the exposition is stable regardless of wiring order.
+  std::vector<const Instrument*> sorted;
+  sorted.reserve(instruments_.size());
+  for (const Instrument& ins : instruments_) sorted.push_back(&ins);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Instrument* a, const Instrument* b) { return a->name < b->name; });
+
+  std::string out;
+  for (const Instrument* ins : sorted) {
+    switch (ins->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + ins->name + " counter\n";
+        out += ins->name + " " + std::to_string(ins->counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + ins->name + " gauge\n";
+        out += ins->name + " " + format_double(ins->gauge->value()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *ins->histogram;
+        out += "# TYPE " + ins->name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.counts()[i];
+          out += ins->name + "_bucket{le=\"" + format_double(h.bounds()[i]) + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += ins->name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count()) + "\n";
+        out += ins->name + "_sum " + format_double(h.sum()) + "\n";
+        out += ins->name + "_count " + std::to_string(h.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::write_json(JsonWriter& w) const {
+  w.begin_object();
+  for (const SnapshotEntry& e : snapshot()) w.kv(e.name, e.value);
+  w.end_object();
+}
+
+}  // namespace smn::obs

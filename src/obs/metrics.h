@@ -1,0 +1,137 @@
+// Deterministic metrics registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Design constraints (ISSUE 4):
+//  - No wall clock anywhere; values advance only when instrumented code calls
+//    inc()/set()/observe(), so two runs with the same seed produce identical
+//    snapshots.
+//  - No locks on the hot path: a Registry belongs to exactly one World, and
+//    SweepRunner gives every replicate its own World. Handles returned by the
+//    registry are plain pointers with inline mutators — an instrumented
+//    callsite is one predicted branch (null check) plus an add.
+//  - Stable schema: instruments are registered eagerly when a component is
+//    wired (not lazily on first event), so every replicate of a sweep cell
+//    snapshots the same name set and per-cell aggregation can zip them.
+//
+// Export formats: Prometheus text exposition (for --metrics out.prom) and
+// JSON (embedded in sweep reports), both with "%.10g" formatting so reports
+// are byte-identical across runs and thread counts. snapshot_hash() folds the
+// sorted snapshot through FNV-1a, giving --audit-determinism a second signal
+// next to the event-trace hash.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smn::obs {
+
+class JsonWriter;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (backlog depth, links down, ...). Signed: maintained
+/// incrementally via add(), and transient dips below the initial value are
+/// legal mid-update.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double d) { value_ += d; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bound histogram. Bounds are upper edges of the finite buckets; an
+/// implicit +inf bucket catches the tail. Cumulative counts are computed at
+/// snapshot time, so observe() is a linear scan over a handful of doubles —
+/// bounds lists here are 6-10 entries, not hundreds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    sum_ += v;
+  }
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; counts()[bounds().size()] is +inf.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] std::uint64_t count() const;
+
+ private:
+  std::vector<double> bounds_;          // ascending upper edges
+  std::vector<std::uint64_t> counts_;   // bounds_.size() + 1 entries
+  double sum_ = 0.0;
+};
+
+/// One flattened (name, value) pair of a registry snapshot. Histograms
+/// expand into `<name>_le_<bound>` cumulative buckets plus `<name>_sum` and
+/// `<name>_count`, so a snapshot is a flat, sortable, hashable list.
+struct SnapshotEntry {
+  std::string name;
+  double value = 0.0;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registering an existing name with a matching kind returns the existing
+  /// handle (components wired twice share instruments); a kind mismatch is a
+  /// programming error and throws std::invalid_argument.
+  Counter* counter(std::string name);
+  Gauge* gauge(std::string name);
+  /// `bounds` must be strictly ascending; re-registration must match them.
+  Histogram* histogram(std::string name, std::vector<double> bounds);
+
+  /// Flattened snapshot sorted by name — deterministic given deterministic
+  /// instrument values.
+  [[nodiscard]] std::vector<SnapshotEntry> snapshot() const;
+
+  /// FNV-1a over the sorted snapshot (name bytes + value bit patterns).
+  /// Folded into --audit-determinism next to the event-trace hash.
+  [[nodiscard]] std::uint64_t snapshot_hash() const;
+
+  /// Prometheus text exposition format (# TYPE lines, _bucket{le="..."}).
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// Writes `{"name": value, ...}` (sorted) into an in-progress JSON doc.
+  void write_json(JsonWriter& w) const;
+
+  [[nodiscard]] std::size_t size() const { return instruments_.size(); }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Instrument {
+    std::string name;
+    Kind kind;
+    // Exactly one of these is set, matching `kind`. unique_ptr keeps handle
+    // addresses stable as the registry vector grows.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument* find(const std::string& name);
+
+  std::vector<Instrument> instruments_;  // registration order; sorted at export
+};
+
+}  // namespace smn::obs

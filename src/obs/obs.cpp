@@ -1,0 +1,47 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+
+namespace smn::obs {
+namespace {
+
+bool write_file(const std::string& path, const std::string& contents, const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for %s output\n", path.c_str(), what);
+    return false;
+  }
+  const std::size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  const bool ok = written == contents.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace
+
+Obs::Obs(const Options& opts) : opts_(opts) {
+  if (opts.metrics) metrics_ = std::make_unique<Registry>();
+  if (opts.trace) trace_ = std::make_unique<TraceBuffer>(opts.trace_max_events);
+  if (opts.flight_recorder_capacity > 0) {
+    recorder_ = std::make_unique<FlightRecorder>(opts.flight_recorder_capacity);
+    recorder_->install();
+  }
+}
+
+bool Obs::write_metrics_prom(const std::string& path) const {
+  if (!metrics_) {
+    std::fprintf(stderr, "error: metrics are disabled; nothing to write to %s\n", path.c_str());
+    return false;
+  }
+  return write_file(path, metrics_->to_prometheus(), "metrics");
+}
+
+bool Obs::write_trace_json(const std::string& path) const {
+  if (!trace_) {
+    std::fprintf(stderr, "error: tracing is disabled; nothing to write to %s\n", path.c_str());
+    return false;
+  }
+  return write_file(path, trace_->to_chrome_json(), "trace");
+}
+
+}  // namespace smn::obs

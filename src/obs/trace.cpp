@@ -1,0 +1,52 @@
+#include "obs/trace.h"
+
+#include "obs/json_writer.h"
+
+namespace smn::obs {
+
+TraceBuffer::TraceBuffer(std::size_t max_events) : max_events_(max_events) {
+  // Reserve a sensible chunk up front so the first pushes don't reallocate;
+  // capped so tiny buffers (tests) don't over-allocate.
+  events_.reserve(max_events_ < 4096 ? max_events_ : 4096);
+}
+
+void TraceBuffer::write_chrome_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const Event& ev : events_) {
+    w.begin_object();
+    w.kv("name", ev.name);
+    w.kv("cat", ev.cat);
+    const char ph[2] = {static_cast<char>(ev.ph), '\0'};
+    w.kv("ph", static_cast<const char*>(ph));
+    w.kv("ts", ev.ts_us);
+    if (ev.ph == Phase::kComplete) w.kv("dur", ev.dur_us);
+    if (ev.ph == Phase::kAsyncBegin || ev.ph == Phase::kAsyncEnd) {
+      w.kv("id", JsonWriter::hex64(ev.id));
+    }
+    // One simulated world == one process/thread on the trace timeline.
+    w.kv("pid", 1);
+    w.kv("tid", 1);
+    if (ev.arg0_name != nullptr || ev.arg1_name != nullptr) {
+      w.key("args");
+      w.begin_object();
+      if (ev.arg0_name != nullptr) w.kv(ev.arg0_name, ev.arg0);
+      if (ev.arg1_name != nullptr) w.kv(ev.arg1_name, ev.arg1);
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.kv("smn_dropped_events", dropped_);
+  w.end_object();
+}
+
+std::string TraceBuffer::to_chrome_json() const {
+  JsonWriter w;
+  write_chrome_json(w);
+  return w.str();
+}
+
+}  // namespace smn::obs

@@ -132,6 +132,20 @@ std::optional<std::size_t> RobotFleet::pick_unit(const topology::RackLocation& s
   return best;
 }
 
+void RobotFleet::set_obs(obs::Obs* o) {
+  if (o == nullptr) return;
+  if (obs::Registry* reg = o->metrics()) {
+    obs_jobs_ = reg->counter("robot_jobs_total");
+    obs_escalations_ = reg->counter("robot_escalations_total");
+    obs_breakdowns_ = reg->counter("robot_breakdowns_total");
+    // Robot jobs are minutes-to-hours: travel along the gantry plus the
+    // §3.2/§3.3 manipulation sequence.
+    obs_job_hours_ = reg->histogram("robot_job_hours", {0.25, 0.5, 1.0, 2.0, 4.0, 12.0});
+  }
+  obs_trace_ = o->trace();
+  obs_recorder_ = o->recorder();
+}
+
 void RobotFleet::report_immediate(const Pending& p, const char* performer) {
   JobReport r;
   r.job = p.job;
@@ -141,6 +155,13 @@ void RobotFleet::report_immediate(const Pending& p, const char* performer) {
   r.finished = net_.now();
   r.performer = performer;
   ++escalations_;
+  if (obs_escalations_ != nullptr) obs_escalations_->inc();
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+      performer, "robot", net_.now(), "ticket", p.job.ticket_id));
+  if (obs_recorder_ != nullptr) {
+    obs_recorder_->record(net_.now().count_us(), "robot-escalate", p.job.ticket_id,
+                          static_cast<std::int64_t>(p.job.kind));
+  }
   if (p.cb) p.cb(r);
 }
 
@@ -321,10 +342,22 @@ void RobotFleet::run(std::size_t unit_index, Pending p) {
       report.performed = false;
       report.performer = "robot-escalate";
       ++escalations_;
+      if (obs_escalations_ != nullptr) obs_escalations_->inc();
     }
     busy_hours_ += (travel + work).to_hours();
     ++completed_;
     if (report.performed) ++by_kind_[static_cast<int>(p.job.kind)];
+    if (obs_jobs_ != nullptr) {
+      obs_jobs_->inc();
+      obs_job_hours_->observe((travel + work).to_hours());
+    }
+    SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->complete(
+        to_string(p.job.kind), "robot", start, finish, "ticket", p.job.ticket_id, "performed",
+        report.performed ? 1 : 0));
+    if (obs_recorder_ != nullptr) {
+      obs_recorder_->record(finish.count_us(), "robot-job", p.job.ticket_id,
+                            static_cast<std::int64_t>(p.job.kind));
+    }
     release_unit(unit_index);
     if (p.cb) p.cb(report);
     try_dispatch();
@@ -339,6 +372,7 @@ void RobotFleet::release_unit(std::size_t unit_index) {
   if (rng_.bernoulli(cfg_.failure_per_job)) {
     unit.operational = false;
     ++breakdowns_;
+    if (obs_breakdowns_ != nullptr) obs_breakdowns_->inc();
     net_.simulator().schedule_after(cfg_.robot_repair_time, [this, unit_index] {
       units_[unit_index].operational = true;
       try_dispatch();

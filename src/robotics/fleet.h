@@ -22,6 +22,7 @@
 #include "fault/contamination.h"
 #include "maintenance/actions.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "robotics/cleaner.h"
 #include "robotics/manipulator.h"
 #include "sim/rng.h"
@@ -105,6 +106,10 @@ class RobotFleet {
   /// plus `hall_rovers` hall-scope rovers — the deployment §3.4 sketches.
   [[nodiscard]] static Config row_coverage(const topology::Blueprint& bp, int hall_rovers = 1);
 
+  /// Wires observability: robot job/escalation counters, job-hours histogram,
+  /// and per-job trace spans. Never reads or perturbs the fleet RNG.
+  void set_obs(obs::Obs* o);
+
   /// Aborts (via SMN_ASSERT) on dispatcher-state violations: busy units must
   /// be operational, spares counts non-negative, queued jobs well-formed and
   /// not enqueued in the future, and per-kind completion tallies must not
@@ -155,6 +160,14 @@ class RobotFleet {
   std::size_t stockouts_ = 0;
   std::size_t breakdowns_ = 0;
   double busy_hours_ = 0.0;
+
+  // Observability handles (null until set_obs).
+  obs::Counter* obs_jobs_ = nullptr;
+  obs::Counter* obs_escalations_ = nullptr;
+  obs::Counter* obs_breakdowns_ = nullptr;
+  obs::Histogram* obs_job_hours_ = nullptr;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::robotics

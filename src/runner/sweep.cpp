@@ -18,6 +18,7 @@ namespace {
 
 // Wall-clock throughput timing only (never simulation-visible): the sim side
 // of every replicate runs purely on sim::TimePoint.
+// smn-lint: allow(wall-clock)
 using WallClock = std::chrono::steady_clock;
 
 [[nodiscard]] int resolve_jobs(int requested) {
@@ -54,6 +55,10 @@ ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cel
   r.seed = seed;
   r.trace_hash = world.simulator().trace_hash();
   r.events = world.simulator().events_processed();
+  if (const obs::Registry* reg = world.obs().metrics()) {
+    r.obs_snapshot = reg->snapshot();
+    r.metrics_hash = reg->snapshot_hash();
+  }
 
   const analysis::AvailabilityTracker& avail = world.availability();
   auto& m = r.metrics;
@@ -179,6 +184,28 @@ SweepReport SweepRunner::run(const SweepSpec& spec, const Options& opts) {
       for (std::size_t i = 0; i < kMetricCount; ++i) acc[i].push(r.metrics[i]);
     }
     for (std::size_t i = 0; i < kMetricCount; ++i) cell.stats[i] = summarize(acc[i]);
+
+    // Merge obs snapshots: every replicate of a cell carries the same sorted
+    // name set (instruments are registered eagerly at World wiring), so the
+    // zip below is positional. Accumulation runs in sorted-seed order, so the
+    // aggregates are byte-identical at any thread count.
+    if (!cell.replicates.empty() && !cell.replicates.front().obs_snapshot.empty()) {
+      const std::vector<obs::SnapshotEntry>& first = cell.replicates.front().obs_snapshot;
+      std::vector<analysis::SampleStats> obs_acc(first.size());
+      for (const ReplicateResult& r : cell.replicates) {
+        SMN_ASSERT(r.obs_snapshot.size() == first.size(),
+                   "replicate seed %llu has %zu obs entries, expected %zu",
+                   static_cast<unsigned long long>(r.seed), r.obs_snapshot.size(), first.size());
+        for (std::size_t i = 0; i < first.size(); ++i) {
+          SMN_DCHECK(r.obs_snapshot[i].name == first[i].name, "obs schema mismatch at %zu", i);
+          obs_acc[i].push(r.obs_snapshot[i].value);
+        }
+      }
+      cell.obs.reserve(first.size());
+      for (std::size_t i = 0; i < first.size(); ++i) {
+        cell.obs.push_back({first[i].name, obs_acc[i].mean(), obs_acc[i].min(), obs_acc[i].max()});
+      }
+    }
   }
   return report;
 }
@@ -220,12 +247,26 @@ std::string to_json(const SweepReport& report, const JsonOptions& opts) {
       w.end_object();
     }
     w.end_object();
+    if (!cell.obs.empty()) {
+      w.key("obs");
+      w.begin_object();
+      for (const ObsAggregate& a : cell.obs) {
+        w.key(a.name);
+        w.begin_object();
+        w.kv("mean", a.mean);
+        w.kv("min", a.min);
+        w.kv("max", a.max);
+        w.end_object();
+      }
+      w.end_object();
+    }
     w.key("samples");
     w.begin_array();
     for (const ReplicateResult& r : cell.replicates) {
       w.begin_object();
       w.kv("seed", r.seed);
       w.kv("trace_hash", JsonWriter::hex64(r.trace_hash));
+      if (r.metrics_hash != 0) w.kv("metrics_hash", JsonWriter::hex64(r.metrics_hash));
       w.kv("events", r.events);
       w.end_object();
     }

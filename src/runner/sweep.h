@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "scenario/world.h"
 #include "sim/time.h"
 #include "topology/blueprint.h"
@@ -72,6 +73,11 @@ struct ReplicateResult {
   std::array<double, kMetricCount> metrics{};
   std::uint64_t trace_hash = 0;  // determinism signal, recorded per replicate
   std::uint64_t events = 0;
+  /// Flattened obs registry snapshot (sorted by name; empty if metrics were
+  /// disabled in the cell config) and its FNV-1a hash — the second
+  /// determinism signal, proving instrumentation itself is reproducible.
+  std::vector<obs::SnapshotEntry> obs_snapshot;
+  std::uint64_t metrics_hash = 0;
 };
 
 struct SweepSpec {
@@ -92,10 +98,23 @@ struct MetricSummary {
   double max = 0.0;
 };
 
+/// Per-cell aggregate of one obs snapshot entry across replicates.
+struct ObsAggregate {
+  std::string name;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 struct CellReport {
   std::string name;
   std::vector<ReplicateResult> replicates;  // sorted by seed
   std::array<MetricSummary, kMetricCount> stats{};
+  /// Merged obs metrics (sorted by name; empty when metrics were disabled).
+  /// Every replicate of a cell registers the same instrument set — the
+  /// registry is populated eagerly at World wiring — so aggregation zips the
+  /// sorted snapshots positionally.
+  std::vector<ObsAggregate> obs;
 };
 
 struct SweepReport {

@@ -37,11 +37,20 @@ WorldConfig WorldConfig::for_level(core::AutomationLevel level) {
 }
 
 World::World(const topology::Blueprint& blueprint, WorldConfig cfg)
-    : cfg_{std::move(cfg)}, environment_{cfg_.environment} {
+    : cfg_{std::move(cfg)},
+      obs_{std::make_unique<obs::Obs>(cfg_.obs)},
+      environment_{cfg_.environment} {
   sim::RngFactory rngs{cfg_.seed};
 
   cfg_.network.seed = cfg_.seed;
   network_ = std::make_unique<net::Network>(blueprint, cfg_.network, sim_);
+
+  // Wire the event loop first so every later component's activity is counted;
+  // the sim holds only inline null-checked handles, never the bundle itself.
+  sim_.set_obs(obs_->metrics() != nullptr ? obs_->metrics()->counter("sim_events_total") : nullptr,
+               obs_->recorder());
+  network_->set_obs(obs_.get());
+  tickets_.set_obs(obs_.get());
 
   injector_ = std::make_unique<fault::FaultInjector>(*network_, environment_,
                                                      rngs.stream("faults"), cfg_.faults);
@@ -74,6 +83,10 @@ World::World(const topology::Blueprint& blueprint, WorldConfig cfg)
       *network_, *detection_, tickets_, *cascade_, *technicians_, fleet_.get(),
       rngs.stream("controller"), cfg_.controller);
   availability_ = std::make_unique<analysis::AvailabilityTracker>(*network_);
+
+  technicians_->set_obs(obs_.get());
+  if (fleet_ != nullptr) fleet_->set_obs(obs_.get());
+  controller_->set_obs(obs_.get());
 }
 
 void World::start() {

@@ -21,6 +21,7 @@
 #include "maintenance/technician.h"
 #include "maintenance/ticket.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "robotics/fleet.h"
 #include "sim/event_queue.h"
 #include "telemetry/monitor.h"
@@ -40,6 +41,10 @@ struct WorldConfig {
   robotics::RobotFleet::Config fleet;  // units empty => row_coverage roster
   core::MaintenanceController::Config controller;
   bool use_robots = true;
+  /// Observability (metrics on by default; tracing opt-in). Instrumentation
+  /// only observes — RNG draws and event order are identical with all of it
+  /// off, which --audit-determinism verifies.
+  obs::Options obs;
   /// Cadence of the runtime invariant sweep (`World::check_invariants`,
   /// which aborts on corruption). Duration::zero() disables it; the default
   /// is cheap enough to leave on in every experiment.
@@ -85,11 +90,16 @@ class World {
   robotics::RobotFleet& fleet() { return *fleet_; }
   core::MaintenanceController& controller() { return *controller_; }
   analysis::AvailabilityTracker& availability() { return *availability_; }
+  obs::Obs& obs() { return *obs_; }
+  [[nodiscard]] const obs::Obs& obs() const { return *obs_; }
 
   [[nodiscard]] const WorldConfig& config() const { return cfg_; }
 
  private:
   WorldConfig cfg_;
+  // Declared before the simulator and components: they hold raw handles into
+  // the registry/recorder, so the bundle must outlive all of them.
+  std::unique_ptr<obs::Obs> obs_;
   sim::Simulator sim_;
   std::unique_ptr<net::Network> network_;
   fault::Environment environment_;

@@ -88,6 +88,7 @@ bool Simulator::step() {
   now_ = ev.time;
   ++processed_;
   fold_trace(ev);
+  observe_event(ev);
   ev.fn();
   return true;
 }
@@ -110,6 +111,7 @@ void Simulator::run_until(TimePoint deadline) {
     now_ = ev.time;
     ++processed_;
     fold_trace(ev);
+    observe_event(ev);
     ev.fn();
   }
   if (deadline > now_) now_ = deadline;

@@ -14,6 +14,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
 
 namespace smn::sim {
@@ -69,6 +71,16 @@ class Simulator {
   /// (hash-order iteration, uninitialized read, wall-clock leak).
   [[nodiscard]] std::uint64_t trace_hash() const { return trace_hash_; }
 
+  /// Wires observability into the event loop: `events` counts executed
+  /// events, `recorder` logs (time, seq, id) of each into the crash ring.
+  /// Either may be null. Both effects are observers of the execution order,
+  /// never inputs to it, so the trace hash is identical with obs on or off —
+  /// the property --audit-determinism enforces.
+  void set_obs(obs::Counter* events, obs::FlightRecorder* recorder) {
+    obs_events_ = events;
+    obs_recorder_ = recorder;
+  }
+
   /// Aborts (via SMN_ASSERT) if internal bookkeeping is inconsistent:
   /// cancelled ids must be a subset of queued ids, the queued-id index must
   /// mirror the heap, and the clock must not have moved backwards.
@@ -100,6 +112,16 @@ class Simulator {
   // Folds one executed event into the running trace hash.
   void fold_trace(const Event& ev);
 
+  // Hot-path instrumentation for one executed event; both sinks are inline
+  // and null-checked, so the disabled cost is two predicted branches.
+  void observe_event(const Event& ev) {
+    if (obs_events_ != nullptr) obs_events_->inc();
+    if (obs_recorder_ != nullptr) {
+      obs_recorder_->record(ev.time.count_us(), "sim-event", static_cast<std::int64_t>(ev.id),
+                            static_cast<std::int64_t>(ev.seq));
+    }
+  }
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<EventId> queued_ids_;  // ids currently in queue_ (incl. cancelled)
   std::unordered_set<EventId> cancelled_;   // always a subset of queued_ids_
@@ -109,6 +131,8 @@ class Simulator {
   EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  obs::Counter* obs_events_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::sim

@@ -57,6 +57,30 @@ TEST(LintTest, DetectsWallClock) {
   EXPECT_GE(fs.size(), 2u);
 }
 
+TEST(LintTest, DetectsSteadyClock) {
+  const std::string source =
+      "#include <chrono>\n"
+      "double secs() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n";
+  const std::vector<Finding> fs = lint_source("src/obs/foo.cpp", source, true);
+  EXPECT_TRUE(has_rule(fs, "wall-clock"));
+  EXPECT_EQ(line_of_rule(fs, "wall-clock"), 2);
+}
+
+TEST(LintTest, SteadyClockAllowedOutsideSrcAndWhenSuppressed) {
+  // bench/ code times with steady_clock legitimately.
+  const std::string bench_source =
+      "#include <chrono>\n"
+      "double secs() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n";
+  EXPECT_FALSE(
+      has_rule(lint_source("bench/foo.cpp", bench_source, /*in_src=*/false), "wall-clock"));
+  // ...and src/ code can opt out per file, as the sweep runner's wall-clock
+  // throughput timer does.
+  const std::string suppressed =
+      "// smn-lint: allow(wall-clock)\n"
+      "using WallClock = std::chrono::steady_clock;\n";
+  EXPECT_FALSE(has_rule(lint_source("src/foo.cpp", suppressed, /*in_src=*/true), "wall-clock"));
+}
+
 TEST(LintTest, SrcOnlyRulesIgnoredOutsideSrc) {
   const std::string source = "int draw() { return std::rand(); }\n";
   const std::vector<Finding> fs = lint_source("tests/foo.cpp", source, /*in_src=*/false);

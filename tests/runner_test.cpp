@@ -6,11 +6,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "runner/channel.h"
+#include "runner/json_writer.h"
 #include "runner/presets.h"
 #include "runner/sweep.h"
 #include "topology/builders.h"
@@ -19,9 +22,67 @@ namespace smn {
 namespace {
 
 using runner::BoundedChannel;
+using runner::JsonWriter;
 using runner::SweepReport;
 using runner::SweepRunner;
 using runner::SweepSpec;
+
+// Serializes {"k": s} and returns the raw JSON, exercising the writer's
+// string escaping end to end.
+std::string json_of(std::string_view s) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("k");
+  w.value(s);
+  w.end_object();
+  return w.str();
+}
+
+TEST(JsonWriter, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json_of("say \"hi\""), "{\"k\":\"say \\\"hi\\\"\"}");
+  EXPECT_EQ(json_of("C:\\path\\file"), "{\"k\":\"C:\\\\path\\\\file\"}");
+  // A key needs the same treatment as a value.
+  JsonWriter w;
+  w.begin_object();
+  w.key("a\"b");
+  w.value(1);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\\\"b\":1}");
+}
+
+TEST(JsonWriter, EscapesCommonWhitespaceControls) {
+  EXPECT_EQ(json_of("a\nb"), "{\"k\":\"a\\nb\"}");
+  EXPECT_EQ(json_of("a\rb"), "{\"k\":\"a\\rb\"}");
+  EXPECT_EQ(json_of("a\tb"), "{\"k\":\"a\\tb\"}");
+}
+
+TEST(JsonWriter, EscapesRemainingControlCharsAsUnicode) {
+  EXPECT_EQ(json_of(std::string_view{"\x00", 1}), "{\"k\":\"\\u0000\"}");
+  EXPECT_EQ(json_of("\x01\x1f"), "{\"k\":\"\\u0001\\u001f\"}");
+  EXPECT_EQ(json_of("bell\x07"), "{\"k\":\"bell\\u0007\"}");
+}
+
+TEST(JsonWriter, PassesNonAsciiUtf8Through) {
+  // UTF-8 bytes >= 0x80 are valid JSON string content and must survive
+  // verbatim — no escaping, no mangling.
+  EXPECT_EQ(json_of("smn→obs µs"), "{\"k\":\"smn→obs µs\"}");
+  EXPECT_EQ(json_of("héllo"), "{\"k\":\"héllo\"}");
+}
+
+TEST(JsonWriter, Hex64IsZeroPaddedLowercase) {
+  EXPECT_EQ(JsonWriter::hex64(0), "0000000000000000");
+  EXPECT_EQ(JsonWriter::hex64(0xDEADBEEFull), "00000000deadbeef");
+  EXPECT_EQ(JsonWriter::hex64(~0ull), "ffffffffffffffff");
+}
+
+TEST(JsonWriter, NonFiniteDoublesSerializeAsNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("nan", std::numeric_limits<double>::quiet_NaN());
+  w.kv("inf", std::numeric_limits<double>::infinity());
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"nan\":null,\"inf\":null}");
+}
 
 // A grid small enough for unit-test budgets but with enough fault traffic
 // that traces are genuinely seed-dependent (cf. determinism_test.cpp).
@@ -83,6 +144,15 @@ TEST(SweepRunner, ThreadCountInvariance) {
       EXPECT_EQ(a.cells[c].replicates[i].trace_hash, b.cells[c].replicates[i].trace_hash)
           << "cell " << a.cells[c].name << " seed " << a.cells[c].replicates[i].seed;
       EXPECT_EQ(a.cells[c].replicates[i].events, b.cells[c].replicates[i].events);
+      EXPECT_EQ(a.cells[c].replicates[i].metrics_hash, b.cells[c].replicates[i].metrics_hash);
+    }
+    // Per-cell obs aggregates (metrics are on by default) must also be
+    // thread-count invariant.
+    ASSERT_FALSE(a.cells[c].obs.empty());
+    ASSERT_EQ(a.cells[c].obs.size(), b.cells[c].obs.size());
+    for (std::size_t i = 0; i < a.cells[c].obs.size(); ++i) {
+      EXPECT_EQ(a.cells[c].obs[i].name, b.cells[c].obs[i].name);
+      EXPECT_EQ(a.cells[c].obs[i].mean, b.cells[c].obs[i].mean);
     }
   }
   // The whole report — stats accumulated in sorted order — must serialize

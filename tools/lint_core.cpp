@@ -338,9 +338,12 @@ std::vector<Finding> lint_source(const std::string& path, const std::string& con
     check_banned_tokens(path, code, "banned-random",
                         {"std::rand", "srand", "std::random_device", "random_device"},
                         "draw from a seeded sim::RngStream so runs reproduce", all);
+    // steady_clock is banned in src/ too: it cannot leak into simulation
+    // state, but timing belongs in bench/, not instrumented library code —
+    // the obs subsystem keys everything to Simulator::now() instead.
     check_banned_tokens(path, code, "wall-clock",
                         {"time(nullptr)", "time(NULL)", "std::chrono::system_clock",
-                         "system_clock"},
+                         "system_clock", "std::chrono::steady_clock", "steady_clock"},
                         "use sim::TimePoint / Simulator::now(); wall clocks break trace "
                         "reproducibility",
                         all);

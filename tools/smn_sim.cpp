@@ -20,9 +20,15 @@
 //   --proactive on|off                                     [per level]
 //   --impact-aware on|off                                  [per level]
 //   --csv FILE            write hourly time series
-//   --audit-determinism   run every topology preset twice with the same seed
-//                         and fail (exit 1) if the executed-event trace
-//                         hashes diverge; honors --level/--seed/--days
+//   --metrics FILE        write the obs metrics registry in Prometheus text
+//                         exposition format after the run
+//   --trace FILE          enable structured tracing and write Chrome
+//                         trace_event JSON (load in Perfetto / chrome://tracing)
+//   --audit-determinism   run every topology preset three times with the same
+//                         seed — twice with observability on, once with it
+//                         off — and fail (exit 1) if any executed-event trace
+//                         hash diverges or the two obs-on metrics-snapshot
+//                         hashes differ; honors --level/--seed/--days
 //                         (days defaults to 10 in audit mode)
 //
 // Subcommand: `smnctl sweep` — the parallel Monte-Carlo sweep engine
@@ -134,13 +140,20 @@ scenario::WorldConfig world_config(const Args& args, core::AutomationLevel level
   if (args.has("impact-aware")) {
     cfg.controller.impact_aware = args.onoff("impact-aware", true);
   }
+  // Tracing is opt-in per run: the buffer is only allocated (and the trace
+  // instrumentation only records) when the caller asked for an output file.
+  if (args.has("trace")) cfg.obs.trace = true;
   return cfg;
 }
 
 // The determinism audit (DESIGN.md "deterministic by construction"): every
-// topology preset is simulated twice from identical configs and the
-// per-event trace hashes must match bit-for-bit. Any divergence — hash-order
-// iteration, an uninitialized read, a wall-clock leak — fails the audit.
+// topology preset is simulated three times from identical configs — twice
+// with observability on, once with it off entirely. All three per-event trace
+// hashes must match bit-for-bit (instrumentation observes the event stream,
+// never perturbs it), and the two obs-on runs must produce bit-identical
+// metrics-snapshot hashes (the instrumentation itself is reproducible). Any
+// divergence — hash-order iteration, an uninitialized read, a wall-clock
+// leak, a metric fed from nondeterministic state — fails the audit.
 int run_determinism_audit(const Args& args) {
   const core::AutomationLevel level = parse_level(args.get("level", "L3"));
   const int days = args.geti("days", 10);
@@ -153,27 +166,39 @@ int run_determinism_audit(const Args& args) {
     Args preset_args = args;
     preset_args.kv["topology"] = preset;
     const topology::Blueprint bp = build_topology(preset_args);
-    std::uint64_t hash[2] = {};
-    std::uint64_t events[2] = {};
-    for (int run = 0; run < 2; ++run) {
-      scenario::World world{bp, world_config(preset_args, level)};
+    std::uint64_t hash[3] = {};
+    std::uint64_t events[3] = {};
+    std::uint64_t metrics[3] = {};
+    for (int run = 0; run < 3; ++run) {
+      scenario::WorldConfig cfg = world_config(preset_args, level);
+      // Runs 0/1: full observability. Run 2: everything off, proving the
+      // instrumentation never feeds back into RNG draws or event order.
+      cfg.obs = run < 2 ? obs::Options{} : obs::Options::disabled();
+      scenario::World world{bp, cfg};
       world.run_for(sim::Duration::days(days));
       world.check_invariants();
       hash[run] = world.simulator().trace_hash();
       events[run] = world.simulator().events_processed();
+      metrics[run] = world.obs().metrics_hash();
     }
-    const bool match = hash[0] == hash[1] && events[0] == events[1];
-    ok = ok && match;
-    std::printf("  %-11s %10llu events  trace %016llx / %016llx  %s\n", preset,
-                static_cast<unsigned long long>(events[0]),
+    const bool trace_match = hash[0] == hash[1] && hash[1] == hash[2] &&
+                             events[0] == events[1] && events[1] == events[2];
+    const bool metrics_match = metrics[0] == metrics[1];
+    ok = ok && trace_match && metrics_match;
+    std::printf("  %-11s %10llu events  trace %016llx/%016llx/%016llx %s  metrics %016llx/%016llx %s\n",
+                preset, static_cast<unsigned long long>(events[0]),
                 static_cast<unsigned long long>(hash[0]),
-                static_cast<unsigned long long>(hash[1]), match ? "OK" : "DIVERGED");
+                static_cast<unsigned long long>(hash[1]),
+                static_cast<unsigned long long>(hash[2]), trace_match ? "OK" : "DIVERGED",
+                static_cast<unsigned long long>(metrics[0]),
+                static_cast<unsigned long long>(metrics[1]), metrics_match ? "OK" : "DIVERGED");
   }
   if (!ok) {
-    std::fprintf(stderr, "determinism audit FAILED: trace hashes diverged\n");
+    std::fprintf(stderr, "determinism audit FAILED: trace or metrics hashes diverged\n");
     return 1;
   }
-  std::printf("determinism audit passed: all presets reproduce bit-identically\n");
+  std::printf(
+      "determinism audit passed: traces identical with obs on/off, metrics reproduce\n");
   return 0;
 }
 
@@ -384,6 +409,26 @@ int main(int argc, char** argv) {
       recorder.write_csv(csv);
       std::printf("time series written to %s (%zu rows)\n",
                   args.get("csv", "run.csv").c_str(), recorder.rows());
+    }
+    if (args.has("metrics")) {
+      const std::string path = args.get("metrics", "metrics.prom");
+      if (!world.obs().write_metrics_prom(path)) {
+        std::fprintf(stderr, "cannot write metrics to %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("metrics written to %s (%zu instruments)\n", path.c_str(),
+                  world.obs().metrics() != nullptr ? world.obs().metrics()->size() : 0);
+    }
+    if (args.has("trace")) {
+      const std::string path = args.get("trace", "trace.json");
+      if (!world.obs().write_trace_json(path)) {
+        std::fprintf(stderr, "cannot write trace to %s\n", path.c_str());
+        return 1;
+      }
+      const obs::TraceBuffer* tb = world.obs().trace();
+      std::printf("trace written to %s (%zu events, %llu dropped)\n", path.c_str(),
+                  tb != nullptr ? tb->size() : 0,
+                  static_cast<unsigned long long>(tb != nullptr ? tb->dropped() : 0));
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
