@@ -25,6 +25,15 @@ struct Row {
   double pct_samples_2x = 0;   // % of samples with p99 factor >= 2
   double pct_samples_10x = 0;
   double mean_flapping_links = 0;
+  // Per-link-state attribution, accumulated over every sample: which link
+  // state each flow's tail factor was attributed to (worst state on its
+  // routed DAG). This is the drill-down behind the p99 numbers above.
+  std::array<net::TailBucket, net::kTailStateCount> by_state{};
+  std::size_t flows_total = 0;
+  double demand_total = 0;
+  // The tail bucket of the `net_fct_factor_{state}` histograms (>= 10x):
+  // what a metrics scrape of the same run would report.
+  std::array<std::uint64_t, net::kTailStateCount> hist_over_10x{};
 };
 
 Row run(core::AutomationLevel level, int days, std::uint64_t seed) {
@@ -43,16 +52,40 @@ Row run(core::AutomationLevel level, int days, std::uint64_t seed) {
   analysis::SampleStats p99s;
   double flapping_sum = 0;
   std::size_t samples = 0;
+  Row row;
+  obs::Registry reg;
+  net::TrafficInstruments instruments{reg};
   world.simulator().schedule_every(sim::Duration::hours(4), [&] {
     const net::LoadReport r = net::route_and_load(world.network(), tm);
     p99s.push(r.p99_tail_factor);
     flapping_sum +=
         static_cast<double>(world.network().count_links(net::LinkState::kFlapping));
     ++samples;
+    instruments.observe(r);
+    for (std::size_t s = 0; s < net::kTailStateCount; ++s) {
+      const net::TailBucket& b = r.tail_by_state[s];
+      row.by_state[s].flows += b.flows;
+      row.by_state[s].demand_gbps += b.demand_gbps;
+      row.by_state[s].tail_sum += b.tail_sum;
+      row.by_state[s].worst_tail = std::max(row.by_state[s].worst_tail, b.worst_tail);
+      row.flows_total += b.flows;
+      row.demand_total += b.demand_gbps;
+    }
   });
   world.run_for(sim::Duration::days(days));
 
-  Row row;
+  for (std::size_t s = 0; s < net::kTailStateCount; ++s) {
+    const obs::Histogram* h = reg.histogram(
+        std::string{"net_fct_factor_"} +
+            (s == 0 ? "up" : s == 1 ? "impaired" : s == 2 ? "flapping" : "down_rerouted"),
+        net::fct_factor_bounds());
+    row.hist_over_10x[s] = 0;
+    for (std::size_t b = 0; b < h->counts().size(); ++b) {
+      if (b >= net::fct_factor_bounds().size() || net::fct_factor_bounds()[b] > 10.0) {
+        row.hist_over_10x[s] += h->counts()[b];
+      }
+    }
+  }
   row.level = core::to_string(level);
   row.mean_p99 = p99s.mean();
   row.worst_p99 = p99s.max();
@@ -81,6 +114,7 @@ int main(int argc, char** argv) {
 
   Table table{{"level", "mean p99 factor", "worst p99", "% samples >=2x",
                "% samples >=10x", "mean flapping links"}};
+  std::vector<Row> rows;
   for (const core::AutomationLevel level :
        {core::AutomationLevel::kL0_Manual, core::AutomationLevel::kL1_OperatorAssist,
         core::AutomationLevel::kL3_HighAutomation}) {
@@ -88,8 +122,31 @@ int main(int argc, char** argv) {
     table.add_row({r.level, Table::num(r.mean_p99, 2), Table::num(r.worst_p99, 1),
                    Table::num(r.pct_samples_2x, 1), Table::num(r.pct_samples_10x, 1),
                    Table::num(r.mean_flapping_links, 2)});
+    rows.push_back(r);
   }
   table.print(std::cout);
+
+  // Drill-down: each flow's tail factor attributed to the worst link state
+  // on its routed DAG, accumulated over all samples. The same decomposition
+  // lands in the net_fct_factor_{up,impaired,flapping,down-rerouted}
+  // histograms; the last column is their > 10x tail.
+  std::cout << "\nper-link-state attribution (all samples pooled):\n";
+  Table drill{{"level", "state", "% flows", "% demand", "mean factor", "worst factor",
+               "flows > 10x"}};
+  for (const Row& r : rows) {
+    for (std::size_t s = 0; s < net::kTailStateCount; ++s) {
+      const net::TailBucket& b = r.by_state[s];
+      const double denom_f = static_cast<double>(std::max<std::size_t>(1, r.flows_total));
+      const double denom_d = r.demand_total > 0 ? r.demand_total : 1.0;
+      drill.add_row({r.level, net::to_string(static_cast<net::TailState>(s)),
+                     Table::num(100.0 * static_cast<double>(b.flows) / denom_f, 2),
+                     Table::num(100.0 * b.demand_gbps / denom_d, 2),
+                     Table::num(b.flows > 0 ? b.tail_sum / static_cast<double>(b.flows) : 0.0, 2),
+                     Table::num(b.worst_tail, 1),
+                     std::to_string(r.hist_over_10x[s])});
+    }
+  }
+  drill.print(std::cout);
   std::cout << "\nexpected shape: at human repair speed, flapping links sit in the\n"
                "fabric for days and a large fraction of samples see >=2x (often\n"
                ">=10x) p99 inflation; at robot speed flaps are verified and fixed in\n"

@@ -114,6 +114,17 @@ std::vector<CascadeEffect> CascadeModel::apply(const Disturbance& d) {
     }
     effects.push_back(effect);
     log_.push_back(effect);
+    if (obs_hops_ != nullptr) {
+      obs_hops_->inc();
+      if (effect.induced != FaultKind::kGrayEpisode) obs_permanent_->inc();
+    }
+    SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+        "cascade-hop", "fault", now, "victim", effect.victim.value(), "cause",
+        effect.cause.value()));
+    if (obs_recorder_ != nullptr) {
+      obs_recorder_->record(now.count_us(), "cascade-hop", effect.victim.value(),
+                            effect.cause.value());
+    }
   };
 
   for (const net::LinkId lid : faceplate_neighbors(d.target, d.at_device)) {
@@ -125,6 +136,16 @@ std::vector<CascadeEffect> CascadeModel::apply(const Disturbance& d) {
     }
   }
   return effects;
+}
+
+void CascadeModel::set_obs(obs::Obs* o) {
+  if (o == nullptr) return;
+  if (obs::Registry* reg = o->metrics()) {
+    obs_hops_ = reg->counter("cascade_hops_total");
+    obs_permanent_ = reg->counter("cascade_permanent_total");
+  }
+  obs_trace_ = o->trace();
+  obs_recorder_ = o->recorder();
 }
 
 std::size_t CascadeModel::induced_permanent_count() const {

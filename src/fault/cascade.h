@@ -89,6 +89,11 @@ class CascadeModel {
   [[nodiscard]] std::size_t induced_count() const { return log_.size(); }
   [[nodiscard]] std::size_t induced_permanent_count() const;
 
+  /// Wires observability: hop/permanent counters, a flight-recorder record
+  /// and a trace instant per cascade hop (victim + cause link ids), so crash
+  /// dumps expose the propagation chain. Pure observer.
+  void set_obs(obs::Obs* o);
+
  private:
   [[nodiscard]] std::vector<net::LinkId> faceplate_neighbors(net::LinkId target,
                                                              net::DeviceId device) const;
@@ -102,6 +107,10 @@ class CascadeModel {
   std::vector<CascadeEffect> log_;
   /// Precomputed tray adjacency: link -> links sharing >= 1 tray segment.
   std::vector<std::vector<net::LinkId>> tray_adjacent_;
+  obs::Counter* obs_hops_ = nullptr;
+  obs::Counter* obs_permanent_ = nullptr;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::fault

@@ -27,9 +27,11 @@ void ContaminationProcess::step_once() {
   for (const net::Link& l : net_.links()) {
     if (!net::is_cleanable(l.medium)) continue;
     net::Link& lm = net_.link_mut(l.id);
+    const double before = worst_end(lm);
     for (net::EndCondition* end : {&lm.end_a.condition, &lm.end_b.condition}) {
       end->contamination = std::min(1.0, end->contamination + rng_.exponential(mean_inc));
     }
+    observe_crossings(l.id, before, worst_end(lm));
     net_.refresh_link(l.id);
   }
 }
@@ -38,9 +40,46 @@ void ContaminationProcess::expose(net::LinkId id, int which_end, double risk_sca
   net::Link& l = net_.link_mut(id);
   if (!net::is_cleanable(l.medium)) return;
   if (!rng_.bernoulli(cfg_.exposure_probability * risk_scale)) return;
+  if (obs_exposures_ != nullptr) obs_exposures_->inc();
+  const double before = worst_end(l);
   net::EndCondition& end = which_end == 0 ? l.end_a.condition : l.end_b.condition;
   end.contamination = std::min(1.0, end.contamination + rng_.exponential(cfg_.exposure_burst_mean));
+  observe_crossings(id, before, worst_end(l));
   net_.refresh_link(id);
+}
+
+void ContaminationProcess::set_obs(obs::Obs* o) {
+  if (o == nullptr) return;
+  if (obs::Registry* reg = o->metrics()) {
+    obs_exposures_ = reg->counter("contamination_exposures_total");
+    obs_degrade_crossings_ = reg->counter("contamination_degrade_crossings_total");
+    obs_flap_crossings_ = reg->counter("contamination_flap_crossings_total");
+  }
+  obs_trace_ = o->trace();
+  obs_recorder_ = o->recorder();
+}
+
+void ContaminationProcess::observe_crossings(net::LinkId id, double before, double after) {
+  const net::LinkThresholds& thr = net_.config().thresholds;
+  const sim::TimePoint now = net_.now();
+  // Percent-scale second arg: trace/recorder payloads are integers.
+  const auto pct = [](double c) { return static_cast<std::int64_t>(c * 100.0); };
+  if (before < thr.degrade_contamination && after >= thr.degrade_contamination) {
+    if (obs_degrade_crossings_ != nullptr) obs_degrade_crossings_->inc();
+    SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+        "contamination-degrade", "fault", now, "link", id.value(), "pct", pct(after)));
+    if (obs_recorder_ != nullptr) {
+      obs_recorder_->record(now.count_us(), "contamination-degrade", id.value(), pct(after));
+    }
+  }
+  if (before < thr.flap_contamination && after >= thr.flap_contamination) {
+    if (obs_flap_crossings_ != nullptr) obs_flap_crossings_->inc();
+    SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+        "contamination-flap", "fault", now, "link", id.value(), "pct", pct(after)));
+    if (obs_recorder_ != nullptr) {
+      obs_recorder_->record(now.count_us(), "contamination-flap", id.value(), pct(after));
+    }
+  }
 }
 
 double ContaminationProcess::total_contamination() const {

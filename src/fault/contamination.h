@@ -7,8 +7,11 @@
 // The link state machine turns contamination into Degraded/Flapping.
 #pragma once
 
+#include <algorithm>
+
 #include "fault/environment.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
@@ -55,12 +58,30 @@ class ContaminationProcess {
 
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  /// Wires observability: counters for exposures and for upward crossings of
+  /// the degrade/flap contamination thresholds, plus a flight-recorder record
+  /// and trace instant per crossing — the moment dirt turned into an
+  /// operational state change. Pure observer.
+  void set_obs(obs::Obs* o);
+
  private:
+  /// Records threshold crossings given a link's worst-end contamination
+  /// before and after a mutation.
+  void observe_crossings(net::LinkId id, double before, double after);
+  [[nodiscard]] static double worst_end(const net::Link& l) {
+    return std::max(l.end_a.condition.contamination, l.end_b.condition.contamination);
+  }
+
   net::Network& net_;
   Environment& env_;
   sim::RngStream rng_;
   Config cfg_;
   sim::EventId periodic_ = sim::kInvalidEvent;
+  obs::Counter* obs_exposures_ = nullptr;
+  obs::Counter* obs_degrade_crossings_ = nullptr;
+  obs::Counter* obs_flap_crossings_ = nullptr;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::fault

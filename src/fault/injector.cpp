@@ -137,8 +137,33 @@ std::size_t FaultInjector::count(FaultKind k) const {
   return n;
 }
 
+void FaultInjector::set_obs(obs::Obs* o) {
+  if (o == nullptr) return;
+  if (obs::Registry* reg = o->metrics()) {
+    static constexpr const char* kNames[kFaultKindCount] = {
+        "fault_injected_transceiver_failure_total", "fault_injected_cable_break_total",
+        "fault_injected_device_failure_total", "fault_injected_gray_episode_total",
+        "fault_injected_linecard_failure_total"};
+    for (std::size_t k = 0; k < kFaultKindCount; ++k) obs_injected_[k] = reg->counter(kNames[k]);
+    obs_injected_total_ = reg->counter("fault_injected_total");
+  }
+  obs_trace_ = o->trace();
+  obs_recorder_ = o->recorder();
+}
+
 void FaultInjector::emit(FaultEvent ev) {
   log_.push_back(ev);
+  if (obs_injected_total_ != nullptr) {
+    obs_injected_total_->inc();
+    obs_injected_[static_cast<std::size_t>(ev.kind)]->inc();
+  }
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+      to_string(ev.kind), "fault", ev.time, "link", ev.link.value(), "device",
+      ev.device.value()));
+  if (obs_recorder_ != nullptr) {
+    obs_recorder_->record(ev.time.count_us(), to_string(ev.kind), ev.link.value(),
+                          ev.device.value());
+  }
   for (const Listener& l : listeners_) l(ev);
 }
 

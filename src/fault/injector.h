@@ -8,12 +8,14 @@
 // coupling the paper describes for dirt-driven flapping.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "fault/environment.h"
 #include "net/network.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
@@ -26,6 +28,7 @@ enum class FaultKind : std::uint8_t {
   kGrayEpisode,         // transient flapping; self-clears
   kLineCardFailure,     // one chassis card dead; its port group goes dark
 };
+inline constexpr std::size_t kFaultKindCount = 5;
 [[nodiscard]] const char* to_string(FaultKind k);
 
 struct FaultEvent {
@@ -82,6 +85,12 @@ class FaultInjector {
 
   void subscribe(Listener l) { listeners_.push_back(std::move(l)); }
 
+  /// Wires observability: per-mechanism injected-fault counters, plus one
+  /// flight-recorder record and one trace instant per emitted fault, so a
+  /// crash dump shows the faults leading up to an invariant failure. Pure
+  /// observer — draws no randomness and schedules nothing.
+  void set_obs(obs::Obs* o);
+
   [[nodiscard]] const std::vector<FaultEvent>& log() const { return log_; }
   [[nodiscard]] std::size_t count(FaultKind k) const;
 
@@ -102,6 +111,10 @@ class FaultInjector {
   std::vector<FaultEvent> log_;
   std::vector<Listener> listeners_;
   sim::EventId periodic_ = sim::kInvalidEvent;
+  std::array<obs::Counter*, kFaultKindCount> obs_injected_{};
+  obs::Counter* obs_injected_total_ = nullptr;
+  obs::TraceBuffer* obs_trace_ = nullptr;
+  obs::FlightRecorder* obs_recorder_ = nullptr;
 };
 
 }  // namespace smn::fault

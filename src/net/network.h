@@ -119,6 +119,7 @@ class Network {
   [[nodiscard]] Link& link_mut(LinkId id) { return links_.at(static_cast<size_t>(id.value())); }
 
   [[nodiscard]] const topology::Blueprint& blueprint() const { return blueprint_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
   [[nodiscard]] sim::TimePoint now() const { return sim_->now(); }
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
 

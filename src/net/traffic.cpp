@@ -5,6 +5,16 @@
 
 namespace smn::net {
 
+const char* to_string(TailState s) {
+  switch (s) {
+    case TailState::kUp: return "up";
+    case TailState::kImpaired: return "impaired";
+    case TailState::kFlapping: return "flapping";
+    case TailState::kDownRerouted: return "down-rerouted";
+  }
+  return "?";
+}
+
 double TrafficMatrix::total_demand_gbps() const {
   double total = 0;
   for (const Flow& f : flows) total += f.gbps;
@@ -53,10 +63,14 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
   LoadReport report;
   report.demand_gbps = tm.total_demand_gbps();
   report.link_load_gbps.assign(net.links().size(), 0.0);
+  report.flow_outcomes.reserve(tm.flows.size());
 
   struct FlowPath {
+    std::size_t flow_index = 0;
     double gbps = 0;
     double worst_loss = 0;
+    LinkState worst_state = LinkState::kUp;
+    TailState state = TailState::kUp;
     double bottleneck_overload = 1.0;  // max(load/capacity) along the path
     std::vector<std::pair<LinkId, double>> shares;  // link, fraction of flow
   };
@@ -66,8 +80,39 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
   // Distance tables are cached per destination — matrices typically hit few
   // distinct destinations relative to flow count.
   std::unordered_map<std::int32_t, std::vector<int>> dist_to_dst;
+  // Pristine-fabric distances (every link counted regardless of state), used
+  // to detect detours around Down links. Cached per destination like above.
+  std::unordered_map<std::int32_t, std::vector<int>> struct_to_dst;
+  const auto structural_dist = [&](DeviceId dst) -> const std::vector<int>& {
+    auto sit = struct_to_dst.find(dst.value());
+    if (sit == struct_to_dst.end()) {
+      sit = struct_to_dst.emplace(dst.value(), std::vector<int>{}).first;
+      std::vector<int>& out = sit->second;
+      const CsrAdjacency& adj = net.adjacency();
+      out.assign(net.devices().size(), -1);
+      std::vector<DeviceId> queue;
+      queue.reserve(out.size());
+      out[static_cast<std::size_t>(dst.value())] = 0;
+      queue.push_back(dst);
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const DeviceId node = queue[head];
+        const int d = out[static_cast<std::size_t>(node.value())];
+        const auto [begin, end] = adj.row(node);
+        for (std::int32_t i = begin; i < end; ++i) {
+          const DeviceId peer = adj.peer[static_cast<std::size_t>(i)];
+          int& pd = out[static_cast<std::size_t>(peer.value())];
+          if (pd < 0) {
+            pd = d + 1;
+            queue.push_back(peer);
+          }
+        }
+      }
+    }
+    return sit->second;
+  };
 
-  for (const Flow& f : tm.flows) {
+  for (std::size_t flow_index = 0; flow_index < tm.flows.size(); ++flow_index) {
+    const Flow& f = tm.flows[flow_index];
     auto it = dist_to_dst.find(f.dst.value());
     if (it == dist_to_dst.end()) {
       it = dist_to_dst.emplace(f.dst.value(), std::vector<int>{}).first;
@@ -84,6 +129,7 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
     // distance d, next hops are usable neighbours at distance d-1; the
     // fraction splits equally over next-hop *links* (ECMP incl. LAG members).
     FlowPath fp;
+    fp.flow_index = flow_index;
     fp.gbps = f.gbps;
     std::unordered_map<std::int32_t, double> frac;
     frac[f.src.value()] = 1.0;
@@ -106,8 +152,11 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
       const double share = node_frac / static_cast<double>(next.size());
       for (const auto& [lid, peer] : next) {
         fp.shares.emplace_back(lid, share);
-        fp.worst_loss = std::max(
-            fp.worst_loss, Link::loss_rate(net.link(lid).state) * 1.0);
+        const LinkState ls = net.link(lid).state;
+        fp.worst_loss = std::max(fp.worst_loss, Link::loss_rate(ls) * 1.0);
+        // Up < Degraded < Flapping in both enum order and loss rate, so the
+        // worst state is the one behind worst_loss.
+        if (static_cast<int>(ls) > static_cast<int>(fp.worst_state)) fp.worst_state = ls;
         frac[peer.value()] += share;
         if (!queued[peer.value()]) {
           queued[peer.value()] = true;
@@ -117,6 +166,13 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
     }
     for (const auto& [lid, share] : fp.shares) {
       report.link_load_gbps[static_cast<size_t>(lid.value())] += f.gbps * share;
+    }
+    if (fp.worst_state == LinkState::kFlapping) {
+      fp.state = TailState::kFlapping;
+    } else if (fp.worst_state == LinkState::kDegraded) {
+      fp.state = TailState::kImpaired;
+    } else if (total > structural_dist(f.dst)[static_cast<std::size_t>(f.src.value())]) {
+      fp.state = TailState::kDownRerouted;
     }
     placed.push_back(std::move(fp));
   }
@@ -151,6 +207,12 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
     const double tail = tail_latency_factor(fp.worst_loss);
     weighted_tails.emplace_back(tail, fp.gbps);
     tail_sum += tail * fp.gbps;
+    TailBucket& bucket = report.tail_by_state[static_cast<std::size_t>(fp.state)];
+    ++bucket.flows;
+    bucket.demand_gbps += fp.gbps;
+    bucket.tail_sum += tail;
+    bucket.worst_tail = std::max(bucket.worst_tail, tail);
+    report.flow_outcomes.push_back(FlowOutcome{fp.flow_index, fp.state, tail, fp.gbps});
   }
   if (!weighted_tails.empty()) {
     std::sort(weighted_tails.begin(), weighted_tails.end());
@@ -168,6 +230,29 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
     report.mean_tail_factor = tail_sum / total_w;
   }
   return report;
+}
+
+const std::vector<double>& fct_factor_bounds() {
+  static const std::vector<double> kBounds{1.02, 1.5, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0};
+  return kBounds;
+}
+
+TrafficInstruments::TrafficInstruments(obs::Registry& reg) {
+  static constexpr const char* kNames[kTailStateCount] = {
+      "net_fct_factor_up", "net_fct_factor_impaired", "net_fct_factor_flapping",
+      "net_fct_factor_down_rerouted"};
+  for (std::size_t s = 0; s < kTailStateCount; ++s) {
+    fct_factor_[s] = reg.histogram(kNames[s], fct_factor_bounds());
+  }
+  unroutable_ = reg.counter("net_flows_unroutable_total");
+}
+
+void TrafficInstruments::observe(const LoadReport& report) {
+  if (unroutable_ == nullptr) return;  // default-constructed: not wired
+  for (const FlowOutcome& fo : report.flow_outcomes) {
+    fct_factor_[static_cast<std::size_t>(fo.state)]->observe(fo.tail_factor);
+  }
+  unroutable_->inc(report.unroutable_flows);
 }
 
 }  // namespace smn::net

@@ -9,10 +9,12 @@
 // It also gives the reconfiguration engine (E14) its objective function.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "net/network.h"
 #include "net/routing.h"
+#include "obs/metrics.h"
 #include "sim/rng.h"
 
 namespace smn::net {
@@ -42,6 +44,34 @@ class TrafficMatrix {
                                             sim::RngStream& rng);
 };
 
+/// Attribution of a routed flow's tail-latency factor to the worst link
+/// state on its path. Lossy states dominate: any Flapping link on the path
+/// wins, then any Degraded link. A flow whose links are all clean but whose
+/// shortest usable path is longer than the pristine-fabric distance was
+/// rerouted around Down links — near-unity tail factor, but real exposure
+/// the drill-down (E13) must not fold into "up".
+enum class TailState : std::uint8_t { kUp = 0, kImpaired, kFlapping, kDownRerouted };
+inline constexpr std::size_t kTailStateCount = 4;
+[[nodiscard]] const char* to_string(TailState s);
+
+/// Per-flow routing outcome, kept for drill-down and the differential
+/// attribution oracle. Only routed flows appear (unroutable flows are
+/// counted in LoadReport::unroutable_flows).
+struct FlowOutcome {
+  std::size_t flow_index = 0;  // index into TrafficMatrix::flows
+  TailState state = TailState::kUp;
+  double tail_factor = 1.0;
+  double gbps = 0;
+};
+
+/// Per-attribution-state aggregate over one routed matrix.
+struct TailBucket {
+  std::size_t flows = 0;
+  double demand_gbps = 0;
+  double tail_sum = 0;  // unweighted sum of per-flow tail factors
+  double worst_tail = 1.0;
+};
+
 /// The result of routing a matrix over the current link states.
 struct LoadReport {
   double demand_gbps = 0;
@@ -55,6 +85,11 @@ struct LoadReport {
   double p99_tail_factor = 1.0;
   double mean_tail_factor = 1.0;
   std::vector<double> link_load_gbps;  // indexed by LinkId
+  /// Tail-latency decomposition by worst-path-link state, indexed by
+  /// static_cast<std::size_t>(TailState).
+  std::array<TailBucket, kTailStateCount> tail_by_state;
+  /// Routed flows in matrix order.
+  std::vector<FlowOutcome> flow_outcomes;
 };
 
 /// Routes every flow over ECMP shortest paths (equal split across the
@@ -63,5 +98,28 @@ struct LoadReport {
 /// loss rates of the links each flow traverses.
 [[nodiscard]] LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
                                         const PathPolicy& policy = {});
+
+/// Bucket upper edges shared by the per-state FCT-factor histograms. The
+/// loss model caps the factor at 100 (1 + 99·P[any loss]), so the edges span
+/// [1, 100] with resolution around the 2x/10x claims E13 quotes.
+[[nodiscard]] const std::vector<double>& fct_factor_bounds();
+
+/// Feeds LoadReports into an obs registry: one FCT-factor histogram per
+/// attribution state (`net_fct_factor_<state>`) plus an unroutable-flow
+/// counter. Instruments are registered eagerly at wiring time so every
+/// replicate snapshots the same schema whether or not traffic ever ran.
+/// Pure observer: never mutates the network or draws randomness.
+class TrafficInstruments {
+ public:
+  TrafficInstruments() = default;
+  explicit TrafficInstruments(obs::Registry& reg);
+
+  /// Records every routed flow's tail factor into its state's histogram.
+  void observe(const LoadReport& report);
+
+ private:
+  std::array<obs::Histogram*, kTailStateCount> fct_factor_{};
+  obs::Counter* unroutable_ = nullptr;
+};
 
 }  // namespace smn::net

@@ -33,6 +33,10 @@ std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data, std::size_t n) {
 
 }  // namespace
 
+std::uint64_t fnv1a(std::string_view bytes) {
+  return fnv1a_bytes(kFnvOffset, bytes.data(), bytes.size());
+}
+
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   for (std::size_t i = 1; i < bounds_.size(); ++i) {
     if (!(bounds_[i - 1] < bounds_[i])) {

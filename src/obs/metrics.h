@@ -23,11 +23,17 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace smn::obs {
 
 class JsonWriter;
+
+/// FNV-1a over a byte string — the same hash family the registry snapshot
+/// and the event trace use. Exposed so sweep trace sampling can fingerprint
+/// exported trace JSON with a hash any component can recompute.
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
 
 /// Monotonically increasing event count.
 class Counter {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <utility>
 
@@ -43,9 +46,11 @@ using WallClock = std::chrono::steady_clock;
 }  // namespace
 
 ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cell_index,
-                                           std::uint64_t seed, sim::Duration duration) {
+                                           std::uint64_t seed, sim::Duration duration,
+                                           bool sample_trace) {
   scenario::WorldConfig cfg = cell.config;
   cfg.seed = seed;
+  if (sample_trace) cfg.obs.trace = true;
   scenario::World world{cell.blueprint, std::move(cfg)};
   world.run_for(duration);
   world.check_invariants();
@@ -58,6 +63,10 @@ ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cel
   if (const obs::Registry* reg = world.obs().metrics()) {
     r.obs_snapshot = reg->snapshot();
     r.metrics_hash = reg->snapshot_hash();
+  }
+  if (sample_trace && world.obs().trace() != nullptr) {
+    r.sampled_trace_json = world.obs().trace()->to_chrome_json();
+    r.sampled_trace_hash = obs::fnv1a(r.sampled_trace_json);
   }
 
   const analysis::AvailabilityTracker& avail = world.availability();
@@ -144,7 +153,8 @@ SweepReport SweepRunner::run(const SweepSpec& spec, const Options& opts) {
           while (std::optional<Task> task = task_channel.pop()) {
             if (stop_requested()) break;
             ReplicateResult r =
-                run_replicate(spec.cells[task->cell], task->cell, task->seed, spec.duration);
+                run_replicate(spec.cells[task->cell], task->cell, task->seed, spec.duration,
+                              opts.sample_traces && task->seed == spec.first_seed);
             if (!results.push(std::move(r))) break;
           }
           if (live_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) results.close();
@@ -231,6 +241,22 @@ std::string to_json(const SweepReport& report, const JsonOptions& opts) {
     w.begin_object();
     w.kv("name", cell.name);
     w.kv("replicates", cell.replicates.size());
+    // At most one replicate per cell carries a sampled trace (lowest seed).
+    const ReplicateResult* sampled = nullptr;
+    for (const ReplicateResult& r : cell.replicates) {
+      if (!r.sampled_trace_json.empty()) {
+        sampled = &r;
+        break;
+      }
+    }
+    if (sampled != nullptr) {
+      w.key("sampled_trace");
+      w.begin_object();
+      w.kv("seed", sampled->seed);
+      w.kv("trace_hash", JsonWriter::hex64(sampled->sampled_trace_hash));
+      w.kv("file", sampled_trace_filename(cell.name, sampled->seed));
+      w.end_object();
+    }
     w.key("metrics");
     w.begin_object();
     for (std::size_t i = 0; i < kMetricCount; ++i) {
@@ -276,6 +302,35 @@ std::string to_json(const SweepReport& report, const JsonOptions& opts) {
   w.end_array();
   w.end_object();
   return w.str();
+}
+
+std::string sampled_trace_filename(const std::string& cell_name, std::uint64_t seed) {
+  std::string sanitized = cell_name;
+  for (char& c : sanitized) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return "trace_" + sanitized + "_seed" + std::to_string(seed) + ".json";
+}
+
+bool write_sampled_traces(const SweepReport& report, const std::string& dir) {
+  bool ok = true;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; open() reports failures
+  for (const CellReport& cell : report.cells) {
+    for (const ReplicateResult& r : cell.replicates) {
+      if (r.sampled_trace_json.empty()) continue;
+      const std::string path = dir + "/" + sampled_trace_filename(cell.name, r.seed);
+      std::ofstream out{path, std::ios::binary};
+      out << r.sampled_trace_json;
+      if (!out.good()) {
+        std::fprintf(stderr, "failed to write sampled trace %s\n", path.c_str());
+        ok = false;
+      }
+    }
+  }
+  return ok;
 }
 
 }  // namespace smn::runner

@@ -78,6 +78,13 @@ struct ReplicateResult {
   /// determinism signal, proving instrumentation itself is reproducible.
   std::vector<obs::SnapshotEntry> obs_snapshot;
   std::uint64_t metrics_hash = 0;
+  /// Chrome trace JSON of this replicate, populated only when it was the
+  /// cell's sampled replicate (Options::sample_traces, lowest seed), plus the
+  /// FNV-1a hash of those bytes embedded in the sweep JSON. Because tracing
+  /// is a pure observer, enabling it leaves trace_hash/metrics/obs_snapshot
+  /// untouched — the rest of the report stays byte-identical.
+  std::string sampled_trace_json;
+  std::uint64_t sampled_trace_hash = 0;
 };
 
 struct SweepSpec {
@@ -139,6 +146,19 @@ struct JsonOptions {
 /// Serializes a report to the machine-readable `smn-sweep-v1` JSON schema.
 [[nodiscard]] std::string to_json(const SweepReport& report, const JsonOptions& opts = {});
 
+/// File name (no directory) a cell's sampled trace is written under:
+/// `trace_<cell>_seed<N>.json` with non-[A-Za-z0-9_-] bytes of the cell name
+/// replaced by '_'. Directory-independent so the sweep JSON that embeds it
+/// stays byte-identical wherever the traces land.
+[[nodiscard]] std::string sampled_trace_filename(const std::string& cell_name,
+                                                 std::uint64_t seed);
+
+/// Writes every sampled trace in the report to `dir` (created if missing)
+/// under sampled_trace_filename(). Returns false on any I/O failure. Kept
+/// out of SweepRunner::run so aggregation itself never touches the
+/// filesystem.
+bool write_sampled_traces(const SweepReport& report, const std::string& dir);
+
 class SweepRunner {
  public:
   struct Options {
@@ -148,6 +168,10 @@ class SweepRunner {
     /// lands (`done` of `total`). May call request_stop() to end the sweep
     /// early; in-flight replicates still complete and are reported.
     std::function<void(const ReplicateResult&, std::size_t done, std::size_t total)> on_result;
+    /// Trace one replicate per cell — deterministically the cheapest seed,
+    /// i.e. first_seed — and carry its Chrome trace JSON + hash in the
+    /// report, so every sweep ships a loadable example timeline.
+    bool sample_traces = false;
   };
 
   /// Runs the full grid. Blocks until every replicate finished or the sweep
@@ -162,8 +186,11 @@ class SweepRunner {
 
   /// Executes a single replicate synchronously — the unit the pool runs.
   /// Exposed for tests and for callers that want one world's metrics.
+  /// `sample_trace` forces tracing on for this replicate and exports its
+  /// trace JSON into the result; everything else is unaffected.
   [[nodiscard]] static ReplicateResult run_replicate(const CellSpec& cell, std::size_t cell_index,
-                                                     std::uint64_t seed, sim::Duration duration);
+                                                     std::uint64_t seed, sim::Duration duration,
+                                                     bool sample_trace = false);
 
  private:
   std::atomic<bool> stop_{false};

@@ -58,6 +58,12 @@ World::World(const topology::Blueprint& blueprint, WorldConfig cfg)
       *network_, environment_, *injector_, rngs.stream("cascade"), cfg_.cascade);
   contamination_ = std::make_unique<fault::ContaminationProcess>(
       *network_, environment_, rngs.stream("contamination"), cfg_.contamination);
+  // Fault-side instrumentation: injected faults, cascade hops, and
+  // contamination threshold crossings all land in the flight recorder so an
+  // SMN_ASSERT dump shows the causal chain, not just controller activity.
+  injector_->set_obs(obs_.get());
+  cascade_->set_obs(obs_.get());
+  contamination_->set_obs(obs_.get());
   detection_ = std::make_unique<telemetry::DetectionEngine>(
       *network_, rngs.stream("detection"), cfg_.detection);
   technicians_ = std::make_unique<maintenance::TechnicianPool>(

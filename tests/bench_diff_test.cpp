@@ -1,0 +1,81 @@
+// Tests for the bench_diff perf-regression gate (tools/bench_diff_core.h):
+// number extraction from the bench JSON shape, the tolerance policy, and the
+// missing-key rules CI depends on.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench_diff_core.h"
+
+namespace smn::benchdiff {
+namespace {
+
+// Trimmed-down versions of the real report shapes the tool runs against.
+const std::string kSweepReport = R"({"schema":"smn-sweep-throughput-v1","days":6,
+"seeds":12,"rps_serial":41.25,"rps_parallel":160.5,"speedup":3.89,
+"sweep":{"replicates":12}})";
+
+const std::string kRoutingReport = R"({"schema":"smn-bench-routing-v1",
+"pristine":{"engine_queries_per_sec":1.25e6,"bfs_queries_per_sec":2.0e4},
+"degraded":{"engine_queries_per_sec":9.5e5,"bfs_queries_per_sec":1.5e4}})";
+
+TEST(BenchDiffFindNumber, ExtractsPlainAndScientificNumbers) {
+  EXPECT_DOUBLE_EQ(find_number(kSweepReport, "rps_serial").value(), 41.25);
+  EXPECT_DOUBLE_EQ(find_number(kSweepReport, "rps_parallel").value(), 160.5);
+  EXPECT_DOUBLE_EQ(find_number(kRoutingReport, "engine_queries_per_sec").value(), 1.25e6);
+}
+
+TEST(BenchDiffFindNumber, MissingKeyAndNonNumericValueAreEmpty) {
+  EXPECT_FALSE(find_number(kSweepReport, "rps_turbo").has_value());
+  EXPECT_FALSE(find_number(kSweepReport, "schema").has_value());  // string value
+  // A key that is a prefix of another must not match it.
+  EXPECT_FALSE(find_number(kSweepReport, "rps").has_value());
+}
+
+TEST(BenchDiffFindNumber, ToleratesWhitespaceAroundColon) {
+  EXPECT_DOUBLE_EQ(find_number("{\"rps\" :\n 7.5}", "rps").value(), 7.5);
+}
+
+TEST(BenchDiffPolicy, WithinToleranceAndImprovementsPass) {
+  const std::string base = R"({"rps_serial":100.0,"rps_parallel":400.0})";
+  const std::string cur = R"({"rps_serial":96.0,"rps_parallel":500.0})";  // -4%, +25%
+  const DiffResult r = diff(base, cur, {"rps_serial", "rps_parallel"}, 0.05);
+  EXPECT_TRUE(r.ok);
+  ASSERT_EQ(r.keys.size(), 2u);
+  EXPECT_FALSE(r.keys[0].regression);
+  EXPECT_NEAR(r.keys[0].ratio, 0.96, 1e-12);
+  EXPECT_FALSE(r.keys[1].regression);
+}
+
+TEST(BenchDiffPolicy, DropBeyondToleranceFails) {
+  const std::string base = R"({"rps_serial":100.0})";
+  const std::string cur = R"({"rps_serial":94.0})";  // -6% vs 5% tolerance
+  const DiffResult r = diff(base, cur, {"rps_serial"}, 0.05);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.keys.size(), 1u);
+  EXPECT_TRUE(r.keys[0].regression);
+  // A looser tolerance accepts the same drop.
+  EXPECT_TRUE(diff(base, cur, {"rps_serial"}, 0.10).ok);
+}
+
+TEST(BenchDiffPolicy, KeyMissingFromCurrentIsHardFailure) {
+  const DiffResult r = diff(R"({"rps_serial":100.0})", R"({"other":1.0})", {"rps_serial"}, 0.05);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.keys[0].missing_current);
+}
+
+TEST(BenchDiffPolicy, KeyMissingFromBaselineIsSkippedNotFailed) {
+  const DiffResult r = diff(R"({"other":1.0})", R"({"rps_serial":100.0})", {"rps_serial"}, 0.05);
+  EXPECT_TRUE(r.ok);
+  EXPECT_TRUE(r.keys[0].skipped);
+  EXPECT_FALSE(r.keys[0].regression);
+}
+
+TEST(BenchDiffPolicy, ZeroBaselineNeverDividesAndNeverRegresses) {
+  const DiffResult r = diff(R"({"rps":0.0})", R"({"rps":5.0})", {"rps"}, 0.05);
+  EXPECT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.keys[0].ratio, 0.0);
+}
+
+}  // namespace
+}  // namespace smn::benchdiff

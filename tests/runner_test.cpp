@@ -12,10 +12,15 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.h"
 #include "runner/channel.h"
 #include "runner/json_writer.h"
 #include "runner/presets.h"
 #include "runner/sweep.h"
+#include "scenario/world.h"
 #include "topology/builders.h"
 
 namespace smn {
@@ -159,6 +164,97 @@ TEST(SweepRunner, ThreadCountInvariance) {
   // byte-identically once the timing fields (jobs, wall clock) are excluded.
   const runner::JsonOptions no_timing{.include_timing = false};
   EXPECT_EQ(runner::to_json(a, no_timing), runner::to_json(b, no_timing));
+}
+
+TEST(SweepRunner, TraceSamplingThreadCountInvariance) {
+  const SweepSpec spec = tiny_spec(/*seeds=*/3, /*days=*/1.0);
+  SweepRunner::Options serial_opts;
+  serial_opts.jobs = 1;
+  serial_opts.sample_traces = true;
+  SweepRunner::Options threaded_opts;
+  threaded_opts.jobs = 4;
+  threaded_opts.sample_traces = true;
+  SweepRunner runner;
+  const SweepReport a = runner.run(spec, serial_opts);
+  const SweepReport b = runner.run(spec, threaded_opts);
+
+  // With sampling on, the report (which now embeds per-cell sampled_trace
+  // hash + file name) must still be byte-identical across thread counts.
+  const runner::JsonOptions no_timing{.include_timing = false};
+  const std::string ja = runner::to_json(a, no_timing);
+  EXPECT_EQ(ja, runner::to_json(b, no_timing));
+  EXPECT_NE(ja.find("\"sampled_trace\""), std::string::npos);
+
+  for (const runner::CellReport& cell : a.cells) {
+    for (const runner::ReplicateResult& r : cell.replicates) {
+      if (r.seed == spec.first_seed) {
+        // Exactly the cheapest seed carries the trace, and the embedded hash
+        // is the FNV-1a of exactly those bytes.
+        ASSERT_FALSE(r.sampled_trace_json.empty()) << cell.name;
+        EXPECT_EQ(r.sampled_trace_hash, obs::fnv1a(r.sampled_trace_json));
+      } else {
+        EXPECT_TRUE(r.sampled_trace_json.empty());
+        EXPECT_EQ(r.sampled_trace_hash, 0u);
+      }
+    }
+  }
+
+  // Tracing is a pure observer: the sampled replicate's determinism signals
+  // are identical to a run with sampling off.
+  const SweepReport plain = runner.run(spec, SweepRunner::Options{.jobs = 1});
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    EXPECT_EQ(a.cells[c].replicates[0].trace_hash, plain.cells[c].replicates[0].trace_hash);
+    EXPECT_EQ(a.cells[c].replicates[0].metrics_hash, plain.cells[c].replicates[0].metrics_hash);
+  }
+}
+
+TEST(SweepRunner, SampledTraceByteMatchesSoloTracedRerun) {
+  const SweepSpec spec = tiny_spec(/*seeds=*/2, /*days=*/1.0);
+  SweepRunner runner;
+  const SweepReport report =
+      runner.run(spec, SweepRunner::Options{.jobs = 2, .sample_traces = true});
+
+  for (std::size_t c = 0; c < report.cells.size(); ++c) {
+    const runner::ReplicateResult& r = report.cells[c].replicates.front();
+    ASSERT_EQ(r.seed, spec.first_seed);
+    ASSERT_FALSE(r.sampled_trace_json.empty());
+    // Solo rerun, the way `smnctl run --trace` builds a traced world.
+    scenario::WorldConfig cfg = spec.cells[c].config;
+    cfg.seed = r.seed;
+    cfg.obs.trace = true;
+    scenario::World world{spec.cells[c].blueprint, std::move(cfg)};
+    world.run_for(spec.duration);
+    world.check_invariants();
+    ASSERT_NE(world.obs().trace(), nullptr);
+    const std::string solo = world.obs().trace()->to_chrome_json();
+    EXPECT_EQ(solo, r.sampled_trace_json) << report.cells[c].name;
+    EXPECT_EQ(obs::fnv1a(solo), r.sampled_trace_hash);
+  }
+}
+
+TEST(SweepRunner, SampledTraceFilesRoundTrip) {
+  const SweepSpec spec = tiny_spec(/*seeds=*/1, /*days=*/0.5);
+  SweepRunner runner;
+  const SweepReport report =
+      runner.run(spec, SweepRunner::Options{.jobs = 1, .sample_traces = true});
+
+  const std::string dir = ::testing::TempDir() + "/smn_sampled_traces";
+  ASSERT_TRUE(runner::write_sampled_traces(report, dir));
+  for (const runner::CellReport& cell : report.cells) {
+    const runner::ReplicateResult& r = cell.replicates.front();
+    std::ifstream in{dir + "/" + runner::sampled_trace_filename(cell.name, r.seed),
+                     std::ios::binary};
+    ASSERT_TRUE(in.good()) << cell.name;
+    std::ostringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), r.sampled_trace_json);
+  }
+}
+
+TEST(SweepRunner, SampledTraceFilenameSanitizesCellNames) {
+  EXPECT_EQ(runner::sampled_trace_filename("quick/L3", 7), "trace_quick_L3_seed7.json");
+  EXPECT_EQ(runner::sampled_trace_filename("a b\"c", 1), "trace_a_b_c_seed1.json");
+  EXPECT_EQ(runner::sampled_trace_filename("L0-manual_x", 12), "trace_L0-manual_x_seed12.json");
 }
 
 TEST(SweepRunner, SeedsProduceDistinctTraces) {

@@ -1,0 +1,385 @@
+// Differential tests for tail-latency attribution (ISSUE 5 tentpole): over
+// randomized fault episodes on every topology preset, the per-link-state
+// decomposition (`LoadReport::tail_by_state`) and the `net_fct_factor_*`
+// histograms fed through TrafficInstruments must equal a brute-force
+// recomputation with a verbatim reference BFS — same oracle style as
+// connectivity_test.cpp. Also pins directed cases for each attribution state.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/traffic.h"
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "test_util.h"
+#include "topology/builders.h"
+
+namespace smn::net {
+namespace {
+
+// Distances to `dst` over usable links and healthy devices — the semantics
+// of ConnectivityEngine::bfs_distances, reimplemented verbatim.
+std::vector<int> reference_usable_dist(const Network& net, DeviceId dst,
+                                       const PathPolicy& policy) {
+  std::vector<int> dist(net.devices().size(), -1);
+  std::vector<DeviceId> queue;
+  dist[static_cast<std::size_t>(dst.value())] = 0;
+  queue.push_back(dst);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const DeviceId cur = queue[head];
+    const int next = dist[static_cast<std::size_t>(cur.value())] + 1;
+    for (const LinkId lid : net.links_at(cur)) {
+      const Link& l = net.link(lid);
+      if (!link_usable(l, policy)) continue;
+      const DeviceId peer = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
+      if (!net.device(peer).healthy) continue;
+      int& d = dist[static_cast<std::size_t>(peer.value())];
+      if (d >= 0) continue;
+      d = next;
+      queue.push_back(peer);
+    }
+  }
+  return dist;
+}
+
+// Distances to `dst` over ALL links regardless of state or device health —
+// the pristine-fabric metric the engine's detour detection compares against.
+std::vector<int> reference_structural_dist(const Network& net, DeviceId dst) {
+  std::vector<int> dist(net.devices().size(), -1);
+  std::vector<DeviceId> queue;
+  dist[static_cast<std::size_t>(dst.value())] = 0;
+  queue.push_back(dst);
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const DeviceId cur = queue[head];
+    const int next = dist[static_cast<std::size_t>(cur.value())] + 1;
+    for (const LinkId lid : net.links_at(cur)) {
+      const Link& l = net.link(lid);
+      const DeviceId peer = l.end_a.device == cur ? l.end_b.device : l.end_a.device;
+      int& d = dist[static_cast<std::size_t>(peer.value())];
+      if (d >= 0) continue;
+      d = next;
+      queue.push_back(peer);
+    }
+  }
+  return dist;
+}
+
+struct RefOutcome {
+  bool routed = false;
+  TailState state = TailState::kUp;
+  double tail_factor = 1.0;
+};
+
+// Brute-force attribution of one flow: walk the shortest-path DAG reachable
+// from src, take the worst state over every link it could use, fall back to
+// the structural-detour check when the DAG is clean.
+RefOutcome reference_attribution(const Network& net, DeviceId src, DeviceId dst,
+                                 const PathPolicy& policy) {
+  RefOutcome out;
+  const std::vector<int> dist = reference_usable_dist(net, dst, policy);
+  const int total = dist[static_cast<std::size_t>(src.value())];
+  if (total < 0) return out;
+  out.routed = true;
+
+  LinkState worst = LinkState::kUp;
+  std::vector<char> visited(net.devices().size(), 0);
+  std::vector<DeviceId> stack{src};
+  visited[static_cast<std::size_t>(src.value())] = 1;
+  while (!stack.empty()) {
+    const DeviceId node = stack.back();
+    stack.pop_back();
+    const int d = dist[static_cast<std::size_t>(node.value())];
+    if (d == 0) continue;
+    for (const LinkId lid : net.links_at(node)) {
+      const Link& l = net.link(lid);
+      if (!link_usable(l, policy)) continue;
+      const DeviceId peer = l.end_a.device == node ? l.end_b.device : l.end_a.device;
+      if (dist[static_cast<std::size_t>(peer.value())] != d - 1) continue;
+      if (static_cast<int>(l.state) > static_cast<int>(worst)) worst = l.state;
+      char& seen = visited[static_cast<std::size_t>(peer.value())];
+      if (seen == 0) {
+        seen = 1;
+        stack.push_back(peer);
+      }
+    }
+  }
+
+  if (worst == LinkState::kFlapping) {
+    out.state = TailState::kFlapping;
+  } else if (worst == LinkState::kDegraded) {
+    out.state = TailState::kImpaired;
+  } else {
+    const std::vector<int> structural = reference_structural_dist(net, dst);
+    out.state = total > structural[static_cast<std::size_t>(src.value())]
+                    ? TailState::kDownRerouted
+                    : TailState::kUp;
+  }
+  out.tail_factor = tail_latency_factor(Link::loss_rate(worst));
+  return out;
+}
+
+// Histogram bucketing brute force, mirroring obs::Histogram::observe.
+std::size_t reference_bucket(double v) {
+  const std::vector<double>& bounds = fct_factor_bounds();
+  std::size_t i = 0;
+  while (i < bounds.size() && v > bounds[i]) ++i;
+  return i;
+}
+
+constexpr std::array<const char*, kTailStateCount> kHistNames = {
+    "net_fct_factor_up", "net_fct_factor_impaired", "net_fct_factor_flapping",
+    "net_fct_factor_down_rerouted"};
+
+void run_differential(const topology::Blueprint& bp, std::uint64_t seed, int rounds) {
+  sim::Simulator sim;
+  Network net{bp, testutil::short_aoc(), sim};
+  sim::RngFactory rngs{seed};
+  sim::RngStream rng = rngs.stream("tail.differential");
+
+  const std::size_t n_links = net.links().size();
+  const std::size_t n_devices = net.devices().size();
+  ASSERT_GE(net.servers().size(), 4u);
+
+  const PathPolicy policies[] = {
+      {.use_flapping = true, .use_degraded = true},
+      {.use_flapping = false, .use_degraded = true},
+  };
+
+  std::size_t states_seen[kTailStateCount] = {};
+
+  for (int round = 0; round < rounds; ++round) {
+    // Advance simulated time so earlier gray episodes expire — without this
+    // flapping accumulates monotonically and the Degraded class is starved.
+    sim.run_until(sim.now() + sim::Duration::hours(1));
+    net.refresh_all();
+    // A burst of random fault / recovery mutations; gray episodes make
+    // Flapping common, which is what this drill-down is about.
+    for (int m = 0; m < 8; ++m) {
+      const LinkId lid{static_cast<std::int32_t>(rng.index(n_links))};
+      switch (static_cast<int>(rng.uniform_int(0, 5))) {
+        case 0:  // flapping episode
+          net.link_mut(lid).gray_until =
+              sim.now() + sim::Duration::minutes(5 + static_cast<int>(rng.index(115)));
+          break;
+        case 1:  // contamination straddling the degrade/flap thresholds
+          net.link_mut(lid).end_a.condition.contamination = 0.3 + 0.4 * rng.uniform();
+          break;
+        case 2:  // hard down
+          net.link_mut(lid).cable.intact = false;
+          break;
+        case 3: {  // full repair
+          Link& l = net.link_mut(lid);
+          l.cable = CableCondition{};
+          l.end_a.condition = EndCondition{};
+          l.end_b.condition = EndCondition{};
+          l.gray_until = sim::TimePoint::origin();
+          l.admin_down = false;
+          break;
+        }
+        case 4: {  // device health toggle
+          const DeviceId dev{static_cast<std::int32_t>(rng.index(n_devices))};
+          net.set_device_health(dev, !net.device(dev).healthy);
+          break;
+        }
+        case 5:  // admin drain toggle
+          net.link_mut(lid).admin_down = !net.link_mut(lid).admin_down;
+          break;
+        default: break;
+      }
+      net.refresh_link(lid);
+    }
+
+    const TrafficMatrix tm = TrafficMatrix::uniform(net, 40, 1.0 + rng.uniform(), rng);
+    for (const PathPolicy& policy : policies) {
+      const LoadReport report = route_and_load(net, tm, policy);
+
+      // Brute-force recomputation of the whole decomposition.
+      std::array<TailBucket, kTailStateCount> want{};
+      std::array<std::vector<std::uint64_t>, kTailStateCount> want_hist;
+      for (auto& h : want_hist) h.assign(fct_factor_bounds().size() + 1, 0);
+      std::size_t want_unroutable = 0;
+      std::size_t routed = 0;
+      for (const Flow& f : tm.flows) {
+        const RefOutcome ref = reference_attribution(net, f.src, f.dst, policy);
+        if (!ref.routed) {
+          ++want_unroutable;
+          continue;
+        }
+        const auto s = static_cast<std::size_t>(ref.state);
+        ++want.at(s).flows;
+        want.at(s).demand_gbps += f.gbps;
+        want.at(s).tail_sum += ref.tail_factor;
+        want.at(s).worst_tail = std::max(want.at(s).worst_tail, ref.tail_factor);
+        ++want_hist.at(s)[reference_bucket(ref.tail_factor)];
+        ++states_seen[s];
+        // Per-flow agreement, in matrix order.
+        ASSERT_LT(routed, report.flow_outcomes.size());
+        const FlowOutcome& fo = report.flow_outcomes[routed];
+        ASSERT_EQ(fo.flow_index, static_cast<std::size_t>(&f - tm.flows.data()));
+        ASSERT_EQ(fo.state, ref.state) << "round " << round << " flow " << fo.flow_index;
+        ASSERT_DOUBLE_EQ(fo.tail_factor, ref.tail_factor);
+        ++routed;
+      }
+      ASSERT_EQ(report.unroutable_flows, want_unroutable);
+      ASSERT_EQ(report.flow_outcomes.size(), routed);
+
+      for (std::size_t s = 0; s < kTailStateCount; ++s) {
+        ASSERT_EQ(report.tail_by_state.at(s).flows, want.at(s).flows) << "state " << s;
+        ASSERT_DOUBLE_EQ(report.tail_by_state.at(s).demand_gbps, want.at(s).demand_gbps);
+        ASSERT_DOUBLE_EQ(report.tail_by_state.at(s).tail_sum, want.at(s).tail_sum);
+        ASSERT_DOUBLE_EQ(report.tail_by_state.at(s).worst_tail, want.at(s).worst_tail);
+      }
+
+      // Feed a fresh registry and compare histogram totals bucket by bucket.
+      obs::Registry reg;
+      TrafficInstruments instruments{reg};
+      instruments.observe(report);
+      for (std::size_t s = 0; s < kTailStateCount; ++s) {
+        const obs::Histogram* h = reg.histogram(kHistNames.at(s), fct_factor_bounds());
+        ASSERT_EQ(h->counts(), want_hist.at(s)) << "state " << s << " round " << round;
+        ASSERT_EQ(h->count(), want.at(s).flows);
+      }
+      ASSERT_EQ(reg.counter("net_flows_unroutable_total")->value(), want_unroutable);
+    }
+  }
+
+  // The randomized run must actually exercise the lossy attribution states,
+  // otherwise the oracle proved nothing about them.
+  EXPECT_GT(states_seen[static_cast<std::size_t>(TailState::kUp)], 0u);
+  EXPECT_GT(states_seen[static_cast<std::size_t>(TailState::kImpaired)], 0u);
+  EXPECT_GT(states_seen[static_cast<std::size_t>(TailState::kFlapping)], 0u);
+}
+
+TEST(TailAttributionDifferential, LeafSpine) {
+  run_differential(topology::build_leaf_spine({.leaves = 4, .spines = 2,
+                                               .servers_per_leaf = 2,
+                                               .uplinks_per_spine = 2}),
+                   111, 12);
+}
+
+TEST(TailAttributionDifferential, FatTree) {
+  run_differential(topology::build_fat_tree({.k = 4}), 222, 12);
+}
+
+TEST(TailAttributionDifferential, Jellyfish) {
+  run_differential(
+      topology::build_jellyfish({.switches = 10, .network_degree = 4, .servers_per_switch = 2}),
+      333, 12);
+}
+
+TEST(TailAttributionDifferential, Xpander) {
+  run_differential(
+      topology::build_xpander({.network_degree = 3, .lift = 3, .servers_per_switch = 2}),
+      444, 12);
+}
+
+TEST(TailAttributionDifferential, GpuCluster) {
+  run_differential(topology::build_gpu_cluster({.gpu_servers = 8, .rails = 4, .spines = 2}),
+                   555, 12);
+}
+
+struct TailDirectedFixture : ::testing::Test {
+  sim::Simulator sim;
+  topology::Blueprint bp = topology::build_leaf_spine(
+      {.leaves = 4, .spines = 2, .servers_per_leaf = 2, .uplinks_per_spine = 1});
+  Network net{bp, testutil::short_aoc(), sim};
+  sim::RngFactory rngs{7};
+  sim::RngStream rng = rngs.stream("tail.directed");
+
+  /// One flow between servers on two distinct leaves.
+  [[nodiscard]] TrafficMatrix cross_leaf_flow() {
+    TrafficMatrix tm;
+    tm.flows.push_back(Flow{net.servers().front(), net.servers().back(), 2.0});
+    return tm;
+  }
+};
+
+TEST_F(TailDirectedFixture, CleanFabricAttributesEverythingUp) {
+  const LoadReport r = route_and_load(net, cross_leaf_flow());
+  ASSERT_EQ(r.flow_outcomes.size(), 1u);
+  EXPECT_EQ(r.flow_outcomes[0].state, TailState::kUp);
+  EXPECT_EQ(r.tail_by_state[static_cast<std::size_t>(TailState::kUp)].flows, 1u);
+  EXPECT_LT(r.flow_outcomes[0].tail_factor, 1.01);
+}
+
+TEST_F(TailDirectedFixture, FlappingUplinkOnDagWinsAttribution) {
+  // Any flapping link on the ECMP DAG poisons the flow: the DAG between two
+  // leaves spans both spines, so one gray uplink is enough.
+  const DeviceId src_leaf = net.link(net.links_at(net.servers().front()).front()).end_b.device;
+  LinkId uplink;
+  for (const LinkId lid : net.links_at(src_leaf)) {
+    const Link& l = net.link(lid);
+    const DeviceId peer = l.end_a.device == src_leaf ? l.end_b.device : l.end_a.device;
+    if (topology::is_switch(net.device(peer).role) && net.device(peer).role != net.device(src_leaf).role) {
+      uplink = lid;
+      break;
+    }
+  }
+  ASSERT_TRUE(uplink.valid());
+  net.link_mut(uplink).gray_until = sim.now() + sim::Duration::minutes(30);
+  net.refresh_link(uplink);
+  ASSERT_EQ(net.link(uplink).state, LinkState::kFlapping);
+
+  const LoadReport r = route_and_load(net, cross_leaf_flow());
+  ASSERT_EQ(r.flow_outcomes.size(), 1u);
+  EXPECT_EQ(r.flow_outcomes[0].state, TailState::kFlapping);
+  EXPECT_GT(r.flow_outcomes[0].tail_factor, 10.0);
+  EXPECT_DOUBLE_EQ(
+      r.tail_by_state[static_cast<std::size_t>(TailState::kFlapping)].demand_gbps, 2.0);
+}
+
+TEST(TailDirectedJellyfish, DetourAroundDownLinkIsAttributedDownRerouted) {
+  sim::Simulator sim;
+  const topology::Blueprint bp = topology::build_jellyfish(
+      {.switches = 10, .network_degree = 4, .servers_per_switch = 2});
+  Network net{bp, testutil::short_aoc(), sim};
+
+  // Break a switch-to-switch link with no parallel sibling whose endpoints
+  // both host servers: the server pair's shortest path elongates but every
+  // remaining link is clean, which must classify as kDownRerouted.
+  for (const Link& probe : net.links()) {
+    const bool sw_sw = topology::is_switch(net.device(probe.end_a.device).role) &&
+                       topology::is_switch(net.device(probe.end_b.device).role);
+    if (!sw_sw || net.links_between(probe.end_a.device, probe.end_b.device).size() != 1) {
+      continue;
+    }
+    DeviceId sa, sb;
+    for (const DeviceId s : net.servers()) {
+      const Link& host = net.link(net.links_at(s).front());
+      const DeviceId sw = host.end_a.device == s ? host.end_b.device : host.end_a.device;
+      if (sw == probe.end_a.device && !sa.valid()) sa = s;
+      if (sw == probe.end_b.device && !sb.valid()) sb = s;
+    }
+    if (!sa.valid() || !sb.valid()) continue;
+
+    net.link_mut(probe.id).cable.intact = false;
+    net.refresh_link(probe.id);
+
+    TrafficMatrix tm;
+    tm.flows.push_back(Flow{sa, sb, 1.0});
+    const LoadReport r = route_and_load(net, tm);
+    if (r.unroutable_flows == 1) {  // graph got disconnected; try another link
+      net.link_mut(probe.id).cable = CableCondition{};
+      net.refresh_link(probe.id);
+      continue;
+    }
+    ASSERT_EQ(r.flow_outcomes.size(), 1u);
+    EXPECT_EQ(r.flow_outcomes[0].state, TailState::kDownRerouted);
+    EXPECT_LT(r.flow_outcomes[0].tail_factor, 1.01);
+    return;
+  }
+  FAIL() << "no suitable switch-switch link found in the jellyfish preset";
+}
+
+TEST(TailStateNames, RoundTrip) {
+  EXPECT_STREQ(to_string(TailState::kUp), "up");
+  EXPECT_STREQ(to_string(TailState::kImpaired), "impaired");
+  EXPECT_STREQ(to_string(TailState::kFlapping), "flapping");
+  EXPECT_STREQ(to_string(TailState::kDownRerouted), "down-rerouted");
+}
+
+}  // namespace
+}  // namespace smn::net

@@ -1,0 +1,116 @@
+// CLI wrapper around bench_diff_core.h. CI usage:
+//
+//   bench_diff --baseline prev/BENCH_sweep.json --current BENCH_sweep.json
+//              --keys rps_serial,rps_parallel [--tolerance 0.05]
+//              [--allow-missing-baseline]
+//
+// Exit codes: 0 ok (including --allow-missing-baseline with no baseline
+// file), 1 regression or key missing from the current report, 2 usage /
+// I/O error. One line per tracked key so the CI log is the report.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_diff_core.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in.good()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::vector<std::string> split_keys(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff --baseline FILE --current FILE --keys k1,k2[,...]\n"
+               "                  [--tolerance 0.05] [--allow-missing-baseline]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path, current_path, keys_csv;
+  double tolerance = 0.05;
+  bool allow_missing_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const bool has_next = i + 1 < argc;
+    if (a == "--baseline" && has_next) {
+      baseline_path = argv[++i];
+    } else if (a == "--current" && has_next) {
+      current_path = argv[++i];
+    } else if (a == "--keys" && has_next) {
+      keys_csv = argv[++i];
+    } else if (a == "--tolerance" && has_next) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (a == "--allow-missing-baseline") {
+      allow_missing_baseline = true;
+    } else {
+      std::fprintf(stderr, "bench_diff: unknown argument '%s'\n", a.c_str());
+      return usage();
+    }
+  }
+  const std::vector<std::string> keys = split_keys(keys_csv);
+  if (baseline_path.empty() || current_path.empty() || keys.empty()) return usage();
+
+  std::string current_json;
+  if (!read_file(current_path, current_json)) {
+    std::fprintf(stderr, "bench_diff: cannot read current report %s\n", current_path.c_str());
+    return 2;
+  }
+  std::string baseline_json;
+  if (!read_file(baseline_path, baseline_json)) {
+    if (allow_missing_baseline) {
+      std::printf("bench_diff: no baseline at %s — first run, nothing to compare\n",
+                  baseline_path.c_str());
+      return 0;
+    }
+    std::fprintf(stderr, "bench_diff: cannot read baseline report %s\n", baseline_path.c_str());
+    return 2;
+  }
+
+  const smn::benchdiff::DiffResult result =
+      smn::benchdiff::diff(baseline_json, current_json, keys, tolerance);
+  for (const smn::benchdiff::KeyDiff& d : result.keys) {
+    if (d.missing_current) {
+      std::printf("FAIL %-32s missing from current report\n", d.key.c_str());
+    } else if (d.skipped) {
+      std::printf("skip %-32s %12.2f (no baseline)\n", d.key.c_str(), *d.current);
+    } else if (d.regression) {
+      std::printf("FAIL %-32s %12.2f -> %12.2f (%.1f%%, tolerance %.1f%%)\n", d.key.c_str(),
+                  *d.baseline, *d.current, (d.ratio - 1.0) * 100.0, tolerance * 100.0);
+    } else {
+      std::printf("ok   %-32s %12.2f -> %12.2f (%+.1f%%)\n", d.key.c_str(), *d.baseline,
+                  *d.current, (d.ratio - 1.0) * 100.0);
+    }
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "bench_diff: performance regression beyond %.1f%% tolerance\n",
+                 tolerance * 100.0);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,90 @@
+// bench_diff: the perf-regression gate for CI's bench-smoke job.
+//
+// Compares throughput numbers between two bench JSON reports (the previous
+// CI run's artifact vs the one just produced) and flags any tracked key
+// whose current value fell more than `tolerance` below the baseline.
+// Deliberately a flat scan, not a JSON parser: the bench reports are emitted
+// by runner::JsonWriter with unique key names, so the first occurrence of
+// `"key":<number>` is the value — and the tool keeps zero dependencies.
+//
+// Policy (mirrored by tests/bench_diff_test.cpp):
+//   - key missing from the CURRENT report  -> hard failure (the bench broke);
+//   - key missing from the BASELINE report -> skipped (new metric, no
+//     history yet), reported as such;
+//   - current < baseline * (1 - tolerance) -> regression, hard failure;
+//   - everything else                      -> ok (improvements always pass).
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace smn::benchdiff {
+
+/// First occurrence of `"key"` followed by `:` and a number, anywhere in the
+/// document (whitespace around the colon tolerated). Nested objects are fine
+/// as long as tracked key names are globally unique in the report.
+inline std::optional<double> find_number(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = json.find(needle);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < json.size() && (json[p] == ' ' || json[p] == '\t' || json[p] == '\n')) ++p;
+    if (p < json.size() && json[p] == ':') {
+      ++p;
+      while (p < json.size() && (json[p] == ' ' || json[p] == '\t' || json[p] == '\n')) ++p;
+      const char* start = json.c_str() + p;
+      char* end = nullptr;
+      const double v = std::strtod(start, &end);
+      if (end != start) return v;
+      return std::nullopt;  // key exists but value is not a number
+    }
+    pos = json.find(needle, pos + 1);
+  }
+  return std::nullopt;
+}
+
+struct KeyDiff {
+  std::string key;
+  std::optional<double> baseline;
+  std::optional<double> current;
+  /// current / baseline; 0 when either side is missing or baseline is 0.
+  double ratio = 0;
+  bool regression = false;      // current fell below baseline * (1 - tolerance)
+  bool missing_current = false;  // bench stopped emitting the key: hard failure
+  bool skipped = false;          // no baseline yet: informational only
+};
+
+struct DiffResult {
+  std::vector<KeyDiff> keys;
+  bool ok = true;  // false on any regression or missing-current key
+};
+
+inline DiffResult diff(const std::string& baseline_json, const std::string& current_json,
+                       const std::vector<std::string>& keys, double tolerance) {
+  DiffResult out;
+  out.keys.reserve(keys.size());
+  for (const std::string& k : keys) {
+    KeyDiff d;
+    d.key = k;
+    d.baseline = find_number(baseline_json, k);
+    d.current = find_number(current_json, k);
+    if (!d.current.has_value()) {
+      d.missing_current = true;
+      out.ok = false;
+    } else if (!d.baseline.has_value()) {
+      d.skipped = true;
+    } else {
+      d.ratio = *d.baseline != 0.0 ? *d.current / *d.baseline : 0.0;
+      if (*d.current < *d.baseline * (1.0 - tolerance)) {
+        d.regression = true;
+        out.ok = false;
+      }
+    }
+    out.keys.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace smn::benchdiff

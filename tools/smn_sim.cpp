@@ -47,6 +47,9 @@
 //   --json FILE           write the JSON report
 //   --no-timing           omit timing fields from the JSON so byte-level
 //                         diffs across jobs counts are meaningful
+//   --sample-traces       trace one replicate per cell (the lowest seed) and
+//                         embed its trace hash + file name in the JSON
+//   --trace-dir DIR       where --sample-traces writes the trace files  [.]
 //   --quiet               suppress per-replicate progress
 #include <cstdio>
 #include <cstring>
@@ -204,7 +207,8 @@ int run_determinism_audit(const Args& args) {
 
 /// Flags that take no value.
 [[nodiscard]] bool is_boolean_flag(const std::string& key) {
-  return key == "audit-determinism" || key == "quiet" || key == "no-timing";
+  return key == "audit-determinism" || key == "quiet" || key == "no-timing" ||
+         key == "sample-traces";
 }
 
 // Parses `--key value` pairs (and bare boolean flags) from argv[start..).
@@ -253,6 +257,7 @@ int run_sweep(const Args& args) {
   runner::SweepRunner sweeper;
   runner::SweepRunner::Options opts;
   opts.jobs = jobs;
+  opts.sample_traces = args.onoff("sample-traces", false);
   if (!quiet) {
     opts.on_result = [&](const runner::ReplicateResult& r, std::size_t done,
                          std::size_t total) {
@@ -289,6 +294,18 @@ int run_sweep(const Args& args) {
     jopts.include_timing = !args.onoff("no-timing", false);
     out << runner::to_json(report, jopts) << '\n';
     std::printf("report written to %s\n", path.c_str());
+  }
+  if (opts.sample_traces) {
+    const std::string dir = args.get("trace-dir", ".");
+    if (!runner::write_sampled_traces(report, dir)) return 1;
+    for (const runner::CellReport& cell : report.cells) {
+      for (const runner::ReplicateResult& r : cell.replicates) {
+        if (r.sampled_trace_json.empty()) continue;
+        std::printf("sampled trace %s/%s (hash %s)\n", dir.c_str(),
+                    runner::sampled_trace_filename(cell.name, r.seed).c_str(),
+                    runner::JsonWriter::hex64(r.sampled_trace_hash).c_str());
+      }
+    }
   }
   return 0;
 }
