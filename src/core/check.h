@@ -31,6 +31,11 @@ struct CheckDumpHook {
 };
 
 inline CheckDumpHook& check_dump_hook() {
+  // smn-analyze: allow(shared-mutable-state) — deliberately thread-local, not
+  // per-World: the crash path must find the hook with no World pointer in
+  // hand, and one-World-per-thread (the invariant smn_analyze protects
+  // everywhere else) makes thread scope exactly World scope. Replicates on
+  // different threads never observe each other's hook, so determinism holds.
   thread_local CheckDumpHook hook;
   return hook;
 }

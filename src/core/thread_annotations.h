@@ -1,0 +1,62 @@
+// Clang thread-safety annotation macros (SMN_GUARDED_BY and friends).
+//
+// The simulator's concurrency story is deliberately narrow: one World per
+// sweep-worker thread, nothing mutable shared — and the pieces that *do*
+// cross threads (the runner's MPMC channel) must say so in the type system.
+// These macros wrap clang's -Wthread-safety attributes so that discipline is
+// compiler-checked: under clang the CI build promotes -Wthread-safety to an
+// error (see the top-level CMakeLists), under every other compiler the macros
+// expand to nothing and cost nothing.
+//
+// Usage (see core/mutex.h for the annotated primitives and runner/channel.h
+// for the canonical consumer):
+//
+//   core::Mutex mu_;
+//   std::deque<T> items_ SMN_GUARDED_BY(mu_);    // member needs mu_ held
+//   void drain() SMN_REQUIRES(mu_);              // caller must hold mu_
+//   void poke() SMN_EXCLUDES(mu_);               // caller must NOT hold mu_
+//
+// Macro-only header by design; nothing to declare.
+// smn-lint: allow(namespace)
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define SMN_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SMN_THREAD_ANNOTATION(x)
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define SMN_CAPABILITY(x) SMN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SMN_SCOPED_CAPABILITY SMN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the given mutex.
+#define SMN_GUARDED_BY(x) SMN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given mutex.
+#define SMN_PT_GUARDED_BY(x) SMN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and keeps them).
+#define SMN_REQUIRES(...) SMN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function must be called with the listed capabilities NOT held.
+#define SMN_EXCLUDES(...) SMN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (no argument: `this`).
+#define SMN_ACQUIRE(...) SMN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (no argument: `this`).
+#define SMN_RELEASE(...) SMN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define SMN_TRY_ACQUIRE(...) SMN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Returns a reference to the annotated capability (for wrapper types).
+#define SMN_RETURN_CAPABILITY(x) SMN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions the analysis cannot follow (e.g. adopting a
+/// lock through a std primitive). Use sparingly, with a comment.
+#define SMN_NO_THREAD_SAFETY_ANALYSIS SMN_THREAD_ANNOTATION(no_thread_safety_analysis)

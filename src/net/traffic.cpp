@@ -78,8 +78,17 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
   placed.reserve(tm.flows.size());
 
   // Distance tables are cached per destination — matrices typically hit few
-  // distinct destinations relative to flow count.
+  // distinct destinations relative to flow count. The BFS itself runs here,
+  // outside the flow loop's body, only on a cache miss.
   std::unordered_map<std::int32_t, std::vector<int>> dist_to_dst;
+  const auto policy_dist = [&](DeviceId dst) -> const std::vector<int>& {
+    auto it = dist_to_dst.find(dst.value());
+    if (it == dist_to_dst.end()) {
+      it = dist_to_dst.emplace(dst.value(), std::vector<int>{}).first;
+      net.connectivity().bfs_distances(dst, policy, it->second);
+    }
+    return it->second;
+  };
   // Pristine-fabric distances (every link counted regardless of state), used
   // to detect detours around Down links. Cached per destination like above.
   std::unordered_map<std::int32_t, std::vector<int>> struct_to_dst;
@@ -113,12 +122,7 @@ LoadReport route_and_load(const Network& net, const TrafficMatrix& tm,
 
   for (std::size_t flow_index = 0; flow_index < tm.flows.size(); ++flow_index) {
     const Flow& f = tm.flows[flow_index];
-    auto it = dist_to_dst.find(f.dst.value());
-    if (it == dist_to_dst.end()) {
-      it = dist_to_dst.emplace(f.dst.value(), std::vector<int>{}).first;
-      net.connectivity().bfs_distances(f.dst, policy, it->second);
-    }
-    const std::vector<int>& ddst = it->second;
+    const std::vector<int>& ddst = policy_dist(f.dst);
     const int total = ddst[static_cast<size_t>(f.src.value())];
     if (total < 0) {
       ++report.unroutable_flows;

@@ -10,6 +10,12 @@
 // Installation goes through the thread-local hook in core/check.h: one
 // recorder per World, one World per sweep-worker thread, so thread-local is
 // exactly the right scope and concurrent replicates never share a hook.
+//
+// Concurrency contract: single-owner, no internal locking — the ring is
+// written only from its World's thread, and the crash-dump path runs on that
+// same thread (SMN_ASSERT aborts in place). The thread-local hook itself is
+// the one deliberate piece of non-World state, justified where it lives in
+// core/check.h under smn_analyze's shared-mutable-state rule.
 #pragma once
 
 #include <cstdint>

@@ -18,6 +18,13 @@
 // are byte-identical across runs and thread counts. snapshot_hash() folds the
 // sorted snapshot through FNV-1a, giving --audit-determinism a second signal
 // next to the event-trace hash.
+//
+// Concurrency contract: single-owner, no internal locking — by design, not
+// omission. A Registry is confined to the thread of the World that owns it;
+// cross-thread sharing would need core/mutex.h + SMN_GUARDED_BY annotations
+// (the policy in DESIGN.md "Static analysis"), and the absence of hidden
+// global state that could leak between Worlds is machine-audited by
+// smn_analyze's shared-mutable-state rule.
 #pragma once
 
 #include <cstdint>

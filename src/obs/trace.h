@@ -12,6 +12,12 @@
 // instrumentation macro compiles to nothing — the disabled cost is zero, not
 // "a branch". The TraceBuffer class itself stays defined either way so tests
 // and exporters always compile.
+//
+// Concurrency contract: single-owner, no internal locking. A TraceBuffer is
+// confined to its World's thread (one World per sweep worker); smn_analyze's
+// shared-mutable-state rule guards the no-hidden-global-state half of that
+// invariant, and any future cross-thread use must adopt core/mutex.h +
+// SMN_GUARDED_BY per the DESIGN.md thread-safety policy.
 #pragma once
 
 #include <cstdint>

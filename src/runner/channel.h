@@ -6,14 +6,22 @@
 // deque would buy nothing. Close semantics follow Go channels: producers
 // `close()` when done, consumers drain remaining items and then observe
 // `std::nullopt`.
+//
+// Every mutex-protected member is SMN_GUARDED_BY-annotated and the clang CI
+// build promotes -Wthread-safety to an error, so an access outside the lock
+// is a compile failure, not a TSan lottery ticket. Notifications are issued
+// after the critical section ends (the state that satisfies the waiter's
+// predicate was published while the lock was held, so no wakeup is lost and
+// the woken thread never bounces off a still-held mutex).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace smn::runner {
 
@@ -28,32 +36,39 @@ class BoundedChannel {
   /// Blocks while the channel is full. Returns false (dropping `v`) if the
   /// channel was closed — a late producer must not hang forever.
   bool push(T v) {
-    std::unique_lock lock{mu_};
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(v));
-    lock.unlock();
-    not_empty_.notify_one();
-    return true;
+    bool pushed = false;
+    {
+      core::MutexLock lock{mu_};
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mu_);
+      if (!closed_) {
+        items_.push_back(std::move(v));
+        pushed = true;
+      }
+    }
+    if (pushed) not_empty_.notify_one();
+    return pushed;
   }
 
   /// Blocks while the channel is empty and open. Returns nullopt only once
   /// the channel is closed *and* drained, so no pushed item is ever lost.
   std::optional<T> pop() {
-    std::unique_lock lock{mu_};
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T v = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
-    not_full_.notify_one();
+    std::optional<T> v;
+    {
+      core::MutexLock lock{mu_};
+      while (items_.empty() && !closed_) not_empty_.wait(mu_);
+      if (!items_.empty()) {
+        v.emplace(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    if (v.has_value()) not_full_.notify_one();
     return v;
   }
 
   /// Idempotent. Wakes every blocked producer and consumer.
   void close() {
     {
-      std::lock_guard lock{mu_};
+      core::MutexLock lock{mu_};
       closed_ = true;
     }
     not_full_.notify_all();
@@ -61,22 +76,22 @@ class BoundedChannel {
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock{mu_};
+    core::MutexLock lock{mu_};
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock{mu_};
+    core::MutexLock lock{mu_};
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  const std::size_t capacity_;
-  bool closed_ = false;
+  mutable core::Mutex mu_;
+  core::CondVar not_full_;
+  core::CondVar not_empty_;
+  std::deque<T> items_ SMN_GUARDED_BY(mu_);
+  const std::size_t capacity_;  // immutable after construction; no guard needed
+  bool closed_ SMN_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace smn::runner

@@ -16,6 +16,14 @@
 // performed in sorted (cell, seed) order, so floating-point accumulation —
 // and therefore the JSON report — is byte-identical at jobs=1 and jobs=N
 // (modulo the explicitly-excludable timing fields).
+//
+// Thread-safety inventory (machine-checked; see DESIGN.md "Static analysis"):
+// the only mutex-protected state in the runner is BoundedChannel's, annotated
+// SMN_GUARDED_BY in runner/channel.h. SweepRunner itself holds one atomic
+// (stop_) and the aggregation state (`collected`, the report) is confined to
+// the calling thread — workers hand results over exclusively through the
+// channel, and the jthread join barrier orders the final aggregation after
+// every worker exit.
 #pragma once
 
 #include <array>

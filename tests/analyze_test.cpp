@@ -1,0 +1,288 @@
+// Negative-fixture tests for the smn-analyze engine: synthetic sources and
+// file trees are fed in directly and detection (and suppression) is asserted
+// per rule family. The positive check — the real src/ tree is clean — runs as
+// the `smn_analyze` ctest test.
+#include "analyze_core.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace smn::analyze {
+namespace {
+
+[[nodiscard]] bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+[[nodiscard]] int count_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return static_cast<int>(std::count_if(
+      fs.begin(), fs.end(), [&](const Finding& f) { return f.rule == rule; }));
+}
+
+[[nodiscard]] int line_of_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule) return f.line;
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Include parsing.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeIncludeTest, ParsesQuotedAndAngledIncludes) {
+  const std::string source =
+      "#include \"net/network.h\"\n"
+      "#include <vector>\n"
+      "  #  include \"sim/time.h\"\n";
+  const std::vector<IncludeDirective> incs = parse_includes(source);
+  ASSERT_EQ(incs.size(), 3u);
+  EXPECT_EQ(incs[0].path, "net/network.h");
+  EXPECT_FALSE(incs[0].angled);
+  EXPECT_EQ(incs[0].line, 1);
+  EXPECT_EQ(incs[1].path, "vector");
+  EXPECT_TRUE(incs[1].angled);
+  // Whitespace around '#' and after it is tolerated.
+  EXPECT_EQ(incs[2].path, "sim/time.h");
+  EXPECT_EQ(incs[2].line, 3);
+}
+
+TEST(AnalyzeIncludeTest, CommentedOutIncludesAreNotEdges) {
+  const std::string source =
+      "// #include \"runner/sweep.h\"\n"
+      "/* #include \"scenario/world.h\" */\n"
+      "#include \"sim/time.h\"  // trailing comment is fine\n";
+  const std::vector<IncludeDirective> incs = parse_includes(source);
+  ASSERT_EQ(incs.size(), 1u);
+  EXPECT_EQ(incs[0].path, "sim/time.h");
+  EXPECT_EQ(incs[0].line, 3);
+}
+
+TEST(AnalyzeIncludeTest, IncludesInsideConditionalBlocksAreRecorded) {
+  // An edge that exists in any preprocessor configuration is an edge the
+  // layering must permit, so #ifdef'd includes still count.
+  const std::string source =
+      "#ifdef SMN_EXPERIMENTAL\n"
+      "#include \"net/routing.h\"\n"
+      "#endif\n";
+  const std::vector<IncludeDirective> incs = parse_includes(source);
+  ASSERT_EQ(incs.size(), 1u);
+  EXPECT_EQ(incs[0].path, "net/routing.h");
+  EXPECT_EQ(incs[0].line, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Layer model.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeLayerTest, NormalizesPathsToSrcRelative) {
+  EXPECT_EQ(layer_of("obs/metrics.h"), layer_of("src/obs/metrics.h"));
+  EXPECT_EQ(layer_of("obs/metrics.h"), layer_of("/root/repo/src/obs/metrics.h"));
+  EXPECT_LT(layer_of("tools/lint_core.h"), 0);
+  EXPECT_FALSE(in_layer_model("tools/lint_core.h"));
+  EXPECT_TRUE(in_layer_model("runner/sweep.h"));
+}
+
+TEST(AnalyzeLayerTest, FoundationalHeadersOverrideTheirDirectory) {
+  // core/check.h, core/thread_annotations.h, core/mutex.h and sim/time.h are
+  // layer 0 ("base"); the rest of core/ is the control plane near the top.
+  EXPECT_EQ(layer_of("core/check.h"), 0);
+  EXPECT_EQ(layer_of("core/thread_annotations.h"), 0);
+  EXPECT_EQ(layer_of("core/mutex.h"), 0);
+  EXPECT_EQ(layer_of("sim/time.h"), 0);
+  EXPECT_GT(layer_of("core/controller.h"), layer_of("net/network.h"));
+  EXPECT_GT(layer_of("sim/simulator.h"), layer_of("obs/metrics.h"));
+  EXPECT_STREQ(layer_name(0), "base");
+  EXPECT_STREQ(layer_name(-1), "?");
+}
+
+TEST(AnalyzeLayerTest, FlagsUpwardInclude) {
+  const FileMap files = {
+      {"sim/simulator.h", "#pragma once\n#include \"runner/sweep.h\"\n"},
+  };
+  const std::vector<Finding> fs = check_layering(files);
+  ASSERT_TRUE(has_rule(fs, "layering"));
+  EXPECT_EQ(line_of_rule(fs, "layering"), 2);
+  EXPECT_NE(fs[0].message.find("sim/simulator.h (sim)"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("runner/sweep.h (runner)"), std::string::npos);
+}
+
+TEST(AnalyzeLayerTest, AllowsDownwardAndSameLayerIncludes) {
+  const FileMap files = {
+      {"runner/sweep.h",
+       "#pragma once\n#include \"sim/time.h\"\n#include \"obs/metrics.h\"\n"},
+      {"net/traffic.h", "#pragma once\n#include \"net/network.h\"\n#include <vector>\n"},
+  };
+  EXPECT_TRUE(check_layering(files).empty());
+}
+
+TEST(AnalyzeLayerTest, FlagsFileOutsideTheLayerModel) {
+  const FileMap files = {{"plugins/hook.h", "#pragma once\n"}};
+  const std::vector<Finding> fs = check_layering(files);
+  ASSERT_TRUE(has_rule(fs, "layering"));
+  EXPECT_EQ(fs[0].line, 0);  // whole-file finding
+}
+
+// ---------------------------------------------------------------------------
+// Include cycles.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeCycleTest, DetectsCycleOnceWithCanonicalRotation) {
+  // a -> b -> c -> a, all within one layer so the layer check cannot catch it.
+  const FileMap files = {
+      {"net/a.h", "#include \"net/b.h\"\n"},
+      {"net/b.h", "#include \"net/c.h\"\n"},
+      {"net/c.h", "#include \"net/a.h\"\n"},
+  };
+  const std::vector<Finding> fs = check_include_cycles(files);
+  ASSERT_EQ(count_rule(fs, "include-cycle"), 1);
+  EXPECT_NE(fs[0].message.find("net/a.h -> net/b.h -> net/c.h -> net/a.h"),
+            std::string::npos);
+}
+
+TEST(AnalyzeCycleTest, TwoNodeCycleAndCleanTree) {
+  const FileMap cyclic = {
+      {"fault/injector.h", "#include \"fault/model.h\"\n"},
+      {"fault/model.h", "#include \"fault/injector.h\"\n"},
+  };
+  EXPECT_EQ(count_rule(check_include_cycles(cyclic), "include-cycle"), 1);
+
+  const FileMap clean = {
+      {"sim/time.h", ""},
+      {"sim/simulator.h", "#include \"sim/time.h\"\n"},
+      {"net/network.h", "#include \"sim/simulator.h\"\n#include \"sim/time.h\"\n"},
+  };
+  EXPECT_TRUE(check_include_cycles(clean).empty());
+}
+
+TEST(AnalyzeCycleTest, SelfIncludeAndUnknownTargetsAreIgnored) {
+  // A file including itself (include-guard idiom gone wrong is caught by the
+  // compiler, not us) and includes of files outside the map are not edges.
+  const FileMap files = {
+      {"net/a.h", "#include \"net/a.h\"\n#include \"net/not_in_tree.h\"\n#include <mutex>\n"},
+  };
+  EXPECT_TRUE(check_include_cycles(files).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Shared-mutable-state audit.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeSharedStateTest, FlagsMutableNamespaceScopeStatic) {
+  const std::string source =
+      "namespace smn {\n"
+      "static int g_counter = 0;\n"
+      "}\n";
+  const std::vector<Finding> fs = check_shared_state("core/foo.cpp", source);
+  ASSERT_TRUE(has_rule(fs, "shared-mutable-state"));
+  EXPECT_EQ(line_of_rule(fs, "shared-mutable-state"), 2);
+}
+
+TEST(AnalyzeSharedStateTest, FlagsStaticInAnonymousNamespace) {
+  const std::string source =
+      "namespace {\n"
+      "static std::vector<int> g_cache;\n"
+      "}  // namespace\n";
+  EXPECT_TRUE(has_rule(check_shared_state("net/foo.cpp", source), "shared-mutable-state"));
+}
+
+TEST(AnalyzeSharedStateTest, FlagsFunctionLocalMutableStatic) {
+  const std::string source =
+      "int next_id() {\n"
+      "  static int id = 0;\n"
+      "  return ++id;\n"
+      "}\n";
+  const std::vector<Finding> fs = check_shared_state("sim/foo.cpp", source);
+  ASSERT_TRUE(has_rule(fs, "shared-mutable-state"));
+  EXPECT_EQ(line_of_rule(fs, "shared-mutable-state"), 2);
+}
+
+TEST(AnalyzeSharedStateTest, FlagsThreadLocalAndExtern) {
+  const std::string source =
+      "thread_local int tls_scratch = 0;\n"
+      "extern int g_shared_count;\n";
+  const std::vector<Finding> fs = check_shared_state("obs/foo.h", source);
+  EXPECT_EQ(count_rule(fs, "shared-mutable-state"), 2);
+}
+
+TEST(AnalyzeSharedStateTest, ConstAndConstexprStaticsAreExempt) {
+  const std::string source =
+      "static const int kTableSize = 64;\n"
+      "static constexpr double kEpsilon = 1e-9;\n"
+      "namespace smn { inline constexpr int kMax = 8; }\n"
+      "static const char* const kNames[] = {\"a\", \"b\"};\n";
+  EXPECT_TRUE(check_shared_state("core/foo.h", source).empty());
+}
+
+TEST(AnalyzeSharedStateTest, FunctionDeclarationsAndExternCAreExempt) {
+  const std::string source =
+      "static int helper(int x);\n"
+      "static std::function<void(int)> make_cb();\n"
+      "extern \"C\" {\n"
+      "int c_api(void);\n"
+      "}\n";
+  EXPECT_TRUE(check_shared_state("core/foo.h", source).empty());
+}
+
+TEST(AnalyzeSharedStateTest, StaticThreadLocalComboReportsOnce) {
+  const std::string source = "static thread_local int tls_id = 0;\n";
+  EXPECT_EQ(count_rule(check_shared_state("sim/foo.cpp", source), "shared-mutable-state"), 1);
+}
+
+TEST(AnalyzeSharedStateTest, KeywordsInCommentsAndStringsAreIgnored) {
+  const std::string source =
+      "// static int not_real = 0;\n"
+      "/* thread_local int also_not = 1; */\n"
+      "const char* doc = \"extern int fake = 2;\";\n";
+  EXPECT_TRUE(check_shared_state("core/foo.cpp", source).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Whole-tree driver: suppression, dedup, ordering, formatting.
+// ---------------------------------------------------------------------------
+
+TEST(AnalyzeFilesTest, SuppressionCommentDisablesRuleFileWide) {
+  const FileMap files = {
+      {"sim/foo.cpp",
+       "// smn-analyze: allow(shared-mutable-state) — test justification\n"
+       "static int g_state = 0;\n"
+       "#include \"runner/sweep.h\"\n"},
+  };
+  const std::vector<Finding> fs = analyze_files(files);
+  // Only the named rule is suppressed; the layering violation still fires.
+  EXPECT_FALSE(has_rule(fs, "shared-mutable-state"));
+  EXPECT_TRUE(has_rule(fs, "layering"));
+}
+
+TEST(AnalyzeFilesTest, LintSuppressionMarkerDoesNotSuppressAnalyze) {
+  const FileMap files = {
+      {"sim/foo.cpp", "// smn-lint: allow(shared-mutable-state)\nstatic int g_state = 0;\n"},
+  };
+  EXPECT_TRUE(has_rule(analyze_files(files), "shared-mutable-state"));
+}
+
+TEST(AnalyzeFilesTest, FindingsAreSortedByFileThenLine) {
+  const FileMap files = {
+      {"net/b.cpp", "static int g_b = 0;\n"},
+      {"net/a.cpp", "int pad;\nstatic int g_a = 0;\n"},
+  };
+  const std::vector<Finding> fs = analyze_files(files);
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].file, "net/a.cpp");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[1].file, "net/b.cpp");
+}
+
+TEST(AnalyzeFilesTest, FormatIsMachineReadable) {
+  const Finding f{"src/net/a.cpp", 7, "shared-mutable-state", "no"};
+  EXPECT_EQ(format(f), "src/net/a.cpp:7: shared-mutable-state: no");
+  const Finding whole{"src/net/a.h", 0, "include-cycle", "loop"};
+  EXPECT_EQ(format(whole), "src/net/a.h: include-cycle: loop");
+}
+
+}  // namespace
+}  // namespace smn::analyze

@@ -186,6 +186,51 @@ TEST(LintTest, DetectsHotCopyLinksBetweenInWhileBody) {
   EXPECT_TRUE(has_rule(fs, "hot-copy"));
 }
 
+TEST(LintTest, DetectsDevicesWithRoleInLoopBody) {
+  const std::string source =
+      "void audit(const smn::net::Network& net) {\n"
+      "  for (int pass = 0; pass < 3; ++pass) {\n"
+      "    check(net.devices_with_role(smn::topology::Role::kSpine));\n"
+      "  }\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  ASSERT_TRUE(has_rule(fs, "hot-copy"));
+  EXPECT_EQ(line_of_rule(fs, "hot-copy"), 3);
+}
+
+TEST(LintTest, AllowsHoistedDevicesWithRole) {
+  const std::string source =
+      "void audit(const smn::net::Network& net) {\n"
+      "  const auto& spines = net.devices_with_role(smn::topology::Role::kSpine);\n"
+      "  for (int pass = 0; pass < 3; ++pass) check(spines);\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_FALSE(has_rule(fs, "hot-copy"));
+}
+
+TEST(LintTest, DetectsBfsDistancesInLoopBody) {
+  const std::string source =
+      "void spread(const smn::net::ConnectivityEngine& conn, std::vector<int>& d) {\n"
+      "  for (const auto dst : targets) {\n"
+      "    conn.bfs_distances(dst, {}, d);\n"
+      "    consume(d);\n"
+      "  }\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  ASSERT_TRUE(has_rule(fs, "hot-copy"));
+  EXPECT_EQ(line_of_rule(fs, "hot-copy"), 3);
+}
+
+TEST(LintTest, AllowsBfsDistancesOutsideLoop) {
+  const std::string source =
+      "void once(const smn::net::ConnectivityEngine& conn, std::vector<int>& d) {\n"
+      "  conn.bfs_distances(root, {}, d);\n"
+      "  for (const int x : d) consume(x);\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_FALSE(has_rule(fs, "hot-copy"));
+}
+
 TEST(LintTest, AllowsHoistedAccessorOutsideLoop) {
   const std::string source =
       "void tally(const smn::net::Network& net) {\n"

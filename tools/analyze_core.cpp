@@ -1,0 +1,400 @@
+#include "analyze_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "source_scan.h"
+
+namespace smn::analyze {
+namespace {
+
+using scan::find_token;
+using scan::line_of;
+
+// ---------------------------------------------------------------------------
+// The module-layer DAG — the machine-checked source of truth (mirrored as a
+// diagram in DESIGN.md "Static analysis"). Layer indices grow upward; a file
+// may include its own layer or below. Three foundational headers are pulled
+// out of their directories into layer 0: core/check.h (SMN_ASSERT, included
+// by everything), core/thread_annotations.h + core/mutex.h (annotated locking
+// primitives), and sim/time.h (pure value types, consumed by obs below sim).
+// The rest of src/core is the maintenance *control plane* and sits near the
+// top, exactly as DESIGN.md's dependency order describes.
+// ---------------------------------------------------------------------------
+
+struct FileLayer {
+  const char* path;
+  int layer;
+};
+inline constexpr FileLayer kFileLayers[] = {
+    {"core/check.h", 0},
+    {"core/thread_annotations.h", 0},
+    {"core/mutex.h", 0},
+    {"sim/time.h", 0},
+};
+
+struct DirLayer {
+  const char* prefix;  // directory prefix, with trailing '/'
+  int layer;
+};
+inline constexpr DirLayer kDirLayers[] = {
+    {"obs/", 1},      {"sim/", 2},         {"net/", 3},      {"topology/", 3},
+    {"fault/", 4},    {"telemetry/", 4},   {"workload/", 5}, {"maintenance/", 5},
+    {"robotics/", 5}, {"analysis/", 5},    {"core/", 6},     {"scenario/", 7},
+    {"runner/", 8},
+};
+
+inline constexpr const char* kLayerNames[] = {
+    "base",     // 0: core/check.h, core/thread_annotations.h, core/mutex.h, sim/time.h
+    "obs",      // 1
+    "sim",      // 2
+    "fabric",   // 3: net, topology
+    "sensing",  // 4: fault, telemetry
+    "services", // 5: workload, maintenance, robotics, analysis
+    "control",  // 6: core (the maintenance control plane)
+    "scenario", // 7
+    "runner",   // 8
+};
+
+// Normalizes a path to the src-relative form project includes use:
+// strips a leading "./", and everything up to the last "/src/" (or a leading
+// "src/") so absolute paths and repo-relative paths compare equal.
+[[nodiscard]] std::string src_relative(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  if (p.rfind("./", 0) == 0) p = p.substr(2);
+  const std::size_t marker = p.rfind("/src/");
+  if (marker != std::string::npos) {
+    p = p.substr(marker + 5);
+  } else if (p.rfind("src/", 0) == 0) {
+    p = p.substr(4);
+  }
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Shared-mutable-state audit.
+// ---------------------------------------------------------------------------
+
+// Tokens that mark a declaration prefix as not-a-mutable-variable: const
+// qualification, compile-time constants, and declaration kinds the rule does
+// not target (templates, operators, aliases, extern "C" blocks reach here as
+// an empty prefix).
+[[nodiscard]] bool prefix_is_exempt(const std::string& prefix) {
+  static const char* const kExempt[] = {"const",    "constexpr", "operator",
+                                        "template", "namespace", "using",
+                                        "typedef",  "friend"};
+  for (const char* tok : kExempt) {
+    if (find_token(prefix, tok, 0) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// Collapses whitespace runs so a multi-line declaration prints on one line.
+[[nodiscard]] std::string collapse_ws(const std::string& s) {
+  std::string out;
+  bool in_ws = true;  // also trims leading whitespace
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!in_ws) out += ' ';
+      in_ws = true;
+    } else {
+      out += c;
+      in_ws = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  if (out.size() > 48) out = out.substr(0, 45) + "...";
+  return out;
+}
+
+void scan_keyword(const std::string& path, const std::string& code, const std::string& kw,
+                  std::vector<Finding>& out, std::set<int>& reported_lines) {
+  for (std::size_t pos = find_token(code, kw, 0); pos != std::string::npos;
+       pos = find_token(code, kw, pos + 1)) {
+    const std::size_t start = pos + kw.size();
+    // Walk to the first structural character at bracket depth 0. Template
+    // argument lists and array extents are skipped balanced so a '(' inside
+    // std::function<void(int)> or int[f(3)] does not read as a function
+    // declarator.
+    int angle = 0;
+    int square = 0;
+    std::size_t decision = std::string::npos;
+    char decision_char = '\0';
+    for (std::size_t j = start; j < code.size(); ++j) {
+      const char c = code[j];
+      if (c == '<') ++angle;
+      else if (c == '>') angle = std::max(0, angle - 1);
+      else if (c == '[') ++square;
+      else if (c == ']') square = std::max(0, square - 1);
+      if (angle > 0 || square > 0) continue;
+      if (c == ';' || c == '=' || c == '(' || c == '{' || c == '}') {
+        decision = j;
+        decision_char = c;
+        break;
+      }
+    }
+    if (decision == std::string::npos) continue;
+    if (decision_char == '(' || decision_char == '}') continue;  // function-like / end of scope
+    const std::string prefix = code.substr(start, decision - start);
+    // extern "C" { ... } / extern "C++" { ... }: literal contents are blanked
+    // but the quotes survive stripping, so "no identifier chars" is the test.
+    const bool prefix_has_ident =
+        std::any_of(prefix.begin(), prefix.end(), [](char c) { return scan::is_ident(c); });
+    if (decision_char == '{' && !prefix_has_ident) continue;
+    if (prefix_is_exempt(prefix)) continue;
+    const int line = line_of(code, pos);
+    if (!reported_lines.insert(line).second) continue;  // static thread_local combos
+    out.push_back(
+        {path, line, "shared-mutable-state",
+         "mutable " + kw + " state `" + collapse_ws(prefix) +
+             "` is shared across Worlds: one-World-per-replicate (and the coming "
+             "one-domain-per-shard) isolation requires mutable state to live in the World — "
+             "make it per-World/per-Registry, or justify with // smn-analyze: "
+             "allow(shared-mutable-state)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Include-graph helpers.
+// ---------------------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::string> project_deps(const FileMap& files,
+                                                    const std::string& file,
+                                                    const std::string& content) {
+  std::vector<std::string> deps;
+  for (const IncludeDirective& inc : parse_includes(content)) {
+    if (inc.angled) continue;
+    const std::string target = src_relative(inc.path);
+    if (target == file) continue;
+    if (files.contains(target)) deps.push_back(target);
+  }
+  return deps;
+}
+
+}  // namespace
+
+std::vector<IncludeDirective> parse_includes(const std::string& content) {
+  // Comments blanked, strings kept: the include payload *is* a string-ish
+  // token, and a commented-out include must not become an edge.
+  const std::string code = scan::strip_comments(content);
+  std::vector<IncludeDirective> out;
+  int line = 1;
+  std::size_t i = 0;
+  while (i <= code.size()) {
+    std::size_t eol = code.find('\n', i);
+    if (eol == std::string::npos) eol = code.size();
+    std::size_t k = i;
+    auto skip_ws = [&] {
+      while (k < eol && (code[k] == ' ' || code[k] == '\t')) ++k;
+    };
+    skip_ws();
+    if (k < eol && code[k] == '#') {
+      ++k;
+      skip_ws();
+      if (code.compare(k, 7, "include") == 0) {
+        k += 7;
+        skip_ws();
+        if (k < eol && code[k] == '"') {
+          const std::size_t close = code.find('"', k + 1);
+          if (close != std::string::npos && close < eol) {
+            out.push_back({line, code.substr(k + 1, close - k - 1), /*angled=*/false});
+          }
+        } else if (k < eol && code[k] == '<') {
+          const std::size_t close = code.find('>', k + 1);
+          if (close != std::string::npos && close < eol) {
+            out.push_back({line, code.substr(k + 1, close - k - 1), /*angled=*/true});
+          }
+        }
+      }
+    }
+    if (eol == code.size()) break;
+    i = eol + 1;
+    ++line;
+  }
+  return out;
+}
+
+int layer_of(const std::string& path) {
+  const std::string rel = src_relative(path);
+  for (const FileLayer& f : kFileLayers) {
+    if (rel == f.path) return f.layer;
+  }
+  for (const DirLayer& d : kDirLayers) {
+    if (rel.rfind(d.prefix, 0) == 0) return d.layer;
+  }
+  return -1;
+}
+
+const char* layer_name(int layer) {
+  constexpr int kCount = static_cast<int>(std::size(kLayerNames));
+  return layer >= 0 && layer < kCount ? kLayerNames[layer] : "?";
+}
+
+bool in_layer_model(const std::string& path) { return layer_of(path) >= 0; }
+
+std::vector<Finding> check_shared_state(const std::string& path, const std::string& content) {
+  const std::string code = scan::strip_comments_and_strings(content);
+  std::vector<Finding> out;
+  std::set<int> reported_lines;
+  for (const char* kw : {"static", "thread_local", "extern"}) {
+    scan_keyword(path, code, kw, out, reported_lines);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Finding& a, const Finding& b) { return a.line < b.line; });
+  return out;
+}
+
+std::vector<Finding> check_layering(const FileMap& files) {
+  std::vector<Finding> out;
+  for (const auto& [file, content] : files) {
+    const int file_layer = layer_of(file);
+    if (file_layer < 0) {
+      out.push_back({file, 0, "layering",
+                     "file is not assigned to any module layer — add its directory to the "
+                     "DAG in tools/analyze_core.cpp and DESIGN.md \"Static analysis\""});
+      continue;
+    }
+    for (const IncludeDirective& inc : parse_includes(content)) {
+      if (inc.angled) continue;
+      const int inc_layer = layer_of(inc.path);
+      if (inc_layer < 0) continue;  // non-src include (tools/, third-party)
+      if (inc_layer > file_layer) {
+        out.push_back(
+            {file, inc.line, "layering",
+             "layer violation: " + src_relative(file) + " (" + layer_name(file_layer) +
+                 ") includes " + src_relative(inc.path) + " (" + layer_name(inc_layer) +
+                 ") — modules may include only their own layer or below; see the DAG in "
+                 "DESIGN.md \"Static analysis\""});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_include_cycles(const FileMap& files) {
+  // Tri-color DFS in sorted file order: deterministic traversal, every cycle
+  // reported exactly once under its canonical rotation.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  std::map<std::string, std::vector<std::string>> deps;
+  for (const auto& [file, content] : files) {
+    color[file] = Color::kWhite;
+    deps[file] = project_deps(files, file, content);
+  }
+
+  std::vector<Finding> out;
+  std::set<std::string> seen_cycles;
+  std::vector<std::string> stack;
+
+  const std::function<void(const std::string&)> dfs = [&](const std::string& file) {
+    color[file] = Color::kGray;
+    stack.push_back(file);
+    for (const std::string& dep : deps[file]) {
+      if (color[dep] == Color::kGray) {
+        const auto begin = std::find(stack.begin(), stack.end(), dep);
+        std::vector<std::string> cycle(begin, stack.end());
+        // Canonical rotation: smallest member first, so the same cycle found
+        // from different entry points dedupes.
+        const auto smallest = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), smallest, cycle.end());
+        std::string desc = cycle.front();
+        for (std::size_t i = 1; i < cycle.size(); ++i) desc += " -> " + cycle[i];
+        desc += " -> " + cycle.front();
+        if (seen_cycles.insert(desc).second) {
+          out.push_back({cycle.front(), 0, "include-cycle",
+                         "#include cycle: " + desc +
+                             " — break it with a forward declaration or by moving the "
+                             "shared piece down a layer"});
+        }
+      } else if (color[dep] == Color::kWhite) {
+        dfs(dep);
+      }
+    }
+    stack.pop_back();
+    color[file] = Color::kBlack;
+  };
+
+  for (const auto& [file, _] : files) {
+    if (color[file] == Color::kWhite) dfs(file);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Finding& a, const Finding& b) { return a.message < b.message; });
+  return out;
+}
+
+std::vector<Finding> analyze_files(const FileMap& files) {
+  std::vector<Finding> all;
+  for (const auto& [file, content] : files) {
+    std::vector<Finding> fs = check_shared_state(file, content);
+    all.insert(all.end(), std::make_move_iterator(fs.begin()), std::make_move_iterator(fs.end()));
+  }
+  {
+    std::vector<Finding> fs = check_layering(files);
+    all.insert(all.end(), std::make_move_iterator(fs.begin()), std::make_move_iterator(fs.end()));
+    fs = check_include_cycles(files);
+    all.insert(all.end(), std::make_move_iterator(fs.begin()), std::make_move_iterator(fs.end()));
+  }
+
+  std::vector<Finding> out;
+  std::set<std::pair<std::string, std::pair<int, std::string>>> reported;
+  for (Finding& f : all) {
+    const auto it = files.find(f.file);
+    if (it != files.end() &&
+        scan::suppressed_rules(it->second, "smn-analyze: allow").contains(f.rule)) {
+      continue;
+    }
+    if (!reported.insert({f.file, {f.line, f.rule}}).second) continue;
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Finding> analyze_tree(const std::string& src_root) {
+  namespace fs = std::filesystem;
+  const fs::path root{src_root};
+  FileMap files;
+  std::vector<fs::path> paths;
+  for (const fs::directory_entry& e : fs::recursive_directory_iterator(root)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc") {
+      paths.push_back(e.path());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    std::ifstream f{p};
+    std::stringstream buf;
+    buf << f.rdbuf();
+    files.emplace(fs::relative(p, root).generic_string(), buf.str());
+  }
+  std::vector<Finding> out = analyze_files(files);
+  // Re-prefix with the caller's root so findings are clickable from the repo
+  // root (the map keys stay src-relative for layer/include resolution).
+  std::string prefix = root.generic_string();
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (Finding& f : out) f.file = prefix + f.file;
+  return out;
+}
+
+std::string format(const Finding& f) {
+  std::stringstream s;
+  s << f.file << ':';
+  if (f.line > 0) s << f.line << ':';
+  s << ' ' << f.rule << ": " << f.message;
+  return s.str();
+}
+
+}  // namespace smn::analyze

@@ -1,0 +1,112 @@
+// smn-analyze: the repo-specific cross-translation-unit static analyzer.
+//
+// Where smn_lint checks each file in isolation, smn_analyze proves *structural*
+// invariants of the whole src/ tree — the invariants the sharded multi-fabric
+// refactor (ROADMAP) depends on. Plain token/structure scanning over C++
+// sources, deliberately not a libclang tool, so it builds anywhere the
+// simulator builds and runs in milliseconds as a ctest test (label `lint`).
+//
+// Rule families (see DESIGN.md "Static analysis"):
+//
+//   shared-mutable-state   Indexes every `static` / `thread_local` / `extern`
+//                          declaration in src/ and flags the mutable ones
+//                          (no `const`/`constexpr` in the declaration prefix,
+//                          not function-like). Mutable statics are exactly the
+//                          state that silently escapes one-World-per-replicate
+//                          isolation today and one-domain-per-shard tomorrow:
+//                          two replicates on different threads would observe
+//                          each other through it, breaking the byte-identical
+//                          trace-hash guarantee. Known limitation (documented,
+//                          tested): a namespace-scope definition spelled with
+//                          none of the three keywords evades the token scan —
+//                          but such a global is only reachable from another TU
+//                          via an `extern` declaration, which is caught.
+//
+//   layering               Parses quoted #include edges and enforces the
+//                          module-layer DAG in DESIGN.md: a file may include
+//                          only its own layer or below. Catches the "quick
+//                          upward include" that turns the library into a ball
+//                          of mud and makes per-shard builds impossible.
+//                          Files in src/ that map to no layer are also flagged
+//                          (new directories must be added to the DAG here and
+//                          in DESIGN.md — this table is the machine-checked
+//                          source of truth).
+//
+//   include-cycle          File-granularity cycle detection over the same
+//                          include graph. The layer check alone allows cycles
+//                          within a layer (e.g. net/ ↔ net/); this closes that
+//                          hole.
+//
+// A file opts out of a rule with a suppression comment anywhere in the file:
+//   // smn-analyze: allow(<rule>)
+// matching the smn-lint idiom. For layering and include-cycle findings the
+// suppression is honored on the *including* file. Output is machine-readable
+// `file:line: rule: message`.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smn::analyze {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based; 0 for whole-file rules
+  std::string rule;
+  std::string message;
+};
+
+/// One #include directive. `path` is the payload between the delimiters;
+/// `angled` distinguishes <system> from "project" includes. Includes inside
+/// preprocessor conditionals are still recorded — an edge that exists in any
+/// configuration is an edge the layering must permit.
+struct IncludeDirective {
+  int line = 0;
+  std::string path;
+  bool angled = false;
+};
+
+/// Parses every #include in `content`, tolerating leading whitespace, spaces
+/// after '#', and trailing comments. Comment-blanked before parsing so
+/// commented-out includes are not edges.
+[[nodiscard]] std::vector<IncludeDirective> parse_includes(const std::string& content);
+
+/// The module-layer DAG. Layer indices grow upward: a file at layer L may
+/// include files at layers <= L. `layer_of` normalizes "src/"-prefixed and
+/// absolute paths to the src-relative form used by project includes and
+/// returns -1 for files outside the model (non-src paths, unknown layers).
+[[nodiscard]] int layer_of(const std::string& path);
+/// Human-readable name of a layer index ("base", "obs", ..., "runner").
+[[nodiscard]] const char* layer_name(int layer);
+/// True when `path` (normalized) lies under src/ and should have a layer.
+[[nodiscard]] bool in_layer_model(const std::string& path);
+
+/// src-relative path -> file content. The unit the whole-tree checks consume;
+/// tests feed synthetic trees directly.
+using FileMap = std::map<std::string, std::string>;
+
+/// Shared-mutable-state audit for one file. Raw findings, no suppression
+/// filtering (analyze_files applies suppressions).
+[[nodiscard]] std::vector<Finding> check_shared_state(const std::string& path,
+                                                      const std::string& content);
+
+/// Layering audit over the whole tree: upward includes + unknown-layer files.
+[[nodiscard]] std::vector<Finding> check_layering(const FileMap& files);
+
+/// File-granularity include-cycle detection over the whole tree.
+[[nodiscard]] std::vector<Finding> check_include_cycles(const FileMap& files);
+
+/// All rules over an in-memory tree, with `// smn-analyze: allow(<rule>)`
+/// suppressions applied and findings deduplicated + sorted by (file, line).
+[[nodiscard]] std::vector<Finding> analyze_files(const FileMap& files);
+
+/// Loads *.h / *.hpp / *.cpp / *.cc under `src_root` (recursively, sorted)
+/// and runs analyze_files. Finding paths are prefixed with `src_root` so
+/// output is clickable from the repo root.
+[[nodiscard]] std::vector<Finding> analyze_tree(const std::string& src_root);
+
+/// `file:line: rule: message` (line omitted for whole-file rules).
+[[nodiscard]] std::string format(const Finding& f);
+
+}  // namespace smn::analyze

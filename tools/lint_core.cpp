@@ -8,121 +8,14 @@
 #include <sstream>
 #include <utility>
 
+#include "source_scan.h"
+
 namespace smn::lint {
 namespace {
 
-[[nodiscard]] bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-// Blanks comments and string/char literal contents (newlines preserved), so
-// token scans never fire on documentation or test fixtures embedded in
-// strings. Handles //, /* */, "..." with escapes, '...', and R"delim(...)delim".
-std::string strip_comments_and_strings(const std::string& in) {
-  std::string out = in;
-  enum class Mode { kCode, kLine, kBlock, kString, kChar, kRaw };
-  Mode mode = Mode::kCode;
-  std::string raw_delim;
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (mode) {
-      case Mode::kCode:
-        if (c == '/' && next == '/') {
-          mode = Mode::kLine;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          mode = Mode::kBlock;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"' && (i == 0 || !is_ident(in[i - 1]))) {
-          raw_delim = ")";
-          for (std::size_t j = i + 2; j < in.size() && in[j] != '('; ++j) raw_delim += in[j];
-          raw_delim += '"';
-          mode = Mode::kRaw;
-        } else if (c == '"') {
-          mode = Mode::kString;
-        } else if (c == '\'' && (i == 0 || !is_ident(in[i - 1]))) {
-          // Ident check keeps digit separators (1'000'000) out of char mode.
-          mode = Mode::kChar;
-        }
-        break;
-      case Mode::kLine:
-        if (c == '\n') mode = Mode::kCode;
-        else out[i] = ' ';
-        break;
-      case Mode::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          mode = Mode::kCode;
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kString:
-        if (c == '\\' && next != '\0') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          mode = Mode::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '\'') {
-          mode = Mode::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case Mode::kRaw:
-        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
-          mode = Mode::kCode;
-          i += raw_delim.size() - 1;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-[[nodiscard]] int line_of(const std::string& text, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
-}
-
-// Finds `token` at identifier boundaries, starting at `from`; npos if absent.
-std::size_t find_token(const std::string& code, const std::string& token, std::size_t from) {
-  for (std::size_t pos = code.find(token, from); pos != std::string::npos;
-       pos = code.find(token, pos + 1)) {
-    const bool left_ok = pos == 0 || !is_ident(code[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const char last = token.back();
-    const bool right_ok = !is_ident(last) || end >= code.size() || !is_ident(code[end]);
-    if (left_ok && right_ok) return pos;
-  }
-  return std::string::npos;
-}
-
-// Suppressions: `// smn-lint: allow(rule)` anywhere in the raw file.
-std::set<std::string> suppressed_rules(const std::string& raw) {
-  std::set<std::string> out;
-  const std::string marker = "smn-lint: allow(";
-  for (std::size_t pos = raw.find(marker); pos != std::string::npos;
-       pos = raw.find(marker, pos + 1)) {
-    const std::size_t start = pos + marker.size();
-    const std::size_t close = raw.find(')', start);
-    if (close != std::string::npos) out.insert(raw.substr(start, close - start));
-  }
-  return out;
-}
+using scan::find_token;
+using scan::is_ident;
+using scan::line_of;
 
 // Names of variables declared as unordered_{map,set} in this file. A token
 // heuristic: after the balanced template argument list, the next identifier
@@ -262,9 +155,32 @@ void check_unordered_iteration(const std::string& path, const std::string& code,
   return {b, semi == std::string::npos ? code.size() : semi + 1};
 }
 
-// Accessors that return cached const references off Network; calling them per
-// loop iteration re-hashes (links_between) or at best wastes a call — and the
-// common mistake is binding the result by value, copying a vector per pass.
+// Accessors that are wasteful when re-invoked per loop iteration. The roster
+// calls (`servers`, `devices_with_role`, `links_between`) return cached const
+// references — re-calling re-hashes or at best wastes a call, and the common
+// mistake is binding the result by value, copying a vector per pass.
+// `bfs_distances` is worse: each call recomputes a full breadth-first sweep
+// into its out-parameter.
+struct HotAccessor {
+  const char* name;
+  const char* message;
+};
+
+inline constexpr HotAccessor kHotAccessors[] = {
+    {"servers",
+     "servers() called inside a loop body: it returns a cached const reference — hoist the "
+     "call before the loop and bind it by reference"},
+    {"links_between",
+     "links_between() called inside a loop body: it returns a cached const reference — hoist "
+     "the call before the loop and bind it by reference"},
+    {"devices_with_role",
+     "devices_with_role() called inside a loop body: it returns a cached const reference — "
+     "hoist the call before the loop and bind it by reference"},
+    {"bfs_distances",
+     "bfs_distances() called inside a loop body: each call recomputes a full BFS — hoist the "
+     "call (or cache per root) outside the loop"},
+};
+
 void check_hot_copy(const std::string& path, const std::string& code,
                     std::vector<Finding>& out) {
   for (const std::string& kw : {std::string{"for"}, std::string{"while"}}) {
@@ -289,23 +205,21 @@ void check_hot_copy(const std::string& path, const std::string& code,
       if (close == std::string::npos) continue;
       const auto [body_begin, body_end] = loop_body_span(code, close + 1);
 
-      for (const std::string& accessor : {std::string{"servers"}, std::string{"links_between"}}) {
-        for (std::size_t hit = find_token(code, accessor, body_begin);
+      for (const HotAccessor& accessor : kHotAccessors) {
+        const std::string name{accessor.name};
+        for (std::size_t hit = find_token(code, name, body_begin);
              hit != std::string::npos && hit < body_end;
-             hit = find_token(code, accessor, hit + 1)) {
+             hit = find_token(code, name, hit + 1)) {
           // Must be a member call: `.accessor(` or `->accessor(`.
           const bool member = (hit >= 1 && code[hit - 1] == '.') ||
                               (hit >= 2 && code[hit - 2] == '-' && code[hit - 1] == '>');
-          std::size_t after = hit + accessor.size();
+          std::size_t after = hit + name.size();
           while (after < code.size() &&
                  std::isspace(static_cast<unsigned char>(code[after])) != 0) {
             ++after;
           }
           if (!member || after >= code.size() || code[after] != '(') continue;
-          out.push_back({path, line_of(code, hit), "hot-copy",
-                         accessor + "() called inside a loop body: it returns a cached "
-                         "const reference — hoist the call before the loop and bind it "
-                         "by reference"});
+          out.push_back({path, line_of(code, hit), "hot-copy", accessor.message});
         }
       }
     }
@@ -332,7 +246,7 @@ void check_banned_tokens(const std::string& path, const std::string& code, const
 std::vector<Finding> lint_source(const std::string& path, const std::string& content,
                                  bool in_src) {
   std::vector<Finding> all;
-  const std::string code = strip_comments_and_strings(content);
+  const std::string code = scan::strip_comments_and_strings(content);
 
   if (in_src) {
     check_banned_tokens(path, code, "banned-random",
@@ -360,7 +274,7 @@ std::vector<Finding> lint_source(const std::string& path, const std::string& con
     }
   }
 
-  const std::set<std::string> allowed = suppressed_rules(content);
+  const std::set<std::string> allowed = scan::suppressed_rules(content, "smn-lint: allow");
   std::vector<Finding> out;
   std::set<std::pair<int, std::string>> reported;  // dedupe overlapping tokens
   for (Finding& f : all) {

@@ -16,12 +16,14 @@
 //                                     order is hash-dependent, so draws/events
 //                                     land in different orders across
 //                                     platforms and libstdc++ versions.
-//   hot-copy             (src/ only)  net.servers() / net.links_between()
-//                                     called inside a for/while loop body:
-//                                     both return cached const references —
-//                                     hoist the call (and bind by reference)
-//                                     so the hot path does not re-hash or
-//                                     re-copy per iteration.
+//   hot-copy             (src/ only)  net.servers() / net.links_between() /
+//                                     net.devices_with_role() called inside a
+//                                     for/while loop body: all return cached
+//                                     const references — hoist the call (and
+//                                     bind by reference) so the hot path does
+//                                     not re-hash or re-copy per iteration.
+//                                     Also flags bfs_distances() in loop
+//                                     bodies: each call recomputes a full BFS.
 //   pragma-once          (headers)    every header starts with #pragma once.
 //   namespace            (src/ headers) public headers declare namespace smn.
 //

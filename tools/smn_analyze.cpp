@@ -1,0 +1,49 @@
+// smn_analyze — cross-TU shard-isolation / layering static analyzer CLI.
+//
+//   smn_analyze <src-root>
+//   smn_analyze src
+//
+// Runs the three rule families in analyze_core.h (shared-mutable-state,
+// layering, include-cycle) over the source tree, prints
+// `file:line: rule: message` per violation, and exits 1 if any were found.
+// Registered as the `smn_analyze` ctest test (label `lint`) and run in CI's
+// lint job: the sharded-domain refactor (ROADMAP) must keep this gate green.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyze_core.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: smn_analyze <src-root>\n");
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "smn_analyze: no source root given (try: smn_analyze src)\n");
+    return 2;
+  }
+  try {
+    std::size_t total = 0;
+    for (const std::string& root : roots) {
+      const std::vector<smn::analyze::Finding> findings = smn::analyze::analyze_tree(root);
+      for (const smn::analyze::Finding& f : findings) {
+        std::printf("%s\n", smn::analyze::format(f).c_str());
+      }
+      total += findings.size();
+    }
+    if (total > 0) {
+      std::fprintf(stderr, "smn_analyze: %zu violation(s)\n", total);
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "smn_analyze: error: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "source_scan.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace smn::scan {
+namespace {
+
+// One pass over the source, blanking comments and (optionally) literal
+// contents. String/char state is always tracked — even when literals are kept
+// — so comment markers inside literals never start a comment.
+std::string strip_impl(const std::string& in, bool blank_strings) {
+  std::string out = in;
+  enum class Mode { kCode, kLine, kBlock, kString, kChar, kRaw };
+  Mode mode = Mode::kCode;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' && (i == 0 || !is_ident(in[i - 1]))) {
+          raw_delim = ")";
+          for (std::size_t j = i + 2; j < in.size() && in[j] != '('; ++j) raw_delim += in[j];
+          raw_delim += '"';
+          mode = Mode::kRaw;
+        } else if (c == '"') {
+          mode = Mode::kString;
+        } else if (c == '\'' && (i == 0 || !is_ident(in[i - 1]))) {
+          // Ident check keeps digit separators (1'000'000) out of char mode.
+          mode = Mode::kChar;
+        }
+        break;
+      case Mode::kLine:
+        if (c == '\n') mode = Mode::kCode;
+        else out[i] = ' ';
+        break;
+      case Mode::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          mode = Mode::kCode;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kString:
+        if (c == '\\' && next != '\0') {
+          if (blank_strings) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          mode = Mode::kCode;
+        } else if (c != '\n' && blank_strings) {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\' && next != '\0') {
+          if (blank_strings) out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          mode = Mode::kCode;
+        } else if (blank_strings) {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kRaw:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          mode = Mode::kCode;
+          i += raw_delim.size() - 1;
+        } else if (c != '\n' && blank_strings) {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string strip_comments_and_strings(const std::string& in) {
+  return strip_impl(in, /*blank_strings=*/true);
+}
+
+std::string strip_comments(const std::string& in) {
+  return strip_impl(in, /*blank_strings=*/false);
+}
+
+int line_of(const std::string& text, std::size_t pos) {
+  return 1 + static_cast<int>(
+                 std::count(text.begin(), text.begin() + static_cast<long>(pos), '\n'));
+}
+
+std::size_t find_token(const std::string& code, const std::string& token, std::size_t from) {
+  for (std::size_t pos = code.find(token, from); pos != std::string::npos;
+       pos = code.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !is_ident(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const char last = token.back();
+    const bool right_ok = !is_ident(last) || end >= code.size() || !is_ident(code[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+std::set<std::string> suppressed_rules(const std::string& raw, const std::string& marker) {
+  std::set<std::string> out;
+  const std::string full = marker + "(";
+  for (std::size_t pos = raw.find(full); pos != std::string::npos;
+       pos = raw.find(full, pos + 1)) {
+    const std::size_t start = pos + full.size();
+    const std::size_t close = raw.find(')', start);
+    if (close != std::string::npos) out.insert(raw.substr(start, close - start));
+  }
+  return out;
+}
+
+}  // namespace smn::scan

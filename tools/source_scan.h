@@ -1,0 +1,47 @@
+// Shared lexical utilities for the repo's source-scanning tools.
+//
+// Both smn_lint (single-file determinism/hygiene rules) and smn_analyze
+// (cross-TU shard-isolation and layering rules) scan C++ sources with plain
+// token scanning — deliberately not libclang, so the tools build anywhere the
+// simulator builds and run in milliseconds under ctest. The scanning
+// primitives they share live here: comment/string stripping, token search at
+// identifier boundaries, line mapping, and the `// <tool>: allow(<rule>)`
+// suppression idiom.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+
+namespace smn::scan {
+
+/// True for [A-Za-z0-9_] — the identifier alphabet token search respects.
+[[nodiscard]] bool is_ident(char c);
+
+/// Blanks comments and string/char literal contents (newlines preserved), so
+/// token scans never fire on documentation or test fixtures embedded in
+/// strings. Handles //, /* */, "..." with escapes, '...', and
+/// R"delim(...)delim".
+[[nodiscard]] std::string strip_comments_and_strings(const std::string& in);
+
+/// Blanks comments only, keeping string literals intact. Used by include
+/// parsing, where the payload *is* a quoted string; comment state still
+/// tracks strings so a `//` inside a literal is not treated as a comment.
+[[nodiscard]] std::string strip_comments(const std::string& in);
+
+/// 1-based line number of byte offset `pos` in `text`.
+[[nodiscard]] int line_of(const std::string& text, std::size_t pos);
+
+/// Finds `token` at identifier boundaries, starting at `from`; npos if
+/// absent.
+[[nodiscard]] std::size_t find_token(const std::string& code, const std::string& token,
+                                     std::size_t from);
+
+/// Rules named by `// <marker>(<rule>)` comments anywhere in the raw file,
+/// e.g. marker "smn-lint: allow" or "smn-analyze: allow". File-granular on
+/// purpose: a suppression is a reviewed, greppable decision, not a per-line
+/// pragma that silently accumulates.
+[[nodiscard]] std::set<std::string> suppressed_rules(const std::string& raw,
+                                                     const std::string& marker);
+
+}  // namespace smn::scan
