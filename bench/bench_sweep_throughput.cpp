@@ -64,6 +64,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The sharded-campus path: same grid shape, but each replicate is a
+  // four-hall Campus stepped through epoch barriers. shards=1 runs the
+  // domains sequentially; shards=4 gives every hall its own worker. jobs=1
+  // in both so only the shard dimension is measured, and the exchange gate
+  // (byte-identical trace hashes) rides along as a correctness check.
+  const runner::SweepSpec campus_spec =
+      runner::campus_sweep(sim::Duration::days(days), 1, seeds);
+  runner::SweepRunner::Options campus_serial_opts;
+  campus_serial_opts.jobs = 1;
+  campus_serial_opts.shards = 1;
+  const runner::SweepReport campus_serial = sweeper.run(campus_spec, campus_serial_opts);
+  runner::SweepRunner::Options campus_sharded_opts;
+  campus_sharded_opts.jobs = 1;
+  campus_sharded_opts.shards = 4;
+  const runner::SweepReport campus_sharded = sweeper.run(campus_spec, campus_sharded_opts);
+
+  bool campus_hashes_match =
+      campus_serial.cells.size() == campus_sharded.cells.size();
+  for (std::size_t c = 0; campus_hashes_match && c < campus_serial.cells.size(); ++c) {
+    const auto& a = campus_serial.cells[c].replicates;
+    const auto& b = campus_sharded.cells[c].replicates;
+    campus_hashes_match = a.size() == b.size();
+    for (std::size_t i = 0; campus_hashes_match && i < a.size(); ++i) {
+      campus_hashes_match = a[i].seed == b[i].seed && a[i].trace_hash == b[i].trace_hash &&
+                            a[i].events == b[i].events;
+    }
+  }
+  hashes_match = hashes_match && campus_hashes_match;
+
+  const double campus_speedup =
+      campus_serial.replicates_per_sec > 0.0
+          ? campus_sharded.replicates_per_sec / campus_serial.replicates_per_sec
+          : 0.0;
+
   const double speedup = serial.replicates_per_sec > 0.0
                              ? parallel.replicates_per_sec / serial.replicates_per_sec
                              : 0.0;
@@ -76,9 +110,21 @@ int main(int argc, char** argv) {
                  Table::num(parallel.replicates_per_sec, 2)});
   table.print(std::cout);
   std::printf("\nspeedup at jobs=%d: %.2fx over jobs=1 (%llu seeds x %d days, standard "
-              "fabric)\ntrace hashes: %s\n",
-              nproc, speedup, static_cast<unsigned long long>(seeds), days,
-              hashes_match ? "identical across thread counts" : "DIVERGED");
+              "fabric)\n",
+              nproc, speedup, static_cast<unsigned long long>(seeds), days);
+
+  Table campus_table{{"shards", "replicates", "wall s", "replicates/sec"}};
+  campus_table.add_row({"1", Table::num(campus_serial.replicates_done),
+                        Table::num(campus_serial.wall_seconds, 2),
+                        Table::num(campus_serial.replicates_per_sec, 2)});
+  campus_table.add_row({"4", Table::num(campus_sharded.replicates_done),
+                        Table::num(campus_sharded.wall_seconds, 2),
+                        Table::num(campus_sharded.replicates_per_sec, 2)});
+  campus_table.print(std::cout);
+  std::printf("\ncampus speedup at shards=4: %.2fx over shards=1 (4 halls, epoch-barrier "
+              "exchange)\ntrace hashes: %s\n",
+              campus_speedup,
+              hashes_match ? "identical across thread/shard counts" : "DIVERGED");
 
   {
     runner::JsonWriter w;
@@ -92,6 +138,9 @@ int main(int argc, char** argv) {
     w.kv("wall_seconds_serial", serial.wall_seconds);
     w.kv("wall_seconds_parallel", parallel.wall_seconds);
     w.kv("speedup", speedup);
+    w.kv("rps_campus_serial", campus_serial.replicates_per_sec);
+    w.kv("rps_campus_sharded", campus_sharded.replicates_per_sec);
+    w.kv("campus_speedup", campus_speedup);
     w.kv("hashes_match", hashes_match);
     w.end_object();
     std::ofstream out{json_path};
@@ -106,8 +155,8 @@ int main(int argc, char** argv) {
 
   if (!hashes_match) {
     std::fprintf(stderr,
-                 "FAIL: trace hashes diverged between jobs=1 and jobs=%d — thread count "
-                 "leaked into the simulation\n",
+                 "FAIL: trace hashes diverged across jobs (1 vs %d) or campus shards "
+                 "(1 vs 4) — worker count leaked into the simulation\n",
                  nproc);
     return 1;
   }

@@ -1,0 +1,33 @@
+#include "core/spare_pool.h"
+
+#include "core/check.h"
+
+namespace smn::core {
+
+void SparePool::restock_to(sim::TimePoint now) {
+  SMN_ASSERT(now >= restocked_to_, "SparePool::restock_to moved backwards");
+  const sim::Duration dt = now - restocked_to_;
+  restocked_to_ = now;
+  if (cfg_.restock_per_day <= 0.0 || dt <= sim::Duration::zero()) return;
+  restock_carry_ += cfg_.restock_per_day * dt.to_days();
+  const int whole = static_cast<int>(restock_carry_);
+  if (whole > 0) {
+    restock_carry_ -= whole;
+    stock_ += whole;
+    if (stock_ > cfg_.max_stock) {
+      stock_ = cfg_.max_stock;
+      restock_carry_ = 0.0;  // shelf full: surplus is returned, not banked
+    }
+  }
+}
+
+int SparePool::grant(int requested) {
+  if (requested <= 0) return 0;
+  const int g = requested <= stock_ ? requested : stock_;
+  stock_ -= g;
+  granted_total_ += static_cast<std::uint64_t>(g);
+  denied_total_ += static_cast<std::uint64_t>(requested - g);
+  return g;
+}
+
+}  // namespace smn::core

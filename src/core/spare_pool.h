@@ -1,0 +1,58 @@
+// Campus-level shared spare inventory with deterministic arbitration.
+//
+// Halls of a campus draw replacement stock (optics, cables, line cards) from
+// one shared depot instead of per-hall inventories — a real multi-hall
+// operations pattern and the concrete "campus-level controller decision" of
+// the sharded simulation: spare *requests* travel as cross-domain messages,
+// and the campus coordinator arbitrates them at epoch barriers in the
+// canonical exchange order (sim/epoch.h ExchangeKey), so grants are
+// byte-identical at any shard count.
+//
+// The pool itself is plain single-owner state: it is touched only by the
+// barrier coordinator, between epochs, when no domain worker is running.
+// Restocking is a deterministic function of simulated time (units per day,
+// fractional carry kept exactly), never of wall clock or arrival order.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace smn::core {
+
+class SparePool {
+ public:
+  struct Config {
+    /// Depot stock at t=0.
+    int initial_stock = 64;
+    /// Restock rate from the supply chain, units per simulated day.
+    double restock_per_day = 8.0;
+    /// Depot shelf capacity; restock saturates here.
+    int max_stock = 128;
+  };
+
+  explicit SparePool(const Config& cfg)
+      : cfg_{cfg}, stock_{cfg.initial_stock < 0 ? 0 : cfg.initial_stock} {}
+
+  /// Advances restocking to `now`. Idempotent for equal `now`; `now` must
+  /// not move backwards (barrier times are monotone).
+  void restock_to(sim::TimePoint now);
+
+  /// Grants up to `requested` units from stock. Callers must present
+  /// requests in the canonical exchange order for shard invariance.
+  [[nodiscard]] int grant(int requested);
+
+  [[nodiscard]] int stock() const { return stock_; }
+  [[nodiscard]] std::uint64_t granted_total() const { return granted_total_; }
+  [[nodiscard]] std::uint64_t denied_total() const { return denied_total_; }
+
+ private:
+  Config cfg_;
+  int stock_ = 0;
+  double restock_carry_ = 0.0;  // fractional units accrued but not yet whole
+  sim::TimePoint restocked_to_;
+  std::uint64_t granted_total_ = 0;
+  std::uint64_t denied_total_ = 0;
+};
+
+}  // namespace smn::core

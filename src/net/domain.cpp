@@ -1,0 +1,32 @@
+#include "net/domain.h"
+
+#include <algorithm>
+
+namespace smn::net {
+
+DomainGraph::DomainGraph(const topology::CampusBlueprint& campus) {
+  campus.validate();
+  peers_.resize(campus.halls.size());
+  for (const topology::CrossHallLink& l : campus.cross_links) {
+    peers_[static_cast<std::size_t>(l.hall_a)].push_back(
+        {l.hall_b, l.latency, l.capacity_gbps});
+    peers_[static_cast<std::size_t>(l.hall_b)].push_back(
+        {l.hall_a, l.latency, l.capacity_gbps});
+    if (l.latency < min_latency_) min_latency_ = l.latency;
+    coupled_ = true;
+  }
+  for (std::vector<DomainPeer>& ps : peers_) {
+    std::sort(ps.begin(), ps.end(), [](const DomainPeer& a, const DomainPeer& b) {
+      return a.hall != b.hall ? a.hall < b.hall : a.latency < b.latency;
+    });
+  }
+}
+
+sim::Duration DomainGraph::latency(int src, int dst) const {
+  for (const DomainPeer& p : peers(src)) {
+    if (p.hall == dst) return p.latency;
+  }
+  return sim::Duration::max();
+}
+
+}  // namespace smn::net

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <numeric>
 #include <stdexcept>
 
@@ -135,9 +136,9 @@ std::vector<SnapshotEntry> Registry::snapshot() const {
   return out;
 }
 
-std::uint64_t Registry::snapshot_hash() const {
+std::uint64_t snapshot_hash(const std::vector<SnapshotEntry>& entries) {
   std::uint64_t h = kFnvOffset;
-  for (const SnapshotEntry& e : snapshot()) {
+  for (const SnapshotEntry& e : entries) {
     h = fnv1a_bytes(h, e.name.data(), e.name.size());
     std::uint64_t bits = 0;
     static_assert(sizeof bits == sizeof e.value);
@@ -146,6 +147,22 @@ std::uint64_t Registry::snapshot_hash() const {
   }
   return h;
 }
+
+std::vector<SnapshotEntry> merge_snapshots(const std::vector<std::vector<SnapshotEntry>>& snaps) {
+  // k-way merge by name over already-sorted inputs. The common case (every
+  // domain carries the identical schema) degenerates to a positional zip;
+  // a map keeps the rare ragged case deterministic too.
+  std::map<std::string, double> acc;
+  for (const std::vector<SnapshotEntry>& snap : snaps) {
+    for (const SnapshotEntry& e : snap) acc[e.name] += e.value;
+  }
+  std::vector<SnapshotEntry> out;
+  out.reserve(acc.size());
+  for (const auto& [name, value] : acc) out.push_back({name, value});
+  return out;
+}
+
+std::uint64_t Registry::snapshot_hash() const { return obs::snapshot_hash(snapshot()); }
 
 std::string Registry::to_prometheus() const {
   // Sort by name so the exposition is stable regardless of wiring order.

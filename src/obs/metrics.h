@@ -100,6 +100,20 @@ struct SnapshotEntry {
   double value = 0.0;
 };
 
+/// FNV-1a over a flattened, sorted snapshot (name bytes + value bit
+/// patterns) — the exact fold Registry::snapshot_hash applies, exposed so a
+/// merged multi-domain snapshot hashes the same way a single registry does.
+[[nodiscard]] std::uint64_t snapshot_hash(const std::vector<SnapshotEntry>& entries);
+
+/// Deterministic merge of several sorted snapshots into one: entries are
+/// matched by name and their values summed (counters add, gauges add,
+/// flattened histogram buckets/sums/counts add). Domains of a campus all
+/// register the same instrument schema, so this is normally a positional
+/// zip; names missing from some snapshots still merge correctly. The result
+/// is sorted by name.
+[[nodiscard]] std::vector<SnapshotEntry> merge_snapshots(
+    const std::vector<std::vector<SnapshotEntry>>& snaps);
+
 class Registry {
  public:
   Registry() = default;

@@ -98,17 +98,32 @@ SweepSpec quick_sweep(sim::Duration duration, std::uint64_t first_seed, std::uin
   return spec;
 }
 
+SweepSpec campus_sweep(sim::Duration duration, std::uint64_t first_seed, std::uint64_t seeds) {
+  SweepSpec spec = base_spec(duration, first_seed, seeds);
+  topology::CampusParams params;
+  params.halls = 4;
+  // Halls the size of the quick-preset fabric: the cell stays CI-cheap while
+  // still crossing dozens of epoch barriers per simulated day.
+  params.hall = {.leaves = 4, .spines = 2, .servers_per_leaf = 2};
+  spec.cells.emplace_back(
+      "campus/L3", topology::build_campus(params),
+      standard_world(core::AutomationLevel::kL3_HighAutomation, first_seed));
+  return spec;
+}
+
 SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
                      std::uint64_t first_seed, std::uint64_t seeds) {
   if (preset == "availability") return availability_sweep(duration, first_seed, seeds);
   if (preset == "topologies") return topology_sweep(duration, first_seed, seeds);
   if (preset == "quick") return quick_sweep(duration, first_seed, seeds);
+  if (preset == "campus") return campus_sweep(duration, first_seed, seeds);
   throw std::invalid_argument{"unknown sweep preset '" + preset +
-                              "' (use availability|topologies|quick)"};
+                              "' (use availability|topologies|quick|campus)"};
 }
 
 const std::vector<std::string>& sweep_preset_names() {
-  static const std::vector<std::string> kNames = {"availability", "topologies", "quick"};
+  static const std::vector<std::string> kNames = {"availability", "topologies", "quick",
+                                                  "campus"};
   return kNames;
 }
 

@@ -39,6 +39,13 @@ namespace smn::runner {
 [[nodiscard]] SweepSpec quick_sweep(sim::Duration duration, std::uint64_t first_seed,
                                     std::uint64_t seeds);
 
+/// Sharded multi-hall campus cell: four leaf-spine halls on a trunk ring at
+/// L3, cross-hall traffic and a shared spare depot exchanged at epoch
+/// barriers. The preset behind the CI shard-invariance gate (--shards 1/2/4
+/// must produce byte-identical --no-timing reports).
+[[nodiscard]] SweepSpec campus_sweep(sim::Duration duration, std::uint64_t first_seed,
+                                     std::uint64_t seeds);
+
 /// Dispatch by preset name; throws std::invalid_argument for unknown names.
 [[nodiscard]] SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
                                    std::uint64_t first_seed, std::uint64_t seeds);

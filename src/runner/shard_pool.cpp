@@ -1,0 +1,78 @@
+#include "runner/shard_pool.h"
+
+namespace smn::runner {
+
+ShardPool::ShardPool(int shards) : shards_{shards < 1 ? 1 : shards} {
+  workers_.reserve(static_cast<std::size_t>(shards_ - 1));
+  for (int i = 0; i < shards_ - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    core::MutexLock lock{mu_};
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  // jthread joins on destruction.
+}
+
+void ShardPool::run(std::vector<Task>& tasks) {
+  if (tasks.empty()) return;
+  if (workers_.empty()) {
+    for (Task& t : tasks) t();
+    return;
+  }
+  std::uint64_t generation = 0;
+  {
+    core::MutexLock lock{mu_};
+    tasks_ = &tasks;
+    next_ = 0;
+    done_ = 0;
+    generation = ++generation_;
+  }
+  work_ready_.notify_all();
+  drain_tasks(generation);  // the calling thread is one of the shards
+  {
+    core::MutexLock lock{mu_};
+    while (done_ < tasks.size()) work_done_.wait(mu_);
+    tasks_ = nullptr;  // stale workers see this and go back to sleep
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      core::MutexLock lock{mu_};
+      while (!stop_ && generation_ == seen_generation) work_ready_.wait(mu_);
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain_tasks(seen_generation);
+  }
+}
+
+void ShardPool::drain_tasks(std::uint64_t generation) {
+  for (;;) {
+    Task* task = nullptr;
+    {
+      core::MutexLock lock{mu_};
+      if (generation_ != generation || tasks_ == nullptr || next_ >= tasks_->size()) return;
+      task = &(*tasks_)[next_++];
+    }
+    (*task)();
+    bool all_done = false;
+    {
+      core::MutexLock lock{mu_};
+      // tasks_ stays set until done_ reaches the task count, and this
+      // increment is what lets it get there — the deref cannot be stale.
+      ++done_;
+      all_done = done_ == tasks_->size();
+    }
+    if (all_done) work_done_.notify_all();
+  }
+}
+
+}  // namespace smn::runner

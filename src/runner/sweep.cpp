@@ -15,6 +15,7 @@
 #include "maintenance/ticket.h"
 #include "runner/channel.h"
 #include "runner/json_writer.h"
+#include "runner/shard_pool.h"
 
 namespace smn::runner {
 namespace {
@@ -43,11 +44,94 @@ using WallClock = std::chrono::steady_clock;
   return m;
 }
 
+/// The campus-cell replicate: one sharded Campus instead of one World. The
+/// sim side is shard-count-invariant by construction (epoch barriers +
+/// sorted exchange), and everything below reads the finished campus on the
+/// calling thread in hall order, so the result is too.
+[[nodiscard]] ReplicateResult run_campus_replicate(const CellSpec& cell, std::size_t cell_index,
+                                                   std::uint64_t seed, sim::Duration duration,
+                                                   bool sample_trace, int shards) {
+  scenario::CampusConfig cfg = cell.campus_config;
+  cfg.hall = cell.config;
+  cfg.hall.seed = seed;
+  if (sample_trace) cfg.hall.obs.trace = true;
+  scenario::Campus campus{cell.campus, std::move(cfg)};
+  if (shards > 1) {
+    ShardPool pool{shards};
+    campus.run_for(duration, pool.executor());
+  } else {
+    campus.run_for(duration);
+  }
+  campus.check_invariants();
+
+  ReplicateResult r;
+  r.cell = cell_index;
+  r.seed = seed;
+  r.trace_hash = campus.trace_hash();
+  r.events = campus.events_processed();
+  r.obs_snapshot = campus.merged_snapshot();
+  if (!r.obs_snapshot.empty()) r.metrics_hash = obs::snapshot_hash(r.obs_snapshot);
+  // The sampled timeline is hall 0's — the domain whose seed equals the
+  // campus seed, so it is directly comparable to a single-World trace.
+  if (sample_trace && campus.domain(0).obs().trace() != nullptr) {
+    r.sampled_trace_json = campus.domain(0).obs().trace()->to_chrome_json();
+    r.sampled_trace_hash = obs::fnv1a(r.sampled_trace_json);
+  }
+
+  // Hours, counts, and costs sum across halls; the availability/impairment
+  // fractions are weighted by hall link count (identical halls degrade to a
+  // plain mean, ragged campuses stay correct). Accumulation runs in hall
+  // order on this thread — deterministic at any shard count.
+  auto& m = r.metrics;
+  analysis::CostInputs costs;
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < campus.domain_count(); ++i) {
+    scenario::World& world = campus.domain(i);
+    const analysis::AvailabilityTracker& avail = world.availability();
+    const double w = static_cast<double>(cell.campus.halls[i].links().size());
+    weight_total += w;
+    m[kAvailability] += w * avail.fleet_availability();
+    m[kImpairedFraction] += w * avail.fleet_impairment();
+    m[kDowntimeLinkHours] += avail.downtime_link_hours();
+    m[kPlannedLinkHours] += avail.planned_maintenance_link_hours();
+    m[kImpairedLinkHours] += avail.impaired_link_hours();
+    m[kOpenBacklog] +=
+        static_cast<double>(world.tickets().count(maintenance::TicketState::kOpen) +
+                            world.tickets().count(maintenance::TicketState::kDispatched) +
+                            world.tickets().count(maintenance::TicketState::kInProgress));
+    m[kFaultsInjected] += static_cast<double>(world.injector().log().size());
+    m[kTicketsResolved] +=
+        static_cast<double>(world.tickets().count(maintenance::TicketState::kResolved));
+    m[kTechnicianHours] += world.technicians().labor_hours();
+    m[kRobotBusyHours] += world.has_fleet() ? world.fleet().busy_hours() : 0.0;
+    costs.robot_units += world.has_fleet() ? world.fleet().units_online() : 0;
+  }
+  if (weight_total > 0.0) {
+    m[kAvailability] /= weight_total;
+    m[kImpairedFraction] /= weight_total;
+  }
+  m[kNines] = analysis::AvailabilityTracker::nines(m[kAvailability]);
+
+  costs.technician_hours = m[kTechnicianHours];
+  costs.robot_busy_hours = m[kRobotBusyHours];
+  costs.elapsed_years = duration.to_days() / 365.0;
+  costs.downtime_link_hours = m[kDowntimeLinkHours];
+  costs.impaired_link_hours = m[kImpairedLinkHours];
+  const double elapsed_days = duration.to_days();
+  m[kAnnualCostUsd] = elapsed_days > 0.0
+                          ? analysis::compute_cost({}, costs).total_usd * 365.0 / elapsed_days
+                          : 0.0;
+  return r;
+}
+
 }  // namespace
 
 ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cell_index,
                                            std::uint64_t seed, sim::Duration duration,
-                                           bool sample_trace) {
+                                           bool sample_trace, int shards) {
+  if (cell.is_campus()) {
+    return run_campus_replicate(cell, cell_index, seed, duration, sample_trace, shards);
+  }
   scenario::WorldConfig cfg = cell.config;
   cfg.seed = seed;
   if (sample_trace) cfg.obs.trace = true;
@@ -129,7 +213,9 @@ SweepReport SweepRunner::run(const SweepSpec& spec, const Options& opts) {
   }
 
   const int jobs = resolve_jobs(opts.jobs);
+  const int shards = opts.shards < 1 ? 1 : opts.shards;
   report.jobs = jobs;
+  report.shards = shards;
   const auto wall_start = WallClock::now();
 
   std::vector<ReplicateResult> collected;
@@ -154,7 +240,7 @@ SweepReport SweepRunner::run(const SweepSpec& spec, const Options& opts) {
             if (stop_requested()) break;
             ReplicateResult r =
                 run_replicate(spec.cells[task->cell], task->cell, task->seed, spec.duration,
-                              opts.sample_traces && task->seed == spec.first_seed);
+                              opts.sample_traces && task->seed == spec.first_seed, shards);
             if (!results.push(std::move(r))) break;
           }
           if (live_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) results.close();
@@ -232,6 +318,7 @@ std::string to_json(const SweepReport& report, const JsonOptions& opts) {
   w.kv("stopped_early", report.stopped_early);
   if (opts.include_timing) {
     w.kv("jobs", report.jobs);
+    w.kv("shards", report.shards);
     w.kv("wall_seconds", report.wall_seconds);
     w.kv("replicates_per_sec", report.replicates_per_sec);
   }

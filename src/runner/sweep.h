@@ -35,17 +35,42 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "scenario/campus.h"
 #include "scenario/world.h"
 #include "sim/time.h"
 #include "topology/blueprint.h"
+#include "topology/campus.h"
 
 namespace smn::runner {
 
 /// One grid cell: a named world configuration evaluated across all seeds.
+/// When `campus.halls` is non-empty the cell is a *campus cell*: each
+/// replicate runs a sharded scenario::Campus (one domain per hall) instead of
+/// a single World. `config` then provides the per-hall WorldConfig and
+/// `campus_config` the cross-hall coupling knobs (its `hall` member is
+/// overwritten per replicate); `blueprint` is unused.
 struct CellSpec {
+  /// A single-World cell (the classic shape).
+  CellSpec(std::string cell_name, topology::Blueprint bp, scenario::WorldConfig cfg)
+      : name{std::move(cell_name)}, blueprint{std::move(bp)}, config{std::move(cfg)} {}
+
+  /// A campus cell: `hall_cfg` applies to every hall, `tuning` sets the
+  /// cross-hall coupling (its `hall` member is overwritten per replicate).
+  CellSpec(std::string cell_name, topology::CampusBlueprint campus_bp,
+           scenario::WorldConfig hall_cfg, scenario::CampusConfig tuning = {})
+      : name{std::move(cell_name)},
+        blueprint{topology::PhysicalLayout{{}}, "unused"},
+        config{std::move(hall_cfg)},
+        campus{std::move(campus_bp)},
+        campus_config{std::move(tuning)} {}
+
   std::string name;
   topology::Blueprint blueprint;  // shared const across workers; Network copies it
   scenario::WorldConfig config;   // `seed` is overwritten per replicate
+  topology::CampusBlueprint campus;
+  scenario::CampusConfig campus_config;
+
+  [[nodiscard]] bool is_campus() const { return !campus.halls.empty(); }
 };
 
 /// The fixed per-replicate metric vector. Indexed by Metric; kMetricNames
@@ -141,8 +166,11 @@ struct SweepReport {
   std::uint64_t seeds = 0;
   double duration_days = 0.0;
   // Timing fields — excluded by JsonOptions::include_timing=false so reports
-  // from different thread counts can be diffed byte-for-byte.
+  // from different thread counts (jobs) and shard counts can be diffed
+  // byte-for-byte. `shards` lives here for exactly that reason: it changes
+  // wall time, never results.
   int jobs = 1;
+  int shards = 1;
   double wall_seconds = 0.0;
   double replicates_per_sec = 0.0;
 };
@@ -180,6 +208,11 @@ class SweepRunner {
     /// i.e. first_seed — and carry its Chrome trace JSON + hash in the
     /// report, so every sweep ships a loadable example timeline.
     bool sample_traces = false;
+    /// Worker threads *inside* each campus replicate (one ShardPool per
+    /// replicate, one task per hall domain). 1 = sequential. Results are
+    /// byte-identical at any value — that is the invariant the CI
+    /// shard-invariance gate enforces. Ignored by single-World cells.
+    int shards = 1;
   };
 
   /// Runs the full grid. Blocks until every replicate finished or the sweep
@@ -195,10 +228,12 @@ class SweepRunner {
   /// Executes a single replicate synchronously — the unit the pool runs.
   /// Exposed for tests and for callers that want one world's metrics.
   /// `sample_trace` forces tracing on for this replicate and exports its
-  /// trace JSON into the result; everything else is unaffected.
+  /// trace JSON into the result; everything else is unaffected. For campus
+  /// cells, `shards` > 1 runs the replicate's domains on a ShardPool of that
+  /// width (results identical by construction; single-World cells ignore it).
   [[nodiscard]] static ReplicateResult run_replicate(const CellSpec& cell, std::size_t cell_index,
                                                      std::uint64_t seed, sim::Duration duration,
-                                                     bool sample_trace = false);
+                                                     bool sample_trace = false, int shards = 1);
 
  private:
   std::atomic<bool> stop_{false};

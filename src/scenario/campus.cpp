@@ -1,0 +1,236 @@
+#include "scenario/campus.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace smn::scenario {
+
+Campus::Campus(const topology::CampusBlueprint& blueprint, CampusConfig cfg)
+    : cfg_{std::move(cfg)}, graph_{blueprint}, spare_pool_{cfg_.spare_pool} {
+  SMN_ASSERT(!blueprint.halls.empty(), "campus needs at least one hall");
+  if (graph_.coupled()) {
+    // Conservative lookahead: the epoch may be at most the fastest trunk,
+    // so every message sent inside an epoch is deliverable strictly after
+    // its barrier. EpochSchedule's constructor enforces lookahead > 0.
+    lookahead_ = sim::EpochSchedule{sim::TimePoint{}, graph_.min_latency()}.lookahead();
+  }
+
+  domains_.reserve(blueprint.halls.size());
+  for (std::size_t i = 0; i < blueprint.halls.size(); ++i) {
+    WorldConfig hall_cfg = cfg_.hall;
+    hall_cfg.seed = domain_seed(cfg_.hall.seed, i);
+    sim::RngFactory rngs{hall_cfg.seed};
+    auto d = std::make_unique<Domain>(static_cast<int>(i), rngs.stream("campus-xtraffic"));
+    d->world = std::make_unique<World>(blueprint.halls[i], std::move(hall_cfg));
+    // Campus-coupling instruments are registered only when trunks exist, so
+    // an uncoupled domain's registry — like its event trace — is
+    // byte-identical to a standalone World's (the differential-test anchor).
+    if (graph_.coupled()) {
+      if (obs::Registry* reg = d->world->obs().metrics()) {
+        d->tx_flows = reg->counter("campus_xtraffic_tx_total");
+        d->rx_flows = reg->counter("campus_xtraffic_rx_total");
+        d->rx_degraded = reg->counter("campus_xtraffic_rx_degraded_total");
+        d->rx_gbps = reg->histogram("campus_xtraffic_rx_gbps",
+                                    {5.0, 10.0, 20.0, 40.0, 80.0, 160.0, 320.0});
+        d->spares_requested = reg->counter("campus_spares_requested_total");
+        d->spares_granted = reg->counter("campus_spares_granted_total");
+        d->spares_denied = reg->counter("campus_spares_denied_total");
+        d->depot_level = reg->gauge("campus_spare_depot_level");
+        d->depot_level->set(static_cast<double>(spare_pool_.stock()));
+      }
+    }
+    domains_.push_back(std::move(d));
+  }
+}
+
+void Campus::start() {
+  if (started_) return;
+  started_ = true;
+  next_barrier_ = now_ + lookahead_;
+  for (const std::unique_ptr<Domain>& dp : domains_) {
+    Domain& d = *dp;
+    d.world->start();
+    if (!graph_.coupled()) continue;
+    if (cfg_.traffic_period > sim::Duration::zero() && !graph_.peers(d.index).empty()) {
+      d.world->simulator().schedule_every(cfg_.traffic_period,
+                                          [this, dom = &d] { traffic_tick(*dom); });
+    }
+    if (cfg_.spare_audit_period > sim::Duration::zero()) {
+      d.world->simulator().schedule_every(cfg_.spare_audit_period,
+                                          [this, dom = &d] { spare_audit_tick(*dom); });
+    }
+  }
+}
+
+void Campus::traffic_tick(Domain& d) {
+  const sim::TimePoint now = d.world->now();
+  for (const net::DomainPeer& peer : graph_.peers(d.index)) {
+    for (int f = 0; f < cfg_.flows_per_tick; ++f) {
+      CrossMessage m;
+      m.kind = CrossMessage::Kind::kTraffic;
+      m.src = d.index;
+      m.dst = peer.hall;
+      m.sent = now;
+      m.seq = d.next_seq++;
+      m.gbps = d.traffic_rng.exponential(cfg_.flow_gbps_mean);
+      d.outbox.push_back(m);
+      if (d.tx_flows != nullptr) d.tx_flows->inc();
+    }
+  }
+}
+
+void Campus::spare_audit_tick(Domain& d) {
+  const std::size_t faults = d.world->injector().log().size();
+  const std::size_t delta = faults - d.faults_seen;
+  d.faults_seen = faults;
+  if (delta == 0) return;
+  CrossMessage m;
+  m.kind = CrossMessage::Kind::kSpareRequest;
+  m.src = d.index;
+  m.dst = -1;  // the campus coordinator (shared depot)
+  m.sent = d.world->now();
+  m.seq = d.next_seq++;
+  m.spares = static_cast<int>(delta);
+  d.outbox.push_back(m);
+  if (d.spares_requested != nullptr) d.spares_requested->inc(delta);
+}
+
+void Campus::run_chunk(sim::TimePoint target, const Executor& exec) {
+  std::vector<Task> tasks;
+  tasks.reserve(domains_.size());
+  for (const std::unique_ptr<Domain>& dp : domains_) {
+    tasks.push_back([dom = dp.get(), target, this] {
+      dom->world->simulator().run_until(target);
+      mailbox_.post(std::move(dom->outbox));
+      dom->outbox.clear();
+    });
+  }
+  if (exec) {
+    exec(tasks);
+  } else {
+    for (Task& t : tasks) t();
+  }
+  // Coordinator side of the barrier: collect what the workers posted. The
+  // arrival order is thread-timing noise; exchange() restores the canonical
+  // order before anything acts on it.
+  std::vector<CrossMessage> drained = mailbox_.drain();
+  pending_.insert(pending_.end(), std::make_move_iterator(drained.begin()),
+                  std::make_move_iterator(drained.end()));
+}
+
+void Campus::exchange(sim::TimePoint barrier) {
+  ++barriers_passed_;
+  std::sort(pending_.begin(), pending_.end(),
+            [](const CrossMessage& a, const CrossMessage& b) { return a.key() < b.key(); });
+  spare_pool_.restock_to(barrier);
+  for (const CrossMessage& m : pending_) {
+    switch (m.kind) {
+      case CrossMessage::Kind::kTraffic: {
+        SMN_ASSERT(m.dst >= 0 && m.dst < static_cast<int>(domains_.size()),
+                   "cross-traffic message to unknown hall %d", m.dst);
+        Domain& dst = *domains_[static_cast<std::size_t>(m.dst)];
+        const sim::Duration latency = graph_.latency(m.src, m.dst);
+        SMN_ASSERT(latency < sim::Duration::max(), "cross-traffic between non-adjacent halls");
+        // Conservative lookahead guarantees sent + latency > barrier, so the
+        // destination (parked exactly at the barrier) receives no event in
+        // its past.
+        dst.world->simulator().schedule_at(m.sent + latency, [dom = &dst, gbps = m.gbps] {
+          if (dom->rx_flows != nullptr) dom->rx_flows->inc();
+          if (dom->rx_gbps != nullptr) dom->rx_gbps->observe(gbps);
+          const bool impaired =
+              dom->world->network().count_links(net::LinkState::kDown) > 0;
+          if (impaired && dom->rx_degraded != nullptr) dom->rx_degraded->inc();
+        });
+        break;
+      }
+      case CrossMessage::Kind::kSpareRequest: {
+        // Campus-level controller decision: arbitration happens here, at the
+        // barrier, in canonical message order — first-sent, first-served,
+        // ties broken by hall index. The grant travels back over the campus
+        // spine: one lookahead out, one back.
+        const int granted = spare_pool_.grant(m.spares);
+        const int denied = m.spares - granted;
+        const int level = spare_pool_.stock();
+        Domain& src = *domains_[static_cast<std::size_t>(m.src)];
+        src.world->simulator().schedule_at(
+            m.sent + lookahead_ + lookahead_, [dom = &src, granted, denied, level] {
+              if (dom->spares_granted != nullptr) {
+                dom->spares_granted->inc(static_cast<std::uint64_t>(granted));
+              }
+              if (dom->spares_denied != nullptr) {
+                dom->spares_denied->inc(static_cast<std::uint64_t>(denied));
+              }
+              if (dom->depot_level != nullptr) dom->depot_level->set(level);
+            });
+        break;
+      }
+    }
+  }
+  messages_exchanged_ += pending_.size();
+  pending_.clear();
+}
+
+void Campus::run_for(sim::Duration d, const Executor& exec) {
+  start();
+  const sim::TimePoint end = now_ + d;
+  if (!graph_.coupled()) {
+    // No trunks, no barriers: domains are fully independent and can run the
+    // whole span as one chunk (still parallelizable across shards).
+    run_chunk(end, exec);
+    now_ = end;
+    return;
+  }
+  while (now_ < end) {
+    const sim::TimePoint target = next_barrier_ < end ? next_barrier_ : end;
+    run_chunk(target, exec);
+    now_ = target;
+    if (now_ == next_barrier_) {
+      exchange(now_);
+      next_barrier_ = next_barrier_ + lookahead_;
+    }
+  }
+}
+
+std::uint64_t Campus::trace_hash() const {
+  std::string bytes;
+  bytes.resize(domains_.size() * sizeof(std::uint64_t));
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    const std::uint64_t h = domains_[i]->world->simulator().trace_hash();
+    std::memcpy(bytes.data() + i * sizeof h, &h, sizeof h);
+  }
+  return obs::fnv1a(bytes);
+}
+
+std::uint64_t Campus::events_processed() const {
+  std::uint64_t total = 0;
+  for (const std::unique_ptr<Domain>& d : domains_) {
+    total += d->world->simulator().events_processed();
+  }
+  return total;
+}
+
+std::vector<obs::SnapshotEntry> Campus::merged_snapshot() const {
+  std::vector<std::vector<obs::SnapshotEntry>> snaps;
+  snaps.reserve(domains_.size());
+  for (const std::unique_ptr<Domain>& d : domains_) {
+    if (const obs::Registry* reg = d->world->obs().metrics()) {
+      snaps.push_back(reg->snapshot());
+    }
+  }
+  return obs::merge_snapshots(snaps);
+}
+
+std::uint64_t Campus::metrics_hash() const {
+  const std::vector<obs::SnapshotEntry> merged = merged_snapshot();
+  return merged.empty() ? 0 : obs::snapshot_hash(merged);
+}
+
+void Campus::check_invariants() const {
+  for (const std::unique_ptr<Domain>& d : domains_) d->world->check_invariants();
+}
+
+}  // namespace smn::scenario

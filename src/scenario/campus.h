@@ -1,0 +1,226 @@
+// Campus: a sharded multi-fabric world.
+//
+// A Campus owns one *domain* per hall. Each domain is a complete World —
+// its own Simulator event queue, Network, fault injectors, ticket system,
+// technician/robot fleets, and obs registry — so nothing mutable is ever
+// shared between domains and each one can run on its own worker thread.
+// Cross-hall physics (inter-hall traffic flows, the shared spare depot with
+// campus-level grant arbitration) travel as messages exchanged at fixed
+// epoch barriers under the conservative-lookahead discipline of sim/epoch.h:
+//
+//   1. Epoch k: every domain runs its own event loop to the barrier,
+//      appending outbound messages to a private outbox. The executor may run
+//      domains on any threads in any order — they share no mutable state.
+//   2. Barrier k: each domain's outbox batch lands in the CrossShardMailbox
+//      (the only locked structure, annotated SMN_GUARDED_BY); the calling
+//      thread drains it and sorts by the canonical ExchangeKey
+//      (send time, source hall, per-source sequence), erasing every trace of
+//      thread timing from the order.
+//   3. Deliveries are scheduled into destination simulators in that sorted
+//      order. Lookahead = min cross-hall latency guarantees every delivery
+//      time is strictly after the barrier, so no domain ever receives an
+//      event in its past.
+//
+// Consequence (the property the shard-invariance CI gate enforces): per-hall
+// trace hashes, the campus trace hash, merged metrics snapshots, and sweep
+// JSON are byte-identical whether a replicate runs on 1, 2, or 4 shards —
+// the same invariance the sweep engine proves for jobs=1 vs jobs=4, pushed
+// down inside a single replicate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/mutex.h"
+#include "core/spare_pool.h"
+#include "core/thread_annotations.h"
+#include "net/domain.h"
+#include "obs/metrics.h"
+#include "scenario/world.h"
+#include "sim/epoch.h"
+#include "topology/campus.h"
+
+namespace smn::scenario {
+
+/// One cross-domain message. Plain data; `kind` selects the payload fields.
+struct CrossMessage {
+  enum class Kind : std::uint8_t {
+    kTraffic,       // inter-hall flow offered to dst's fabric
+    kSpareRequest,  // hall asks the shared depot for replacement units
+  };
+  Kind kind = Kind::kTraffic;
+  int src = -1;  // source hall
+  int dst = -1;  // destination hall; -1 = campus coordinator (spare depot)
+  sim::TimePoint sent;
+  std::uint64_t seq = 0;  // per-source sequence number; (src, seq) is unique
+  double gbps = 0.0;      // kTraffic: offered load
+  int spares = 0;         // kSpareRequest: units wanted
+
+  [[nodiscard]] sim::ExchangeKey key() const { return {sent, src, seq}; }
+};
+
+/// The cross-shard mailbox: domain workers post their epoch's outbox batch
+/// here as they reach the barrier; the coordinator drains it once all
+/// workers have joined. The only mutable state shared across shard threads,
+/// and therefore the only lock — annotated so the clang -Werror=thread-safety
+/// build proves every access holds it.
+class CrossShardMailbox {
+ public:
+  /// Appends a batch (possibly empty). Called by domain tasks on worker
+  /// threads at the end of each epoch chunk.
+  void post(std::vector<CrossMessage>&& batch) {
+    if (batch.empty()) return;
+    core::MutexLock lock{mu_};
+    pending_.insert(pending_.end(), std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+  }
+
+  /// Takes everything posted so far. Called by the coordinator between
+  /// epochs; arrival order is thread-timing-dependent, so callers must
+  /// re-sort by ExchangeKey before acting on the result.
+  [[nodiscard]] std::vector<CrossMessage> drain() {
+    core::MutexLock lock{mu_};
+    std::vector<CrossMessage> out;
+    out.swap(pending_);
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    core::MutexLock lock{mu_};
+    return pending_.size();
+  }
+
+ private:
+  mutable core::Mutex mu_;
+  std::vector<CrossMessage> pending_ SMN_GUARDED_BY(mu_);
+};
+
+struct CampusConfig {
+  /// Per-hall world configuration. `hall.seed` is the campus master seed;
+  /// hall i actually runs at domain_seed(hall.seed, i).
+  WorldConfig hall;
+  /// Inter-hall traffic: every `traffic_period`, each hall offers
+  /// `flows_per_tick` flows to each of its trunk peers. zero() disables.
+  sim::Duration traffic_period = sim::Duration::minutes(30);
+  int flows_per_tick = 2;
+  /// Mean offered load per flow (exponentially distributed).
+  double flow_gbps_mean = 40.0;
+  /// Spare audits: every period, a hall tallies faults injected since its
+  /// last audit and requests that many replacement units from the shared
+  /// depot; the campus coordinator arbitrates grants at the barrier.
+  /// zero() disables.
+  sim::Duration spare_audit_period = sim::Duration::hours(6);
+  core::SparePool::Config spare_pool;
+};
+
+/// Deterministic per-hall seed derivation (splitmix-style odd-constant
+/// stride): hall 0 runs at the campus seed itself, so a one-hall campus with
+/// coupling disabled is event-for-event the same simulation as a standalone
+/// World — the anchor of the differential test suite.
+[[nodiscard]] constexpr std::uint64_t domain_seed(std::uint64_t campus_seed, std::size_t hall) {
+  return campus_seed + 0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(hall);
+}
+
+class Campus {
+ public:
+  using Task = std::function<void()>;
+  /// Runs every task exactly once — on any threads, in any order — and
+  /// returns only after all of them completed. Null/default means run
+  /// sequentially on the calling thread (shards=1). runner::ShardPool
+  /// provides the threaded implementation.
+  using Executor = std::function<void(std::vector<Task>&)>;
+
+  Campus(const topology::CampusBlueprint& blueprint, CampusConfig cfg);
+
+  Campus(const Campus&) = delete;
+  Campus& operator=(const Campus&) = delete;
+
+  /// Starts all domains and schedules the cross-domain producers. Idempotent.
+  void start();
+
+  /// Runs the campus for `d` of simulated time. The executor (if any) is
+  /// invoked once per epoch chunk with one task per domain.
+  void run_for(sim::Duration d, const Executor& exec = {});
+
+  [[nodiscard]] std::size_t domain_count() const { return domains_.size(); }
+  [[nodiscard]] World& domain(std::size_t i) { return *domains_.at(i)->world; }
+  [[nodiscard]] const World& domain(std::size_t i) const { return *domains_.at(i)->world; }
+
+  [[nodiscard]] sim::TimePoint now() const { return now_; }
+  /// True when any cross-hall trunk exists; an uncoupled campus runs its
+  /// domains with no barriers and no extra scheduled events at all.
+  [[nodiscard]] bool coupled() const { return graph_.coupled(); }
+  /// The epoch length (min cross-hall trunk latency). Meaningful iff coupled.
+  [[nodiscard]] sim::Duration lookahead() const { return lookahead_; }
+
+  /// Campus trace hash: FNV-1a fold of the per-domain executed-event trace
+  /// hashes in hall order — byte-identical at any shard count.
+  [[nodiscard]] std::uint64_t trace_hash() const;
+  [[nodiscard]] std::uint64_t events_processed() const;
+
+  /// Merged obs snapshot across domains (values summed; empty when metrics
+  /// are disabled) and its hash — the campus-level metrics determinism
+  /// signal.
+  [[nodiscard]] std::vector<obs::SnapshotEntry> merged_snapshot() const;
+  [[nodiscard]] std::uint64_t metrics_hash() const;
+
+  [[nodiscard]] const core::SparePool& spare_pool() const { return spare_pool_; }
+  [[nodiscard]] std::uint64_t messages_exchanged() const { return messages_exchanged_; }
+  [[nodiscard]] std::uint64_t barriers_passed() const { return barriers_passed_; }
+
+  [[nodiscard]] const CampusConfig& config() const { return cfg_; }
+
+  /// Sweeps every domain's cross-component invariants.
+  void check_invariants() const;
+
+ private:
+  struct Domain {
+    int index = 0;
+    std::unique_ptr<World> world;
+    sim::RngStream traffic_rng;
+    /// Outbound messages accumulated during the current epoch. Touched only
+    /// by the one task running this domain; handed to the mailbox at the
+    /// chunk boundary.
+    std::vector<CrossMessage> outbox;
+    std::uint64_t next_seq = 1;
+    std::size_t faults_seen = 0;  // injector-log watermark for spare audits
+    // Campus-coupling instruments in this domain's registry (null when
+    // metrics are off).
+    obs::Counter* tx_flows = nullptr;
+    obs::Counter* rx_flows = nullptr;
+    obs::Counter* rx_degraded = nullptr;
+    obs::Histogram* rx_gbps = nullptr;
+    obs::Counter* spares_requested = nullptr;
+    obs::Counter* spares_granted = nullptr;
+    obs::Counter* spares_denied = nullptr;
+    obs::Gauge* depot_level = nullptr;
+
+    Domain(int idx, sim::RngStream rng) : index{idx}, traffic_rng{std::move(rng)} {}
+  };
+
+  void traffic_tick(Domain& d);
+  void spare_audit_tick(Domain& d);
+  /// Runs all domains to `target` through `exec`, posting outboxes.
+  void run_chunk(sim::TimePoint target, const Executor& exec);
+  /// Sorted-merge delivery of everything pending at barrier time `barrier`.
+  void exchange(sim::TimePoint barrier);
+
+  CampusConfig cfg_;
+  net::DomainGraph graph_;
+  sim::Duration lookahead_ = sim::Duration::max();
+  std::vector<std::unique_ptr<Domain>> domains_;
+  CrossShardMailbox mailbox_;
+  /// Messages drained from the mailbox but not yet at their barrier (a
+  /// run_for boundary can land mid-epoch). Coordinator-owned.
+  std::vector<CrossMessage> pending_;
+  core::SparePool spare_pool_;
+  sim::TimePoint now_;
+  sim::TimePoint next_barrier_;
+  std::uint64_t messages_exchanged_ = 0;
+  std::uint64_t barriers_passed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace smn::scenario

@@ -39,14 +39,17 @@
 //                --json BENCH_sweep.json
 //
 // Sweep flags (defaults in brackets):
-//   --preset availability|topologies|quick   [availability]
+//   --preset availability|topologies|quick|campus   [availability]
 //   --seeds N             replicates per cell                [8]
 //   --first-seed N                                           [1]
 //   --days N              simulated days per replicate       [30]
 //   --jobs J              worker threads, 0 = all cores      [0]
+//   --shards N            worker threads per campus replicate (one per hall
+//                         domain, epoch-barrier synchronized); results are
+//                         byte-identical at any value        [1]
 //   --json FILE           write the JSON report
 //   --no-timing           omit timing fields from the JSON so byte-level
-//                         diffs across jobs counts are meaningful
+//                         diffs across jobs and shards counts are meaningful
 //   --sample-traces       trace one replicate per cell (the lowest seed) and
 //                         embed its trace hash + file name in the JSON
 //   --trace-dir DIR       where --sample-traces writes the trace files  [.]
@@ -246,17 +249,19 @@ int run_sweep(const Args& args) {
   const auto seeds = static_cast<std::uint64_t>(args.geti("seeds", 8));
   const auto first_seed = static_cast<std::uint64_t>(args.geti("first-seed", 1));
   const int jobs = args.geti("jobs", 0);
+  const int shards = args.geti("shards", 1);
   const bool quiet = args.onoff("quiet", false);
 
   const runner::SweepSpec spec =
       runner::make_sweep(preset, sim::Duration::days(days), first_seed, seeds);
-  std::printf("sweep: preset %s, %zu cells x %llu seeds, %d days, jobs %s\n", preset.c_str(),
-              spec.cells.size(), static_cast<unsigned long long>(seeds), days,
-              jobs == 0 ? "auto" : std::to_string(jobs).c_str());
+  std::printf("sweep: preset %s, %zu cells x %llu seeds, %d days, jobs %s, shards %d\n",
+              preset.c_str(), spec.cells.size(), static_cast<unsigned long long>(seeds), days,
+              jobs == 0 ? "auto" : std::to_string(jobs).c_str(), shards < 1 ? 1 : shards);
 
   runner::SweepRunner sweeper;
   runner::SweepRunner::Options opts;
   opts.jobs = jobs;
+  opts.shards = shards;
   opts.sample_traces = args.onoff("sample-traces", false);
   if (!quiet) {
     opts.on_result = [&](const runner::ReplicateResult& r, std::size_t done,
