@@ -1,0 +1,226 @@
+// Event-engine micro-bench: the tracked perf numbers for the slot-arena
+// Simulator (sim/event_queue.h) and its SmallFn callback vehicle.
+//
+// Measures schedule->pop throughput, schedule->cancel churn (eager slot
+// reclaim), periodic-task tick rate, and the inline-vs-heap capture gap.
+// The hard gate is the allocation counter: after warm-up, scheduling and
+// executing workflow-style wakeups (16-byte captures, the fom pattern) must
+// perform ZERO heap allocations per event — that is the contract the
+// continuation scheduler is built on. A nonzero steady state exits 1 and
+// fails CI's bench-smoke job.
+//
+// Usage: bench_event_queue [events] [json_out=BENCH_event.json]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "runner/json_writer.h"
+#include "sim/callback.h"
+#include "sim/event_queue.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// Program-wide replacement so every heap allocation in the process is
+// counted; the gate measures deltas around the hot loops.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace smn;
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// Schedule `n` events with fom-sized (16-byte) captures and run them all;
+/// returns events/sec over the schedule+pop round trip.
+[[nodiscard]] double bench_schedule_pop(int n) {
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    sim.schedule_after(sim::Duration::seconds(1.0 + i % 977), [&sink, i] {
+      sink += static_cast<std::uint64_t>(i);
+    });
+  }
+  sim.run();
+  const double dt = seconds_since(t0);
+  if (sink == 0xdeadbeef) std::abort();  // keep the work observable
+  return static_cast<double>(n) / dt;
+}
+
+/// Schedule-then-cancel churn: every slot is acquired, tombstoned, and
+/// eagerly reclaimed. Returns (schedule+cancel) pairs/sec.
+[[nodiscard]] double bench_schedule_cancel(int n) {
+  sim::Simulator sim;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    const sim::EventId id =
+        sim.schedule_after(sim::Duration::seconds(1.0 + i % 977), [] {});
+    sim.cancel(id);
+  }
+  const double dt = seconds_since(t0);
+  sim.run();
+  return static_cast<double>(n) / dt;
+}
+
+/// `tasks` periodic timers ticking through `sim_hours` of simulated time —
+/// the telemetry/injector cadence pattern. Returns ticks/sec of wall time.
+[[nodiscard]] double bench_periodic_churn(int tasks, double sim_hours) {
+  sim::Simulator sim;
+  std::uint64_t ticks = 0;
+  std::vector<sim::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(tasks));
+  for (int i = 0; i < tasks; ++i) {
+    ids.push_back(sim.schedule_every(sim::Duration::minutes(1.0 + i % 7),
+                                     [&ticks] { ++ticks; }));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(sim::TimePoint{} + sim::Duration::hours(sim_hours));
+  const double dt = seconds_since(t0);
+  for (const sim::EventId id : ids) sim.cancel_periodic(id);
+  sim.run();
+  return static_cast<double>(ticks) / dt;
+}
+
+/// Events/sec when every capture exceeds the inline budget (forced heap
+/// fallback) — the gap against bench_schedule_pop is what the SBO buys.
+[[nodiscard]] double bench_heap_capture(int n) {
+  struct Fat {
+    char bytes[sim::kSmallFnInlineBytes + 8] = {};
+  };
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) {
+    sim.schedule_after(sim::Duration::seconds(1.0 + i % 977),
+                       [&sink, fat = Fat{}] { sink += fat.bytes[0] + 1; });
+  }
+  sim.run();
+  const double dt = seconds_since(t0);
+  if (sink == 0xdeadbeef) std::abort();
+  return static_cast<double>(n) / dt;
+}
+
+/// The gate: steady-state allocations per workflow wakeup. Warm-up grows the
+/// arena and heap to their working size; afterwards, schedule/execute and
+/// schedule/cancel cycles with fom-sized captures must not touch the heap.
+struct AllocProbe {
+  double allocs_per_event = -1.0;
+  std::uint64_t total_allocs = 0;
+  std::uint64_t events = 0;
+};
+
+[[nodiscard]] AllocProbe bench_steady_state_allocs(int rounds, int batch) {
+  sim::Simulator sim;
+  std::uint64_t sink = 0;
+  std::vector<sim::EventId> cancels;  // capacity reached in warm-up, then reused
+  auto one_round = [&] {
+    cancels.clear();
+    for (int i = 0; i < batch; ++i) {
+      // The fom wakeup shape: one pointer + one index, well inside the
+      // inline budget.
+      sim.schedule_after(sim::Duration::seconds(60.0 + i), [&sink, i] {
+        sink += static_cast<std::uint64_t>(i);
+      });
+      cancels.push_back(
+          sim.schedule_after(sim::Duration::seconds(90.0 + i), [&sink, i] {
+            sink += static_cast<std::uint64_t>(i) * 3;
+          }));
+    }
+    // Half the pending work is cancelled (re-armed wakeups), half executes —
+    // then the round drains fully so every round sees the same working set.
+    for (const sim::EventId id : cancels) sim.cancel(id);
+    sim.run_until(sim.now() + sim::Duration::hours(2.0));
+  };
+  one_round();  // warm-up: arena, heap, and cancels vector reach working size
+
+  AllocProbe probe;
+  const std::uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  for (int r = 0; r < rounds; ++r) one_round();
+  probe.total_allocs = g_allocs.load(std::memory_order_relaxed) - before;
+  probe.events = static_cast<std::uint64_t>(rounds) * 2 * static_cast<std::uint64_t>(batch);
+  probe.allocs_per_event =
+      static_cast<double>(probe.total_allocs) / static_cast<double>(probe.events);
+  if (sink == 0xdeadbeef) std::abort();
+  return probe;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using analysis::Table;
+  const int events = argc > 1 ? std::atoi(argv[1]) : 2000000;
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_event.json";
+
+  std::printf("EVENT ENGINE: slot-arena simulator micro-bench\n");
+  std::printf("  every workflow wakeup in every experiment goes through this queue;\n");
+  std::printf("  CI tracks events/sec and gates on zero steady-state allocations\n\n");
+
+  const double pop_eps = bench_schedule_pop(events);
+  const double cancel_ops = bench_schedule_cancel(events);
+  const double periodic_tps = bench_periodic_churn(64, 48.0);
+  const double heap_eps = bench_heap_capture(events);
+  const AllocProbe probe = bench_steady_state_allocs(32, 4096);
+
+  Table table{{"benchmark", "rate", "unit"}};
+  table.add_row({"schedule+pop (16B capture)", Table::num(pop_eps, 0), "events/s"});
+  table.add_row({"schedule+cancel churn", Table::num(cancel_ops, 0), "pairs/s"});
+  table.add_row({"periodic ticks (64 timers)", Table::num(periodic_tps, 0), "ticks/s"});
+  table.add_row({"schedule+pop (heap capture)", Table::num(heap_eps, 0), "events/s"});
+  table.add_row({"SBO speedup", Table::num(heap_eps > 0 ? pop_eps / heap_eps : 0.0, 2), "x"});
+  table.add_row({"steady-state allocations", Table::num(probe.allocs_per_event, 6),
+                 "allocs/event"});
+  table.print(std::cout);
+  std::printf("\nSmallFn: %zu bytes total, %zu-byte inline buffer\n", sizeof(sim::SmallFn),
+              sim::kSmallFnInlineBytes);
+
+  {
+    runner::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "smn-bench-event-v1");
+    w.kv("events", events);
+    w.kv("schedule_pop_events_per_sec", pop_eps);
+    w.kv("schedule_cancel_pairs_per_sec", cancel_ops);
+    w.kv("periodic_ticks_per_sec", periodic_tps);
+    w.kv("heap_capture_events_per_sec", heap_eps);
+    w.kv("sbo_speedup", heap_eps > 0 ? pop_eps / heap_eps : 0.0);
+    w.kv("steady_state_allocs_per_event", probe.allocs_per_event);
+    w.kv("steady_state_alloc_total", static_cast<double>(probe.total_allocs));
+    w.kv("steady_state_events", static_cast<double>(probe.events));
+    w.kv("smallfn_bytes", static_cast<double>(sizeof(sim::SmallFn)));
+    w.kv("smallfn_inline_budget", static_cast<double>(sim::kSmallFnInlineBytes));
+    w.end_object();
+    std::ofstream out{json_path};
+    out << w.str() << "\n";
+    std::printf("report written to %s\n", json_path);
+  }
+
+  if (probe.total_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocations across %llu steady-state events — workflow "
+                 "wakeups must be allocation-free\n",
+                 static_cast<unsigned long long>(probe.total_allocs),
+                 static_cast<unsigned long long>(probe.events));
+    return 1;
+  }
+  return 0;
+}

@@ -31,7 +31,54 @@ MaintenanceController::MaintenanceController(net::Network& net,
       traits_{traits(cfg.level)},
       escalation_{cfg.escalation},
       migrator_{net},
+      fom_engine_{net.simulator()},
       supervisors_free_{cfg.supervisors} {}
+
+MaintenanceController::HopFom& MaintenanceController::acquire_hop() {
+  if (!hop_free_.empty()) {
+    HopFom* f = hop_free_.back();
+    hop_free_.pop_back();
+    return *f;
+  }
+  hop_foms_.push_back(std::make_unique<HopFom>(*this));
+  return *hop_foms_.back();
+}
+
+void MaintenanceController::HopFom::begin_verify(int ticket_id, sim::TimePoint at) {
+  ticket_id_ = ticket_id;
+  set_phase(kVerify);
+  engine().wake_at(*this, at);
+}
+
+void MaintenanceController::HopFom::begin_deferred(int ticket_id,
+                                                   const EscalationDecision& decision,
+                                                   sim::TimePoint at) {
+  ticket_id_ = ticket_id;
+  decision_ = decision;
+  set_phase(kDeferredDispatch);
+  engine().wake_at(*this, at);
+}
+
+void MaintenanceController::HopFom::begin_retry(int ticket_id, sim::TimePoint at) {
+  ticket_id_ = ticket_id;
+  set_phase(kRetryPlan);
+  engine().wake_at(*this, at);
+}
+
+sim::Fom::Tick MaintenanceController::HopFom::tick() {
+  switch (phase()) {
+    case kVerify: ctl_.verify_ticket(ticket_id_); break;
+    case kDeferredDispatch: ctl_.dispatch(ticket_id_, decision_); break;
+    case kRetryPlan: ctl_.plan(ticket_id_); break;
+    default: break;
+  }
+  return Tick::kDone;
+}
+
+void MaintenanceController::HopFom::on_done() {
+  ticket_id_ = -1;
+  ctl_.hop_free_.push_back(this);
+}
 
 void MaintenanceController::start() {
   if (started_) return;
@@ -53,6 +100,7 @@ void MaintenanceController::set_obs(obs::Obs* o) {
     obs_human_escalations_ = reg->counter("controller_human_escalations_total");
     obs_robot_dispatch_ = reg->counter("controller_robot_dispatch_total");
     obs_technician_dispatch_ = reg->counter("controller_technician_dispatch_total");
+    fom_engine_.set_obs(reg->counter("sim_wakeups_ticket_total"));
   }
   obs_trace_ = o->trace();
   obs_recorder_ = o->recorder();
@@ -85,25 +133,26 @@ void MaintenanceController::on_detection(const telemetry::Detection& d) {
   // prove the episode is over before rolling hardware. Critical links get a
   // quarter of the normal delay — the workload is stalled while we wait.
   if (traits_.verify_before_dispatch && d.kind != telemetry::IssueKind::kDown) {
-    const int ticket_id = *id;
     const sim::Duration delay = critical ? cfg_.verify_delay / 4.0 : cfg_.verify_delay;
-    net_.simulator().schedule_after(delay, [this, ticket_id] {
-      const Ticket& t = tickets_.ticket(ticket_id);
-      if (t.state != TicketState::kOpen) return;
-      if (link_recovered(t.link)) {
-        tickets_.mark_cancelled(ticket_id, net_.now(), "verified transient");
-        detection_.clear(t.link);
-        ++verified_transients_;
-        if (obs_verified_transients_ != nullptr) obs_verified_transients_->inc();
-        SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
-            "verified-transient", "controller", net_.now(), "ticket", ticket_id));
-        return;
-      }
-      plan(ticket_id);
-    });
+    acquire_hop().begin_verify(*id, net_.now() + delay);
     return;
   }
   plan(*id);
+}
+
+void MaintenanceController::verify_ticket(int ticket_id) {
+  const Ticket& t = tickets_.ticket(ticket_id);
+  if (t.state != TicketState::kOpen) return;
+  if (link_recovered(t.link)) {
+    tickets_.mark_cancelled(ticket_id, net_.now(), "verified transient");
+    detection_.clear(t.link);
+    ++verified_transients_;
+    if (obs_verified_transients_ != nullptr) obs_verified_transients_->inc();
+    SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->instant(
+        "verified-transient", "controller", net_.now(), "ticket", ticket_id));
+    return;
+  }
+  plan(ticket_id);
 }
 
 bool MaintenanceController::link_recovered(net::LinkId id) const {
@@ -141,9 +190,7 @@ void MaintenanceController::plan(int ticket_id) {
       if (obs_recorder_ != nullptr) {
         obs_recorder_->record(net_.now().count_us(), "defer", ticket_id, bounded.count_us());
       }
-      net_.simulator().schedule_at(bounded, [this, ticket_id, decision] {
-        dispatch(ticket_id, decision);
-      });
+      acquire_hop().begin_deferred(ticket_id, decision, bounded);
       return;
     }
   }
@@ -248,8 +295,7 @@ void MaintenanceController::on_report(int ticket_id, const JobReport& report,
       execute(ticket_id, report.job, false);
     } else {
       // L4: retry autonomously after a short reposition delay.
-      net_.simulator().schedule_after(sim::Duration::minutes(10),
-                                      [this, ticket_id] { plan(ticket_id); });
+      acquire_hop().begin_retry(ticket_id, net_.now() + sim::Duration::minutes(10));
     }
     return;
   }

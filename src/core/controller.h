@@ -14,6 +14,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -28,6 +29,7 @@
 #include "maintenance/ticket.h"
 #include "obs/obs.h"
 #include "robotics/fleet.h"
+#include "sim/fom.h"
 #include "telemetry/monitor.h"
 #include "telemetry/predictor.h"
 
@@ -120,6 +122,28 @@ class MaintenanceController {
   void set_obs(obs::Obs* o);
 
  private:
+  /// One pending control-plane timer for a ticket: transient verification,
+  /// deferred dispatch at the next low-utilization window, or an L4
+  /// autonomous retry. Pooled and recycled, so each hop is a single
+  /// 16-byte inline-capture wakeup instead of a heap-allocated closure.
+  class HopFom final : public sim::Fom {
+   public:
+    enum Phase : int { kVerify = 0, kDeferredDispatch = 1, kRetryPlan = 2 };
+    explicit HopFom(MaintenanceController& ctl) : sim::Fom(ctl.fom_engine_), ctl_(ctl) {}
+    void begin_verify(int ticket_id, sim::TimePoint at);
+    void begin_deferred(int ticket_id, const EscalationDecision& decision, sim::TimePoint at);
+    void begin_retry(int ticket_id, sim::TimePoint at);
+
+   private:
+    Tick tick() override;
+    void on_done() override;
+
+    MaintenanceController& ctl_;
+    int ticket_id_ = -1;
+    EscalationDecision decision_{};
+    friend class MaintenanceController;
+  };
+
   void on_detection(const telemetry::Detection& d);
   /// Chooses the next rung and performer for a ticket and dispatches it.
   void plan(int ticket_id);
@@ -133,6 +157,8 @@ class MaintenanceController {
   void open_proactive(net::LinkId link, maintenance::RepairActionKind kind, int end);
   void acquire_supervisor(std::function<void()> then);
   void release_supervisor();
+  [[nodiscard]] HopFom& acquire_hop();
+  void verify_ticket(int ticket_id);
 
   net::Network& net_;
   telemetry::DetectionEngine& detection_;
@@ -145,6 +171,9 @@ class MaintenanceController {
   LevelTraits traits_;
   EscalationPolicy escalation_;
   LoadMigrator migrator_;
+  sim::FomEngine fom_engine_;
+  std::vector<std::unique_ptr<HopFom>> hop_foms_;  // all hop foms ever created
+  std::vector<HopFom*> hop_free_;                  // recycled, ready for reuse
   const telemetry::LogisticPredictor* predictor_ = nullptr;
 
   /// Reseat-resolutions per switch, for the §4 switch-wide heuristic.

@@ -14,6 +14,7 @@ TechnicianPool::TechnicianPool(net::Network& net, fault::CascadeModel& cascade,
       contamination_{contamination},
       rng_{std::move(rng)},
       cfg_{cfg},
+      fom_engine_{net.simulator()},
       idle_{cfg.technicians} {}
 
 void TechnicianPool::set_obs(obs::Obs* o) {
@@ -25,6 +26,7 @@ void TechnicianPool::set_obs(obs::Obs* o) {
     // the normal-priority lognormal dispatch delay.
     obs_job_hours_ =
         reg->histogram("technician_job_hours", {1.0, 4.0, 12.0, 24.0, 48.0, 96.0});
+    fom_engine_.set_obs(reg->counter("sim_wakeups_technician_total"));
   }
   obs_trace_ = o->trace();
   obs_recorder_ = o->recorder();
@@ -75,6 +77,16 @@ net::DeviceId TechnicianPool::work_site(const Job& job) const {
   return job.end == 0 ? l.end_a.device : l.end_b.device;
 }
 
+TechnicianPool::JobFom& TechnicianPool::acquire_fom() {
+  if (!fom_free_.empty()) {
+    JobFom* f = fom_free_.back();
+    fom_free_.pop_back();
+    return *f;
+  }
+  foms_.push_back(std::make_unique<JobFom>(*this));
+  return *foms_.back();
+}
+
 void TechnicianPool::run(Pending p) {
   const double dispatch_hours =
       p.job.high_priority
@@ -93,8 +105,105 @@ void TechnicianPool::run(Pending p) {
   const sim::TimePoint start = net_.now() + dispatch + travel;
   const sim::TimePoint finish = start + hands_on;
 
-  // Physical contact happens at start-of-work: that is when neighbours get
-  // disturbed, not when the ticket closes.
+  if (!cfg_.use_fom) {
+    run_legacy(std::move(p), site, start, finish, travel, hands_on);
+    return;
+  }
+  JobFom& f = acquire_fom();
+  f.begin(std::move(p), site, start, finish, travel, hands_on);
+}
+
+void TechnicianPool::JobFom::begin(Pending p, net::DeviceId site, sim::TimePoint start,
+                                   sim::TimePoint finish, sim::Duration travel,
+                                   sim::Duration hands_on) {
+  p_ = std::move(p);
+  site_ = site;
+  start_ = start;
+  finish_ = finish;
+  travel_ = travel;
+  hands_on_ = hands_on;
+  induced_ = 0;
+  set_phase(kStart);
+  engine().wake_at(*this, start_);
+}
+
+sim::Fom::Tick TechnicianPool::JobFom::tick() {
+  switch (phase()) {
+    case kStart: {
+      // Arm the finish wakeup before any side effect: the presence lock
+      // schedules the fleet's row-unlock recheck, and when the lock expiry
+      // coincides exactly with the finish time the finish must keep its
+      // earlier insertion order (as it did when both were scheduled at
+      // dispatch time).
+      set_phase(kFinish);
+      engine().wake_at(*this, finish_);
+      // Physical contact happens at start-of-work: that is when neighbours
+      // get disturbed, not when the ticket closes.
+      if (pool_.presence_) {
+        pool_.presence_(pool_.net_.device(site_).location, hands_on_);
+      }
+      if (p_.job.on_work_start) p_.job.on_work_start();
+      fault::Disturbance d;
+      d.target = p_.job.link;
+      d.at_device = site_;
+      d.magnitude = pool_.cfg_.disturbance;
+      d.full_route = p_.job.kind == RepairActionKind::kReplaceCable;
+      induced_ = pool_.cascade_.apply(d).size();
+      return Tick::kWait;
+    }
+    case kFinish:
+      pool_.finish_job(*this);
+      return Tick::kDone;
+    default: break;
+  }
+  return Tick::kDone;
+}
+
+void TechnicianPool::JobFom::on_done() {
+  p_ = Pending{};  // release the captured callback/job state eagerly
+  pool_.fom_free_.push_back(this);
+}
+
+void TechnicianPool::finish_job(JobFom& f) {
+  WorkQuality q = cfg_.quality;
+  if (cfg_.assist_factor < 1.0) q.botch_probability *= 0.5;  // Level-1 tooling
+  const ActionResult r =
+      apply_action(net_, contamination_, rng_, f.p_.job.link, f.p_.job.end, f.p_.job.kind, q);
+  JobReport report;
+  report.job = f.p_.job;
+  report.performed = r.performed;
+  report.botched = r.botched;
+  report.measured_contamination = r.measured_contamination;
+  report.enqueued = f.p_.enqueued;
+  report.started = f.start_;
+  report.finished = f.finish_;
+  report.performer = "technician";
+  report.induced_faults = f.induced_;
+  labor_hours_ += (f.travel_ + f.hands_on_).to_hours();
+  ++completed_;
+  ++by_kind_[static_cast<int>(f.p_.job.kind)];
+  ++idle_;
+  if (obs_jobs_ != nullptr) {
+    obs_jobs_->inc();
+    if (r.botched) obs_botched_->inc();
+    obs_job_hours_->observe((f.finish_ - f.p_.enqueued).to_hours());
+  }
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->complete(
+      to_string(f.p_.job.kind), "technician", f.start_, f.finish_, "ticket", f.p_.job.ticket_id,
+      "botched", r.botched ? 1 : 0));
+  if (obs_recorder_ != nullptr) {
+    obs_recorder_->record(f.finish_.count_us(), "technician-job", f.p_.job.ticket_id,
+                          static_cast<std::int64_t>(f.p_.job.kind));
+  }
+  if (f.p_.cb) f.p_.cb(report);
+  try_dispatch();
+}
+
+void TechnicianPool::run_legacy(Pending p, net::DeviceId site, sim::TimePoint start,
+                                sim::TimePoint finish, sim::Duration travel,
+                                sim::Duration hands_on) {
+  // Reference semantics for the differential oracle: both job events are
+  // scheduled at dispatch time, capturing the whole job state by value.
   auto induced = std::make_shared<std::size_t>(0);
   net_.simulator().schedule_at(start, [this, job = p.job, site, induced, hands_on] {
     if (presence_) presence_(net_.device(site).location, hands_on);

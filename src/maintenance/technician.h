@@ -5,9 +5,17 @@
 // scheduling delay (the dominant term), walking travel, hands-on action
 // time, human error, and the full-magnitude physical disturbance that makes
 // technician activity the classic cascade trigger (§1).
+//
+// Job lifecycles run as pooled `JobFom` state machines (sim/fom.h): one
+// wakeup at work-start (presence lock + disturbance), one at finish — the
+// job state lives in the recycled fom object, so each wakeup is a 16-byte
+// inline-capture queue entry instead of a heap-allocated closure. The
+// pre-fom implementation is kept behind `Config::use_fom = false` as the
+// reference semantics for the differential oracle test.
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "fault/cascade.h"
@@ -15,6 +23,7 @@
 #include "maintenance/actions.h"
 #include "net/network.h"
 #include "obs/obs.h"
+#include "sim/fom.h"
 #include "sim/rng.h"
 
 namespace smn::maintenance {
@@ -47,6 +56,9 @@ class TechnicianPool {
     /// Tool-assist factor (automation Level 1): scales hands-on durations
     /// and halves botch probability when < 1.
     double assist_factor = 1.0;
+    /// Run jobs as pooled state machines (allocation-free wakeups). The
+    /// legacy callback scheduling is retained as the oracle reference.
+    bool use_fom = true;
   };
 
   TechnicianPool(net::Network& net, fault::CascadeModel& cascade,
@@ -75,8 +87,9 @@ class TechnicianPool {
   }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
-  /// Wires observability: technician job counters/hours and per-job trace
-  /// spans. RNG draws are untouched, so schedules are identical with obs off.
+  /// Wires observability: technician job counters/hours, per-job trace
+  /// spans, and the fom wakeup counter. RNG draws are untouched, so
+  /// schedules are identical with obs off.
   void set_obs(obs::Obs* o);
 
  private:
@@ -86,8 +99,37 @@ class TechnicianPool {
     sim::TimePoint enqueued;
   };
 
+  /// One in-flight technician job: dispatched -> working (wakeup at start,
+  /// disturbance + presence lock) -> finished (wakeup at finish, apply the
+  /// action and report). Recycled through `fom_free_` between jobs.
+  class JobFom final : public sim::Fom {
+   public:
+    enum Phase : int { kStart = 0, kFinish = 1 };
+    explicit JobFom(TechnicianPool& pool) : sim::Fom(pool.fom_engine_), pool_(pool) {}
+    void begin(Pending p, net::DeviceId site, sim::TimePoint start, sim::TimePoint finish,
+               sim::Duration travel, sim::Duration hands_on);
+
+   private:
+    Tick tick() override;
+    void on_done() override;
+
+    TechnicianPool& pool_;
+    Pending p_;
+    net::DeviceId site_{};
+    sim::TimePoint start_;
+    sim::TimePoint finish_;
+    sim::Duration travel_{};
+    sim::Duration hands_on_{};
+    std::size_t induced_ = 0;
+    friend class TechnicianPool;
+  };
+
   void try_dispatch();
   void run(Pending p);
+  void run_legacy(Pending p, net::DeviceId site, sim::TimePoint start, sim::TimePoint finish,
+                  sim::Duration travel, sim::Duration hands_on);
+  void finish_job(JobFom& f);
+  [[nodiscard]] JobFom& acquire_fom();
   [[nodiscard]] double hands_on_minutes(RepairActionKind kind);
   [[nodiscard]] net::DeviceId work_site(const Job& job) const;
 
@@ -96,6 +138,9 @@ class TechnicianPool {
   fault::ContaminationProcess* contamination_;
   sim::RngStream rng_;
   Config cfg_;
+  sim::FomEngine fom_engine_;
+  std::vector<std::unique_ptr<JobFom>> foms_;    // all job foms ever created
+  std::vector<JobFom*> fom_free_;                // recycled, ready for reuse
   std::deque<Pending> queue_;
   int idle_;
   std::size_t completed_ = 0;

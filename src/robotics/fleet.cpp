@@ -32,7 +32,8 @@ RobotFleet::RobotFleet(net::Network& net, fault::CascadeModel& cascade,
       rng_{std::move(rng)},
       cfg_{std::move(cfg)},
       manipulator_{cfg_.manipulator},
-      cleaner_{cfg_.cleaner} {
+      cleaner_{cfg_.cleaner},
+      fom_engine_{net.simulator()} {
   for (const RobotUnitSpec& spec : cfg_.units) {
     units_.push_back(Unit{spec, spec.home, false, true});
   }
@@ -141,6 +142,7 @@ void RobotFleet::set_obs(obs::Obs* o) {
     // Robot jobs are minutes-to-hours: travel along the gantry plus the
     // §3.2/§3.3 manipulation sequence.
     obs_job_hours_ = reg->histogram("robot_job_hours", {0.25, 0.5, 1.0, 2.0, 4.0, 12.0});
+    fom_engine_.set_obs(reg->counter("sim_wakeups_robot_total"));
   }
   obs_trace_ = o->trace();
   obs_recorder_ = o->recorder();
@@ -190,8 +192,23 @@ void RobotFleet::lock_row(const topology::RackLocation& row, sim::Duration durat
   const sim::TimePoint until = net_.now() + duration;
   auto& expiry = row_locks_[key];
   if (until > expiry) expiry = until;
-  // Re-check the queue when the lockout lifts.
-  net_.simulator().schedule_at(until, [this] { try_dispatch(); });
+  if (!cfg_.use_fom) {
+    // Reference semantics: one re-check per lock_row call. Superseded checks
+    // fire while the row is still locked and find nothing new to dispatch.
+    net_.simulator().schedule_at(until, [this] { try_dispatch(); });
+    return;
+  }
+  // One armed re-check per row, at the latest expiry. Extending the lockout
+  // cancels the superseded event (its captured state is reclaimed eagerly)
+  // instead of leaving a trail of no-op wakeups.
+  RowRecheck& arm = row_rechecks_[key];
+  if (arm.event != sim::kInvalidEvent && arm.at >= until) return;
+  if (arm.event != sim::kInvalidEvent) net_.simulator().cancel(arm.event);
+  arm.at = until;
+  arm.event = net_.simulator().schedule_at(until, [this, key] {
+    row_rechecks_[key].event = sim::kInvalidEvent;
+    try_dispatch();
+  });
 }
 
 bool RobotFleet::row_locked(const topology::RackLocation& loc) const {
@@ -305,6 +322,120 @@ void RobotFleet::run(std::size_t unit_index, Pending p) {
   const sim::TimePoint start = net_.now() + travel;
   const sim::TimePoint finish = start + work;
 
+  if (!cfg_.use_fom) {
+    run_legacy(unit_index, std::move(p), start, finish, travel, work, success, quality);
+    return;
+  }
+  JobFom& f = acquire_fom();
+  f.begin(unit_index, std::move(p), start, finish, travel, work, success, quality);
+}
+
+RobotFleet::JobFom& RobotFleet::acquire_fom() {
+  if (!fom_free_.empty()) {
+    JobFom* f = fom_free_.back();
+    fom_free_.pop_back();
+    return *f;
+  }
+  foms_.push_back(std::make_unique<JobFom>(*this));
+  return *foms_.back();
+}
+
+void RobotFleet::JobFom::begin(std::size_t unit_index, Pending p, sim::TimePoint start,
+                               sim::TimePoint finish, sim::Duration travel, sim::Duration work,
+                               bool success, maintenance::WorkQuality quality) {
+  unit_index_ = unit_index;
+  p_ = std::move(p);
+  start_ = start;
+  finish_ = finish;
+  travel_ = travel;
+  work_ = work;
+  success_ = success;
+  quality_ = quality;
+  induced_ = 0;
+  set_phase(kStart);
+  engine().wake_at(*this, start_);
+}
+
+sim::Fom::Tick RobotFleet::JobFom::tick() {
+  switch (phase()) {
+    case kStart: {
+      // Arm the finish wakeup before any side effect so it keeps the
+      // insertion order it had when both events were scheduled at dispatch.
+      set_phase(kFinish);
+      engine().wake_at(*this, finish_);
+      if (p_.job.on_work_start) p_.job.on_work_start();
+      const net::Link& link = fleet_.net_.link(p_.job.link);
+      fault::Disturbance d;
+      d.target = p_.job.link;
+      d.at_device = p_.job.end == 0 ? link.end_a.device : link.end_b.device;
+      d.magnitude = fleet_.cfg_.disturbance;
+      d.full_route = p_.job.kind == RepairActionKind::kReplaceCable;
+      induced_ = fleet_.cascade_.apply(d).size();
+      return Tick::kWait;
+    }
+    case kFinish:
+      fleet_.finish_job(*this);
+      return Tick::kDone;
+    default: break;
+  }
+  return Tick::kDone;
+}
+
+void RobotFleet::JobFom::on_done() {
+  p_ = Pending{};  // release the captured callback/job state eagerly
+  fleet_.fom_free_.push_back(this);
+}
+
+void RobotFleet::finish_job(JobFom& f) {
+  JobReport report;
+  report.job = f.p_.job;
+  report.enqueued = f.p_.enqueued;
+  report.started = f.start_;
+  report.finished = f.finish_;
+  report.induced_faults = f.induced_;
+  if (f.success_) {
+    const maintenance::ActionResult r = apply_action(net_, contamination_, rng_, f.p_.job.link,
+                                                     f.p_.job.end, f.p_.job.kind, f.quality_);
+    report.performed = r.performed;
+    report.botched = r.botched;
+    report.measured_contamination = r.measured_contamination;
+    report.performer = "robot";
+  } else {
+    // Grasp or verification failure: partial cleaning still counts, then
+    // the unit "requests human support" (§3.3.2).
+    if (f.p_.job.kind == RepairActionKind::kClean && f.quality_.clean_effectiveness > 0.0) {
+      (void)apply_action(net_, contamination_, rng_, f.p_.job.link, f.p_.job.end,
+                         RepairActionKind::kClean, f.quality_);
+    }
+    report.performed = false;
+    report.performer = "robot-escalate";
+    ++escalations_;
+    if (obs_escalations_ != nullptr) obs_escalations_->inc();
+  }
+  busy_hours_ += (f.travel_ + f.work_).to_hours();
+  ++completed_;
+  if (report.performed) ++by_kind_[static_cast<int>(f.p_.job.kind)];
+  if (obs_jobs_ != nullptr) {
+    obs_jobs_->inc();
+    obs_job_hours_->observe((f.travel_ + f.work_).to_hours());
+  }
+  SMN_TRACE_STMT(if (obs_trace_ != nullptr) obs_trace_->complete(
+      to_string(f.p_.job.kind), "robot", f.start_, f.finish_, "ticket", f.p_.job.ticket_id,
+      "performed", report.performed ? 1 : 0));
+  if (obs_recorder_ != nullptr) {
+    obs_recorder_->record(f.finish_.count_us(), "robot-job", f.p_.job.ticket_id,
+                          static_cast<std::int64_t>(f.p_.job.kind));
+  }
+  release_unit(f.unit_index_);
+  if (f.p_.cb) f.p_.cb(report);
+  try_dispatch();
+}
+
+void RobotFleet::run_legacy(std::size_t unit_index, Pending p, sim::TimePoint start,
+                            sim::TimePoint finish, sim::Duration travel, sim::Duration work,
+                            bool success, maintenance::WorkQuality quality) {
+  // Reference semantics for the differential oracle: both job events are
+  // scheduled at dispatch time, capturing the whole job state by value.
   auto induced = std::make_shared<std::size_t>(0);
   net_.simulator().schedule_at(start, [this, job = p.job, induced] {
     if (job.on_work_start) job.on_work_start();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 #include "obs/obs.h"
 #include "robotics/cleaner.h"
 #include "robotics/manipulator.h"
+#include "sim/fom.h"
 #include "sim/rng.h"
 
 namespace smn::robotics {
@@ -71,6 +73,10 @@ class RobotFleet {
     bool can_replace_device = false;
     /// Fixed seconds to hand a module between manipulator and cleaning unit.
     double transfer_s = 20.0;
+    /// Run jobs as pooled state machines with one coalesced row-unlock
+    /// recheck per row (allocation-free wakeups). The legacy callback
+    /// scheduling is retained as the oracle reference.
+    bool use_fom = true;
   };
 
   RobotFleet(net::Network& net, fault::CascadeModel& cascade,
@@ -129,6 +135,40 @@ class RobotFleet {
     sim::TimePoint enqueued;
   };
 
+  /// One in-flight robot job: dispatched -> working (wakeup at start,
+  /// disturbance) -> finished (wakeup at finish, apply/escalate and report).
+  /// The sampled action timeline lives in the recycled fom object, so each
+  /// wakeup is a 16-byte inline-capture queue entry.
+  class JobFom final : public sim::Fom {
+   public:
+    enum Phase : int { kStart = 0, kFinish = 1 };
+    explicit JobFom(RobotFleet& fleet) : sim::Fom(fleet.fom_engine_), fleet_(fleet) {}
+    void begin(std::size_t unit_index, Pending p, sim::TimePoint start, sim::TimePoint finish,
+               sim::Duration travel, sim::Duration work, bool success,
+               maintenance::WorkQuality quality);
+
+   private:
+    Tick tick() override;
+    void on_done() override;
+
+    RobotFleet& fleet_;
+    std::size_t unit_index_ = 0;
+    Pending p_;
+    sim::TimePoint start_;
+    sim::TimePoint finish_;
+    sim::Duration travel_{};
+    sim::Duration work_{};
+    bool success_ = true;
+    maintenance::WorkQuality quality_{};
+    std::size_t induced_ = 0;
+    friend class RobotFleet;
+  };
+
+  struct RowRecheck {
+    sim::EventId event = sim::kInvalidEvent;
+    sim::TimePoint at;
+  };
+
   [[nodiscard]] bool unit_covers(const Unit& u, const topology::RackLocation& loc) const;
   [[nodiscard]] sim::Duration travel_time(const Unit& u,
                                           const topology::RackLocation& to) const;
@@ -138,6 +178,11 @@ class RobotFleet {
 
   void try_dispatch();
   void run(std::size_t unit_index, Pending p);
+  void run_legacy(std::size_t unit_index, Pending p, sim::TimePoint start,
+                  sim::TimePoint finish, sim::Duration travel, sim::Duration work,
+                  bool success, maintenance::WorkQuality quality);
+  void finish_job(JobFom& f);
+  [[nodiscard]] JobFom& acquire_fom();
   void release_unit(std::size_t unit_index);
   void report_immediate(const Pending& p, const char* performer);
   void restock();
@@ -149,10 +194,17 @@ class RobotFleet {
   Config cfg_;
   ManipulatorModel manipulator_;
   CleaningModel cleaner_;
+  sim::FomEngine fom_engine_;
+  std::vector<std::unique_ptr<JobFom>> foms_;  // all job foms ever created
+  std::vector<JobFom*> fom_free_;              // recycled, ready for reuse
   std::vector<Unit> units_;
   std::deque<Pending> queue_;
   /// (hall<<20 | row) -> lockout expiry.
   std::unordered_map<std::int64_t, sim::TimePoint> row_locks_;
+  /// (hall<<20 | row) -> the single armed unlock-recheck (fom mode): re-arming
+  /// an extended lockout cancels the superseded event instead of piling up
+  /// one no-op recheck per lock_row call.
+  std::unordered_map<std::int64_t, RowRecheck> row_rechecks_;
   std::unordered_map<net::FormFactor, int> spares_;
   std::size_t completed_ = 0;
   std::size_t by_kind_[maintenance::kRepairActionKinds] = {};

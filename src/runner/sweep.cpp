@@ -121,6 +121,8 @@ using WallClock = std::chrono::steady_clock;
   m[kAnnualCostUsd] = elapsed_days > 0.0
                           ? analysis::compute_cost({}, costs).total_usd * 365.0 / elapsed_days
                           : 0.0;
+  m[kEventsPerSimDay] =
+      elapsed_days > 0.0 ? static_cast<double>(r.events) / elapsed_days : 0.0;
   return r;
 }
 
@@ -182,6 +184,8 @@ ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cel
   m[kAnnualCostUsd] = elapsed_days > 0.0
                           ? analysis::compute_cost({}, costs).total_usd * 365.0 / elapsed_days
                           : 0.0;
+  m[kEventsPerSimDay] =
+      elapsed_days > 0.0 ? static_cast<double>(r.events) / elapsed_days : 0.0;
   return r;
 }
 

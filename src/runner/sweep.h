@@ -88,6 +88,10 @@ enum Metric : std::size_t {
   kTechnicianHours,
   kRobotBusyHours,
   kAnnualCostUsd,
+  /// Simulator queue pressure: events processed per simulated day. The
+  /// continuation scheduler's headline observable — fewer wakeups for the
+  /// same physical outcome means a leaner hot loop.
+  kEventsPerSimDay,
   kMetricCount,
 };
 
@@ -98,6 +102,7 @@ inline constexpr std::array<const char*, kMetricCount> kMetricNames = {
     "open_backlog",         "faults_injected",
     "tickets_resolved",     "technician_hours",
     "robot_busy_hours",     "annual_cost_usd",
+    "events_per_sim_day",
 };
 
 struct ReplicateResult {

@@ -66,6 +66,8 @@ World::World(const topology::Blueprint& blueprint, WorldConfig cfg)
   contamination_->set_obs(obs_.get());
   detection_ = std::make_unique<telemetry::DetectionEngine>(
       *network_, rngs.stream("detection"), cfg_.detection);
+  cfg_.technicians.use_fom = cfg_.fom_workflows;
+  cfg_.fleet.use_fom = cfg_.fom_workflows;
   technicians_ = std::make_unique<maintenance::TechnicianPool>(
       *network_, *cascade_, contamination_.get(), rngs.stream("technicians"),
       cfg_.technicians);

@@ -41,6 +41,10 @@ struct WorldConfig {
   robotics::RobotFleet::Config fleet;  // units empty => row_coverage roster
   core::MaintenanceController::Config controller;
   bool use_robots = true;
+  /// Master switch for the continuation-style workflow scheduler: overrides
+  /// `technicians.use_fom` and `fleet.use_fom` together. `false` runs the
+  /// legacy per-callback scheduling (the differential-oracle reference).
+  bool fom_workflows = true;
   /// Observability (metrics on by default; tracing opt-in). Instrumentation
   /// only observes — RNG draws and event order are identical with all of it
   /// off, which --audit-determinism verifies.

@@ -1,0 +1,116 @@
+// Small-buffer-optimized callback for the event queue hot path.
+//
+// `SmallFn` is a move-only `void()` callable: captures up to
+// `kSmallFnInlineBytes` live inside the object itself, so scheduling a
+// workflow wakeup allocates nothing. Larger captures fall back to the heap
+// (one allocation, same as std::function) — the smn-lint "hot-schedule" rule
+// flags schedule sites whose lambdas outgrow the inline budget.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smn::sim {
+
+/// Inline capture budget, bytes. 48 fits {this, two ids, two time points}
+/// with room to spare and keeps sizeof(SmallFn) at 64 — one cache line.
+inline constexpr std::size_t kSmallFnInlineBytes = 48;
+
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function
+  SmallFn(F&& f) {
+    using D = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &kInlineVt<D>;
+    } else {
+      *reinterpret_cast<D**>(buf_) = new D(std::forward<F>(f));
+      vt_ = &kHeapVt<D>;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { steal(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { vt_->invoke(buf_); }
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  /// True when the held callable lives in the inline buffer (no heap).
+  [[nodiscard]] bool is_inline() const { return vt_ != nullptr && vt_->inline_storage; }
+
+  /// Whether a callable of type F would be stored inline.
+  template <typename F>
+  [[nodiscard]] static constexpr bool fits_inline() {
+    using D = std::remove_cvref_t<F>;
+    return sizeof(D) <= kSmallFnInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*move)(void* src, void* dst);  // move-construct dst from src, destroy src
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr VTable kInlineVt{
+      [](void* b) { (*std::launder(reinterpret_cast<D*>(b)))(); },
+      [](void* src, void* dst) {
+        D* s = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* b) { std::launder(reinterpret_cast<D*>(b))->~D(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename D>
+  static constexpr VTable kHeapVt{
+      [](void* b) { (**reinterpret_cast<D**>(b))(); },
+      [](void* src, void* dst) {
+        *reinterpret_cast<D**>(dst) = *reinterpret_cast<D**>(src);
+      },
+      [](void* b) { delete *reinterpret_cast<D**>(b); },
+      /*inline_storage=*/false,
+  };
+
+  void steal(SmallFn& other) {
+    if (other.vt_ != nullptr) {
+      other.vt_->move(other.buf_, buf_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kSmallFnInlineBytes];
+};
+
+}  // namespace smn::sim

@@ -2,20 +2,25 @@
 //
 // A single-threaded event loop: callbacks are scheduled at TimePoints and run
 // in (time, insertion-order) order, so simultaneous events execute in the
-// order they were scheduled — deterministic by construction. Cancellation is
-// lazy: cancelled ids are skipped when popped.
+// order they were scheduled — deterministic by construction.
+//
+// The hot path is allocation-free in steady state:
+//  - callbacks are `SmallFn` (captures <= kSmallFnInlineBytes live inline),
+//  - events live in a flat slot arena recycled through a free list; ids are
+//    (generation << 32 | slot), so a stale cancel is a generation mismatch
+//    and costs one array lookup instead of two unordered_set touches,
+//  - the ready queue is a 4-ary heap of 24-byte {time, seq, slot} entries.
+// Cancellation eagerly destroys the captured callback state; only the inert
+// heap entry is reclaimed lazily when it surfaces (a tombstone pop).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <stdexcept>
-#include <unordered_set>
 #include <vector>
 
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace smn::sim {
@@ -25,7 +30,7 @@ inline constexpr EventId kInvalidEvent = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   /// Schedules `fn` at absolute time `t`; `t` must not be in the past.
   EventId schedule_at(TimePoint t, Callback fn);
@@ -33,12 +38,10 @@ class Simulator {
   /// Schedules `fn` after a non-negative delay from now.
   EventId schedule_after(Duration d, Callback fn) { return schedule_at(now_ + d, std::move(fn)); }
 
-  /// Cancels a pending event. Cancelling an already-run or unknown id is a
-  /// true no-op: only ids still in the queue are recorded, so `pending()`
-  /// converges instead of drifting when stale ids are cancelled.
-  void cancel(EventId id) {
-    if (id != kInvalidEvent && queued_ids_.contains(id)) cancelled_.insert(id);
-  }
+  /// Cancels a pending event, destroying its captured state immediately.
+  /// Cancelling an already-run, stale, or unknown id is a true no-op: the
+  /// slot generation no longer matches, so nothing is touched.
+  void cancel(EventId id);
 
   /// Schedules `fn` to run every `period`, starting one period from now.
   /// Returns a handle cancellable with `cancel_periodic`.
@@ -57,12 +60,8 @@ class Simulator {
   /// Runs until the queue drains.
   void run();
 
-  /// Exact count of live pending events. `cancelled_` only ever holds ids
-  /// still present in the queue (see `cancel`), so the subtraction cannot
-  /// drift. Remaining transient slack: a cancelled event's queue slot (and
-  /// its captured callback state) is reclaimed lazily when popped, so
-  /// *memory*, unlike the count, can lag until the event's time arrives.
-  [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Exact count of live pending events (cancelled tombstones excluded).
+  [[nodiscard]] std::size_t pending() const { return live_; }
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
   /// FNV-1a hash over (time, seq, id) of every event executed so far — the
@@ -81,54 +80,82 @@ class Simulator {
     obs_recorder_ = recorder;
   }
 
-  /// Aborts (via SMN_ASSERT) if internal bookkeeping is inconsistent:
-  /// cancelled ids must be a subset of queued ids, the queued-id index must
-  /// mirror the heap, and the clock must not have moved backwards.
+  /// Aborts (via SMN_ASSERT) if internal bookkeeping is inconsistent: the
+  /// heap must satisfy the 4-ary heap property, reference each occupied slot
+  /// exactly once, and agree with the live/free-list accounting; cancelled
+  /// slots must hold no callback (eager reclaim); the clock must not have
+  /// moved backwards.
   void check_invariants() const;
 
  private:
-  struct Event {
+  static constexpr std::uint32_t kNoFree = 0xffffffffu;
+
+  struct Slot {
+    Callback fn;
+    std::uint32_t gen = 0;  // bumped on allocation; id validity check
+    enum class State : std::uint8_t { kFree, kLive, kCancelled } state = State::kFree;
+    std::uint32_t next_free = kNoFree;
+  };
+
+  struct HeapEntry {
     TimePoint time;
     std::uint64_t seq;  // tie-break: earlier scheduling runs first
-    EventId id;
+    std::uint32_t slot;
+  };
+
+  struct PeriodicTask {
     Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    Duration period{};
+    EventId tick_event = kInvalidEvent;  // the pending tick, for eager cancel
+    std::uint32_t gen = 0;
+    bool live = false;
+    bool in_tick = false;  // cancel during the tick defers reclamation
+    std::uint32_t next_free = kNoFree;
   };
 
-  // Pops the next live event into `out`; false when drained.
-  bool pop_next(Event& out);
+  // Periodic handles carry a tag bit so an event id can never be mistaken
+  // for a periodic handle (and vice versa) by cancel / cancel_periodic.
+  static constexpr EventId kPeriodicTag = 1ull << 63;
 
-  // Schedules the next tick of a periodic task. The scheduled lambda shares
-  // the callback via shared_ptr but never owns a reference to itself (a
-  // self-capturing std::function is a shared_ptr cycle and leaks every
-  // periodic task still pending at destruction).
-  void schedule_periodic_tick(EventId handle, Duration period, std::shared_ptr<Callback> task);
+  [[nodiscard]] static EventId make_id(std::uint32_t gen, std::uint32_t slot) {
+    return (static_cast<EventId>(gen) << 32) | slot;
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t s);
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
+  [[nodiscard]] static bool heap_before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  void run_periodic(std::uint32_t idx, std::uint32_t gen);
+  void execute(const HeapEntry& top);
 
   // Folds one executed event into the running trace hash.
-  void fold_trace(const Event& ev);
+  void fold_trace(TimePoint t, std::uint64_t seq, EventId id);
 
   // Hot-path instrumentation for one executed event; both sinks are inline
   // and null-checked, so the disabled cost is two predicted branches.
-  void observe_event(const Event& ev) {
+  void observe_event(TimePoint t, std::uint64_t seq, EventId id) {
     if (obs_events_ != nullptr) obs_events_->inc();
     if (obs_recorder_ != nullptr) {
-      obs_recorder_->record(ev.time.count_us(), "sim-event", static_cast<std::int64_t>(ev.id),
-                            static_cast<std::int64_t>(ev.seq));
+      obs_recorder_->record(t.count_us(), "sim-event", static_cast<std::int64_t>(id),
+                            static_cast<std::int64_t>(seq));
     }
   }
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> queued_ids_;  // ids currently in queue_ (incl. cancelled)
-  std::unordered_set<EventId> cancelled_;   // always a subset of queued_ids_
-  std::unordered_set<EventId> periodic_cancelled_;
+  std::vector<HeapEntry> heap_;  // 4-ary min-heap over (time, seq)
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFree;
+  std::size_t live_ = 0;  // scheduled and not cancelled
+
+  std::vector<PeriodicTask> periodics_;
+  std::uint32_t periodic_free_head_ = kNoFree;
+
   TimePoint now_;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::uint64_t trace_hash_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
   obs::Counter* obs_events_ = nullptr;

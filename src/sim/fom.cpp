@@ -1,0 +1,61 @@
+#include "sim/fom.h"
+
+#include "core/check.h"
+
+namespace smn::sim {
+
+Fom::~Fom() { engine_.cancel_wakeup(*this); }
+
+void FomEngine::run(Fom& f) { advance(f); }
+
+void FomEngine::advance(Fom& f) {
+  f.in_tick_ = true;
+  Fom::Tick t;
+  do {
+    t = f.tick();
+  } while (t == Fom::Tick::kAgain);
+  f.in_tick_ = false;
+  if (t == Fom::Tick::kDone) {
+    // A finished fom must never fire again, even if a phase armed a wakeup
+    // before deciding to finish.
+    cancel_wakeup(f);
+    f.on_done();  // may recycle or destroy f; last touch
+  }
+}
+
+void FomEngine::wake_at(Fom& f, TimePoint t) {
+  if (t < sim_.now()) t = sim_.now();
+  if (f.wakeup_ != kInvalidEvent) {
+    if (f.wakeup_time_ <= t) return;  // coalesced: an earlier wakeup covers this one
+    sim_.cancel(f.wakeup_);
+  }
+  Fom* fp = &f;
+  f.wakeup_time_ = t;
+  f.wakeup_ = sim_.schedule_at(t, [this, fp] { fire(fp); });
+}
+
+void FomEngine::cancel_wakeup(Fom& f) {
+  if (f.wakeup_ != kInvalidEvent) {
+    sim_.cancel(f.wakeup_);
+    f.wakeup_ = kInvalidEvent;
+  }
+}
+
+void FomEngine::fire(Fom* f) {
+  f->wakeup_ = kInvalidEvent;
+  ++delivered_;
+  if (obs_wakeups_ != nullptr) obs_wakeups_->inc();
+  advance(*f);
+}
+
+void FomEngine::check_invariants(const Fom& f) const {
+  SMN_ASSERT(f.phase_ >= 0, "fom phase negative: %d", f.phase_);
+  SMN_ASSERT(!f.in_tick_, "check_invariants called from inside a tick");
+  if (f.wakeup_ != kInvalidEvent) {
+    SMN_ASSERT(f.wakeup_time_ >= sim_.now(), "fom armed in the past: %lld < %lld",
+               static_cast<long long>(f.wakeup_time_.count_us()),
+               static_cast<long long>(sim_.now().count_us()));
+  }
+}
+
+}  // namespace smn::sim

@@ -1,0 +1,104 @@
+// Run-to-completion state machines for workflow subsystems — the FOM
+// ("fop state machine") pattern from the cortx-motr HLDs, reduced to what a
+// deterministic single-threaded simulation needs.
+//
+// A `Fom` is a long-lived unit of work (a technician job, a robot job, a
+// ticket hop) that advances through non-blocking phases. Each call to
+// `tick()` executes the current phase and returns:
+//   kAgain — run the next phase immediately, on the same queue entry,
+//   kWait  — park; the fom runs again at its next wakeup (timer or external),
+//   kDone  — terminal; the engine calls `on_done()` and forgets the fom.
+//
+// The `FomEngine` turns wakeups into simulator events: one 16-byte-capture
+// queue entry per wakeup (always inside the SmallFn inline budget — nothing
+// on the heap), with coalescing so re-arming an already-armed fom at the
+// same-or-later time costs nothing. Per-engine wakeup counters feed the
+// `sim_wakeups_*_total` obs metrics, which is how the "fewer events per
+// sim-day" claim is machine-checked.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "sim/event_queue.h"
+
+namespace smn::sim {
+
+class FomEngine;
+
+class Fom {
+ public:
+  enum class Tick : std::uint8_t { kAgain, kWait, kDone };
+
+  explicit Fom(FomEngine& engine) : engine_(engine) {}
+  virtual ~Fom();
+  Fom(const Fom&) = delete;
+  Fom& operator=(const Fom&) = delete;
+
+  [[nodiscard]] int phase() const { return phase_; }
+  [[nodiscard]] bool armed() const { return wakeup_ != kInvalidEvent; }
+  [[nodiscard]] TimePoint armed_at() const { return wakeup_time_; }
+
+ protected:
+  /// Executes the current phase. Must not block; long waits are expressed by
+  /// arming a wakeup (engine().wake_at) and returning kWait.
+  virtual Tick tick() = 0;
+
+  /// Runs once after tick() returns kDone; the owner typically recycles the
+  /// fom here. The engine never touches the fom afterwards.
+  virtual void on_done() {}
+
+  void set_phase(int p) { phase_ = p; }
+  [[nodiscard]] FomEngine& engine() { return engine_; }
+
+ private:
+  friend class FomEngine;
+  FomEngine& engine_;
+  int phase_ = 0;
+  EventId wakeup_ = kInvalidEvent;
+  TimePoint wakeup_time_{};
+  bool in_tick_ = false;
+};
+
+class FomEngine {
+ public:
+  explicit FomEngine(Simulator& sim) : sim_(sim) {}
+
+  /// Wires the per-component wakeup counter (may be null).
+  void set_obs(obs::Counter* wakeups) { obs_wakeups_ = wakeups; }
+
+  /// Runs `f` to completion synchronously (no queue entry, not counted as a
+  /// wakeup) — the entry point for work dispatched from inside another event.
+  void run(Fom& f);
+
+  /// Ensures `f` runs at time `t` (earliest armed wakeup wins). Arming an
+  /// already-armed fom at the same or a later time is a no-op — wakeup
+  /// coalescing — so callers may re-arm freely; the earlier tick re-arms if
+  /// it fired before the work was actually due.
+  void wake_at(Fom& f, TimePoint t);
+  void wake_after(Fom& f, Duration d) { wake_at(f, sim_.now() + d); }
+
+  /// Immediate wakeup through the queue: runs at the current time, after all
+  /// already-queued same-time events.
+  void wake(Fom& f) { wake_at(f, sim_.now()); }
+
+  /// Disarms a pending wakeup (no-op when not armed). The captured state of
+  /// the queue entry is reclaimed eagerly.
+  void cancel_wakeup(Fom& f);
+
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] std::uint64_t wakeups_delivered() const { return delivered_; }
+
+  /// Aborts (via SMN_ASSERT) if a fom's wakeup bookkeeping is inconsistent.
+  void check_invariants(const Fom& f) const;
+
+ private:
+  void fire(Fom* f);
+  void advance(Fom& f);
+
+  Simulator& sim_;
+  obs::Counter* obs_wakeups_ = nullptr;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace smn::sim

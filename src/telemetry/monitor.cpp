@@ -1,5 +1,7 @@
 #include "telemetry/monitor.h"
 
+#include <algorithm>
+
 namespace smn::telemetry {
 
 const char* to_string(IssueKind k) {
@@ -15,11 +17,13 @@ const char* to_string(IssueKind k) {
 DetectionEngine::DetectionEngine(net::Network& net, sim::RngStream rng, Config cfg)
     : net_{net}, rng_{std::move(rng)}, cfg_{cfg} {
   state_.resize(net_.links().size());
+  fp_events_.resize(net_.links().size(), sim::kInvalidEvent);
   const sim::TimePoint now = net_.now();
   for (std::size_t i = 0; i < state_.size(); ++i) {
     state_[i].last_state = net_.links()[i].state;
     state_[i].state_since = now;
     state_[i].up_since = now;
+    update_watch(i);
   }
   net_.subscribe([this](const net::Link& l, net::LinkState from, net::LinkState to) {
     on_transition(l, from, to);
@@ -27,19 +31,30 @@ DetectionEngine::DetectionEngine(net::Network& net, sim::RngStream rng, Config c
 }
 
 void DetectionEngine::start() {
-  if (periodic_ != sim::kInvalidEvent) return;
-  periodic_ = net_.simulator().schedule_every(cfg_.poll, [this] { step_once(); });
+  if (running_) return;
+  running_ = true;
+  anchor_ = net_.now();
+  if (cfg_.false_positive_per_year > 0.0) {
+    for (std::size_t i = 0; i < state_.size(); ++i) arm_false_positive(i);
+  }
+  arm_poll();
 }
 
 void DetectionEngine::stop() {
-  if (periodic_ == sim::kInvalidEvent) return;
-  net_.simulator().cancel_periodic(periodic_);
-  periodic_ = sim::kInvalidEvent;
+  if (!running_) return;
+  running_ = false;
+  net_.simulator().cancel(poll_event_);
+  poll_event_ = sim::kInvalidEvent;
+  for (sim::EventId& e : fp_events_) {
+    net_.simulator().cancel(e);
+    e = sim::kInvalidEvent;
+  }
 }
 
 void DetectionEngine::on_transition(const net::Link& l, net::LinkState from,
                                     net::LinkState to) {
-  LinkWatch& w = state_.at(static_cast<size_t>(l.id.value()));
+  const std::size_t i = static_cast<size_t>(l.id.value());
+  LinkWatch& w = state_.at(i);
   const sim::TimePoint now = net_.now();
   w.time_in_state[static_cast<int>(from)] += now - w.state_since;
   w.last_state = to;
@@ -52,58 +67,128 @@ void DetectionEngine::on_transition(const net::Link& l, net::LinkState from,
       w.flap_times.pop_front();
     }
   }
+  update_watch(i);
+}
+
+void DetectionEngine::update_watch(std::size_t i) {
+  LinkWatch& w = state_[i];
+  const bool should = w.open || net_.links()[i].state != net::LinkState::kUp;
+  if (should == w.watched) return;
+  w.watched = should;
+  const std::uint32_t v = static_cast<std::uint32_t>(i);
+  const auto it = std::lower_bound(watch_.begin(), watch_.end(), v);
+  if (should) {
+    watch_.insert(it, v);
+    arm_poll();
+  } else {
+    watch_.erase(it);
+  }
+}
+
+void DetectionEngine::arm_poll() {
+  if (!running_ || poll_event_ != sim::kInvalidEvent || watch_.empty()) return;
+  // Strictly-next grid point, so a transition landing exactly on the grid is
+  // evaluated one full poll later — the same thing the free-running scan did
+  // when its tick at that instant had already run.
+  const std::int64_t poll_us = cfg_.poll.count_us();
+  const std::int64_t k = (net_.now() - anchor_).count_us() / poll_us + 1;
+  const sim::TimePoint next =
+      anchor_ + sim::Duration::microseconds(static_cast<double>(k * poll_us));
+  poll_event_ = net_.simulator().schedule_at(next, [this] { poll_tick(); });
+}
+
+void DetectionEngine::poll_tick() {
+  poll_event_ = sim::kInvalidEvent;
+  const sim::TimePoint now = net_.now();
+  // Snapshot: raise() listeners run synchronously and may drain links or
+  // resolve tickets, editing the watchlist mid-scan.
+  scratch_ = watch_;
+  for (const std::uint32_t i : scratch_) scan_link(i, now);
+  arm_poll();
+}
+
+void DetectionEngine::scan_link(std::size_t i, sim::TimePoint now) {
+  const net::Link& l = net_.links()[i];
+  LinkWatch& w = state_[i];
+
+  // Self-clear: link has been healthy long enough; re-arm detection.
+  if (w.open && l.state == net::LinkState::kUp && now - w.up_since >= cfg_.self_clear) {
+    w.open = false;
+    update_watch(i);
+  }
+  if (w.open) return;
+
+  // Admin-drained links are intentionally down; not a failure to detect.
+  if (l.admin_down) return;
+
+  const sim::Duration in_state = now - w.state_since;
+  switch (l.state) {
+    case net::LinkState::kDown:
+      if (in_state >= cfg_.down_debounce) raise(l.id, IssueKind::kDown, true);
+      break;
+    case net::LinkState::kFlapping:
+      if (static_cast<int>(w.flap_times.size()) >= cfg_.flap_threshold ||
+          in_state >= cfg_.down_debounce) {
+        raise(l.id, IssueKind::kFlapping, true);
+      }
+      break;
+    case net::LinkState::kDegraded:
+      if (in_state >= cfg_.degraded_debounce) raise(l.id, IssueKind::kDegraded, true);
+      break;
+    case net::LinkState::kUp:
+      break;  // false positives come from the per-link exponential timers
+  }
 }
 
 void DetectionEngine::step_once() {
   const sim::TimePoint now = net_.now();
   const double fp_per_poll = cfg_.false_positive_per_year * cfg_.poll.to_days() / 365.0;
-
   for (const net::Link& l : net_.links()) {
-    LinkWatch& w = state_.at(static_cast<size_t>(l.id.value()));
-
-    // Self-clear: link has been healthy long enough; re-arm detection.
-    if (w.open && l.state == net::LinkState::kUp && now - w.up_since >= cfg_.self_clear) {
-      w.open = false;
-    }
-    if (w.open) continue;
-
-    // Admin-drained links are intentionally down; not a failure to detect.
-    if (l.admin_down) continue;
-
-    const sim::Duration in_state = now - w.state_since;
-    switch (l.state) {
-      case net::LinkState::kDown:
-        if (in_state >= cfg_.down_debounce) raise(l.id, IssueKind::kDown, true);
-        break;
-      case net::LinkState::kFlapping:
-        if (static_cast<int>(w.flap_times.size()) >= cfg_.flap_threshold ||
-            in_state >= cfg_.down_debounce) {
-          raise(l.id, IssueKind::kFlapping, true);
-        }
-        break;
-      case net::LinkState::kDegraded:
-        if (in_state >= cfg_.degraded_debounce) raise(l.id, IssueKind::kDegraded, true);
-        break;
-      case net::LinkState::kUp:
-        if (rng_.bernoulli(fp_per_poll)) {
-          raise(l.id, IssueKind::kFalsePositive, false);
-          ++false_positives_;
-        }
-        break;
+    const std::size_t i = static_cast<size_t>(l.id.value());
+    scan_link(i, now);
+    const LinkWatch& w = state_[i];
+    if (!w.open && !l.admin_down && l.state == net::LinkState::kUp &&
+        rng_.bernoulli(fp_per_poll)) {
+      raise(l.id, IssueKind::kFalsePositive, false);
+      ++false_positives_;
     }
   }
+}
+
+void DetectionEngine::arm_false_positive(std::size_t i) {
+  const double mean_days = 365.0 / cfg_.false_positive_per_year;
+  fp_events_[i] = net_.simulator().schedule_after(
+      sim::Duration::days(rng_.exponential(mean_days)),
+      [this, i] { fire_false_positive(i); });
+}
+
+void DetectionEngine::fire_false_positive(std::size_t i) {
+  fp_events_[i] = sim::kInvalidEvent;
+  const net::Link& l = net_.links()[i];
+  const LinkWatch& w = state_[i];
+  // The Poisson process keeps running either way; an arrival on an impaired,
+  // drained, or already-flagged link is simply absorbed (the per-poll
+  // Bernoulli draw skipped those links the same way).
+  if (!w.open && !l.admin_down && l.state == net::LinkState::kUp) {
+    raise(l.id, IssueKind::kFalsePositive, false);
+    ++false_positives_;
+  }
+  arm_false_positive(i);
 }
 
 void DetectionEngine::raise(net::LinkId id, IssueKind kind, bool genuine) {
   LinkWatch& w = state_.at(static_cast<size_t>(id.value()));
   w.open = true;
+  update_watch(static_cast<size_t>(id.value()));
   ++detections_;
   const Detection d{net_.now(), id, kind, genuine};
   for (const Listener& l : listeners_) l(d);
 }
 
 void DetectionEngine::clear(net::LinkId id) {
-  state_.at(static_cast<size_t>(id.value())).open = false;
+  const std::size_t i = static_cast<size_t>(id.value());
+  state_.at(i).open = false;
+  update_watch(i);
 }
 
 int DetectionEngine::recent_flaps(net::LinkId id, sim::Duration window) const {

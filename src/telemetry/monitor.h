@@ -6,6 +6,15 @@
 // and raises Detections — the events that open tickets. It also injects
 // false positives at a configurable rate, because §2 argues tight robot
 // control "helps manage the impact of ... false positives on repairs".
+//
+// Detection is wakeup-on-event, not free-running polling: links in steady
+// state (Up, no open issue) cost nothing. A sorted watchlist tracks the
+// links that need debounce/self-clear evaluation, and the poll loop — still
+// aligned to the `poll` grid so debounce timing matches the classic
+// poll-scan semantics — is only armed while the watchlist is non-empty.
+// False positives fire from per-link exponential timers (the Poisson process
+// the per-poll Bernoulli draw approximated) instead of a coin flip per link
+// per minute.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +42,9 @@ struct Detection {
 class DetectionEngine {
  public:
   struct Config {
+    /// Debounce evaluation grid. Watched links are re-checked on this grid
+    /// (matching the classic poll-scan cadence); unwatched links are never
+    /// visited.
     sim::Duration poll = sim::Duration::minutes(1);
     /// A Down link is detected after this much continuous downtime.
     sim::Duration down_debounce = sim::Duration::seconds(30);
@@ -43,7 +55,8 @@ class DetectionEngine {
     /// in kFlapping continuously past `down_debounce`.
     int flap_threshold = 3;
     sim::Duration flap_window = sim::Duration::minutes(30);
-    /// Spurious detections per healthy link per year.
+    /// Spurious detections per healthy link per year (Poisson rate; each
+    /// link runs an exponential inter-arrival timer).
     double false_positive_per_year = 0.25;
     /// An open issue self-clears if the link stays Up this long (transient
     /// resolved on its own; the ticket may already be in flight, though).
@@ -58,6 +71,10 @@ class DetectionEngine {
 
   void start();
   void stop();
+
+  /// Manually evaluates every link once (the classic full poll scan,
+  /// including the per-poll false-positive draw) — test/diagnostic entry
+  /// point; the running engine only ever scans its watchlist.
   void step_once();
 
   void subscribe(Listener l) { listeners_.push_back(std::move(l)); }
@@ -82,6 +99,10 @@ class DetectionEngine {
   [[nodiscard]] std::size_t detection_count() const { return detections_; }
   [[nodiscard]] std::size_t false_positive_count() const { return false_positives_; }
 
+  /// Links currently needing debounce/self-clear evaluation. Empty in steady
+  /// state — the property that makes the day-step cheap.
+  [[nodiscard]] std::size_t watchlist_size() const { return watch_.size(); }
+
  private:
   struct LinkWatch {
     net::LinkState last_state = net::LinkState::kUp;
@@ -90,11 +111,23 @@ class DetectionEngine {
     std::deque<sim::TimePoint> flap_times;  // transitions into kFlapping
     int lifetime_flaps = 0;
     bool open = false;
+    bool watched = false;
     sim::Duration time_in_state[4] = {};  // indexed by LinkState, past dwells
   };
 
   void on_transition(const net::Link& l, net::LinkState from, net::LinkState to);
   void raise(net::LinkId id, IssueKind kind, bool genuine);
+
+  // Debounce/self-clear evaluation for one link (the per-link poll body,
+  // minus the false-positive draw).
+  void scan_link(std::size_t i, sim::TimePoint now);
+  // Inserts/removes link i from the sorted watchlist to match its state.
+  void update_watch(std::size_t i);
+  // Arms the next grid-aligned poll if the watchlist needs one.
+  void arm_poll();
+  void poll_tick();
+  void arm_false_positive(std::size_t i);
+  void fire_false_positive(std::size_t i);
 
   net::Network& net_;
   sim::RngStream rng_;
@@ -103,7 +136,13 @@ class DetectionEngine {
   std::vector<Listener> listeners_;
   std::size_t detections_ = 0;
   std::size_t false_positives_ = 0;
-  sim::EventId periodic_ = sim::kInvalidEvent;
+
+  bool running_ = false;
+  sim::TimePoint anchor_;             // poll grid origin (time of start())
+  sim::EventId poll_event_ = sim::kInvalidEvent;
+  std::vector<std::uint32_t> watch_;  // sorted link indices needing evaluation
+  std::vector<std::uint32_t> scratch_;
+  std::vector<sim::EventId> fp_events_;  // per-link exponential FP timers
 };
 
 }  // namespace smn::telemetry

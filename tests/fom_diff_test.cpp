@@ -1,0 +1,131 @@
+// Differential oracle for the continuation-style workflow scheduler: the
+// legacy per-callback scheduling (Config::use_fom = false) is the reference
+// semantics; the fom port must reproduce it exactly — same per-ticket
+// outcomes, same availability, same obs metrics (minus the queue-pressure
+// counters the port exists to change) — across structurally different
+// topology families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "maintenance/ticket.h"
+#include "obs/metrics.h"
+#include "scenario/world.h"
+#include "topology/builders.h"
+
+namespace {
+
+using smn::maintenance::Ticket;
+using smn::obs::SnapshotEntry;
+using smn::scenario::World;
+using smn::scenario::WorldConfig;
+using smn::topology::Blueprint;
+
+struct TopologyCase {
+  const char* name;
+  Blueprint (*build)();
+};
+
+const TopologyCase kTopologies[] = {
+    {"leaf-spine",
+     [] { return smn::topology::build_leaf_spine({.leaves = 4, .spines = 2, .servers_per_leaf = 2}); }},
+    {"fat-tree", [] { return smn::topology::build_fat_tree({.k = 4}); }},
+    {"jellyfish",
+     [] {
+       return smn::topology::build_jellyfish(
+           {.switches = 12, .network_degree = 4, .servers_per_switch = 2, .seed = 7});
+     }},
+    {"dragonfly",
+     [] {
+       return smn::topology::build_dragonfly(
+           {.routers_per_group = 2, .servers_per_router = 1, .global_per_router = 1});
+     }},
+    {"torus", [] { return smn::topology::build_torus2d({.x = 4, .y = 4, .servers_per_node = 1}); }},
+};
+
+/// Metrics the port deliberately changes: raw event throughput and the
+/// per-component wakeup counters. Everything else must match exactly.
+[[nodiscard]] bool is_queue_pressure_metric(const std::string& name) {
+  return name == "sim_events_total" || name.starts_with("sim_wakeups_");
+}
+
+[[nodiscard]] std::vector<SnapshotEntry> filtered_snapshot(World& world) {
+  std::vector<SnapshotEntry> out;
+  if (const smn::obs::Registry* reg = world.obs().metrics()) {
+    for (SnapshotEntry& e : reg->snapshot()) {
+      if (!is_queue_pressure_metric(e.name)) out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+[[nodiscard]] std::unique_ptr<World> run_world(const Blueprint& bp, bool fom) {
+  WorldConfig cfg = WorldConfig::for_level(smn::core::AutomationLevel::kL3_HighAutomation);
+  cfg.seed = 11;
+  cfg.fom_workflows = fom;
+  auto world = std::make_unique<World>(bp, cfg);
+  world->run_for(smn::sim::Duration::days(14));
+  world->check_invariants();
+  return world;
+}
+
+TEST(FomDiffTest, FomPortMatchesLegacyReferenceAcrossTopologies) {
+  for (const TopologyCase& tc : kTopologies) {
+    SCOPED_TRACE(tc.name);
+    const Blueprint bp = tc.build();
+    std::unique_ptr<World> legacy = run_world(bp, /*fom=*/false);
+    std::unique_ptr<World> ported = run_world(bp, /*fom=*/true);
+
+    // Per-ticket outcomes: same tickets, same lifecycle timestamps, same
+    // resolution attribution, same attempt counts.
+    const std::vector<Ticket>& lt = legacy->tickets().all();
+    const std::vector<Ticket>& pt = ported->tickets().all();
+    ASSERT_EQ(lt.size(), pt.size());
+    for (std::size_t i = 0; i < lt.size(); ++i) {
+      SCOPED_TRACE("ticket " + std::to_string(lt[i].id));
+      EXPECT_EQ(lt[i].id, pt[i].id);
+      EXPECT_EQ(lt[i].link.value(), pt[i].link.value());
+      EXPECT_EQ(lt[i].issue, pt[i].issue);
+      EXPECT_EQ(lt[i].state, pt[i].state);
+      EXPECT_EQ(lt[i].opened.count_us(), pt[i].opened.count_us());
+      EXPECT_EQ(lt[i].resolved.count_us(), pt[i].resolved.count_us());
+      EXPECT_EQ(lt[i].resolved_by, pt[i].resolved_by);
+      EXPECT_EQ(lt[i].actions_taken, pt[i].actions_taken);
+    }
+
+    // Availability: the physical outcome must be bit-identical.
+    EXPECT_EQ(legacy->availability().fleet_availability(),
+              ported->availability().fleet_availability());
+    EXPECT_EQ(legacy->availability().downtime_link_hours(),
+              ported->availability().downtime_link_hours());
+
+    // Workflow tallies.
+    EXPECT_EQ(legacy->technicians().completed(), ported->technicians().completed());
+    EXPECT_EQ(legacy->technicians().labor_hours(), ported->technicians().labor_hours());
+    ASSERT_TRUE(legacy->has_fleet());
+    EXPECT_EQ(legacy->fleet().completed(), ported->fleet().completed());
+    EXPECT_EQ(legacy->fleet().escalations(), ported->fleet().escalations());
+    EXPECT_EQ(legacy->fleet().busy_hours(), ported->fleet().busy_hours());
+
+    // Obs metrics, minus the queue-pressure counters the port changes.
+    const std::vector<SnapshotEntry> lm = filtered_snapshot(*legacy);
+    const std::vector<SnapshotEntry> pm = filtered_snapshot(*ported);
+    ASSERT_EQ(lm.size(), pm.size());
+    for (std::size_t i = 0; i < lm.size(); ++i) {
+      EXPECT_EQ(lm[i].name, pm[i].name);
+      EXPECT_EQ(lm[i].value, pm[i].value) << lm[i].name;
+    }
+    EXPECT_EQ(smn::obs::snapshot_hash(lm), smn::obs::snapshot_hash(pm));
+
+    // Queue pressure: the fom port never adds events (start/finish wakeups
+    // replace the legacy pair one-for-one; coalesced row-unlock rechecks can
+    // only subtract).
+    EXPECT_LE(ported->simulator().events_processed(),
+              legacy->simulator().events_processed());
+  }
+}
+
+}  // namespace

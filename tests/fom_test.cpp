@@ -1,0 +1,190 @@
+// Unit tests for the fom runtime (sim/fom.h): phase ordering, wakeup
+// coalescing, cancellation, kAgain chaining, and engine bookkeeping.
+#include "sim/fom.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using smn::sim::Duration;
+using smn::sim::Fom;
+using smn::sim::FomEngine;
+using smn::sim::Simulator;
+using smn::sim::TimePoint;
+
+/// A scriptable fom: each tick appends "<phase>@<hour>" to a shared log and
+/// follows a per-phase script entry (what to return, when to re-arm).
+class ScriptFom final : public Fom {
+ public:
+  struct Step {
+    Tick result = Tick::kDone;
+    double rearm_hours = -1.0;  // >= 0: wake_after this many hours
+  };
+
+  ScriptFom(FomEngine& engine, Simulator& sim, std::vector<Step> script,
+            std::vector<std::string>& log)
+      : Fom(engine), sim_(sim), script_(std::move(script)), log_(log) {}
+
+  bool done = false;
+
+ private:
+  Tick tick() override {
+    log_.push_back(std::to_string(phase()) + "@" +
+                   std::to_string(static_cast<int>(sim_.now().to_hours())));
+    const Step step = script_.at(static_cast<std::size_t>(phase()));
+    if (step.rearm_hours >= 0.0) {
+      engine().wake_after(*this, Duration::hours(step.rearm_hours));
+    }
+    if (step.result != Tick::kDone) set_phase(phase() + 1);
+    return step.result;
+  }
+  void on_done() override { done = true; }
+
+  Simulator& sim_;
+  std::vector<Step> script_;
+  std::vector<std::string>& log_;
+};
+
+TEST(FomTest, PhasesRunInOrderAcrossWakeups) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  // Phase 0 parks for 2h, phase 1 parks for 3h, phase 2 finishes.
+  ScriptFom f{engine,
+              sim,
+              {{Fom::Tick::kWait, 2.0}, {Fom::Tick::kWait, 3.0}, {Fom::Tick::kDone, -1.0}},
+              log};
+  engine.wake_at(f, TimePoint{});  // start at t=0
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"0@0", "1@2", "2@5"}));
+  EXPECT_TRUE(f.done);
+  EXPECT_FALSE(f.armed());
+  EXPECT_EQ(engine.wakeups_delivered(), 3u);
+}
+
+TEST(FomTest, AgainChainsPhasesOnOneWakeup) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  // Three phases, no waits: one queue entry drives the whole machine.
+  ScriptFom f{engine,
+              sim,
+              {{Fom::Tick::kAgain, -1.0}, {Fom::Tick::kAgain, -1.0}, {Fom::Tick::kDone, -1.0}},
+              log};
+  engine.wake_after(f, Duration::hours(1.0));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"0@1", "1@1", "2@1"}));
+  EXPECT_TRUE(f.done);
+  EXPECT_EQ(engine.wakeups_delivered(), 1u);
+}
+
+TEST(FomTest, RunExecutesSynchronouslyWithoutAWakeup) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  ScriptFom f{engine, sim, {{Fom::Tick::kAgain, -1.0}, {Fom::Tick::kDone, -1.0}}, log};
+  engine.run(f);
+  // Both phases ran inline at t=0; nothing went through the queue.
+  EXPECT_EQ(log, (std::vector<std::string>{"0@0", "1@0"}));
+  EXPECT_TRUE(f.done);
+  EXPECT_EQ(engine.wakeups_delivered(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(FomTest, WakeupCoalescingKeepsEarliestArming) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  ScriptFom f{engine, sim, {{Fom::Tick::kDone, -1.0}}, log};
+  engine.wake_at(f, TimePoint{} + Duration::hours(4.0));
+  // Re-arming later is a no-op; re-arming earlier moves the wakeup up.
+  engine.wake_at(f, TimePoint{} + Duration::hours(9.0));
+  EXPECT_EQ(f.armed_at(), TimePoint{} + Duration::hours(4.0));
+  engine.wake_at(f, TimePoint{} + Duration::hours(1.0));
+  EXPECT_EQ(f.armed_at(), TimePoint{} + Duration::hours(1.0));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"0@1"}));
+  // Exactly one wakeup was delivered despite three armings.
+  EXPECT_EQ(engine.wakeups_delivered(), 1u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(FomTest, CancelWakeupPreventsDelivery) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  ScriptFom f{engine, sim, {{Fom::Tick::kDone, -1.0}}, log};
+  engine.wake_after(f, Duration::hours(2.0));
+  EXPECT_TRUE(f.armed());
+  engine.cancel_wakeup(f);
+  EXPECT_FALSE(f.armed());
+  engine.cancel_wakeup(f);  // idempotent on an unarmed fom
+  sim.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_FALSE(f.done);
+  EXPECT_EQ(engine.wakeups_delivered(), 0u);
+}
+
+TEST(FomTest, RearmFromInsideTickMovesTheMachineForward) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  // Phase 0 re-arms itself (kWait with a rearm): classic "poll until ready".
+  ScriptFom f{engine, sim, {{Fom::Tick::kWait, 5.0}, {Fom::Tick::kDone, -1.0}}, log};
+  engine.wake_at(f, TimePoint{});
+  sim.step();  // deliver the t=0 wakeup; phase 0 parked and re-armed at t=5h
+  EXPECT_TRUE(f.armed());
+  EXPECT_EQ(f.armed_at(), TimePoint{} + Duration::hours(5.0));
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"0@0", "1@5"}));
+  EXPECT_TRUE(f.done);
+}
+
+TEST(FomTest, DestructorCancelsPendingWakeup) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  {
+    ScriptFom f{engine, sim, {{Fom::Tick::kDone, -1.0}}, log};
+    engine.wake_after(f, Duration::hours(1.0));
+    EXPECT_EQ(sim.pending(), 1u);
+  }
+  // The queue entry was reclaimed; running delivers nothing.
+  sim.run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(engine.wakeups_delivered(), 0u);
+}
+
+TEST(FomTest, PastWakeupClampsToNow) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  ScriptFom gate{engine, sim, {{Fom::Tick::kDone, -1.0}}, log};
+  // Arm from inside an event for a time already in the past: it must clamp
+  // to "now" (run after the current event), not throw.
+  sim.schedule_at(TimePoint{} + Duration::hours(3.0), [&] {
+    engine.wake_at(gate, TimePoint{} + Duration::hours(1.0));
+  });
+  sim.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"0@3"}));
+  EXPECT_TRUE(gate.done);
+}
+
+TEST(FomTest, CheckInvariantsPassesThroughLifecycle) {
+  Simulator sim;
+  FomEngine engine{sim};
+  std::vector<std::string> log;
+  ScriptFom f{engine, sim, {{Fom::Tick::kWait, 2.0}, {Fom::Tick::kDone, -1.0}}, log};
+  engine.check_invariants(f);  // idle
+  engine.wake_after(f, Duration::hours(1.0));
+  engine.check_invariants(f);  // armed
+  sim.run();
+  engine.check_invariants(f);  // done
+  sim.check_invariants();
+  EXPECT_TRUE(f.done);
+}
+
+}  // namespace

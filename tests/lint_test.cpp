@@ -264,6 +264,85 @@ TEST(LintTest, HotCopyIgnoredOutsideSrcAndSuppressible) {
   EXPECT_FALSE(has_rule(lint_source("src/foo.cpp", suppressed, true), "hot-copy"));
 }
 
+TEST(LintTest, DetectsSubMinutePeriodicLiteral) {
+  const std::string source =
+      "void start(smn::sim::Simulator& sim) {\n"
+      "  sim.schedule_every(smn::sim::Duration::seconds(10), [] {});\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  ASSERT_TRUE(has_rule(fs, "hot-schedule"));
+  EXPECT_EQ(line_of_rule(fs, "hot-schedule"), 2);
+  // Milliseconds are always sub-minute, whatever the literal.
+  const std::vector<Finding> ms = lint_source(
+      "src/foo.cpp",
+      "void s(smn::sim::Simulator& q) { q.schedule_every(Duration::milliseconds(500), f); }\n",
+      true);
+  EXPECT_TRUE(has_rule(ms, "hot-schedule"));
+}
+
+TEST(LintTest, AllowsMinuteScalePeriodicAndConfigPeriods) {
+  // A minute or more is fine...
+  const std::vector<Finding> ok = lint_source(
+      "src/foo.cpp",
+      "void s(smn::sim::Simulator& q) { q.schedule_every(sim::Duration::minutes(5), f); }\n",
+      true);
+  EXPECT_FALSE(has_rule(ok, "hot-schedule"));
+  // ...and so is a config-driven period: only literals at the call site are
+  // flagged (the config default is a reviewed, named decision).
+  const std::vector<Finding> cfg = lint_source(
+      "src/foo.cpp", "void s(smn::sim::Simulator& q) { q.schedule_every(cfg_.poll, f); }\n",
+      true);
+  EXPECT_FALSE(has_rule(cfg, "hot-schedule"));
+}
+
+TEST(LintTest, DetectsCaptureDefaultScheduleInLoopBody) {
+  const std::string source =
+      "void flood(smn::sim::Simulator& sim) {\n"
+      "  for (int i = 0; i < 10; ++i) {\n"
+      "    sim.schedule_after(delay, [=] { use(i); });\n"
+      "  }\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  ASSERT_TRUE(has_rule(fs, "hot-schedule"));
+  EXPECT_EQ(line_of_rule(fs, "hot-schedule"), 3);
+}
+
+TEST(LintTest, DetectsFatByValueCapturesInLoopBody) {
+  const std::string source =
+      "void flood(smn::sim::Simulator& sim) {\n"
+      "  while (pending()) {\n"
+      "    sim.schedule_at(t, [this, a, b, c, d, e, f] { run(); });\n"
+      "  }\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  ASSERT_TRUE(has_rule(fs, "hot-schedule"));
+  EXPECT_EQ(line_of_rule(fs, "hot-schedule"), 3);
+}
+
+TEST(LintTest, AllowsLeanSchedulesInLoopBodies) {
+  // Small by-value capture lists and by-reference captures fit the event
+  // queue's inline buffer; scheduling outside any loop is never flagged.
+  const std::string source =
+      "void ok(smn::sim::Simulator& sim) {\n"
+      "  for (int i = 0; i < 10; ++i) {\n"
+      "    sim.schedule_after(delay, [this, i] { run(i); });\n"
+      "  }\n"
+      "  sim.schedule_after(delay, [=] { run_everything(); });\n"
+      "}\n";
+  const std::vector<Finding> fs = lint_source("src/foo.cpp", source, true);
+  EXPECT_FALSE(has_rule(fs, "hot-schedule"));
+}
+
+TEST(LintTest, HotScheduleIgnoredOutsideSrcAndSuppressible) {
+  const std::string source =
+      "void start(smn::sim::Simulator& sim) {\n"
+      "  sim.schedule_every(sim::Duration::seconds(1), [] {});\n"
+      "}\n";
+  EXPECT_FALSE(has_rule(lint_source("tests/foo.cpp", source, false), "hot-schedule"));
+  const std::string suppressed = "// smn-lint: allow(hot-schedule)\n" + source;
+  EXPECT_FALSE(has_rule(lint_source("src/foo.cpp", suppressed, true), "hot-schedule"));
+}
+
 TEST(LintTest, SuppressionCommentDisablesRuleFileWide) {
   const std::string source =
       "// smn-lint: allow(banned-random)\n"

@@ -1,6 +1,7 @@
 // Unit tests for the discrete-event engine, time primitives, and RNG streams.
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -140,6 +141,162 @@ TEST(Simulator, NestedSchedulingFromCallback) {
   ASSERT_EQ(times.size(), 2u);
   EXPECT_DOUBLE_EQ(times[0], 1.0);
   EXPECT_DOUBLE_EQ(times[1], 2.0);
+}
+
+// --- SmallFn (the allocation-free callback vehicle) -------------------------
+
+TEST(SmallFn, SmallCapturesStayInline) {
+  int hits = 0;
+  int* p = &hits;
+  SmallFn f{[p] { ++*p; }};
+  EXPECT_TRUE(f.is_inline());
+  EXPECT_TRUE(static_cast<bool>(f));
+  f();
+  f();
+  EXPECT_EQ(hits, 2);
+  // The documented budget: anything up to kSmallFnInlineBytes stays inline.
+  struct AtBudget {
+    char bytes[kSmallFnInlineBytes];
+  };
+  EXPECT_TRUE(SmallFn::fits_inline<decltype([x = AtBudget{}] { (void)x; })>());
+}
+
+TEST(SmallFn, OversizedCapturesFallBackToHeap) {
+  struct Fat {
+    char bytes[kSmallFnInlineBytes + 1] = {};
+  };
+  int hits = 0;
+  int* p = &hits;
+  SmallFn f{[p, fat = Fat{}] {
+    (void)fat;
+    ++*p;
+  }};
+  EXPECT_FALSE(f.is_inline());
+  f();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFn, MovePreservesCallableAndEmptiesSource) {
+  int hits = 0;
+  int* p = &hits;
+  SmallFn a{[p] { ++*p; }};
+  SmallFn b{std::move(a)};
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  b();
+  EXPECT_EQ(hits, 1);
+  SmallFn c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SmallFn, DestroysCaptureOnResetAndDestruction) {
+  struct Probe {
+    int* live;
+    explicit Probe(int* l) : live{l} { ++*live; }
+    Probe(const Probe& o) : live{o.live} { ++*live; }
+    Probe(Probe&& o) noexcept : live{o.live} { ++*live; }
+    ~Probe() { --*live; }
+  };
+  int live = 0;
+  {
+    SmallFn f{[probe = Probe{&live}] { (void)probe; }};
+    EXPECT_GT(live, 0);
+    f.reset();
+    EXPECT_EQ(live, 0);
+    EXPECT_FALSE(static_cast<bool>(f));
+  }
+  {
+    SmallFn f{[probe = Probe{&live}] { (void)probe; }};
+    EXPECT_GT(live, 0);
+  }
+  EXPECT_EQ(live, 0);
+}
+
+// --- slot-arena internals exposed through the public API --------------------
+
+TEST(Simulator, CancelReclaimsCaptureEagerly) {
+  // The old queue left cancelled closures alive until their time arrived
+  // (the documented lag); the slot arena must destroy them at cancel().
+  struct Probe {
+    int* live;
+    explicit Probe(int* l) : live{l} { ++*live; }
+    Probe(const Probe& o) : live{o.live} { ++*live; }
+    Probe(Probe&& o) noexcept : live{o.live} { ++*live; }
+    ~Probe() { --*live; }
+  };
+  Simulator sim;
+  int live = 0;
+  const EventId id = sim.schedule_after(Duration::days(30),
+                                        [probe = Probe{&live}] { (void)probe; });
+  EXPECT_GT(live, 0);
+  sim.cancel(id);
+  EXPECT_EQ(live, 0);  // reclaimed now, not 30 simulated days later
+  sim.check_invariants();
+  sim.run();
+}
+
+TEST(Simulator, SlotsAreRecycledAcrossChurn) {
+  // Schedule/cancel churn must not grow bookkeeping: pending() returns to
+  // zero and invariants hold at every step.
+  Simulator sim;
+  for (int round = 0; round < 100; ++round) {
+    const EventId keep = sim.schedule_after(Duration::hours(1), [] {});
+    const EventId drop = sim.schedule_after(Duration::hours(2), [] {});
+    sim.cancel(drop);
+    sim.cancel(keep);
+  }
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.check_invariants();
+}
+
+TEST(Simulator, StaleIdAfterSlotReuseIsNoOp) {
+  // Generation tags: an id whose slot was reclaimed and reused must not
+  // cancel the new occupant.
+  Simulator sim;
+  const EventId old_id = sim.schedule_after(Duration::hours(1), [] {});
+  sim.cancel(old_id);
+  int ran = 0;
+  sim.schedule_after(Duration::hours(1), [&ran] { ++ran; });  // reuses the slot
+  sim.cancel(old_id);  // stale generation: must be ignored
+  sim.run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(Simulator, PeriodicHandleIsNotCancellableAsEvent) {
+  // Periodic handles live in a tagged id space; cancel() must ignore them
+  // (and cancel_periodic must ignore plain event ids).
+  Simulator sim;
+  int ticks = 0;
+  const EventId periodic = sim.schedule_every(Duration::hours(1), [&ticks] { ++ticks; });
+  const EventId plain = sim.schedule_after(Duration::hours(10), [] {});
+  sim.cancel(periodic);        // wrong API for a periodic: no-op
+  sim.cancel_periodic(plain);  // wrong API for a plain event: no-op
+  sim.run_until(TimePoint{} + Duration::hours(3.5));
+  EXPECT_EQ(ticks, 3);
+  sim.cancel_periodic(periodic);
+  sim.cancel(plain);
+  sim.run();
+  sim.check_invariants();
+}
+
+TEST(Simulator, CheckInvariantsHoldsThroughMixedLoad) {
+  Simulator sim;
+  RngStream rng = RngFactory{42}.stream("mix");
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(sim.schedule_after(Duration::hours(rng.uniform(0.1, 48.0)),
+                                     [&fired] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) sim.cancel(ids[i]);
+  sim.check_invariants();
+  sim.run_until(TimePoint{} + Duration::hours(24.0));
+  sim.check_invariants();
+  sim.run();
+  sim.check_invariants();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_GT(fired, 0);
 }
 
 TEST(Rng, SameSeedSameStreamIsReproducible) {

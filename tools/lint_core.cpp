@@ -226,6 +226,183 @@ void check_hot_copy(const std::string& path, const std::string& code,
   }
 }
 
+// --- hot-schedule -----------------------------------------------------------
+//
+// The event queue stores callbacks in a 48-byte small-buffer; a capture list
+// that blows that budget heap-allocates on every schedule call, and a
+// sub-minute periodic multiplies queue pressure by orders of magnitude over a
+// month-scale run. Both are legal, but in this codebase they are almost
+// always a sign the code should be a state machine (sim/fom.h) or an
+// event-driven wakeup instead.
+
+/// Parses the first argument of a call whose '(' is at `open`; returns the
+/// argument text (up to the depth-1 comma or the closing paren).
+[[nodiscard]] std::string first_argument(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < code.size(); ++j) {
+    const char c = code[j];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') {
+      --depth;
+      if (depth == 0) return code.substr(open + 1, j - open - 1);
+    }
+    if (c == ',' && depth == 1) return code.substr(open + 1, j - open - 1);
+  }
+  return {};
+}
+
+/// True when a duration expression is a literal below one minute:
+/// microseconds(...)/milliseconds(...) always, seconds(x)/minutes(x) when the
+/// literal parses below the threshold. Config fields and variables are not
+/// flagged — only literals visible at the call site.
+[[nodiscard]] bool is_subminute_literal(const std::string& arg) {
+  for (const std::string& unit :
+       {std::string{"microseconds"}, std::string{"milliseconds"}, std::string{"seconds"},
+        std::string{"minutes"}}) {
+    const std::size_t pos = find_token(arg, unit, 0);
+    if (pos == std::string::npos) continue;
+    if (unit == "microseconds" || unit == "milliseconds") return true;
+    std::size_t i = pos + unit.size();
+    while (i < arg.size() && (std::isspace(static_cast<unsigned char>(arg[i])) != 0)) ++i;
+    if (i >= arg.size() || arg[i] != '(') continue;
+    ++i;
+    std::string num;
+    while (i < arg.size() &&
+           (std::isdigit(static_cast<unsigned char>(arg[i])) != 0 || arg[i] == '.')) {
+      num += arg[i++];
+    }
+    while (i < arg.size() && std::isspace(static_cast<unsigned char>(arg[i])) != 0) ++i;
+    if (num.empty() || i >= arg.size() || arg[i] != ')') continue;  // not a literal
+    const double v = std::stod(num);
+    if (unit == "seconds" ? v < 60.0 : v < 1.0) return true;
+  }
+  return false;
+}
+
+/// Extracts the first lambda capture list (text between '[' and its matching
+/// ']') in the arguments of the call whose '(' is at `open`; npos-empty when
+/// there is none.
+[[nodiscard]] std::string lambda_captures(const std::string& code, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < code.size(); ++j) {
+    const char c = code[j];
+    if (c == '(' || c == '{') ++depth;
+    if (c == ')' || c == '}') {
+      --depth;
+      if (depth == 0) return {};
+    }
+    if (c == '[' && depth >= 1) {
+      const std::size_t end = code.find(']', j);
+      if (end == std::string::npos) return {};
+      return code.substr(j + 1, end - j - 1);
+    }
+  }
+  return {};
+}
+
+/// Counts by-value captures (anything not starting with '&'); `cap_default`
+/// is set when the list is a bare `=` capture-default.
+[[nodiscard]] int count_by_value_captures(const std::string& caps, bool& cap_default) {
+  cap_default = false;
+  int by_value = 0;
+  std::size_t start = 0;
+  int depth = 0;
+  auto consume = [&](std::size_t from, std::size_t to) {
+    std::string item = caps.substr(from, to - from);
+    const auto first = item.find_first_not_of(" \t\n");
+    if (first == std::string::npos) return;
+    item = item.substr(first);
+    if (item[0] == '=') {
+      cap_default = true;
+    } else if (item[0] != '&') {
+      ++by_value;
+    }
+  };
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    const char c = caps[i];
+    if (c == '(' || c == '{' || c == '<') ++depth;
+    if (c == ')' || c == '}' || c == '>') --depth;
+    if (c == ',' && depth == 0) {
+      consume(start, i);
+      start = i + 1;
+    }
+  }
+  consume(start, caps.size());
+  return by_value;
+}
+
+void check_hot_schedule(const std::string& path, const std::string& code,
+                        std::vector<Finding>& out) {
+  // (a) sub-minute periodic literals.
+  for (std::size_t pos = find_token(code, "schedule_every", 0); pos != std::string::npos;
+       pos = find_token(code, "schedule_every", pos + 1)) {
+    std::size_t open = pos + std::string{"schedule_every"}.size();
+    while (open < code.size() && std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+      ++open;
+    }
+    if (open >= code.size() || code[open] != '(') continue;
+    if (is_subminute_literal(first_argument(code, open))) {
+      out.push_back({path, line_of(code, pos), "hot-schedule",
+                     "schedule_every with a sub-minute literal period floods the event queue "
+                     "over month-scale runs — poll lazily (arm only while there is something "
+                     "to watch) or use an event-driven wakeup (sim/fom.h)"});
+    }
+  }
+
+  // (b) schedule calls in loop bodies whose lambda captures exceed the
+  // small-buffer budget (capture-default `=` or more than 5 by-value items).
+  for (const std::string& kw : {std::string{"for"}, std::string{"while"}}) {
+    for (std::size_t pos = find_token(code, kw, 0); pos != std::string::npos;
+         pos = find_token(code, kw, pos + 1)) {
+      std::size_t i = pos + kw.size();
+      while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i])) != 0) ++i;
+      if (i >= code.size() || code[i] != '(') continue;
+      int depth = 0;
+      std::size_t close = std::string::npos;
+      for (std::size_t j = i; j < code.size(); ++j) {
+        const char c = code[j];
+        if (c == '(' || c == '[' || c == '{') ++depth;
+        if (c == ')' || c == ']' || c == '}') {
+          --depth;
+          if (depth == 0 && c == ')') {
+            close = j;
+            break;
+          }
+        }
+      }
+      if (close == std::string::npos) continue;
+      const auto [body_begin, body_end] = loop_body_span(code, close + 1);
+
+      for (const std::string& call :
+           {std::string{"schedule_at"}, std::string{"schedule_after"},
+            std::string{"schedule_every"}}) {
+        for (std::size_t hit = find_token(code, call, body_begin);
+             hit != std::string::npos && hit < body_end;
+             hit = find_token(code, call, hit + 1)) {
+          std::size_t open = hit + call.size();
+          while (open < code.size() &&
+                 std::isspace(static_cast<unsigned char>(code[open])) != 0) {
+            ++open;
+          }
+          if (open >= code.size() || code[open] != '(') continue;
+          bool cap_default = false;
+          const int by_value = count_by_value_captures(lambda_captures(code, open), cap_default);
+          if (cap_default || by_value > 5) {
+            out.push_back(
+                {path, line_of(code, hit), "hot-schedule",
+                 call + " in a loop body with " +
+                     (cap_default ? std::string{"a [=] capture-default"}
+                                  : std::to_string(by_value) + " by-value captures") +
+                     ": the closure likely exceeds the event queue's 48-byte inline buffer, "
+                     "heap-allocating per iteration — capture pointers/indices or move the "
+                     "state into a pooled fom (sim/fom.h)"});
+          }
+        }
+      }
+    }
+  }
+}
+
 void check_banned_tokens(const std::string& path, const std::string& code, const char* rule,
                          const std::vector<std::string>& tokens, const std::string& why,
                          std::vector<Finding>& out) {
@@ -262,6 +439,7 @@ std::vector<Finding> lint_source(const std::string& path, const std::string& con
                         "reproducibility",
                         all);
     check_hot_copy(path, code, all);
+    check_hot_schedule(path, code, all);
   }
   check_unordered_iteration(path, code, all);
   if (is_header(path)) {

@@ -24,6 +24,14 @@
 //                                     not re-hash or re-copy per iteration.
 //                                     Also flags bfs_distances() in loop
 //                                     bodies: each call recomputes a full BFS.
+//   hot-schedule         (src/ only)  schedule_every with a sub-minute literal
+//                                     period (floods the queue on month-scale
+//                                     runs), and schedule_* calls in for/while
+//                                     bodies whose lambda captures exceed the
+//                                     event queue's 48-byte inline buffer
+//                                     ([=] capture-default or > 5 by-value
+//                                     captures): each call heap-allocates —
+//                                     capture indices or use a pooled fom.
 //   pragma-once          (headers)    every header starts with #pragma once.
 //   namespace            (src/ headers) public headers declare namespace smn.
 //
