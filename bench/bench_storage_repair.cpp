@@ -1,0 +1,226 @@
+// Storage data-plane micro-bench: the tracked perf numbers for the
+// SNS-repair subsystem (src/storage/).
+//
+// Measures clean-read throughput (the steady-state ReadFom tick), degraded
+// reads (fan-out + route_and_load per read — the expensive path), repair
+// throughput (pick/rebuild/re-place cycles of the RepairCoordinator), and
+// the wall cost of one simulated day on the standard fabric with storage
+// enabled. The hard gate is the allocation counter: with a healthy fabric
+// and no dirty groups, read ticks must perform ZERO heap allocations — the
+// contract that keeps long sweeps flat. A nonzero steady state exits 1 and
+// fails CI's bench-smoke job.
+//
+// Usage: bench_storage_repair [sim_days] [json_out=BENCH_storage.json]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <string>
+
+#include "analysis/report.h"
+#include "runner/json_writer.h"
+#include "runner/presets.h"
+#include "scenario/world.h"
+#include "storage/data_plane.h"
+#include "topology/builders.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// Program-wide replacement so every heap allocation in the process is
+// counted; the gate measures deltas around the hot loops.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace smn;
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct Plant {
+  sim::Simulator sim;
+  topology::Blueprint bp = runner::standard_fabric();
+  net::Network net{bp, net::Network::Config{}, sim};
+  sim::RngFactory rngs{17};
+
+  void kill_server(std::size_t i) {
+    for (const net::LinkId lid : net.links_at(net.servers().at(i))) {
+      net.link_mut(lid).cable.intact = false;
+      net.refresh_link(lid);
+    }
+  }
+};
+
+/// Clean reads on a healthy fabric: the steady-state ReadFom tick rate.
+/// Also the allocation gate: after one warm-up window, the read loop must
+/// never touch the heap.
+struct CleanReads {
+  double reads_per_sec = 0.0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t reads = 0;
+};
+
+[[nodiscard]] CleanReads bench_clean_reads(double sim_days) {
+  Plant plant;
+  storage::DataPlane::Config cfg;
+  cfg.enabled = true;
+  cfg.layout = {.data_units = 8, .parity_units = 2, .stripes = 256};
+  cfg.read_interval = sim::Duration::minutes(1);
+  cfg.reads_per_tick = 64;
+  storage::DataPlane dp{plant.net, plant.rngs.stream("storage"), cfg};
+  dp.start();
+  plant.sim.run_until(plant.sim.now() + sim::Duration::hours(2.0));  // warm-up
+
+  CleanReads out;
+  const std::uint64_t reads_before = dp.reads();
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  plant.sim.run_until(plant.sim.now() + sim::Duration::days(sim_days));
+  const double dt = seconds_since(t0);
+  out.steady_allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  out.reads = dp.reads() - reads_before;
+  out.reads_per_sec = static_cast<double>(out.reads) / dt;
+  dp.check_invariants();
+  return out;
+}
+
+/// Degraded reads: two dead servers, repair off, so every read of an
+/// affected group reconstructs inline (fan-out + route_and_load).
+[[nodiscard]] double bench_degraded_reads(double sim_days) {
+  Plant plant;
+  storage::DataPlane::Config cfg;
+  cfg.enabled = true;
+  cfg.layout = {.data_units = 8, .parity_units = 2, .stripes = 256};
+  cfg.read_interval = sim::Duration::minutes(1);
+  cfg.reads_per_tick = 64;
+  cfg.repair = false;  // keep the groups degraded for the whole window
+  storage::DataPlane dp{plant.net, plant.rngs.stream("storage"), cfg};
+  dp.start();
+  plant.kill_server(0);
+  plant.kill_server(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  plant.sim.run_until(plant.sim.now() + sim::Duration::days(sim_days));
+  const double dt = seconds_since(t0);
+  dp.check_invariants();
+  return static_cast<double>(dp.degraded_reads()) / dt;
+}
+
+/// Repair churn: servers die one after another; the coordinator re-places
+/// their units onto survivors. Small units + a fat healthy-rate bucket keep
+/// the simulated rebuild delay negligible, so the wall cost measured is the
+/// pick/rebuild/re-place work itself.
+struct RepairRate {
+  double repairs_per_sec = 0.0;
+  double mb_per_sec = 0.0;
+  std::uint64_t repairs = 0;
+};
+
+[[nodiscard]] RepairRate bench_repair(int waves) {
+  Plant plant;
+  storage::DataPlane::Config cfg;
+  cfg.enabled = true;
+  cfg.layout = {.data_units = 8, .parity_units = 2, .stripes = 512, .unit_mb = 8.0};
+  cfg.read_interval = sim::Duration::zero();  // repair only
+  cfg.repair_mbps = 1.0e6;
+  storage::DataPlane dp{plant.net, plant.rngs.stream("storage"), cfg};
+  dp.start();
+
+  RepairRate out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int w = 0; w < waves; ++w) {
+    plant.kill_server(static_cast<std::size_t>(w) % plant.net.servers().size());
+    plant.sim.run_until(plant.sim.now() + sim::Duration::hours(6.0));
+  }
+  const double dt = seconds_since(t0);
+  out.repairs = dp.repairs_completed();
+  out.repairs_per_sec = static_cast<double>(out.repairs) / dt;
+  out.mb_per_sec = dp.repaired_mb() / dt;
+  dp.check_invariants();
+  return out;
+}
+
+/// One simulated day of the full standard world with storage enabled — the
+/// end-to-end marginal cost the sweep engine pays per replicate-day.
+[[nodiscard]] double bench_world_day(double sim_days) {
+  scenario::WorldConfig cfg =
+      runner::storage_world(core::AutomationLevel::kL3_HighAutomation, 23);
+  scenario::World world{runner::standard_fabric(), cfg};
+  world.start();
+  world.run_for(sim::Duration::days(1.0));  // warm-up day
+  const auto t0 = std::chrono::steady_clock::now();
+  world.run_for(sim::Duration::days(sim_days));
+  const double dt = seconds_since(t0);
+  world.check_invariants();
+  return static_cast<double>(sim_days) / dt;  // simulated days per wall second
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using analysis::Table;
+  const double sim_days = argc > 1 ? std::atof(argv[1]) : 4.0;
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_storage.json";
+
+  std::printf("STORAGE DATA PLANE: SNS-repair micro-bench\n");
+  std::printf("  clean/degraded read ticks, repair churn, world day-step with storage;\n");
+  std::printf("  CI tracks rates and gates on zero steady-state read allocations\n\n");
+
+  const CleanReads clean = bench_clean_reads(sim_days);
+  const double degraded_rps = bench_degraded_reads(sim_days);
+  const RepairRate repair = bench_repair(24);
+  const double world_dps = bench_world_day(2.0);
+
+  Table table{{"benchmark", "rate", "unit"}};
+  table.add_row({"clean reads (healthy fabric)", Table::num(clean.reads_per_sec, 0),
+                 "reads/s"});
+  table.add_row({"degraded reads (2 dead servers)", Table::num(degraded_rps, 0), "reads/s"});
+  table.add_row({"repair cycles", Table::num(repair.repairs_per_sec, 0), "repairs/s"});
+  table.add_row({"repair volume", Table::num(repair.mb_per_sec, 0), "MB/s"});
+  table.add_row({"world day-step w/ storage", Table::num(world_dps, 2), "sim-days/s"});
+  table.add_row({"steady-state allocations",
+                 Table::num(static_cast<double>(clean.steady_allocs), 0), "allocs"});
+  table.print(std::cout);
+
+  {
+    runner::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "smn-bench-storage-v1");
+    w.kv("sim_days", sim_days);
+    w.kv("clean_reads_per_sec", clean.reads_per_sec);
+    w.kv("degraded_reads_per_sec", degraded_rps);
+    w.kv("repairs_per_sec", repair.repairs_per_sec);
+    w.kv("repair_mb_per_sec", repair.mb_per_sec);
+    w.kv("world_days_per_sec_with_storage", world_dps);
+    w.kv("steady_state_allocs", static_cast<double>(clean.steady_allocs));
+    w.kv("steady_state_reads", static_cast<double>(clean.reads));
+    w.end_object();
+    std::ofstream out{json_path};
+    out << w.str() << "\n";
+    std::printf("report written to %s\n", json_path);
+  }
+
+  if (clean.steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocations across %llu steady-state reads — the "
+                 "healthy-fabric read loop must be allocation-free\n",
+                 static_cast<unsigned long long>(clean.steady_allocs),
+                 static_cast<unsigned long long>(clean.reads));
+    return 1;
+  }
+  return 0;
+}

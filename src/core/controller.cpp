@@ -32,6 +32,7 @@ MaintenanceController::MaintenanceController(net::Network& net,
       escalation_{cfg.escalation},
       migrator_{net},
       fom_engine_{net.simulator()},
+      scan_fom_{*this},
       supervisors_free_{cfg.supervisors} {}
 
 MaintenanceController::HopFom& MaintenanceController::acquire_hop() {
@@ -83,11 +84,9 @@ void MaintenanceController::HopFom::on_done() {
 void MaintenanceController::start() {
   if (started_) return;
   started_ = true;
+  scan_anchor_ = net_.now();
   detection_.subscribe([this](const telemetry::Detection& d) { on_detection(d); });
-  if (cfg_.proactive.enabled) {
-    net_.simulator().schedule_every(cfg_.proactive.scan_interval,
-                                    [this] { proactive_scan(); });
-  }
+  arm_scan();
 }
 
 void MaintenanceController::set_obs(obs::Obs* o) {
@@ -327,6 +326,7 @@ void MaintenanceController::resolve_or_replan(int ticket_id, const JobReport& re
       const net::DeviceId sw =
           report.job.end == 0 ? l.end_a.device : l.end_b.device;
       reseat_fixes_[sw].push_back(net_.now());
+      arm_scan();  // a fresh reseat fix is a proactive-scan trigger source
     }
     return;
   }
@@ -470,6 +470,42 @@ void MaintenanceController::proactive_scan() {
       open_proactive(l.id, kind, 0);
     }
   }
+}
+
+void MaintenanceController::arm_scan() {
+  if (!started_ || !cfg_.proactive.enabled) return;
+  if (!traits_.robots_allowed || fleet_ == nullptr) return;
+  // A scan with no trigger source is a pure no-op (is_low() is const, the
+  // reseat loop only prunes empty vectors, the predictor branch is skipped,
+  // and nothing draws randomness), so the grid ticks it would have consumed
+  // can be skipped wholesale. An attached predictor keeps the loop
+  // free-running (every link is a candidate); otherwise only unconsumed
+  // reseat fixes justify waking up. Stale fixes outside the trigger window
+  // still count here — the scan itself prunes them (under is_low), and the
+  // re-arm below stops once the vectors drain.
+  const bool predictor_work = cfg_.proactive.use_predictor && predictor_ != nullptr;
+  bool reseat_work = false;
+  if (!predictor_work && cfg_.proactive.switch_wide_reseat) {
+    for (const auto& [device, times] : reseat_fixes_) {
+      if (!times.empty()) {
+        reseat_work = true;
+        break;
+      }
+    }
+  }
+  if (!predictor_work && !reseat_work) return;
+  // Strictly-next grid point (anchor = start time), so the fom fires exactly
+  // where schedule_every's ticks used to land; wakeup coalescing makes the
+  // redundant re-arms from each reseat fix free.
+  const std::int64_t us = cfg_.proactive.scan_interval.count_us();
+  const std::int64_t k = (net_.now() - scan_anchor_).count_us() / us + 1;
+  fom_engine_.wake_at(scan_fom_, scan_anchor_ + sim::Duration::microseconds(k * us));
+}
+
+sim::Fom::Tick MaintenanceController::ScanFom::tick() {
+  ctl_.proactive_scan();
+  ctl_.arm_scan();  // re-armed only while a trigger source remains
+  return Tick::kWait;
 }
 
 }  // namespace smn::core

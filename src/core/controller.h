@@ -86,6 +86,7 @@ class MaintenanceController {
   /// proactive maintenance when cfg.proactive.use_predictor).
   void set_predictor(const telemetry::LogisticPredictor* predictor) {
     predictor_ = predictor;
+    arm_scan();
   }
 
   /// Cross-layer co-design (abstract: "the core cloud services are
@@ -144,6 +145,20 @@ class MaintenanceController {
     friend class MaintenanceController;
   };
 
+  /// The proactive scan loop as a fom: armed on the `scan_interval` grid
+  /// only while a trigger source exists (recent reseat fixes, or an attached
+  /// predictor) — idle worlds schedule no scan events at all. Skipped grid
+  /// ticks are behavior-identical to free-running ones: a scan with no
+  /// trigger sources mutates nothing and draws no randomness.
+  class ScanFom final : public sim::Fom {
+   public:
+    explicit ScanFom(MaintenanceController& ctl) : sim::Fom(ctl.fom_engine_), ctl_(ctl) {}
+
+   private:
+    Tick tick() override;
+    MaintenanceController& ctl_;
+  };
+
   void on_detection(const telemetry::Detection& d);
   /// Chooses the next rung and performer for a ticket and dispatches it.
   void plan(int ticket_id);
@@ -154,6 +169,8 @@ class MaintenanceController {
   void resolve_or_replan(int ticket_id, const maintenance::JobReport& report);
   [[nodiscard]] bool link_recovered(net::LinkId id) const;
   void proactive_scan();
+  /// Arms the next grid-aligned proactive scan iff a trigger source exists.
+  void arm_scan();
   void open_proactive(net::LinkId link, maintenance::RepairActionKind kind, int end);
   void acquire_supervisor(std::function<void()> then);
   void release_supervisor();
@@ -174,6 +191,8 @@ class MaintenanceController {
   sim::FomEngine fom_engine_;
   std::vector<std::unique_ptr<HopFom>> hop_foms_;  // all hop foms ever created
   std::vector<HopFom*> hop_free_;                  // recycled, ready for reuse
+  ScanFom scan_fom_;
+  sim::TimePoint scan_anchor_;  // proactive grid origin (time of start())
   const telemetry::LogisticPredictor* predictor_ = nullptr;
 
   /// Reseat-resolutions per switch, for the §4 switch-wide heuristic.

@@ -33,7 +33,9 @@ RobotFleet::RobotFleet(net::Network& net, fault::CascadeModel& cascade,
       cfg_{std::move(cfg)},
       manipulator_{cfg_.manipulator},
       cleaner_{cfg_.cleaner},
-      fom_engine_{net.simulator()} {
+      fom_engine_{net.simulator()},
+      restock_fom_{*this},
+      restock_anchor_{net.now()} {
   for (const RobotUnitSpec& spec : cfg_.units) {
     units_.push_back(Unit{spec, spec.home, false, true});
   }
@@ -42,7 +44,6 @@ RobotFleet::RobotFleet(net::Network& net, fault::CascadeModel& cascade,
         net::FormFactor::kOsfp}) {
     spares_[ff] = cfg_.spares_per_form_factor;
   }
-  net_.simulator().schedule_every(cfg_.restock_interval, [this] { restock(); });
 }
 
 bool RobotFleet::capable(RepairActionKind kind) const {
@@ -294,6 +295,7 @@ void RobotFleet::run(std::size_t unit_index, Pending p) {
         break;
       }
       spares_[sku.form_factor] -= 1;
+      arm_restock();  // inventory below cap: the next weekly top-up matters
       const auto u1 = manipulator_.unplug(rng_, sku, clutter);
       const auto u2 = manipulator_.plug(rng_, sku, clutter);
       work = u1.duration + u2.duration + sim::Duration::seconds(30.0);  // POST check
@@ -520,6 +522,22 @@ int RobotFleet::units_online() const {
 int RobotFleet::spares_available(net::FormFactor ff) const {
   const auto it = spares_.find(ff);
   return it == spares_.end() ? 0 : it->second;
+}
+
+void RobotFleet::arm_restock() {
+  // Strictly-next grid point on the old weekly timer's schedule (anchor =
+  // construction time). Wakeup coalescing makes repeated consumptions within
+  // one interval free, and restock() tops every form factor back to cap, so
+  // no re-arm is needed on fire — the next consumption arms the next one.
+  const std::int64_t us = cfg_.restock_interval.count_us();
+  const std::int64_t k = (net_.now() - restock_anchor_).count_us() / us + 1;
+  fom_engine_.wake_at(restock_fom_,
+                      restock_anchor_ + sim::Duration::microseconds(k * us));
+}
+
+sim::Fom::Tick RobotFleet::RestockFom::tick() {
+  fleet_.restock();
+  return Tick::kWait;
 }
 
 void RobotFleet::restock() {

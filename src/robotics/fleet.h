@@ -164,6 +164,20 @@ class RobotFleet {
     friend class RobotFleet;
   };
 
+  /// Weekly spares restock as a fom: armed at the next `restock_interval`
+  /// grid point only when a spare is actually consumed — a fleet that never
+  /// replaces a transceiver schedules no restock events at all. Behavior
+  /// matches the old free-running weekly timer: restock() is an idempotent
+  /// top-up, so the skipped grid ticks were pure no-ops.
+  class RestockFom final : public sim::Fom {
+   public:
+    explicit RestockFom(RobotFleet& fleet) : sim::Fom(fleet.fom_engine_), fleet_(fleet) {}
+
+   private:
+    Tick tick() override;
+    RobotFleet& fleet_;
+  };
+
   struct RowRecheck {
     sim::EventId event = sim::kInvalidEvent;
     sim::TimePoint at;
@@ -186,6 +200,8 @@ class RobotFleet {
   void release_unit(std::size_t unit_index);
   void report_immediate(const Pending& p, const char* performer);
   void restock();
+  /// Arms the next grid-aligned restock (called when a spare is consumed).
+  void arm_restock();
 
   net::Network& net_;
   fault::CascadeModel& cascade_;
@@ -197,6 +213,8 @@ class RobotFleet {
   sim::FomEngine fom_engine_;
   std::vector<std::unique_ptr<JobFom>> foms_;  // all job foms ever created
   std::vector<JobFom*> fom_free_;              // recycled, ready for reuse
+  RestockFom restock_fom_;
+  sim::TimePoint restock_anchor_;  // restock grid origin (construction time)
   std::vector<Unit> units_;
   std::deque<Pending> queue_;
   /// (hall<<20 | row) -> lockout expiry.

@@ -111,19 +111,117 @@ SweepSpec campus_sweep(sim::Duration duration, std::uint64_t first_seed, std::ui
   return spec;
 }
 
+scenario::WorldConfig storage_world(core::AutomationLevel level, std::uint64_t seed) {
+  scenario::WorldConfig cfg = standard_world(level, seed);
+  cfg.storage.enabled = true;
+  // 8+2 groups of 2 GiB units at 250 MB/s healthy repair: one unit rebuild
+  // takes ~8 simulated seconds. The E19 contrast lives in what ends an
+  // episode: robot-maintained fabrics restore links fast enough that most
+  // dirty groups close by self-recovery in about a second, while under
+  // human maintenance nearly every failure rides the full reconstruction
+  // path (queue + health-throttled rebuild).
+  cfg.storage.layout.data_units = 8;
+  cfg.storage.layout.parity_units = 2;
+  cfg.storage.layout.stripes = 64;
+  cfg.storage.layout.unit_mb = 2048.0;
+  cfg.storage.repair_mbps = 250.0;
+  return cfg;
+}
+
+namespace {
+
+/// Narrow layout for the 8-server quick/campus fabrics: 3+1 groups of small
+/// units so CI cells rebuild in simulated minutes, not hours.
+void narrow_storage(scenario::WorldConfig& cfg) {
+  cfg.storage.layout.data_units = 3;
+  cfg.storage.layout.parity_units = 1;
+  cfg.storage.layout.stripes = 24;
+  cfg.storage.layout.unit_mb = 512.0;
+}
+
+}  // namespace
+
+SweepSpec storage_quick_sweep(sim::Duration duration, std::uint64_t first_seed,
+                              std::uint64_t seeds) {
+  SweepSpec spec = base_spec(duration, first_seed, seeds);
+  const topology::Blueprint bp =
+      topology::build_leaf_spine({.leaves = 4, .spines = 2, .servers_per_leaf = 2});
+  scenario::WorldConfig cfg =
+      storage_world(core::AutomationLevel::kL3_HighAutomation, first_seed);
+  narrow_storage(cfg);
+  spec.cells.push_back({"storage-quick/L3", bp, std::move(cfg)});
+  return spec;
+}
+
+SweepSpec storage_campus_sweep(sim::Duration duration, std::uint64_t first_seed,
+                               std::uint64_t seeds) {
+  SweepSpec spec = base_spec(duration, first_seed, seeds);
+  topology::CampusParams params;
+  params.halls = 4;
+  params.hall = {.leaves = 4, .spines = 2, .servers_per_leaf = 2};
+  scenario::WorldConfig cfg =
+      storage_world(core::AutomationLevel::kL3_HighAutomation, first_seed);
+  narrow_storage(cfg);
+  spec.cells.emplace_back("storage-campus/L3", topology::build_campus(params),
+                          std::move(cfg));
+  return spec;
+}
+
+SweepSpec storage_sweep(sim::Duration duration, std::uint64_t first_seed,
+                        std::uint64_t seeds) {
+  // The same five fabrics smnctl's --audit-determinism cycles through.
+  struct Fabric {
+    const char* name;
+    topology::Blueprint bp;
+  };
+  std::vector<Fabric> fabrics;
+  fabrics.push_back({"leaf-spine", standard_fabric()});
+  fabrics.push_back({"fat-tree", topology::build_fat_tree({.k = 8})});
+  fabrics.push_back({"jellyfish",
+                     topology::build_jellyfish({.switches = 32,
+                                                .network_degree = 8,
+                                                .servers_per_switch = 4,
+                                                .seed = 1})});
+  fabrics.push_back({"xpander",
+                     topology::build_xpander({.network_degree = 7,
+                                              .lift = 4,
+                                              .servers_per_switch = 4,
+                                              .seed = 1})});
+  fabrics.push_back(
+      {"gpu", topology::build_gpu_cluster({.gpu_servers = 16, .rails = 8, .spines = 2})});
+
+  SweepSpec spec = base_spec(duration, first_seed, seeds);
+  for (Fabric& f : fabrics) {
+    // E19's contrast: human repair timescales (L0, technician shifts) vs
+    // robotic ones (L4, minutes) under the identical fault environment.
+    for (const auto& [tag, level] :
+         {std::pair{"human", core::AutomationLevel::kL0_Manual},
+          std::pair{"robot", core::AutomationLevel::kL4_FullAutomation}}) {
+      spec.cells.push_back(
+          {std::string{f.name} + "/" + tag, f.bp, storage_world(level, first_seed)});
+    }
+  }
+  return spec;
+}
+
 SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
                      std::uint64_t first_seed, std::uint64_t seeds) {
   if (preset == "availability") return availability_sweep(duration, first_seed, seeds);
   if (preset == "topologies") return topology_sweep(duration, first_seed, seeds);
   if (preset == "quick") return quick_sweep(duration, first_seed, seeds);
   if (preset == "campus") return campus_sweep(duration, first_seed, seeds);
-  throw std::invalid_argument{"unknown sweep preset '" + preset +
-                              "' (use availability|topologies|quick|campus)"};
+  if (preset == "storage") return storage_sweep(duration, first_seed, seeds);
+  if (preset == "storage-quick") return storage_quick_sweep(duration, first_seed, seeds);
+  if (preset == "storage-campus") return storage_campus_sweep(duration, first_seed, seeds);
+  throw std::invalid_argument{
+      "unknown sweep preset '" + preset +
+      "' (use availability|topologies|quick|campus|storage|storage-quick|storage-campus)"};
 }
 
 const std::vector<std::string>& sweep_preset_names() {
-  static const std::vector<std::string> kNames = {"availability", "topologies", "quick",
-                                                  "campus"};
+  static const std::vector<std::string> kNames = {
+      "availability", "topologies", "quick", "campus", "storage", "storage-quick",
+      "storage-campus"};
   return kNames;
 }
 

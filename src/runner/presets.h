@@ -46,6 +46,26 @@ namespace smn::runner {
 [[nodiscard]] SweepSpec campus_sweep(sim::Duration duration, std::uint64_t first_seed,
                                      std::uint64_t seeds);
 
+/// Standard-world config with the SNS-repair storage data plane enabled,
+/// sized for fabrics with >= 10 servers (8+2 parity groups).
+[[nodiscard]] scenario::WorldConfig storage_world(core::AutomationLevel level,
+                                                  std::uint64_t seed);
+
+/// quick_sweep's tiny fabric with a narrow (3+1) stripe layout — the
+/// storage-enabled determinism/jobs-invariance CI cell.
+[[nodiscard]] SweepSpec storage_quick_sweep(sim::Duration duration, std::uint64_t first_seed,
+                                            std::uint64_t seeds);
+
+/// campus_sweep's four-hall ring with per-hall storage and cross-hall replica
+/// pushes riding the epoch barrier — the storage shard-invariance CI cell.
+[[nodiscard]] SweepSpec storage_campus_sweep(sim::Duration duration, std::uint64_t first_seed,
+                                             std::uint64_t seeds);
+
+/// E19 grid: the five topology presets x {human L0, robot L4}, storage on —
+/// repair-window and data-loss numbers at human vs robot repair timescales.
+[[nodiscard]] SweepSpec storage_sweep(sim::Duration duration, std::uint64_t first_seed,
+                                      std::uint64_t seeds);
+
 /// Dispatch by preset name; throws std::invalid_argument for unknown names.
 [[nodiscard]] SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
                                    std::uint64_t first_seed, std::uint64_t seeds);

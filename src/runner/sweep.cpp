@@ -85,6 +85,9 @@ using WallClock = std::chrono::steady_clock;
   auto& m = r.metrics;
   analysis::CostInputs costs;
   double weight_total = 0.0;
+  double storage_window_hours = 0.0, storage_windows = 0.0;
+  double storage_lost = 0.0, storage_stripes = 0.0;
+  double storage_bad_reads = 0.0, storage_reads = 0.0;
   for (std::size_t i = 0; i < campus.domain_count(); ++i) {
     scenario::World& world = campus.domain(i);
     const analysis::AvailabilityTracker& avail = world.availability();
@@ -105,12 +108,29 @@ using WallClock = std::chrono::steady_clock;
     m[kTechnicianHours] += world.technicians().labor_hours();
     m[kRobotBusyHours] += world.has_fleet() ? world.fleet().busy_hours() : 0.0;
     costs.robot_units += world.has_fleet() ? world.fleet().units_online() : 0;
+    if (world.has_storage()) {
+      const storage::DataPlane& sp = world.storage();
+      storage_window_hours += sp.repair_window_hours_sum();
+      storage_windows += static_cast<double>(sp.repair_windows());
+      storage_lost += static_cast<double>(sp.pool().stripes_lost_ever());
+      storage_stripes += static_cast<double>(sp.pool().stripe_count());
+      storage_bad_reads +=
+          static_cast<double>(sp.degraded_reads() + sp.unavailable_reads());
+      storage_reads += static_cast<double>(sp.reads());
+    }
   }
   if (weight_total > 0.0) {
     m[kAvailability] /= weight_total;
     m[kImpairedFraction] /= weight_total;
   }
   m[kNines] = analysis::AvailabilityTracker::nines(m[kAvailability]);
+  // Campus-wide storage ratios from the raw sums (hall-count independent).
+  m[kStorageRepairWindowHours] =
+      storage_windows > 0.0 ? storage_window_hours / storage_windows : 0.0;
+  m[kStorageDataLossFraction] =
+      storage_stripes > 0.0 ? storage_lost / storage_stripes : 0.0;
+  m[kStorageDegradedReadFraction] =
+      storage_reads > 0.0 ? storage_bad_reads / storage_reads : 0.0;
 
   costs.technician_hours = m[kTechnicianHours];
   costs.robot_busy_hours = m[kRobotBusyHours];
@@ -172,6 +192,12 @@ ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cel
       static_cast<double>(world.tickets().count(maintenance::TicketState::kResolved));
   m[kTechnicianHours] = world.technicians().labor_hours();
   m[kRobotBusyHours] = world.has_fleet() ? world.fleet().busy_hours() : 0.0;
+  if (world.has_storage()) {
+    const storage::DataPlane& sp = world.storage();
+    m[kStorageRepairWindowHours] = sp.mean_repair_window_hours();
+    m[kStorageDataLossFraction] = sp.data_loss_fraction();
+    m[kStorageDegradedReadFraction] = sp.degraded_read_fraction();
+  }
 
   analysis::CostInputs costs;
   costs.technician_hours = m[kTechnicianHours];

@@ -92,6 +92,14 @@ enum Metric : std::size_t {
   /// continuation scheduler's headline observable — fewer wakeups for the
   /// same physical outcome means a leaner hot loop.
   kEventsPerSimDay,
+  /// Storage data plane (0 when `WorldConfig::storage.enabled` is false):
+  /// mean dirty-episode length (first failure → parity group fully clean),
+  /// the fraction of parity groups that ever crossed the >K simultaneous-
+  /// failure line, and the fraction of reads that went degraded or
+  /// unavailable — the client-visible durability triple of E19.
+  kStorageRepairWindowHours,
+  kStorageDataLossFraction,
+  kStorageDegradedReadFraction,
   kMetricCount,
 };
 
@@ -102,7 +110,8 @@ inline constexpr std::array<const char*, kMetricCount> kMetricNames = {
     "open_backlog",         "faults_injected",
     "tickets_resolved",     "technician_hours",
     "robot_busy_hours",     "annual_cost_usd",
-    "events_per_sim_day",
+    "events_per_sim_day",   "storage_repair_window_hours",
+    "storage_data_loss_fraction", "storage_degraded_read_fraction",
 };
 
 struct ReplicateResult {

@@ -41,6 +41,10 @@ Campus::Campus(const topology::CampusBlueprint& blueprint, CampusConfig cfg)
         d->spares_denied = reg->counter("campus_spares_denied_total");
         d->depot_level = reg->gauge("campus_spare_depot_level");
         d->depot_level->set(static_cast<double>(spare_pool_.stock()));
+        if (cfg_.hall.storage.enabled) {
+          d->repl_tx = reg->counter("campus_storage_repl_tx_total");
+          d->repl_rx = reg->counter("campus_storage_repl_rx_total");
+        }
       }
     }
     domains_.push_back(std::move(d));
@@ -62,6 +66,11 @@ void Campus::start() {
     if (cfg_.spare_audit_period > sim::Duration::zero()) {
       d.world->simulator().schedule_every(cfg_.spare_audit_period,
                                           [this, dom = &d] { spare_audit_tick(*dom); });
+    }
+    if (cfg_.hall.storage.enabled && cfg_.storage_repl_period > sim::Duration::zero() &&
+        !graph_.peers(d.index).empty()) {
+      d.world->simulator().schedule_every(cfg_.storage_repl_period,
+                                          [this, dom = &d] { storage_repl_tick(*dom); });
     }
   }
 }
@@ -97,6 +106,21 @@ void Campus::spare_audit_tick(Domain& d) {
   m.spares = static_cast<int>(delta);
   d.outbox.push_back(m);
   if (d.spares_requested != nullptr) d.spares_requested->inc(delta);
+}
+
+void Campus::storage_repl_tick(Domain& d) {
+  const sim::TimePoint now = d.world->now();
+  for (const net::DomainPeer& peer : graph_.peers(d.index)) {
+    CrossMessage m;
+    m.kind = CrossMessage::Kind::kStorageRepl;
+    m.src = d.index;
+    m.dst = peer.hall;
+    m.sent = now;
+    m.seq = d.next_seq++;
+    m.mb = cfg_.storage_repl_mb;
+    d.outbox.push_back(m);
+    if (d.repl_tx != nullptr) d.repl_tx->inc();
+  }
 }
 
 void Campus::run_chunk(sim::TimePoint target, const Executor& exec) {
@@ -144,6 +168,18 @@ void Campus::exchange(sim::TimePoint barrier) {
           const bool impaired =
               dom->world->network().count_links(net::LinkState::kDown) > 0;
           if (impaired && dom->rx_degraded != nullptr) dom->rx_degraded->inc();
+        });
+        break;
+      }
+      case CrossMessage::Kind::kStorageRepl: {
+        SMN_ASSERT(m.dst >= 0 && m.dst < static_cast<int>(domains_.size()),
+                   "storage replica message to unknown hall %d", m.dst);
+        Domain& dst = *domains_[static_cast<std::size_t>(m.dst)];
+        const sim::Duration latency = graph_.latency(m.src, m.dst);
+        SMN_ASSERT(latency < sim::Duration::max(), "storage replica between non-adjacent halls");
+        dst.world->simulator().schedule_at(m.sent + latency, [dom = &dst, mb = m.mb] {
+          if (dom->repl_rx != nullptr) dom->repl_rx->inc();
+          if (dom->world->has_storage()) dom->world->storage().absorb_replica_mb(mb);
         });
         break;
       }

@@ -49,6 +49,7 @@ struct CrossMessage {
   enum class Kind : std::uint8_t {
     kTraffic,       // inter-hall flow offered to dst's fabric
     kSpareRequest,  // hall asks the shared depot for replacement units
+    kStorageRepl,   // cross-hall replica delta for dst's storage data plane
   };
   Kind kind = Kind::kTraffic;
   int src = -1;  // source hall
@@ -57,6 +58,7 @@ struct CrossMessage {
   std::uint64_t seq = 0;  // per-source sequence number; (src, seq) is unique
   double gbps = 0.0;      // kTraffic: offered load
   int spares = 0;         // kSpareRequest: units wanted
+  double mb = 0.0;        // kStorageRepl: replica payload
 
   [[nodiscard]] sim::ExchangeKey key() const { return {sent, src, seq}; }
 };
@@ -113,6 +115,13 @@ struct CampusConfig {
   /// zero() disables.
   sim::Duration spare_audit_period = sim::Duration::hours(6);
   core::SparePool::Config spare_pool;
+  /// Cross-hall storage replication (active only when `hall.storage.enabled`):
+  /// every period each hall pushes `storage_repl_mb` of replica deltas to
+  /// each trunk peer; the delta lands in the peer's repair token bucket
+  /// (storage::DataPlane::absorb_replica_mb), so replication competes with
+  /// local reconstruction for repair bandwidth. zero() disables.
+  sim::Duration storage_repl_period = sim::Duration::hours(2);
+  double storage_repl_mb = 512.0;
 };
 
 /// Deterministic per-hall seed derivation (splitmix-style odd-constant
@@ -196,12 +205,15 @@ class Campus {
     obs::Counter* spares_granted = nullptr;
     obs::Counter* spares_denied = nullptr;
     obs::Gauge* depot_level = nullptr;
+    obs::Counter* repl_tx = nullptr;  // storage replica pushes sent/received
+    obs::Counter* repl_rx = nullptr;
 
     Domain(int idx, sim::RngStream rng) : index{idx}, traffic_rng{std::move(rng)} {}
   };
 
   void traffic_tick(Domain& d);
   void spare_audit_tick(Domain& d);
+  void storage_repl_tick(Domain& d);
   /// Runs all domains to `target` through `exec`, posting outboxes.
   void run_chunk(sim::TimePoint target, const Executor& exec);
   /// Sorted-merge delivery of everything pending at barrier time `barrier`.

@@ -66,6 +66,7 @@ World::World(const topology::Blueprint& blueprint, WorldConfig cfg)
   contamination_->set_obs(obs_.get());
   detection_ = std::make_unique<telemetry::DetectionEngine>(
       *network_, rngs.stream("detection"), cfg_.detection);
+  detection_->set_obs(obs_.get());
   cfg_.technicians.use_fom = cfg_.fom_workflows;
   cfg_.fleet.use_fom = cfg_.fom_workflows;
   technicians_ = std::make_unique<maintenance::TechnicianPool>(
@@ -91,6 +92,11 @@ World::World(const topology::Blueprint& blueprint, WorldConfig cfg)
       *network_, *detection_, tickets_, *cascade_, *technicians_, fleet_.get(),
       rngs.stream("controller"), cfg_.controller);
   availability_ = std::make_unique<analysis::AvailabilityTracker>(*network_);
+  if (cfg_.storage.enabled) {
+    storage_ = std::make_unique<storage::DataPlane>(*network_, rngs.stream("storage"),
+                                                    cfg_.storage);
+    storage_->set_obs(obs_.get());
+  }
 
   technicians_->set_obs(obs_.get());
   if (fleet_ != nullptr) fleet_->set_obs(obs_.get());
@@ -104,6 +110,7 @@ void World::start() {
   contamination_->start();
   detection_->start();
   controller_->start();
+  if (storage_ != nullptr) storage_->start();
   // Keep the vibration-event list bounded on long runs.
   sim_.schedule_every(sim::Duration::days(1), [this] { environment_.prune(sim_.now()); });
   if (cfg_.invariant_interval > sim::Duration::zero()) {
@@ -116,6 +123,7 @@ void World::check_invariants() const {
   network_->check_invariants();
   tickets_.check_invariants();
   if (fleet_ != nullptr) fleet_->check_invariants();
+  if (storage_ != nullptr) storage_->check_invariants();
 }
 
 void World::run_for(sim::Duration d) {

@@ -24,6 +24,7 @@
 #include "obs/obs.h"
 #include "robotics/fleet.h"
 #include "sim/event_queue.h"
+#include "storage/data_plane.h"
 #include "telemetry/monitor.h"
 #include "topology/blueprint.h"
 
@@ -40,6 +41,10 @@ struct WorldConfig {
   maintenance::TechnicianPool::Config technicians;
   robotics::RobotFleet::Config fleet;  // units empty => row_coverage roster
   core::MaintenanceController::Config controller;
+  /// SNS-repair storage data plane (off by default; `storage.enabled = true`
+  /// stripes objects over the servers and turns link repair speed into
+  /// repair-window and data-loss numbers).
+  storage::DataPlane::Config storage;
   bool use_robots = true;
   /// Master switch for the continuation-style workflow scheduler: overrides
   /// `technicians.use_fom` and `fleet.use_fom` together. `false` runs the
@@ -94,6 +99,9 @@ class World {
   robotics::RobotFleet& fleet() { return *fleet_; }
   core::MaintenanceController& controller() { return *controller_; }
   analysis::AvailabilityTracker& availability() { return *availability_; }
+  [[nodiscard]] bool has_storage() const { return storage_ != nullptr; }
+  storage::DataPlane& storage() { return *storage_; }
+  [[nodiscard]] const storage::DataPlane& storage() const { return *storage_; }
   obs::Obs& obs() { return *obs_; }
   [[nodiscard]] const obs::Obs& obs() const { return *obs_; }
 
@@ -116,6 +124,7 @@ class World {
   std::unique_ptr<robotics::RobotFleet> fleet_;
   std::unique_ptr<core::MaintenanceController> controller_;
   std::unique_ptr<analysis::AvailabilityTracker> availability_;
+  std::unique_ptr<storage::DataPlane> storage_;
   bool started_ = false;
 };
 

@@ -1,0 +1,270 @@
+#include "storage/data_plane.h"
+
+#include <cstddef>
+
+#include "core/check.h"
+
+namespace smn::storage {
+
+DataPlane::DataPlane(net::Network& net, sim::RngStream rng, Config cfg)
+    : net_{net},
+      rng_{std::move(rng)},
+      cfg_{std::move(cfg)},
+      fom_engine_{net.simulator()},
+      pool_{net, rng_, cfg_.layout},
+      read_fom_{*this},
+      repair_fom_{*this} {}
+
+void DataPlane::set_obs(obs::Obs* o) {
+  if (o == nullptr || o->metrics() == nullptr) return;
+  obs::Registry& reg = *o->metrics();
+  fom_engine_.set_obs(reg.counter("sim_wakeups_storage_total"));
+  obs_reads_ = reg.counter("storage_reads_total");
+  obs_degraded_ = reg.counter("storage_degraded_reads_total");
+  obs_unavailable_ = reg.counter("storage_unavailable_reads_total");
+  obs_repairs_ = reg.counter("storage_repairs_total");
+  obs_dirty_transitions_ = reg.counter("storage_dirty_episodes_total");
+  obs_lost_ = reg.counter("storage_stripes_lost_total");
+  obs_repaired_mb_ = reg.gauge("storage_repaired_mb");
+  obs_replica_mb_ = reg.gauge("storage_replica_ingest_mb");
+  obs_dirty_ = reg.gauge("storage_dirty_stripes");
+  obs_rate_ = reg.gauge("storage_repair_rate_mbps");
+  obs_window_hours_ =
+      reg.histogram("storage_repair_window_hours",
+                    {0.5, 1.0, 2.0, 4.0, 8.0, 24.0, 72.0, 168.0});
+  obs_read_tail_ =
+      reg.histogram("storage_degraded_read_tail_factor", net::fct_factor_bounds());
+  // Seed the level gauges/counters from the wiring-time pool state (a pool
+  // indexed into an already-degraded fabric starts with dirty stripes).
+  sync_pool_obs();
+}
+
+void DataPlane::start() {
+  if (started_) return;
+  started_ = true;
+  net_.subscribe([this](const net::Link& l, net::LinkState, net::LinkState) {
+    pool_.on_link_transition(l);
+    finish_clean_episodes();
+    sync_pool_obs();
+    kick_repair();
+  });
+  if (cfg_.read_interval > sim::Duration::zero() && cfg_.reads_per_tick > 0 &&
+      pool_.stripe_count() > 0) {
+    fom_engine_.wake_after(read_fom_, cfg_.read_interval);
+  }
+  kick_repair();  // the fabric may already be degraded at start
+}
+
+double DataPlane::fabric_health() const {
+  double total = 0.0;
+  double usable = 0.0;
+  for (const net::Link& l : net_.links()) {
+    total += l.capacity_gbps;
+    switch (l.state) {
+      case net::LinkState::kUp:
+        usable += l.capacity_gbps;
+        break;
+      case net::LinkState::kDegraded:
+        usable += 0.5 * l.capacity_gbps;
+        break;
+      case net::LinkState::kFlapping:
+      case net::LinkState::kDown:
+        break;
+    }
+  }
+  const double health = total <= 0.0 ? 1.0 : usable / total;
+  return health < cfg_.health_floor ? cfg_.health_floor : health;
+}
+
+double DataPlane::current_repair_mbps() const {
+  return cfg_.repair_mbps * fabric_health();
+}
+
+void DataPlane::absorb_replica_mb(double mb) {
+  if (mb <= 0.0) return;
+  backlog_mb_ += mb;
+  if (obs_replica_mb_ != nullptr) obs_replica_mb_->add(mb);
+  kick_repair();
+}
+
+void DataPlane::kick_repair() {
+  if (!started_ || !cfg_.repair) return;
+  if (repair_fom_.phase() != RepairCoordinator::kIdle || repair_fom_.armed()) return;
+  if (pool_.dirty_count() == 0 && backlog_mb_ <= 0.0) return;
+  fom_engine_.wake(repair_fom_);
+}
+
+void DataPlane::finish_clean_episodes() {
+  const sim::TimePoint now = net_.now();
+  std::size_t s = pool_.first_dirty(0);
+  while (s < pool_.stripe_count()) {
+    const std::size_t next = s + 1;
+    if (pool_.stripe(s).failed == 0) {
+      const sim::Duration ep = pool_.finish_episode_if_clean(s, now);
+      if (ep >= sim::Duration::zero()) record_window(ep);
+    }
+    s = pool_.first_dirty(next);
+  }
+}
+
+void DataPlane::record_window(sim::Duration episode) {
+  ++windows_;
+  window_hours_sum_ += episode.to_hours();
+  if (obs_window_hours_ != nullptr) obs_window_hours_->observe(episode.to_hours());
+}
+
+void DataPlane::sync_pool_obs() {
+  if (obs_dirty_transitions_ != nullptr) {
+    obs_dirty_transitions_->inc(pool_.dirty_transitions() - seen_dirty_transitions_);
+    obs_lost_->inc(pool_.stripes_lost_ever() - seen_lost_);
+    obs_dirty_->set(static_cast<double>(pool_.dirty_count()));
+  }
+  seen_dirty_transitions_ = pool_.dirty_transitions();
+  seen_lost_ = pool_.stripes_lost_ever();
+}
+
+void DataPlane::read_tick() {
+  for (int i = 0; i < cfg_.reads_per_tick; ++i) one_read();
+}
+
+void DataPlane::one_read() {
+  // Exactly one draw per read, whatever the outcome — later reads never
+  // depend on how many earlier ones went degraded.
+  const std::size_t s = rng_.index(pool_.stripe_count());
+  ++reads_;
+  if (obs_reads_ != nullptr) obs_reads_->inc();
+
+  const Stripe& st = pool_.stripe(s);
+  const int serving = pool_.units_serving(s);
+  if (st.lost || serving < cfg_.layout.data_units) {
+    ++unavailable_reads_;
+    if (obs_unavailable_ != nullptr) obs_unavailable_->inc();
+    return;
+  }
+  if (serving == pool_.width()) return;  // clean read: no fan-out
+
+  // Degraded read: reconstruct at the first serving unit's server from the
+  // next N-1 serving units, charging the fan-out to the live fabric.
+  ++degraded_reads_;
+  if (obs_degraded_ != nullptr) obs_degraded_->inc();
+  fanout_.flows.clear();
+  net::DeviceId reconstructor{};
+  int sources = 0;
+  for (std::size_t u = 0; u < st.units.size() && sources < cfg_.layout.data_units - 1;
+       ++u) {
+    if ((st.failed >> u) & 1u) continue;
+    if (!reconstructor.valid()) {
+      reconstructor = st.units[u];
+      continue;
+    }
+    fanout_.flows.push_back({st.units[u], reconstructor, cfg_.read_gbps});
+    ++sources;
+  }
+  if (fanout_.flows.empty()) return;  // N == 1: the surviving unit serves alone
+  const net::LoadReport report = net::route_and_load(net_, fanout_);
+  if (obs_read_tail_ != nullptr) obs_read_tail_->observe(report.p99_tail_factor);
+}
+
+sim::Fom::Tick DataPlane::ReadFom::tick() {
+  dp_.read_tick();
+  engine().wake_after(*this, dp_.cfg_.read_interval);
+  return Tick::kWait;
+}
+
+sim::Fom::Tick DataPlane::RepairCoordinator::tick() {
+  switch (phase()) {
+    case kIdle:
+      set_phase(kPick);
+      return Tick::kAgain;
+
+    case kPick: {
+      // Canonical order: always the lowest dirty group with plannable work.
+      dp_.rebuild_units_.clear();
+      dp_.rebuild_targets_.clear();
+      std::size_t s = dp_.pool_.first_dirty(0);
+      while (s < dp_.pool_.stripe_count()) {
+        const Stripe& st = dp_.pool_.stripe(s);
+        for (int u = 0; u < dp_.pool_.width(); ++u) {
+          if (((st.failed >> u) & 1u) == 0) continue;
+          const net::DeviceId target = dp_.pool_.rebuild_target(s, static_cast<int>(u));
+          if (target.valid()) {
+            dp_.rebuild_units_.push_back(u);
+            dp_.rebuild_targets_.push_back(target);
+          }
+        }
+        if (!dp_.rebuild_units_.empty()) break;
+        s = dp_.pool_.first_dirty(s + 1);  // blocked: no serving target anywhere
+      }
+
+      double work_mb = dp_.backlog_mb_;
+      dp_.backlog_mb_ = 0.0;
+      if (!dp_.rebuild_units_.empty()) {
+        dp_.rebuild_stripe_ = s;
+        work_mb += dp_.cfg_.layout.unit_mb *
+                   static_cast<double>(dp_.rebuild_units_.size());
+      }
+      if (work_mb <= 0.0) {
+        // Nothing repairable: park until a serving flip or replica ingest.
+        dp_.last_rate_mbps_ = 0.0;
+        if (dp_.obs_rate_ != nullptr) dp_.obs_rate_->set(0.0);
+        set_phase(kIdle);
+        return Tick::kWait;
+      }
+      // The throttle: the bucket refills at repair_mbps scaled by live fabric
+      // health, so an impaired fabric stretches this very rebuild.
+      const double rate = dp_.current_repair_mbps();
+      dp_.last_rate_mbps_ = rate;
+      if (dp_.obs_rate_ != nullptr) dp_.obs_rate_->set(rate);
+      dp_.rebuild_mb_ = work_mb;
+      set_phase(kRebuild);
+      engine().wake_after(*this, sim::Duration::seconds(work_mb / rate));
+      return Tick::kWait;
+    }
+
+    case kRebuild: {
+      if (!dp_.rebuild_units_.empty()) {
+        const std::size_t s = dp_.rebuild_stripe_;
+        for (std::size_t i = 0; i < dp_.rebuild_units_.size(); ++i) {
+          const int u = dp_.rebuild_units_[i];
+          // A unit whose server recovered mid-rebuild needs no placement; a
+          // target that died mid-rebuild leaves the bit set for the next pick.
+          if ((dp_.pool_.stripe(s).failed >> u) & 1u) {
+            dp_.pool_.place_unit(s, u, dp_.rebuild_targets_[i]);
+          }
+        }
+        ++dp_.repairs_completed_;
+        if (dp_.obs_repairs_ != nullptr) dp_.obs_repairs_->inc();
+        const sim::Duration ep = dp_.pool_.finish_episode_if_clean(s, dp_.net_.now());
+        if (ep >= sim::Duration::zero()) dp_.record_window(ep);
+        dp_.rebuild_units_.clear();
+        dp_.rebuild_targets_.clear();
+      }
+      dp_.repaired_mb_ += dp_.rebuild_mb_;
+      if (dp_.obs_repaired_mb_ != nullptr) dp_.obs_repaired_mb_->add(dp_.rebuild_mb_);
+      dp_.rebuild_mb_ = 0.0;
+      dp_.sync_pool_obs();
+      set_phase(kPick);
+      return Tick::kAgain;
+    }
+
+    default:
+      SMN_ASSERT(false, "RepairCoordinator in unknown phase %d", phase());
+      return Tick::kDone;
+  }
+}
+
+void DataPlane::check_invariants() const {
+  pool_.check_invariants();
+  SMN_ASSERT(backlog_mb_ >= 0.0, "negative replica backlog %f", backlog_mb_);
+  SMN_ASSERT(rebuild_units_.size() == rebuild_targets_.size(),
+             "rebuild plan units/targets out of step");
+  SMN_ASSERT(degraded_reads_ + unavailable_reads_ <= reads_,
+             "read outcome counters exceed issued reads");
+  SMN_ASSERT(repair_fom_.phase() == RepairCoordinator::kRebuild ||
+                 rebuild_mb_ == 0.0,
+             "rebuild work charged outside a rebuild");
+  fom_engine_.check_invariants(read_fom_);
+  fom_engine_.check_invariants(repair_fom_);
+}
+
+}  // namespace smn::storage

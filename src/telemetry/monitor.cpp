@@ -1,6 +1,7 @@
 #include "telemetry/monitor.h"
 
 #include <algorithm>
+#include <functional>
 
 namespace smn::telemetry {
 
@@ -15,9 +16,13 @@ const char* to_string(IssueKind k) {
 }
 
 DetectionEngine::DetectionEngine(net::Network& net, sim::RngStream rng, Config cfg)
-    : net_{net}, rng_{std::move(rng)}, cfg_{cfg} {
+    : net_{net},
+      rng_{std::move(rng)},
+      cfg_{cfg},
+      fom_engine_{net.simulator()},
+      poll_fom_{*this},
+      fp_fom_{*this} {
   state_.resize(net_.links().size());
-  fp_events_.resize(net_.links().size(), sim::kInvalidEvent);
   const sim::TimePoint now = net_.now();
   for (std::size_t i = 0; i < state_.size(); ++i) {
     state_[i].last_state = net_.links()[i].state;
@@ -35,7 +40,10 @@ void DetectionEngine::start() {
   running_ = true;
   anchor_ = net_.now();
   if (cfg_.false_positive_per_year > 0.0) {
-    for (std::size_t i = 0; i < state_.size(); ++i) arm_false_positive(i);
+    fp_heap_.reserve(state_.size());
+    // Per-link draws in link order, same as the old per-link timer arming.
+    for (std::size_t i = 0; i < state_.size(); ++i) push_false_positive(i);
+    if (!fp_heap_.empty()) fom_engine_.wake_at(fp_fom_, fp_heap_.front().first);
   }
   arm_poll();
 }
@@ -43,12 +51,14 @@ void DetectionEngine::start() {
 void DetectionEngine::stop() {
   if (!running_) return;
   running_ = false;
-  net_.simulator().cancel(poll_event_);
-  poll_event_ = sim::kInvalidEvent;
-  for (sim::EventId& e : fp_events_) {
-    net_.simulator().cancel(e);
-    e = sim::kInvalidEvent;
-  }
+  fom_engine_.cancel_wakeup(poll_fom_);
+  fom_engine_.cancel_wakeup(fp_fom_);
+  fp_heap_.clear();
+}
+
+void DetectionEngine::set_obs(obs::Obs* o) {
+  if (o == nullptr || o->metrics() == nullptr) return;
+  fom_engine_.set_obs(o->metrics()->counter("sim_wakeups_telemetry_total"));
 }
 
 void DetectionEngine::on_transition(const net::Link& l, net::LinkState from,
@@ -86,25 +96,44 @@ void DetectionEngine::update_watch(std::size_t i) {
 }
 
 void DetectionEngine::arm_poll() {
-  if (!running_ || poll_event_ != sim::kInvalidEvent || watch_.empty()) return;
+  if (!running_ || watch_.empty()) return;
   // Strictly-next grid point, so a transition landing exactly on the grid is
   // evaluated one full poll later — the same thing the free-running scan did
-  // when its tick at that instant had already run.
+  // when its tick at that instant had already run. Wakeup coalescing makes
+  // redundant re-arms (every watchlist insert) free.
   const std::int64_t poll_us = cfg_.poll.count_us();
   const std::int64_t k = (net_.now() - anchor_).count_us() / poll_us + 1;
-  const sim::TimePoint next =
-      anchor_ + sim::Duration::microseconds(static_cast<double>(k * poll_us));
-  poll_event_ = net_.simulator().schedule_at(next, [this] { poll_tick(); });
+  const sim::TimePoint next = anchor_ + sim::Duration::microseconds(k * poll_us);
+  fom_engine_.wake_at(poll_fom_, next);
 }
 
 void DetectionEngine::poll_tick() {
-  poll_event_ = sim::kInvalidEvent;
   const sim::TimePoint now = net_.now();
   // Snapshot: raise() listeners run synchronously and may drain links or
   // resolve tickets, editing the watchlist mid-scan.
   scratch_ = watch_;
   for (const std::uint32_t i : scratch_) scan_link(i, now);
   arm_poll();
+}
+
+sim::Fom::Tick DetectionEngine::PollFom::tick() {
+  eng_.poll_tick();
+  return Tick::kWait;  // re-armed inside poll_tick iff still watching links
+}
+
+sim::Fom::Tick DetectionEngine::FpFom::tick() {
+  const sim::TimePoint now = eng_.net_.now();
+  while (!eng_.fp_heap_.empty() && eng_.fp_heap_.front().first <= now) {
+    const std::size_t i = eng_.fp_heap_.front().second;
+    std::pop_heap(eng_.fp_heap_.begin(), eng_.fp_heap_.end(),
+                  std::greater<std::pair<sim::TimePoint, std::uint32_t>>{});
+    eng_.fp_heap_.pop_back();
+    eng_.fire_false_positive(i);  // redraws and re-pushes link i's arrival
+  }
+  if (!eng_.fp_heap_.empty()) {
+    engine().wake_at(*this, eng_.fp_heap_.front().first);
+  }
+  return Tick::kWait;
 }
 
 void DetectionEngine::scan_link(std::size_t i, sim::TimePoint now) {
@@ -155,15 +184,16 @@ void DetectionEngine::step_once() {
   }
 }
 
-void DetectionEngine::arm_false_positive(std::size_t i) {
+void DetectionEngine::push_false_positive(std::size_t i) {
   const double mean_days = 365.0 / cfg_.false_positive_per_year;
-  fp_events_[i] = net_.simulator().schedule_after(
-      sim::Duration::days(rng_.exponential(mean_days)),
-      [this, i] { fire_false_positive(i); });
+  const sim::TimePoint at =
+      net_.now() + sim::Duration::days(rng_.exponential(mean_days));
+  fp_heap_.emplace_back(at, static_cast<std::uint32_t>(i));
+  std::push_heap(fp_heap_.begin(), fp_heap_.end(),
+                 std::greater<std::pair<sim::TimePoint, std::uint32_t>>{});
 }
 
 void DetectionEngine::fire_false_positive(std::size_t i) {
-  fp_events_[i] = sim::kInvalidEvent;
   const net::Link& l = net_.links()[i];
   const LinkWatch& w = state_[i];
   // The Poisson process keeps running either way; an arrival on an impaired,
@@ -173,7 +203,7 @@ void DetectionEngine::fire_false_positive(std::size_t i) {
     raise(l.id, IssueKind::kFalsePositive, false);
     ++false_positives_;
   }
-  arm_false_positive(i);
+  push_false_positive(i);
 }
 
 void DetectionEngine::raise(net::LinkId id, IssueKind kind, bool genuine) {

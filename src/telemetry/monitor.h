@@ -15,15 +15,25 @@
 // False positives fire from per-link exponential timers (the Poisson process
 // the per-poll Bernoulli draw approximated) instead of a coin flip per link
 // per minute.
+//
+// Both timers run as FOMs on the engine's own FomEngine (sim/fom.h): the
+// poll loop is one fom re-armed at grid points while the watchlist is
+// non-empty, and the whole false-positive Poisson ensemble is one fom over a
+// min-heap of per-link arrival times — one pending simulator event for the
+// entire fleet instead of one per link. Wakeups are counted in
+// `sim_wakeups_telemetry_total`.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "net/network.h"
+#include "obs/obs.h"
 #include "sim/event_queue.h"
+#include "sim/fom.h"
 #include "sim/rng.h"
 
 namespace smn::telemetry {
@@ -72,6 +82,9 @@ class DetectionEngine {
   void start();
   void stop();
 
+  /// Wires the `sim_wakeups_telemetry_total` counter (pure observer).
+  void set_obs(obs::Obs* o);
+
   /// Manually evaluates every link once (the classic full poll scan,
   /// including the per-poll false-positive draw) — test/diagnostic entry
   /// point; the running engine only ever scans its watchlist.
@@ -115,6 +128,33 @@ class DetectionEngine {
     sim::Duration time_in_state[4] = {};  // indexed by LinkState, past dwells
   };
 
+  /// The grid-aligned debounce loop: one fom, armed only while the
+  /// watchlist is non-empty.
+  class PollFom final : public sim::Fom {
+   public:
+    explicit PollFom(DetectionEngine& eng) : sim::Fom(eng.fom_engine_), eng_(eng) {}
+
+   protected:
+    Tick tick() override;
+
+   private:
+    DetectionEngine& eng_;
+  };
+
+  /// The fleet-wide false-positive Poisson ensemble: a min-heap of per-link
+  /// arrival times drained by one fom (each fired link redraws its next
+  /// exponential inter-arrival, exactly as the per-link timer chains did).
+  class FpFom final : public sim::Fom {
+   public:
+    explicit FpFom(DetectionEngine& eng) : sim::Fom(eng.fom_engine_), eng_(eng) {}
+
+   protected:
+    Tick tick() override;
+
+   private:
+    DetectionEngine& eng_;
+  };
+
   void on_transition(const net::Link& l, net::LinkState from, net::LinkState to);
   void raise(net::LinkId id, IssueKind kind, bool genuine);
 
@@ -126,12 +166,14 @@ class DetectionEngine {
   // Arms the next grid-aligned poll if the watchlist needs one.
   void arm_poll();
   void poll_tick();
-  void arm_false_positive(std::size_t i);
+  // Draws link i's next arrival and pushes it onto the heap.
+  void push_false_positive(std::size_t i);
   void fire_false_positive(std::size_t i);
 
   net::Network& net_;
   sim::RngStream rng_;
   Config cfg_;
+  sim::FomEngine fom_engine_;
   std::vector<LinkWatch> state_;
   std::vector<Listener> listeners_;
   std::size_t detections_ = 0;
@@ -139,10 +181,13 @@ class DetectionEngine {
 
   bool running_ = false;
   sim::TimePoint anchor_;             // poll grid origin (time of start())
-  sim::EventId poll_event_ = sim::kInvalidEvent;
+  PollFom poll_fom_;
+  FpFom fp_fom_;
   std::vector<std::uint32_t> watch_;  // sorted link indices needing evaluation
   std::vector<std::uint32_t> scratch_;
-  std::vector<sim::EventId> fp_events_;  // per-link exponential FP timers
+  /// Min-heap (std::greater over (time, link)) of pending FP arrivals; ties
+  /// resolve by link index — deterministic at any heap history.
+  std::vector<std::pair<sim::TimePoint, std::uint32_t>> fp_heap_;
 };
 
 }  // namespace smn::telemetry

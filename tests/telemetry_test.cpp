@@ -2,6 +2,7 @@
 // self-clear) and the logistic failure predictor.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 #include "telemetry/monitor.h"
@@ -22,12 +23,15 @@ struct MonitorFixture : ::testing::Test {
   sim::RngFactory rngs{5};
   DetectionEngine::Config cfg;
   std::vector<Detection> seen;
+  std::unique_ptr<DetectionEngine> owned_engine;
 
-  DetectionEngine make_engine() {
+  // The engine owns immovable fom members (they hold references back into
+  // the engine), so the fixture heap-allocates and hands out a reference.
+  DetectionEngine& make_engine() {
     cfg.false_positive_per_year = 0.0;  // deterministic unless a test opts in
-    DetectionEngine engine{net, rngs.stream("det"), cfg};
-    engine.subscribe([this](const Detection& d) { seen.push_back(d); });
-    return engine;
+    owned_engine = std::make_unique<DetectionEngine>(net, rngs.stream("det"), cfg);
+    owned_engine->subscribe([this](const Detection& d) { seen.push_back(d); });
+    return *owned_engine;
   }
 
   void hard_down(net::LinkId id) {
@@ -37,7 +41,7 @@ struct MonitorFixture : ::testing::Test {
 };
 
 TEST_F(MonitorFixture, DownLinkDetectedAfterDebounce) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   hard_down(net::LinkId{0});
   sim.run_until(TimePoint::origin() + Duration::minutes(3));
@@ -48,7 +52,7 @@ TEST_F(MonitorFixture, DownLinkDetectedAfterDebounce) {
 }
 
 TEST_F(MonitorFixture, NoDuplicateDetectionWhileOpen) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   hard_down(net::LinkId{0});
   sim.run_until(TimePoint::origin() + Duration::hours(5));
@@ -56,7 +60,7 @@ TEST_F(MonitorFixture, NoDuplicateDetectionWhileOpen) {
 }
 
 TEST_F(MonitorFixture, ClearReArmsDetection) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   hard_down(net::LinkId{0});
   sim.run_until(TimePoint::origin() + Duration::minutes(5));
@@ -67,7 +71,7 @@ TEST_F(MonitorFixture, ClearReArmsDetection) {
 }
 
 TEST_F(MonitorFixture, DegradedUsesLongerDebounce) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   net.link_mut(net::LinkId{0}).end_a.condition.contamination = 0.45;
   net.refresh_link(net::LinkId{0});
@@ -79,7 +83,7 @@ TEST_F(MonitorFixture, DegradedUsesLongerDebounce) {
 }
 
 TEST_F(MonitorFixture, FlapCountTriggersDetection) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   net::Link& l = net.link_mut(net::LinkId{0});
   // Three short gray episodes inside the 30-minute window.
@@ -97,7 +101,7 @@ TEST_F(MonitorFixture, FlapCountTriggersDetection) {
 }
 
 TEST_F(MonitorFixture, PersistentFlappingDetectedByDwell) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   net::Link& l = net.link_mut(net::LinkId{0});
   l.gray_until = sim.now() + Duration::hours(2);  // one long episode
@@ -108,7 +112,7 @@ TEST_F(MonitorFixture, PersistentFlappingDetectedByDwell) {
 }
 
 TEST_F(MonitorFixture, SelfClearReArmsAfterRecovery) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   net::Link& l = net.link_mut(net::LinkId{0});
   l.gray_until = sim.now() + Duration::minutes(5);
@@ -135,7 +139,7 @@ TEST_F(MonitorFixture, FalsePositivesArriveAtConfiguredRate) {
 }
 
 TEST_F(MonitorFixture, AdminDownIsNotAFailure) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   net.link_mut(net::LinkId{0}).admin_down = true;
   net.refresh_link(net::LinkId{0});
@@ -144,7 +148,7 @@ TEST_F(MonitorFixture, AdminDownIsNotAFailure) {
 }
 
 TEST_F(MonitorFixture, TimeInStateAccounting) {
-  DetectionEngine engine = make_engine();
+  DetectionEngine& engine = make_engine();
   engine.start();
   hard_down(net::LinkId{0});
   sim.run_until(TimePoint::origin() + Duration::hours(2));

@@ -46,8 +46,8 @@ struct DirLayer {
 inline constexpr DirLayer kDirLayers[] = {
     {"obs/", 1},      {"sim/", 2},         {"net/", 3},      {"topology/", 3},
     {"fault/", 4},    {"telemetry/", 4},   {"workload/", 5}, {"maintenance/", 5},
-    {"robotics/", 5}, {"analysis/", 5},    {"core/", 6},     {"scenario/", 7},
-    {"runner/", 8},
+    {"robotics/", 5}, {"analysis/", 5},    {"storage/", 5},  {"core/", 6},
+    {"scenario/", 7}, {"runner/", 8},
 };
 
 inline constexpr const char* kLayerNames[] = {
@@ -56,7 +56,7 @@ inline constexpr const char* kLayerNames[] = {
     "sim",      // 2
     "fabric",   // 3: net, topology
     "sensing",  // 4: fault, telemetry
-    "services", // 5: workload, maintenance, robotics, analysis
+    "services", // 5: workload, maintenance, robotics, analysis, storage
     "control",  // 6: core (the maintenance control plane)
     "scenario", // 7
     "runner",   // 8

@@ -19,6 +19,9 @@
 //   --gpus N --rails N    (gpu)                            [16 8]
 //   --proactive on|off                                     [per level]
 //   --impact-aware on|off                                  [per level]
+//   --storage on|off      enable the SNS-repair storage data plane
+//                         (striped objects, degraded reads, fabric-
+//                         throttled background reconstruction)   [off]
 //   --csv FILE            write hourly time series
 //   --metrics FILE        write the obs metrics registry in Prometheus text
 //                         exposition format after the run
@@ -28,8 +31,10 @@
 //                         seed — twice with observability on, once with it
 //                         off — and fail (exit 1) if any executed-event trace
 //                         hash diverges or the two obs-on metrics-snapshot
-//                         hashes differ; honors --level/--seed/--days
-//                         (days defaults to 10 in audit mode)
+//                         hashes differ; every preset is audited both plain
+//                         and with the storage data plane enabled; honors
+//                         --level/--seed/--days (days defaults to 10 in
+//                         audit mode)
 //
 // Subcommand: `smnctl sweep` — the parallel Monte-Carlo sweep engine
 // (src/runner). Runs a named grid of worlds across a seed range on all
@@ -39,7 +44,8 @@
 //                --json BENCH_sweep.json
 //
 // Sweep flags (defaults in brackets):
-//   --preset availability|topologies|quick|campus   [availability]
+//   --preset availability|topologies|quick|campus|storage|
+//            storage-quick|storage-campus            [availability]
 //   --seeds N             replicates per cell                [8]
 //   --first-seed N                                           [1]
 //   --days N              simulated days per replicate       [30]
@@ -69,6 +75,7 @@
 #include "runner/presets.h"
 #include "runner/sweep.h"
 #include "scenario/world.h"
+#include "storage/data_plane.h"
 #include "topology/builders.h"
 
 namespace {
@@ -146,6 +153,11 @@ scenario::WorldConfig world_config(const Args& args, core::AutomationLevel level
   if (args.has("impact-aware")) {
     cfg.controller.impact_aware = args.onoff("impact-aware", true);
   }
+  // `--storage on`: the SNS-repair data plane with the E19 layout (8+2
+  // groups, fabric-throttled background reconstruction).
+  if (args.onoff("storage", false)) {
+    cfg.storage = runner::storage_world(level, cfg.seed).storage;
+  }
   // Tracing is opt-in per run: the buffer is only allocated (and the trace
   // instrumentation only records) when the caller asked for an output file.
   if (args.has("trace")) cfg.obs.trace = true;
@@ -168,36 +180,43 @@ int run_determinism_audit(const Args& args) {
   std::printf("determinism audit: level %s, %d days, seed %d\n", core::to_string(level), days,
               args.geti("seed", 1));
   bool ok = true;
-  for (const char* preset : kPresets) {
-    Args preset_args = args;
-    preset_args.kv["topology"] = preset;
-    const topology::Blueprint bp = build_topology(preset_args);
-    std::uint64_t hash[3] = {};
-    std::uint64_t events[3] = {};
-    std::uint64_t metrics[3] = {};
-    for (int run = 0; run < 3; ++run) {
-      scenario::WorldConfig cfg = world_config(preset_args, level);
-      // Runs 0/1: full observability. Run 2: everything off, proving the
-      // instrumentation never feeds back into RNG draws or event order.
-      cfg.obs = run < 2 ? obs::Options{} : obs::Options::disabled();
-      scenario::World world{bp, cfg};
-      world.run_for(sim::Duration::days(days));
-      world.check_invariants();
-      hash[run] = world.simulator().trace_hash();
-      events[run] = world.simulator().events_processed();
-      metrics[run] = world.obs().metrics_hash();
+  // Every preset runs twice over: plain, and with the SNS-repair storage
+  // data plane enabled — the subsystem's reads, repairs, and throttle
+  // updates must be as reproducible as everything else.
+  for (const bool with_storage : {false, true}) {
+    for (const char* preset : kPresets) {
+      Args preset_args = args;
+      preset_args.kv["topology"] = preset;
+      preset_args.kv["storage"] = with_storage ? "on" : "off";
+      const topology::Blueprint bp = build_topology(preset_args);
+      std::uint64_t hash[3] = {};
+      std::uint64_t events[3] = {};
+      std::uint64_t metrics[3] = {};
+      for (int run = 0; run < 3; ++run) {
+        scenario::WorldConfig cfg = world_config(preset_args, level);
+        // Runs 0/1: full observability. Run 2: everything off, proving the
+        // instrumentation never feeds back into RNG draws or event order.
+        cfg.obs = run < 2 ? obs::Options{} : obs::Options::disabled();
+        scenario::World world{bp, cfg};
+        world.run_for(sim::Duration::days(days));
+        world.check_invariants();
+        hash[run] = world.simulator().trace_hash();
+        events[run] = world.simulator().events_processed();
+        metrics[run] = world.obs().metrics_hash();
+      }
+      const bool trace_match = hash[0] == hash[1] && hash[1] == hash[2] &&
+                               events[0] == events[1] && events[1] == events[2];
+      const bool metrics_match = metrics[0] == metrics[1];
+      ok = ok && trace_match && metrics_match;
+      const std::string label = std::string{preset} + (with_storage ? "+storage" : "");
+      std::printf("  %-19s %10llu events  trace %016llx/%016llx/%016llx %s  metrics %016llx/%016llx %s\n",
+                  label.c_str(), static_cast<unsigned long long>(events[0]),
+                  static_cast<unsigned long long>(hash[0]),
+                  static_cast<unsigned long long>(hash[1]),
+                  static_cast<unsigned long long>(hash[2]), trace_match ? "OK" : "DIVERGED",
+                  static_cast<unsigned long long>(metrics[0]),
+                  static_cast<unsigned long long>(metrics[1]), metrics_match ? "OK" : "DIVERGED");
     }
-    const bool trace_match = hash[0] == hash[1] && hash[1] == hash[2] &&
-                             events[0] == events[1] && events[1] == events[2];
-    const bool metrics_match = metrics[0] == metrics[1];
-    ok = ok && trace_match && metrics_match;
-    std::printf("  %-11s %10llu events  trace %016llx/%016llx/%016llx %s  metrics %016llx/%016llx %s\n",
-                preset, static_cast<unsigned long long>(events[0]),
-                static_cast<unsigned long long>(hash[0]),
-                static_cast<unsigned long long>(hash[1]),
-                static_cast<unsigned long long>(hash[2]), trace_match ? "OK" : "DIVERGED",
-                static_cast<unsigned long long>(metrics[0]),
-                static_cast<unsigned long long>(metrics[1]), metrics_match ? "OK" : "DIVERGED");
   }
   if (!ok) {
     std::fprintf(stderr, "determinism audit FAILED: trace or metrics hashes diverged\n");
@@ -413,6 +432,15 @@ int main(int argc, char** argv) {
     summary.add_row({"cascade collateral", Table::num(world.cascade().induced_count())});
     summary.add_row(
         {"supervision hours", Table::num(world.controller().supervision_hours(), 1)});
+    if (world.has_storage()) {
+      const storage::DataPlane& dp = world.storage();
+      summary.add_row({"storage reads (degraded)",
+                       Table::num(dp.reads()) + " (" + Table::num(dp.degraded_reads()) + ")"});
+      summary.add_row({"storage repairs", Table::num(dp.repairs_completed())});
+      summary.add_row(
+          {"storage mean repair window (h)", Table::num(dp.mean_repair_window_hours(), 2)});
+      summary.add_row({"storage data-loss fraction", Table::num(dp.data_loss_fraction(), 6)});
+    }
 
     analysis::CostInputs costs;
     costs.technician_hours = world.technicians().labor_hours();
