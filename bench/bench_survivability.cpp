@@ -1,0 +1,285 @@
+// Survivability-frontier micro-bench: the tracked perf numbers for the
+// reverse-replay union-find engine (src/analysis/survivability.{h,cpp}).
+//
+// Measures replay throughput in *steps* (one element removal = one curve
+// point) per wall second on the standard fabric, against the naive baseline
+// that re-runs BFS over the surviving graph after every removal — the same
+// oracle the differential tests use. Two hard gates: the engine must agree
+// with the naive curves bit-for-bit, and the steady-state replay loop must
+// perform ZERO heap allocations (scratch is sized once in the constructor).
+// The speedup_vs_naive figure in the JSON is the acceptance number for the
+// incremental engine (>= 10x on the standard fabric).
+//
+// Usage: bench_survivability [orderings] [json_out=BENCH_survivability.json]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "analysis/report.h"
+#include "analysis/survivability.h"
+#include "runner/json_writer.h"
+#include "runner/presets.h"
+#include "topology/blueprint.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// Program-wide replacement so every heap allocation in the process is
+// counted; the gate measures deltas around the hot loops.
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc{};
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace smn;
+using analysis::FailureMode;
+using analysis::SurvivabilityCurves;
+using analysis::SurvivabilityFrontier;
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// ---------------------------------------------------------------------------
+// Naive baseline: full BFS recompute after every failure step. Mirrors the
+// brute-force oracle in tests/survivability_test.cpp (same curve definitions,
+// same capacity quantization) so the agreement gate is meaningful.
+
+struct NaiveFrontier {
+  explicit NaiveFrontier(const topology::Blueprint& blueprint)
+      : bp{blueprint}, adjacency{blueprint.adjacency()} {
+    for (std::size_t i = 0; i < bp.nodes().size(); ++i) {
+      if (!topology::is_switch(bp.nodes()[i].role)) ++servers;
+    }
+    node_alive.resize(bp.nodes().size());
+    link_failed.resize(bp.links().size());
+    visited.resize(bp.nodes().size());
+  }
+
+  void replay(std::span<const std::int32_t> order, SurvivabilityCurves& out) {
+    const std::size_t m = order.size();
+    out.largest_component.resize(m + 1);
+    out.server_reachability.resize(m + 1);
+    out.bisection.resize(m + 1);
+    std::vector<std::int32_t> raw_largest(m + 1);
+    std::vector<std::int32_t> raw_servers(m + 1);
+    std::vector<std::uint64_t> raw_cut(m + 1);
+    for (std::size_t k = 0; k <= m; ++k) {
+      std::fill(node_alive.begin(), node_alive.end(), std::uint8_t{1});
+      std::fill(link_failed.begin(), link_failed.end(), std::uint8_t{0});
+      for (std::size_t i = 0; i < k; ++i) {
+        link_failed[static_cast<std::size_t>(order[i])] = 1;
+      }
+      scan(raw_largest[k], raw_servers[k], raw_cut[k]);
+    }
+    const double device_den = static_cast<double>(bp.nodes().size());
+    const double server_den = static_cast<double>(servers);
+    for (std::size_t k = 0; k <= m; ++k) {
+      out.largest_component[k] = static_cast<double>(raw_largest[k]) / device_den;
+      out.server_reachability[k] =
+          servers > 0 ? static_cast<double>(raw_servers[k]) / server_den : 1.0;
+      out.bisection[k] = raw_cut[0] > 0 ? static_cast<double>(raw_cut[k]) /
+                                              static_cast<double>(raw_cut[0])
+                                        : 1.0;
+    }
+  }
+
+ private:
+  void scan(std::int32_t& largest, std::int32_t& max_servers, std::uint64_t& server_cut) {
+    largest = 0;
+    max_servers = 0;
+    server_cut = 0;
+    std::fill(visited.begin(), visited.end(), std::uint8_t{0});
+    std::vector<int> queue;
+    for (std::size_t start = 0; start < bp.nodes().size(); ++start) {
+      if (visited[start] != 0 || node_alive[start] == 0) continue;
+      std::int32_t size = 0;
+      std::int32_t comp_servers = 0;
+      std::uint64_t cut = 0;
+      queue.clear();
+      queue.push_back(static_cast<int>(start));
+      visited[start] = 1;
+      while (!queue.empty()) {
+        const int node = queue.back();
+        queue.pop_back();
+        ++size;
+        if (!topology::is_switch(bp.nodes()[static_cast<std::size_t>(node)].role)) {
+          ++comp_servers;
+        }
+        for (const auto& [peer, link] : adjacency[static_cast<std::size_t>(node)]) {
+          if (link_failed[static_cast<std::size_t>(link)] != 0) continue;
+          if (node_alive[static_cast<std::size_t>(peer)] == 0) continue;
+          const topology::LinkSpec& l = bp.links()[static_cast<std::size_t>(link)];
+          if (node == std::min(l.node_a, l.node_b) && (l.node_a & 1) != (l.node_b & 1)) {
+            cut += SurvivabilityFrontier::capacity_units(l.capacity_gbps);
+          }
+          if (visited[static_cast<std::size_t>(peer)] == 0) {
+            visited[static_cast<std::size_t>(peer)] = 1;
+            queue.push_back(peer);
+          }
+        }
+      }
+      largest = std::max(largest, size);
+      max_servers = std::max(max_servers, comp_servers);
+      if (comp_servers > 0) server_cut += cut;
+    }
+  }
+
+  const topology::Blueprint& bp;
+  std::vector<std::vector<std::pair<int, int>>> adjacency;
+  std::size_t servers = 0;
+  std::vector<std::uint8_t> node_alive;
+  std::vector<std::uint8_t> link_failed;
+  std::vector<std::uint8_t> visited;
+};
+
+struct EngineRate {
+  double steps_per_sec = 0.0;
+  std::uint64_t steady_allocs = 0;
+  std::uint64_t steps = 0;
+};
+
+/// Engine replay throughput + the allocation gate: after one warm-up replay
+/// per mode (scratch reaches steady size), the make_ordering + replay loop
+/// must never touch the heap.
+[[nodiscard]] EngineRate bench_engine(SurvivabilityFrontier& engine, FailureMode mode,
+                                      int orderings) {
+  const std::size_t m = engine.element_count(mode);
+  std::vector<std::int32_t> order;
+  SurvivabilityCurves curves;
+  engine.make_ordering(mode, 1, order);
+  engine.replay(mode, order, curves);  // warm-up: scratch reaches steady size
+
+  EngineRate out;
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < orderings; ++i) {
+    engine.make_ordering(mode, static_cast<std::uint64_t>(i + 2), order);
+    engine.replay(mode, order, curves);
+  }
+  const double dt = seconds_since(t0);
+  out.steady_allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  out.steps = static_cast<std::uint64_t>(orderings) * m;
+  out.steps_per_sec = static_cast<double>(out.steps) / dt;
+  return out;
+}
+
+/// Naive BFS-per-step throughput on the same orderings (fewer of them — the
+/// baseline is quadratic in the element count).
+[[nodiscard]] double bench_naive(const topology::Blueprint& bp, SurvivabilityFrontier& engine,
+                                 int orderings) {
+  NaiveFrontier naive{bp};
+  const std::size_t m = engine.element_count(FailureMode::kLinks);
+  std::vector<std::int32_t> order;
+  SurvivabilityCurves curves;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < orderings; ++i) {
+    engine.make_ordering(FailureMode::kLinks, static_cast<std::uint64_t>(i + 2), order);
+    naive.replay(order, curves);
+  }
+  const double dt = seconds_since(t0);
+  return static_cast<double>(static_cast<std::uint64_t>(orderings) * m) / dt;
+}
+
+/// The agreement gate: engine curves must equal the naive curves bit-for-bit
+/// on a handful of orderings (the full differential suite lives in
+/// tests/survivability_test.cpp; this keeps the bench self-validating).
+[[nodiscard]] bool verify_agreement(const topology::Blueprint& bp,
+                                    SurvivabilityFrontier& engine, int orderings) {
+  NaiveFrontier naive{bp};
+  std::vector<std::int32_t> order;
+  SurvivabilityCurves fast;
+  SurvivabilityCurves slow;
+  for (int i = 0; i < orderings; ++i) {
+    engine.make_ordering(FailureMode::kLinks, static_cast<std::uint64_t>(i + 2), order);
+    engine.replay(FailureMode::kLinks, order, fast);
+    naive.replay(order, slow);
+    if (fast.largest_component != slow.largest_component ||
+        fast.server_reachability != slow.server_reachability ||
+        fast.bisection != slow.bisection) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using analysis::Table;
+  const int orderings = argc > 1 ? std::atoi(argv[1]) : 400;
+  const char* json_path = argc > 2 ? argv[2] : "BENCH_survivability.json";
+
+  std::printf("SURVIVABILITY FRONTIER: reverse-replay union-find vs naive BFS\n");
+  std::printf("  progressive-failure curve steps/sec on the standard fabric;\n");
+  std::printf("  CI gates on engine==naive agreement and zero replay allocations\n\n");
+
+  const topology::Blueprint bp = runner::standard_fabric();
+  SurvivabilityFrontier engine{bp};
+  const std::size_t m_links = engine.element_count(FailureMode::kLinks);
+
+  const bool agrees = verify_agreement(bp, engine, 4);
+  const EngineRate links = bench_engine(engine, FailureMode::kLinks, orderings);
+  const EngineRate switches = bench_engine(engine, FailureMode::kSwitches, orderings);
+  const int naive_orderings = std::max(4, orderings / 20);
+  const double naive_sps = bench_naive(bp, engine, naive_orderings);
+  const double speedup = naive_sps > 0.0 ? links.steps_per_sec / naive_sps : 0.0;
+
+  Table table{{"benchmark", "rate", "unit"}};
+  table.add_row({"frontier replay (links)", Table::num(links.steps_per_sec, 0), "steps/s"});
+  table.add_row(
+      {"frontier replay (switches)", Table::num(switches.steps_per_sec, 0), "steps/s"});
+  table.add_row({"naive BFS-per-step (links)", Table::num(naive_sps, 0), "steps/s"});
+  table.add_row({"speedup vs naive", Table::num(speedup, 1), "x"});
+  table.add_row({"steady-state allocations",
+                 Table::num(static_cast<double>(links.steady_allocs + switches.steady_allocs), 0),
+                 "allocs"});
+  table.print(std::cout);
+
+  {
+    runner::JsonWriter w;
+    w.begin_object();
+    w.kv("schema", "smn-bench-survivability-v1");
+    w.kv("orderings", static_cast<double>(orderings));
+    w.kv("elements_links", static_cast<double>(m_links));
+    w.kv("frontier_steps_per_sec", links.steps_per_sec);
+    w.kv("frontier_switch_steps_per_sec", switches.steps_per_sec);
+    w.kv("naive_steps_per_sec", naive_sps);
+    w.kv("speedup_vs_naive", speedup);
+    w.kv("steady_state_allocs",
+         static_cast<double>(links.steady_allocs + switches.steady_allocs));
+    w.end_object();
+    std::ofstream out{json_path};
+    out << w.str() << "\n";
+    std::printf("report written to %s\n", json_path);
+  }
+
+  if (!agrees) {
+    std::fprintf(stderr, "FAIL: engine curves diverged from the naive BFS baseline\n");
+    return 1;
+  }
+  if (links.steady_allocs + switches.steady_allocs != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %llu heap allocations across %llu steady-state replay steps — the "
+                 "replay loop must be allocation-free\n",
+                 static_cast<unsigned long long>(links.steady_allocs + switches.steady_allocs),
+                 static_cast<unsigned long long>(links.steps + switches.steps));
+    return 1;
+  }
+  return 0;
+}

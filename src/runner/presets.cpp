@@ -204,6 +204,68 @@ SweepSpec storage_sweep(sim::Duration duration, std::uint64_t first_seed,
   return spec;
 }
 
+scenario::WorldConfig survivability_world(std::uint64_t seed) {
+  scenario::WorldConfig cfg =
+      standard_world(core::AutomationLevel::kL3_HighAutomation, seed);
+  cfg.survivability.enabled = true;
+  cfg.survivability.orderings = 16;
+  return cfg;
+}
+
+SweepSpec survivability_sweep(sim::Duration duration, std::uint64_t first_seed,
+                              std::uint64_t seeds) {
+  // The five audit fabrics plus the two hybrid dials of E20.
+  struct Fabric {
+    const char* name;
+    topology::Blueprint bp;
+  };
+  std::vector<Fabric> fabrics;
+  fabrics.push_back({"leaf-spine", standard_fabric()});
+  fabrics.push_back({"fat-tree", topology::build_fat_tree({.k = 8})});
+  fabrics.push_back({"jellyfish",
+                     topology::build_jellyfish({.switches = 32,
+                                                .network_degree = 8,
+                                                .servers_per_switch = 4,
+                                                .seed = 1})});
+  fabrics.push_back({"xpander",
+                     topology::build_xpander({.network_degree = 7,
+                                              .lift = 4,
+                                              .servers_per_switch = 4,
+                                              .seed = 1})});
+  fabrics.push_back(
+      {"gpu", topology::build_gpu_cluster({.gpu_servers = 16, .rails = 8, .spines = 2})});
+  fabrics.push_back({"hybrid-0.1",
+                     topology::build_hybrid({.switches = 32,
+                                             .lattice_neighbors = 4,
+                                             .rewire_fraction = 0.1,
+                                             .servers_per_switch = 4,
+                                             .seed = 1})});
+  fabrics.push_back({"hybrid-0.5",
+                     topology::build_hybrid({.switches = 32,
+                                             .lattice_neighbors = 4,
+                                             .rewire_fraction = 0.5,
+                                             .servers_per_switch = 4,
+                                             .seed = 1})});
+
+  SweepSpec spec = base_spec(duration, first_seed, seeds);
+  for (Fabric& f : fabrics) {
+    spec.cells.push_back(
+        {std::string{f.name} + "/links", f.bp, survivability_world(first_seed)});
+  }
+  // Device-failure frontier on the standard fabric: switches fail in order,
+  // servers (the reachability denominator) stay up.
+  scenario::WorldConfig switch_cfg = survivability_world(first_seed);
+  switch_cfg.survivability.mode = analysis::FailureMode::kSwitches;
+  spec.cells.push_back({"leaf-spine/switches", standard_fabric(), std::move(switch_cfg)});
+  // Per-hall campus curves — the shard-invariance cell for this preset.
+  topology::CampusParams campus;
+  campus.halls = 4;
+  campus.hall = {.leaves = 4, .spines = 2, .servers_per_leaf = 2};
+  spec.cells.emplace_back("campus/links", topology::build_campus(campus),
+                          survivability_world(first_seed));
+  return spec;
+}
+
 SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
                      std::uint64_t first_seed, std::uint64_t seeds) {
   if (preset == "availability") return availability_sweep(duration, first_seed, seeds);
@@ -213,15 +275,17 @@ SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
   if (preset == "storage") return storage_sweep(duration, first_seed, seeds);
   if (preset == "storage-quick") return storage_quick_sweep(duration, first_seed, seeds);
   if (preset == "storage-campus") return storage_campus_sweep(duration, first_seed, seeds);
+  if (preset == "survivability") return survivability_sweep(duration, first_seed, seeds);
   throw std::invalid_argument{
       "unknown sweep preset '" + preset +
-      "' (use availability|topologies|quick|campus|storage|storage-quick|storage-campus)"};
+      "' (use availability|topologies|quick|campus|storage|storage-quick|storage-campus|"
+      "survivability)"};
 }
 
 const std::vector<std::string>& sweep_preset_names() {
   static const std::vector<std::string> kNames = {
       "availability", "topologies", "quick", "campus", "storage", "storage-quick",
-      "storage-campus"};
+      "storage-campus", "survivability"};
   return kNames;
 }
 

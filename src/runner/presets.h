@@ -66,6 +66,17 @@ namespace smn::runner {
 [[nodiscard]] SweepSpec storage_sweep(sim::Duration duration, std::uint64_t first_seed,
                                       std::uint64_t seeds);
 
+/// Standard-world config (L3) with the survivability frontier enabled.
+[[nodiscard]] scenario::WorldConfig survivability_world(std::uint64_t seed);
+
+/// E20 grid: progressive-failure frontiers for the five audit fabrics plus
+/// two regular/random hybrids (Sriram & Cliff, beta = 0.1 / 0.5), a
+/// switch-failure cell on the standard fabric, and a four-hall campus cell
+/// with per-hall curves (cells named "<fabric>/<mode>"). Every cell carries
+/// full mean±95% CI curve arrays in the sweep JSON.
+[[nodiscard]] SweepSpec survivability_sweep(sim::Duration duration, std::uint64_t first_seed,
+                                            std::uint64_t seeds);
+
 /// Dispatch by preset name; throws std::invalid_argument for unknown names.
 [[nodiscard]] SweepSpec make_sweep(const std::string& preset, sim::Duration duration,
                                    std::uint64_t first_seed, std::uint64_t seeds);

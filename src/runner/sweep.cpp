@@ -44,6 +44,68 @@ using WallClock = std::chrono::steady_clock;
   return m;
 }
 
+/// Registers the survivability_* instruments and records the frontier into
+/// them. Called before the obs snapshot is taken so the aggregates (and the
+/// metrics hash) carry the frontier deterministically.
+void record_survivability_obs(obs::Registry* reg, const analysis::FrontierResult& frontier) {
+  if (reg == nullptr || !frontier.present()) return;
+  reg->counter("survivability_orderings_total")->inc(frontier.samples);
+  reg->counter("survivability_curve_points_total")
+      ->inc(frontier.samples * (frontier.elements + 1));
+  reg->gauge("survivability_elements")->set(static_cast<double>(frontier.elements));
+  reg->gauge("survivability_auc_connectivity")->set(frontier.auc_connectivity);
+  reg->gauge("survivability_auc_reachability")->set(frontier.auc_reachability);
+  reg->gauge("survivability_auc_bisection")->set(frontier.auc_bisection);
+}
+
+/// Single-fabric frontier: ordering seeds are mixed from (config seed,
+/// replicate seed), so every replicate samples distinct orderings while the
+/// result stays a pure function of (cell config, seed).
+[[nodiscard]] analysis::FrontierResult compute_survivability(
+    const topology::Blueprint& bp, const analysis::SurvivabilityConfig& cfg,
+    std::uint64_t replicate_seed) {
+  analysis::SurvivabilityFrontier frontier{bp};
+  const std::vector<std::uint64_t> seeds = analysis::SurvivabilityFrontier::ordering_seeds(
+      analysis::SurvivabilityFrontier::mix_seed(cfg.seed, replicate_seed), cfg.orderings);
+  return frontier.compute(cfg.mode, seeds);
+}
+
+/// Campus frontier: per-hall curves (hall index mixed into the ordering
+/// seeds) aggregated over every (hall, ordering) sample. Runs on the calling
+/// thread in hall order and aggregation sorts per-point, so the result is
+/// byte-identical at any shard count. Requires every hall to expose the same
+/// element count (build_campus stamps identical halls).
+[[nodiscard]] analysis::FrontierResult compute_campus_survivability(
+    const topology::CampusBlueprint& campus, const analysis::SurvivabilityConfig& cfg,
+    std::uint64_t replicate_seed) {
+  const std::uint64_t base =
+      analysis::SurvivabilityFrontier::mix_seed(cfg.seed, replicate_seed);
+  std::vector<analysis::SurvivabilityCurves> samples;
+  std::size_t elements = 0, devices = 0, servers = 0;
+  std::vector<std::int32_t> order;
+  for (std::size_t hall = 0; hall < campus.halls.size(); ++hall) {
+    analysis::SurvivabilityFrontier frontier{campus.halls[hall]};
+    if (hall == 0) {
+      elements = frontier.element_count(cfg.mode);
+      devices = frontier.device_count();
+      servers = frontier.server_count();
+    } else {
+      SMN_ASSERT(frontier.element_count(cfg.mode) == elements,
+                 "campus hall %zu has %zu failable elements, hall 0 has %zu", hall,
+                 frontier.element_count(cfg.mode), elements);
+    }
+    const std::vector<std::uint64_t> seeds = analysis::SurvivabilityFrontier::ordering_seeds(
+        analysis::SurvivabilityFrontier::mix_seed(base, hall + 1), cfg.orderings);
+    for (const std::uint64_t seed : seeds) {
+      frontier.make_ordering(cfg.mode, seed, order);
+      analysis::SurvivabilityCurves curves;
+      frontier.replay(cfg.mode, order, curves);
+      samples.push_back(std::move(curves));
+    }
+  }
+  return analysis::aggregate_curves(cfg.mode, elements, devices, servers, samples);
+}
+
 /// The campus-cell replicate: one sharded Campus instead of one World. The
 /// sim side is shard-count-invariant by construction (epoch barriers +
 /// sorted exchange), and everything below reads the finished campus on the
@@ -67,6 +129,12 @@ using WallClock = std::chrono::steady_clock;
   ReplicateResult r;
   r.cell = cell_index;
   r.seed = seed;
+  // Frontier before the merged snapshot so the survivability_* instruments
+  // (registered into hall 0's registry) are part of the obs aggregate.
+  if (cell.config.survivability.enabled && cell.config.survivability.orderings > 0) {
+    r.survivability = compute_campus_survivability(cell.campus, cell.config.survivability, seed);
+    record_survivability_obs(campus.domain(0).obs().metrics(), r.survivability);
+  }
   r.trace_hash = campus.trace_hash();
   r.events = campus.events_processed();
   r.obs_snapshot = campus.merged_snapshot();
@@ -143,6 +211,9 @@ using WallClock = std::chrono::steady_clock;
                           : 0.0;
   m[kEventsPerSimDay] =
       elapsed_days > 0.0 ? static_cast<double>(r.events) / elapsed_days : 0.0;
+  m[kSurvivabilityAucConnectivity] = r.survivability.auc_connectivity;
+  m[kSurvivabilityAucReachability] = r.survivability.auc_reachability;
+  m[kSurvivabilityAucBisection] = r.survivability.auc_bisection;
   return r;
 }
 
@@ -164,6 +235,12 @@ ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cel
   ReplicateResult r;
   r.cell = cell_index;
   r.seed = seed;
+  // Frontier before the snapshot so the survivability_* instruments land in
+  // the replicate's obs hash and aggregates.
+  if (cell.config.survivability.enabled && cell.config.survivability.orderings > 0) {
+    r.survivability = compute_survivability(cell.blueprint, cell.config.survivability, seed);
+    record_survivability_obs(world.obs().metrics(), r.survivability);
+  }
   r.trace_hash = world.simulator().trace_hash();
   r.events = world.simulator().events_processed();
   if (const obs::Registry* reg = world.obs().metrics()) {
@@ -212,6 +289,9 @@ ReplicateResult SweepRunner::run_replicate(const CellSpec& cell, std::size_t cel
                           : 0.0;
   m[kEventsPerSimDay] =
       elapsed_days > 0.0 ? static_cast<double>(r.events) / elapsed_days : 0.0;
+  m[kSurvivabilityAucConnectivity] = r.survivability.auc_connectivity;
+  m[kSurvivabilityAucReachability] = r.survivability.auc_reachability;
+  m[kSurvivabilityAucBisection] = r.survivability.auc_bisection;
   return r;
 }
 
@@ -332,6 +412,26 @@ SweepReport SweepRunner::run(const SweepSpec& spec, const Options& opts) {
         cell.obs.push_back({first[i].name, obs_acc[i].mean(), obs_acc[i].min(), obs_acc[i].max()});
       }
     }
+
+    // Cell-level frontier: every replicate's mean curves enter as one sample.
+    // aggregate_curves sorts per point, so the block is byte-identical at any
+    // job count (and, for campus cells, any shard count).
+    if (!cell.replicates.empty() && cell.replicates.front().survivability.present()) {
+      const analysis::FrontierResult& first = cell.replicates.front().survivability;
+      std::vector<analysis::SurvivabilityCurves> samples;
+      samples.reserve(cell.replicates.size());
+      for (const ReplicateResult& r : cell.replicates) {
+        SMN_ASSERT(r.survivability.elements == first.elements,
+                   "replicate seed %llu has %zu survivability elements, expected %zu",
+                   static_cast<unsigned long long>(r.seed), r.survivability.elements,
+                   first.elements);
+        samples.push_back({r.survivability.largest_component.mean,
+                           r.survivability.server_reachability.mean,
+                           r.survivability.bisection.mean});
+      }
+      cell.survivability = analysis::aggregate_curves(first.mode, first.elements, first.devices,
+                                                      first.servers, samples);
+    }
   }
   return report;
 }
@@ -403,6 +503,40 @@ std::string to_json(const SweepReport& report, const JsonOptions& opts) {
       }
       w.end_object();
     }
+    if (cell.survivability.present()) {
+      const analysis::FrontierResult& f = cell.survivability;
+      w.key("survivability");
+      w.begin_object();
+      w.kv("mode", analysis::to_string(f.mode));
+      w.kv("elements", f.elements);
+      w.kv("devices", f.devices);
+      w.kv("servers", f.servers);
+      w.kv("samples", f.samples);
+      w.kv("auc_connectivity", f.auc_connectivity);
+      w.kv("auc_reachability", f.auc_reachability);
+      w.kv("auc_bisection", f.auc_bisection);
+      w.kv("hash", JsonWriter::hex64(f.hash));
+      w.key("curves");
+      w.begin_object();
+      const auto emit_curve = [&w](const char* name, const analysis::CurveSummary& c) {
+        w.key(name);
+        w.begin_object();
+        w.key("mean");
+        w.begin_array();
+        for (const double v : c.mean) w.value(v);
+        w.end_array();
+        w.key("ci95");
+        w.begin_array();
+        for (const double v : c.ci95) w.value(v);
+        w.end_array();
+        w.end_object();
+      };
+      emit_curve("largest_component", f.largest_component);
+      emit_curve("server_reachability", f.server_reachability);
+      emit_curve("bisection", f.bisection);
+      w.end_object();
+      w.end_object();
+    }
     w.key("samples");
     w.begin_array();
     for (const ReplicateResult& r : cell.replicates) {
@@ -411,6 +545,9 @@ std::string to_json(const SweepReport& report, const JsonOptions& opts) {
       w.kv("trace_hash", JsonWriter::hex64(r.trace_hash));
       if (r.metrics_hash != 0) w.kv("metrics_hash", JsonWriter::hex64(r.metrics_hash));
       w.kv("events", r.events);
+      if (r.survivability.present()) {
+        w.kv("survivability_hash", JsonWriter::hex64(r.survivability.hash));
+      }
       w.end_object();
     }
     w.end_array();

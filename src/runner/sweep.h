@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/survivability.h"
 #include "obs/metrics.h"
 #include "scenario/campus.h"
 #include "scenario/world.h"
@@ -100,6 +101,14 @@ enum Metric : std::size_t {
   kStorageRepairWindowHours,
   kStorageDataLossFraction,
   kStorageDegradedReadFraction,
+  /// Survivability frontier AUC triple (0 when `WorldConfig::survivability`
+  /// is disabled): normalized area under the mean largest-component,
+  /// server-reachability, and bisection curves — 1.0 means the fabric holds
+  /// its full capability across the whole progressive-failure sweep, 0.0
+  /// means instant collapse. The full curves ride CellReport::survivability.
+  kSurvivabilityAucConnectivity,
+  kSurvivabilityAucReachability,
+  kSurvivabilityAucBisection,
   kMetricCount,
 };
 
@@ -112,6 +121,8 @@ inline constexpr std::array<const char*, kMetricCount> kMetricNames = {
     "robot_busy_hours",     "annual_cost_usd",
     "events_per_sim_day",   "storage_repair_window_hours",
     "storage_data_loss_fraction", "storage_degraded_read_fraction",
+    "survivability_auc_connectivity", "survivability_auc_reachability",
+    "survivability_auc_bisection",
 };
 
 struct ReplicateResult {
@@ -132,6 +143,13 @@ struct ReplicateResult {
   /// untouched — the rest of the report stays byte-identical.
   std::string sampled_trace_json;
   std::uint64_t sampled_trace_hash = 0;
+  /// Survivability frontier of this replicate's fabric (empty — samples == 0
+  /// — unless the cell config enables it). Computed post-run on the calling
+  /// worker from the cell blueprint with ordering seeds mixed from
+  /// (config seed, replicate seed), so it is deterministic per (cell, seed)
+  /// and a pure observer of the simulation. For campus cells it aggregates
+  /// per-hall curves computed in hall order — shard-count invariant.
+  analysis::FrontierResult survivability;
 };
 
 struct SweepSpec {
@@ -169,6 +187,10 @@ struct CellReport {
   /// registry is populated eagerly at World wiring — so aggregation zips the
   /// sorted snapshots positionally.
   std::vector<ObsAggregate> obs;
+  /// Cell-level survivability frontier: each replicate's mean curves enter
+  /// as one sample (sorted-value aggregation, so byte-identical at any job
+  /// count). samples == 0 when the cell has the frontier disabled.
+  analysis::FrontierResult survivability;
 };
 
 struct SweepReport {

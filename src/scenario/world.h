@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "analysis/availability.h"
+#include "analysis/survivability.h"
 #include "core/controller.h"
 #include "fault/cascade.h"
 #include "fault/contamination.h"
@@ -45,6 +46,12 @@ struct WorldConfig {
   /// stripes objects over the servers and turns link repair speed into
   /// repair-window and data-loss numbers).
   storage::DataPlane::Config storage;
+  /// Survivability frontier (off by default). A pure post-run observer: the
+  /// World itself never reads it — the sweep runner (and smnctl analyze)
+  /// compute progressive-failure curves on the cell blueprint after the
+  /// simulation finishes, so enabling it cannot perturb a trace hash, which
+  /// --audit-determinism verifies per fabric.
+  analysis::SurvivabilityConfig survivability;
   bool use_robots = true;
   /// Master switch for the continuation-style workflow scheduler: overrides
   /// `technicians.use_fom` and `fleet.use_fom` together. `false` runs the

@@ -229,6 +229,44 @@ Blueprint build_xpander(const XpanderParams& p) {
                               p.fabric_gbps, edges);
 }
 
+Blueprint build_hybrid(const HybridParams& p) {
+  if (p.switches < 4) throw std::invalid_argument{"hybrid: need at least 4 switches"};
+  if (p.lattice_neighbors < 2 || p.lattice_neighbors % 2 != 0 ||
+      p.lattice_neighbors >= p.switches) {
+    throw std::invalid_argument{"hybrid: lattice_neighbors must be even, >= 2, < switches"};
+  }
+  if (p.rewire_fraction < 0.0 || p.rewire_fraction > 1.0) {
+    throw std::invalid_argument{"hybrid: rewire_fraction must be in [0, 1]"};
+  }
+  sim::RngFactory rngs{p.seed};
+  sim::RngStream rng = rngs.stream("hybrid");
+
+  const int n = p.switches;
+  std::set<std::pair<int, int>> edge_set;
+  const auto key = [](int a, int b) { return a < b ? std::pair{a, b} : std::pair{b, a}; };
+  // Ring lattice: i connects to its lattice_neighbors/2 clockwise neighbours.
+  for (int i = 0; i < n; ++i) {
+    for (int k = 1; k <= p.lattice_neighbors / 2; ++k) edge_set.insert(key(i, (i + k) % n));
+  }
+  // Watts-Strogatz rewiring: each lattice edge (i, i+k), taken in canonical
+  // order, is re-pointed from its far endpoint to a uniformly random switch
+  // with probability beta (skipped when it would self-loop or duplicate).
+  for (int k = 1; k <= p.lattice_neighbors / 2; ++k) {
+    for (int i = 0; i < n; ++i) {
+      if (!rng.bernoulli(p.rewire_fraction)) continue;
+      const auto old_edge = key(i, (i + k) % n);
+      if (!edge_set.contains(old_edge)) continue;  // already rewired away
+      const int target = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+      if (target == i || edge_set.contains(key(i, target))) continue;
+      edge_set.erase(old_edge);
+      edge_set.insert(key(i, target));
+    }
+  }
+  const std::vector<std::pair<int, int>> edges(edge_set.begin(), edge_set.end());
+  return assemble_flat_fabric("hybrid", n, p.servers_per_switch, p.server_gbps, p.fabric_gbps,
+                              edges);
+}
+
 Blueprint build_dragonfly(const DragonflyParams& p) {
   if (p.routers_per_group < 2 || p.global_per_router < 1 || p.servers_per_router < 0) {
     throw std::invalid_argument{"dragonfly: need a >= 2, h >= 1, p >= 0"};

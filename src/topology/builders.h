@@ -83,6 +83,23 @@ struct Torus2dParams {
 /// the study, which the deployment/maintainability metrics notice.
 [[nodiscard]] Blueprint build_torus2d(const Torus2dParams& p);
 
+struct HybridParams {
+  int switches = 32;
+  int lattice_neighbors = 4;     // ring-lattice degree; must be even and >= 2
+  double rewire_fraction = 0.1;  // Watts-Strogatz beta: fraction of lattice edges rewired
+  int servers_per_switch = 4;
+  double server_gbps = 100.0;
+  double fabric_gbps = 400.0;
+  std::uint64_t seed = 1;
+};
+/// Hybrid regular/random fabric (Sriram & Cliff): a ring lattice where each
+/// switch links to its `lattice_neighbors` nearest ring neighbours, with a
+/// `rewire_fraction` of edges re-pointed at uniformly random switches
+/// (Watts-Strogatz small-world construction). beta=0 is a pure regular
+/// lattice, beta=1 approaches a random graph — the sweep's survivability
+/// preset probes both ends of that dial.
+[[nodiscard]] Blueprint build_hybrid(const HybridParams& p);
+
 struct GpuClusterParams {
   int gpu_servers = 32;
   int rails = 8;                 // NICs per server, one per rail switch

@@ -458,6 +458,70 @@ TEST(CampusSweep, ShardAndJobCountInvariantReports) {
   }
 }
 
+TEST(CampusSweep, SurvivabilityCurvesAreShardInvariant) {
+  // The survivability preset's campus cell aggregates per-hall frontiers.
+  // Frontiers are computed on the calling thread in hall order, so curves,
+  // hashes, and the full report must be byte-identical at any shard width.
+  const runner::SweepSpec preset =
+      runner::make_sweep("survivability", sim::Duration::days(1), /*first_seed=*/1, /*seeds=*/1);
+  runner::SweepSpec spec;
+  spec.first_seed = preset.first_seed;
+  spec.seeds = 1;
+  spec.duration = preset.duration;
+  for (const runner::CellSpec& cell : preset.cells) {
+    if (cell.is_campus()) spec.cells.push_back(cell);
+  }
+  ASSERT_EQ(spec.cells.size(), 1u);
+  spec.cells[0].config.survivability.orderings = 4;  // keep the unit budget
+
+  const runner::ReplicateResult one =
+      runner::SweepRunner::run_replicate(spec.cells[0], 0, 1, spec.duration,
+                                         /*sample_trace=*/false, /*shards=*/1);
+  const runner::ReplicateResult two =
+      runner::SweepRunner::run_replicate(spec.cells[0], 0, 1, spec.duration,
+                                         /*sample_trace=*/false, /*shards=*/2);
+  const runner::ReplicateResult four =
+      runner::SweepRunner::run_replicate(spec.cells[0], 0, 1, spec.duration,
+                                         /*sample_trace=*/false, /*shards=*/4);
+  ASSERT_TRUE(one.survivability.present());
+  // 4 halls x 4 orderings aggregated into one campus frontier.
+  EXPECT_EQ(one.survivability.samples, 16u);
+  for (const runner::ReplicateResult* other : {&two, &four}) {
+    EXPECT_EQ(one.trace_hash, other->trace_hash);
+    EXPECT_EQ(one.metrics_hash, other->metrics_hash);
+    EXPECT_EQ(one.survivability.hash, other->survivability.hash);
+    EXPECT_EQ(one.survivability.largest_component.mean,
+              other->survivability.largest_component.mean);
+    EXPECT_EQ(one.survivability.server_reachability.ci95,
+              other->survivability.server_reachability.ci95);
+    EXPECT_EQ(one.metrics[runner::kSurvivabilityAucConnectivity],
+              other->metrics[runner::kSurvivabilityAucConnectivity]);
+  }
+  // The campus-aggregate frontier instruments ride the merged snapshot.
+  bool has_auc_gauge = false;
+  for (const obs::SnapshotEntry& e : one.obs_snapshot) {
+    if (e.name == "survivability_auc_connectivity") has_auc_gauge = true;
+  }
+  EXPECT_TRUE(has_auc_gauge);
+
+  // Full-report byte identity across jobs x shards, curves included.
+  const runner::JsonOptions no_timing{.include_timing = false};
+  std::string reference;
+  for (const auto& [jobs, shards] : std::vector<std::pair<int, int>>{{1, 1}, {1, 2}, {2, 4}}) {
+    runner::SweepRunner sweeper;
+    runner::SweepRunner::Options opts;
+    opts.jobs = jobs;
+    opts.shards = shards;
+    const std::string json = runner::to_json(sweeper.run(spec, opts), no_timing);
+    if (reference.empty()) {
+      reference = json;
+      EXPECT_NE(json.find("\"survivability\""), std::string::npos);
+    } else {
+      EXPECT_EQ(json, reference) << "jobs=" << jobs << " shards=" << shards;
+    }
+  }
+}
+
 TEST(CampusSweep, CampusCellMetricsAreAggregatedAcrossHalls) {
   const runner::SweepSpec spec =
       runner::make_sweep("campus", sim::Duration::days(1), /*first_seed=*/1, /*seeds=*/1);

@@ -8,6 +8,9 @@
 #include <cstdint>
 #include <utility>
 
+#include "analysis/survivability.h"
+#include "runner/presets.h"
+#include "runner/sweep.h"
 #include "scenario/world.h"
 #include "topology/builders.h"
 
@@ -77,6 +80,68 @@ TEST(DeterminismTest2, TraceHashIsStableAcrossInProcessRuns) {
   EXPECT_EQ(first.hash, second.hash);
   EXPECT_EQ(first.events, second.events);
   EXPECT_GT(first.events, 0u);
+}
+
+TEST(DeterminismTest2, SurvivabilityConfigIsAPureObserver) {
+  // The frontier is computed post-run by the sweep runner; World never reads
+  // WorldConfig::survivability, so toggling it must not move a single event.
+  const topology::Blueprint bp =
+      topology::build_leaf_spine({.leaves = 4, .spines = 2, .servers_per_leaf = 2});
+  scenario::WorldConfig base = scenario::WorldConfig::for_level(
+      core::AutomationLevel::kL3_HighAutomation);
+  base.seed = 11;
+  base.faults.transceiver_afr = 4.0;
+  scenario::WorldConfig with = base;
+  with.survivability.enabled = true;
+  with.survivability.orderings = 32;
+  with.survivability.seed = 99;
+  scenario::World off{bp, base};
+  scenario::World on{bp, with};
+  off.run_for(Duration::days(4));
+  on.run_for(Duration::days(4));
+  EXPECT_EQ(off.simulator().trace_hash(), on.simulator().trace_hash());
+  EXPECT_EQ(off.simulator().events_processed(), on.simulator().events_processed());
+}
+
+TEST(DeterminismTest2, SurvivabilityFrontierHashIsStableAcrossEngines) {
+  // Two engine instances over the same blueprint must agree bit-for-bit —
+  // the in-process version of --audit-determinism's survivability dimension.
+  const topology::Blueprint bp = topology::build_fat_tree({.k = 4});
+  analysis::SurvivabilityConfig cfg;
+  cfg.enabled = true;
+  cfg.orderings = 8;
+  cfg.seed = 3;
+  analysis::SurvivabilityFrontier first{bp};
+  analysis::SurvivabilityFrontier second{bp};
+  for (const analysis::FailureMode mode :
+       {analysis::FailureMode::kLinks, analysis::FailureMode::kSwitches}) {
+    cfg.mode = mode;
+    const analysis::FrontierResult a = first.compute(cfg);
+    const analysis::FrontierResult b = second.compute(cfg);
+    EXPECT_EQ(a.hash, b.hash) << analysis::to_string(mode);
+    EXPECT_EQ(a.largest_component.mean, b.largest_component.mean);
+    EXPECT_EQ(a.bisection.ci95, b.bisection.ci95);
+  }
+}
+
+TEST(DeterminismTest2, SurvivabilityReplicateHashIsAFunctionOfCellAndSeed) {
+  // Same (cell, seed) -> same frontier hash across independent run_replicate
+  // calls; a different replicate seed must derive different orderings.
+  const runner::SweepSpec spec =
+      runner::make_sweep("quick", sim::Duration::days(1), /*first_seed=*/5, /*seeds=*/1);
+  runner::CellSpec cell = spec.cells[0];
+  cell.config.survivability.enabled = true;
+  cell.config.survivability.orderings = 8;
+  const runner::ReplicateResult a =
+      runner::SweepRunner::run_replicate(cell, 0, 5, spec.duration);
+  const runner::ReplicateResult b =
+      runner::SweepRunner::run_replicate(cell, 0, 5, spec.duration);
+  const runner::ReplicateResult c =
+      runner::SweepRunner::run_replicate(cell, 0, 6, spec.duration);
+  ASSERT_TRUE(a.survivability.present());
+  EXPECT_EQ(a.survivability.hash, b.survivability.hash);
+  EXPECT_EQ(a.metrics_hash, b.metrics_hash);
+  EXPECT_NE(a.survivability.hash, c.survivability.hash);
 }
 
 }  // namespace

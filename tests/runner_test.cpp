@@ -312,6 +312,88 @@ TEST(SweepRunner, ZeroSeedsTerminates) {
   EXPECT_TRUE(report.cells[0].replicates.empty());
 }
 
+// tiny_spec with the survivability frontier enabled on both cells — one per
+// failure mode so the sweep exercises both replay paths.
+SweepSpec tiny_survivability_spec(std::uint64_t seeds, double days) {
+  SweepSpec spec = tiny_spec(seeds, days);
+  spec.cells[0].config.survivability.enabled = true;
+  spec.cells[0].config.survivability.orderings = 6;
+  spec.cells[1].config.survivability.enabled = true;
+  spec.cells[1].config.survivability.orderings = 6;
+  spec.cells[1].config.survivability.mode = analysis::FailureMode::kSwitches;
+  return spec;
+}
+
+TEST(SweepSurvivability, JobCountInvariantReportsWithCurves) {
+  // In-process version of the CI jobs-determinism gate for the survivability
+  // dimension: the report — including every curve array — must be
+  // byte-identical at jobs=1 and jobs=4.
+  const SweepSpec spec = tiny_survivability_spec(/*seeds=*/2, /*days=*/1.0);
+  SweepRunner serial;
+  SweepRunner threaded;
+  SweepRunner::Options serial_opts;
+  serial_opts.jobs = 1;
+  SweepRunner::Options threaded_opts;
+  threaded_opts.jobs = 4;
+  const SweepReport a = serial.run(spec, serial_opts);
+  const SweepReport b = threaded.run(spec, threaded_opts);
+
+  ASSERT_EQ(a.cells.size(), 2u);
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    ASSERT_TRUE(a.cells[c].survivability.present()) << a.cells[c].name;
+    EXPECT_EQ(a.cells[c].survivability.hash, b.cells[c].survivability.hash);
+    EXPECT_EQ(a.cells[c].survivability.largest_component.mean,
+              b.cells[c].survivability.largest_component.mean);
+    for (std::size_t i = 0; i < a.cells[c].replicates.size(); ++i) {
+      ASSERT_TRUE(a.cells[c].replicates[i].survivability.present());
+      EXPECT_EQ(a.cells[c].replicates[i].survivability.hash,
+                b.cells[c].replicates[i].survivability.hash);
+      EXPECT_GT(a.cells[c].replicates[i].metrics[runner::kSurvivabilityAucConnectivity], 0.0);
+    }
+  }
+  EXPECT_EQ(a.cells[1].survivability.mode, analysis::FailureMode::kSwitches);
+
+  const runner::JsonOptions no_timing{.include_timing = false};
+  const std::string json = runner::to_json(a, no_timing);
+  EXPECT_EQ(json, runner::to_json(b, no_timing));
+  EXPECT_NE(json.find("\"survivability\""), std::string::npos);
+  EXPECT_NE(json.find("\"survivability_hash\""), std::string::npos);
+  EXPECT_NE(json.find("\"largest_component\""), std::string::npos);
+}
+
+TEST(SweepSurvivability, DisabledCellsCarryNoCurveBlock) {
+  const SweepSpec spec = tiny_spec(/*seeds=*/1, /*days=*/0.5);
+  SweepRunner sweeper;
+  const SweepReport report = sweeper.run(spec);
+  for (const runner::CellReport& cell : report.cells) {
+    EXPECT_FALSE(cell.survivability.present()) << cell.name;
+  }
+  const std::string json = runner::to_json(report);
+  EXPECT_EQ(json.find("\"survivability\""), std::string::npos);
+  EXPECT_EQ(json.find("\"survivability_hash\""), std::string::npos);
+}
+
+TEST(SweepSurvivability, CellCurvesAreMonotoneAndMatchAucMetric) {
+  const SweepSpec spec = tiny_survivability_spec(/*seeds=*/2, /*days=*/0.5);
+  SweepRunner sweeper;
+  const SweepReport report = sweeper.run(spec);
+  for (const runner::CellReport& cell : report.cells) {
+    const analysis::FrontierResult& s = cell.survivability;
+    ASSERT_TRUE(s.present());
+    ASSERT_EQ(s.largest_component.mean.size(), s.elements + 1);
+    for (const auto* curve :
+         {&s.largest_component.mean, &s.server_reachability.mean, &s.bisection.mean}) {
+      for (std::size_t k = 1; k < curve->size(); ++k) {
+        ASSERT_LE((*curve)[k], (*curve)[k - 1]) << cell.name << " k=" << k;
+      }
+    }
+    // The per-cell AUC metric aggregate is the mean of per-replicate AUCs,
+    // each strictly inside (0, 1] for a connected fabric.
+    EXPECT_GT(s.auc_connectivity, 0.0);
+    EXPECT_LE(s.auc_connectivity, 1.0);
+  }
+}
+
 TEST(SweepPresets, KnownNamesBuildAndUnknownThrows) {
   for (const std::string& name : runner::sweep_preset_names()) {
     const SweepSpec spec = runner::make_sweep(name, sim::Duration::days(1), 1, 2);

@@ -9,7 +9,7 @@
 //   smn_sim --topology fat-tree --k 8 --level L4 --proactive off
 //
 // Flags (defaults in brackets):
-//   --topology leaf-spine|fat-tree|jellyfish|xpander|gpu   [leaf-spine]
+//   --topology leaf-spine|fat-tree|jellyfish|xpander|gpu|hybrid [leaf-spine]
 //   --level L0|L1|L2|L3|L4                                 [L3]
 //   --days N                                               [60]
 //   --seed N                                               [1]
@@ -17,6 +17,8 @@
 //   --k N                 (fat-tree)                       [8]
 //   --switches N --degree N (jellyfish/xpander)            [32 8]
 //   --gpus N --rails N    (gpu)                            [16 8]
+//   --neighbors N --rewire F (hybrid ring-lattice: Watts-Strogatz
+//                         lattice degree and rewiring beta)    [4 0.1]
 //   --proactive on|off                                     [per level]
 //   --impact-aware on|off                                  [per level]
 //   --storage on|off      enable the SNS-repair storage data plane
@@ -32,9 +34,35 @@
 //                         off — and fail (exit 1) if any executed-event trace
 //                         hash diverges or the two obs-on metrics-snapshot
 //                         hashes differ; every preset is audited both plain
-//                         and with the storage data plane enabled; honors
+//                         and with the storage data plane enabled, and a
+//                         survivability dimension runs each fabric twice
+//                         plain and twice with the frontier computed — the
+//                         four trace hashes must agree (the frontier is a
+//                         pure observer) and the two frontier curve hashes
+//                         must reproduce bit-for-bit; honors
 //                         --level/--seed/--days (days defaults to 10 in
 //                         audit mode)
+//
+// Subcommand: `smnctl analyze` — static fabric analysis, no simulation.
+// `--survivability` computes Couto-style progressive-failure frontiers
+// (largest-component, server-reachability, and bisection-proxy curves vs %
+// elements failed, mean over seeded orderings) via the incremental
+// reverse-replay union-find engine in src/analysis/survivability.h:
+//
+//   smnctl analyze --survivability                      # all preset fabrics
+//   smnctl analyze --survivability --topology fat-tree --mode links
+//   smnctl analyze --survivability --orderings 64 --json frontier.json
+//
+// Analyze flags (defaults in brackets):
+//   --survivability       compute progressive-failure frontier curves
+//   --topology X          one fabric (accepts the same topology flags as the
+//                         runner, plus hybrid); default: the five audit
+//                         fabrics + hybrid beta=0.1/0.5
+//   --mode links|switches|both   which elements fail           [both]
+//   --orderings N         seeded failure orderings per curve   [32]
+//   --seed N              ordering seed base                   [1]
+//   --json FILE           write smn-survivability-v1 JSON with the full
+//                         mean/ci95 curve arrays per fabric x mode
 //
 // Subcommand: `smnctl sweep` — the parallel Monte-Carlo sweep engine
 // (src/runner). Runs a named grid of worlds across a seed range on all
@@ -45,7 +73,7 @@
 //
 // Sweep flags (defaults in brackets):
 //   --preset availability|topologies|quick|campus|storage|
-//            storage-quick|storage-campus            [availability]
+//            storage-quick|storage-campus|survivability  [availability]
 //   --seeds N             replicates per cell                [8]
 //   --first-seed N                                           [1]
 //   --days N              simulated days per replicate       [30]
@@ -70,6 +98,7 @@
 #include "analysis/cost.h"
 #include "analysis/report.h"
 #include "analysis/stats.h"
+#include "analysis/survivability.h"
 #include "analysis/timeseries.h"
 #include "runner/json_writer.h"
 #include "runner/presets.h"
@@ -92,6 +121,10 @@ struct Args {
   [[nodiscard]] int geti(const std::string& key, int dflt) const {
     const auto it = kv.find(key);
     return it == kv.end() ? dflt : std::atoi(it->second.c_str());
+  }
+  [[nodiscard]] double getd(const std::string& key, double dflt) const {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::atof(it->second.c_str());
   }
   [[nodiscard]] bool onoff(const std::string& key, bool dflt) const {
     const auto it = kv.find(key);
@@ -130,6 +163,14 @@ topology::Blueprint build_topology(const Args& args) {
     return topology::build_gpu_cluster({.gpu_servers = args.geti("gpus", 16),
                                         .rails = args.geti("rails", 8),
                                         .spines = args.geti("spines", 2)});
+  }
+  if (kind == "hybrid") {
+    return topology::build_hybrid(
+        {.switches = args.geti("switches", 32),
+         .lattice_neighbors = args.geti("neighbors", 4),
+         .rewire_fraction = args.getd("rewire", 0.1),
+         .servers_per_switch = args.geti("servers", 4),
+         .seed = static_cast<std::uint64_t>(args.geti("seed", 1))});
   }
   throw std::invalid_argument{"unknown --topology " + kind};
 }
@@ -218,19 +259,65 @@ int run_determinism_audit(const Args& args) {
                   static_cast<unsigned long long>(metrics[1]), metrics_match ? "OK" : "DIVERGED");
     }
   }
+  // Survivability dimension: each fabric runs twice plain and twice with the
+  // frontier computed (exactly what the sweep runner does post-run). All four
+  // trace hashes must agree — computing curves is a pure observation of the
+  // blueprint, never of the simulation — and the two frontier computations
+  // must reproduce identical curve hashes in both failure modes.
+  std::printf("  survivability frontier (pure observer + curve reproducibility):\n");
+  for (const char* preset : kPresets) {
+    Args preset_args = args;
+    preset_args.kv["topology"] = preset;
+    const topology::Blueprint bp = build_topology(preset_args);
+    std::uint64_t trace[4] = {};
+    std::uint64_t links_hash[2] = {};
+    std::uint64_t switches_hash[2] = {};
+    for (int run = 0; run < 4; ++run) {
+      scenario::WorldConfig cfg = world_config(preset_args, level);
+      const bool with_frontier = run >= 2;
+      cfg.survivability.enabled = with_frontier;
+      scenario::World world{bp, cfg};
+      world.run_for(sim::Duration::days(days));
+      world.check_invariants();
+      trace[run] = world.simulator().trace_hash();
+      if (with_frontier) {
+        analysis::SurvivabilityFrontier frontier{bp};
+        analysis::SurvivabilityConfig scfg = cfg.survivability;
+        scfg.mode = analysis::FailureMode::kLinks;
+        links_hash[run - 2] = frontier.compute(scfg).hash;
+        scfg.mode = analysis::FailureMode::kSwitches;
+        switches_hash[run - 2] = frontier.compute(scfg).hash;
+      }
+    }
+    const bool trace_match = trace[0] == trace[1] && trace[1] == trace[2] &&
+                             trace[2] == trace[3];
+    const bool curve_match =
+        links_hash[0] == links_hash[1] && switches_hash[0] == switches_hash[1];
+    ok = ok && trace_match && curve_match;
+    std::printf("  %-19s trace %016llx x4 %s  curves links %016llx/%016llx switches "
+                "%016llx/%016llx %s\n",
+                preset, static_cast<unsigned long long>(trace[0]),
+                trace_match ? "OK" : "DIVERGED",
+                static_cast<unsigned long long>(links_hash[0]),
+                static_cast<unsigned long long>(links_hash[1]),
+                static_cast<unsigned long long>(switches_hash[0]),
+                static_cast<unsigned long long>(switches_hash[1]),
+                curve_match ? "OK" : "DIVERGED");
+  }
   if (!ok) {
     std::fprintf(stderr, "determinism audit FAILED: trace or metrics hashes diverged\n");
     return 1;
   }
   std::printf(
-      "determinism audit passed: traces identical with obs on/off, metrics reproduce\n");
+      "determinism audit passed: traces identical with obs on/off, metrics and "
+      "survivability curves reproduce\n");
   return 0;
 }
 
 /// Flags that take no value.
 [[nodiscard]] bool is_boolean_flag(const std::string& key) {
   return key == "audit-determinism" || key == "quiet" || key == "no-timing" ||
-         key == "sample-traces";
+         key == "sample-traces" || key == "survivability";
 }
 
 // Parses `--key value` pairs (and bare boolean flags) from argv[start..).
@@ -334,19 +421,141 @@ int run_sweep(const Args& args) {
   return 0;
 }
 
+// `smnctl analyze --survivability`: progressive-failure frontier summary rows
+// for one fabric or the whole preset family — static analysis of the
+// blueprint, no simulation involved.
+int run_analyze(const Args& args) {
+  if (!args.onoff("survivability", false)) {
+    std::fprintf(stderr, "analyze: nothing to analyze (pass --survivability)\n");
+    return 2;
+  }
+  analysis::SurvivabilityConfig scfg;
+  scfg.enabled = true;
+  scfg.orderings = args.geti("orderings", 32);
+  scfg.seed = static_cast<std::uint64_t>(args.geti("seed", 1));
+
+  std::vector<analysis::FailureMode> modes;
+  const std::string mode_arg = args.get("mode", "both");
+  if (mode_arg == "links") {
+    modes = {analysis::FailureMode::kLinks};
+  } else if (mode_arg == "switches" || mode_arg == "devices") {
+    modes = {analysis::FailureMode::kSwitches};
+  } else if (mode_arg == "both") {
+    modes = {analysis::FailureMode::kLinks, analysis::FailureMode::kSwitches};
+  } else {
+    std::fprintf(stderr, "unknown --mode %s (use links|switches|both)\n", mode_arg.c_str());
+    return 2;
+  }
+
+  struct Fabric {
+    std::string name;
+    topology::Blueprint bp;
+  };
+  std::vector<Fabric> fabrics;
+  if (args.has("topology")) {
+    fabrics.push_back({args.get("topology", "leaf-spine"), build_topology(args)});
+  } else {
+    // The five audit fabrics plus the two hybrid dials — the E20 family.
+    for (const char* preset : {"leaf-spine", "fat-tree", "jellyfish", "xpander", "gpu"}) {
+      Args preset_args = args;
+      preset_args.kv["topology"] = preset;
+      fabrics.push_back({preset, build_topology(preset_args)});
+    }
+    for (const double beta : {0.1, 0.5}) {
+      Args hybrid_args = args;
+      hybrid_args.kv["topology"] = "hybrid";
+      hybrid_args.kv["rewire"] = beta == 0.1 ? "0.1" : "0.5";
+      fabrics.push_back({"hybrid-" + hybrid_args.kv["rewire"], build_topology(hybrid_args)});
+    }
+  }
+
+  using analysis::Table;
+  Table table{{"fabric", "mode", "elem", "conn@25%", "conn@50%", "reach@25%", "reach@50%",
+               "bisec@50%", "auc conn", "auc reach", "auc bisec", "curve hash"}};
+  runner::JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "smn-survivability-v1");
+  w.kv("orderings", static_cast<std::int64_t>(scfg.orderings));
+  w.kv("seed", scfg.seed);
+  w.key("fabrics");
+  w.begin_array();
+  for (Fabric& f : fabrics) {
+    analysis::SurvivabilityFrontier frontier{f.bp};
+    for (const analysis::FailureMode mode : modes) {
+      analysis::SurvivabilityConfig cfg = scfg;
+      cfg.mode = mode;
+      const analysis::FrontierResult r = frontier.compute(cfg);
+      table.add_row({f.name, analysis::to_string(mode), Table::num(r.elements),
+                     Table::num(analysis::curve_value_at(r.largest_component, 0.25), 4),
+                     Table::num(analysis::curve_value_at(r.largest_component, 0.50), 4),
+                     Table::num(analysis::curve_value_at(r.server_reachability, 0.25), 4),
+                     Table::num(analysis::curve_value_at(r.server_reachability, 0.50), 4),
+                     Table::num(analysis::curve_value_at(r.bisection, 0.50), 4),
+                     Table::num(r.auc_connectivity, 4), Table::num(r.auc_reachability, 4),
+                     Table::num(r.auc_bisection, 4), runner::JsonWriter::hex64(r.hash)});
+      w.begin_object();
+      w.kv("fabric", f.name);
+      w.kv("mode", analysis::to_string(mode));
+      w.kv("elements", r.elements);
+      w.kv("devices", r.devices);
+      w.kv("servers", r.servers);
+      w.kv("auc_connectivity", r.auc_connectivity);
+      w.kv("auc_reachability", r.auc_reachability);
+      w.kv("auc_bisection", r.auc_bisection);
+      w.kv("hash", runner::JsonWriter::hex64(r.hash));
+      w.key("curves");
+      w.begin_object();
+      const auto emit_curve = [&w](const char* name, const analysis::CurveSummary& c) {
+        w.key(name);
+        w.begin_object();
+        w.key("mean");
+        w.begin_array();
+        for (const double v : c.mean) w.value(v);
+        w.end_array();
+        w.key("ci95");
+        w.begin_array();
+        for (const double v : c.ci95) w.value(v);
+        w.end_array();
+        w.end_object();
+      };
+      emit_curve("largest_component", r.largest_component);
+      emit_curve("server_reachability", r.server_reachability);
+      emit_curve("bisection", r.bisection);
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  table.print(std::cout);
+
+  if (args.has("json")) {
+    const std::string path = args.get("json", "survivability.json");
+    std::ofstream out{path};
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    out << w.str() << '\n';
+    std::printf("frontier curves written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args;
   const bool is_sweep = argc > 1 && std::strcmp(argv[1], "sweep") == 0;
-  if (parse_flags(argc, argv, is_sweep ? 2 : 1, args) != 0) return 2;
+  const bool is_analyze = argc > 1 && std::strcmp(argv[1], "analyze") == 0;
+  if (parse_flags(argc, argv, (is_sweep || is_analyze) ? 2 : 1, args) != 0) return 2;
   if (args.has("help")) {
     std::printf("see the header of tools/smn_sim.cpp for flags\n");
     return 0;
   }
-  if (is_sweep) {
+  if (is_sweep || is_analyze) {
     try {
-      return run_sweep(args);
+      return is_sweep ? run_sweep(args) : run_analyze(args);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 1;
